@@ -1,0 +1,463 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (see DESIGN.md's per-experiment index) and
+// run the ablations it motivates. Each benchmark executes the full
+// pipeline for its artifact — workload generation, classical baselines,
+// CQM construction, hybrid solving, metric extraction — and reports the
+// headline quantities as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper end to end. Budgets are reduced relative to
+// cmd/experiments (benchmarks run many iterations); the shapes are the
+// same.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/cqm"
+	"repro/internal/dlb"
+	"repro/internal/experiments"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/mxm"
+	"repro/internal/qlrb"
+	"repro/internal/sa"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.FastConfig()
+	cfg.Seed = 2024
+	return cfg
+}
+
+// BenchmarkTable1Qubits regenerates Table I: CQM construction and
+// logical-qubit counts for the paper's machine shapes.
+func BenchmarkTable1Qubits(b *testing.B) {
+	weights := make([]float64, 32)
+	for i := range weights {
+		weights[i] = float64(i%7 + 1)
+	}
+	in, err := lrp.UniformInstance(208, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var q1, q2 int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc1, err := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM1, K: 100, PinHeaviest: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc2, err := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM2, K: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q1, q2 = enc1.NumLogicalQubits(), enc2.NumLogicalQubits()
+	}
+	b.ReportMetric(float64(q1), "qubits_qcqm1")
+	b.ReportMetric(float64(q2), "qubits_qcqm2")
+}
+
+// BenchmarkFig3VaryImbalance regenerates Figure 3: imbalance ratio and
+// speedup across the five Imb.0-Imb.4 cases for all seven methods.
+func BenchmarkFig3VaryImbalance(b *testing.B) {
+	cfg := benchConfig()
+	var g experiments.GroupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		g, err = experiments.RunVaryImbalance(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := g.Cases[len(g.Cases)-1]
+	b.ReportMetric(worst.Method("Q_CQM1_k2").Metrics.Speedup, "q1k2_speedup_imb4")
+	b.ReportMetric(worst.Method("Greedy").Metrics.Speedup, "greedy_speedup_imb4")
+}
+
+// BenchmarkTable2Migrations regenerates Table II: average migrated tasks
+// and runtime over the Imb.0-Imb.4 cases.
+func BenchmarkTable2Migrations(b *testing.B) {
+	cfg := benchConfig()
+	var g experiments.GroupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		g, err = experiments.RunVaryImbalance(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	avg := func(method string) float64 {
+		total := 0.0
+		for _, c := range g.Cases {
+			total += float64(c.Method(method).Metrics.Migrated)
+		}
+		return total / float64(len(g.Cases))
+	}
+	b.ReportMetric(avg("Greedy"), "greedy_mig_avg")
+	b.ReportMetric(avg("ProactLB"), "proactlb_mig_avg")
+	b.ReportMetric(avg("Q_CQM1_k1"), "q1k1_mig_avg")
+}
+
+// BenchmarkFig4VaryNodes regenerates Figure 4 (and its companion Table
+// III via migration counts): scaling the node count at 100 tasks/node.
+func BenchmarkFig4VaryNodes(b *testing.B) {
+	cfg := benchConfig()
+	scales := []int{4, 8, 16, 32}
+	var g experiments.GroupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		g, err = experiments.RunVaryProcs(cfg, scales)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := g.Cases[len(g.Cases)-1]
+	b.ReportMetric(last.Method("Q_CQM1_k2").Metrics.Speedup, "q1k2_speedup_32n")
+	b.ReportMetric(float64(last.Method("Q_CQM1_k1").Metrics.Migrated), "q1k1_mig_32n")
+}
+
+// BenchmarkTable3Migrations regenerates Table III's headline contrast at
+// one scale: total migrated tasks of partitioners vs budgeted methods.
+func BenchmarkTable3Migrations(b *testing.B) {
+	cfg := benchConfig()
+	var g experiments.GroupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		g, err = experiments.RunVaryProcs(cfg, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := g.Cases[0]
+	b.ReportMetric(float64(c.Method("Greedy").Metrics.Migrated), "greedy_mig_16n")
+	b.ReportMetric(float64(c.Method("Q_CQM1_k1").Metrics.Migrated), "q1k1_mig_16n")
+}
+
+// BenchmarkFig5VaryTasks regenerates Figure 5 / Table IV: scaling tasks
+// per node on 8 nodes.
+func BenchmarkFig5VaryTasks(b *testing.B) {
+	cfg := benchConfig()
+	scales := []int{8, 64, 512}
+	var g experiments.GroupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		g, err = experiments.RunVaryTasks(cfg, scales)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := g.Cases[len(g.Cases)-1]
+	b.ReportMetric(float64(last.Method("Greedy").Metrics.Migrated), "greedy_mig_512t")
+	b.ReportMetric(float64(last.Method("Q_CQM2_k2").Metrics.Migrated), "q2k2_mig_512t")
+}
+
+// BenchmarkTable4TaskScaling regenerates Table IV's N(M-1)/M migration
+// law for the partitioners at the 2048-task point.
+func BenchmarkTable4TaskScaling(b *testing.B) {
+	var mig int
+	for i := 0; i < b.N; i++ {
+		c := mxm.VaryTasksCase(2048, mxm.DefaultCostModel(), 2024)
+		plan, err := balancer.Greedy{}.Rebalance(c.Instance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mig = plan.Migrated()
+	}
+	b.ReportMetric(float64(mig), "greedy_mig_2048t")
+}
+
+// BenchmarkTable5Samoa regenerates Table V: the sam(oa)^2 oscillating
+// lake use case (reduced mesh for benchmark iteration counts).
+func BenchmarkTable5Samoa(b *testing.B) {
+	cfg := benchConfig()
+	params := experiments.SamoaParams{
+		Procs: 16, TasksPerProc: 64, MeshDepth: 10, WarmupSteps: 8, TargetImbalance: 4.1994,
+	}
+	var cr experiments.CaseResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		cr, err = experiments.RunSamoa(cfg, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cr.BaselineImb, "baseline_rimb")
+	b.ReportMetric(cr.Method("Q_CQM1_k1").Metrics.Speedup, "q1k1_speedup")
+	b.ReportMetric(float64(cr.Method("Q_CQM1_k1").Metrics.Migrated), "q1k1_mig")
+	b.ReportMetric(float64(cr.Method("Greedy").Metrics.Migrated), "greedy_mig")
+}
+
+// BenchmarkAblationQubitReduction (A1) contrasts the three formulation
+// sizes the Discussion analyses: full, diagonal-reduced, and pinned.
+func BenchmarkAblationQubitReduction(b *testing.B) {
+	in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
+	h := hybrid.Options{Reads: 4, Sweeps: 250, Seed: 5, Presolve: true, Penalty: 5, PenaltyGrowth: 4}
+	variants := []struct {
+		name string
+		opt  qlrb.BuildOptions
+	}{
+		{"full", qlrb.BuildOptions{Form: qlrb.QCQM2, K: 200}},
+		{"reduced", qlrb.BuildOptions{Form: qlrb.QCQM1, K: 200}},
+		{"pinned", qlrb.BuildOptions{Form: qlrb.QCQM1, K: 200, PinHeaviest: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var qubits int
+			var imb float64
+			for i := 0; i < b.N; i++ {
+				plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{Build: v.opt, Hybrid: h})
+				if err != nil {
+					b.Fatal(err)
+				}
+				qubits = stats.Qubits
+				imb = lrp.Evaluate(in, plan).Imbalance
+			}
+			b.ReportMetric(float64(qubits), "qubits")
+			b.ReportMetric(imb, "rimb")
+		})
+	}
+}
+
+// BenchmarkAblationQUBOPenalty (A2) contrasts the two CQM->QUBO
+// constraint encodings: slack penalties vs unbalanced penalization.
+func BenchmarkAblationQUBOPenalty(b *testing.B) {
+	in := lrp.MustInstance([]int{8, 8, 8}, []float64{1, 2, 6})
+	enc, err := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM1, K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	methods := []struct {
+		name string
+		m    cqm.PenaltyMethod
+	}{
+		{"slack", cqm.SlackPenalty},
+		{"unbalanced", cqm.UnbalancedPenalty},
+	}
+	for _, pm := range methods {
+		b.Run(pm.name, func(b *testing.B) {
+			opts := cqm.DefaultQUBOOptions()
+			opts.Method = pm.m
+			opts.EqPenalty = 50
+			opts.UnbalancedL2 = 50
+			feasible := 0
+			var qubits int
+			for i := 0; i < b.N; i++ {
+				q, err := cqm.ToQUBO(enc.Model, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				qubits = q.NumVars
+				res := sa.Anneal(q.ToModel(), sa.Options{Sweeps: 400, Seed: int64(i)})
+				if enc.Model.Feasible(res.Best[:q.BaseVars], 1e-6) {
+					feasible++
+				}
+			}
+			b.ReportMetric(float64(qubits), "qubits")
+			b.ReportMetric(float64(feasible)/float64(b.N), "feasible_rate")
+		})
+	}
+}
+
+// BenchmarkMigrationOverhead (A3) replays plans on the Chameleon-style
+// runtime simulator, exposing the migration overhead that motivates the
+// paper's k constraint: Greedy's full repartition vs ProactLB's excess-
+// only migration on the same imbalanced input.
+func BenchmarkMigrationOverhead(b *testing.B) {
+	c := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[4]
+	in := c.Instance
+	cfg := chameleon.Config{Workers: 27, LatencyMs: 0.5, PerTaskMs: 0.25}
+	methods := []balancer.Rebalancer{balancer.Baseline{}, balancer.Greedy{}, balancer.ProactLB{}}
+	for _, m := range methods {
+		b.Run(m.Name(), func(b *testing.B) {
+			var makespan, comm float64
+			for i := 0; i < b.N; i++ {
+				plan, err := m.Rebalance(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt, err := chameleon.New(cfg, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms, err := rt.ApplyPlan(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := rt.RunIteration()
+				makespan, comm = st.MakespanMs, ms.CommTimeMs
+			}
+			b.ReportMetric(makespan, "makespan_ms")
+			b.ReportMetric(comm, "comm_ms")
+		})
+	}
+}
+
+// BenchmarkAblationRelabel quantifies how much of Greedy's migration
+// count is a labeling artifact: optimal partition-to-process relabeling
+// (Hungarian) vs the paper's arbitrary labels.
+func BenchmarkAblationRelabel(b *testing.B) {
+	in := mxm.VaryProcsCase(16, mxm.DefaultCostModel(), 2024).Instance
+	var before, after int
+	for i := 0; i < b.N; i++ {
+		plan, err := balancer.Greedy{}.Rebalance(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relabeled := balancer.RelabelMinMigrations(plan)
+		before, after = plan.Migrated(), relabeled.Migrated()
+	}
+	b.ReportMetric(float64(before), "mig_arbitrary_labels")
+	b.ReportMetric(float64(after), "mig_optimal_labels")
+}
+
+// BenchmarkKSweep (A5) runs the k parameter study the paper lists as
+// future work: the balance-vs-budget frontier on the Imb.3 case.
+func BenchmarkKSweep(b *testing.B) {
+	in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
+	ks, err := experiments.DefaultKGrid(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	var points []experiments.KSweepPoint
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.RunKSweep(in, qlrb.QCQM1, ks, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := points[0], points[len(points)-1]
+	b.ReportMetric(first.Metrics.Imbalance, "rimb_k0")
+	b.ReportMetric(last.Metrics.Imbalance, "rimb_kmax")
+}
+
+// BenchmarkGateBasedQAOA (A4) solves a small instance on the simulated
+// gate-model path (Section VI's extension).
+func BenchmarkGateBasedQAOA(b *testing.B) {
+	in := lrp.MustInstance([]int{8, 8}, []float64{1, 3})
+	var stats qlrb.GateStats
+	var plan *lrp.Plan
+	var err error
+	for i := 0; i < b.N; i++ {
+		plan, stats, err = qlrb.SolveGateBased(in, qlrb.GateOptions{
+			Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: 4},
+			Layers: 2,
+			Seed:   int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.Qubits), "qubits")
+	b.ReportMetric(lrp.Evaluate(in, plan).Imbalance, "rimb")
+}
+
+// BenchmarkDynamicLoop drives the multi-iteration BSP loop with
+// per-iteration rebalancing (Figure 1's scenario) and contrasts it with
+// work stealing.
+func BenchmarkDynamicLoop(b *testing.B) {
+	base := lrp.MustInstance(
+		[]int{32, 32, 32, 32, 32, 32},
+		[]float64{0.5, 0.5, 0.5, 0.5, 0.5, 4.0},
+	)
+	workload := dlb.DriftingWorkload{Base: base, Drift: 1}
+	cfg := dlb.Config{
+		Runtime:    chameleon.Config{Workers: 4, LatencyMs: 0.3, PerTaskMs: 0.15},
+		Iterations: 6,
+	}
+	b.Run("proactlb", func(b *testing.B) {
+		var res dlb.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = dlb.Run(workload, balancer.ProactLB{}, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.Speedup, "speedup")
+		b.ReportMetric(float64(res.TotalMigrated), "migrated")
+	})
+	b.Run("worksteal", func(b *testing.B) {
+		ws := dlb.WorkStealing{Workers: 4, StealLatencyMs: 0.3}
+		var total float64
+		var steals int
+		for i := 0; i < b.N; i++ {
+			total, steals = 0, 0
+			for it := 0; it < cfg.Iterations; it++ {
+				in, err := workload.Iteration(it)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := ws.Simulate(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.MakespanMs
+				steals += res.Steals
+			}
+		}
+		b.ReportMetric(total, "total_ms")
+		b.ReportMetric(float64(steals), "steals")
+	})
+}
+
+// BenchmarkVariability measures the run-to-run spread of the hybrid
+// solver (the paper's nondeterminism note, Appendix C).
+func BenchmarkVariability(b *testing.B) {
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 6})
+	cfg := benchConfig()
+	var v experiments.Variability
+	var err error
+	for i := 0; i < b.N; i++ {
+		v, err = experiments.MeasureVariability(in, qlrb.QCQM1, 12, 5, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(v.ImbMedian, "rimb_median")
+	b.ReportMetric(v.ImbMax-v.ImbMin, "rimb_spread")
+}
+
+// BenchmarkAblationFormulations (A6) contrasts the paper's count-encoded
+// CQMs with the general per-task formulation on the same instance.
+func BenchmarkAblationFormulations(b *testing.B) {
+	in := lrp.MustInstance([]int{12, 12, 12, 12}, []float64{1, 1, 2, 6})
+	cfg := benchConfig()
+	var rows []experiments.FormulationComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunFormulationComparison(in, 12, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Qubits), "qubits_qcqm1")
+	b.ReportMetric(float64(rows[2].Qubits), "qubits_pertask")
+	b.ReportMetric(rows[2].Imbalance, "rimb_pertask")
+}
+
+// BenchmarkAblationTuning runs the solver design-choice panel.
+func BenchmarkAblationTuning(b *testing.B) {
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 6})
+	cfg := benchConfig()
+	var points []experiments.TuningPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.RunSolverTuning(in, qlrb.QCQM2, 12, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Label == "default" {
+			b.ReportMetric(p.Imbalance, "rimb_default")
+		}
+		if p.Label == "cold-start" {
+			b.ReportMetric(p.Imbalance, "rimb_cold")
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -exp table1    # complexity / logical qubits overview
+//	experiments -exp fig3      # imbalance & speedup across Imb.0-Imb.4
+//	experiments -exp table2    # migration counts / runtime averages
+//	experiments -exp fig4      # varying node counts (+ table3)
+//	experiments -exp fig5      # varying tasks per node (+ table4)
+//	experiments -exp table5    # the sam(oa)^2 realistic use case
+//	experiments -exp all       # everything above
+//
+// -fast trades solver budget for speed (useful for smoke runs); -procs /
+// -tasks trim the sweep scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"path/filepath"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/experiments"
+	"repro/internal/mxm"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func parseScales(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad scale list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | all")
+		fast   = flag.Bool("fast", false, "reduced solver budget")
+		seed   = flag.Int64("seed", 2024, "experiment seed")
+		procsF = flag.String("procs", "", "comma-separated node scales for fig4/table3 (default 4,8,16,32,64)")
+		tasksF = flag.String("tasks", "", "comma-separated task scales for fig5/table4 (default 8,...,2048)")
+		outDir = flag.String("out", "", "also write each artifact as .txt/.csv files into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *fast {
+		cfg = experiments.FastConfig()
+	}
+	cfg.Seed = *seed
+
+	procScales := mxm.ProcScales()
+	if *procsF != "" {
+		var err error
+		if procScales, err = parseScales(*procsF); err != nil {
+			return err
+		}
+	}
+	taskScales := mxm.TaskScales()
+	if *tasksF != "" {
+		var err error
+		if taskScales, err = parseScales(*tasksF); err != nil {
+			return err
+		}
+	}
+
+	want := func(names ...string) bool {
+		if *exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *exp == n {
+				return true
+			}
+		}
+		return false
+	}
+	ran := false
+	sink := artifactSink{dir: *outDir}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	if want("table1") {
+		ran = true
+		sink.table("table1_m8", experiments.TableI(8, 50))
+		sink.table("table1_m32", experiments.TableI(32, 208))
+	}
+
+	if want("fig3", "table2") {
+		ran = true
+		g, err := experiments.RunVaryImbalance(cfg)
+		if err != nil {
+			return err
+		}
+		if want("fig3") {
+			sink.figure("fig3_imbalance", g.ImbalanceFigure("Figure 3 (left) — imbalance ratio vs imbalance level"))
+			sink.figure("fig3_speedup", g.SpeedupFigure("Figure 3 (right) — speedup vs imbalance level"))
+		}
+		if want("table2") {
+			sink.table("table2", g.AveragesTable("Table II — migrated tasks and runtime (avg over Imb.0-Imb.4)"))
+		}
+	}
+
+	if want("fig4", "table3") {
+		ran = true
+		g, err := experiments.RunVaryProcs(cfg, procScales)
+		if err != nil {
+			return err
+		}
+		if want("fig4") {
+			sink.figure("fig4_imbalance", g.ImbalanceFigure("Figure 4 (left) — imbalance ratio vs node count"))
+			sink.figure("fig4_speedup", g.SpeedupFigure("Figure 4 (right) — speedup vs node count"))
+		}
+		if want("table3") {
+			sink.table("table3", g.MigrationTable("Table III — total migrated tasks in varying node scales"))
+		}
+	}
+
+	if want("fig5", "table4") {
+		ran = true
+		g, err := experiments.RunVaryTasks(cfg, taskScales)
+		if err != nil {
+			return err
+		}
+		if want("fig5") {
+			sink.figure("fig5_imbalance", g.ImbalanceFigure("Figure 5 (left) — imbalance ratio vs tasks per node"))
+			sink.figure("fig5_speedup", g.SpeedupFigure("Figure 5 (right) — speedup vs tasks per node"))
+		}
+		if want("table4") {
+			sink.table("table4", g.MigrationTable("Table IV — total migrated tasks in varying # tasks"))
+		}
+	}
+
+	if want("table5") {
+		ran = true
+		p := experiments.DefaultSamoaParams()
+		if *fast {
+			p = experiments.SamoaParams{Procs: 16, TasksPerProc: 64, MeshDepth: 10, WarmupSteps: 8, TargetImbalance: 4.1994}
+		}
+		cr, err := experiments.RunSamoa(cfg, p)
+		if err != nil {
+			return err
+		}
+		sink.table("table5", experiments.SamoaTable(cr))
+		if *outDir != "" {
+			// Persist the use case in the paper artifact's layout
+			// (input_lrp/ + output_lrp/ per Appendix B).
+			in, err := experiments.SamoaInput(p)
+			if err != nil {
+				return err
+			}
+			if _, err := experiments.ExportCaseArtifacts(*outDir, in, cr); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("ksweep") {
+		ran = true
+		// The k parameter study (Section VI future work) on the Imb.3
+		// MxM case.
+		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
+		ks, err := experiments.DefaultKGrid(in)
+		if err != nil {
+			return err
+		}
+		points, err := experiments.RunKSweep(in, qlrb.QCQM1, ks, cfg)
+		if err != nil {
+			return err
+		}
+		sink.figure("ksweep", experiments.KSweepFigure(points, "k parameter study — Q_CQM1 on Imb.3 (8 procs x 50 tasks)"))
+	}
+
+	if want("makespan") {
+		ran = true
+		// End-to-end execution on the runtime simulator (beyond the
+		// paper's load-metric evaluation): every method's plan applied
+		// to the Imb.4 case, paying real migration costs.
+		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[4].Instance
+		cr, err := experiments.RunCase("Imb.4", in, cfg)
+		if err != nil {
+			return err
+		}
+		rc := chameleon.DefaultConfig()
+		rc.LPT = true
+		results, err := experiments.RunMakespan(in, cr, rc)
+		if err != nil {
+			return err
+		}
+		sink.table("makespan", experiments.MakespanTable(
+			"End-to-end execution on the runtime simulator — Imb.4, 27 workers/process, LPT scheduling", results))
+	}
+
+	if want("stability") {
+		ran = true
+		// Run-to-run variability of the hybrid methods (Appendix C's
+		// nondeterminism note) on the Imb.3 case.
+		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
+		ks, err := experiments.DefaultKGrid(in)
+		if err != nil {
+			return err
+		}
+		var studies []experiments.Variability
+		for _, form := range []qlrb.Formulation{qlrb.QCQM1, qlrb.QCQM2} {
+			for _, k := range []int{ks[len(ks)/2], ks[len(ks)-1]} {
+				v, err := experiments.MeasureVariability(in, form, k, 5, cfg)
+				if err != nil {
+					return err
+				}
+				studies = append(studies, v)
+			}
+		}
+		sink.table("stability", experiments.VariabilityTable("hybrid solver run-to-run variability (5 runs each, Imb.3)", studies))
+	}
+
+	if want("tuning") {
+		ran = true
+		// Design-choice ablation of the hybrid solver pipeline on the
+		// Imb.3 case, full formulation (the harder landscape).
+		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
+		ks, err := experiments.DefaultKGrid(in)
+		if err != nil {
+			return err
+		}
+		points, err := experiments.RunSolverTuning(in, qlrb.QCQM2, ks[len(ks)/2], cfg)
+		if err != nil {
+			return err
+		}
+		sink.table("tuning", experiments.TuningTable(
+			"Solver design-choice ablation — Q_CQM2 on Imb.3", points))
+	}
+
+	if want("formulations") {
+		ran = true
+		// Count-encoded vs per-task formulations on one uniform case
+		// (ablation A6: what the paper's encoding buys).
+		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[2].Instance
+		ks, err := experiments.DefaultKGrid(in)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunFormulationComparison(in, ks[len(ks)/2], cfg)
+		if err != nil {
+			return err
+		}
+		sink.table("formulations", experiments.FormulationTable(
+			"Formulation comparison — Imb.2 (8 procs x 50 tasks), same budget", rows))
+	}
+
+	if want("evolution") {
+		ran = true
+		// Imbalance evolution over simulation time (the Figure-1 story
+		// on the live AMR workload): static partition vs periodic
+		// ProactLB rebalancing.
+		points, err := experiments.RunEvolution(experiments.EvolutionParams{
+			Procs: 8, TasksPerProc: 16, MeshDepth: 9, Steps: 24, RebalanceEvery: 4,
+		}, balancer.ProactLB{})
+		if err != nil {
+			return err
+		}
+		sink.figure("evolution", experiments.EvolutionFigure(points,
+			"Imbalance evolution — oscillating lake, rebalance every 4 steps"))
+	}
+
+	if want("scaling") {
+		ran = true
+		// Classical sampling cost vs machine scale (the systems
+		// companion to Table I's qubit counts).
+		for _, form := range []qlrb.Formulation{qlrb.QCQM1, qlrb.QCQM2} {
+			points, err := experiments.RunScaling(form, procScales, 200, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			sink.table("scaling_"+strings.ToLower(form.String()), experiments.ScalingTable(
+				fmt.Sprintf("Sampler scaling — %v, 100 tasks/node, 200 sweeps, 1 read", form), points))
+		}
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown -exp %q", *exp)
+	}
+	return nil
+}
+
+// artifactSink prints artifacts and, when dir is set, persists each as
+// aligned text plus machine-readable CSV.
+type artifactSink struct{ dir string }
+
+func (s artifactSink) table(name string, t *report.Table) {
+	fmt.Println(t.Render())
+	if s.dir == "" {
+		return
+	}
+	s.write(name+".txt", t.Render())
+	s.write(name+".csv", t.CSV())
+}
+
+func (s artifactSink) figure(name string, f *report.Figure) {
+	fmt.Println(f.Chart(12))
+	fmt.Println(f.Table().Render())
+	if s.dir == "" {
+		return
+	}
+	s.write(name+".txt", f.Chart(12)+"\n"+f.Table().Render())
+	s.write(name+".csv", f.Table().CSV())
+}
+
+func (s artifactSink) write(name, content string) {
+	path := filepath.Join(s.dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+	}
+}

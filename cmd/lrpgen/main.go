@@ -1,0 +1,112 @@
+// Command lrpgen generates Load Rebalancing Problem imbalance inputs in
+// the paper's Appendix-B CSV format, from either the synthetic MxM
+// workload (the three experiment groups of Section V-B) or the
+// sam(oa)^2-style oscillating-lake simulation (Section V-C).
+//
+// Usage:
+//
+//	lrpgen -kind mxm-imb -case 3                     # Imb.3, 8 procs x 50 tasks
+//	lrpgen -kind mxm-procs -procs 16                 # 16 procs x 100 tasks
+//	lrpgen -kind mxm-tasks -tasks 512                # 8 procs x 512 tasks
+//	lrpgen -kind samoa -procs 32 -tasks 208 -target 4.1994
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/chameleon"
+	"repro/internal/csvio"
+	"repro/internal/experiments"
+	"repro/internal/lrp"
+	"repro/internal/mxm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lrpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind    = flag.String("kind", "mxm-imb", "generator: mxm-imb | mxm-procs | mxm-tasks | samoa | trace")
+		imbCase = flag.Int("case", 2, "imbalance case 0-4 for mxm-imb")
+		procs   = flag.Int("procs", 8, "process count (mxm-procs, samoa)")
+		tasks   = flag.Int("tasks", 208, "tasks per process (mxm-tasks, samoa)")
+		depth   = flag.Int("depth", 12, "samoa initial mesh refinement depth")
+		warmup  = flag.Int("warmup", 10, "samoa warmup time steps")
+		target  = flag.Float64("target", 4.1994, "samoa calibrated baseline R_imb (<=0 disables)")
+		seed    = flag.Int64("seed", 2024, "generator seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		trace   = flag.String("trace", "", "execution-log file for -kind trace")
+		iter    = flag.Int("iter", 0, "iteration to extract for -kind trace")
+	)
+	flag.Parse()
+
+	cm := mxm.DefaultCostModel()
+	var in *lrp.Instance
+	var err error
+	switch *kind {
+	case "mxm-imb":
+		cases := mxm.VaryImbalanceCases(cm)
+		if *imbCase < 0 || *imbCase >= len(cases) {
+			return fmt.Errorf("-case must be in [0,%d]", len(cases)-1)
+		}
+		in = cases[*imbCase].Instance
+	case "mxm-procs":
+		in = mxm.VaryProcsCase(*procs, cm, *seed).Instance
+	case "mxm-tasks":
+		in = mxm.VaryTasksCase(*tasks, cm, *seed).Instance
+	case "trace":
+		// The paper's artifact flow: parse a runtime execution log
+		// (cham_logs/) into the imbalance input (input_lrp/).
+		if *trace == "" {
+			return fmt.Errorf("-kind trace requires -trace <file>")
+		}
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		events, perr := chameleon.ParseTraceLog(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		in, err = chameleon.InstanceFromTrace(events, *iter, *procs)
+		if err != nil {
+			return err
+		}
+	case "samoa":
+		in, err = experiments.SamoaInput(experiments.SamoaParams{
+			Procs:           *procs,
+			TasksPerProc:    *tasks,
+			MeshDepth:       *depth,
+			WarmupSteps:     *warmup,
+			TargetImbalance: *target,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := csvio.WriteInput(w, in); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated: %s\n", in)
+	return nil
+}

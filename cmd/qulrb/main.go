@@ -1,0 +1,237 @@
+// Command qulrb solves a Load Rebalancing Problem instance with any of
+// the repository's methods — the classical baselines (greedy, kk,
+// proactlb) or the paper's hybrid classical-quantum CQM formulations
+// (qcqm1, qcqm2) — and reports the paper's metrics.
+//
+// Usage:
+//
+//	qulrb -input imbalance.csv -algo qcqm1 -k 60 -output plan.csv
+//
+// The input is the Appendix-B CSV format (see internal/csvio and
+// cmd/lrpgen to generate inputs); the output is the Appendix-B plan
+// table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/cqm"
+	"repro/internal/csvio"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qulrb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input    = flag.String("input", "", "imbalance input CSV (required)")
+		algo     = flag.String("algo", "qcqm1", "method: greedy | kk | proactlb | baseline | qcqm1 | qcqm2 | qaoa")
+		k        = flag.Int("k", -1, "migration cap for the CQM methods (-1 = unconstrained)")
+		output   = flag.String("output", "", "write the rebalancing plan CSV here (optional)")
+		reads    = flag.Int("reads", 8, "hybrid solver reads")
+		sweeps   = flag.Int("sweeps", 600, "annealing sweeps per read")
+		layers   = flag.Int("layers", 2, "QAOA depth for -algo qaoa")
+		seed     = flag.Int64("seed", 1, "solver seed")
+		cold     = flag.Bool("cold", false, "disable classical warm starts for the CQM methods")
+		dump     = flag.String("dump-cqm", "", "also write the built CQM model to this file (qcqm1/qcqm2/qaoa)")
+		sim      = flag.Bool("simulate", false, "replay baseline and plan on the runtime simulator")
+		traceOut = flag.String("trace-out", "", "write the simulated execution log here (implies -simulate)")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -input")
+	}
+
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	in, err := csvio.ReadInput(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %s\n", in)
+
+	var plan *lrp.Plan
+	switch *algo {
+	case "greedy":
+		plan, err = balancer.Greedy{}.Rebalance(in)
+	case "kk":
+		plan, err = balancer.KK{}.Rebalance(in)
+	case "proactlb":
+		plan, err = balancer.ProactLB{}.Rebalance(in)
+	case "baseline":
+		plan, err = balancer.Baseline{}.Rebalance(in)
+	case "general":
+		// The per-task formulation: solves the instance's expanded task
+		// list without the uniform-load assumption (identical result on
+		// uniform inputs; meant for inputs derived from traces).
+		tasks := lrp.ExpandTasks(in)
+		res, gerr := qlrb.SolveGeneral(tasks, qlrb.GeneralBuildOptions{Procs: in.NumProcs(), K: *k},
+			hybrid.Options{
+				Reads: *reads, Sweeps: *sweeps, Seed: *seed,
+				Presolve: true, Penalty: 5, PenaltyGrowth: 4,
+				Timing: hybrid.DefaultTimingModel(),
+			})
+		if gerr != nil {
+			return gerr
+		}
+		fmt.Printf("general: %d qubits (N*M), sample feasible: %v\n", res.Qubits, res.SampleFeasible)
+		plan, err = lrp.PlanFromAssignment(in, tasks, res.Assign)
+	case "qaoa":
+		var stats qlrb.GateStats
+		plan, stats, err = qlrb.SolveGateBased(in, qlrb.GateOptions{
+			Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: *k},
+			Layers: *layers,
+			Seed:   *seed,
+		})
+		if err == nil {
+			fmt.Printf("qaoa: %d qubits, depth %d, expectation %.5f, sample feasible: %v\n",
+				stats.Qubits, stats.Layers, stats.Expectation, stats.SampleFeasible)
+			fmt.Printf("qaoa: approx ratio %.4f, ground probability %.4f\n",
+				stats.ApproxRatio, stats.GroundProbability)
+		}
+		if err == nil && *dump != "" {
+			err = dumpModel(in, qlrb.QCQM1, *k, *dump)
+		}
+	case "qcqm1", "qcqm2":
+		form := qlrb.QCQM1
+		if *algo == "qcqm2" {
+			form = qlrb.QCQM2
+		}
+		if *dump != "" {
+			if err := dumpModel(in, form, *k, *dump); err != nil {
+				return err
+			}
+		}
+		// Hybrid protocol: run the classical methods first and seed the
+		// sampler with their plans, as the paper does.
+		var warm []*lrp.Plan
+		if !*cold {
+			if p, err := (balancer.ProactLB{}).Rebalance(in); err == nil {
+				warm = append(warm, p)
+			}
+			if p, err := (balancer.Greedy{}).Rebalance(in); err == nil {
+				warm = append(warm, p)
+			}
+		}
+		var stats qlrb.SolveStats
+		plan, stats, err = qlrb.Solve(in, qlrb.SolveOptions{
+			Build: qlrb.BuildOptions{Form: form, K: *k},
+			Hybrid: hybrid.Options{
+				Reads:         *reads,
+				Sweeps:        *sweeps,
+				Seed:          *seed,
+				Presolve:      true,
+				Penalty:       5,
+				PenaltyGrowth: 4,
+				Timing:        hybrid.DefaultTimingModel(),
+			},
+			WarmPlans: warm,
+		})
+		if err == nil {
+			fmt.Printf("cqm: %d logical qubits, %d constraints (%d eq, %d ineq), sample feasible: %v\n",
+				stats.Qubits, stats.Constraints, stats.EqConstraints, stats.IneqConstraints, stats.SampleFeasible)
+			fmt.Printf("hybrid runtime: CPU %v (simulated, incl. cloud latency), QPU %v\n",
+				stats.Hybrid.SimulatedCPU, stats.Hybrid.SimulatedQPU)
+		}
+	default:
+		return fmt.Errorf("unknown -algo %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	m := lrp.Evaluate(in, plan)
+	fmt.Printf("result: R_imb %.5f -> %.5f, speedup %.4f, migrated %d tasks (%.2f per process)\n",
+		in.Imbalance(), m.Imbalance, m.Speedup, m.Migrated, m.MigratedPerProc)
+
+	if *output != "" {
+		out, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := csvio.WriteOutput(out, in, plan); err != nil {
+			return err
+		}
+		fmt.Printf("plan written to %s\n", *output)
+	}
+
+	if *sim || *traceOut != "" {
+		if err := simulate(in, plan, *traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simulate replays the baseline and the plan on the Chameleon-style
+// runtime simulator, optionally persisting the plan run's execution log
+// (consumable by lrpgen -kind trace).
+func simulate(in *lrp.Instance, plan *lrp.Plan, traceOut string) error {
+	cfg := chameleon.DefaultConfig()
+	base, err := chameleon.New(cfg, in)
+	if err != nil {
+		return err
+	}
+	baseStats := base.RunIteration()
+
+	rt, err := chameleon.New(cfg, in)
+	if err != nil {
+		return err
+	}
+	var events []chameleon.TraceEvent
+	rt.SetTracer(func(e chameleon.TraceEvent) { events = append(events, e) })
+	mig, err := rt.ApplyPlan(plan)
+	if err != nil {
+		return err
+	}
+	st := rt.RunIteration()
+	fmt.Printf("simulation (%d workers/process): baseline makespan %.3f ms -> %.3f ms with plan (%d tasks in %d messages, %.3f ms comm)\n",
+		cfg.Workers, baseStats.MakespanMs, st.MakespanMs, mig.Tasks, mig.Messages, mig.CommTimeMs)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := chameleon.WriteTraceLog(f, events); err != nil {
+			return err
+		}
+		fmt.Printf("execution log written to %s (%d events)\n", traceOut, len(events))
+	}
+	return nil
+}
+
+// dumpModel writes the CQM built for the instance to path in the text
+// serialization format of internal/cqm.
+func dumpModel(in *lrp.Instance, form qlrb.Formulation, k int, path string) error {
+	enc, err := qlrb.Build(in, qlrb.BuildOptions{Form: form, K: k})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := cqm.WriteModel(f, enc.Model); err != nil {
+		return err
+	}
+	fmt.Printf("CQM model written to %s (%v)\n", path, enc.Model)
+	return nil
+}

@@ -1,0 +1,42 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The library in five lines: describe the imbalance, pick a budget, let
+// the hybrid CQM solver plan the migrations.
+func ExampleSolveCQM() {
+	in, _ := repro.UniformInstance(10, []float64{1, 1, 1, 6})
+	proact, _ := repro.ProactLB{}.Rebalance(in)
+	plan, stats, _ := repro.SolveCQM(in, repro.CQMOptions{
+		Form: repro.QCQM1,
+		K:    proact.Migrated(),
+		Seed: 1,
+	})
+	m := repro.Evaluate(in, plan)
+	fmt.Printf("balanced=%v budget_respected=%v qubits_ok=%v\n",
+		m.Imbalance < in.Imbalance()/2, m.Migrated <= proact.Migrated(), stats.Qubits > 0)
+	// Output:
+	// balanced=true budget_respected=true qubits_ok=true
+}
+
+// Classical methods share one interface with the quantum-hybrid ones.
+func ExampleRebalancer() {
+	in, _ := repro.UniformInstance(8, []float64{1, 4})
+	methods := []repro.Rebalancer{
+		repro.Greedy{},
+		repro.ProactLB{},
+		repro.NewQuantumRebalancer("Q_CQM1", repro.QCQM1, 4, 7),
+	}
+	for _, method := range methods {
+		plan, _ := method.Rebalance(in)
+		fmt.Printf("%s ok=%v\n", method.Name(), plan.Validate(in) == nil)
+	}
+	// Output:
+	// Greedy ok=true
+	// ProactLB ok=true
+	// Q_CQM1 ok=true
+}

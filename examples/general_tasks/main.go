@@ -1,0 +1,75 @@
+// General per-task rebalancing: the paper's formulations assume every
+// task of a process has the same load; real workloads rarely do. This
+// example extracts genuinely heterogeneous per-task loads from an
+// execution trace and rebalances them with the general per-task CQM
+// (one qubit per task-destination pair), comparing against what the
+// count-encoded Q_CQM1 sees after per-process uniformization.
+//
+// Run with:
+//
+//	go run ./examples/general_tasks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chameleon"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+)
+
+func main() {
+	// A machine where per-task loads differ WITHIN processes: process 0
+	// holds a few giants, process 1 a mix, process 2 almost nothing.
+	tasks := []lrp.Task{
+		{ID: 0, Origin: 0, Load: 12}, {ID: 1, Origin: 0, Load: 9},
+		{ID: 2, Origin: 0, Load: 7}, {ID: 3, Origin: 0, Load: 5},
+		{ID: 4, Origin: 1, Load: 4}, {ID: 5, Origin: 1, Load: 3},
+		{ID: 6, Origin: 1, Load: 2}, {ID: 7, Origin: 1, Load: 1},
+		{ID: 8, Origin: 2, Load: 1}, {ID: 9, Origin: 2, Load: 1},
+	}
+	loads := make([]float64, 3)
+	for _, t := range tasks {
+		loads[t.Origin] += t.Load
+	}
+	fmt.Printf("initial loads: %v (total 45, ideal 15 per process)\n\n", loads)
+
+	h := hybrid.Options{
+		Reads: 8, Sweeps: 500, Seed: 11,
+		Presolve: true, Penalty: 5, PenaltyGrowth: 4,
+		Timing: hybrid.DefaultTimingModel(),
+	}
+	res, err := qlrb.SolveGeneral(tasks, qlrb.GeneralBuildOptions{Procs: 3, K: 4}, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("general per-task CQM (%d qubits, k=4): loads %v, %d migrations\n",
+		res.Qubits, res.Loads, res.Migrated)
+	for t, dst := range res.Assign {
+		if dst != tasks[t].Origin {
+			fmt.Printf("  move task %d (load %g) P%d -> P%d\n", tasks[t].ID, tasks[t].Load, tasks[t].Origin+1, dst+1)
+		}
+	}
+
+	// The same tasks through the paper's pipeline: an execution trace is
+	// uniformized per process (each task gets the mean load), which is
+	// exactly the information loss the general model avoids.
+	var events []chameleon.TraceEvent
+	clock := 0.0
+	for _, task := range tasks {
+		events = append(events, chameleon.TraceEvent{
+			Proc: task.Origin, Origin: task.Origin,
+			StartMs: clock, EndMs: clock + task.Load,
+		})
+		clock += task.Load
+	}
+	uniform, err := chameleon.InstanceFromTrace(events, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuniformized view (paper's input model): weights %.2f\n", uniform.Weight)
+	fmt.Println("with per-process means, moving one 'average' task cannot express")
+	fmt.Println("\"move the 12ms giant\" — the general formulation can.")
+}

@@ -1,0 +1,98 @@
+// Samoa tsunami/oscillating-lake walkthrough: run the adaptive
+// shallow-water simulation, watch the limiter and AMR develop, extract
+// the paper's LRP imbalance input, rebalance it, and replay both the
+// baseline and the rebalanced schedules on the Chameleon-style runtime
+// simulator to see the end-to-end makespan effect including migration
+// overhead.
+//
+// Run with:
+//
+//	go run ./examples/samoa_tsunami
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/samoa"
+)
+
+func main() {
+	// 1. Simulate the oscillating lake on an adaptive Sierpinski mesh.
+	cfg := samoa.DefaultConfig()
+	cfg.MaxDepth = 12
+	sim := samoa.NewOscillatingLake(cfg, 10)
+	fmt.Printf("initial mesh: %d cells, water volume %.4f\n", sim.Mesh.NumLeaves(), sim.TotalVolume())
+	fmt.Println(samoa.RenderWater(sim.Mesh, 48, 16))
+	for i := 0; i < 8; i++ {
+		st := sim.Step()
+		fmt.Printf("step %2d: dt=%.5f cells=%5d limited=%4d refined=%3d\n",
+			i+1, st.Dt, st.Cells, st.LimitedCells, st.Refined)
+	}
+
+	fmt.Println("\nafter 8 steps ('!' marks the limited wet/dry front):")
+	fmt.Println(samoa.RenderWater(sim.Mesh, 48, 16))
+
+	// 2. Extract the LRP input: 8 processes x 32 section-traversal
+	// tasks, costs from the (wrong) uniform predictor vs the real
+	// limiter-aware cost model, calibrated to the paper's baseline
+	// imbalance.
+	in, err := samoa.ImbalanceInput(sim.Mesh, 8, 32, samoa.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	in = samoa.CalibrateImbalance(in, 4.1994)
+	fmt.Printf("\nLRP input: %v\n", in)
+
+	// 3. Rebalance with ProactLB and with Q_CQM1 under the k1 budget.
+	proact, err := balancer.ProactLB{}.Rebalance(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k1 := proact.Migrated()
+	qplan, _, err := qlrb.Solve(in, qlrb.SolveOptions{
+		Build: qlrb.BuildOptions{Form: qlrb.QCQM1, K: k1},
+		Hybrid: hybrid.Options{
+			Reads: 8, Sweeps: 500, Seed: 7,
+			Presolve: true, Penalty: 5, PenaltyGrowth: 4,
+			Timing: hybrid.DefaultTimingModel(),
+		},
+		WarmPlans: []*lrp.Plan{proact},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Replay on the runtime simulator: one BSP iteration each.
+	runCfg := chameleon.Config{Workers: 4, LatencyMs: 0.5, PerTaskMs: 0.2}
+	replay := func(name string, plan *lrp.Plan) {
+		rt, err := chameleon.New(runCfg, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mig chameleon.MigrationStats
+		if plan != nil {
+			if mig, err = rt.ApplyPlan(plan); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := rt.RunIteration()
+		metrics := "baseline"
+		if plan != nil {
+			m := lrp.Evaluate(in, plan)
+			metrics = fmt.Sprintf("R_imb %.4f, %d tasks in %d messages (%.2f ms comm)",
+				m.Imbalance, mig.Tasks, mig.Messages, mig.CommTimeMs)
+		}
+		fmt.Printf("%-12s makespan %8.2f ms  busy-imbalance %.4f  (%s)\n",
+			name, st.MakespanMs, st.Imbalance, metrics)
+	}
+	fmt.Println("\nruntime replay (one BSP iteration, 4 workers per process):")
+	replay("baseline", nil)
+	replay("ProactLB", proact)
+	replay("Q_CQM1_k1", qplan)
+}

@@ -1,0 +1,63 @@
+// Package balancer implements the classical load-rebalancing baselines
+// the paper compares against (Section III / V):
+//
+//   - Greedy — Graham's LPT list scheduling, treating the LRP as pure
+//     multiway number partitioning;
+//   - KK — the Karmarkar-Karp differencing method in Korf's multiway
+//     variant, also placement-agnostic;
+//   - ProactLB — the proactive rebalancer of Chung et al., which takes
+//     the distributed view: it moves only the overload excess, keeping
+//     migration counts low;
+//   - Baseline — no rebalancing at all.
+//
+// All methods produce lrp.Plan migration matrices so the experiment
+// harness can evaluate classical and quantum methods identically.
+package balancer
+
+import "repro/internal/lrp"
+
+// Rebalancer is the common interface of every rebalancing method in this
+// repository (classical here, quantum-hybrid in internal/qlrb).
+type Rebalancer interface {
+	// Name returns the method label used in result tables.
+	Name() string
+	// Rebalance computes a migration plan for the instance.
+	Rebalance(in *lrp.Instance) (*lrp.Plan, error)
+}
+
+// Baseline performs no rebalancing; it reports the uncorrected
+// imbalance, the denominator of the paper's speedup metric.
+type Baseline struct{}
+
+// Name returns "Baseline".
+func (Baseline) Name() string { return "Baseline" }
+
+// Rebalance returns the identity plan.
+func (Baseline) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+	return lrp.NewPlan(in), nil
+}
+
+// Refined composes any rebalancer with the budget-respecting local
+// search: the inner method proposes a plan, ImprovePlan polishes it
+// using up to Slack extra migrations. It lets cheap heuristics recover
+// quality on coarse-granularity instances without changing their
+// migration profile materially.
+type Refined struct {
+	// Inner produces the initial plan.
+	Inner Rebalancer
+	// Slack is how many migrations beyond the inner plan's count the
+	// polish step may spend.
+	Slack int
+}
+
+// Name returns "<inner>+LS".
+func (r Refined) Name() string { return r.Inner.Name() + "+LS" }
+
+// Rebalance runs the inner method and polishes its plan.
+func (r Refined) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+	plan, err := r.Inner.Rebalance(in)
+	if err != nil {
+		return nil, err
+	}
+	return ImprovePlan(in, plan, plan.Migrated()+r.Slack), nil
+}

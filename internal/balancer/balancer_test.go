@@ -1,0 +1,412 @@
+package balancer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lrp"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// paperStyleInstance builds a uniform instance with per-process weights.
+func paperStyleInstance(n int, weights ...float64) *lrp.Instance {
+	in, err := lrp.UniformInstance(n, weights)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestBaselineIdentity(t *testing.T) {
+	in := paperStyleInstance(5, 1.87, 1.97, 3.12, 2.81)
+	plan, err := Baseline{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() != 0 {
+		t.Fatalf("Baseline migrated %d tasks", plan.Migrated())
+	}
+	m := lrp.Evaluate(in, plan)
+	if !almostEqual(m.Speedup, 1) {
+		t.Fatalf("Baseline speedup %v", m.Speedup)
+	}
+	if (Baseline{}).Name() != "Baseline" {
+		t.Fatal("name")
+	}
+}
+
+func TestGreedyBalancesPerfectlyDivisibleCase(t *testing.T) {
+	// 2 procs, weights 1 and 3, 4 tasks each: total 16, perfect split 8
+	// exists (proc of 3s splits 2/2, 1s split 2/2: 3+3+1+1 = 8).
+	in := paperStyleInstance(4, 1, 3)
+	plan, err := Greedy{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lrp.Evaluate(in, plan)
+	if !almostEqual(m.MaxLoad, 8) {
+		t.Fatalf("Greedy MaxLoad = %v, want 8", m.MaxLoad)
+	}
+	if !almostEqual(m.Imbalance, 0) {
+		t.Fatalf("Greedy imbalance = %v", m.Imbalance)
+	}
+}
+
+func TestGreedyMigrationCountShape(t *testing.T) {
+	// The paper's Tables III/IV: with M procs x n uniform tasks,
+	// placement-agnostic Greedy migrates ~ N(M-1)/M tasks. Check the 8
+	// nodes x 8 tasks case from Table IV: 56 of 64.
+	weights := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5}
+	in := paperStyleInstance(8, weights...)
+	plan, err := Greedy{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig := plan.Migrated()
+	if mig < 48 || mig > 64 {
+		t.Fatalf("Greedy migrated %d tasks; expected ~56 (N(M-1)/M)", mig)
+	}
+}
+
+func TestGreedyLPTBound(t *testing.T) {
+	// Property: LPT's makespan is within 4/3 - 1/(3M) of the lower
+	// bound max(total/M, max task).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		weights := make([]float64, m)
+		for i := range weights {
+			weights[i] = 0.5 + rng.Float64()*9.5
+		}
+		n := 1 + rng.Intn(20)
+		in := paperStyleInstance(n, weights...)
+		plan, err := Greedy{}.Rebalance(in)
+		if err != nil {
+			return false
+		}
+		res := lrp.Evaluate(in, plan)
+		// Graham's list-scheduling guarantee (valid for any list
+		// order, hence for LPT): makespan <= total/m + (1-1/m)*w_max.
+		maxTask := 0.0
+		for j, w := range weights {
+			if in.Tasks[j] > 0 && w > maxTask {
+				maxTask = w
+			}
+		}
+		bound := in.TotalLoad()/float64(m) + (1-1/float64(m))*maxTask
+		return res.MaxLoad <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKKBalancesPerfectlyDivisibleCase(t *testing.T) {
+	in := paperStyleInstance(4, 1, 3)
+	plan, err := KK{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lrp.Evaluate(in, plan)
+	if !almostEqual(m.MaxLoad, 8) {
+		t.Fatalf("KK MaxLoad = %v, want 8", m.MaxLoad)
+	}
+}
+
+func TestKKClassicTwoWayExample(t *testing.T) {
+	// The classic KK demonstration {8,7,6,5,4} two-way: KK reaches the
+	// optimal difference 0 (8+7 vs 6+5+4). Model as 5 procs of 1 task
+	// is not uniform-per-proc friendly; instead use 1 task per proc.
+	in := lrp.MustInstance([]int{1, 1, 1, 1, 1, 1}, []float64{8, 7, 6, 5, 4, 0})
+	// Two-way partition: squeeze into 2 "processes" is not expressible
+	// here (M fixed by instance); use the 6-proc instance and just
+	// check validity + determinism instead.
+	p1, err := KK{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := KK{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.X {
+		for j := range p1.X[i] {
+			if p1.X[i][j] != p2.X[i][j] {
+				t.Fatal("KK nondeterministic")
+			}
+		}
+	}
+}
+
+func TestKKComparableToGreedy(t *testing.T) {
+	// On a fixed corpus of random uniform instances KK's makespan is
+	// within 5% of Greedy's (they are both near-optimal heuristics; the
+	// paper reports them as practically identical). The RNG is pinned:
+	// this is an empirical observation, not a theorem, so the corpus
+	// must stay fixed.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(7)
+		weights := make([]float64, m)
+		for i := range weights {
+			weights[i] = float64(1+rng.Intn(16)) * 0.25
+		}
+		n := 4 + rng.Intn(60)
+		in := paperStyleInstance(n, weights...)
+		pg, err := Greedy{}.Rebalance(in)
+		if err != nil {
+			return false
+		}
+		pk, err := KK{}.Rebalance(in)
+		if err != nil {
+			return false
+		}
+		mg, mk := lrp.Evaluate(in, pg), lrp.Evaluate(in, pk)
+		return mk.MaxLoad <= mg.MaxLoad*1.05+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKKEmptyInstance(t *testing.T) {
+	in := lrp.MustInstance([]int{0, 0}, []float64{1, 1})
+	plan, err := KK{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() != 0 {
+		t.Fatal("empty instance migrated tasks")
+	}
+}
+
+func TestProactLBMovesOnlyExcess(t *testing.T) {
+	// Loads 10,10,10,50 with w=5 on the hot proc: excess = 50-20 = 30
+	// -> 6 tasks leave, nothing else moves.
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
+	plan, err := ProactLB{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig := plan.MigratedPerProc()
+	if mig[0] != 0 || mig[1] != 0 || mig[2] != 0 {
+		t.Fatalf("ProactLB moved tasks from non-overloaded procs: %v", mig)
+	}
+	if mig[3] == 0 {
+		t.Fatal("ProactLB did not offload the hot process")
+	}
+	m := lrp.Evaluate(in, plan)
+	if m.Imbalance >= in.Imbalance() {
+		t.Fatalf("imbalance not improved: %v >= %v", m.Imbalance, in.Imbalance())
+	}
+	// Far fewer migrations than Greedy (the paper's key contrast).
+	pg, _ := Greedy{}.Rebalance(in)
+	if plan.Migrated() >= pg.Migrated() {
+		t.Fatalf("ProactLB migrated %d >= Greedy %d", plan.Migrated(), pg.Migrated())
+	}
+}
+
+func TestProactLBBalancedInputNoMigration(t *testing.T) {
+	// Imb.0: a balanced instance must trigger zero migrations (this is
+	// what Figure 3's Imb.0 case assesses).
+	in := paperStyleInstance(50, 2, 2, 2, 2)
+	plan, err := ProactLB{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() != 0 {
+		t.Fatalf("ProactLB migrated %d tasks on balanced input", plan.Migrated())
+	}
+}
+
+func TestProactLBRespectsK(t *testing.T) {
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
+	plan, err := ProactLB{K: 2}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan.MigratedPerProc() {
+		if c > 2 {
+			t.Fatalf("per-proc migration %d exceeds K=2", c)
+		}
+	}
+}
+
+func TestProactLBZeroWeightDonor(t *testing.T) {
+	// A process with zero weight but nonzero count cannot donate load;
+	// the algorithm must not divide by zero.
+	in := lrp.MustInstance([]int{5, 5}, []float64{0, 2})
+	plan, err := ProactLB{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProactLBNeverIncreasesImbalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(7)
+		weights := make([]float64, m)
+		for i := range weights {
+			weights[i] = float64(1+rng.Intn(20)) * 0.5
+		}
+		n := 1 + rng.Intn(50)
+		in := paperStyleInstance(n, weights...)
+		plan, err := ProactLB{}.Rebalance(in)
+		if err != nil {
+			return false
+		}
+		if plan.Validate(in) != nil {
+			return false
+		}
+		res := lrp.Evaluate(in, plan)
+		return res.MaxLoad <= in.MaxLoad()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllRebalancersProduceValidPlans(t *testing.T) {
+	methods := []Rebalancer{Baseline{}, Greedy{}, KK{}, ProactLB{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		weights := make([]float64, m)
+		for i := range weights {
+			weights[i] = rng.Float64() * 10
+		}
+		n := rng.Intn(40)
+		in := paperStyleInstance(n, weights...)
+		for _, method := range methods {
+			plan, err := method.Rebalance(in)
+			if err != nil {
+				return false
+			}
+			if plan.Validate(in) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelReducesGreedyMigrations(t *testing.T) {
+	// On a balanced instance Greedy shuffles labels arbitrarily;
+	// relabeling should recover most tasks without changing loads.
+	in := paperStyleInstance(12, 3, 3, 3, 3)
+	plan, err := Greedy{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relabeled := RelabelMinMigrations(plan)
+	if err := relabeled.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if relabeled.Migrated() > plan.Migrated() {
+		t.Fatalf("relabeling increased migrations: %d -> %d", plan.Migrated(), relabeled.Migrated())
+	}
+	// Load multiset unchanged -> same max load.
+	mb, ma := lrp.Evaluate(in, plan), lrp.Evaluate(in, relabeled)
+	if !almostEqual(mb.MaxLoad, ma.MaxLoad) {
+		t.Fatalf("relabeling changed MaxLoad: %v -> %v", mb.MaxLoad, ma.MaxLoad)
+	}
+}
+
+func TestRelabelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		weights := make([]float64, m)
+		for i := range weights {
+			weights[i] = rng.Float64() * 5
+		}
+		in := paperStyleInstance(3+rng.Intn(20), weights...)
+		plan, err := Greedy{}.Rebalance(in)
+		if err != nil {
+			return false
+		}
+		rel := RelabelMinMigrations(plan)
+		if rel.Validate(in) != nil {
+			return false
+		}
+		if rel.Migrated() > plan.Migrated() {
+			return false
+		}
+		return almostEqual(lrp.MaxLoad(rel.Loads(in)), lrp.MaxLoad(plan.Loads(in)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAssignmentExact(t *testing.T) {
+	// Brute-force cross-check of the Hungarian implementation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = float64(rng.Intn(50))
+			}
+		}
+		assign := maxAssignment(w)
+		got := 0.0
+		seen := make(map[int]bool)
+		for r, c := range assign {
+			if seen[c] {
+				return false // not a permutation
+			}
+			seen[c] = true
+			got += w[r][c]
+		}
+		// Brute force permutations.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := 0.0
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				s := 0.0
+				for r, c := range perm {
+					s += w[r][c]
+				}
+				if s > best {
+					best = s
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		return almostEqual(got, best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Greedy{}).Name() != "Greedy" || (KK{}).Name() != "KK" || (ProactLB{}).Name() != "ProactLB" {
+		t.Fatal("method names changed; tables depend on them")
+	}
+}

@@ -1,0 +1,49 @@
+package balancer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lrp"
+)
+
+func benchInstance(m, n int) *lrp.Instance {
+	weights := make([]float64, m)
+	for i := range weights {
+		weights[i] = float64(1 + i%7)
+	}
+	in, err := lrp.UniformInstance(n, weights)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func benchRebalancer(b *testing.B, r Rebalancer) {
+	for _, shape := range []struct{ m, n int }{{8, 100}, {32, 208}, {8, 2048}} {
+		in := benchInstance(shape.m, shape.n)
+		b.Run(fmt.Sprintf("M%d_n%d", shape.m, shape.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Rebalance(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGreedy(b *testing.B)   { benchRebalancer(b, Greedy{}) }
+func BenchmarkKK(b *testing.B)       { benchRebalancer(b, KK{}) }
+func BenchmarkProactLB(b *testing.B) { benchRebalancer(b, ProactLB{}) }
+
+func BenchmarkRelabelHungarian(b *testing.B) {
+	in := benchInstance(64, 100)
+	plan, err := Greedy{}.Rebalance(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RelabelMinMigrations(plan)
+	}
+}

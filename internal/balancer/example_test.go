@@ -1,0 +1,30 @@
+package balancer_test
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+)
+
+// ProactLB moves only the overload excess: the hot process sheds six
+// tasks and nothing else moves.
+func ExampleProactLB() {
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
+	plan, _ := balancer.ProactLB{}.Rebalance(in)
+	m := lrp.Evaluate(in, plan)
+	fmt.Printf("migrated=%d\n", m.Migrated)
+	// Output:
+	// migrated=6
+}
+
+// Greedy ignores the current placement, so it reaches perfect balance
+// but moves far more tasks than ProactLB on the same input.
+func ExampleGreedy() {
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
+	plan, _ := balancer.Greedy{}.Rebalance(in)
+	m := lrp.Evaluate(in, plan)
+	fmt.Printf("imbalance=%.2f migrated>%d\n", m.Imbalance, 20)
+	// Output:
+	// imbalance=0.00 migrated>20
+}

@@ -1,0 +1,71 @@
+package balancer
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/lrp"
+)
+
+// Greedy is Graham's Longest-Processing-Time list scheduling applied as a
+// multiway number partitioner: tasks are sorted by decreasing load and
+// each is placed on the currently least-loaded process. Like the paper's
+// Greedy it is placement-agnostic — it ignores where tasks currently
+// live, so most tasks count as migrated even when the input is balanced.
+type Greedy struct{}
+
+// Name returns "Greedy".
+func (Greedy) Name() string { return "Greedy" }
+
+// binHeap is a min-heap of partitions ordered by load (ties by index for
+// determinism).
+type binHeap []bin
+
+type bin struct {
+	load float64
+	idx  int
+}
+
+func (h binHeap) Len() int { return len(h) }
+func (h binHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].idx < h[j].idx
+}
+func (h binHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *binHeap) Push(x any)        { *h = append(*h, x.(bin)) }
+func (h *binHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h binHeap) Peek() bin          { return h[0] }
+func (h *binHeap) Replace(b bin) bin { old := (*h)[0]; (*h)[0] = b; heap.Fix(h, 0); return old }
+
+// Rebalance partitions the expanded task list LPT-style.
+func (Greedy) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+	tasks := lrp.ExpandTasks(in)
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := tasks[order[a]], tasks[order[b]]
+		if ta.Load != tb.Load {
+			return ta.Load > tb.Load
+		}
+		return ta.ID < tb.ID
+	})
+
+	h := make(binHeap, in.NumProcs())
+	for i := range h {
+		h[i] = bin{0, i}
+	}
+	heap.Init(&h)
+
+	assign := make([]int, len(tasks))
+	for _, ti := range order {
+		b := h.Peek()
+		assign[tasks[ti].ID] = b.idx
+		b.load += tasks[ti].Load
+		h.Replace(b)
+	}
+	return lrp.PlanFromAssignment(in, tasks, assign)
+}

@@ -1,0 +1,143 @@
+package balancer
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/lrp"
+)
+
+// KK is the Karmarkar-Karp differencing method in Korf's multiway
+// variant (CKK's polynomial first descent): every task starts as its own
+// M-way tuple, and the two tuples with the largest spread are repeatedly
+// combined largest-against-smallest until one tuple remains. Like
+// Greedy, it is placement-agnostic multiway number partitioning.
+type KK struct{}
+
+// Name returns "KK".
+func (KK) Name() string { return "KK" }
+
+// origCount counts tasks of one origin inside a partition slot.
+type origCount struct {
+	origin, count int
+}
+
+// kkTuple is a partial M-way partition: per-slot loads (sorted
+// descending) and per-slot origin counts. The heap orders tuples by
+// spread = loads[0] - loads[M-1].
+type kkTuple struct {
+	loads []float64
+	slots [][]origCount
+	seq   int // insertion order, for deterministic tie-breaking
+}
+
+func (t *kkTuple) spread() float64 { return t.loads[0] - t.loads[len(t.loads)-1] }
+
+type kkHeap []*kkTuple
+
+func (h kkHeap) Len() int { return len(h) }
+func (h kkHeap) Less(i, j int) bool {
+	si, sj := h[i].spread(), h[j].spread()
+	if si != sj {
+		return si > sj // max-heap on spread
+	}
+	for k := range h[i].loads {
+		if h[i].loads[k] != h[j].loads[k] {
+			return h[i].loads[k] > h[j].loads[k]
+		}
+	}
+	return h[i].seq < h[j].seq
+}
+func (h kkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *kkHeap) Push(x any)   { *h = append(*h, x.(*kkTuple)) }
+func (h *kkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeCounts merges two origin-count lists sorted by origin.
+func mergeCounts(a, b []origCount) []origCount {
+	out := make([]origCount, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].origin < b[j].origin:
+			out = append(out, a[i])
+			i++
+		case a[i].origin > b[j].origin:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, origCount{a[i].origin, a[i].count + b[j].count})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Rebalance runs multiway KK over the expanded task list and converts
+// the final tuple into a migration plan (slot p of the final tuple is
+// assigned to process p).
+func (KK) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+	m := in.NumProcs()
+	tasks := lrp.ExpandTasks(in)
+	if len(tasks) == 0 {
+		return lrp.NewPlan(in), nil
+	}
+
+	h := make(kkHeap, 0, len(tasks))
+	for i, task := range tasks {
+		t := &kkTuple{
+			loads: make([]float64, m),
+			slots: make([][]origCount, m),
+			seq:   i,
+		}
+		t.loads[0] = task.Load
+		t.slots[0] = []origCount{{task.Origin, 1}}
+		h = append(h, t)
+	}
+	heap.Init(&h)
+
+	seq := len(tasks)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*kkTuple)
+		b := heap.Pop(&h).(*kkTuple)
+		// Combine largest-against-smallest: slot i of a pairs with slot
+		// m-1-i of b, then re-sort slots by load descending.
+		c := &kkTuple{loads: make([]float64, m), slots: make([][]origCount, m), seq: seq}
+		seq++
+		for i := 0; i < m; i++ {
+			c.loads[i] = a.loads[i] + b.loads[m-1-i]
+			c.slots[i] = mergeCounts(a.slots[i], b.slots[m-1-i])
+		}
+		idx := make([]int, m)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool { return c.loads[idx[x]] > c.loads[idx[y]] })
+		loads := make([]float64, m)
+		slots := make([][]origCount, m)
+		for i, k := range idx {
+			loads[i], slots[i] = c.loads[k], c.slots[k]
+		}
+		c.loads, c.slots = loads, slots
+		heap.Push(&h, c)
+	}
+
+	final := h[0]
+	plan := lrp.ZeroPlan(m)
+	for p := 0; p < m; p++ {
+		for _, oc := range final.slots[p] {
+			plan.X[p][oc.origin] = oc.count
+		}
+	}
+	if err := plan.Validate(in); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

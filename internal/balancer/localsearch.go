@@ -1,0 +1,94 @@
+package balancer
+
+import "repro/internal/lrp"
+
+// ImprovePlan hill-climbs a migration plan under a migration budget:
+// it repeatedly applies the best single-task move (from the currently
+// most loaded process to the one where it helps most) or budget-neutral
+// exchange that strictly reduces the maximum load, until no such step
+// exists or the budget is exhausted. The input plan is not modified.
+//
+// This is the classical "polish" step a production rebalancer would run
+// on any heuristic's output; the experiments use it to quantify how
+// close ProactLB-style plans are to their budget's local optimum.
+func ImprovePlan(in *lrp.Instance, plan *lrp.Plan, k int) *lrp.Plan {
+	p := plan.Clone()
+	m := in.NumProcs()
+	loads := p.Loads(in)
+
+	// available[j] = tasks currently residing on j, by origin.
+	for {
+		migrated := p.Migrated()
+		// Find the most loaded process.
+		hot := 0
+		for i := 1; i < m; i++ {
+			if loads[i] > loads[hot] {
+				hot = i
+			}
+		}
+		type move struct {
+			src, dst, origin int
+			newMax           float64
+		}
+		bestMove := move{newMax: loads[hot]}
+		found := false
+		// Single-task moves off the hot process. Moving a task of
+		// origin o from hot to dst changes the migration count by +1
+		// if hot != o (we cancel a "stay") ... precisely: the plan
+		// entry X[hot][o] decreases, X[dst][o] increases. Migration
+		// delta: -1 if hot == o? No: X[hot][o] with hot==o is a retained
+		// task; moving it away adds a migration. If hot != o the task
+		// was already migrated; rerouting keeps the count unless dst ==
+		// o (returning home, count -1).
+		for o := 0; o < m; o++ {
+			if p.X[hot][o] == 0 {
+				continue
+			}
+			w := in.Weight[o]
+			if w <= 0 {
+				continue
+			}
+			for dst := 0; dst < m; dst++ {
+				if dst == hot {
+					continue
+				}
+				delta := 0
+				if hot == o {
+					delta = 1
+				} else if dst == o {
+					delta = -1
+				}
+				if k >= 0 && migrated+delta > k {
+					continue
+				}
+				newDst := loads[dst] + w
+				if newDst >= loads[hot] {
+					continue // would just shift the peak
+				}
+				// New max after the move: the hot process sheds w; some
+				// other process may now be the peak.
+				newMax := loads[hot] - w
+				for i := 0; i < m; i++ {
+					li := loads[i]
+					if i == dst {
+						li = newDst
+					}
+					if i != hot && li > newMax {
+						newMax = li
+					}
+				}
+				if newMax < bestMove.newMax-1e-12 {
+					bestMove = move{src: hot, dst: dst, origin: o, newMax: newMax}
+					found = true
+				}
+			}
+		}
+		if !found {
+			return p
+		}
+		p.X[bestMove.src][bestMove.origin]--
+		p.X[bestMove.dst][bestMove.origin]++
+		loads[bestMove.src] -= in.Weight[bestMove.origin]
+		loads[bestMove.dst] += in.Weight[bestMove.origin]
+	}
+}

@@ -1,0 +1,153 @@
+package balancer
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/lrp"
+)
+
+// Optimal is an exact multiway number partitioner: branch-and-bound over
+// task-to-partition assignments minimizing the maximum load. It is the
+// "optimal algorithm" endpoint of the paper's complexity table (Greedy
+// and KK are approximations whose worst case is O(2^N); the optimal
+// search *is* O(2^N) but prunes with the standard bounds). Only viable
+// for small N; the node budget guards against explosion.
+//
+// Like Greedy/KK it is placement-agnostic, but its output is relabelled
+// with the Hungarian assignment so the migration count is the minimum
+// over partition labelings.
+type Optimal struct {
+	// MaxNodes bounds the search (0 = 20 million). ErrBudget is
+	// returned when exceeded.
+	MaxNodes int64
+}
+
+// ErrBudget reports that the exact search exceeded its node budget.
+var ErrBudget = errors.New("balancer: optimal search budget exhausted")
+
+// Name returns "Optimal".
+func (Optimal) Name() string { return "Optimal" }
+
+type optSearch struct {
+	loads    []float64
+	suffix   []float64 // suffix[i] = sum of task loads from i on
+	tasks    []lrp.Task
+	assign   []int
+	best     []int
+	bestMax  float64
+	nodes    int64
+	maxNodes int64
+	overrun  bool
+}
+
+func (s *optSearch) dfs(i int, curMax float64) {
+	if s.overrun {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.overrun = true
+		return
+	}
+	if curMax >= s.bestMax {
+		return
+	}
+	m := len(s.loads)
+	if i == len(s.tasks) {
+		s.bestMax = curMax
+		copy(s.best, s.assign)
+		return
+	}
+	// Lower bound: remaining work spread perfectly over all partitions
+	// cannot bring the final max below (current total + remaining)/m,
+	// nor below the current max.
+	total := 0.0
+	for _, l := range s.loads {
+		total += l
+	}
+	lb := (total + s.suffix[i]) / float64(m)
+	if lb >= s.bestMax {
+		return
+	}
+	// Branch over partitions, skipping duplicate empty partitions
+	// (symmetry breaking) and identical loads.
+	usedEmpty := false
+	for p := 0; p < m; p++ {
+		if s.loads[p] == 0 {
+			if usedEmpty {
+				continue
+			}
+			usedEmpty = true
+		}
+		// Skip partitions with a load equal to an earlier one: the
+		// subtree is identical up to relabeling.
+		dup := false
+		for q := 0; q < p; q++ {
+			if s.loads[q] == s.loads[p] {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		s.loads[p] += s.tasks[i].Load
+		s.assign[i] = p
+		newMax := curMax
+		if s.loads[p] > newMax {
+			newMax = s.loads[p]
+		}
+		s.dfs(i+1, newMax)
+		s.loads[p] -= s.tasks[i].Load
+	}
+}
+
+// Rebalance computes the optimal multiway partition and returns it as a
+// minimally-relabelled migration plan.
+func (o Optimal) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+	maxNodes := o.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 20_000_000
+	}
+	tasks := lrp.ExpandTasks(in)
+	sort.SliceStable(tasks, func(a, b int) bool {
+		if tasks[a].Load != tasks[b].Load {
+			return tasks[a].Load > tasks[b].Load
+		}
+		return tasks[a].ID < tasks[b].ID
+	})
+	m := in.NumProcs()
+	s := &optSearch{
+		loads:    make([]float64, m),
+		suffix:   make([]float64, len(tasks)+1),
+		tasks:    tasks,
+		assign:   make([]int, len(tasks)),
+		best:     make([]int, len(tasks)),
+		bestMax:  in.TotalLoad() + 1,
+		maxNodes: maxNodes,
+	}
+	for i := len(tasks) - 1; i >= 0; i-- {
+		s.suffix[i] = s.suffix[i+1] + tasks[i].Load
+	}
+	// Seed the incumbent with Greedy so pruning bites immediately.
+	if gp, err := (Greedy{}).Rebalance(in); err == nil {
+		s.bestMax = lrp.MaxLoad(gp.Loads(in)) + 1e-9
+	}
+	s.dfs(0, 0)
+	if s.overrun {
+		return nil, ErrBudget
+	}
+
+	// Convert the assignment ordered by sorted tasks back to task IDs.
+	assignByID := make([]int, len(tasks))
+	orderedTasks := lrp.ExpandTasks(in)
+	for i, task := range tasks {
+		assignByID[task.ID] = s.best[i]
+	}
+	plan, err := lrp.PlanFromAssignment(in, orderedTasks, assignByID)
+	if err != nil {
+		return nil, err
+	}
+	return RelabelMinMigrations(plan), nil
+}

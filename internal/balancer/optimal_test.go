@@ -1,0 +1,229 @@
+package balancer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lrp"
+)
+
+// bruteForceMakespan exhaustively minimizes L_max over all assignments.
+func bruteForceMakespan(in *lrp.Instance) float64 {
+	tasks := lrp.ExpandTasks(in)
+	m := in.NumProcs()
+	n := len(tasks)
+	best := math.Inf(1)
+	assign := make([]int, n)
+	var rec func(i int)
+	loads := make([]float64, m)
+	rec = func(i int) {
+		if i == n {
+			mx := 0.0
+			for _, l := range loads {
+				if l > mx {
+					mx = l
+				}
+			}
+			if mx < best {
+				best = mx
+			}
+			return
+		}
+		for p := 0; p < m; p++ {
+			loads[p] += tasks[i].Load
+			rec(i + 1)
+			loads[p] -= tasks[i].Load
+		}
+	}
+	_ = assign
+	rec(0)
+	return best
+}
+
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		weights := make([]float64, m)
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(9))
+		}
+		tasks := make([]int, m)
+		total := 0
+		for i := range tasks {
+			tasks[i] = rng.Intn(4)
+			total += tasks[i]
+		}
+		if total == 0 || total > 9 {
+			return true // keep brute force tractable
+		}
+		in := lrp.MustInstance(tasks, weights)
+		plan, err := Optimal{}.Rebalance(in)
+		if err != nil {
+			return false
+		}
+		if plan.Validate(in) != nil {
+			return false
+		}
+		want := bruteForceMakespan(in)
+		got := lrp.MaxLoad(plan.Loads(in))
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(4)
+		weights := make([]float64, m)
+		for i := range weights {
+			weights[i] = float64(1+rng.Intn(12)) * 0.5
+		}
+		in, err := lrp.UniformInstance(1+rng.Intn(4), weights)
+		if err != nil {
+			return false
+		}
+		opt, err := Optimal{}.Rebalance(in)
+		if err != nil {
+			return false
+		}
+		for _, h := range []Rebalancer{Greedy{}, KK{}} {
+			hp, err := h.Rebalance(in)
+			if err != nil {
+				return false
+			}
+			if lrp.MaxLoad(opt.Loads(in)) > lrp.MaxLoad(hp.Loads(in))+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalBudget(t *testing.T) {
+	weights := make([]float64, 8)
+	for i := range weights {
+		weights[i] = float64(i*7%13 + 1)
+	}
+	in, err := lrp.UniformInstance(6, weights) // 48 tasks: hopeless in 10 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Optimal{MaxNodes: 10}).Rebalance(in); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestOptimalRelabelsForFewMigrations(t *testing.T) {
+	// Balanced input: the optimal partition equals the current one, and
+	// relabeling should recognize that with (near) zero migrations.
+	in := lrp.MustInstance([]int{3, 3, 3}, []float64{2, 2, 2})
+	plan, err := Optimal{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Migrated(); got != 0 {
+		t.Fatalf("balanced optimal migrated %d tasks", got)
+	}
+}
+
+func TestOptimalName(t *testing.T) {
+	if (Optimal{}).Name() != "Optimal" {
+		t.Fatal("name")
+	}
+}
+
+func TestImprovePlanReducesHotLoad(t *testing.T) {
+	// ProactLB leaves residual imbalance on coarse instances; the local
+	// search must close some of the gap within the same budget + slack.
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
+	base, err := ProactLB{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := base.Migrated() + 2
+	improved := ImprovePlan(in, base, k)
+	if err := improved.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if improved.Migrated() > k {
+		t.Fatalf("budget exceeded: %d > %d", improved.Migrated(), k)
+	}
+	before := lrp.MaxLoad(base.Loads(in))
+	after := lrp.MaxLoad(improved.Loads(in))
+	if after > before+1e-9 {
+		t.Fatalf("local search worsened max load: %v -> %v", before, after)
+	}
+}
+
+func TestImprovePlanDoesNotMutateInput(t *testing.T) {
+	in := lrp.MustInstance([]int{4, 4}, []float64{1, 5})
+	plan := lrp.NewPlan(in)
+	_ = ImprovePlan(in, plan, 10)
+	if plan.Migrated() != 0 {
+		t.Fatal("input plan mutated")
+	}
+}
+
+func TestImprovePlanProperty(t *testing.T) {
+	// For any feasible random plan and budget, the result is valid,
+	// within budget, and no worse in max load.
+	in := lrp.MustInstance([]int{6, 6, 6}, []float64{1, 2, 4})
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := lrp.NewPlan(in)
+		for j := 0; j < 3; j++ {
+			avail := in.Tasks[j]
+			for i := 0; i < 3; i++ {
+				if i == j || avail == 0 {
+					continue
+				}
+				c := rng.Intn(avail + 1)
+				p.Move(i, j, c)
+				avail -= c
+			}
+		}
+		k := int(kRaw%20) + p.Migrated() // budget at least current usage
+		q := ImprovePlan(in, p, k)
+		if q.Validate(in) != nil || q.Migrated() > k {
+			return false
+		}
+		return lrp.MaxLoad(q.Loads(in)) <= lrp.MaxLoad(p.Loads(in))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefinedComposition(t *testing.T) {
+	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
+	base, err := ProactLB{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Refined{Inner: ProactLB{}, Slack: 3}
+	if r.Name() != "ProactLB+LS" {
+		t.Fatalf("name %q", r.Name())
+	}
+	plan, err := r.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() > base.Migrated()+3 {
+		t.Fatalf("slack exceeded: %d > %d", plan.Migrated(), base.Migrated()+3)
+	}
+	if lrp.MaxLoad(plan.Loads(in)) > lrp.MaxLoad(base.Loads(in))+1e-9 {
+		t.Fatal("refinement worsened max load")
+	}
+}

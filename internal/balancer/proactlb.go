@@ -1,0 +1,97 @@
+package balancer
+
+import (
+	"sort"
+
+	"repro/internal/lrp"
+)
+
+// ProactLB implements the proactive load balancer of Chung et al.
+// ("From reactive to proactive load balancing for task-based parallel
+// applications in distributed memory machines"), as used by the paper:
+// processes are sorted by total load, and overloaded processes offload
+// just enough tasks to underloaded ones to approach the average load.
+// Unlike Greedy/KK it starts from the current placement, so its
+// migration count is bounded by the overload excess — this is what makes
+// it the donor of the paper's k1 migration budget.
+type ProactLB struct {
+	// K caps how many tasks a single process may give away in one
+	// rebalancing round (the "search space" parameter of the paper's
+	// complexity table). Zero means unlimited.
+	K int
+}
+
+// Name returns "ProactLB".
+func (ProactLB) Name() string { return "ProactLB" }
+
+// Rebalance moves excess tasks from overloaded to underloaded processes.
+func (p ProactLB) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+	m := in.NumProcs()
+	plan := lrp.NewPlan(in)
+	loads := in.Loads()
+	lavg := in.AvgLoad()
+
+	type procState struct {
+		idx  int
+		load float64
+	}
+	over := make([]procState, 0, m)
+	under := make([]procState, 0, m)
+	for i := 0; i < m; i++ {
+		switch {
+		case loads[i] > lavg:
+			over = append(over, procState{i, loads[i]})
+		case loads[i] < lavg:
+			under = append(under, procState{i, loads[i]})
+		}
+	}
+	// Most overloaded donors first; most underloaded receivers first.
+	sort.SliceStable(over, func(a, b int) bool { return over[a].load > over[b].load })
+	sort.SliceStable(under, func(a, b int) bool { return under[a].load < under[b].load })
+
+	for oi := range over {
+		donor := &over[oi]
+		w := in.Weight[donor.idx]
+		if w <= 0 {
+			continue
+		}
+		// Tasks this donor should shed to reach the average.
+		give := int((donor.load-lavg)/w + 0.5)
+		if give > in.Tasks[donor.idx] {
+			give = in.Tasks[donor.idx]
+		}
+		if p.K > 0 && give > p.K {
+			give = p.K
+		}
+		for ui := range under {
+			if give <= 0 {
+				break
+			}
+			recv := &under[ui]
+			// Fill the receiver to the average (rounded); a receiver
+			// ends at most w/2 above it, and only donors at least w/2
+			// above the average shed tasks, so L_max never increases.
+			c := int((lavg-recv.load)/w + 0.5)
+			if c == 0 && recv.load+w <= donor.load-w {
+				// Task granularity too coarse to fill exactly; a single
+				// task still strictly improves the pair.
+				c = 1
+			}
+			if c > give {
+				c = give
+			}
+			if c <= 0 {
+				continue
+			}
+			plan.Move(recv.idx, donor.idx, c)
+			moved := float64(c) * w
+			recv.load += moved
+			donor.load -= moved
+			give -= c
+		}
+	}
+	if err := plan.Validate(in); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,102 @@
+package balancer
+
+import "repro/internal/lrp"
+
+// RelabelMinMigrations permutes the destination labels of a plan so that
+// the number of migrated tasks is minimized while the multiset of
+// resulting partition loads — and therefore L_max, R_imb and speedup —
+// is unchanged. It solves the partition-to-process assignment problem
+// exactly with the Hungarian algorithm (O(M^3)).
+//
+// This is an extension beyond the paper: its Greedy/KK count a task as
+// migrated whenever its partition label differs from its origin, without
+// optimizing the labeling. Relabeling quantifies how much of their
+// migration overhead is an artifact of arbitrary labels; the ablation
+// benchmark BenchmarkAblationRelabel reports the effect.
+func RelabelMinMigrations(p *lrp.Plan) *lrp.Plan {
+	m := p.NumProcs()
+	// weight[r][c]: tasks retained if partition row r is assigned to
+	// process c, i.e. X[r][c].
+	weight := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		weight[r] = make([]float64, m)
+		for c := 0; c < m; c++ {
+			weight[r][c] = float64(p.X[r][c])
+		}
+	}
+	assign := maxAssignment(weight)
+	q := lrp.ZeroPlan(m)
+	for r := 0; r < m; r++ {
+		copy(q.X[assign[r]], p.X[r])
+	}
+	return q
+}
+
+// maxAssignment solves the maximum-weight perfect assignment on a square
+// weight matrix, returning assign[row] = column. It runs the Hungarian
+// algorithm (Jonker-Volgenant potentials formulation) on negated weights.
+func maxAssignment(weight [][]float64) []int {
+	n := len(weight)
+	const inf = 1e18
+	// cost with 1-based padding, minimization of -weight.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	way := make([]int, n+1)
+	matchCol := make([]int, n+1) // matchCol[col] = row matched to col
+
+	cost := func(r, c int) float64 { return -weight[r-1][c-1] }
+
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0, j) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if matchCol[j] > 0 {
+			assign[matchCol[j]-1] = j - 1
+		}
+	}
+	return assign
+}

@@ -1,0 +1,53 @@
+package chameleon
+
+import (
+	"testing"
+
+	"repro/internal/lrp"
+)
+
+func BenchmarkRunIteration(b *testing.B) {
+	weights := make([]float64, 32)
+	for i := range weights {
+		weights[i] = float64(1 + i%5)
+	}
+	in, err := lrp.UniformInstance(208, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := New(DefaultConfig(), in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunIteration()
+	}
+}
+
+func BenchmarkApplyPlan(b *testing.B) {
+	weights := make([]float64, 16)
+	for i := range weights {
+		weights[i] = float64(1 + i%5)
+	}
+	in, err := lrp.UniformInstance(100, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := lrp.NewPlan(in)
+	for j := 0; j < 8; j++ {
+		plan.Move(j+8, j, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r, err := New(DefaultConfig(), in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := r.ApplyPlan(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package chameleon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceLog asserts the trace parser never panics and accepted
+// traces round-trip through WriteTraceLog.
+func FuzzParseTraceLog(f *testing.F) {
+	f.Add("task iter=0 proc=1 worker=2 origin=1 start=0.5 end=2.25\n")
+	f.Add("# comment\n\ntask iter=3 proc=0 worker=0 origin=0 start=0 end=0\n")
+	f.Add("task iter=x\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		events, err := ParseTraceLog(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTraceLog(&buf, events); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ParseTraceLog(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d vs %d", len(back), len(events))
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package chameleon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lrp"
+)
+
+// TraceEvent records one executed task, mirroring the per-task entries
+// of Chameleon's execution logs (the paper's artifact extracts its
+// imbalance inputs from exactly such logs with a parser script).
+type TraceEvent struct {
+	// Iter is the BSP iteration index.
+	Iter int
+	// Proc and Worker locate the execution.
+	Proc, Worker int
+	// Origin is the process the task was originally assigned to.
+	Origin int
+	// StartMs and EndMs bound the execution in simulation time.
+	StartMs, EndMs float64
+}
+
+// Load returns the task's execution time.
+func (e TraceEvent) Load() float64 { return e.EndMs - e.StartMs }
+
+// WriteTraceLog writes events in the textual execution-log format:
+//
+//	task iter=<i> proc=<p> worker=<w> origin=<o> start=<ms> end=<ms>
+func WriteTraceLog(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "task iter=%d proc=%d worker=%d origin=%d start=%s end=%s\n",
+			e.Iter, e.Proc, e.Worker, e.Origin,
+			strconv.FormatFloat(e.StartMs, 'g', -1, 64),
+			strconv.FormatFloat(e.EndMs, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTraceLog parses the format written by WriteTraceLog, ignoring
+// blank lines and lines starting with '#'.
+func ParseTraceLog(r io.Reader) ([]TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var events []TraceEvent
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 7 || fields[0] != "task" {
+			return nil, fmt.Errorf("chameleon: trace line %d: unrecognized record %q", lineNo, line)
+		}
+		var e TraceEvent
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("chameleon: trace line %d: bad field %q", lineNo, f)
+			}
+			var err error
+			switch key {
+			case "iter":
+				e.Iter, err = strconv.Atoi(val)
+			case "proc":
+				e.Proc, err = strconv.Atoi(val)
+			case "worker":
+				e.Worker, err = strconv.Atoi(val)
+			case "origin":
+				e.Origin, err = strconv.Atoi(val)
+			case "start":
+				e.StartMs, err = strconv.ParseFloat(val, 64)
+			case "end":
+				e.EndMs, err = strconv.ParseFloat(val, 64)
+			default:
+				err = fmt.Errorf("unknown key %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chameleon: trace line %d: %v", lineNo, err)
+			}
+		}
+		if e.EndMs < e.StartMs {
+			return nil, fmt.Errorf("chameleon: trace line %d: end before start", lineNo)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("chameleon: %w", err)
+	}
+	return events, nil
+}
+
+// InstanceFromTrace synthesizes the LRP imbalance input of one iteration
+// from an execution trace, exactly as the paper's log parser does: each
+// process's task count and mean task load become the uniform per-process
+// model. Processes never seen in the trace are not representable; the
+// caller chooses numProcs to fix the machine size (processes without
+// events get zero tasks).
+func InstanceFromTrace(events []TraceEvent, iter, numProcs int) (*lrp.Instance, error) {
+	if numProcs <= 0 {
+		return nil, fmt.Errorf("chameleon: numProcs must be positive")
+	}
+	counts := make([]int, numProcs)
+	sums := make([]float64, numProcs)
+	seen := 0
+	for _, e := range events {
+		if e.Iter != iter {
+			continue
+		}
+		if e.Proc < 0 || e.Proc >= numProcs {
+			return nil, fmt.Errorf("chameleon: trace mentions proc %d outside machine of %d", e.Proc, numProcs)
+		}
+		counts[e.Proc]++
+		sums[e.Proc] += e.Load()
+		seen++
+	}
+	if seen == 0 {
+		return nil, fmt.Errorf("chameleon: no events for iteration %d", iter)
+	}
+	weights := make([]float64, numProcs)
+	for p := range weights {
+		if counts[p] > 0 {
+			weights[p] = sums[p] / float64(counts[p])
+		}
+	}
+	return lrp.NewInstance(counts, weights)
+}
+
+// Iterations lists the distinct iteration indices present in a trace,
+// ascending.
+func Iterations(events []TraceEvent) []int {
+	set := map[int]bool{}
+	for _, e := range events {
+		set[e.Iter] = true
+	}
+	out := make([]int, 0, len(set))
+	for it := range set {
+		out = append(out, it)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,178 @@
+package chameleon
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/lrp"
+)
+
+// tracedRun executes one iteration with tracing enabled.
+func tracedRun(t *testing.T, in *lrp.Instance, workers int) []TraceEvent {
+	t.Helper()
+	r, err := New(Config{Workers: workers}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	r.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	r.RunIteration()
+	return events
+}
+
+func TestTracerRecordsEveryTask(t *testing.T) {
+	in := lrp.MustInstance([]int{3, 5}, []float64{2, 1})
+	events := tracedRun(t, in, 2)
+	if len(events) != 8 {
+		t.Fatalf("%d events, want 8", len(events))
+	}
+	perProc := map[int]int{}
+	for _, e := range events {
+		perProc[e.Proc]++
+		if e.Origin != e.Proc {
+			t.Fatalf("unmigrated task with origin %d on proc %d", e.Origin, e.Proc)
+		}
+		if e.Worker < 0 || e.Worker >= 2 {
+			t.Fatalf("bad worker %d", e.Worker)
+		}
+		wantLoad := in.Weight[e.Proc]
+		if math.Abs(e.Load()-wantLoad) > 1e-12 {
+			t.Fatalf("event load %v, want %v", e.Load(), wantLoad)
+		}
+	}
+	if perProc[0] != 3 || perProc[1] != 5 {
+		t.Fatalf("per-proc counts %v", perProc)
+	}
+}
+
+func TestTracerIterationCounter(t *testing.T) {
+	in := lrp.MustInstance([]int{2}, []float64{1})
+	r, err := New(Config{Workers: 1}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	r.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	r.Run(3)
+	iters := Iterations(events)
+	if len(iters) != 3 || iters[0] != 0 || iters[2] != 2 {
+		t.Fatalf("iterations %v", iters)
+	}
+}
+
+func TestTraceLogRoundTrip(t *testing.T) {
+	in := lrp.MustInstance([]int{4, 2, 6}, []float64{1.25, 3.5, 0.5})
+	events := tracedRun(t, in, 3)
+	var buf bytes.Buffer
+	if err := WriteTraceLog(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTraceLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(events))
+	}
+	for i := range back {
+		if back[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestParseTraceLogRejectsCorruption(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          "hello world\n",
+		"bad key":          "task iter=0 proc=0 worker=0 origin=0 start=0 finish=1\n",
+		"bad value":        "task iter=x proc=0 worker=0 origin=0 start=0 end=1\n",
+		"missing field":    "task iter=0 proc=0 worker=0 origin=0 start=0\n",
+		"end before start": "task iter=0 proc=0 worker=0 origin=0 start=5 end=1\n",
+		"no equals":        "task iter=0 proc=0 worker=0 origin=0 start=0 end\n",
+	}
+	for name, data := range cases {
+		if _, err := ParseTraceLog(strings.NewReader(data)); err == nil {
+			t.Errorf("case %q accepted", name)
+		}
+	}
+	// Comments and blanks are fine.
+	ok := "# header\n\ntask iter=0 proc=0 worker=0 origin=0 start=0 end=1\n"
+	events, err := ParseTraceLog(strings.NewReader(ok))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("comment handling: %v, %d events", err, len(events))
+	}
+}
+
+func TestInstanceFromTraceRecoversInput(t *testing.T) {
+	// The paper's pipeline: run the app, parse the log, synthesize the
+	// LRP input. For an untouched run the synthesized instance must
+	// equal the original.
+	in := lrp.MustInstance([]int{5, 3, 7}, []float64{1.5, 4.25, 0.75})
+	events := tracedRun(t, in, 2)
+	got, err := InstanceFromTrace(events, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range in.Tasks {
+		if got.Tasks[p] != in.Tasks[p] {
+			t.Fatalf("proc %d count %d, want %d", p, got.Tasks[p], in.Tasks[p])
+		}
+		if math.Abs(got.Weight[p]-in.Weight[p]) > 1e-12 {
+			t.Fatalf("proc %d weight %v, want %v", p, got.Weight[p], in.Weight[p])
+		}
+	}
+}
+
+func TestInstanceFromTraceValidation(t *testing.T) {
+	events := []TraceEvent{{Iter: 0, Proc: 5, StartMs: 0, EndMs: 1}}
+	if _, err := InstanceFromTrace(events, 0, 2); err == nil {
+		t.Error("out-of-range proc accepted")
+	}
+	if _, err := InstanceFromTrace(events, 9, 8); err == nil {
+		t.Error("empty iteration accepted")
+	}
+	if _, err := InstanceFromTrace(events, 0, 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+	// Idle processes get zero tasks.
+	got, err := InstanceFromTrace(events, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tasks[5] != 1 || got.Tasks[0] != 0 {
+		t.Fatalf("counts %v", got.Tasks)
+	}
+}
+
+func TestTraceAfterMigrationKeepsOrigins(t *testing.T) {
+	in := lrp.MustInstance([]int{6, 0}, []float64{2, 1})
+	r, err := New(Config{Workers: 1, LatencyMs: 0.5, PerTaskMs: 0.1}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lrp.NewPlan(in)
+	p.Move(1, 0, 3)
+	if _, err := r.ApplyPlan(p); err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	r.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	r.RunIteration()
+	migrated := 0
+	for _, e := range events {
+		if e.Proc == 1 {
+			if e.Origin != 0 {
+				t.Fatalf("migrated task lost origin: %+v", e)
+			}
+			migrated++
+			if e.StartMs < 0.5 {
+				t.Fatalf("migrated task started before arrival: %+v", e)
+			}
+		}
+	}
+	if migrated != 3 {
+		t.Fatalf("%d migrated executions, want 3", migrated)
+	}
+}

@@ -1,0 +1,101 @@
+package cqm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lrpLikeModel builds a model with the paper's structure: m squared
+// expressions of ~m*nc terms each, conservation constraints, and a
+// global cap — the shape the evaluator must flip quickly.
+func lrpLikeModel(m, nc int) *Model {
+	mod := New()
+	vars := make([][]VarID, m)
+	for i := range vars {
+		vars[i] = make([]VarID, m*nc)
+		for k := range vars[i] {
+			vars[i][k] = mod.AddBinary("x")
+		}
+	}
+	var cap LinExpr
+	for i := 0; i < m; i++ {
+		var sq LinExpr
+		for k, v := range vars[i] {
+			sq.Add(v, float64(1+k%nc))
+			cap.Add(v, 1)
+		}
+		sq.Offset = -float64(m * nc)
+		mod.AddObjectiveSquared(sq)
+		mod.AddConstraint("cons", sq, Le, 10)
+	}
+	mod.AddConstraint("cap", cap, Le, float64(m*nc))
+	return mod
+}
+
+func BenchmarkEvaluatorFlip(b *testing.B) {
+	mod := lrpLikeModel(16, 7)
+	ev := NewEvaluator(mod, 5)
+	rng := rand.New(rand.NewSource(1))
+	n := mod.NumVars()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Flip(VarID(rng.Intn(n)))
+	}
+}
+
+func BenchmarkEvaluatorFlipDelta(b *testing.B) {
+	mod := lrpLikeModel(16, 7)
+	ev := NewEvaluator(mod, 5)
+	rng := rand.New(rand.NewSource(1))
+	n := mod.NumVars()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.FlipDelta(VarID(rng.Intn(n)))
+	}
+}
+
+func BenchmarkEvaluatorReset(b *testing.B) {
+	mod := lrpLikeModel(16, 7)
+	ev := NewEvaluator(mod, 5)
+	x := make([]bool, mod.NumVars())
+	for i := range x {
+		x[i] = i%3 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Reset(x)
+	}
+}
+
+func BenchmarkObjectiveFromScratch(b *testing.B) {
+	mod := lrpLikeModel(16, 7)
+	x := make([]bool, mod.NumVars())
+	for i := range x {
+		x[i] = i%2 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod.Objective(x)
+	}
+}
+
+func BenchmarkToQUBOSlack(b *testing.B) {
+	mod := lrpLikeModel(8, 7)
+	opts := DefaultQUBOOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ToQUBO(mod, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPresolve(b *testing.B) {
+	mod := lrpLikeModel(16, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Presolve(mod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

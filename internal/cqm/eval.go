@@ -1,0 +1,267 @@
+package cqm
+
+import "fmt"
+
+// Evaluator maintains an assignment for a model and supports O(degree)
+// energy-delta queries for single-bit flips. It is the hot path of the
+// annealing solvers: a flip of variable v touches only the squared
+// expressions and constraints containing v.
+//
+// The penalized energy is
+//
+//	E(x) = objective(x) + sum_c w_c * pen_c(x)
+//
+// where pen_c is the squared constraint violation (smooth, so annealing
+// can descend into the feasible region) and w_c is a per-constraint
+// penalty weight.
+//
+// An Evaluator is not safe for concurrent use; annealing replicas each own
+// one.
+type Evaluator struct {
+	m *Model
+	x []bool
+
+	penalty []float64 // per-constraint penalty weight
+
+	sqVal  []float64 // current value of each squared objective expression
+	conVal []float64 // current LHS value of each constraint
+
+	linCoef []float64 // merged linear objective coefficient per variable
+	quadAdj [][]Term  // quadratic adjacency: neighbours of each variable
+	varSq   [][]ref   // squared-expression memberships per variable
+	varCon  [][]ref   // constraint memberships per variable
+
+	objLinear float64 // current linear + offset objective value
+	objQuad   float64 // current plain-quadratic objective value
+	energy    float64 // current penalized energy
+}
+
+type ref struct {
+	idx  int
+	coef float64
+}
+
+// NewEvaluator builds an evaluator with every variable set to false and a
+// uniform constraint penalty weight.
+func NewEvaluator(m *Model, penalty float64) *Evaluator {
+	n := m.NumVars()
+	ev := &Evaluator{
+		m:       m,
+		x:       make([]bool, n),
+		penalty: make([]float64, m.NumConstraints()),
+		sqVal:   make([]float64, len(m.objSquares)),
+		conVal:  make([]float64, m.NumConstraints()),
+		linCoef: make([]float64, n),
+		quadAdj: make([][]Term, n),
+		varSq:   make([][]ref, n),
+		varCon:  make([][]ref, n),
+	}
+	for i := range ev.penalty {
+		ev.penalty[i] = penalty
+	}
+	for _, t := range m.objLinear {
+		ev.linCoef[t.Var] += t.Coef
+	}
+	for _, q := range m.objQuad {
+		ev.quadAdj[q.A] = append(ev.quadAdj[q.A], Term{q.B, q.Coef})
+		ev.quadAdj[q.B] = append(ev.quadAdj[q.B], Term{q.A, q.Coef})
+	}
+	for si := range m.objSquares {
+		for _, t := range m.objSquares[si].Terms {
+			ev.varSq[t.Var] = append(ev.varSq[t.Var], ref{si, t.Coef})
+		}
+	}
+	for ci := range m.constraints {
+		for _, t := range m.constraints[ci].Expr.Terms {
+			ev.varCon[t.Var] = append(ev.varCon[t.Var], ref{ci, t.Coef})
+		}
+	}
+	ev.Reset(nil)
+	return ev
+}
+
+// SetPenalty overrides the penalty weight for one constraint.
+func (ev *Evaluator) SetPenalty(constraint int, w float64) {
+	ev.penalty[constraint] = w
+	ev.recomputeEnergy()
+}
+
+// ScalePenalties multiplies all penalty weights by factor; annealers use
+// this to tighten constraints over time.
+func (ev *Evaluator) ScalePenalties(factor float64) {
+	for i := range ev.penalty {
+		ev.penalty[i] *= factor
+	}
+	ev.recomputeEnergy()
+}
+
+// Reset sets the assignment (nil means all-false) and recomputes all
+// cached values from scratch.
+func (ev *Evaluator) Reset(x []bool) {
+	n := ev.m.NumVars()
+	if x == nil {
+		for i := range ev.x {
+			ev.x[i] = false
+		}
+	} else {
+		if len(x) != n {
+			panic(fmt.Sprintf("cqm: Reset with %d values for %d variables", len(x), n))
+		}
+		copy(ev.x, x)
+	}
+	ev.objLinear = ev.m.objOffset
+	for _, t := range ev.m.objLinear {
+		if ev.x[t.Var] {
+			ev.objLinear += t.Coef
+		}
+	}
+	ev.objQuad = 0
+	for _, q := range ev.m.objQuad {
+		if ev.x[q.A] && ev.x[q.B] {
+			ev.objQuad += q.Coef
+		}
+	}
+	for si := range ev.m.objSquares {
+		ev.sqVal[si] = ev.m.objSquares[si].Value(ev.x)
+	}
+	for ci := range ev.m.constraints {
+		ev.conVal[ci] = ev.m.constraints[ci].Expr.Value(ev.x)
+	}
+	ev.recomputeEnergy()
+}
+
+func (ev *Evaluator) recomputeEnergy() {
+	e := ev.objLinear + ev.objQuad
+	for _, v := range ev.sqVal {
+		e += v * v
+	}
+	for ci, lhs := range ev.conVal {
+		e += ev.penalty[ci] * ev.penaltyTerm(ci, lhs)
+	}
+	ev.energy = e
+}
+
+// penaltyTerm returns the squared violation of constraint ci at LHS value
+// lhs (unweighted).
+func (ev *Evaluator) penaltyTerm(ci int, lhs float64) float64 {
+	c := &ev.m.constraints[ci]
+	var gap float64
+	switch c.Sense {
+	case Eq:
+		gap = lhs - c.RHS
+	case Le:
+		if lhs > c.RHS {
+			gap = lhs - c.RHS
+		}
+	case Ge:
+		if lhs < c.RHS {
+			gap = c.RHS - lhs
+		}
+	}
+	return gap * gap
+}
+
+// Energy returns the current penalized energy.
+func (ev *Evaluator) Energy() float64 { return ev.energy }
+
+// ObjectiveValue returns the unpenalized objective at the current
+// assignment.
+func (ev *Evaluator) ObjectiveValue() float64 {
+	e := ev.objLinear + ev.objQuad
+	for _, v := range ev.sqVal {
+		e += v * v
+	}
+	return e
+}
+
+// PenaltyValue returns the weighted constraint penalty at the current
+// assignment.
+func (ev *Evaluator) PenaltyValue() float64 { return ev.energy - ev.ObjectiveValue() }
+
+// Feasible reports whether the current assignment satisfies every
+// constraint within tol.
+func (ev *Evaluator) Feasible(tol float64) bool {
+	for ci, lhs := range ev.conVal {
+		c := &ev.m.constraints[ci]
+		var gap float64
+		switch c.Sense {
+		case Eq:
+			gap = lhs - c.RHS
+			if gap < 0 {
+				gap = -gap
+			}
+		case Le:
+			gap = lhs - c.RHS
+		case Ge:
+			gap = c.RHS - lhs
+		}
+		if gap > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the current value of variable v.
+func (ev *Evaluator) Get(v VarID) bool { return ev.x[v] }
+
+// Assignment returns a copy of the current assignment.
+func (ev *Evaluator) Assignment() []bool { return append([]bool(nil), ev.x...) }
+
+// FlipDelta returns the penalized-energy change that flipping variable v
+// would cause, without changing state. Cost is O(degree of v).
+func (ev *Evaluator) FlipDelta(v VarID) float64 {
+	d := 1.0
+	if ev.x[v] {
+		d = -1.0
+	}
+	delta := d * ev.linCoef[v]
+	for _, t := range ev.quadAdj[v] {
+		if ev.x[t.Var] {
+			delta += d * t.Coef
+		}
+	}
+	for _, r := range ev.varSq[v] {
+		old := ev.sqVal[r.idx]
+		nv := old + d*r.coef
+		delta += nv*nv - old*old
+	}
+	for _, r := range ev.varCon[v] {
+		old := ev.conVal[r.idx]
+		nv := old + d*r.coef
+		delta += ev.penalty[r.idx] * (ev.penaltyTerm(r.idx, nv) - ev.penaltyTerm(r.idx, old))
+	}
+	return delta
+}
+
+// Flip commits a flip of variable v, updating all cached values in
+// O(degree of v), and returns the energy change.
+func (ev *Evaluator) Flip(v VarID) float64 {
+	d := 1.0
+	if ev.x[v] {
+		d = -1.0
+	}
+	delta := d * ev.linCoef[v]
+	ev.objLinear += d * ev.linCoef[v]
+	for _, t := range ev.quadAdj[v] {
+		if ev.x[t.Var] {
+			delta += d * t.Coef
+			ev.objQuad += d * t.Coef
+		}
+	}
+	for _, r := range ev.varSq[v] {
+		old := ev.sqVal[r.idx]
+		nv := old + d*r.coef
+		ev.sqVal[r.idx] = nv
+		delta += nv*nv - old*old
+	}
+	for _, r := range ev.varCon[v] {
+		old := ev.conVal[r.idx]
+		nv := old + d*r.coef
+		ev.conVal[r.idx] = nv
+		delta += ev.penalty[r.idx] * (ev.penaltyTerm(r.idx, nv) - ev.penaltyTerm(r.idx, old))
+	}
+	ev.x[v] = !ev.x[v]
+	ev.energy += delta
+	return delta
+}

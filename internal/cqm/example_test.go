@@ -1,0 +1,44 @@
+package cqm_test
+
+import (
+	"fmt"
+
+	"repro/internal/cqm"
+)
+
+// A two-variable model: minimize (x0 + x1 - 1)^2 subject to x0 <= 0.
+// The optimum sets only x1.
+func ExampleModel() {
+	m := cqm.New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	var e cqm.LinExpr
+	e.Add(a, 1)
+	e.Add(b, 1)
+	e.Offset = -1
+	m.AddObjectiveSquared(e)
+	m.AddConstraint("a off", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Le, 0)
+
+	x := []bool{false, true}
+	fmt.Printf("objective=%v feasible=%v\n", m.Objective(x), m.Feasible(x, 1e-9))
+	// Output:
+	// objective=0 feasible=true
+}
+
+// Unbalanced penalization folds an inequality into the objective
+// without slack qubits: the QUBO keeps the model's variable count.
+func ExampleToQUBO() {
+	m := cqm.New()
+	var sum cqm.LinExpr
+	for i := 0; i < 3; i++ {
+		v := m.AddBinary("x")
+		sum.Add(v, 1)
+	}
+	m.AddConstraint("cap", sum, cqm.Le, 1)
+	opts := cqm.DefaultQUBOOptions()
+	opts.Method = cqm.UnbalancedPenalty
+	q, _ := cqm.ToQUBO(m, opts)
+	fmt.Printf("qubits=%d slacks=%d\n", q.NumVars, q.NumVars-q.BaseVars)
+	// Output:
+	// qubits=3 slacks=0
+}

@@ -1,0 +1,48 @@
+package cqm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadModel asserts the model parser never panics and that anything
+// it accepts re-serializes and re-parses to the same variable and
+// constraint counts.
+func FuzzReadModel(f *testing.F) {
+	m := New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	m.AddObjectiveLinear(a, 2)
+	m.AddObjectiveQuad(a, b, -1)
+	var sq LinExpr
+	sq.Add(a, 1)
+	sq.Add(b, -1)
+	m.AddObjectiveSquared(sq)
+	m.AddConstraint("c", sq, Le, 1)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("CQM 1\n")
+	f.Add("CQM 1\nVAR 0 \"x\"\nOBJ LIN 0 1\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := ReadModel(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteModel(&out, parsed); err != nil {
+			t.Fatalf("accepted model failed to serialize: %v", err)
+		}
+		back, err := ReadModel(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumVars() != parsed.NumVars() || back.NumConstraints() != parsed.NumConstraints() {
+			t.Fatal("round trip changed the model shape")
+		}
+	})
+}

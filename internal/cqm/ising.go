@@ -1,0 +1,84 @@
+package cqm
+
+// Ising is a problem in the quantum annealer's native form:
+//
+//	E(s) = Offset + sum_i H[i] s_i + sum_{i<j} J[{i,j}] s_i s_j
+//
+// over spins s_i in {-1, +1}. D-Wave hardware minimizes exactly this
+// Hamiltonian; the QUBO<->Ising mappings below are the final lowering
+// step a real submission pipeline performs (x = (1+s)/2).
+type Ising struct {
+	// NumVars is the spin count; BaseVars mirrors QUBO.BaseVars.
+	NumVars, BaseVars int
+	H                 []float64
+	J                 map[QPair]float64
+	Offset            float64
+}
+
+// ToIsing lowers the QUBO to spin variables via x_i = (1 + s_i)/2.
+func (q *QUBO) ToIsing() *Ising {
+	is := &Ising{
+		NumVars:  q.NumVars,
+		BaseVars: q.BaseVars,
+		H:        make([]float64, q.NumVars),
+		J:        make(map[QPair]float64, len(q.Quad)),
+		Offset:   q.Offset,
+	}
+	for i, a := range q.Linear {
+		is.Offset += a / 2
+		is.H[i] += a / 2
+	}
+	for p, b := range q.Quad {
+		is.Offset += b / 4
+		is.H[p.A] += b / 4
+		is.H[p.B] += b / 4
+		if b != 0 {
+			is.J[p] += b / 4
+		}
+	}
+	return is
+}
+
+// ToQUBO raises the Ising problem back to binary variables via
+// s_i = 2 x_i - 1.
+func (is *Ising) ToQUBO() *QUBO {
+	q := &QUBO{
+		NumVars:  is.NumVars,
+		BaseVars: is.BaseVars,
+		Linear:   make([]float64, is.NumVars),
+		Quad:     make(map[QPair]float64, len(is.J)),
+		Offset:   is.Offset,
+	}
+	for i, h := range is.H {
+		q.Offset -= h
+		q.Linear[i] += 2 * h
+	}
+	for p, j := range is.J {
+		q.Offset += j
+		q.Linear[p.A] -= 2 * j
+		q.Linear[p.B] -= 2 * j
+		if j != 0 {
+			q.Quad[p] += 4 * j
+		}
+	}
+	return q
+}
+
+// Energy evaluates the Hamiltonian for a spin assignment (+1 for true,
+// -1 for false).
+func (is *Ising) Energy(spins []bool) float64 {
+	sv := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return -1
+	}
+	e := is.Offset
+	for i, h := range is.H {
+		e += h * sv(spins[i])
+	}
+	for p, j := range is.J {
+		e += j * sv(spins[p.A]) * sv(spins[p.B])
+	}
+	return e
+}

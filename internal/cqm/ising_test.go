@@ -1,0 +1,102 @@
+package cqm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randQUBO(rng *rand.Rand, n int) *QUBO {
+	q := &QUBO{
+		NumVars:  n,
+		BaseVars: n,
+		Linear:   make([]float64, n),
+		Quad:     make(map[QPair]float64),
+		Offset:   float64(rng.Intn(9) - 4),
+	}
+	for i := range q.Linear {
+		q.Linear[i] = float64(rng.Intn(11) - 5)
+	}
+	for k := 0; k < 2*n; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		q.Quad[makePair(VarID(a), VarID(b))] += float64(rng.Intn(7) - 3)
+	}
+	return q
+}
+
+func TestIsingEnergyMatchesQUBO(t *testing.T) {
+	// E_qubo(x) == E_ising(s) for x = (1+s)/2, i.e. identical bool
+	// vectors under the true=+1 convention.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		q := randQUBO(rng, n)
+		is := q.ToIsing()
+		for trial := 0; trial < 30; trial++ {
+			x := make([]bool, n)
+			for i := range x {
+				x[i] = rng.Intn(2) == 0
+			}
+			if !almostEqual(q.Energy(x), is.Energy(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsingRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		q := randQUBO(rng, n)
+		back := q.ToIsing().ToQUBO()
+		if back.NumVars != q.NumVars || back.BaseVars != q.BaseVars {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			x := make([]bool, n)
+			for i := range x {
+				x[i] = rng.Intn(2) == 0
+			}
+			if !almostEqual(q.Energy(x), back.Energy(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsingKnownValues(t *testing.T) {
+	// E = x0: as Ising, E = 1/2 + s0/2.
+	q := &QUBO{NumVars: 1, BaseVars: 1, Linear: []float64{1}, Quad: map[QPair]float64{}}
+	is := q.ToIsing()
+	if !almostEqual(is.Offset, 0.5) || !almostEqual(is.H[0], 0.5) {
+		t.Fatalf("Ising = %+v", is)
+	}
+	if !almostEqual(is.Energy([]bool{true}), 1) || !almostEqual(is.Energy([]bool{false}), 0) {
+		t.Fatal("Ising energies wrong")
+	}
+	// E = x0 x1: J = 1/4, h = 1/4 each, offset 1/4.
+	q2 := &QUBO{NumVars: 2, BaseVars: 2, Linear: []float64{0, 0},
+		Quad: map[QPair]float64{{A: 0, B: 1}: 1}}
+	is2 := q2.ToIsing()
+	if !almostEqual(is2.J[QPair{A: 0, B: 1}], 0.25) {
+		t.Fatalf("J = %v", is2.J)
+	}
+	if !almostEqual(is2.Energy([]bool{true, true}), 1) {
+		t.Fatal("x0x1 energy at (1,1)")
+	}
+	if !almostEqual(is2.Energy([]bool{true, false}), 0) {
+		t.Fatal("x0x1 energy at (1,0)")
+	}
+}

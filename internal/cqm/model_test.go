@@ -1,0 +1,273 @@
+package cqm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// randModel builds a random model with nv variables: random linear, quad,
+// squared-expression objective and a few constraints of every sense.
+func randModel(rng *rand.Rand, nv int) *Model {
+	m := New()
+	for i := 0; i < nv; i++ {
+		m.AddBinary("x")
+	}
+	for i := 0; i < nv; i++ {
+		if rng.Intn(2) == 0 {
+			m.AddObjectiveLinear(VarID(i), float64(rng.Intn(11)-5))
+		}
+	}
+	for k := 0; k < nv; k++ {
+		a, b := VarID(rng.Intn(nv)), VarID(rng.Intn(nv))
+		m.AddObjectiveQuad(a, b, float64(rng.Intn(9)-4))
+	}
+	for k := 0; k < 3; k++ {
+		var e LinExpr
+		e.Offset = float64(rng.Intn(7) - 3)
+		for i := 0; i < nv; i++ {
+			if rng.Intn(2) == 0 {
+				e.Add(VarID(i), float64(rng.Intn(7)-3))
+			}
+		}
+		m.AddObjectiveSquared(e)
+	}
+	m.AddObjectiveOffset(float64(rng.Intn(5)))
+	senses := []Sense{Eq, Le, Ge}
+	for k := 0; k < 3; k++ {
+		var e LinExpr
+		for i := 0; i < nv; i++ {
+			if rng.Intn(2) == 0 {
+				e.Add(VarID(i), float64(rng.Intn(5)-2))
+			}
+		}
+		m.AddConstraint("c", e, senses[k%3], float64(rng.Intn(5)-1))
+	}
+	return m
+}
+
+func randAssign(rng *rand.Rand, n int) []bool {
+	x := make([]bool, n)
+	for i := range x {
+		x[i] = rng.Intn(2) == 0
+	}
+	return x
+}
+
+func TestLinExprNormalize(t *testing.T) {
+	var e LinExpr
+	e.Add(3, 2)
+	e.Add(1, 5)
+	e.Add(3, -2) // cancels var 3
+	e.Add(1, 1)
+	e.Normalize()
+	if len(e.Terms) != 1 || e.Terms[0].Var != 1 || e.Terms[0].Coef != 6 {
+		t.Fatalf("Normalize got %+v, want single term 6*x1", e.Terms)
+	}
+}
+
+func TestLinExprValue(t *testing.T) {
+	e := LinExpr{Terms: []Term{{0, 2}, {2, -3}}, Offset: 1}
+	x := []bool{true, false, true}
+	if got := e.Value(x); !almostEqual(got, 0) {
+		t.Fatalf("Value = %v, want 0", got)
+	}
+}
+
+func TestConstraintViolation(t *testing.T) {
+	e := LinExpr{Terms: []Term{{0, 1}, {1, 1}}}
+	x11 := []bool{true, true}
+	x00 := []bool{false, false}
+	cases := []struct {
+		sense   Sense
+		rhs     float64
+		x       []bool
+		wantGap float64
+	}{
+		{Eq, 1, x11, 1},
+		{Eq, 2, x11, 0},
+		{Le, 1, x11, 1},
+		{Le, 2, x11, 0},
+		{Ge, 1, x00, 1},
+		{Ge, 0, x00, 0},
+	}
+	for i, c := range cases {
+		con := Constraint{Expr: e, Sense: c.sense, RHS: c.rhs}
+		if got := con.Violation(c.x); !almostEqual(got, c.wantGap) {
+			t.Errorf("case %d: Violation = %v, want %v", i, got, c.wantGap)
+		}
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if Eq.String() != "==" || Le.String() != "<=" || Ge.String() != ">=" {
+		t.Fatal("Sense.String mismatch")
+	}
+	if !strings.Contains(Sense(9).String(), "9") {
+		t.Fatal("unknown sense should include the number")
+	}
+}
+
+func TestModelObjectiveAgainstManual(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	m.AddObjectiveLinear(a, 3)
+	m.AddObjectiveQuad(a, b, -2)
+	m.AddObjectiveQuad(b, b, 4) // diagonal -> linear for binaries
+	var sq LinExpr
+	sq.Add(a, 1)
+	sq.Add(b, -1)
+	sq.Offset = 1
+	m.AddObjectiveSquared(sq)
+	m.AddObjectiveOffset(10)
+
+	// x = (1,1): 3 - 2 + 4 + (1-1+1)^2 + 10 = 16.
+	if got := m.Objective([]bool{true, true}); !almostEqual(got, 16) {
+		t.Fatalf("Objective(1,1) = %v, want 16", got)
+	}
+	// x = (0,1): 0 + 0 + 4 + (0-1+1)^2 + 10 = 14.
+	if got := m.Objective([]bool{false, true}); !almostEqual(got, 14) {
+		t.Fatalf("Objective(0,1) = %v, want 14", got)
+	}
+}
+
+func TestFeasibleAndCounts(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	var e LinExpr
+	e.Add(a, 1)
+	e.Add(b, 1)
+	m.AddConstraint("sum==1", e, Eq, 1)
+	m.AddConstraint("a<=0", LinExpr{Terms: []Term{{a, 1}}}, Le, 0)
+	eq, ineq := m.CountConstraintSenses()
+	if eq != 1 || ineq != 1 {
+		t.Fatalf("CountConstraintSenses = (%d,%d), want (1,1)", eq, ineq)
+	}
+	if !m.Feasible([]bool{false, true}, 1e-9) {
+		t.Fatal("(0,1) should be feasible")
+	}
+	if m.Feasible([]bool{true, false}, 1e-9) {
+		t.Fatal("(1,0) violates a<=0")
+	}
+	if got := m.TotalViolation([]bool{true, true}); !almostEqual(got, 2) {
+		t.Fatalf("TotalViolation = %v, want 2", got)
+	}
+	if v := m.Violations([]bool{true, true}); len(v) != 2 {
+		t.Fatalf("Violations len = %d", len(v))
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randModel(rng, 6)
+	s := m.Stats()
+	if s.Vars != 6 || s.Constraints != 3 || s.SquaredExprs != 3 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if !strings.Contains(m.String(), "vars=6") {
+		t.Fatalf("String = %q", m.String())
+	}
+	if m.VarName(0) != "x" || !strings.Contains(m.VarName(99), "99") {
+		t.Fatal("VarName mismatch")
+	}
+}
+
+func TestEvaluatorMatchesBruteForce(t *testing.T) {
+	// The incremental evaluator's energy must always equal
+	// objective + sum of weighted squared violations computed from
+	// scratch, across random flips.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng, 8)
+		const w = 7.5
+		ev := NewEvaluator(m, w)
+		ev.Reset(randAssign(rng, 8))
+		for step := 0; step < 50; step++ {
+			v := VarID(rng.Intn(8))
+			delta := ev.FlipDelta(v)
+			before := ev.Energy()
+			got := ev.Flip(v)
+			if !almostEqual(delta, got) {
+				return false
+			}
+			if !almostEqual(before+delta, ev.Energy()) {
+				return false
+			}
+			x := ev.Assignment()
+			want := m.Objective(x)
+			for ci := range m.constraints {
+				gap := m.constraints[ci].Violation(x)
+				want += w * gap * gap
+			}
+			if !almostEqual(ev.Energy(), want) {
+				return false
+			}
+			if !almostEqual(ev.ObjectiveValue(), m.Objective(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatorFeasibleAgreesWithModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng, 6)
+		ev := NewEvaluator(m, 1)
+		x := randAssign(rng, 6)
+		ev.Reset(x)
+		return ev.Feasible(1e-9) == m.Feasible(x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatorPenaltyControls(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	m.AddConstraint("a==0", LinExpr{Terms: []Term{{a, 1}}}, Eq, 0)
+	ev := NewEvaluator(m, 2)
+	ev.Reset([]bool{true})
+	if !almostEqual(ev.Energy(), 2) { // violation 1, squared, weight 2
+		t.Fatalf("Energy = %v, want 2", ev.Energy())
+	}
+	if !almostEqual(ev.PenaltyValue(), 2) {
+		t.Fatalf("PenaltyValue = %v, want 2", ev.PenaltyValue())
+	}
+	ev.ScalePenalties(3)
+	if !almostEqual(ev.Energy(), 6) {
+		t.Fatalf("Energy after scale = %v, want 6", ev.Energy())
+	}
+	ev.SetPenalty(0, 1)
+	if !almostEqual(ev.Energy(), 1) {
+		t.Fatalf("Energy after SetPenalty = %v, want 1", ev.Energy())
+	}
+	if !ev.Get(a) {
+		t.Fatal("Get mismatch")
+	}
+}
+
+func TestEvaluatorResetPanicsOnBadLength(t *testing.T) {
+	m := New()
+	m.AddBinary("a")
+	ev := NewEvaluator(m, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset with wrong length did not panic")
+		}
+	}()
+	ev.Reset([]bool{true, false})
+}

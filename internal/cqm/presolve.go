@@ -1,0 +1,79 @@
+package cqm
+
+import "fmt"
+
+// Presolve performs bound-based variable fixing, the classical half of the
+// hybrid workflow: for each constraint it computes achievable bounds given
+// already-fixed variables and fixes any variable whose value is forced.
+// The pass iterates to a fixpoint. It returns the fixed assignments, or an
+// error if some constraint is proven infeasible.
+//
+// The annealing solver freezes fixed variables, shrinking the effective
+// search space before any "quantum" sampling happens — mirroring the
+// classical preprocessing that D-Wave's hybrid solvers run before QPU
+// access.
+func Presolve(m *Model) (map[VarID]bool, error) {
+	fixed := make(map[VarID]bool)
+	// Split each constraint into <= and >= halves so one routine handles
+	// all senses.
+	type half struct {
+		name  string
+		terms []Term
+		off   float64
+		rhs   float64 // terms + off <= rhs
+	}
+	var halves []half
+	for ci := range m.constraints {
+		c := &m.constraints[ci]
+		if c.Sense == Le || c.Sense == Eq {
+			halves = append(halves, half{c.Name, c.Expr.Terms, c.Expr.Offset, c.RHS})
+		}
+		if c.Sense == Ge || c.Sense == Eq {
+			neg := make([]Term, len(c.Expr.Terms))
+			for i, t := range c.Expr.Terms {
+				neg[i] = Term{t.Var, -t.Coef}
+			}
+			halves = append(halves, half{c.Name, neg, -c.Expr.Offset, -c.RHS})
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, h := range halves {
+			// Minimum achievable LHS given current fixings.
+			lo := h.off
+			for _, t := range h.terms {
+				if v, ok := fixed[t.Var]; ok {
+					if v {
+						lo += t.Coef
+					}
+					continue
+				}
+				if t.Coef < 0 {
+					lo += t.Coef
+				}
+			}
+			if lo > h.rhs+1e-9 {
+				return nil, fmt.Errorf("cqm: presolve proves constraint %q infeasible (min %.6g > %.6g)", h.name, lo, h.rhs)
+			}
+			for _, t := range h.terms {
+				if _, ok := fixed[t.Var]; ok {
+					continue
+				}
+				switch {
+				case t.Coef > 0 && lo+t.Coef > h.rhs+1e-9:
+					// Turning the variable on would break the constraint.
+					fixed[t.Var] = false
+					changed = true
+				case t.Coef < 0 && lo-t.Coef > h.rhs+1e-9:
+					// Turning the variable off (losing its negative
+					// contribution) would break the constraint.
+					fixed[t.Var] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return fixed, nil
+}

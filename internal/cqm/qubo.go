@@ -1,0 +1,263 @@
+package cqm
+
+import (
+	"fmt"
+	"math"
+)
+
+// QUBO is a quadratic unconstrained binary optimization problem
+// E(x) = Offset + sum_i Linear[i] x_i + sum_{i<j} Quad[{i,j}] x_i x_j.
+//
+// The paper notes (Section IV, citing Glover et al.) that a CQM can be
+// converted to a QUBO by folding constraints into the objective with
+// penalty coefficients, and that inequality constraints can avoid slack
+// qubits via unbalanced penalization (Montañez-Barrera et al.). Both
+// conversions are implemented here; they are exercised by the A2 ablation
+// benchmark.
+type QUBO struct {
+	// NumVars is the total variable count, including any slack variables
+	// appended by the conversion.
+	NumVars int
+	// BaseVars is the number of variables of the originating model;
+	// variables [BaseVars, NumVars) are slacks.
+	BaseVars int
+	Linear   []float64
+	Quad     map[QPair]float64
+	Offset   float64
+}
+
+// QPair is an unordered variable pair with A < B.
+type QPair struct{ A, B VarID }
+
+func makePair(a, b VarID) QPair {
+	if a > b {
+		a, b = b, a
+	}
+	return QPair{a, b}
+}
+
+// PenaltyMethod selects how inequality constraints are encoded.
+type PenaltyMethod int
+
+const (
+	// SlackPenalty introduces binary slack variables and a squared
+	// equality penalty. It is exact but costs extra qubits.
+	SlackPenalty PenaltyMethod = iota
+	// UnbalancedPenalty uses the slack-free unbalanced penalization
+	// -l1*h + l2*h^2 for h >= 0; it keeps the qubit count unchanged but
+	// is approximate near the constraint boundary.
+	UnbalancedPenalty
+)
+
+// QUBOOptions controls the CQM -> QUBO conversion.
+type QUBOOptions struct {
+	Method PenaltyMethod
+	// EqPenalty is the weight for equality constraints (and for the
+	// squared part of slack-encoded inequalities). Must be > 0.
+	EqPenalty float64
+	// Linear and Quadratic weights of the unbalanced penalization
+	// (lambda1, lambda2). Ignored by SlackPenalty.
+	UnbalancedL1, UnbalancedL2 float64
+}
+
+// DefaultQUBOOptions returns conversion options that work well for the
+// LRP models in this repository.
+func DefaultQUBOOptions() QUBOOptions {
+	return QUBOOptions{
+		Method:       SlackPenalty,
+		EqPenalty:    10,
+		UnbalancedL1: 1,
+		UnbalancedL2: 10,
+	}
+}
+
+func (q *QUBO) addLinearTerm(v VarID, c float64) {
+	if c != 0 {
+		q.Linear[v] += c
+	}
+}
+
+func (q *QUBO) addQuadTerm(a, b VarID, c float64) {
+	if c == 0 {
+		return
+	}
+	if a == b {
+		q.addLinearTerm(a, c)
+		return
+	}
+	q.Quad[makePair(a, b)] += c
+}
+
+// addScaledLinear adds w * (expr) to the QUBO.
+func (q *QUBO) addScaledLinear(e LinExpr, w float64) {
+	q.Offset += w * e.Offset
+	for _, t := range e.Terms {
+		q.addLinearTerm(t.Var, w*t.Coef)
+	}
+}
+
+// addSquare adds w * (expr)^2 to the QUBO, using x^2 = x for binaries.
+func (q *QUBO) addSquare(e LinExpr, w float64) {
+	q.Offset += w * e.Offset * e.Offset
+	for i, ti := range e.Terms {
+		q.addLinearTerm(ti.Var, w*(ti.Coef*ti.Coef+2*e.Offset*ti.Coef))
+		for _, tj := range e.Terms[i+1:] {
+			q.addQuadTerm(ti.Var, tj.Var, 2*w*ti.Coef*tj.Coef)
+		}
+	}
+}
+
+// exprBounds returns the minimum and maximum value a linear expression can
+// take over binary assignments.
+func exprBounds(e LinExpr) (lo, hi float64) {
+	lo, hi = e.Offset, e.Offset
+	for _, t := range e.Terms {
+		if t.Coef < 0 {
+			lo += t.Coef
+		} else {
+			hi += t.Coef
+		}
+	}
+	return lo, hi
+}
+
+// slackCoefficients returns integer coefficients c_1..c_k such that
+// subset sums of {c_i} cover every integer in [0, ub]; this is the
+// standard binary expansion with an adjusted top coefficient (the same
+// trick the paper's task encoding uses).
+func slackCoefficients(ub int) []int {
+	if ub <= 0 {
+		return nil
+	}
+	var coefs []int
+	c := 1
+	for c*2-1 <= ub {
+		coefs = append(coefs, c)
+		c *= 2
+	}
+	if rest := ub - (c - 1); rest > 0 {
+		coefs = append(coefs, rest)
+	}
+	return coefs
+}
+
+// ToQUBO converts the model into a QUBO according to opts. Only integral
+// constraint data is supported for slack encoding: a Le/Ge constraint
+// whose slack range is fractional is rounded up (conservative).
+func ToQUBO(m *Model, opts QUBOOptions) (*QUBO, error) {
+	if opts.EqPenalty <= 0 {
+		return nil, fmt.Errorf("cqm: EqPenalty must be positive, got %v", opts.EqPenalty)
+	}
+	n := m.NumVars()
+	q := &QUBO{
+		NumVars:  n,
+		BaseVars: n,
+		Linear:   make([]float64, n),
+		Quad:     make(map[QPair]float64),
+		Offset:   m.objOffset,
+	}
+	for _, t := range m.objLinear {
+		q.addLinearTerm(t.Var, t.Coef)
+	}
+	for _, qt := range m.objQuad {
+		q.addQuadTerm(qt.A, qt.B, qt.Coef)
+	}
+	for i := range m.objSquares {
+		q.addSquare(m.objSquares[i], 1)
+	}
+
+	newSlack := func() VarID {
+		q.NumVars++
+		q.Linear = append(q.Linear, 0)
+		return VarID(q.NumVars - 1)
+	}
+
+	for ci := range m.constraints {
+		c := &m.constraints[ci]
+		// Normalize Ge to Le by negation: expr >= rhs  <=>  -expr <= -rhs.
+		expr, rhs := c.Expr.Clone(), c.RHS
+		sense := c.Sense
+		if sense == Ge {
+			for i := range expr.Terms {
+				expr.Terms[i].Coef = -expr.Terms[i].Coef
+			}
+			expr.Offset = -expr.Offset
+			rhs = -rhs
+			sense = Le
+		}
+		// Shift RHS into the expression: g = expr - rhs, so Eq means
+		// g == 0 and Le means g <= 0.
+		g := expr
+		g.Offset -= rhs
+
+		switch {
+		case sense == Eq:
+			q.addSquare(g, opts.EqPenalty)
+		case opts.Method == UnbalancedPenalty:
+			// h = -g >= 0; add -l1*h + l2*h^2.
+			h := g
+			for i := range h.Terms {
+				h.Terms[i].Coef = -h.Terms[i].Coef
+			}
+			h.Offset = -h.Offset
+			q.addScaledLinear(h, -opts.UnbalancedL1)
+			q.addSquare(h, opts.UnbalancedL2)
+		default: // SlackPenalty
+			lo, _ := exprBounds(g)
+			if lo > 0 {
+				return nil, fmt.Errorf("cqm: constraint %q is infeasible (min %.3g > 0)", c.Name, lo)
+			}
+			ub := int(math.Ceil(-lo))
+			// g + s == 0 with s in [0, ub].
+			eq := g
+			eq.Terms = append([]Term(nil), g.Terms...)
+			for _, coef := range slackCoefficients(ub) {
+				eq.Terms = append(eq.Terms, Term{newSlack(), float64(coef)})
+			}
+			q.addSquare(eq, opts.EqPenalty)
+		}
+	}
+	return q, nil
+}
+
+// Energy evaluates the QUBO for a binary assignment of length NumVars.
+func (q *QUBO) Energy(x []bool) float64 {
+	e := q.Offset
+	for i, c := range q.Linear {
+		if x[i] {
+			e += c
+		}
+	}
+	for p, c := range q.Quad {
+		if x[p.A] && x[p.B] {
+			e += c
+		}
+	}
+	return e
+}
+
+// ToModel wraps the QUBO as an unconstrained Model so the annealing
+// engine can sample it directly.
+func (q *QUBO) ToModel() *Model {
+	m := New()
+	for i := 0; i < q.NumVars; i++ {
+		kind := "q"
+		if i >= q.BaseVars {
+			kind = "slack"
+		}
+		m.AddBinary(fmt.Sprintf("%s%d", kind, i))
+	}
+	m.AddObjectiveOffset(q.Offset)
+	for i, c := range q.Linear {
+		if c != 0 {
+			m.AddObjectiveLinear(VarID(i), c)
+		}
+	}
+	for p, c := range q.Quad {
+		m.AddObjectiveQuad(p.A, p.B, c)
+	}
+	return m
+}
+
+// NumQuadTerms returns the number of nonzero off-diagonal couplers.
+func (q *QUBO) NumQuadTerms() int { return len(q.Quad) }

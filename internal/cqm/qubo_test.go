@@ -1,0 +1,359 @@
+package cqm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// enumerate calls fn with every assignment of n binary variables.
+func enumerate(n int, fn func(x []bool)) {
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<i) != 0
+		}
+		fn(x)
+	}
+}
+
+func TestSlackCoefficients(t *testing.T) {
+	for ub := 0; ub <= 40; ub++ {
+		coefs := slackCoefficients(ub)
+		total := 0
+		for _, c := range coefs {
+			if c <= 0 {
+				t.Fatalf("ub=%d produced non-positive coefficient %d", ub, c)
+			}
+			total += c
+		}
+		if total != ub {
+			t.Fatalf("ub=%d coefficients sum to %d", ub, total)
+		}
+		// Every value in [0, ub] must be a subset sum.
+		reachable := make(map[int]bool)
+		reachable[0] = true
+		for _, c := range coefs {
+			next := make(map[int]bool, len(reachable)*2)
+			for v := range reachable {
+				next[v] = true
+				next[v+c] = true
+			}
+			reachable = next
+		}
+		for v := 0; v <= ub; v++ {
+			if !reachable[v] {
+				t.Fatalf("ub=%d: value %d not reachable with %v", ub, v, coefs)
+			}
+		}
+	}
+}
+
+func TestQUBOEqualityPenaltyExact(t *testing.T) {
+	// min (x0 + x1 - 1)^2-style: objective x0, constraint x0+x1 == 1.
+	m := New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	m.AddObjectiveLinear(a, 1)
+	var e LinExpr
+	e.Add(a, 1)
+	e.Add(b, 1)
+	m.AddConstraint("sum", e, Eq, 1)
+
+	q, err := ToQUBO(m, QUBOOptions{Method: SlackPenalty, EqPenalty: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVars != 2 { // equality adds no slacks
+		t.Fatalf("NumVars = %d, want 2", q.NumVars)
+	}
+	// For feasible assignments QUBO energy equals the objective.
+	enumerate(2, func(x []bool) {
+		if m.Feasible(x, 1e-9) {
+			if got, want := q.Energy(x), m.Objective(x); !almostEqual(got, want) {
+				t.Fatalf("feasible %v: qubo=%v obj=%v", x, got, want)
+			}
+		} else if q.Energy(x) < m.Objective(x)+10-1e-9 {
+			t.Fatalf("infeasible %v under-penalized: %v", x, q.Energy(x))
+		}
+	})
+}
+
+func TestQUBOSlackInequalityMinimumIsFeasibleOptimum(t *testing.T) {
+	// Objective: -(x0 + x1 + x2) (wants all on); constraint sum <= 2.
+	m := New()
+	var sum LinExpr
+	for i := 0; i < 3; i++ {
+		v := m.AddBinary("x")
+		m.AddObjectiveLinear(v, -1)
+		sum.Add(v, 1)
+	}
+	m.AddConstraint("cap", sum, Le, 2)
+	q, err := ToQUBO(m, QUBOOptions{Method: SlackPenalty, EqPenalty: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVars <= 3 {
+		t.Fatalf("expected slack variables, NumVars = %d", q.NumVars)
+	}
+	// Brute-force the QUBO minimum over all variables incl. slacks; its
+	// projection on base vars must be a feasible optimum (-2).
+	best := 1e18
+	var bestX []bool
+	enumerate(q.NumVars, func(x []bool) {
+		if e := q.Energy(x); e < best {
+			best = e
+			bestX = append([]bool(nil), x...)
+		}
+	})
+	base := bestX[:3]
+	if !m.Feasible(base, 1e-9) {
+		t.Fatalf("QUBO minimum %v infeasible for the CQM", base)
+	}
+	if got := m.Objective(base); !almostEqual(got, -2) {
+		t.Fatalf("QUBO minimum objective = %v, want -2", got)
+	}
+	if !almostEqual(best, -2) {
+		t.Fatalf("QUBO minimum energy = %v, want -2", best)
+	}
+}
+
+func TestQUBOUnbalancedKeepsQubitCount(t *testing.T) {
+	m := New()
+	var sum LinExpr
+	for i := 0; i < 4; i++ {
+		v := m.AddBinary("x")
+		m.AddObjectiveLinear(v, -1)
+		sum.Add(v, 1)
+	}
+	m.AddConstraint("cap", sum, Le, 2)
+	q, err := ToQUBO(m, QUBOOptions{Method: UnbalancedPenalty, EqPenalty: 10, UnbalancedL1: 1, UnbalancedL2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVars != 4 {
+		t.Fatalf("unbalanced penalization changed qubit count: %d", q.NumVars)
+	}
+	// The minimum must still be feasible.
+	best := 1e18
+	var bestX []bool
+	enumerate(4, func(x []bool) {
+		if e := q.Energy(x); e < best {
+			best = e
+			bestX = append([]bool(nil), x...)
+		}
+	})
+	if !m.Feasible(bestX, 1e-9) {
+		t.Fatalf("unbalanced QUBO minimum %v infeasible", bestX)
+	}
+}
+
+func TestQUBOGeConstraint(t *testing.T) {
+	// Objective: +sum (wants all off); constraint sum >= 2 forces two on.
+	m := New()
+	var sum LinExpr
+	for i := 0; i < 3; i++ {
+		v := m.AddBinary("x")
+		m.AddObjectiveLinear(v, 1)
+		sum.Add(v, 1)
+	}
+	m.AddConstraint("floor", sum, Ge, 2)
+	for _, method := range []PenaltyMethod{SlackPenalty, UnbalancedPenalty} {
+		q, err := ToQUBO(m, QUBOOptions{Method: method, EqPenalty: 10, UnbalancedL1: 1, UnbalancedL2: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 1e18
+		var bestX []bool
+		enumerate(q.NumVars, func(x []bool) {
+			if e := q.Energy(x); e < best {
+				best = e
+				bestX = append([]bool(nil), x...)
+			}
+		})
+		if !m.Feasible(bestX[:3], 1e-9) {
+			t.Fatalf("method %d: minimum %v infeasible", method, bestX[:3])
+		}
+		if got := m.Objective(bestX[:3]); !almostEqual(got, 2) {
+			t.Fatalf("method %d: objective %v, want 2", method, got)
+		}
+	}
+}
+
+func TestQUBORejectsBadPenalty(t *testing.T) {
+	m := New()
+	m.AddBinary("a")
+	if _, err := ToQUBO(m, QUBOOptions{EqPenalty: 0}); err == nil {
+		t.Fatal("ToQUBO accepted EqPenalty=0")
+	}
+}
+
+func TestQUBODetectsInfeasibleConstraint(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	m.AddConstraint("impossible", LinExpr{Terms: []Term{{a, 1}}, Offset: 5}, Le, 2)
+	if _, err := ToQUBO(m, DefaultQUBOOptions()); err == nil {
+		t.Fatal("ToQUBO accepted an infeasible constraint")
+	}
+}
+
+func TestQUBOToModelRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng, 5)
+		q, err := ToQUBO(m, DefaultQUBOOptions())
+		if err != nil {
+			// Random constraints can be genuinely infeasible; skip.
+			return true
+		}
+		back := q.ToModel()
+		if back.NumVars() != q.NumVars {
+			return false
+		}
+		// Energies agree on random assignments.
+		for k := 0; k < 20; k++ {
+			x := randAssign(rng, q.NumVars)
+			if !almostEqual(q.Energy(x), back.Objective(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQUBOObjectivePreservedOnFeasible(t *testing.T) {
+	// Property: for any model and any assignment feasible w.r.t. all
+	// constraints, the slack-encoded QUBO admits a slack completion with
+	// energy equal to the model objective. We verify by brute-forcing
+	// the best slack completion.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng, 4)
+		q, err := ToQUBO(m, QUBOOptions{Method: SlackPenalty, EqPenalty: 50})
+		if err != nil {
+			return true
+		}
+		slacks := q.NumVars - q.BaseVars
+		if slacks > 12 {
+			return true
+		}
+		ok := true
+		enumerate(4, func(x []bool) {
+			if !m.Feasible(x, 1e-9) {
+				return
+			}
+			best := 1e18
+			full := make([]bool, q.NumVars)
+			copy(full, x)
+			enumerate(slacks, func(s []bool) {
+				copy(full[q.BaseVars:], s)
+				if e := q.Energy(full); e < best {
+					best = e
+				}
+			})
+			if !almostEqual(best, m.Objective(x)) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresolveFixesForcedVariables(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	c := m.AddBinary("c")
+	// a + b <= 0 forces a = b = 0.
+	var e LinExpr
+	e.Add(a, 1)
+	e.Add(b, 1)
+	m.AddConstraint("zero", e, Le, 0)
+	// c >= 1 forces c = 1.
+	m.AddConstraint("one", LinExpr{Terms: []Term{{c, 1}}}, Ge, 1)
+	fixed, err := Presolve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fixed[a]; !ok || v {
+		t.Errorf("a not fixed to false: %v %v", v, ok)
+	}
+	if v, ok := fixed[b]; !ok || v {
+		t.Errorf("b not fixed to false: %v %v", v, ok)
+	}
+	if v, ok := fixed[c]; !ok || !v {
+		t.Errorf("c not fixed to true: %v %v", v, ok)
+	}
+}
+
+func TestPresolvePropagates(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	// a == 1, and a + b <= 1 then forces b = 0 after fixing a.
+	m.AddConstraint("a1", LinExpr{Terms: []Term{{a, 1}}}, Eq, 1)
+	var e LinExpr
+	e.Add(a, 1)
+	e.Add(b, 1)
+	m.AddConstraint("cap", e, Le, 1)
+	fixed, err := Presolve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fixed[a]; !ok || !v {
+		t.Errorf("a not fixed true")
+	}
+	if v, ok := fixed[b]; !ok || v {
+		t.Errorf("b not fixed false")
+	}
+}
+
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	m.AddConstraint("bad", LinExpr{Terms: []Term{{a, 1}}, Offset: 3}, Le, 1)
+	if _, err := Presolve(m); err == nil {
+		t.Fatal("Presolve missed infeasibility")
+	}
+}
+
+func TestPresolveSoundness(t *testing.T) {
+	// Property: any fixing returned by presolve is satisfied by every
+	// feasible assignment.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng, 6)
+		fixed, err := Presolve(m)
+		if err != nil {
+			// Claimed infeasible: verify no feasible assignment exists.
+			feasible := false
+			enumerate(6, func(x []bool) {
+				if m.Feasible(x, 1e-9) {
+					feasible = true
+				}
+			})
+			return !feasible
+		}
+		ok := true
+		enumerate(6, func(x []bool) {
+			if !m.Feasible(x, 1e-9) {
+				return
+			}
+			for v, val := range fixed {
+				if x[v] != val {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

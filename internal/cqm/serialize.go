@@ -1,0 +1,251 @@
+package cqm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteModel serializes a model to a line-oriented text format (the
+// role D-Wave's CQM file serialization plays: shipping a model to a
+// remote solver or archiving the exact problem an experiment solved).
+// The format round-trips exactly: floats are emitted with full
+// precision and names are quoted.
+//
+//	CQM 1
+//	VAR <id> <quoted name>
+//	OBJ OFFSET <v>
+//	OBJ LIN <var> <coef>
+//	OBJ QUAD <a> <b> <coef>
+//	OBJ SQ <offset> <n> (<var> <coef>)*
+//	CON <sense> <rhs> <offset> <n> (<var> <coef>)* <quoted name>
+func WriteModel(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "CQM 1")
+	for i := 0; i < m.NumVars(); i++ {
+		fmt.Fprintf(bw, "VAR %d %s\n", i, strconv.Quote(m.VarName(VarID(i))))
+	}
+	linear, quad, squares, offset := m.ObjectiveParts()
+	if offset != 0 {
+		fmt.Fprintf(bw, "OBJ OFFSET %s\n", fl(offset))
+	}
+	for _, t := range linear {
+		fmt.Fprintf(bw, "OBJ LIN %d %s\n", t.Var, fl(t.Coef))
+	}
+	for _, q := range quad {
+		fmt.Fprintf(bw, "OBJ QUAD %d %d %s\n", q.A, q.B, fl(q.Coef))
+	}
+	for _, sq := range squares {
+		fmt.Fprintf(bw, "OBJ SQ %s %d", fl(sq.Offset), len(sq.Terms))
+		for _, t := range sq.Terms {
+			fmt.Fprintf(bw, " %d %s", t.Var, fl(t.Coef))
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, c := range m.Constraints() {
+		fmt.Fprintf(bw, "CON %s %s %s %d", senseWord(c.Sense), fl(c.RHS), fl(c.Expr.Offset), len(c.Expr.Terms))
+		for _, t := range c.Expr.Terms {
+			fmt.Fprintf(bw, " %d %s", t.Var, fl(t.Coef))
+		}
+		fmt.Fprintf(bw, " %s\n", strconv.Quote(c.Name))
+	}
+	return bw.Flush()
+}
+
+func fl(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func senseWord(s Sense) string {
+	switch s {
+	case Eq:
+		return "EQ"
+	case Le:
+		return "LE"
+	case Ge:
+		return "GE"
+	}
+	return "??"
+}
+
+func parseSense(s string) (Sense, error) {
+	switch s {
+	case "EQ":
+		return Eq, nil
+	case "LE":
+		return Le, nil
+	case "GE":
+		return Ge, nil
+	}
+	return 0, fmt.Errorf("cqm: unknown sense %q", s)
+}
+
+// ReadModel parses the format written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("cqm: empty model stream")
+	}
+	if strings.TrimSpace(sc.Text()) != "CQM 1" {
+		return nil, fmt.Errorf("cqm: bad header %q", sc.Text())
+	}
+	m := New()
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(err error) (*Model, error) {
+			return nil, fmt.Errorf("cqm: line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "VAR":
+			if len(fields) < 3 {
+				return fail(fmt.Errorf("short VAR line"))
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fail(err)
+			}
+			name, err := strconv.Unquote(strings.Join(fields[2:], " "))
+			if err != nil {
+				return fail(err)
+			}
+			if got := m.AddBinary(name); int(got) != id {
+				return fail(fmt.Errorf("variable %d declared out of order (got id %d)", id, got))
+			}
+		case "OBJ":
+			if len(fields) < 2 {
+				return fail(fmt.Errorf("short OBJ line"))
+			}
+			switch fields[1] {
+			case "OFFSET":
+				v, err := parseFloatField(fields, 2)
+				if err != nil {
+					return fail(err)
+				}
+				m.AddObjectiveOffset(v)
+			case "LIN":
+				id, err1 := parseIntField(fields, 2)
+				v, err2 := parseFloatField(fields, 3)
+				if err1 != nil || err2 != nil {
+					return fail(fmt.Errorf("bad OBJ LIN"))
+				}
+				m.AddObjectiveLinear(VarID(id), v)
+			case "QUAD":
+				a, err1 := parseIntField(fields, 2)
+				b, err2 := parseIntField(fields, 3)
+				v, err3 := parseFloatField(fields, 4)
+				if err1 != nil || err2 != nil || err3 != nil {
+					return fail(fmt.Errorf("bad OBJ QUAD"))
+				}
+				m.AddObjectiveQuad(VarID(a), VarID(b), v)
+			case "SQ":
+				off, err1 := parseFloatField(fields, 2)
+				n, err2 := parseIntField(fields, 3)
+				if err1 != nil || err2 != nil || len(fields) != 4+2*n {
+					return fail(fmt.Errorf("bad OBJ SQ"))
+				}
+				e := LinExpr{Offset: off}
+				for k := 0; k < n; k++ {
+					id, err1 := parseIntField(fields, 4+2*k)
+					v, err2 := parseFloatField(fields, 5+2*k)
+					if err1 != nil || err2 != nil {
+						return fail(fmt.Errorf("bad OBJ SQ term %d", k))
+					}
+					e.Add(VarID(id), v)
+				}
+				m.AddObjectiveSquared(e)
+			default:
+				return fail(fmt.Errorf("unknown OBJ kind %q", fields[1]))
+			}
+		case "CON":
+			if len(fields) < 6 {
+				return fail(fmt.Errorf("short CON line"))
+			}
+			sense, err := parseSense(fields[1])
+			if err != nil {
+				return fail(err)
+			}
+			rhs, err1 := parseFloatField(fields, 2)
+			off, err2 := parseFloatField(fields, 3)
+			n, err3 := parseIntField(fields, 4)
+			if err1 != nil || err2 != nil || err3 != nil || len(fields) < 5+2*n+1 {
+				return fail(fmt.Errorf("bad CON line"))
+			}
+			e := LinExpr{Offset: off}
+			for k := 0; k < n; k++ {
+				id, err1 := parseIntField(fields, 5+2*k)
+				v, err2 := parseFloatField(fields, 6+2*k)
+				if err1 != nil || err2 != nil {
+					return fail(fmt.Errorf("bad CON term %d", k))
+				}
+				e.Add(VarID(id), v)
+			}
+			name, err := strconv.Unquote(strings.Join(fields[5+2*n:], " "))
+			if err != nil {
+				return fail(err)
+			}
+			m.AddConstraint(name, e, sense, rhs)
+		default:
+			return fail(fmt.Errorf("unknown record %q", fields[0]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cqm: %w", err)
+	}
+	// Validate variable references.
+	check := func(v VarID) error {
+		if int(v) < 0 || int(v) >= m.NumVars() {
+			return fmt.Errorf("cqm: reference to undeclared variable %d", v)
+		}
+		return nil
+	}
+	linear, quad, squares, _ := m.ObjectiveParts()
+	for _, t := range linear {
+		if err := check(t.Var); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range quad {
+		if err := check(q.A); err != nil {
+			return nil, err
+		}
+		if err := check(q.B); err != nil {
+			return nil, err
+		}
+	}
+	for _, sq := range squares {
+		for _, t := range sq.Terms {
+			if err := check(t.Var); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, c := range m.Constraints() {
+		for _, t := range c.Expr.Terms {
+			if err := check(t.Var); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+func parseIntField(fields []string, i int) (int, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing field %d", i)
+	}
+	return strconv.Atoi(fields[i])
+}
+
+func parseFloatField(fields []string, i int) (float64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing field %d", i)
+	}
+	return strconv.ParseFloat(fields[i], 64)
+}

@@ -1,0 +1,129 @@
+package cqm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func modelsEquivalent(a, b *Model, rng *rand.Rand) bool {
+	if a.NumVars() != b.NumVars() || a.NumConstraints() != b.NumConstraints() {
+		return false
+	}
+	n := a.NumVars()
+	for trial := 0; trial < 50; trial++ {
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 0
+		}
+		if !almostEqual(a.Objective(x), b.Objective(x)) {
+			return false
+		}
+		va, vb := a.Violations(x), b.Violations(x)
+		for i := range va {
+			if !almostEqual(va[i], vb[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randModel(rng, 7)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelsEquivalent(m, back, rng) {
+		t.Fatal("round-tripped model differs")
+	}
+	if back.VarName(0) != m.VarName(0) {
+		t.Fatal("names lost")
+	}
+}
+
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng, 1+rng.Intn(9))
+		var buf bytes.Buffer
+		if err := WriteModel(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadModel(&buf)
+		if err != nil {
+			return false
+		}
+		return modelsEquivalent(m, back, rng)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeNamesWithSpaces(t *testing.T) {
+	m := New()
+	m.AddBinary(`x with "spaces" and quotes`)
+	var e LinExpr
+	e.Add(0, 1)
+	m.AddConstraint(`cap of "everything"`, e, Le, 1)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.VarName(0) != `x with "spaces" and quotes` {
+		t.Fatalf("name = %q", back.VarName(0))
+	}
+	if back.Constraints()[0].Name != `cap of "everything"` {
+		t.Fatalf("constraint name = %q", back.Constraints()[0].Name)
+	}
+}
+
+func TestReadModelRejectsCorruption(t *testing.T) {
+	good := func() string {
+		rng := rand.New(rand.NewSource(1))
+		m := randModel(rng, 4)
+		var buf bytes.Buffer
+		if err := WriteModel(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "NOPE\n" + good[6:],
+		"unknown record": good + "WHAT 1 2 3\n",
+		"bad var id":     strings.Replace(good, "VAR 0", "VAR 7", 1),
+		"bad obj kind":   good + "OBJ CUBE 1 2\n",
+		"short con":      good + "CON LE 1\n",
+		"dangling ref":   good + "OBJ LIN 99 1\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadModel(strings.NewReader(data)); err == nil {
+			t.Errorf("case %q: corrupted model accepted", name)
+		}
+	}
+}
+
+func TestReadModelSkipsCommentsAndBlanks(t *testing.T) {
+	src := "CQM 1\n# a comment\n\nVAR 0 \"a\"\nOBJ LIN 0 2\n"
+	m, err := ReadModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Objective([]bool{true}); !almostEqual(got, 2) {
+		t.Fatalf("objective = %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package csvio reads and writes the paper's Appendix-B CSV formats:
+// the imbalance input table (per-process task counts, per-task load w,
+// and total load L) and the rebalancing output table (the migration
+// matrix with num_total/num_local/num_remote cross-checks and the new
+// total loads).
+//
+// In both tables rows are destination processes and columns P1..PM are
+// source processes, so the matrix cells correspond directly to
+// lrp.Plan.X[i][j].
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/lrp"
+)
+
+func procName(i int) string { return fmt.Sprintf("P%d", i+1) }
+
+// WriteInput renders an instance in the Appendix-B input format
+// (Table VI): a diagonal task-count matrix plus w and L columns.
+func WriteInput(w io.Writer, in *lrp.Instance) error {
+	cw := csv.NewWriter(w)
+	m := in.NumProcs()
+	header := make([]string, 0, m+3)
+	header = append(header, "Process")
+	for j := 0; j < m; j++ {
+		header = append(header, procName(j))
+	}
+	header = append(header, "w", "L")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < m; i++ {
+		row := make([]string, 0, m+3)
+		row = append(row, procName(i))
+		for j := 0; j < m; j++ {
+			c := 0
+			if i == j {
+				c = in.Tasks[i]
+			}
+			row = append(row, strconv.Itoa(c))
+		}
+		row = append(row,
+			strconv.FormatFloat(in.Weight[i], 'g', -1, 64),
+			strconv.FormatFloat(in.Load(i), 'g', -1, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadInput parses the Appendix-B input format back into an instance.
+// It validates the header shape, requires off-diagonal counts to be
+// zero (an input has no migrations yet), and cross-checks L against
+// count*w.
+func ReadInput(r io.Reader) (*lrp.Instance, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("csvio: input table needs a header and at least one row")
+	}
+	header := rows[0]
+	m := len(rows) - 1
+	if len(header) != m+3 {
+		return nil, fmt.Errorf("csvio: header has %d columns for %d processes, want %d", len(header), m, m+3)
+	}
+	if header[0] != "Process" || header[m+1] != "w" || header[m+2] != "L" {
+		return nil, fmt.Errorf("csvio: unexpected header %v", header)
+	}
+	tasks := make([]int, m)
+	weights := make([]float64, m)
+	for i, row := range rows[1:] {
+		if len(row) != m+3 {
+			return nil, fmt.Errorf("csvio: row %d has %d columns, want %d", i+1, len(row), m+3)
+		}
+		if row[0] != procName(i) {
+			return nil, fmt.Errorf("csvio: row %d labelled %q, want %q", i+1, row[0], procName(i))
+		}
+		for j := 0; j < m; j++ {
+			c, err := strconv.Atoi(row[j+1])
+			if err != nil {
+				return nil, fmt.Errorf("csvio: row %d col %d: %w", i+1, j+1, err)
+			}
+			switch {
+			case i == j:
+				tasks[i] = c
+			case c != 0:
+				return nil, fmt.Errorf("csvio: input table has off-diagonal count %d at (%d,%d)", c, i, j)
+			}
+		}
+		if weights[i], err = strconv.ParseFloat(row[m+1], 64); err != nil {
+			return nil, fmt.Errorf("csvio: row %d weight: %w", i+1, err)
+		}
+		l, err := strconv.ParseFloat(row[m+2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: row %d load: %w", i+1, err)
+		}
+		if want := float64(tasks[i]) * weights[i]; diff(l, want) > 1e-6*(1+want) {
+			return nil, fmt.Errorf("csvio: row %d load %v inconsistent with %d*%v", i+1, l, tasks[i], weights[i])
+		}
+	}
+	return lrp.NewInstance(tasks, weights)
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// WriteOutput renders a plan in the Appendix-B output format
+// (Table VII): the migration matrix plus num_total, num_local,
+// num_remote and the post-rebalancing loads.
+func WriteOutput(w io.Writer, in *lrp.Instance, p *lrp.Plan) error {
+	if err := p.Validate(in); err != nil {
+		return fmt.Errorf("csvio: refusing to write invalid plan: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	m := in.NumProcs()
+	header := make([]string, 0, m+5)
+	header = append(header, "Process")
+	for j := 0; j < m; j++ {
+		header = append(header, procName(j))
+	}
+	header = append(header, "num_total", "num_local", "num_remote", "L")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	loads := p.Loads(in)
+	for i := 0; i < m; i++ {
+		row := make([]string, 0, m+5)
+		row = append(row, procName(i))
+		total := 0
+		for j := 0; j < m; j++ {
+			row = append(row, strconv.Itoa(p.X[i][j]))
+			total += p.X[i][j]
+		}
+		local := p.X[i][i]
+		row = append(row,
+			strconv.Itoa(total),
+			strconv.Itoa(local),
+			strconv.Itoa(total-local),
+			strconv.FormatFloat(loads[i], 'g', -1, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadOutput parses the Appendix-B output format into a plan and
+// validates it against the instance, including the num_* cross-check
+// columns.
+func ReadOutput(r io.Reader, in *lrp.Instance) (*lrp.Plan, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	m := in.NumProcs()
+	if len(rows) != m+1 {
+		return nil, fmt.Errorf("csvio: output table has %d rows, want %d", len(rows), m+1)
+	}
+	p := lrp.ZeroPlan(m)
+	for i, row := range rows[1:] {
+		if len(row) != m+5 {
+			return nil, fmt.Errorf("csvio: row %d has %d columns, want %d", i+1, len(row), m+5)
+		}
+		total := 0
+		for j := 0; j < m; j++ {
+			c, err := strconv.Atoi(row[j+1])
+			if err != nil {
+				return nil, fmt.Errorf("csvio: row %d col %d: %w", i+1, j+1, err)
+			}
+			p.X[i][j] = c
+			total += c
+		}
+		wantTotal, err1 := strconv.Atoi(row[m+1])
+		wantLocal, err2 := strconv.Atoi(row[m+2])
+		wantRemote, err3 := strconv.Atoi(row[m+3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("csvio: row %d has non-integer cross-check columns", i+1)
+		}
+		if total != wantTotal || p.X[i][i] != wantLocal || total-p.X[i][i] != wantRemote {
+			return nil, fmt.Errorf("csvio: row %d cross-check mismatch", i+1)
+		}
+	}
+	if err := p.Validate(in); err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,228 @@
+package csvio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lrp"
+)
+
+// tableVIInstance is the paper's Table VI example: 4 processes, 100
+// tasks each, the exact weights shown in the appendix.
+func tableVIInstance() *lrp.Instance {
+	return lrp.MustInstance(
+		[]int{100, 100, 100, 100},
+		[]float64{1.87, 1.97, 14.86, 103.23},
+	)
+}
+
+func TestWriteInputMatchesTableVIShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInput(&buf, tableVIInstance()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	if lines[0] != "Process,P1,P2,P3,P4,w,L" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "P1,100,0,0,0,1.87,187") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[4], "P4,0,0,0,100,103.23,10323") {
+		t.Fatalf("row 4 = %q", lines[4])
+	}
+}
+
+func TestInputRoundTrip(t *testing.T) {
+	in := tableVIInstance()
+	var buf bytes.Buffer
+	if err := WriteInput(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInput(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumProcs() != in.NumProcs() {
+		t.Fatalf("procs %d != %d", back.NumProcs(), in.NumProcs())
+	}
+	for j := range in.Tasks {
+		if back.Tasks[j] != in.Tasks[j] || back.Weight[j] != in.Weight[j] {
+			t.Fatalf("proc %d mismatch: (%d,%v) vs (%d,%v)",
+				j, back.Tasks[j], back.Weight[j], in.Tasks[j], in.Weight[j])
+		}
+	}
+}
+
+func TestInputRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		tasks := make([]int, m)
+		weights := make([]float64, m)
+		for j := range tasks {
+			tasks[j] = rng.Intn(500)
+			weights[j] = float64(rng.Intn(100000)) / 100 // exact decimals
+		}
+		in := lrp.MustInstance(tasks, weights)
+		var buf bytes.Buffer
+		if err := WriteInput(&buf, in); err != nil {
+			return false
+		}
+		back, err := ReadInput(&buf)
+		if err != nil {
+			return false
+		}
+		for j := range tasks {
+			if back.Tasks[j] != tasks[j] || back.Weight[j] != weights[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadInputRejectsCorruption(t *testing.T) {
+	good := func() string {
+		var buf bytes.Buffer
+		if err := WriteInput(&buf, tableVIInstance()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := map[string]string{
+		"empty":            "",
+		"header only":      "Process,P1,w,L\n",
+		"off-diagonal":     strings.Replace(good, "P2,0,100", "P2,3,100", 1),
+		"bad count":        strings.Replace(good, "P1,100", "P1,abc", 1),
+		"bad weight":       strings.Replace(good, "1.87", "x", 1),
+		"inconsistent L":   strings.Replace(good, "187.ysuffix", "", 1) + "", // placeholder replaced below
+		"wrong row label":  strings.Replace(good, "\nP2,", "\nPX,", 1),
+		"truncated header": strings.Replace(good, "w,L", "w", 1),
+	}
+	cases["inconsistent L"] = strings.Replace(good, "187.00000000000003", "999", 1)
+	for name, data := range cases {
+		if name == "inconsistent L" && !strings.Contains(good, "187.00000000000003") {
+			// Formatting may differ; rebuild the corruption from parts.
+			data = strings.Replace(good, ",187", ",9999187", 1)
+		}
+		if _, err := ReadInput(strings.NewReader(data)); err == nil {
+			t.Errorf("case %q: corrupted input accepted", name)
+		}
+	}
+}
+
+func TestOutputRoundTrip(t *testing.T) {
+	in := tableVIInstance()
+	p := lrp.NewPlan(in)
+	// The Table VII scenario: P1 keeps 25 and sends 25 to each other
+	// process — expressed destination-major on our matrix.
+	p.Move(1, 0, 25)
+	p.Move(2, 0, 25)
+	p.Move(3, 0, 25)
+	p.Move(0, 3, 10)
+	var buf bytes.Buffer
+	if err := WriteOutput(&buf, in, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "num_total,num_local,num_remote") {
+		t.Fatalf("missing cross-check columns: %q", out)
+	}
+	back, err := ReadOutput(strings.NewReader(out), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.X {
+		for j := range p.X[i] {
+			if back.X[i][j] != p.X[i][j] {
+				t.Fatalf("cell (%d,%d): %d != %d", i, j, back.X[i][j], p.X[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteOutputRejectsInvalidPlan(t *testing.T) {
+	in := tableVIInstance()
+	p := lrp.ZeroPlan(4) // loses all tasks
+	var buf bytes.Buffer
+	if err := WriteOutput(&buf, in, p); err == nil {
+		t.Fatal("invalid plan written")
+	}
+}
+
+func TestReadOutputRejectsCorruption(t *testing.T) {
+	in := tableVIInstance()
+	p := lrp.NewPlan(in)
+	p.Move(1, 0, 25)
+	var buf bytes.Buffer
+	if err := WriteOutput(&buf, in, p); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	// Cross-check mismatch: change one matrix cell without fixing the
+	// totals.
+	bad := strings.Replace(good, "P2,25,100", "P2,24,100", 1)
+	if bad == good {
+		t.Fatalf("test setup: pattern not found in %q", good)
+	}
+	if _, err := ReadOutput(strings.NewReader(bad), in); err == nil {
+		t.Error("cross-check mismatch accepted")
+	}
+	// Wrong row count for instance.
+	small := lrp.MustInstance([]int{1, 1}, []float64{1, 1})
+	if _, err := ReadOutput(strings.NewReader(good), small); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := ReadOutput(strings.NewReader(""), in); err == nil {
+		t.Error("empty output accepted")
+	}
+}
+
+func TestOutputRoundTripProperty(t *testing.T) {
+	in := lrp.MustInstance([]int{9, 9, 9}, []float64{1, 2, 3})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := lrp.NewPlan(in)
+		for j := 0; j < 3; j++ {
+			avail := in.Tasks[j]
+			for i := 0; i < 3; i++ {
+				if i == j || avail == 0 {
+					continue
+				}
+				c := rng.Intn(avail + 1)
+				p.Move(i, j, c)
+				avail -= c
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteOutput(&buf, in, p); err != nil {
+			return false
+		}
+		back, err := ReadOutput(&buf, in)
+		if err != nil {
+			return false
+		}
+		for i := range p.X {
+			for j := range p.X[i] {
+				if back.X[i][j] != p.X[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

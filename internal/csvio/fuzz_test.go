@@ -1,0 +1,38 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lrp"
+)
+
+// FuzzReadInput asserts the Appendix-B input parser never panics and
+// that accepted inputs are valid instances that round-trip.
+func FuzzReadInput(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteInput(&buf, lrp.MustInstance([]int{3, 4}, []float64{1.5, 2})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("Process,P1,w,L\nP1,5,2,10\n")
+	f.Add("not,a,table\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		in, err := ReadInput(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid instance: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteInput(&out, in); err != nil {
+			t.Fatalf("accepted input failed to serialize: %v", err)
+		}
+		if _, err := ReadInput(&out); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+// Package dlb closes the loop the paper's introduction draws (Figure 1):
+// a bulk-synchronous application iterates, load drifts, and a
+// rebalancing method migrates tasks between iterations. The driver runs
+// any balancer.Rebalancer (classical or quantum-hybrid) inside a
+// multi-iteration simulated execution and accounts both the balance
+// achieved and the migration overhead paid — the trade-off the paper's
+// k constraint is about.
+//
+// It also provides a distributed work-stealing baseline (Section III's
+// related work): idle processes steal queued tasks from busy ones at
+// runtime, paying per-steal latency. Work stealing needs no load model
+// at all but pays for every stolen task during the iteration.
+package dlb
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/lrp"
+)
+
+// Workload produces the (possibly drifting) imbalance input of each BSP
+// iteration: given the iteration index it returns the per-process
+// uniform task model the application would report.
+type Workload interface {
+	// Iteration returns the LRP instance describing iteration it.
+	Iteration(it int) (*lrp.Instance, error)
+}
+
+// StaticWorkload repeats one instance every iteration.
+type StaticWorkload struct{ In *lrp.Instance }
+
+// Iteration implements Workload.
+func (w StaticWorkload) Iteration(int) (*lrp.Instance, error) { return w.In, nil }
+
+// DriftingWorkload perturbs a base instance's weights multiplicatively
+// each iteration, modelling a cost field that evolves (as AMR does).
+type DriftingWorkload struct {
+	Base *lrp.Instance
+	// Drift is the per-iteration multiplicative rotation of hot spots:
+	// weights are cyclically shifted by Drift processes each iteration.
+	Drift int
+}
+
+// Iteration implements Workload: the weight vector is rotated so the
+// hot process moves around the machine.
+func (w DriftingWorkload) Iteration(it int) (*lrp.Instance, error) {
+	m := w.Base.NumProcs()
+	if m == 0 {
+		return nil, fmt.Errorf("dlb: empty base instance")
+	}
+	shift := ((it*w.Drift)%m + m) % m // Go's % keeps the dividend's sign
+	weights := make([]float64, m)
+	for j := 0; j < m; j++ {
+		weights[j] = w.Base.Weight[(j+shift)%m]
+	}
+	return lrp.NewInstance(w.Base.Tasks, weights)
+}
+
+// Config shapes the simulated machine and the migration cost model.
+type Config struct {
+	// Runtime is the per-process machine model.
+	Runtime chameleon.Config
+	// Iterations is the number of BSP iterations to run.
+	Iterations int
+}
+
+// IterationResult records one iteration of the driven run.
+type IterationResult struct {
+	// BaselineMakespanMs is the makespan without rebalancing.
+	BaselineMakespanMs float64
+	// MakespanMs is the makespan with the method's plan applied
+	// (including in-flight migration delays).
+	MakespanMs float64
+	// Migrated is the number of tasks the method moved.
+	Migrated int
+	// CommMs is the communication time spent on migrations.
+	CommMs float64
+	// Imbalance is R_imb of the plan's load vector.
+	Imbalance float64
+}
+
+// Result aggregates a full run.
+type Result struct {
+	Iterations []IterationResult
+	// TotalMakespanMs and TotalBaselineMs sum the per-iteration times.
+	TotalMakespanMs, TotalBaselineMs float64
+	// TotalMigrated sums migrations across iterations.
+	TotalMigrated int
+	// Speedup is TotalBaselineMs / TotalMakespanMs.
+	Speedup float64
+}
+
+// Run drives a rebalancer through cfg.Iterations BSP iterations of the
+// workload: each iteration the method sees the current imbalance input,
+// produces a plan, the plan is executed on the runtime simulator
+// (paying migration costs), and the iteration's makespan is recorded.
+func Run(w Workload, method balancer.Rebalancer, cfg Config) (Result, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	var res Result
+	for it := 0; it < cfg.Iterations; it++ {
+		in, err := w.Iteration(it)
+		if err != nil {
+			return res, err
+		}
+		base, err := chameleon.New(cfg.Runtime, in)
+		if err != nil {
+			return res, err
+		}
+		baseStats := base.RunIteration()
+
+		plan, err := method.Rebalance(in)
+		if err != nil {
+			return res, fmt.Errorf("dlb: iteration %d: %w", it, err)
+		}
+		rt, err := chameleon.New(cfg.Runtime, in)
+		if err != nil {
+			return res, err
+		}
+		mig, err := rt.ApplyPlan(plan)
+		if err != nil {
+			return res, fmt.Errorf("dlb: iteration %d: %w", it, err)
+		}
+		st := rt.RunIteration()
+
+		ir := IterationResult{
+			BaselineMakespanMs: baseStats.MakespanMs,
+			MakespanMs:         st.MakespanMs,
+			Migrated:           mig.Tasks,
+			CommMs:             mig.CommTimeMs,
+			Imbalance:          lrp.Evaluate(in, plan).Imbalance,
+		}
+		res.Iterations = append(res.Iterations, ir)
+		res.TotalBaselineMs += ir.BaselineMakespanMs
+		res.TotalMakespanMs += ir.MakespanMs
+		res.TotalMigrated += ir.Migrated
+	}
+	if res.TotalMakespanMs > 0 {
+		res.Speedup = res.TotalBaselineMs / res.TotalMakespanMs
+	}
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package dlb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/lrp"
+)
+
+func testInstance() *lrp.Instance {
+	return lrp.MustInstance([]int{12, 12, 12, 12}, []float64{1, 1, 1, 5})
+}
+
+func runtimeCfg() chameleon.Config {
+	return chameleon.Config{Workers: 2, LatencyMs: 0.2, PerTaskMs: 0.1}
+}
+
+func TestStaticWorkload(t *testing.T) {
+	w := StaticWorkload{In: testInstance()}
+	a, err := w.Iteration(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Iteration(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Weight {
+		if a.Weight[j] != b.Weight[j] {
+			t.Fatal("static workload drifted")
+		}
+	}
+}
+
+func TestDriftingWorkloadRotates(t *testing.T) {
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	in0, err := w.Iteration(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1, err := w.Iteration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotation preserves the weight multiset but moves the hot spot.
+	if in0.Weight[3] != 5 {
+		t.Fatalf("iteration 0 weights %v", in0.Weight)
+	}
+	hot := -1
+	for j, wgt := range in1.Weight {
+		if wgt == 5 {
+			hot = j
+		}
+	}
+	if hot == 3 {
+		t.Fatal("drift did not move the hot process")
+	}
+	if in1.Imbalance() != in0.Imbalance() {
+		t.Fatal("rotation changed the imbalance level")
+	}
+	// Empty base errors.
+	bad := DriftingWorkload{Base: &lrp.Instance{}}
+	if _, err := bad.Iteration(0); err == nil {
+		t.Fatal("empty base accepted")
+	}
+}
+
+func TestRunImprovesDriftingWorkload(t *testing.T) {
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	cfg := Config{Runtime: runtimeCfg(), Iterations: 4}
+	res, err := Run(w, balancer.ProactLB{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 4 {
+		t.Fatalf("%d iterations", len(res.Iterations))
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("rebalancing should beat baseline on a drifting hot spot, speedup %v", res.Speedup)
+	}
+	if res.TotalMigrated == 0 {
+		t.Fatal("no migrations on an imbalanced workload")
+	}
+	for i, ir := range res.Iterations {
+		if ir.MakespanMs <= 0 || ir.BaselineMakespanMs <= 0 {
+			t.Fatalf("iteration %d: %+v", i, ir)
+		}
+	}
+}
+
+func TestRunBaselineMethodIsNeutral(t *testing.T) {
+	w := StaticWorkload{In: testInstance()}
+	res, err := Run(w, balancer.Baseline{}, Config{Runtime: runtimeCfg(), Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Speedup-1) > 1e-9 {
+		t.Fatalf("baseline method speedup %v, want 1", res.Speedup)
+	}
+	if res.TotalMigrated != 0 {
+		t.Fatal("baseline migrated tasks")
+	}
+}
+
+func TestRunDefaultsToOneIteration(t *testing.T) {
+	res, err := Run(StaticWorkload{In: testInstance()}, balancer.Greedy{}, Config{Runtime: runtimeCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 1 {
+		t.Fatalf("%d iterations, want 1", len(res.Iterations))
+	}
+}
+
+func TestWorkStealingBalancesAndCounts(t *testing.T) {
+	in := testInstance()
+	ws := WorkStealing{Workers: 2, StealLatencyMs: 0.1}
+	res, err := ws.Simulate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals == 0 {
+		t.Fatal("no steals on an imbalanced input")
+	}
+	if err := res.StolenPlan.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.StolenPlan.Migrated(); got != res.Steals {
+		t.Fatalf("plan migrations %d != steals %d", got, res.Steals)
+	}
+	// Stealing beats the no-stealing makespan: hot proc alone would
+	// take 12*5/2 = 30.
+	if res.MakespanMs >= 30 {
+		t.Fatalf("makespan %v, stealing should beat 30", res.MakespanMs)
+	}
+	// And cannot beat the theoretical optimum total/(m*workers).
+	lower := in.TotalLoad() / 8
+	if res.MakespanMs < lower-1e-9 {
+		t.Fatalf("makespan %v below the physical bound %v", res.MakespanMs, lower)
+	}
+}
+
+func TestWorkStealingBalancedInputNoSteals(t *testing.T) {
+	in := lrp.MustInstance([]int{10, 10}, []float64{2, 2})
+	res, err := WorkStealing{Workers: 2}.Simulate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals != 0 {
+		t.Fatalf("%d steals on a balanced input", res.Steals)
+	}
+	if math.Abs(res.MakespanMs-10) > 1e-9 {
+		t.Fatalf("makespan %v, want 10", res.MakespanMs)
+	}
+}
+
+func TestWorkStealingValidation(t *testing.T) {
+	if _, err := (WorkStealing{}).Simulate(testInstance()); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestWorkStealingLatencySlowdownProperty(t *testing.T) {
+	// Higher steal latency never improves the makespan.
+	f := func(l1Raw, l2Raw uint8) bool {
+		l1 := float64(l1Raw) / 16
+		l2 := float64(l2Raw) / 16
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		in := testInstance()
+		a, err := WorkStealing{Workers: 2, StealLatencyMs: l1}.Simulate(in)
+		if err != nil {
+			return false
+		}
+		b, err := WorkStealing{Workers: 2, StealLatencyMs: l2}.Simulate(in)
+		if err != nil {
+			return false
+		}
+		return a.MakespanMs <= b.MakespanMs+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkStealingConservesTasksProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		base := testInstance()
+		w := DriftingWorkload{Base: base, Drift: int(seed%4) + 1}
+		in, err := w.Iteration(int(seed % 7))
+		if err != nil {
+			return false
+		}
+		res, err := WorkStealing{Workers: 3, StealLatencyMs: 0.05}.Simulate(in)
+		if err != nil {
+			return false
+		}
+		return res.StolenPlan.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

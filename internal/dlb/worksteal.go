@@ -1,0 +1,119 @@
+package dlb
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/lrp"
+)
+
+// WorkStealing simulates the classic dynamic-LB alternative the paper's
+// related work discusses (Blumofe & Leiserson; delayed in HPC per Li et
+// al.): during an iteration, a process that runs out of work steals a
+// queued task from the currently busiest process, paying StealLatencyMs
+// per steal. Unlike the LRP methods it needs no load model, but every
+// steal happens on the critical path.
+type WorkStealing struct {
+	// Workers per process.
+	Workers int
+	// StealLatencyMs is the delay between requesting and receiving a
+	// stolen task.
+	StealLatencyMs float64
+}
+
+// StealResult reports a simulated work-stealing iteration.
+type StealResult struct {
+	// MakespanMs is the iteration wall time.
+	MakespanMs float64
+	// Steals counts successful steals.
+	Steals int
+	// StolenPlan records where tasks ended up, as a migration plan
+	// (evaluable with lrp.Evaluate like any other method's output).
+	StolenPlan *lrp.Plan
+}
+
+// procState tracks one process during the stealing simulation.
+type procState struct {
+	idx     int
+	queued  int     // tasks not yet started
+	w       float64 // per-task load
+	busyTil []float64
+}
+
+// Simulate runs one iteration with work stealing. Each process executes
+// its own queue on Workers workers; when a process would idle and some
+// other process still has queued tasks, it steals one from the process
+// with the most remaining queued work.
+func (ws WorkStealing) Simulate(in *lrp.Instance) (StealResult, error) {
+	if ws.Workers <= 0 {
+		return StealResult{}, fmt.Errorf("dlb: work stealing needs positive Workers")
+	}
+	m := in.NumProcs()
+	procs := make([]procState, m)
+	for j := 0; j < m; j++ {
+		procs[j] = procState{idx: j, queued: in.Tasks[j], w: in.Weight[j], busyTil: make([]float64, ws.Workers)}
+	}
+	plan := lrp.NewPlan(in)
+	res := StealResult{}
+
+	// Event-free greedy simulation: repeatedly take the globally
+	// earliest-free worker and give it a task — local if its process
+	// has one queued, stolen from the max-remaining-work process
+	// otherwise.
+	h := &workerHeap{}
+	for j := range procs {
+		for s := range procs[j].busyTil {
+			heap.Push(h, workerRef{j, s, 0})
+		}
+	}
+	remainingWork := func(j int) float64 { return float64(procs[j].queued) * procs[j].w }
+	totalQueued := in.NumTasks()
+	for totalQueued > 0 {
+		wr := heap.Pop(h).(workerRef)
+		p := &procs[wr.proc]
+		start := wr.free
+		var load float64
+		if p.queued > 0 {
+			p.queued--
+			load = p.w
+		} else {
+			// Steal from the busiest queue.
+			victim := -1
+			for j := range procs {
+				if procs[j].queued > 0 && (victim < 0 || remainingWork(j) > remainingWork(victim)) {
+					victim = j
+				}
+			}
+			if victim < 0 {
+				continue // nothing left anywhere; worker retires
+			}
+			procs[victim].queued--
+			load = procs[victim].w
+			start += ws.StealLatencyMs
+			plan.Move(wr.proc, victim, 1)
+			res.Steals++
+		}
+		totalQueued--
+		end := start + load
+		if end > res.MakespanMs {
+			res.MakespanMs = end
+		}
+		heap.Push(h, workerRef{wr.proc, wr.slot, end})
+	}
+	res.StolenPlan = plan
+	return res, nil
+}
+
+// workerRef is one worker slot in the global earliest-free heap.
+type workerRef struct {
+	proc, slot int
+	free       float64
+}
+
+type workerHeap []workerRef
+
+func (h workerHeap) Len() int           { return len(h) }
+func (h workerHeap) Less(i, j int) bool { return h[i].free < h[j].free }
+func (h workerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x any)        { *h = append(*h, x.(workerRef)) }
+func (h *workerHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

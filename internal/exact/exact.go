@@ -1,0 +1,250 @@
+// Package exact implements a depth-first branch-and-bound solver for
+// small constrained quadratic models. It serves as ground truth for the
+// heuristic solvers: on instances small enough to solve exactly, the
+// hybrid solver's answers are cross-checked against this one in tests.
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/cqm"
+)
+
+// ErrNodeBudget is returned when the search exceeds its node budget
+// before proving optimality.
+var ErrNodeBudget = errors.New("exact: node budget exhausted")
+
+// Result is the outcome of an exact solve.
+type Result struct {
+	// Best is an optimal feasible assignment (nil if none exists).
+	Best []bool
+	// Objective is the optimal objective value (+Inf if infeasible).
+	Objective float64
+	// Feasible reports whether any feasible assignment exists.
+	Feasible bool
+	// Nodes counts explored search nodes.
+	Nodes int64
+}
+
+const tol = 1e-9
+
+type solver struct {
+	m        *cqm.Model
+	n        int
+	x        []bool
+	maxNodes int64
+	nodes    int64
+
+	cons []consState
+	lin  linState
+	sqs  []sqState
+	quad []cqm.QuadTerm
+
+	best    []bool
+	found   bool
+	bestObj float64
+	budget  bool // budget exceeded
+}
+
+// consState tracks one directional (<=) constraint half with suffix
+// contribution bounds by depth.
+type consState struct {
+	coef           []float64 // per-variable coefficient (dense)
+	rhs            float64
+	cur            float64   // offset + assigned contributions
+	sufMin, sufMax []float64 // remaining contribution bounds from depth d
+	sense          cqm.Sense
+}
+
+type linState struct {
+	coef   []float64
+	cur    float64
+	sufMin []float64
+}
+
+type sqState struct {
+	coef           []float64
+	cur            float64
+	sufMin, sufMax []float64
+}
+
+func buildSuffix(coef []float64) (sufMin, sufMax []float64) {
+	n := len(coef)
+	sufMin = make([]float64, n+1)
+	sufMax = make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		sufMin[d] = sufMin[d+1] + math.Min(0, coef[d])
+		sufMax[d] = sufMax[d+1] + math.Max(0, coef[d])
+	}
+	return sufMin, sufMax
+}
+
+// Solve finds the optimal feasible assignment of m by branch and bound,
+// exploring at most maxNodes nodes (0 means a default of 50 million). It
+// returns ErrNodeBudget if the budget is exhausted before the search
+// completes; the Result then holds the incumbent.
+func Solve(m *cqm.Model, maxNodes int64) (Result, error) {
+	if maxNodes <= 0 {
+		maxNodes = 50_000_000
+	}
+	n := m.NumVars()
+	s := &solver{
+		m:        m,
+		n:        n,
+		x:        make([]bool, n),
+		maxNodes: maxNodes,
+		bestObj:  math.Inf(1),
+	}
+
+	linear, quad, squares, offset := m.ObjectiveParts()
+	s.lin.coef = make([]float64, n)
+	for _, t := range linear {
+		s.lin.coef[t.Var] += t.Coef
+	}
+	s.lin.cur = offset
+	s.lin.sufMin = make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		s.lin.sufMin[d] = s.lin.sufMin[d+1] + math.Min(0, s.lin.coef[d])
+	}
+	s.quad = quad
+
+	for i := range squares {
+		st := sqState{coef: make([]float64, n), cur: squares[i].Offset}
+		for _, t := range squares[i].Terms {
+			st.coef[t.Var] += t.Coef
+		}
+		st.sufMin, st.sufMax = buildSuffix(st.coef)
+		s.sqs = append(s.sqs, st)
+	}
+
+	for _, c := range m.Constraints() {
+		st := consState{coef: make([]float64, n), rhs: c.RHS, cur: c.Expr.Offset, sense: c.Sense}
+		for _, t := range c.Expr.Terms {
+			st.coef[t.Var] += t.Coef
+		}
+		st.sufMin, st.sufMax = buildSuffix(st.coef)
+		s.cons = append(s.cons, st)
+	}
+
+	s.dfs(0)
+
+	res := Result{Nodes: s.nodes, Objective: s.bestObj, Feasible: s.found, Best: s.best}
+	if s.found && res.Best == nil {
+		res.Best = []bool{}
+	}
+	if s.budget {
+		return res, ErrNodeBudget
+	}
+	return res, nil
+}
+
+// bound returns an admissible lower bound on the objective over all
+// completions of the partial assignment at depth d.
+func (s *solver) bound(d int) float64 {
+	b := s.lin.cur + s.lin.sufMin[d]
+	for i := range s.sqs {
+		lo := s.sqs[i].cur + s.sqs[i].sufMin[d]
+		hi := s.sqs[i].cur + s.sqs[i].sufMax[d]
+		switch {
+		case lo > 0:
+			b += lo * lo
+		case hi < 0:
+			b += hi * hi
+		}
+	}
+	for _, q := range s.quad {
+		ai, bi := int(q.A), int(q.B)
+		switch {
+		case ai < d && bi < d:
+			if s.x[ai] && s.x[bi] {
+				b += q.Coef
+			}
+		case ai < d && !s.x[ai], bi < d && !s.x[bi]:
+			// Pair already dead; contributes 0.
+		default:
+			b += math.Min(0, q.Coef)
+		}
+	}
+	return b
+}
+
+// feasiblePossible reports whether any completion at depth d can satisfy
+// all constraints.
+func (s *solver) feasiblePossible(d int) bool {
+	for i := range s.cons {
+		c := &s.cons[i]
+		lo := c.cur + c.sufMin[d]
+		hi := c.cur + c.sufMax[d]
+		switch c.sense {
+		case cqm.Le:
+			if lo > c.rhs+tol {
+				return false
+			}
+		case cqm.Ge:
+			if hi < c.rhs-tol {
+				return false
+			}
+		case cqm.Eq:
+			if lo > c.rhs+tol || hi < c.rhs-tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *solver) dfs(d int) {
+	if s.budget {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.budget = true
+		return
+	}
+	if !s.feasiblePossible(d) {
+		return
+	}
+	if s.bound(d) >= s.bestObj-tol {
+		return
+	}
+	if d == s.n {
+		obj := s.lin.cur
+		for i := range s.sqs {
+			obj += s.sqs[i].cur * s.sqs[i].cur
+		}
+		for _, q := range s.quad {
+			if s.x[q.A] && s.x[q.B] {
+				obj += q.Coef
+			}
+		}
+		if obj < s.bestObj {
+			s.bestObj = obj
+			s.found = true
+			s.best = append(s.best[:0], s.x...)
+		}
+		return
+	}
+	// Branch: try 0 first (keeps squares small in LRP models), then 1.
+	s.x[d] = false
+	s.dfs(d + 1)
+
+	s.x[d] = true
+	s.lin.cur += s.lin.coef[d]
+	for i := range s.sqs {
+		s.sqs[i].cur += s.sqs[i].coef[d]
+	}
+	for i := range s.cons {
+		s.cons[i].cur += s.cons[i].coef[d]
+	}
+	s.dfs(d + 1)
+	s.lin.cur -= s.lin.coef[d]
+	for i := range s.sqs {
+		s.sqs[i].cur -= s.sqs[i].coef[d]
+	}
+	for i := range s.cons {
+		s.cons[i].cur -= s.cons[i].coef[d]
+	}
+	s.x[d] = false
+}

@@ -1,0 +1,143 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cqm"
+)
+
+func bruteForce(m *cqm.Model) (float64, bool) {
+	n := m.NumVars()
+	best := math.Inf(1)
+	found := false
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<i) != 0
+		}
+		if !m.Feasible(x, 1e-9) {
+			continue
+		}
+		found = true
+		if obj := m.Objective(x); obj < best {
+			best = obj
+		}
+	}
+	return best, found
+}
+
+func randConstrainedModel(rng *rand.Rand, nv int) *cqm.Model {
+	m := cqm.New()
+	var sq, card cqm.LinExpr
+	for i := 0; i < nv; i++ {
+		v := m.AddBinary("x")
+		if rng.Intn(2) == 0 {
+			m.AddObjectiveLinear(v, float64(rng.Intn(9)-4))
+		}
+		sq.Add(v, float64(rng.Intn(7)-3))
+		card.Add(v, 1)
+	}
+	sq.Offset = float64(rng.Intn(5) - 2)
+	m.AddObjectiveSquared(sq)
+	for k := 0; k < 2; k++ {
+		a, b := cqm.VarID(rng.Intn(nv)), cqm.VarID(rng.Intn(nv))
+		m.AddObjectiveQuad(a, b, float64(rng.Intn(7)-3))
+	}
+	senses := []cqm.Sense{cqm.Le, cqm.Ge, cqm.Eq}
+	m.AddConstraint("card", card, senses[rng.Intn(3)], float64(rng.Intn(nv+1)))
+	return m
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randConstrainedModel(rng, 8)
+		want, feasible := bruteForce(m)
+		res, err := Solve(m, 0)
+		if err != nil {
+			return false
+		}
+		if res.Feasible != feasible {
+			return false
+		}
+		if !feasible {
+			return math.IsInf(res.Objective, 1)
+		}
+		if math.Abs(res.Objective-want) > 1e-9 {
+			return false
+		}
+		// The reported assignment must actually achieve the optimum.
+		return m.Feasible(res.Best, 1e-9) && math.Abs(m.Objective(res.Best)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveInfeasibleModel(t *testing.T) {
+	m := cqm.New()
+	a := m.AddBinary("a")
+	m.AddConstraint("c1", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Ge, 1)
+	m.AddConstraint("c2", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Le, 0)
+	res, err := Solve(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || res.Best != nil {
+		t.Fatalf("infeasible model reported feasible: %+v", res)
+	}
+}
+
+func TestSolveNodeBudget(t *testing.T) {
+	// A 24-variable partition problem cannot be solved in 10 nodes.
+	m := cqm.New()
+	var e cqm.LinExpr
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 24; i++ {
+		v := m.AddBinary("x")
+		e.Add(v, float64(1+rng.Intn(100)))
+	}
+	e.Offset = -500
+	m.AddObjectiveSquared(e)
+	_, err := Solve(m, 10)
+	if err != ErrNodeBudget {
+		t.Fatalf("err = %v, want ErrNodeBudget", err)
+	}
+}
+
+func TestSolvePartitionOptimum(t *testing.T) {
+	// Perfect partition: {1..8} against target 18 has objective 0.
+	m := cqm.New()
+	var e cqm.LinExpr
+	for i := 1; i <= 8; i++ {
+		v := m.AddBinary("x")
+		e.Add(v, float64(i))
+	}
+	e.Offset = -18
+	m.AddObjectiveSquared(e)
+	res, err := Solve(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 0 {
+		t.Fatalf("Objective = %v, want 0", res.Objective)
+	}
+	if res.Nodes <= 0 {
+		t.Fatal("node counter not incremented")
+	}
+}
+
+func TestSolveEmptyModel(t *testing.T) {
+	m := cqm.New()
+	m.AddObjectiveOffset(3)
+	res, err := Solve(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 3 {
+		t.Fatalf("empty model: %+v", res)
+	}
+}

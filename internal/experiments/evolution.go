@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+	"repro/internal/report"
+	"repro/internal/samoa"
+)
+
+// EvolutionPoint is one time step of the imbalance-evolution study: the
+// motivating story of the paper's Figure 1 played out on the live AMR
+// workload. As the wet/dry front moves, section costs drift; without
+// rebalancing the imbalance accumulates, with periodic rebalancing it is
+// repeatedly pulled back down.
+type EvolutionPoint struct {
+	// Step is the simulation time-step index.
+	Step int
+	// Cells is the current mesh size.
+	Cells int
+	// RawImbalance is R_imb of the drifting workload with the original
+	// (static) partition.
+	RawImbalance float64
+	// RebalancedImbalance is R_imb right after this step's rebalancing
+	// (only set on rebalancing steps; otherwise it carries the raw
+	// value of the current assignment under the last plan).
+	RebalancedImbalance float64
+	// Migrated counts tasks moved at this step (0 between rebalances).
+	Migrated int
+}
+
+// EvolutionParams shapes the study.
+type EvolutionParams struct {
+	// Procs and TasksPerProc shape the LRP inputs.
+	Procs, TasksPerProc int
+	// MeshDepth is the initial uniform refinement.
+	MeshDepth int
+	// Steps is the number of simulation steps to run.
+	Steps int
+	// RebalanceEvery applies the rebalancer every this many steps
+	// (<= 0 disables rebalancing).
+	RebalanceEvery int
+}
+
+// RunEvolution advances the oscillating-lake simulation and tracks the
+// imbalance of the section-cost workload over time, applying method
+// periodically. The rebalanced series evaluates each step's true costs
+// under the most recent migration plan.
+func RunEvolution(p EvolutionParams, method balancer.Rebalancer) ([]EvolutionPoint, error) {
+	cfg := samoa.DefaultConfig()
+	cfg.MaxDepth = p.MeshDepth + 2
+	sim := samoa.NewOscillatingLake(cfg, p.MeshDepth)
+	cm := samoa.DefaultCostModel()
+
+	var plan *lrp.Plan
+	out := make([]EvolutionPoint, 0, p.Steps)
+	for step := 0; step < p.Steps; step++ {
+		st := sim.Step()
+		in, err := samoa.ImbalanceInput(sim.Mesh, p.Procs, p.TasksPerProc, cm)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: evolution step %d: %w", step, err)
+		}
+		pt := EvolutionPoint{Step: step, Cells: st.Cells, RawImbalance: in.Imbalance()}
+
+		if p.RebalanceEvery > 0 && step%p.RebalanceEvery == 0 {
+			plan, err = method.Rebalance(in)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: evolution step %d: %w", step, err)
+			}
+			pt.Migrated = plan.Migrated()
+		}
+		if plan != nil && plan.NumProcs() == in.NumProcs() {
+			// Evaluate the current costs under the last plan; a stale
+			// plan degrades as the workload drifts — exactly the drift
+			// the paper's runtime rebalancing addresses.
+			pt.RebalancedImbalance = lrp.Imbalance(plan.Loads(in))
+		} else {
+			pt.RebalancedImbalance = pt.RawImbalance
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// EvolutionFigure renders the two imbalance series over time.
+func EvolutionFigure(points []EvolutionPoint, title string) *report.Figure {
+	labels := make([]string, len(points))
+	raw := make([]float64, len(points))
+	reb := make([]float64, len(points))
+	for i, p := range points {
+		labels[i] = fmt.Sprintf("t%d", p.Step)
+		raw[i] = p.RawImbalance
+		reb[i] = p.RebalancedImbalance
+	}
+	f := report.NewFigure(title, "time step", "R_imb", labels)
+	f.Add("static partition", raw)
+	f.Add("rebalanced", reb)
+	return f
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/balancer"
+)
+
+func TestRunEvolution(t *testing.T) {
+	p := EvolutionParams{Procs: 4, TasksPerProc: 8, MeshDepth: 7, Steps: 12, RebalanceEvery: 3}
+	points, err := RunEvolution(p, balancer.ProactLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 12 {
+		t.Fatalf("%d points", len(points))
+	}
+	rawSum, rebSum := 0.0, 0.0
+	migrations := 0
+	for i, pt := range points {
+		if pt.Step != i || pt.Cells <= 0 {
+			t.Fatalf("point %d malformed: %+v", i, pt)
+		}
+		rawSum += pt.RawImbalance
+		rebSum += pt.RebalancedImbalance
+		migrations += pt.Migrated
+		if i%3 != 0 && pt.Migrated != 0 {
+			t.Fatalf("migration outside rebalancing step: %+v", pt)
+		}
+	}
+	if migrations == 0 {
+		t.Fatal("rebalancer never moved anything")
+	}
+	// Periodic rebalancing keeps the time-averaged imbalance below the
+	// static partition's.
+	if rebSum >= rawSum {
+		t.Fatalf("rebalanced average %v not below static %v", rebSum/12, rawSum/12)
+	}
+	fig := EvolutionFigure(points, "evolution")
+	out := fig.Table().Render()
+	for _, want := range []string{"static partition", "rebalanced", "t11"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure missing %q", want)
+		}
+	}
+}
+
+func TestRunEvolutionNoRebalancing(t *testing.T) {
+	p := EvolutionParams{Procs: 4, TasksPerProc: 8, MeshDepth: 7, Steps: 4, RebalanceEvery: 0}
+	points, err := RunEvolution(p, balancer.ProactLB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Migrated != 0 {
+			t.Fatal("migrations with rebalancing disabled")
+		}
+		if pt.RebalancedImbalance != pt.RawImbalance {
+			t.Fatal("series diverged without any plan")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package experiments reproduces the paper's evaluation (Section V):
+// each runner regenerates the rows/series of one table or figure from
+// the workload generators, the classical baselines, and the
+// quantum-hybrid CQM methods, following the paper's protocol:
+//
+//   - classical algorithms run first; k1 is ProactLB's migration count
+//     and k2 is Greedy's (Section V-B: "k1 corresponds to the tasks
+//     migrated using ProactLB, while k2 reflects the count from Greedy
+//     and KK");
+//   - each hybrid solve is repeated Config.Reps times and the best
+//     result is kept ("we ran each experiment with the CQM solver at
+//     least three times ... we select the best results");
+//   - R_imb and speedup are computed from the rebalancing solution, as
+//     in the paper.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+)
+
+// Config tunes experiment cost and reproducibility.
+type Config struct {
+	// Seed drives every random choice.
+	Seed int64
+	// Reps is the number of hybrid repetitions per method (best kept).
+	Reps int
+	// Reads and Sweeps budget each hybrid solve.
+	Reads, Sweeps int
+	// Workers caps solver parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Timing is the simulated cloud/QPU timing model.
+	Timing hybrid.TimingModel
+}
+
+// DefaultConfig matches the paper's protocol (best of 3 repetitions)
+// with a solver budget sized for the full experiment scales.
+func DefaultConfig() Config {
+	return Config{
+		Seed:   2024,
+		Reps:   3,
+		Reads:  8,
+		Sweeps: 600,
+		Timing: hybrid.DefaultTimingModel(),
+	}
+}
+
+// FastConfig is a reduced budget for tests and quick runs.
+func FastConfig() Config {
+	return Config{
+		Seed:   7,
+		Reps:   1,
+		Reads:  4,
+		Sweeps: 250,
+		Timing: hybrid.DefaultTimingModel(),
+	}
+}
+
+func (cfg Config) hybridOptions(seed int64) hybrid.Options {
+	return hybrid.Options{
+		Reads:         cfg.Reads,
+		Sweeps:        cfg.Sweeps,
+		Workers:       cfg.Workers,
+		Seed:          seed,
+		Presolve:      true,
+		Penalty:       5,
+		PenaltyGrowth: 4,
+		Timing:        cfg.Timing,
+	}
+}
+
+// MethodResult is one method's outcome on one case — one cell group of
+// the paper's tables.
+type MethodResult struct {
+	// Method is the paper's method label (e.g. "Q_CQM1_k1").
+	Method string
+	// Metrics carries R_imb, speedup, and migration counts.
+	Metrics lrp.Metrics
+	// RuntimeMs is the method's runtime overhead: wall time for
+	// classical algorithms, simulated CPU time (solver + cloud latency)
+	// for hybrid methods.
+	RuntimeMs float64
+	// QPUMs is the simulated quantum access time (0 for classical).
+	QPUMs float64
+	// Qubits is the CQM variable count (0 for classical).
+	Qubits int
+	// Plan is the migration plan the metrics were computed from.
+	Plan *lrp.Plan
+}
+
+// CaseResult is every method's outcome on one imbalance case.
+type CaseResult struct {
+	// Case is the case label (e.g. "Imb.2", "32 nodes").
+	Case string
+	// BaselineImb and BaselineMax describe the uncorrected input.
+	BaselineImb float64
+	BaselineMax float64
+	// K1 and K2 are the migration budgets derived from ProactLB and
+	// Greedy respectively.
+	K1, K2 int
+	// Methods holds results in the paper's method order.
+	Methods []MethodResult
+}
+
+// Method returns the named method's result, or nil.
+func (c *CaseResult) Method(name string) *MethodResult {
+	for i := range c.Methods {
+		if c.Methods[i].Method == name {
+			return &c.Methods[i]
+		}
+	}
+	return nil
+}
+
+// MethodOrder is the paper's method ordering in tables and figures.
+var MethodOrder = []string{
+	"Greedy", "KK", "ProactLB",
+	"Q_CQM1_k1", "Q_CQM1_k2", "Q_CQM2_k1", "Q_CQM2_k2",
+}
+
+// timeClassical measures a classical rebalancer, returning the plan and
+// the average runtime over a few repetitions (their runtimes sit near
+// timer resolution).
+func timeClassical(r balancer.Rebalancer, in *lrp.Instance) (*lrp.Plan, float64, error) {
+	const runs = 3
+	var plan *lrp.Plan
+	var err error
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		plan, err = r.Rebalance(in)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return plan, float64(elapsed.Microseconds()) / 1000 / runs, nil
+}
+
+// runQuantum runs one hybrid method cfg.Reps times and keeps the best
+// plan (lexicographically smallest (R_imb, migrated)). warm carries the
+// classical plans the paper computes first; they seed the sampler.
+func runQuantum(label string, form qlrb.Formulation, k int, in *lrp.Instance, cfg Config, methodSalt int64, warm []*lrp.Plan) (MethodResult, error) {
+	var best MethodResult
+	for rep := 0; rep < max(1, cfg.Reps); rep++ {
+		seed := cfg.Seed*1_000_003 + methodSalt*8191 + int64(rep)
+		plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{
+			Build:     qlrb.BuildOptions{Form: form, K: k},
+			Hybrid:    cfg.hybridOptions(seed),
+			WarmPlans: warm,
+		})
+		if err != nil {
+			return MethodResult{}, fmt.Errorf("%s: %w", label, err)
+		}
+		m := lrp.Evaluate(in, plan)
+		res := MethodResult{
+			Method:    label,
+			Metrics:   m,
+			RuntimeMs: float64(stats.Hybrid.SimulatedCPU.Microseconds()) / 1000,
+			QPUMs:     float64(stats.Hybrid.SimulatedQPU.Microseconds()) / 1000,
+			Qubits:    stats.Qubits,
+			Plan:      plan,
+		}
+		if rep == 0 || betterMetrics(res.Metrics, best.Metrics) {
+			// Keep the latest runtime figures but the best plan.
+			res.RuntimeMs = (res.RuntimeMs + best.RuntimeMs*float64(rep)) / float64(rep+1)
+			best = res
+		} else {
+			best.RuntimeMs = (best.RuntimeMs*float64(rep) + res.RuntimeMs) / float64(rep+1)
+		}
+	}
+	return best, nil
+}
+
+func betterMetrics(a, b lrp.Metrics) bool {
+	if a.Imbalance != b.Imbalance {
+		return a.Imbalance < b.Imbalance
+	}
+	return a.Migrated < b.Migrated
+}
+
+// RunCase applies every method of the paper to one instance.
+func RunCase(name string, in *lrp.Instance, cfg Config) (CaseResult, error) {
+	res := CaseResult{
+		Case:        name,
+		BaselineImb: in.Imbalance(),
+		BaselineMax: in.MaxLoad(),
+	}
+
+	greedyPlan, greedyMs, err := timeClassical(balancer.Greedy{}, in)
+	if err != nil {
+		return res, err
+	}
+	kkPlan, kkMs, err := timeClassical(balancer.KK{}, in)
+	if err != nil {
+		return res, err
+	}
+	proactPlan, proactMs, err := timeClassical(balancer.ProactLB{}, in)
+	if err != nil {
+		return res, err
+	}
+	res.K1 = proactPlan.Migrated()
+	res.K2 = greedyPlan.Migrated()
+
+	res.Methods = append(res.Methods,
+		MethodResult{Method: "Greedy", Metrics: lrp.Evaluate(in, greedyPlan), RuntimeMs: greedyMs, Plan: greedyPlan},
+		MethodResult{Method: "KK", Metrics: lrp.Evaluate(in, kkPlan), RuntimeMs: kkMs, Plan: kkPlan},
+		MethodResult{Method: "ProactLB", Metrics: lrp.Evaluate(in, proactPlan), RuntimeMs: proactMs, Plan: proactPlan},
+	)
+
+	quantum := []struct {
+		label string
+		form  qlrb.Formulation
+		k     int
+	}{
+		{"Q_CQM1_k1", qlrb.QCQM1, res.K1},
+		{"Q_CQM1_k2", qlrb.QCQM1, res.K2},
+		{"Q_CQM2_k1", qlrb.QCQM2, res.K1},
+		{"Q_CQM2_k2", qlrb.QCQM2, res.K2},
+	}
+	for i, q := range quantum {
+		// Seed each method with the classical plan whose migration count
+		// matches its budget first (k1 <- ProactLB, k2 <- Greedy); with
+		// few reads only the leading warm starts are used.
+		warm := []*lrp.Plan{proactPlan, greedyPlan}
+		if q.k == res.K2 {
+			warm = []*lrp.Plan{greedyPlan, proactPlan}
+		}
+		mr, err := runQuantum(q.label, q.form, q.k, in, cfg, int64(i+1), warm)
+		if err != nil {
+			return res, err
+		}
+		res.Methods = append(res.Methods, mr)
+	}
+	return res, nil
+}

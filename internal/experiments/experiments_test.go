@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lrp"
+)
+
+// smallInstance is a quick 4x10 instance with strong imbalance.
+func smallInstance() *lrp.Instance {
+	return lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 6})
+}
+
+func TestRunCaseShapeAndProtocol(t *testing.T) {
+	cfg := FastConfig()
+	cr, err := RunCase("small", smallInstance(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Methods) != len(MethodOrder) {
+		t.Fatalf("got %d methods, want %d", len(cr.Methods), len(MethodOrder))
+	}
+	for i, m := range MethodOrder {
+		if cr.Methods[i].Method != m {
+			t.Fatalf("method %d is %q, want %q", i, cr.Methods[i].Method, m)
+		}
+	}
+	// k protocol: k1 = ProactLB migrations, k2 = Greedy migrations.
+	if cr.K1 != cr.Method("ProactLB").Metrics.Migrated {
+		t.Errorf("K1 = %d, ProactLB migrated %d", cr.K1, cr.Method("ProactLB").Metrics.Migrated)
+	}
+	if cr.K2 != cr.Method("Greedy").Metrics.Migrated {
+		t.Errorf("K2 = %d, Greedy migrated %d", cr.K2, cr.Method("Greedy").Metrics.Migrated)
+	}
+	// Quantum methods respect their k budget.
+	for _, m := range []string{"Q_CQM1_k1", "Q_CQM2_k1"} {
+		if got := cr.Method(m).Metrics.Migrated; got > cr.K1 {
+			t.Errorf("%s migrated %d > k1=%d", m, got, cr.K1)
+		}
+	}
+	for _, m := range []string{"Q_CQM1_k2", "Q_CQM2_k2"} {
+		if got := cr.Method(m).Metrics.Migrated; got > cr.K2 {
+			t.Errorf("%s migrated %d > k2=%d", m, got, cr.K2)
+		}
+	}
+	// All plans valid; all methods reduce the imbalance.
+	in := smallInstance()
+	for _, mr := range cr.Methods {
+		if err := mr.Plan.Validate(in); err != nil {
+			t.Errorf("%s: invalid plan: %v", mr.Method, err)
+		}
+		if mr.Metrics.Imbalance >= cr.BaselineImb {
+			t.Errorf("%s: imbalance %v not reduced from %v", mr.Method, mr.Metrics.Imbalance, cr.BaselineImb)
+		}
+		if mr.Metrics.Speedup < 1 {
+			t.Errorf("%s: speedup %v < 1", mr.Method, mr.Metrics.Speedup)
+		}
+	}
+	// Hybrid methods carry timing and qubit metadata.
+	q := cr.Method("Q_CQM1_k1")
+	if q.Qubits == 0 || q.QPUMs <= 0 || q.RuntimeMs <= 0 {
+		t.Errorf("hybrid metadata missing: %+v", q)
+	}
+	// Hybrid runtime dwarfs classical runtime (Table II / V shape).
+	if q.RuntimeMs <= cr.Method("Greedy").RuntimeMs {
+		t.Errorf("hybrid runtime %v not larger than classical %v", q.RuntimeMs, cr.Method("Greedy").RuntimeMs)
+	}
+}
+
+func TestProactLBMigratesFarLessThanGreedy(t *testing.T) {
+	cr, err := RunCase("contrast", smallInstance(), FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.K1*2 >= cr.K2 {
+		t.Fatalf("expected k1 << k2, got k1=%d k2=%d", cr.K1, cr.K2)
+	}
+}
+
+func TestRunVaryImbalanceGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full group run in -short mode")
+	}
+	g, err := RunVaryImbalance(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cases) != 5 {
+		t.Fatalf("got %d cases, want 5", len(g.Cases))
+	}
+	// Imb.0 is balanced: ProactLB and the k1 methods keep migrations at 0.
+	imb0 := g.Cases[0]
+	if imb0.BaselineImb > 1e-9 {
+		t.Fatalf("Imb.0 baseline %v", imb0.BaselineImb)
+	}
+	if got := imb0.Method("ProactLB").Metrics.Migrated; got != 0 {
+		t.Errorf("ProactLB migrated %d on balanced input", got)
+	}
+	for _, m := range []string{"Q_CQM1_k1", "Q_CQM2_k1"} {
+		if got := imb0.Method(m).Metrics.Migrated; got != 0 {
+			t.Errorf("%s migrated %d on balanced input (k1=0)", m, got)
+		}
+	}
+	// All methods bring every imbalanced case close to balance.
+	for _, c := range g.Cases[1:] {
+		for _, mr := range c.Methods {
+			if mr.Metrics.Imbalance > c.BaselineImb*0.5 {
+				t.Errorf("%s/%s: imbalance %v vs baseline %v", c.Case, mr.Method, mr.Metrics.Imbalance, c.BaselineImb)
+			}
+		}
+	}
+	// Renderers produce complete artifacts.
+	fig := g.ImbalanceFigure("Fig. 3 (left)")
+	if len(fig.Series) != len(MethodOrder) || len(fig.X) != 5 {
+		t.Fatalf("figure shape: %d series, %d x", len(fig.Series), len(fig.X))
+	}
+	sp := g.SpeedupFigure("Fig. 3 (right)")
+	if len(sp.Series) != len(MethodOrder) {
+		t.Fatal("speedup figure incomplete")
+	}
+	tab := g.AveragesTable("Table II")
+	if tab.NumRows() != 5 { // Greedy, KK, ProactLB, Q_CQM*_k1, Q_CQM*_k2
+		t.Fatalf("Table II has %d rows", tab.NumRows())
+	}
+	out := tab.Render()
+	for _, want := range []string{"Q_CQM*_k1", "Q_CQM*_k2", "ProactLB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	mt := g.MigrationTable("migrations")
+	if mt.NumRows() != len(MethodOrder) {
+		t.Fatalf("migration table rows = %d", mt.NumRows())
+	}
+}
+
+func TestRunVaryProcsSmallScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("group run in -short mode")
+	}
+	g, err := RunVaryProcs(FastConfig(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cases) != 2 {
+		t.Fatalf("cases = %d", len(g.Cases))
+	}
+	// Migrated tasks grow with scale for the partitioners (Table III
+	// shape) and k1 methods stay at ProactLB level.
+	if g.Cases[1].K2 <= g.Cases[0].K2 {
+		t.Errorf("Greedy migrations did not grow with node count: %d -> %d", g.Cases[0].K2, g.Cases[1].K2)
+	}
+	for _, c := range g.Cases {
+		if got := c.Method("Q_CQM1_k1").Metrics.Migrated; got > c.K1 {
+			t.Errorf("%s: Q_CQM1_k1 migrated %d > k1 %d", c.Case, got, c.K1)
+		}
+	}
+}
+
+func TestRunVaryTasksSmallScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("group run in -short mode")
+	}
+	g, err := RunVaryTasks(FastConfig(), []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy moves ~ N(M-1)/M = 7/8 of tasks (Table IV row shape).
+	for i, n := range []int{8, 16} {
+		total := 8 * n
+		want := total * 7 / 8
+		got := g.Cases[i].Method("Greedy").Metrics.Migrated
+		if got < want-n || got > total {
+			t.Errorf("case %d: Greedy migrated %d, expected near %d", i, got, want)
+		}
+	}
+}
+
+func TestSamoaSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("samoa run in -short mode")
+	}
+	p := SamoaParams{Procs: 8, TasksPerProc: 16, MeshDepth: 8, WarmupSteps: 6, TargetImbalance: 4.1994}
+	in, err := SamoaInput(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Imbalance(); got < 3.9 || got > 4.5 {
+		t.Fatalf("calibrated samoa imbalance = %v, want ~4.2", got)
+	}
+	cr, err := RunCase("samoa-small", in, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline: k1 methods reach balance with ~k1 migrations where
+	// Greedy needs k2 >> k1.
+	q := cr.Method("Q_CQM1_k1")
+	if q.Metrics.Migrated > cr.K1 {
+		t.Errorf("Q_CQM1_k1 migrated %d > k1 %d", q.Metrics.Migrated, cr.K1)
+	}
+	if 2*q.Metrics.Migrated >= cr.K2 {
+		t.Errorf("expected quantum k1 migrations (%d) to be far below Greedy's (%d)", q.Metrics.Migrated, cr.K2)
+	}
+	// The k1 methods match or beat ProactLB, which donated their budget
+	// (the paper: "equal and even slightly better than the classical
+	// methods"). Greedy's speedup is not the yardstick here: on this
+	// deliberately coarse instance k1 is too tight to reach it.
+	if q.Metrics.Speedup < 0.95*cr.Method("ProactLB").Metrics.Speedup {
+		t.Errorf("Q_CQM1_k1 speedup %v below ProactLB %v", q.Metrics.Speedup, cr.Method("ProactLB").Metrics.Speedup)
+	}
+	k2q := cr.Method("Q_CQM1_k2")
+	if k2q.Metrics.Speedup < 0.9*cr.Method("Greedy").Metrics.Speedup {
+		t.Errorf("Q_CQM1_k2 speedup %v far below Greedy %v", k2q.Metrics.Speedup, cr.Method("Greedy").Metrics.Speedup)
+	}
+	tab := SamoaTable(cr)
+	out := tab.Render()
+	for _, want := range []string{"Baseline", "Q_CQM2_k2", "QPU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table V missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIRendersFormulas(t *testing.T) {
+	tab := TableI(8, 50)
+	out := tab.Render()
+	// (8-1)^2 * (floor(log2 50)+1) = 49*6 = 294; 8^2*6 = 384.
+	for _, want := range []string{"294", "384", "Greedy", "ProactLB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d := DefaultConfig()
+	if d.Reps < 3 {
+		t.Errorf("DefaultConfig reps = %d; the paper runs at least 3", d.Reps)
+	}
+	f := FastConfig()
+	if f.Reps < 1 || f.Sweeps <= 0 {
+		t.Errorf("FastConfig invalid: %+v", f)
+	}
+}
+
+func TestMethodLookupMissing(t *testing.T) {
+	c := CaseResult{}
+	if c.Method("nope") != nil {
+		t.Fatal("Method on empty case should be nil")
+	}
+}

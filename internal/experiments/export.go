@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/csvio"
+	"repro/internal/lrp"
+)
+
+// ExportCaseArtifacts persists one case the way the paper's artifact
+// repository is laid out: the imbalance input under input_lrp/ and each
+// method's migration plan under output_lrp/ (Appendix B's structure).
+// Returns the list of files written.
+func ExportCaseArtifacts(dir string, in *lrp.Instance, cr CaseResult) ([]string, error) {
+	slug := sanitizeSlug(cr.Case)
+	inputDir := filepath.Join(dir, "input_lrp")
+	outputDir := filepath.Join(dir, "output_lrp")
+	for _, d := range []string{inputDir, outputDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var written []string
+
+	inputPath := filepath.Join(inputDir, slug+".csv")
+	f, err := os.Create(inputPath)
+	if err != nil {
+		return nil, err
+	}
+	err = csvio.WriteInput(f, in)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: writing %s: %w", inputPath, err)
+	}
+	written = append(written, inputPath)
+
+	for _, mr := range cr.Methods {
+		if mr.Plan == nil {
+			continue
+		}
+		outPath := filepath.Join(outputDir, slug+"_"+sanitizeSlug(mr.Method)+".csv")
+		f, err := os.Create(outPath)
+		if err != nil {
+			return nil, err
+		}
+		err = csvio.WriteOutput(f, in, mr.Plan)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: writing %s: %w", outPath, err)
+		}
+		written = append(written, outPath)
+	}
+	return written, nil
+}
+
+// sanitizeSlug turns a case or method label into a safe file-name stem.
+func sanitizeSlug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == '.', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return strings.Trim(string(out), "_")
+}

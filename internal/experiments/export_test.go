@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/csvio"
+)
+
+func TestExportCaseArtifacts(t *testing.T) {
+	in := smallInstance()
+	cr, err := RunCase("Imb.X test", in, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	files, err := ExportCaseArtifacts(dir, in, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1+len(cr.Methods) {
+		t.Fatalf("wrote %d files, want %d", len(files), 1+len(cr.Methods))
+	}
+	// The input round-trips.
+	f, err := os.Open(filepath.Join(dir, "input_lrp", "imb.x_test.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := csvio.ReadInput(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumProcs() != in.NumProcs() {
+		t.Fatal("exported input mismatched")
+	}
+	// Every method's output parses and validates against the input.
+	for _, mr := range cr.Methods {
+		path := filepath.Join(dir, "output_lrp", "imb.x_test_"+sanitizeSlug(mr.Method)+".csv")
+		of, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", mr.Method, err)
+		}
+		plan, err := csvio.ReadOutput(of, in)
+		of.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", mr.Method, err)
+		}
+		if plan.Migrated() != mr.Metrics.Migrated {
+			t.Fatalf("%s: exported plan migrates %d, result says %d", mr.Method, plan.Migrated(), mr.Metrics.Migrated)
+		}
+	}
+}
+
+func TestSanitizeSlug(t *testing.T) {
+	cases := map[string]string{
+		"Imb.3":             "imb.3",
+		"32 nodes":          "32_nodes",
+		"sam(oa)2 / lake!!": "sam_oa_2___lake",
+		"Q_CQM1_k1":         "q_cqm1_k1",
+	}
+	for in, want := range cases {
+		if got := sanitizeSlug(in); got != want {
+			t.Errorf("sanitizeSlug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

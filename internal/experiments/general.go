@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+)
+
+// FormulationComparison contrasts the paper's count-encoded CQM with the
+// general per-task formulation on the same uniform instance — the
+// ablation quantifying what the paper's non-standard binary encoding
+// buys (Section IV's qubit economy) and what it costs (the uniform-load
+// assumption).
+type FormulationComparison struct {
+	// Label names the formulation.
+	Label string
+	// Qubits is the binary-variable count.
+	Qubits int
+	// Imbalance and Migrated are the solved plan's metrics.
+	Imbalance float64
+	Migrated  int
+}
+
+// RunFormulationComparison solves one uniform instance with Q_CQM1,
+// Q_CQM2 and the general per-task model under the same budget k.
+func RunFormulationComparison(in *lrp.Instance, k int, cfg Config) ([]FormulationComparison, error) {
+	var out []FormulationComparison
+	for _, form := range []qlrb.Formulation{qlrb.QCQM1, qlrb.QCQM2} {
+		mr, err := runQuantum(form.String(), form, k, in, cfg, int64(form)+40, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FormulationComparison{
+			Label:     form.String() + " (count-encoded)",
+			Qubits:    mr.Qubits,
+			Imbalance: mr.Metrics.Imbalance,
+			Migrated:  mr.Metrics.Migrated,
+		})
+	}
+
+	tasks := lrp.ExpandTasks(in)
+	res, err := qlrb.SolveGeneral(tasks, qlrb.GeneralBuildOptions{Procs: in.NumProcs(), K: k},
+		cfg.hybridOptions(cfg.Seed*101))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, FormulationComparison{
+		Label:     "per-task (general)",
+		Qubits:    res.Qubits,
+		Imbalance: lrp.Imbalance(res.Loads),
+		Migrated:  res.Migrated,
+	})
+	return out, nil
+}
+
+// FormulationTable renders the comparison.
+func FormulationTable(title string, rows []FormulationComparison) *report.Table {
+	t := report.NewTable(title, "Formulation", "Logical qubits", "R_imb", "# mig. tasks")
+	for _, r := range rows {
+		t.AddRow(r.Label, fmt.Sprintf("%d", r.Qubits), report.Fmt(r.Imbalance), fmt.Sprintf("%d", r.Migrated))
+	}
+	return t
+}

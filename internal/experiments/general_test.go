@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFormulationComparison(t *testing.T) {
+	in := smallInstance() // 4 procs x 10 tasks
+	rows, err := RunFormulationComparison(in, 10, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Qubit economy: count-encoded formulations need far fewer
+	// variables than the per-task model (the general one needs
+	// N*M = 40*4 = 160; Q_CQM2 needs 16*|C| = 64).
+	general := rows[2]
+	if general.Qubits != 160 {
+		t.Fatalf("general qubits %d, want 160", general.Qubits)
+	}
+	for _, r := range rows[:2] {
+		if r.Qubits >= general.Qubits {
+			t.Errorf("%s uses %d qubits, not fewer than general %d", r.Label, r.Qubits, general.Qubits)
+		}
+		if r.Migrated > 10 {
+			t.Errorf("%s exceeded budget: %d", r.Label, r.Migrated)
+		}
+	}
+	if general.Migrated > 10 {
+		t.Errorf("general exceeded budget: %d", general.Migrated)
+	}
+	out := FormulationTable("formulations", rows).Render()
+	if !strings.Contains(out, "per-task (general)") {
+		t.Fatalf("table:\n%s", out)
+	}
+}

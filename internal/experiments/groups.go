@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lrp"
+	"repro/internal/mxm"
+	"repro/internal/samoa"
+)
+
+// GroupResult is a sequence of cases sharing the same method set — one
+// experiment group of Section V-B.
+type GroupResult struct {
+	// Name identifies the group ("vary imbalance", ...).
+	Name string
+	// Cases holds per-case results in x-axis order.
+	Cases []CaseResult
+}
+
+// RunVaryImbalance reproduces group V-B.1 (Figure 3 / Table II): five
+// imbalance levels on 8 processes x 50 tasks.
+func RunVaryImbalance(cfg Config) (GroupResult, error) {
+	g := GroupResult{Name: "vary imbalance"}
+	for _, c := range mxm.VaryImbalanceCases(mxm.DefaultCostModel()) {
+		cr, err := RunCase(c.Name, c.Instance, cfg)
+		if err != nil {
+			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
+		}
+		g.Cases = append(g.Cases, cr)
+	}
+	return g, nil
+}
+
+// RunVaryProcs reproduces group V-B.2 (Figure 4 / Table III) for the
+// given node counts (mxm.ProcScales() for the paper's full sweep).
+func RunVaryProcs(cfg Config, scales []int) (GroupResult, error) {
+	g := GroupResult{Name: "vary processes"}
+	for i, procs := range scales {
+		c := mxm.VaryProcsCase(procs, mxm.DefaultCostModel(), cfg.Seed+int64(i))
+		cr, err := RunCase(c.Name, c.Instance, cfg)
+		if err != nil {
+			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
+		}
+		g.Cases = append(g.Cases, cr)
+	}
+	return g, nil
+}
+
+// RunVaryTasks reproduces group V-B.3 (Figure 5 / Table IV) for the
+// given tasks-per-node counts (mxm.TaskScales() for the full sweep).
+func RunVaryTasks(cfg Config, scales []int) (GroupResult, error) {
+	g := GroupResult{Name: "vary tasks"}
+	for i, n := range scales {
+		c := mxm.VaryTasksCase(n, mxm.DefaultCostModel(), cfg.Seed+int64(i))
+		cr, err := RunCase(c.Name, c.Instance, cfg)
+		if err != nil {
+			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
+		}
+		g.Cases = append(g.Cases, cr)
+	}
+	return g, nil
+}
+
+// SamoaParams configures the realistic use case of Section V-C.
+type SamoaParams struct {
+	// Procs and TasksPerProc shape the LRP input (paper: 32 x 208).
+	Procs, TasksPerProc int
+	// MeshDepth is the initial uniform refinement depth; it must give
+	// at least Procs*TasksPerProc cells.
+	MeshDepth int
+	// WarmupSteps advances the simulation before sampling costs, so the
+	// wet/dry front and AMR have developed.
+	WarmupSteps int
+	// TargetImbalance calibrates the baseline R_imb (paper: 4.1994);
+	// <= 0 disables calibration.
+	TargetImbalance float64
+}
+
+// DefaultSamoaParams reproduces the paper's configuration: 32 nodes, 208
+// tasks per node, baseline R_imb = 4.1994.
+func DefaultSamoaParams() SamoaParams {
+	return SamoaParams{
+		Procs:           32,
+		TasksPerProc:    208,
+		MeshDepth:       12,
+		WarmupSteps:     10,
+		TargetImbalance: 4.1994,
+	}
+}
+
+// SamoaInput runs the oscillating-lake simulation and extracts the
+// paper's LRP input.
+func SamoaInput(p SamoaParams) (*lrp.Instance, error) {
+	cfg := samoa.DefaultConfig()
+	cfg.MaxDepth = p.MeshDepth + 2
+	sim := samoa.NewOscillatingLake(cfg, p.MeshDepth)
+	for i := 0; i < p.WarmupSteps; i++ {
+		sim.Step()
+	}
+	in, err := samoa.ImbalanceInput(sim.Mesh, p.Procs, p.TasksPerProc, samoa.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	if p.TargetImbalance > 0 {
+		in = samoa.CalibrateImbalance(in, p.TargetImbalance)
+	}
+	return in, nil
+}
+
+// RunSamoa reproduces the realistic use case (Table V).
+func RunSamoa(cfg Config, p SamoaParams) (CaseResult, error) {
+	in, err := SamoaInput(p)
+	if err != nil {
+		return CaseResult{}, fmt.Errorf("experiments: samoa input: %w", err)
+	}
+	return RunCase("sam(oa)2 oscillating lake", in, cfg)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+)
+
+// KSweepPoint is one point of the k parameter study the paper proposes
+// as future work ("a parameter study could be conducted by testing
+// multiple values of k, as it is a discrete, bounded parameter").
+type KSweepPoint struct {
+	// K is the migration budget.
+	K int
+	// Metrics are the usual plan metrics at this budget.
+	Metrics lrp.Metrics
+	// SampleFeasible reports whether the solver's raw sample satisfied
+	// the CQM (tighter k makes the feasible region thinner).
+	SampleFeasible bool
+}
+
+// DefaultKGrid derives a k grid from the classical reference points:
+// 0, k1/2, k1, 2k1, k2/2, k2 (deduplicated and sorted), where k1 and k2
+// follow the paper's protocol.
+func DefaultKGrid(in *lrp.Instance) ([]int, error) {
+	proact, err := balancer.ProactLB{}.Rebalance(in)
+	if err != nil {
+		return nil, err
+	}
+	greedy, err := balancer.Greedy{}.Rebalance(in)
+	if err != nil {
+		return nil, err
+	}
+	k1, k2 := proact.Migrated(), greedy.Migrated()
+	seen := map[int]bool{}
+	var ks []int
+	for _, k := range []int{0, k1 / 2, k1, 2 * k1, k2 / 2, k2} {
+		if k >= 0 && !seen[k] {
+			seen[k] = true
+			ks = append(ks, k)
+		}
+	}
+	sort.Ints(ks)
+	return ks, nil
+}
+
+// RunKSweep solves the instance at every budget in ks with the given
+// formulation, seeding the sampler with classical plans as in the main
+// experiments.
+func RunKSweep(in *lrp.Instance, form qlrb.Formulation, ks []int, cfg Config) ([]KSweepPoint, error) {
+	proact, err := balancer.ProactLB{}.Rebalance(in)
+	if err != nil {
+		return nil, err
+	}
+	greedy, err := balancer.Greedy{}.Rebalance(in)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]KSweepPoint, 0, len(ks))
+	for i, k := range ks {
+		// Lead with the classical plan that fits the budget best; with
+		// few reads only the leading warm starts are sampled.
+		warm := []*lrp.Plan{proact, greedy}
+		if k >= greedy.Migrated() {
+			warm = []*lrp.Plan{greedy, proact}
+		}
+		var best KSweepPoint
+		for rep := 0; rep < max(1, cfg.Reps); rep++ {
+			seed := cfg.Seed*99_991 + int64(i)*257 + int64(rep)
+			plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{
+				Build:     qlrb.BuildOptions{Form: form, K: k},
+				Hybrid:    cfg.hybridOptions(seed),
+				WarmPlans: warm,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: k=%d: %w", k, err)
+			}
+			p := KSweepPoint{K: k, Metrics: lrp.Evaluate(in, plan), SampleFeasible: stats.SampleFeasible}
+			if rep == 0 || betterMetrics(p.Metrics, best.Metrics) {
+				best = p
+			}
+		}
+		points = append(points, best)
+	}
+	return points, nil
+}
+
+// KSweepFigure renders imbalance and speedup against the migration
+// budget.
+func KSweepFigure(points []KSweepPoint, title string) *report.Figure {
+	labels := make([]string, len(points))
+	imb := make([]float64, len(points))
+	spd := make([]float64, len(points))
+	mig := make([]float64, len(points))
+	for i, p := range points {
+		labels[i] = fmt.Sprintf("k=%d", p.K)
+		imb[i] = p.Metrics.Imbalance
+		spd[i] = p.Metrics.Speedup
+		mig[i] = float64(p.Metrics.Migrated)
+	}
+	f := report.NewFigure(title, "migration budget", "value", labels)
+	f.Add("R_imb", imb)
+	f.Add("speedup", spd)
+	f.Add("migrated", mig)
+	return f
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+)
+
+func TestDefaultKGrid(t *testing.T) {
+	in := smallInstance()
+	ks, err := DefaultKGrid(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) < 3 {
+		t.Fatalf("grid too small: %v", ks)
+	}
+	if ks[0] != 0 {
+		t.Fatalf("grid should start at 0: %v", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("grid not strictly increasing: %v", ks)
+		}
+	}
+}
+
+func TestRunKSweepMonotonicity(t *testing.T) {
+	in := smallInstance()
+	ks, err := DefaultKGrid(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := RunKSweep(in, qlrb.QCQM1, ks, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ks) {
+		t.Fatalf("%d points for %d budgets", len(points), len(ks))
+	}
+	// k=0 keeps the baseline imbalance; the largest budget reaches
+	// near-balance; migrations never exceed the budget.
+	if points[0].Metrics.Migrated != 0 {
+		t.Errorf("k=0 migrated %d tasks", points[0].Metrics.Migrated)
+	}
+	if points[0].Metrics.Imbalance < in.Imbalance()-1e-9 {
+		t.Errorf("k=0 improved imbalance?!")
+	}
+	last := points[len(points)-1]
+	if last.Metrics.Imbalance > in.Imbalance()/4 {
+		t.Errorf("largest budget left imbalance %v", last.Metrics.Imbalance)
+	}
+	for _, p := range points {
+		if p.Metrics.Migrated > p.K {
+			t.Errorf("k=%d migrated %d", p.K, p.Metrics.Migrated)
+		}
+	}
+	// The budget-quality frontier is monotone: more budget never hurts
+	// (the solver is seeded with the capped classical plans, so each
+	// larger budget dominates).
+	for i := 1; i < len(points); i++ {
+		if points[i].Metrics.Imbalance > points[i-1].Metrics.Imbalance+0.05 {
+			t.Errorf("imbalance rose from %v (k=%d) to %v (k=%d)",
+				points[i-1].Metrics.Imbalance, points[i-1].K,
+				points[i].Metrics.Imbalance, points[i].K)
+		}
+	}
+}
+
+func TestKSweepFigure(t *testing.T) {
+	points := []KSweepPoint{
+		{K: 0, Metrics: smallMetrics(0.5, 1, 0)},
+		{K: 5, Metrics: smallMetrics(0.1, 2, 5)},
+	}
+	f := KSweepFigure(points, "k study")
+	if len(f.Series) != 3 || len(f.X) != 2 {
+		t.Fatalf("figure shape: %d series, %d x", len(f.Series), len(f.X))
+	}
+	out := f.Table().Render()
+	for _, want := range []string{"k=0", "k=5", "R_imb", "speedup", "migrated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// smallMetrics builds a metrics literal for rendering tests.
+func smallMetrics(imb, speedup float64, migrated int) lrp.Metrics {
+	return lrp.Metrics{Imbalance: imb, Speedup: speedup, Migrated: migrated}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chameleon"
+	"repro/internal/lrp"
+	"repro/internal/report"
+)
+
+// MakespanResult is one method's end-to-end execution outcome: the
+// paper evaluates plans by load metrics only; this experiment executes
+// them on the runtime simulator, exposing the migration overhead that
+// motivates the k constraint (Section II: "migrating too many tasks can
+// negatively impact performance").
+type MakespanResult struct {
+	// Method is the method label.
+	Method string
+	// MakespanMs is the first BSP iteration's wall time including
+	// in-flight migration delays.
+	MakespanMs float64
+	// SettledMs is the second iteration's wall time (migrations done).
+	SettledMs float64
+	// CommMs is the total migration communication time.
+	CommMs float64
+	// Migrated counts moved tasks.
+	Migrated int
+	// Speedup is baseline makespan / first-iteration makespan.
+	Speedup float64
+}
+
+// RunMakespan executes every method's plan from a finished case on the
+// runtime simulator.
+func RunMakespan(in *lrp.Instance, cr CaseResult, rc chameleon.Config) ([]MakespanResult, error) {
+	base, err := chameleon.New(rc, in)
+	if err != nil {
+		return nil, err
+	}
+	baseStats := base.RunIteration()
+	out := []MakespanResult{{
+		Method:     "Baseline",
+		MakespanMs: baseStats.MakespanMs,
+		SettledMs:  baseStats.MakespanMs,
+		Speedup:    1,
+	}}
+	for _, name := range MethodOrder {
+		mr := cr.Method(name)
+		if mr == nil || mr.Plan == nil {
+			continue
+		}
+		rt, err := chameleon.New(rc, in)
+		if err != nil {
+			return nil, err
+		}
+		mig, err := rt.ApplyPlan(mr.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		iters := rt.Run(2)
+		res := MakespanResult{
+			Method:     name,
+			MakespanMs: iters[0].MakespanMs,
+			SettledMs:  iters[1].MakespanMs,
+			CommMs:     mig.CommTimeMs,
+			Migrated:   mig.Tasks,
+		}
+		if res.MakespanMs > 0 {
+			res.Speedup = baseStats.MakespanMs / res.MakespanMs
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// MakespanTable renders the execution results.
+func MakespanTable(title string, results []MakespanResult) *report.Table {
+	t := report.NewTable(title,
+		"Algorithm", "makespan (ms)", "settled (ms)", "speedup", "# mig. tasks", "comm (ms)")
+	for _, r := range results {
+		t.AddRow(r.Method,
+			fmt.Sprintf("%.3f", r.MakespanMs),
+			fmt.Sprintf("%.3f", r.SettledMs),
+			report.Fmt(r.Speedup),
+			fmt.Sprintf("%d", r.Migrated),
+			fmt.Sprintf("%.3f", r.CommMs))
+	}
+	return t
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chameleon"
+)
+
+func TestRunMakespanExecutesAllMethods(t *testing.T) {
+	in := smallInstance()
+	cr, err := RunCase("exec", in, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := chameleon.Config{Workers: 2, LatencyMs: 0.2, PerTaskMs: 0.1}
+	results, err := RunMakespan(in, cr, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(MethodOrder)+1 { // + baseline
+		t.Fatalf("%d results, want %d", len(results), len(MethodOrder)+1)
+	}
+	if results[0].Method != "Baseline" || results[0].Speedup != 1 {
+		t.Fatalf("baseline row: %+v", results[0])
+	}
+	base := results[0].MakespanMs
+	for _, r := range results[1:] {
+		if r.MakespanMs <= 0 || r.SettledMs <= 0 {
+			t.Fatalf("%s: empty timings %+v", r.Method, r)
+		}
+		// The settled iteration never exceeds the migration-delayed one.
+		if r.SettledMs > r.MakespanMs+1e-9 {
+			t.Fatalf("%s: settled %v > first %v", r.Method, r.SettledMs, r.MakespanMs)
+		}
+	}
+	// On this strongly imbalanced input, ProactLB must beat the baseline
+	// end to end despite paying communication.
+	for _, r := range results {
+		if r.Method == "ProactLB" && r.MakespanMs >= base {
+			t.Fatalf("ProactLB end-to-end %v >= baseline %v", r.MakespanMs, base)
+		}
+	}
+	out := MakespanTable("exec", results).Render()
+	for _, want := range []string{"Baseline", "Q_CQM1_k1", "comm (ms)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/csvio"
+	"repro/internal/lrp"
+)
+
+// TestArtifactPipelineEndToEnd mirrors the paper's artifact flow
+// (Appendix B/C): run the application under the runtime, capture the
+// execution log (cham_logs/), parse it into the imbalance input
+// (input_lrp/), rebalance, write the output table (output_lrp/), read
+// it back, and re-execute to confirm the improvement.
+func TestArtifactPipelineEndToEnd(t *testing.T) {
+	// 1. The "application run": a samoa-derived imbalanced instance
+	// executed on the Chameleon-style runtime with tracing.
+	p := SamoaParams{Procs: 4, TasksPerProc: 12, MeshDepth: 7, WarmupSteps: 5, TargetImbalance: 2.5}
+	appInput, err := SamoaInput(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := chameleon.New(chameleon.Config{Workers: 2}, appInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []chameleon.TraceEvent
+	rt.SetTracer(func(e chameleon.TraceEvent) { events = append(events, e) })
+	rt.RunIteration()
+
+	// 2. cham_logs/: persist and re-parse the execution log.
+	var logBuf bytes.Buffer
+	if err := chameleon.WriteTraceLog(&logBuf, events); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := chameleon.ParseTraceLog(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. input_lrp/: synthesize the LRP input from the log and write it
+	// in the Appendix-B CSV format.
+	in, err := chameleon.InstanceFromTrace(parsed, 0, p.Procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputCSV bytes.Buffer
+	if err := csvio.WriteInput(&inputCSV, in); err != nil {
+		t.Fatal(err)
+	}
+	inBack, err := csvio.ReadInput(&inputCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inBack.Imbalance()-appInput.Imbalance()) > 1e-6 {
+		t.Fatalf("log-derived imbalance %v, app %v", inBack.Imbalance(), appInput.Imbalance())
+	}
+
+	// 4. Rebalance and write output_lrp/.
+	plan, err := balancer.ProactLB{}.Rebalance(inBack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outputCSV bytes.Buffer
+	if err := csvio.WriteOutput(&outputCSV, inBack, plan); err != nil {
+		t.Fatal(err)
+	}
+	planBack, err := csvio.ReadOutput(&outputCSV, inBack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. Re-execute with the plan applied: the busy-time imbalance must
+	// improve over the baseline run.
+	rt2, err := chameleon.New(chameleon.Config{Workers: 2, LatencyMs: 0.01, PerTaskMs: 0.005}, inBack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.ApplyPlan(planBack); err != nil {
+		t.Fatal(err)
+	}
+	after := rt2.RunIteration()
+	if after.Imbalance >= inBack.Imbalance() {
+		t.Fatalf("pipeline did not improve imbalance: %v >= %v", after.Imbalance, inBack.Imbalance())
+	}
+	m := lrp.Evaluate(inBack, planBack)
+	if m.Speedup <= 1 {
+		t.Fatalf("speedup %v", m.Speedup)
+	}
+}

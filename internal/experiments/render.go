@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/qlrb"
+	"repro/internal/report"
+)
+
+// caseLabels returns the x-axis labels of a group.
+func (g *GroupResult) caseLabels() []string {
+	labels := make([]string, len(g.Cases))
+	for i := range g.Cases {
+		labels[i] = g.Cases[i].Case
+	}
+	return labels
+}
+
+// metricSeries collects one metric for one method across the cases.
+func (g *GroupResult) metricSeries(method string, metric func(*MethodResult) float64) []float64 {
+	out := make([]float64, len(g.Cases))
+	for i := range g.Cases {
+		if mr := g.Cases[i].Method(method); mr != nil {
+			out[i] = metric(mr)
+		}
+	}
+	return out
+}
+
+// ImbalanceFigure renders the group's left sub-figure (R_imb per method
+// per case), as in Figures 3-5.
+func (g *GroupResult) ImbalanceFigure(title string) *report.Figure {
+	f := report.NewFigure(title, "case", "R_imb", g.caseLabels())
+	for _, m := range MethodOrder {
+		f.Add(m, g.metricSeries(m, func(r *MethodResult) float64 { return r.Metrics.Imbalance }))
+	}
+	return f
+}
+
+// SpeedupFigure renders the group's right sub-figure (speedup per method
+// per case).
+func (g *GroupResult) SpeedupFigure(title string) *report.Figure {
+	f := report.NewFigure(title, "case", "speedup", g.caseLabels())
+	for _, m := range MethodOrder {
+		f.Add(m, g.metricSeries(m, func(r *MethodResult) float64 { return r.Metrics.Speedup }))
+	}
+	return f
+}
+
+// MigrationTable renders the group's migrated-task table (Tables III and
+// IV): one row per method, one column per case.
+func (g *GroupResult) MigrationTable(title string) *report.Table {
+	headers := append([]string{"Algorithm"}, g.caseLabels()...)
+	t := report.NewTable(title, headers...)
+	for _, m := range MethodOrder {
+		cells := []string{m}
+		for i := range g.Cases {
+			if mr := g.Cases[i].Method(m); mr != nil {
+				cells = append(cells, fmt.Sprintf("%d", mr.Metrics.Migrated))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// AveragesTable renders Table II: per-method averages of total migrated
+// tasks, migrated tasks per process, and runtime across the group's
+// cases. As in the paper, the Q_CQM1/Q_CQM2 pairs are additionally
+// reported combined as Q_CQM*_k1 and Q_CQM*_k2.
+func (g *GroupResult) AveragesTable(title string) *report.Table {
+	t := report.NewTable(title,
+		"Algorithm", "# total mig. tasks (avg)", "# mig. tasks per process (avg)", "Runtime (ms)")
+	avg := func(methods ...string) (mig, migPer, rt float64, n int) {
+		for _, m := range methods {
+			for i := range g.Cases {
+				if mr := g.Cases[i].Method(m); mr != nil {
+					mig += float64(mr.Metrics.Migrated)
+					migPer += mr.Metrics.MigratedPerProc
+					rt += mr.RuntimeMs
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			mig /= float64(n)
+			migPer /= float64(n)
+			rt /= float64(n)
+		}
+		return
+	}
+	addRow := func(label string, methods ...string) {
+		mig, migPer, rt, n := avg(methods...)
+		if n == 0 {
+			return
+		}
+		t.AddRow(label, report.Fmt(mig), report.Fmt(migPer), fmt.Sprintf("%.4f", rt))
+	}
+	addRow("Greedy", "Greedy")
+	addRow("KK", "KK")
+	addRow("ProactLB", "ProactLB")
+	addRow("Q_CQM*_k1", "Q_CQM1_k1", "Q_CQM2_k1")
+	addRow("Q_CQM*_k2", "Q_CQM1_k2", "Q_CQM2_k2")
+	return t
+}
+
+// SamoaTable renders Table V from the realistic use case result.
+func SamoaTable(c CaseResult) *report.Table {
+	t := report.NewTable("Table V — sam(oa)2 oscillating lake",
+		"Algorithm", "R_imb", "Speedup", "# mig. tasks", "CPU (ms)", "QPU (ms)")
+	t.AddRow("Baseline", report.Fmt(c.BaselineImb), "1.0", "", "", "")
+	for _, m := range MethodOrder {
+		mr := c.Method(m)
+		if mr == nil {
+			continue
+		}
+		qpu := ""
+		if mr.QPUMs > 0 {
+			qpu = fmt.Sprintf("%.1f", mr.QPUMs)
+		}
+		t.AddRow(m,
+			report.Fmt(mr.Metrics.Imbalance),
+			report.Fmt(mr.Metrics.Speedup),
+			fmt.Sprintf("%d", mr.Metrics.Migrated),
+			fmt.Sprintf("%.2f", mr.RuntimeMs),
+			qpu)
+	}
+	return t
+}
+
+// TableI renders the paper's complexity / logical-qubit overview for a
+// given machine shape. Classical complexities are cited strings; qubit
+// counts are computed from the formulation formulas and cross-checked in
+// tests against actually-built models.
+func TableI(mProcs, tasksPerProc int) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table I — complexity and logical qubits (M=%d, n=%d)", mProcs, tasksPerProc),
+		"Algorithm", "Complexity", "Logical Qubits")
+	t.AddRow("Greedy", "O(N log N) - O(2^N)", "")
+	t.AddRow("KK", "O(N log N) - O(2^N)", "")
+	t.AddRow("ProactLB", "O(M^2 K)", "")
+	t.AddRow("Q_CQM1_k1, _k2", "",
+		fmt.Sprintf("%d  ((M-1)^2(log2 n+1); diagonal-only reduction: %d)",
+			qlrb.PaperVariableCount(mProcs, tasksPerProc, qlrb.QCQM1),
+			qlrb.VariableCount(mProcs, tasksPerProc, qlrb.QCQM1, false)))
+	t.AddRow("Q_CQM2_k1, _k2", "",
+		fmt.Sprintf("%d  (M^2(log2 n+1))",
+			qlrb.PaperVariableCount(mProcs, tasksPerProc, qlrb.QCQM2)))
+	return t
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mxm"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+	"repro/internal/sa"
+)
+
+// ScalingPoint measures the classical sampling cost of one formulation
+// at one machine scale — the systems companion to Table I's logical-
+// qubit counts: how solver wall time grows with the qubit count when the
+// per-read budget (sweeps) is fixed.
+type ScalingPoint struct {
+	// Procs is the machine size M.
+	Procs int
+	// Qubits is the formulation's variable count.
+	Qubits int
+	// BuildMs and SolveMs time model construction and one annealing
+	// read.
+	BuildMs, SolveMs float64
+	// FlipsPerSec is the sampler's throughput on this model.
+	FlipsPerSec float64
+}
+
+// RunScaling builds the formulation for growing machine sizes (100
+// uniform tasks per process, as in the paper's V-B.2 group) and times a
+// single fixed-budget annealing read on each.
+func RunScaling(form qlrb.Formulation, scales []int, sweeps int, seed int64) ([]ScalingPoint, error) {
+	if sweeps <= 0 {
+		sweeps = 200
+	}
+	out := make([]ScalingPoint, 0, len(scales))
+	for _, procs := range scales {
+		c := mxm.VaryProcsCase(procs, mxm.DefaultCostModel(), seed)
+
+		start := time.Now()
+		enc, err := qlrb.Build(c.Instance, qlrb.BuildOptions{Form: form, K: -1})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling M=%d: %w", procs, err)
+		}
+		buildMs := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		res := sa.Anneal(enc.Model, sa.Options{Sweeps: sweeps, Seed: seed, Penalty: 5, PenaltyGrowth: 4})
+		solve := time.Since(start)
+
+		pt := ScalingPoint{
+			Procs:   procs,
+			Qubits:  enc.NumLogicalQubits(),
+			BuildMs: buildMs,
+			SolveMs: float64(solve.Microseconds()) / 1000,
+		}
+		if secs := solve.Seconds(); secs > 0 {
+			pt.FlipsPerSec = float64(res.Flips) / secs
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ScalingTable renders the study.
+func ScalingTable(title string, points []ScalingPoint) *report.Table {
+	t := report.NewTable(title, "M", "Logical qubits", "Build (ms)", "1 read (ms)", "flips/s")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Procs),
+			fmt.Sprintf("%d", p.Qubits),
+			fmt.Sprintf("%.1f", p.BuildMs),
+			fmt.Sprintf("%.1f", p.SolveMs),
+			fmt.Sprintf("%.2e", p.FlipsPerSec))
+	}
+	return t
+}

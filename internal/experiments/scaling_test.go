@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qlrb"
+)
+
+func TestRunScaling(t *testing.T) {
+	points, err := RunScaling(qlrb.QCQM1, []int{4, 8, 16}, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i, p := range points {
+		if p.Qubits <= 0 || p.SolveMs <= 0 || p.FlipsPerSec <= 0 {
+			t.Fatalf("point %d not measured: %+v", i, p)
+		}
+		// Qubit counts follow the Table I formula for 100 tasks/node.
+		want := qlrb.VariableCount(p.Procs, 100, qlrb.QCQM1, false)
+		if p.Qubits != want {
+			t.Fatalf("M=%d qubits %d, want %d", p.Procs, p.Qubits, want)
+		}
+	}
+	// Qubits grow quadratically with M.
+	if points[2].Qubits <= points[0].Qubits*4 {
+		t.Fatalf("qubit growth too slow: %d vs %d", points[2].Qubits, points[0].Qubits)
+	}
+	out := ScalingTable("scaling", points).Render()
+	if !strings.Contains(out, "flips/s") {
+		t.Fatal("table missing throughput column")
+	}
+}
+
+func TestRunScalingDefaultSweeps(t *testing.T) {
+	points, err := RunScaling(qlrb.QCQM2, []int{4}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Qubits != 4*4*7 { // M^2 |C|, n=100 -> |C|=7
+		t.Fatalf("qubits %d", points[0].Qubits)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+)
+
+// TuningPoint is one solver configuration's outcome in the design-choice
+// ablation (DESIGN.md's "ablation benches for the design choices").
+type TuningPoint struct {
+	// Label names the configuration.
+	Label string
+	// Imbalance and Migrated are the usual plan metrics.
+	Imbalance float64
+	Migrated  int
+	// SampleFeasible reports raw-sample feasibility.
+	SampleFeasible bool
+	// WallMs is the real classical solve time.
+	WallMs float64
+}
+
+// RunSolverTuning solves one instance under a panel of solver
+// configurations that each toggle one design choice of the hybrid
+// pipeline: warm starts, pair moves, penalty schedule, tempering, and
+// tabu augmentation.
+func RunSolverTuning(in *lrp.Instance, form qlrb.Formulation, k int, cfg Config) ([]TuningPoint, error) {
+	proact, err := balancer.ProactLB{}.Rebalance(in)
+	if err != nil {
+		return nil, err
+	}
+	greedy, err := balancer.Greedy{}.Rebalance(in)
+	if err != nil {
+		return nil, err
+	}
+	warm := []*lrp.Plan{proact, greedy}
+
+	type variant struct {
+		label  string
+		mut    func(*hybrid.Options)
+		noWarm bool
+	}
+	variants := []variant{
+		{label: "default", mut: func(*hybrid.Options) {}},
+		{label: "cold-start", mut: func(*hybrid.Options) {}, noWarm: true},
+		{label: "no-pair-moves", mut: func(h *hybrid.Options) { h.PairProb = -1 }},
+		{label: "flat-penalty", mut: func(h *hybrid.Options) { h.Penalty = 1; h.PenaltyGrowth = 1 }},
+		{label: "high-penalty", mut: func(h *hybrid.Options) { h.Penalty = 25 }},
+		{label: "tempering", mut: func(h *hybrid.Options) { h.Tempering = true }},
+		{label: "tabu-augmented", mut: func(h *hybrid.Options) { h.TabuReads = 2 }},
+		{label: "no-presolve", mut: func(h *hybrid.Options) { h.Presolve = false }},
+	}
+
+	out := make([]TuningPoint, 0, len(variants))
+	for i, v := range variants {
+		h := cfg.hybridOptions(cfg.Seed*31 + int64(i))
+		v.mut(&h)
+		opts := qlrb.SolveOptions{
+			Build:  qlrb.BuildOptions{Form: form, K: k},
+			Hybrid: h,
+		}
+		if v.noWarm {
+			opts.NoWarmStart = true
+		} else {
+			opts.WarmPlans = warm
+		}
+		start := time.Now()
+		plan, stats, err := qlrb.Solve(in, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tuning %s: %w", v.label, err)
+		}
+		m := lrp.Evaluate(in, plan)
+		out = append(out, TuningPoint{
+			Label:          v.label,
+			Imbalance:      m.Imbalance,
+			Migrated:       m.Migrated,
+			SampleFeasible: stats.SampleFeasible,
+			WallMs:         float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	return out, nil
+}
+
+// TuningTable renders the ablation panel.
+func TuningTable(title string, points []TuningPoint) *report.Table {
+	t := report.NewTable(title, "Configuration", "R_imb", "# mig. tasks", "Feasible sample", "Solve (ms)")
+	for _, p := range points {
+		t.AddRow(p.Label, report.Fmt(p.Imbalance), fmt.Sprintf("%d", p.Migrated),
+			fmt.Sprintf("%v", p.SampleFeasible), fmt.Sprintf("%.1f", p.WallMs))
+	}
+	return t
+}

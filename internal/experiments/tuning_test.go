@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qlrb"
+)
+
+func TestRunSolverTuning(t *testing.T) {
+	in := smallInstance()
+	points, err := RunSolverTuning(in, qlrb.QCQM2, 12, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 6 {
+		t.Fatalf("%d variants", len(points))
+	}
+	byLabel := map[string]TuningPoint{}
+	for _, p := range points {
+		byLabel[p.Label] = p
+		if p.Migrated > 12 {
+			t.Errorf("%s exceeded budget: %d", p.Label, p.Migrated)
+		}
+	}
+	def, ok := byLabel["default"]
+	if !ok {
+		t.Fatal("no default variant")
+	}
+	// Warm-started default must reach a good solution on this easy case.
+	if def.Imbalance > in.Imbalance()/2 {
+		t.Errorf("default variant imbalance %v", def.Imbalance)
+	}
+	// Cold start on QCQM2 is the known-hard configuration (the paper's
+	// Q_CQM2 instability): it must never beat the warm default.
+	if cold, ok := byLabel["cold-start"]; ok && cold.Imbalance < def.Imbalance-1e-9 {
+		t.Errorf("cold start (%v) beat warm default (%v)?", cold.Imbalance, def.Imbalance)
+	}
+	out := TuningTable("tuning", points).Render()
+	for _, want := range []string{"default", "no-pair-moves", "tabu-augmented"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

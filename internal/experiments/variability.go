@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+)
+
+// Variability quantifies the run-to-run spread of a hybrid method — the
+// paper's Appendix notes the CQM solver "is not deterministic ... while
+// there is some variation from run to run, the results are not
+// significantly skewed", which this study makes measurable.
+type Variability struct {
+	// Method labels the studied configuration.
+	Method string
+	// Runs is the number of independent repetitions.
+	Runs int
+	// ImbMin, ImbMedian, ImbMax summarize R_imb across runs.
+	ImbMin, ImbMedian, ImbMax float64
+	// MigMin, MigMedian, MigMax summarize migration counts.
+	MigMin, MigMedian, MigMax int
+	// FeasibleRuns counts runs whose raw sample was CQM-feasible.
+	FeasibleRuns int
+}
+
+// MeasureVariability solves the instance runs times with different seeds
+// and reports the distribution of outcomes.
+func MeasureVariability(in *lrp.Instance, form qlrb.Formulation, k int, runs int, cfg Config) (Variability, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	proact, err := balancer.ProactLB{}.Rebalance(in)
+	if err != nil {
+		return Variability{}, err
+	}
+	greedy, err := balancer.Greedy{}.Rebalance(in)
+	if err != nil {
+		return Variability{}, err
+	}
+
+	v := Variability{
+		Method: fmt.Sprintf("%v_k%d", form, k),
+		Runs:   runs,
+		ImbMin: math.Inf(1), ImbMax: math.Inf(-1),
+	}
+	imbs := make([]float64, 0, runs)
+	migs := make([]int, 0, runs)
+	for r := 0; r < runs; r++ {
+		plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{
+			Build:     qlrb.BuildOptions{Form: form, K: k},
+			Hybrid:    cfg.hybridOptions(cfg.Seed*7919 + int64(r)),
+			WarmPlans: []*lrp.Plan{proact, greedy},
+		})
+		if err != nil {
+			return v, err
+		}
+		m := lrp.Evaluate(in, plan)
+		imbs = append(imbs, m.Imbalance)
+		migs = append(migs, m.Migrated)
+		if stats.SampleFeasible {
+			v.FeasibleRuns++
+		}
+	}
+	sort.Float64s(imbs)
+	sort.Ints(migs)
+	v.ImbMin, v.ImbMedian, v.ImbMax = imbs[0], imbs[len(imbs)/2], imbs[len(imbs)-1]
+	v.MigMin, v.MigMedian, v.MigMax = migs[0], migs[len(migs)/2], migs[len(migs)-1]
+	return v, nil
+}
+
+// VariabilityTable renders several variability studies as one table.
+func VariabilityTable(title string, studies []Variability) *report.Table {
+	t := report.NewTable(title,
+		"Method", "Runs", "Feasible", "R_imb min", "R_imb median", "R_imb max", "mig min", "mig median", "mig max")
+	for _, v := range studies {
+		t.AddRow(v.Method,
+			fmt.Sprintf("%d", v.Runs),
+			fmt.Sprintf("%d", v.FeasibleRuns),
+			report.Fmt(v.ImbMin), report.Fmt(v.ImbMedian), report.Fmt(v.ImbMax),
+			fmt.Sprintf("%d", v.MigMin), fmt.Sprintf("%d", v.MigMedian), fmt.Sprintf("%d", v.MigMax))
+	}
+	return t
+}

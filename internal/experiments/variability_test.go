@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qlrb"
+)
+
+func TestMeasureVariability(t *testing.T) {
+	in := smallInstance()
+	v, err := MeasureVariability(in, qlrb.QCQM1, 12, 5, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Runs != 5 {
+		t.Fatalf("Runs = %d", v.Runs)
+	}
+	if v.ImbMin > v.ImbMedian || v.ImbMedian > v.ImbMax {
+		t.Fatalf("imbalance ordering broken: %v %v %v", v.ImbMin, v.ImbMedian, v.ImbMax)
+	}
+	if v.MigMin > v.MigMedian || v.MigMedian > v.MigMax {
+		t.Fatalf("migration ordering broken: %v %v %v", v.MigMin, v.MigMedian, v.MigMax)
+	}
+	if v.MigMax > 12 {
+		t.Fatalf("a run exceeded the budget: %d", v.MigMax)
+	}
+	// The paper's claim: variation exists but is not significantly
+	// skewed — with warm starts the spread stays within the baseline.
+	if v.ImbMax > in.Imbalance() {
+		t.Fatalf("a run worsened imbalance: %v", v.ImbMax)
+	}
+	if !strings.Contains(v.Method, "Q_CQM1") {
+		t.Fatalf("method label %q", v.Method)
+	}
+}
+
+func TestMeasureVariabilityClampsRuns(t *testing.T) {
+	v, err := MeasureVariability(smallInstance(), qlrb.QCQM2, 5, 0, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Runs != 1 {
+		t.Fatalf("Runs = %d, want clamp to 1", v.Runs)
+	}
+}
+
+func TestVariabilityTable(t *testing.T) {
+	studies := []Variability{{Method: "Q_CQM1_k5", Runs: 3, ImbMedian: 0.1, MigMedian: 5}}
+	out := VariabilityTable("stability", studies).Render()
+	for _, want := range []string{"Q_CQM1_k5", "R_imb median", "stability"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBetterMetricsOrdering(t *testing.T) {
+	a := smallMetrics(0.1, 2, 5)
+	b := smallMetrics(0.2, 2, 3)
+	if !betterMetrics(a, b) {
+		t.Fatal("lower imbalance should win")
+	}
+	c := smallMetrics(0.1, 2, 3)
+	if !betterMetrics(c, a) {
+		t.Fatal("equal imbalance: fewer migrations should win")
+	}
+	if betterMetrics(a, c) {
+		t.Fatal("ordering not antisymmetric")
+	}
+}
+
+func TestDefaultSamoaParamsMatchPaper(t *testing.T) {
+	p := DefaultSamoaParams()
+	if p.Procs != 32 || p.TasksPerProc != 208 {
+		t.Fatalf("machine shape %dx%d, paper uses 32x208", p.Procs, p.TasksPerProc)
+	}
+	if p.TargetImbalance < 4.19 || p.TargetImbalance > 4.21 {
+		t.Fatalf("target %v, paper baseline is 4.1994", p.TargetImbalance)
+	}
+	// The mesh must be able to host 32*208 sections.
+	if cells := 2 << p.MeshDepth; cells < p.Procs*p.TasksPerProc {
+		t.Fatalf("depth %d gives %d cells < %d sections", p.MeshDepth, cells, p.Procs*p.TasksPerProc)
+	}
+}
+
+func TestRunSamoaSmallMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("samoa case in -short mode")
+	}
+	cr, err := RunSamoa(FastConfig(), SamoaParams{
+		Procs: 4, TasksPerProc: 8, MeshDepth: 6, WarmupSteps: 4, TargetImbalance: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Methods) != len(MethodOrder) {
+		t.Fatalf("%d methods", len(cr.Methods))
+	}
+	if cr.BaselineImb < 1.8 || cr.BaselineImb > 2.2 {
+		t.Fatalf("calibrated baseline %v, want ~2", cr.BaselineImb)
+	}
+}

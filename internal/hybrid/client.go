@@ -1,0 +1,223 @@
+package hybrid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cqm"
+)
+
+// Client is an asynchronous job interface mimicking a cloud hybrid-solver
+// service: callers submit CQMs and later collect results by job id. A
+// configurable pool of dispatcher goroutines drains the queue (a shared
+// cloud solver runs many jobs concurrently); jobs are picked up in
+// submission order.
+//
+// Close the client to release the dispatchers.
+type Client struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[JobID]*job
+	nextID int
+	queue  chan *job
+	done   chan struct{}
+	closed bool
+}
+
+// JobID identifies a submitted job.
+type JobID int
+
+// JobStatus describes a job's lifecycle state.
+type JobStatus int
+
+const (
+	// Queued jobs wait for a dispatcher.
+	Queued JobStatus = iota
+	// Running jobs occupy a dispatcher.
+	Running
+	// Done jobs have a result (or were cancelled; see Wait's error).
+	Done
+	// Cancelled jobs were withdrawn before a dispatcher picked them up.
+	Cancelled
+)
+
+// String names the status.
+func (s JobStatus) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("JobStatus(%d)", int(s))
+}
+
+type job struct {
+	id     JobID
+	model  *cqm.Model
+	seed   int64
+	result Result
+	ready  chan struct{}
+
+	mu     sync.Mutex
+	status JobStatus
+}
+
+func (j *job) setStatus(s JobStatus) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == Cancelled || j.status == Done {
+		return false
+	}
+	j.status = s
+	return true
+}
+
+// ErrClientClosed is returned by Submit after Close.
+var ErrClientClosed = errors.New("hybrid: client closed")
+
+// ErrUnknownJob is returned by Wait for an id the client never issued.
+var ErrUnknownJob = errors.New("hybrid: unknown job")
+
+// ErrCancelled is returned by Wait for a job cancelled before running.
+var ErrCancelled = errors.New("hybrid: job cancelled")
+
+// NewClient starts a client processing jobs with the given solver
+// options on a single dispatcher; see NewClientN for a concurrent pool.
+// Each job derives its own seed from opts.Seed and the job id.
+func NewClient(opts Options) *Client { return NewClientN(opts, 1) }
+
+// NewClientN starts a client with `workers` concurrent dispatchers.
+func NewClientN(opts Options, workers int) *Client {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Client{
+		opts:  opts,
+		jobs:  make(map[JobID]*job),
+		queue: make(chan *job, 64),
+		done:  make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.dispatch()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(c.done)
+	}()
+	return c
+}
+
+func (c *Client) dispatch() {
+	for j := range c.queue {
+		if !j.setStatus(Running) {
+			continue // cancelled while queued
+		}
+		o := c.opts
+		o.Seed = j.seed
+		j.result = Solve(j.model, o)
+		j.setStatus(Done)
+		close(j.ready)
+	}
+}
+
+// Submit enqueues a model and returns its job id immediately.
+func (c *Client) Submit(m *cqm.Model) (JobID, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClientClosed
+	}
+	c.nextID++
+	j := &job{
+		id:    JobID(c.nextID),
+		model: m,
+		seed:  c.opts.Seed*65_537 + int64(c.nextID),
+		ready: make(chan struct{}),
+	}
+	c.jobs[j.id] = j
+	c.mu.Unlock()
+	c.queue <- j
+	return j.id, nil
+}
+
+// Wait blocks until the job completes or ctx is cancelled.
+func (c *Client) Wait(ctx context.Context, id JobID) (Result, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	select {
+	case <-j.ready:
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		if st == Cancelled {
+			return Result{}, fmt.Errorf("%w: %d", ErrCancelled, id)
+		}
+		return j.result, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Status reports a job's current lifecycle state.
+func (c *Client) Status(id JobID) (JobStatus, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, nil
+}
+
+// Cancel withdraws a job that has not started running. It reports
+// whether the cancellation took effect (false when the job already ran
+// or finished — the cloud analogy: a solve in progress cannot be
+// recalled).
+func (c *Client) Cancel(id JobID) (bool, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != Queued {
+		return false, nil
+	}
+	j.status = Cancelled
+	close(j.ready)
+	return true, nil
+}
+
+// Close stops accepting jobs and waits for queued jobs to finish.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.queue)
+	<-c.done
+}

@@ -1,0 +1,210 @@
+// Package hybrid implements a hybrid classical-quantum solver workflow
+// modelled on D-Wave's Leap hybrid CQM solver, which the paper uses to
+// solve its LRP formulations. Since no quantum hardware is available in
+// this environment, the quantum sampling stage is substituted by the
+// simulated-annealing engine (internal/sa) — see DESIGN.md for why this
+// preserves the behaviour the paper evaluates.
+//
+// The workflow mirrors the hybrid solver pipeline:
+//
+//  1. classical presolve (bound-based variable fixing),
+//  2. a portfolio of annealing trajectories (multi-restart or parallel
+//     tempering) run concurrently on a goroutine pool,
+//  3. feasibility filtering and best-feasible selection.
+//
+// A timing model accounts simulated cloud latency and QPU access time so
+// the experiments can report the CPU/QPU runtime split of Table V without
+// actually sleeping.
+package hybrid
+
+import (
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/sa"
+	"repro/internal/tabu"
+)
+
+// Options configures a hybrid solve.
+type Options struct {
+	// Reads is the number of independent annealing trajectories
+	// (restarts); the best feasible sample across reads is returned.
+	Reads int
+	// TabuReads adds deterministic tabu-search trajectories to the
+	// portfolio (cloud hybrid solvers run exactly such heterogeneous
+	// heuristic portfolios).
+	TabuReads int
+	// Sweeps is the annealing sweep budget per read.
+	Sweeps int
+	// Workers bounds solver concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Seed makes the solve reproducible.
+	Seed int64
+	// Presolve enables the classical variable-fixing pass.
+	Presolve bool
+	// Tempering switches the sampling stage from independent restarts
+	// to parallel tempering (better mixing on large rugged models).
+	Tempering bool
+	// Penalty and PenaltyGrowth tune constraint handling (see sa.Options).
+	Penalty       float64
+	PenaltyGrowth float64
+	// Initial is an optional warm-start assignment (e.g. the encoding of
+	// a known-feasible plan); alternate reads start from it, mirroring
+	// the classical warm start of cloud hybrid solvers.
+	Initial []bool
+	// Initials are additional warm starts distributed across reads.
+	Initials [][]bool
+	// Cancel, when non-nil, aborts sampling at the next sweep boundary
+	// of each read; partial results are still collected.
+	Cancel <-chan struct{}
+	// Pairs and PairProb enable equality-preserving pair moves in the
+	// sampler (see sa.Options).
+	Pairs    [][2]cqm.VarID
+	PairProb float64
+	// Timing is the simulated cloud/QPU timing model.
+	Timing TimingModel
+}
+
+// DefaultOptions returns settings that solve the paper's LRP models
+// reliably.
+func DefaultOptions() Options {
+	return Options{
+		Reads:         8,
+		Sweeps:        600,
+		Presolve:      true,
+		Penalty:       1,
+		PenaltyGrowth: 4,
+		Timing:        DefaultTimingModel(),
+	}
+}
+
+// Stats describes the work performed by a hybrid solve.
+type Stats struct {
+	// WallTime is the real time spent in the classical sampling engine.
+	WallTime time.Duration
+	// SimulatedCPU is what the paper's "CPU" runtime column reports:
+	// real solver time plus simulated cloud submission latency.
+	SimulatedCPU time.Duration
+	// SimulatedQPU is the simulated quantum-processor access time (the
+	// paper's "QPU" column, ~32 ms per call in Table V).
+	SimulatedQPU time.Duration
+	// Reads is the number of annealing trajectories executed.
+	Reads int
+	// PresolveFixed counts variables fixed by the classical presolve.
+	PresolveFixed int
+	// FeasibleReads counts reads whose best sample was feasible.
+	FeasibleReads int
+	// Flips counts total proposed moves across reads.
+	Flips int64
+}
+
+// Result is a hybrid solve outcome.
+type Result struct {
+	// Sample is the best assignment found (feasible when Feasible).
+	Sample []bool
+	// Objective is the CQM objective of Sample.
+	Objective float64
+	// Feasible reports whether Sample satisfies every constraint.
+	Feasible bool
+	Stats    Stats
+}
+
+// Solve runs the hybrid workflow on m.
+func Solve(m *cqm.Model, opt Options) Result {
+	if opt.Reads <= 0 {
+		opt.Reads = DefaultOptions().Reads
+	}
+	if opt.Sweeps <= 0 {
+		opt.Sweeps = DefaultOptions().Sweeps
+	}
+	if opt.Penalty <= 0 {
+		opt.Penalty = 1
+	}
+	start := time.Now()
+
+	var frozen map[cqm.VarID]bool
+	if opt.Presolve {
+		fixed, err := cqm.Presolve(m)
+		if err == nil {
+			frozen = fixed
+		}
+		// A presolve infeasibility proof still lets the sampler run;
+		// the result will simply be reported infeasible.
+	}
+
+	base := sa.Options{
+		Sweeps:        opt.Sweeps,
+		Penalty:       opt.Penalty,
+		PenaltyGrowth: opt.PenaltyGrowth,
+		Seed:          opt.Seed,
+		Frozen:        frozen,
+		Initial:       opt.Initial,
+		Pairs:         opt.Pairs,
+		PairProb:      opt.PairProb,
+		Cancel:        opt.Cancel,
+	}
+
+	var best sa.Result
+	var all []sa.Result
+	if opt.Tempering {
+		best = sa.ParallelTempering(m, sa.PTOptions{Base: base, Replicas: maxInt(2, opt.Reads)})
+		all = []sa.Result{best}
+	} else {
+		best, all = sa.Portfolio(m, sa.PortfolioOptions{
+			Base:     base,
+			Restarts: opt.Reads,
+			Workers:  opt.Workers,
+			Initials: opt.Initials,
+		})
+	}
+	// Tabu members of the portfolio: one per TabuRead, alternating
+	// between the provided warm starts and random initial states.
+	initials := opt.Initials
+	if opt.Initial != nil {
+		initials = append(append([][]bool(nil), initials...), opt.Initial)
+	}
+	for r := 0; r < opt.TabuReads; r++ {
+		topt := tabu.Options{
+			Penalty: opt.Penalty * 16, // final-scale penalties: tabu has no growth phase
+			Seed:    opt.Seed*524_287 + int64(r),
+			Frozen:  frozen,
+		}
+		if len(initials) > 0 && r%2 == 0 {
+			topt.Initial = initials[(r/2)%len(initials)]
+		}
+		tr := tabu.Search(m, topt)
+		conv := sa.Result{Best: tr.Best, BestObjective: tr.BestObjective, BestFeasible: tr.BestFeasible, Flips: tr.Moves}
+		all = append(all, conv)
+		if sa.Better(conv, best) {
+			best = conv
+		}
+	}
+	wall := time.Since(start)
+
+	stats := Stats{
+		WallTime:      wall,
+		SimulatedCPU:  wall + opt.Timing.CloudOverhead(),
+		SimulatedQPU:  opt.Timing.QPUAccess,
+		Reads:         len(all),
+		PresolveFixed: len(frozen),
+	}
+	for _, r := range all {
+		stats.Flips += r.Flips
+		if r.BestFeasible {
+			stats.FeasibleReads++
+		}
+	}
+	return Result{
+		Sample:    best.Best,
+		Objective: best.BestObjective,
+		Feasible:  best.BestFeasible,
+		Stats:     stats,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,276 @@
+package hybrid
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/exact"
+)
+
+// knapsackModel builds a small constrained model: maximize value (minimize
+// negative value) subject to a cardinality cap.
+func knapsackModel(values []float64, cap int) *cqm.Model {
+	m := cqm.New()
+	var sum cqm.LinExpr
+	for _, v := range values {
+		id := m.AddBinary("x")
+		m.AddObjectiveLinear(id, -v)
+		sum.Add(id, 1)
+	}
+	m.AddConstraint("card", sum, cqm.Le, float64(cap))
+	return m
+}
+
+func TestSolveMatchesExactOnSmallModels(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		m := knapsackModel([]float64{9, 7, 5, 4, 3, 2, 1}, 3)
+		want, err := exact.Solve(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Solve(m, Options{Reads: 6, Sweeps: 300, Seed: seed, Presolve: true, Penalty: 2, PenaltyGrowth: 4})
+		if !got.Feasible {
+			t.Fatalf("seed %d: hybrid found no feasible sample", seed)
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-9 {
+			t.Fatalf("seed %d: hybrid objective %v, exact %v", seed, got.Objective, want.Objective)
+		}
+	}
+}
+
+func TestSolveStatsPopulated(t *testing.T) {
+	m := knapsackModel([]float64{3, 2, 1}, 2)
+	res := Solve(m, Options{Reads: 4, Sweeps: 100, Seed: 1, Timing: DefaultTimingModel()})
+	s := res.Stats
+	if s.Reads != 4 {
+		t.Errorf("Reads = %d, want 4", s.Reads)
+	}
+	if s.Flips == 0 {
+		t.Error("Flips not counted")
+	}
+	if s.SimulatedQPU != 32*time.Millisecond {
+		t.Errorf("SimulatedQPU = %v", s.SimulatedQPU)
+	}
+	if s.SimulatedCPU < 5*time.Second {
+		t.Errorf("SimulatedCPU = %v, want >= hybrid floor", s.SimulatedCPU)
+	}
+	if s.WallTime <= 0 || s.WallTime > time.Minute {
+		t.Errorf("WallTime = %v", s.WallTime)
+	}
+	if s.FeasibleReads == 0 {
+		t.Error("no feasible reads on a trivial model")
+	}
+}
+
+func TestSolvePresolveShrinksSearch(t *testing.T) {
+	// Force two variables via constraints; presolve should fix them.
+	m := cqm.New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	c := m.AddBinary("c")
+	m.AddObjectiveLinear(c, -1)
+	m.AddConstraint("a0", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Le, 0)
+	m.AddConstraint("b1", cqm.LinExpr{Terms: []cqm.Term{{Var: b, Coef: 1}}}, cqm.Ge, 1)
+	res := Solve(m, Options{Reads: 2, Sweeps: 50, Seed: 1, Presolve: true})
+	if res.Stats.PresolveFixed != 2 {
+		t.Errorf("PresolveFixed = %d, want 2", res.Stats.PresolveFixed)
+	}
+	if !res.Feasible || res.Sample[0] || !res.Sample[1] || !res.Sample[2] {
+		t.Errorf("unexpected sample %v (feasible=%v)", res.Sample, res.Feasible)
+	}
+}
+
+func TestSolveTemperingPath(t *testing.T) {
+	m := knapsackModel([]float64{8, 6, 4, 2, 1}, 2)
+	res := Solve(m, Options{Reads: 4, Sweeps: 200, Seed: 3, Tempering: true, Penalty: 2, PenaltyGrowth: 4})
+	if !res.Feasible {
+		t.Fatal("tempering found no feasible sample")
+	}
+	if res.Objective != -14 {
+		t.Fatalf("tempering objective = %v, want -14", res.Objective)
+	}
+}
+
+func TestSolveDeterministicPerSeed(t *testing.T) {
+	m := knapsackModel([]float64{5, 4, 3, 2, 1}, 2)
+	a := Solve(m, Options{Reads: 3, Sweeps: 80, Seed: 7})
+	b := Solve(m, Options{Reads: 3, Sweeps: 80, Seed: 7})
+	if a.Objective != b.Objective || a.Feasible != b.Feasible {
+		t.Fatalf("nondeterministic: %v vs %v", a.Objective, b.Objective)
+	}
+}
+
+func TestSolveReportsInfeasibleModel(t *testing.T) {
+	m := cqm.New()
+	a := m.AddBinary("a")
+	m.AddConstraint("lo", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Ge, 1)
+	m.AddConstraint("hi", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Le, 0)
+	res := Solve(m, Options{Reads: 2, Sweeps: 30, Seed: 1, Presolve: true})
+	if res.Feasible {
+		t.Fatal("infeasible model reported feasible")
+	}
+}
+
+func TestClientSubmitWait(t *testing.T) {
+	c := NewClient(Options{Reads: 2, Sweeps: 60, Seed: 5, Penalty: 2, PenaltyGrowth: 4})
+	defer c.Close()
+	var ids []JobID
+	for i := 0; i < 3; i++ {
+		id, err := c.Submit(knapsackModel([]float64{4, 3, 2, 1}, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		res, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible || res.Objective != -7 {
+			t.Fatalf("job %d: %+v", id, res)
+		}
+	}
+}
+
+func TestClientUnknownAndClosed(t *testing.T) {
+	c := NewClient(Options{Reads: 1, Sweeps: 10})
+	if _, err := c.Wait(context.Background(), 999); err == nil {
+		t.Fatal("Wait on unknown job succeeded")
+	}
+	c.Close()
+	c.Close() // idempotent
+	if _, err := c.Submit(cqm.New()); err != ErrClientClosed {
+		t.Fatalf("Submit after close: %v", err)
+	}
+}
+
+func TestClientWaitContextCancelled(t *testing.T) {
+	c := NewClient(Options{Reads: 4, Sweeps: 4000})
+	defer c.Close()
+	// Big model keeps the dispatcher busy long enough to cancel.
+	values := make([]float64, 400)
+	for i := range values {
+		values[i] = float64(i % 17)
+	}
+	id, err := c.Submit(knapsackModel(values, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Wait(ctx, id); err != context.Canceled {
+		t.Fatalf("Wait error = %v, want context.Canceled", err)
+	}
+}
+
+func TestTimingModelOverhead(t *testing.T) {
+	tm := DefaultTimingModel()
+	if tm.CloudOverhead() != tm.Submission+tm.HybridFloor {
+		t.Fatal("CloudOverhead mismatch")
+	}
+}
+
+func TestSolveWithTabuReads(t *testing.T) {
+	m := knapsackModel([]float64{9, 7, 5, 4, 3, 2, 1}, 3)
+	res := Solve(m, Options{Reads: 2, TabuReads: 3, Sweeps: 100, Seed: 4, Presolve: true, Penalty: 2, PenaltyGrowth: 4})
+	if !res.Feasible {
+		t.Fatal("no feasible sample with tabu portfolio")
+	}
+	if res.Objective != -21 {
+		t.Fatalf("objective %v, want -21", res.Objective)
+	}
+	if res.Stats.Reads != 5 {
+		t.Fatalf("Reads stat = %d, want 5 (2 SA + 3 tabu)", res.Stats.Reads)
+	}
+}
+
+func TestSolveTabuOnly(t *testing.T) {
+	// A portfolio of only tabu members still works (Reads=1 minimum SA
+	// read is forced by the default, so use Reads explicitly).
+	m := knapsackModel([]float64{5, 4, 3}, 1)
+	res := Solve(m, Options{Reads: 1, TabuReads: 2, Sweeps: 50, Seed: 2, Penalty: 2})
+	if !res.Feasible || res.Objective != -5 {
+		t.Fatalf("tabu-augmented solve: %+v", res)
+	}
+}
+
+func TestClientConcurrentWorkers(t *testing.T) {
+	c := NewClientN(Options{Reads: 2, Sweeps: 60, Seed: 9, Penalty: 2, PenaltyGrowth: 4}, 3)
+	defer c.Close()
+	var ids []JobID
+	for i := 0; i < 6; i++ {
+		id, err := c.Submit(knapsackModel([]float64{4, 3, 2, 1}, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, id := range ids {
+		res, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible || res.Objective != -7 {
+			t.Fatalf("job %d: %+v", id, res)
+		}
+		st, err := c.Status(id)
+		if err != nil || st != Done {
+			t.Fatalf("job %d status %v (%v)", id, st, err)
+		}
+	}
+}
+
+func TestClientCancelQueuedJob(t *testing.T) {
+	// One slow worker; the second job sits queued and can be cancelled.
+	big := make([]float64, 300)
+	for i := range big {
+		big[i] = float64(i % 13)
+	}
+	c := NewClientN(Options{Reads: 2, Sweeps: 3000}, 1)
+	defer c.Close()
+	if _, err := c.Submit(knapsackModel(big, 10)); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.Submit(knapsackModel([]float64{1, 2}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Cancel(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		if _, err := c.Wait(context.Background(), id2); err == nil {
+			t.Fatal("cancelled job returned a result")
+		}
+		st, _ := c.Status(id2)
+		if st != Cancelled {
+			t.Fatalf("status %v, want Cancelled", st)
+		}
+	}
+	// Unknown job ids error.
+	if _, err := c.Cancel(12345); err == nil {
+		t.Fatal("Cancel on unknown id succeeded")
+	}
+	if _, err := c.Status(12345); err == nil {
+		t.Fatal("Status on unknown id succeeded")
+	}
+}
+
+func TestJobStatusString(t *testing.T) {
+	if Queued.String() != "queued" || Running.String() != "running" ||
+		Done.String() != "done" || Cancelled.String() != "cancelled" {
+		t.Fatal("status names")
+	}
+	if JobStatus(9).String() == "" {
+		t.Fatal("unknown status empty")
+	}
+}

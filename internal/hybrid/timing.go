@@ -1,0 +1,38 @@
+package hybrid
+
+import "time"
+
+// TimingModel captures the latency structure of a cloud-hosted hybrid
+// solver. The paper's Table V shows the shape this model reproduces: a
+// multi-second "CPU" runtime dominated by submission latency and hybrid
+// processing ("a portion of this time dedicated to communication with
+// D-Wave's Leap quantum cloud service") and a small, roughly constant
+// "QPU" access time (~32 ms).
+type TimingModel struct {
+	// Submission is the simulated round-trip to the cloud service
+	// (serialization, network, queueing).
+	Submission time.Duration
+	// HybridFloor is the minimum time the hybrid service spends on any
+	// problem regardless of size (Leap enforces a minimum time limit on
+	// the order of seconds).
+	HybridFloor time.Duration
+	// QPUAccess is the simulated quantum-processor access time per
+	// solve.
+	QPUAccess time.Duration
+}
+
+// DefaultTimingModel reproduces the order of magnitude of the paper's
+// measurements: ~5 s end-to-end per hybrid call with ~32 ms of QPU time.
+func DefaultTimingModel() TimingModel {
+	return TimingModel{
+		Submission:  200 * time.Millisecond,
+		HybridFloor: 5 * time.Second,
+		QPUAccess:   32 * time.Millisecond,
+	}
+}
+
+// CloudOverhead returns the simulated non-QPU overhead added on top of
+// the real classical sampling time.
+func (t TimingModel) CloudOverhead() time.Duration {
+	return t.Submission + t.HybridFloor
+}

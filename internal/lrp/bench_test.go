@@ -1,0 +1,46 @@
+package lrp
+
+import "testing"
+
+func BenchmarkEvaluate(b *testing.B) {
+	weights := make([]float64, 64)
+	for i := range weights {
+		weights[i] = float64(1 + i%9)
+	}
+	in, err := UniformInstance(100, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPlan(in)
+	for j := 0; j < 32; j++ {
+		p.Move(j+32, j, 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(in, p)
+	}
+}
+
+func BenchmarkRepair(b *testing.B) {
+	weights := make([]float64, 32)
+	for i := range weights {
+		weights[i] = float64(1 + i%9)
+	}
+	in, err := UniformInstance(100, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	broken := ZeroPlan(32)
+	for i := range broken.X {
+		for j := range broken.X[i] {
+			broken.X[i][j] = (i*7 + j*3) % 12
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := broken.Clone()
+		if err := p.Repair(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package lrp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lrp"
+)
+
+// The Appendix-A illustration: four processes with five uniform tasks
+// each; P3 holds the longest tasks and delays every BSP iteration.
+func ExampleEvaluate() {
+	in := lrp.MustInstance([]int{5, 5, 5, 5}, []float64{1.87, 1.97, 3.12, 2.81})
+	plan := lrp.NewPlan(in)
+	plan.Move(0, 2, 1) // one task from P3 (index 2) to P1 (index 0)
+	m := lrp.Evaluate(in, plan)
+	fmt.Printf("migrated=%d speedup=%.4f\n", m.Migrated, m.Speedup)
+	// Output:
+	// migrated=1 speedup=1.1103
+}
+
+func ExampleInstance_Imbalance() {
+	in := lrp.MustInstance([]int{10, 10}, []float64{1, 3})
+	fmt.Printf("%.2f\n", in.Imbalance())
+	// Output:
+	// 0.50
+}
+
+func ExamplePlan_Validate() {
+	in := lrp.MustInstance([]int{2, 2}, []float64{1, 1})
+	p := lrp.ZeroPlan(2) // loses all four tasks
+	fmt.Println(p.Validate(in) != nil)
+	// Output:
+	// true
+}

@@ -1,0 +1,100 @@
+package lrp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces random uniform LRP instances with controlled
+// imbalance characteristics. The experiment harness uses the MxM and
+// samoa workloads for the paper's cases; Generator exists for library
+// users and stress tests that need arbitrary families of instances.
+type Generator struct {
+	// Procs is the machine size M (>= 1).
+	Procs int
+	// TasksPerProc is the uniform per-process task count n (>= 0).
+	TasksPerProc int
+	// MinWeight and MaxWeight bound the per-task weights drawn for
+	// each process.
+	MinWeight, MaxWeight float64
+	// Skew, when > 0, raises the weight distribution's upper tail:
+	// a fraction Skew of processes draw from the top decile of the
+	// weight range (hot spots).
+	Skew float64
+}
+
+// Validate checks the generator's parameters.
+func (g Generator) Validate() error {
+	if g.Procs < 1 {
+		return fmt.Errorf("lrp: generator needs at least one process, got %d", g.Procs)
+	}
+	if g.TasksPerProc < 0 {
+		return fmt.Errorf("lrp: negative tasks per process %d", g.TasksPerProc)
+	}
+	if g.MinWeight < 0 || g.MaxWeight < g.MinWeight {
+		return fmt.Errorf("lrp: weight range [%v, %v] invalid", g.MinWeight, g.MaxWeight)
+	}
+	if g.Skew < 0 || g.Skew > 1 {
+		return fmt.Errorf("lrp: skew %v outside [0,1]", g.Skew)
+	}
+	return nil
+}
+
+// Generate draws one instance. It is deterministic per seed.
+func (g Generator) Generate(seed int64) (*Instance, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, g.Procs)
+	span := g.MaxWeight - g.MinWeight
+	for j := range weights {
+		if g.Skew > 0 && rng.Float64() < g.Skew {
+			// Hot process: top decile of the range.
+			weights[j] = g.MaxWeight - span*0.1*rng.Float64()
+		} else {
+			weights[j] = g.MinWeight + span*rng.Float64()
+		}
+	}
+	return UniformInstance(g.TasksPerProc, weights)
+}
+
+// GenerateWithImbalance repeatedly draws until the instance's R_imb
+// falls within [minImb, maxImb], giving up after tries attempts (0 means
+// 1000).
+func (g Generator) GenerateWithImbalance(seed int64, minImb, maxImb float64, tries int) (*Instance, error) {
+	if tries <= 0 {
+		tries = 1000
+	}
+	if minImb > maxImb {
+		return nil, fmt.Errorf("lrp: imbalance window [%v, %v] empty", minImb, maxImb)
+	}
+	for attempt := 0; attempt < tries; attempt++ {
+		in, err := g.Generate(seed + int64(attempt)*7919)
+		if err != nil {
+			return nil, err
+		}
+		if imb := in.Imbalance(); imb >= minImb && imb <= maxImb {
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("lrp: no instance with R_imb in [%v, %v] after %d tries", minImb, maxImb, tries)
+}
+
+// BimodalInstance builds a deterministic two-population instance: hot
+// processes carry hotWeight per task, the rest coldWeight — the cleanest
+// shape for studying budget/balance trade-offs analytically.
+func BimodalInstance(procs, tasksPerProc, hotProcs int, coldWeight, hotWeight float64) (*Instance, error) {
+	if hotProcs < 0 || hotProcs > procs {
+		return nil, fmt.Errorf("lrp: %d hot processes out of %d", hotProcs, procs)
+	}
+	weights := make([]float64, procs)
+	for j := range weights {
+		if j >= procs-hotProcs {
+			weights[j] = hotWeight
+		} else {
+			weights[j] = coldWeight
+		}
+	}
+	return UniformInstance(tasksPerProc, weights)
+}

@@ -1,0 +1,107 @@
+package lrp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorValidate(t *testing.T) {
+	good := Generator{Procs: 4, TasksPerProc: 10, MinWeight: 1, MaxWeight: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Generator{
+		{Procs: 0, MaxWeight: 1},
+		{Procs: 2, TasksPerProc: -1, MaxWeight: 1},
+		{Procs: 2, MinWeight: 5, MaxWeight: 1},
+		{Procs: 2, MaxWeight: 1, Skew: 2},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad generator %d accepted", i)
+		}
+	}
+	if _, err := (Generator{}).Generate(1); err == nil {
+		t.Error("zero generator produced an instance")
+	}
+}
+
+func TestGeneratorDeterministicAndBounded(t *testing.T) {
+	g := Generator{Procs: 6, TasksPerProc: 20, MinWeight: 1, MaxWeight: 9, Skew: 0.3}
+	a, err := g.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Weight {
+		if a.Weight[j] != b.Weight[j] {
+			t.Fatal("generator nondeterministic")
+		}
+		if a.Weight[j] < 1 || a.Weight[j] > 9 {
+			t.Fatalf("weight %v outside [1,9]", a.Weight[j])
+		}
+	}
+	if n, ok := a.Uniform(); !ok || n != 20 {
+		t.Fatal("not uniform")
+	}
+}
+
+func TestGeneratorProperty(t *testing.T) {
+	f := func(seed int64, procsRaw, tasksRaw uint8) bool {
+		g := Generator{
+			Procs:        int(procsRaw%16) + 1,
+			TasksPerProc: int(tasksRaw % 64),
+			MinWeight:    0.5,
+			MaxWeight:    4.5,
+			Skew:         0.25,
+		}
+		in, err := g.Generate(seed)
+		if err != nil {
+			return false
+		}
+		return in.Validate() == nil && in.NumProcs() == g.Procs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateWithImbalance(t *testing.T) {
+	g := Generator{Procs: 8, TasksPerProc: 50, MinWeight: 1, MaxWeight: 10, Skew: 0.2}
+	in, err := g.GenerateWithImbalance(7, 0.5, 3.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := in.Imbalance(); imb < 0.5 || imb > 3.0 {
+		t.Fatalf("imbalance %v outside window", imb)
+	}
+	// Impossible window fails cleanly.
+	if _, err := g.GenerateWithImbalance(7, 50, 60, 5); err == nil {
+		t.Fatal("impossible window satisfied")
+	}
+	if _, err := g.GenerateWithImbalance(7, 3, 2, 0); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestBimodalInstance(t *testing.T) {
+	in, err := BimodalInstance(8, 50, 2, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, w := range in.Weight {
+		if w == 10 {
+			hot++
+		}
+	}
+	if hot != 2 {
+		t.Fatalf("%d hot processes, want 2", hot)
+	}
+	if _, err := BimodalInstance(4, 10, 9, 1, 2); err == nil {
+		t.Fatal("more hot procs than procs accepted")
+	}
+}

@@ -1,0 +1,203 @@
+// Package lrp defines the Load Rebalancing Problem (LRP) data model used
+// throughout this repository: problem instances, migration plans, and the
+// metrics the paper evaluates (maximum load, imbalance ratio, speedup, and
+// migration counts).
+//
+// The model follows Section II of the paper: N tasks in a task-based
+// parallel application are assigned to M processes. In the uniform model
+// each process P_j initially holds n_j tasks of identical load w_j; the
+// total load of a process is L_j = n_j * w_j. Rebalancing produces a
+// migration plan X where X[i][j] counts tasks moved to process i from
+// process j (the diagonal counts retained tasks).
+package lrp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Instance is a uniform-load LRP instance: every task originally assigned
+// to process j has load Weight[j], and process j holds Tasks[j] of them.
+// This is exactly the input model of the paper's CQM formulations
+// (Section IV) and of the Appendix-B CSV format.
+type Instance struct {
+	// Tasks[j] is the number of tasks originally assigned to process j.
+	Tasks []int
+	// Weight[j] is the (uniform) load of one task on process j, in
+	// arbitrary load units (the paper uses milliseconds of execution
+	// time).
+	Weight []float64
+}
+
+// NewInstance builds a uniform instance from per-process task counts and
+// per-task weights. It returns an error if the slices disagree in length,
+// are empty, or contain negative values.
+func NewInstance(tasks []int, weight []float64) (*Instance, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("lrp: instance must have at least one process")
+	}
+	if len(tasks) != len(weight) {
+		return nil, fmt.Errorf("lrp: %d task counts but %d weights", len(tasks), len(weight))
+	}
+	for j, n := range tasks {
+		if n < 0 {
+			return nil, fmt.Errorf("lrp: process %d has negative task count %d", j, n)
+		}
+		if weight[j] < 0 || math.IsNaN(weight[j]) || math.IsInf(weight[j], 0) {
+			return nil, fmt.Errorf("lrp: process %d has invalid weight %v", j, weight[j])
+		}
+	}
+	in := &Instance{
+		Tasks:  append([]int(nil), tasks...),
+		Weight: append([]float64(nil), weight...),
+	}
+	return in, nil
+}
+
+// MustInstance is NewInstance that panics on error; intended for tests and
+// examples with literal inputs.
+func MustInstance(tasks []int, weight []float64) *Instance {
+	in, err := NewInstance(tasks, weight)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// UniformInstance builds an instance where every process holds n tasks and
+// process j's per-task weight is weight[j]. This matches the paper's
+// experimental setup ("each process is assigned an equal amount of n
+// tasks").
+func UniformInstance(n int, weight []float64) (*Instance, error) {
+	tasks := make([]int, len(weight))
+	for j := range tasks {
+		tasks[j] = n
+	}
+	return NewInstance(tasks, weight)
+}
+
+// NumProcs returns M, the number of processes.
+func (in *Instance) NumProcs() int { return len(in.Tasks) }
+
+// NumTasks returns N, the total number of tasks across all processes.
+func (in *Instance) NumTasks() int {
+	total := 0
+	for _, n := range in.Tasks {
+		total += n
+	}
+	return total
+}
+
+// Uniform reports whether every process holds the same number of tasks,
+// and returns that count when true. The CQM formulations of Section IV
+// assume a uniform instance.
+func (in *Instance) Uniform() (n int, ok bool) {
+	if len(in.Tasks) == 0 {
+		return 0, false
+	}
+	n = in.Tasks[0]
+	for _, c := range in.Tasks[1:] {
+		if c != n {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// Load returns the initial total load L_j of process j.
+func (in *Instance) Load(j int) float64 {
+	return float64(in.Tasks[j]) * in.Weight[j]
+}
+
+// Loads returns the initial per-process load vector.
+func (in *Instance) Loads() []float64 {
+	loads := make([]float64, len(in.Tasks))
+	for j := range loads {
+		loads[j] = in.Load(j)
+	}
+	return loads
+}
+
+// TotalLoad returns the sum of all process loads.
+func (in *Instance) TotalLoad() float64 {
+	total := 0.0
+	for j := range in.Tasks {
+		total += in.Load(j)
+	}
+	return total
+}
+
+// MaxLoad returns L_max, the largest initial process load.
+func (in *Instance) MaxLoad() float64 { return MaxLoad(in.Loads()) }
+
+// AvgLoad returns L_avg, the mean initial process load.
+func (in *Instance) AvgLoad() float64 { return in.TotalLoad() / float64(len(in.Tasks)) }
+
+// Imbalance returns the initial imbalance ratio
+// R_imb = (L_max - L_avg) / L_avg (Menon & Kalé).
+func (in *Instance) Imbalance() float64 { return Imbalance(in.Loads()) }
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return &Instance{
+		Tasks:  append([]int(nil), in.Tasks...),
+		Weight: append([]float64(nil), in.Weight...),
+	}
+}
+
+// Validate checks internal consistency; it mirrors NewInstance for
+// instances built by hand.
+func (in *Instance) Validate() error {
+	_, err := NewInstance(in.Tasks, in.Weight)
+	return err
+}
+
+// String renders a short human-readable summary.
+func (in *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LRP{M=%d N=%d Rimb=%.4f loads=[", in.NumProcs(), in.NumTasks(), in.Imbalance())
+	for j := range in.Tasks {
+		if j > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.4g", in.Load(j))
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// MaxLoad returns the maximum of a load vector, or 0 for an empty vector.
+func MaxLoad(loads []float64) float64 {
+	max := 0.0
+	for i, l := range loads {
+		if i == 0 || l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// AvgLoad returns the mean of a load vector, or 0 for an empty vector.
+func AvgLoad(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	return total / float64(len(loads))
+}
+
+// Imbalance returns R_imb = (L_max - L_avg) / L_avg for a load vector.
+// It returns 0 when the average load is zero (an empty machine is
+// trivially balanced).
+func Imbalance(loads []float64) float64 {
+	avg := AvgLoad(loads)
+	if avg == 0 {
+		return 0
+	}
+	return (MaxLoad(loads) - avg) / avg
+}

@@ -1,0 +1,167 @@
+package lrp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		tasks  []int
+		weight []float64
+		ok     bool
+	}{
+		{"valid", []int{5, 5}, []float64{1, 2}, true},
+		{"empty", nil, nil, false},
+		{"mismatch", []int{5}, []float64{1, 2}, false},
+		{"negative tasks", []int{-1, 5}, []float64{1, 2}, false},
+		{"negative weight", []int{1, 5}, []float64{-1, 2}, false},
+		{"nan weight", []int{1, 5}, []float64{math.NaN(), 2}, false},
+		{"inf weight", []int{1, 5}, []float64{math.Inf(1), 2}, false},
+		{"zero weight ok", []int{1, 5}, []float64{0, 2}, true},
+		{"zero tasks ok", []int{0, 5}, []float64{1, 2}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewInstance(c.tasks, c.weight)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewInstance(%v,%v) err=%v, want ok=%v", c.tasks, c.weight, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestMustInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInstance on invalid input did not panic")
+		}
+	}()
+	MustInstance([]int{1}, []float64{1, 2})
+}
+
+func TestInstanceBasicMetrics(t *testing.T) {
+	// The Appendix-A example: 4 processes, 5 tasks each, weights
+	// 1.87, 1.97, 3.12, 2.81 -> loads 9.35, 9.85, 15.6, 14.05.
+	in := MustInstance([]int{5, 5, 5, 5}, []float64{1.87, 1.97, 3.12, 2.81})
+	if got := in.NumProcs(); got != 4 {
+		t.Fatalf("NumProcs = %d, want 4", got)
+	}
+	if got := in.NumTasks(); got != 20 {
+		t.Fatalf("NumTasks = %d, want 20", got)
+	}
+	if n, ok := in.Uniform(); !ok || n != 5 {
+		t.Fatalf("Uniform = (%d,%v), want (5,true)", n, ok)
+	}
+	wantLoads := []float64{9.35, 9.85, 15.6, 14.05}
+	for j, want := range wantLoads {
+		if got := in.Load(j); !almostEqual(got, want) {
+			t.Errorf("Load(%d) = %v, want %v", j, got, want)
+		}
+	}
+	if got := in.MaxLoad(); !almostEqual(got, 15.6) {
+		t.Errorf("MaxLoad = %v, want 15.6", got)
+	}
+	wantAvg := (9.35 + 9.85 + 15.6 + 14.05) / 4
+	if got := in.AvgLoad(); !almostEqual(got, wantAvg) {
+		t.Errorf("AvgLoad = %v, want %v", got, wantAvg)
+	}
+	wantImb := (15.6 - wantAvg) / wantAvg
+	if got := in.Imbalance(); !almostEqual(got, wantImb) {
+		t.Errorf("Imbalance = %v, want %v", got, wantImb)
+	}
+}
+
+func TestUniformInstance(t *testing.T) {
+	in, err := UniformInstance(50, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.NumTasks(); got != 150 {
+		t.Fatalf("NumTasks = %d, want 150", got)
+	}
+	if n, ok := in.Uniform(); !ok || n != 50 {
+		t.Fatalf("Uniform = (%d,%v), want (50,true)", n, ok)
+	}
+}
+
+func TestNonUniformDetected(t *testing.T) {
+	in := MustInstance([]int{5, 6}, []float64{1, 1})
+	if _, ok := in.Uniform(); ok {
+		t.Fatal("Uniform reported true for non-uniform instance")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	in := MustInstance([]int{5, 5}, []float64{1, 2})
+	cp := in.Clone()
+	cp.Tasks[0] = 99
+	cp.Weight[1] = 99
+	if in.Tasks[0] == 99 || in.Weight[1] == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestImbalanceZeroCases(t *testing.T) {
+	if got := Imbalance(nil); got != 0 {
+		t.Errorf("Imbalance(nil) = %v, want 0", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 0 {
+		t.Errorf("Imbalance(zeros) = %v, want 0", got)
+	}
+	if got := Imbalance([]float64{3, 3, 3}); !almostEqual(got, 0) {
+		t.Errorf("Imbalance(balanced) = %v, want 0", got)
+	}
+}
+
+func TestImbalanceProperties(t *testing.T) {
+	// R_imb is scale-invariant and non-negative.
+	f := func(raw []uint16, scale uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		s := 1 + float64(scale)
+		for i, r := range raw {
+			loads[i] = float64(r)
+			scaled[i] = float64(r) * s
+		}
+		r1, r2 := Imbalance(loads), Imbalance(scaled)
+		if r1 < 0 {
+			return false
+		}
+		return almostEqual(r1, r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	in := MustInstance([]int{2, 2}, []float64{1, 3})
+	s := in.String()
+	for _, want := range []string{"M=2", "N=4", "Rimb="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestValidateRoundTrip(t *testing.T) {
+	in := MustInstance([]int{3, 4}, []float64{1, 2})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("Validate on good instance: %v", err)
+	}
+	in.Tasks[0] = -1
+	if err := in.Validate(); err == nil {
+		t.Fatal("Validate accepted negative task count")
+	}
+}

@@ -1,0 +1,309 @@
+package lrp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Plan is a migration plan for a uniform LRP instance: X[i][j] is the
+// number of tasks that end up on process i having originated on process j.
+// The diagonal X[j][j] counts tasks retained by their original process.
+// Column j therefore always sums to the instance's Tasks[j] ("no task is
+// lost", the first CQM constraint).
+type Plan struct {
+	X [][]int
+}
+
+// NewPlan returns the identity plan for in: every task stays where it is.
+func NewPlan(in *Instance) *Plan {
+	m := in.NumProcs()
+	p := &Plan{X: make([][]int, m)}
+	for i := range p.X {
+		p.X[i] = make([]int, m)
+		p.X[i][i] = in.Tasks[i]
+	}
+	return p
+}
+
+// ZeroPlan returns an all-zero m×m plan, useful as a builder target.
+func ZeroPlan(m int) *Plan {
+	p := &Plan{X: make([][]int, m)}
+	for i := range p.X {
+		p.X[i] = make([]int, m)
+	}
+	return p
+}
+
+// NumProcs returns the number of processes the plan covers.
+func (p *Plan) NumProcs() int { return len(p.X) }
+
+// Clone returns a deep copy of the plan.
+func (p *Plan) Clone() *Plan {
+	q := &Plan{X: make([][]int, len(p.X))}
+	for i := range p.X {
+		q.X[i] = append([]int(nil), p.X[i]...)
+	}
+	return q
+}
+
+// Move records the migration of count tasks from process j to process i.
+// It does not check feasibility; use Validate against the instance.
+func (p *Plan) Move(i, j, count int) {
+	p.X[i][j] += count
+	p.X[j][j] -= count
+}
+
+// Migrated returns the total number of migrated tasks,
+// sum over i != j of X[i][j].
+func (p *Plan) Migrated() int {
+	total := 0
+	for i := range p.X {
+		for j, c := range p.X[i] {
+			if i != j {
+				total += c
+			}
+		}
+	}
+	return total
+}
+
+// MigratedPerProc returns, for each source process j, how many of its
+// tasks were migrated away.
+func (p *Plan) MigratedPerProc() []int {
+	m := len(p.X)
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				out[j] += p.X[i][j]
+			}
+		}
+	}
+	return out
+}
+
+// ColumnSums returns, for each source process j, the total number of its
+// original tasks accounted for by the plan (retained + migrated).
+func (p *Plan) ColumnSums() []int {
+	m := len(p.X)
+	sums := make([]int, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			sums[j] += p.X[i][j]
+		}
+	}
+	return sums
+}
+
+// RowCounts returns, for each destination process i, the total number of
+// tasks it holds after rebalancing (num_total in the Appendix-B output
+// format).
+func (p *Plan) RowCounts() []int {
+	counts := make([]int, len(p.X))
+	for i := range p.X {
+		for _, c := range p.X[i] {
+			counts[i] += c
+		}
+	}
+	return counts
+}
+
+// Loads returns the post-rebalancing load vector for in:
+// L'_i = sum_j Weight[j] * X[i][j].
+func (p *Plan) Loads(in *Instance) []float64 {
+	m := len(p.X)
+	loads := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			loads[i] += in.Weight[j] * float64(p.X[i][j])
+		}
+	}
+	return loads
+}
+
+// Validate checks that the plan is feasible for in: the matrix is square
+// with the instance's dimension, all entries are non-negative, and each
+// column sums to the source process's original task count.
+func (p *Plan) Validate(in *Instance) error {
+	m := in.NumProcs()
+	if len(p.X) != m {
+		return fmt.Errorf("lrp: plan has %d rows, instance has %d processes", len(p.X), m)
+	}
+	for i := range p.X {
+		if len(p.X[i]) != m {
+			return fmt.Errorf("lrp: plan row %d has %d columns, want %d", i, len(p.X[i]), m)
+		}
+		for j, c := range p.X[i] {
+			if c < 0 {
+				return fmt.Errorf("lrp: plan entry X[%d][%d] = %d is negative", i, j, c)
+			}
+		}
+	}
+	for j, sum := range p.ColumnSums() {
+		if sum != in.Tasks[j] {
+			return fmt.Errorf("lrp: column %d sums to %d, want %d (tasks lost or invented)", j, sum, in.Tasks[j])
+		}
+	}
+	return nil
+}
+
+// String renders the migration matrix.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i := range p.X {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		for j, c := range p.X[i] {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", c)
+		}
+	}
+	return b.String()
+}
+
+// Metrics summarises the quality of a plan for an instance; these are the
+// columns of the paper's result tables.
+type Metrics struct {
+	// MaxLoad is L_max after rebalancing.
+	MaxLoad float64
+	// AvgLoad is L_avg (invariant under rebalancing up to rounding).
+	AvgLoad float64
+	// Imbalance is R_imb = (L_max - L_avg) / L_avg after rebalancing.
+	Imbalance float64
+	// Speedup is baseline L_max divided by post-rebalancing L_max
+	// (Section V-A: "speedup calculated by the fraction of the maximum
+	// load values between baseline (no rebalancing) and rebalancing").
+	Speedup float64
+	// Migrated is the total number of migrated tasks.
+	Migrated int
+	// MigratedPerProc is Migrated divided by the number of processes.
+	MigratedPerProc float64
+}
+
+// Evaluate computes the paper's metrics for plan p applied to in.
+func Evaluate(in *Instance, p *Plan) Metrics {
+	loads := p.Loads(in)
+	maxAfter := MaxLoad(loads)
+	maxBefore := in.MaxLoad()
+	m := Metrics{
+		MaxLoad:   maxAfter,
+		AvgLoad:   AvgLoad(loads),
+		Imbalance: Imbalance(loads),
+		Migrated:  p.Migrated(),
+	}
+	if maxAfter > 0 {
+		m.Speedup = maxBefore / maxAfter
+	}
+	if n := in.NumProcs(); n > 0 {
+		m.MigratedPerProc = float64(m.Migrated) / float64(n)
+	}
+	return m
+}
+
+// ErrInfeasible is returned by repair helpers when a proposed plan cannot
+// be projected onto the feasible set.
+var ErrInfeasible = errors.New("lrp: infeasible plan")
+
+// Repair projects a possibly-invalid non-negative matrix onto the feasible
+// set by fixing each column sum to the instance's task count. Excess tasks
+// are removed from migrations first (largest entries first) and then from
+// the diagonal; deficits are added to the diagonal (tasks stay home).
+// Entries are clamped at zero. Repair never increases the number of
+// migrated tasks for a column that was over-subscribed.
+func (p *Plan) Repair(in *Instance) error {
+	m := in.NumProcs()
+	if len(p.X) != m {
+		return fmt.Errorf("lrp: cannot repair plan with %d rows for %d processes", len(p.X), m)
+	}
+	for i := range p.X {
+		if len(p.X[i]) != m {
+			return fmt.Errorf("lrp: cannot repair plan row %d with %d columns", i, len(p.X[i]))
+		}
+		for j := range p.X[i] {
+			if p.X[i][j] < 0 {
+				p.X[i][j] = 0
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		sum := 0
+		for i := 0; i < m; i++ {
+			sum += p.X[i][j]
+		}
+		switch {
+		case sum < in.Tasks[j]:
+			// Deficit: unaccounted tasks stay on their origin.
+			p.X[j][j] += in.Tasks[j] - sum
+		case sum > in.Tasks[j]:
+			excess := sum - in.Tasks[j]
+			// Shed excess from off-diagonal entries, largest first,
+			// to cancel the most speculative migrations.
+			for excess > 0 {
+				best, bestCount := -1, 0
+				for i := 0; i < m; i++ {
+					if i != j && p.X[i][j] > bestCount {
+						best, bestCount = i, p.X[i][j]
+					}
+				}
+				if best < 0 {
+					break
+				}
+				take := excess
+				if take > bestCount {
+					take = bestCount
+				}
+				p.X[best][j] -= take
+				excess -= take
+			}
+			if excess > 0 {
+				if p.X[j][j] < excess {
+					return ErrInfeasible
+				}
+				p.X[j][j] -= excess
+			}
+		}
+	}
+	return p.Validate(in)
+}
+
+// CapMigrations reduces the plan's migration count to at most k by
+// cancelling migrations (returning tasks to their origin), cheapest-impact
+// first: migrations whose cancellation least increases the resulting
+// maximum load are undone first. It is a greedy projection used to enforce
+// the paper's "no more than k tasks moved" constraint on decoded solver
+// output.
+func (p *Plan) CapMigrations(in *Instance, k int) {
+	if k < 0 {
+		k = 0
+	}
+	for p.Migrated() > k {
+		m := len(p.X)
+		// Undo one task from the migration whose destination currently
+		// has the highest load: returning a task from the most loaded
+		// destination is the least damaging single undo.
+		loads := p.Loads(in)
+		bestI, bestJ := -1, -1
+		bestLoad := -1.0
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i != j && p.X[i][j] > 0 && loads[i] > bestLoad {
+					bestI, bestJ, bestLoad = i, j, loads[i]
+				}
+			}
+		}
+		if bestI < 0 {
+			return
+		}
+		over := p.Migrated() - k
+		undo := p.X[bestI][bestJ]
+		if undo > over {
+			undo = over
+		}
+		p.X[bestI][bestJ] -= undo
+		p.X[bestJ][bestJ] += undo
+	}
+}

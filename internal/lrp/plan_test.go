@@ -1,0 +1,274 @@
+package lrp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityPlan(t *testing.T) {
+	in := MustInstance([]int{5, 5, 5, 5}, []float64{1.87, 1.97, 3.12, 2.81})
+	p := NewPlan(in)
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("identity plan invalid: %v", err)
+	}
+	if got := p.Migrated(); got != 0 {
+		t.Fatalf("identity plan migrated %d tasks, want 0", got)
+	}
+	m := Evaluate(in, p)
+	if !almostEqual(m.Speedup, 1) {
+		t.Errorf("identity speedup = %v, want 1", m.Speedup)
+	}
+	if !almostEqual(m.MaxLoad, in.MaxLoad()) {
+		t.Errorf("identity MaxLoad = %v, want %v", m.MaxLoad, in.MaxLoad())
+	}
+	if !almostEqual(m.Imbalance, in.Imbalance()) {
+		t.Errorf("identity Imbalance = %v, want %v", m.Imbalance, in.Imbalance())
+	}
+}
+
+func TestMoveAndMetrics(t *testing.T) {
+	// Two processes, 4 tasks each, weights 1 and 3. Loads 4 and 12.
+	in := MustInstance([]int{4, 4}, []float64{1, 3})
+	p := NewPlan(in)
+	// Move one heavy task from P1 to P0: loads become 4+3=7 and 9.
+	p.Move(0, 1, 1)
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("plan invalid after Move: %v", err)
+	}
+	m := Evaluate(in, p)
+	if m.Migrated != 1 {
+		t.Errorf("Migrated = %d, want 1", m.Migrated)
+	}
+	loads := p.Loads(in)
+	if !almostEqual(loads[0], 7) || !almostEqual(loads[1], 9) {
+		t.Errorf("loads = %v, want [7 9]", loads)
+	}
+	if !almostEqual(m.Speedup, 12.0/9.0) {
+		t.Errorf("Speedup = %v, want %v", m.Speedup, 12.0/9.0)
+	}
+	if !almostEqual(m.MigratedPerProc, 0.5) {
+		t.Errorf("MigratedPerProc = %v, want 0.5", m.MigratedPerProc)
+	}
+}
+
+func TestValidateCatchesColumnLoss(t *testing.T) {
+	in := MustInstance([]int{4, 4}, []float64{1, 3})
+	p := NewPlan(in)
+	p.X[0][0]-- // lose a task
+	if err := p.Validate(in); err == nil {
+		t.Fatal("Validate accepted a plan that loses a task")
+	}
+	p = NewPlan(in)
+	p.X[1][0]++ // invent a task
+	if err := p.Validate(in); err == nil {
+		t.Fatal("Validate accepted a plan that invents a task")
+	}
+	p = NewPlan(in)
+	p.X[0][1] = -1
+	if err := p.Validate(in); err == nil {
+		t.Fatal("Validate accepted a negative entry")
+	}
+	wrong := ZeroPlan(3)
+	if err := wrong.Validate(in); err == nil {
+		t.Fatal("Validate accepted a plan of the wrong dimension")
+	}
+}
+
+func TestColumnAndRowHelpers(t *testing.T) {
+	in := MustInstance([]int{3, 5}, []float64{1, 1})
+	p := NewPlan(in)
+	p.Move(0, 1, 2)
+	cols := p.ColumnSums()
+	if cols[0] != 3 || cols[1] != 5 {
+		t.Errorf("ColumnSums = %v, want [3 5]", cols)
+	}
+	rows := p.RowCounts()
+	if rows[0] != 5 || rows[1] != 3 {
+		t.Errorf("RowCounts = %v, want [5 3]", rows)
+	}
+	per := p.MigratedPerProc()
+	if per[0] != 0 || per[1] != 2 {
+		t.Errorf("MigratedPerProc = %v, want [0 2]", per)
+	}
+}
+
+func TestRepairDeficitAndExcess(t *testing.T) {
+	in := MustInstance([]int{10, 10, 10}, []float64{1, 2, 3})
+	// Deficit: a plan that dropped 4 tasks from column 0.
+	p := ZeroPlan(3)
+	p.X[0][0] = 6
+	p.X[1][1] = 10
+	p.X[2][2] = 10
+	if err := p.Repair(in); err != nil {
+		t.Fatalf("Repair(deficit): %v", err)
+	}
+	if p.X[0][0] != 10 {
+		t.Errorf("deficit repair put X[0][0]=%d, want 10", p.X[0][0])
+	}
+
+	// Excess: column 1 over-subscribed by 5 via migrations.
+	p = NewPlan(in)
+	p.X[0][1] = 3
+	p.X[2][1] = 2 // column 1 now sums to 15
+	if err := p.Repair(in); err != nil {
+		t.Fatalf("Repair(excess): %v", err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("plan invalid after excess repair: %v", err)
+	}
+
+	// Negative entries are clamped before repair.
+	p = NewPlan(in)
+	p.X[0][1] = -7
+	if err := p.Repair(in); err != nil {
+		t.Fatalf("Repair(negative): %v", err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("plan invalid after negative repair: %v", err)
+	}
+}
+
+func TestRepairProperty(t *testing.T) {
+	// Any non-negative random matrix repairs to a valid plan.
+	in := MustInstance([]int{7, 13, 5, 20}, []float64{1, 2, 3, 4})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ZeroPlan(4)
+		for i := range p.X {
+			for j := range p.X[i] {
+				p.X[i][j] = rng.Intn(25) - 3 // includes negatives
+			}
+		}
+		if err := p.Repair(in); err != nil {
+			return false
+		}
+		return p.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapMigrations(t *testing.T) {
+	in := MustInstance([]int{10, 10}, []float64{1, 5})
+	p := NewPlan(in)
+	p.Move(0, 1, 4) // 4 migrations
+	p.CapMigrations(in, 2)
+	if got := p.Migrated(); got != 2 {
+		t.Fatalf("CapMigrations left %d migrations, want 2", got)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("plan invalid after cap: %v", err)
+	}
+	// Capping below zero clamps to zero migrations.
+	p.CapMigrations(in, -5)
+	if got := p.Migrated(); got != 0 {
+		t.Fatalf("CapMigrations(-5) left %d migrations, want 0", got)
+	}
+}
+
+func TestCapMigrationsProperty(t *testing.T) {
+	in := MustInstance([]int{8, 8, 8}, []float64{1, 2, 3})
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPlan(in)
+		// Random feasible migrations.
+		for j := 0; j < 3; j++ {
+			avail := in.Tasks[j]
+			for i := 0; i < 3; i++ {
+				if i == j || avail == 0 {
+					continue
+				}
+				c := rng.Intn(avail + 1)
+				p.Move(i, j, c)
+				avail -= c
+			}
+		}
+		k := int(kRaw % 30)
+		p.CapMigrations(in, k)
+		return p.Migrated() <= k && p.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanCloneAndString(t *testing.T) {
+	in := MustInstance([]int{2, 2}, []float64{1, 1})
+	p := NewPlan(in)
+	q := p.Clone()
+	q.Move(0, 1, 1)
+	if p.Migrated() != 0 {
+		t.Fatal("Clone shares storage")
+	}
+	if s := p.String(); s != "2 0\n0 2" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestExpandTasksAndAssignment(t *testing.T) {
+	in := MustInstance([]int{2, 3}, []float64{1.5, 2.5})
+	tasks := ExpandTasks(in)
+	if len(tasks) != 5 {
+		t.Fatalf("ExpandTasks returned %d tasks, want 5", len(tasks))
+	}
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Errorf("task %d has ID %d", i, task.ID)
+		}
+	}
+	if tasks[0].Origin != 0 || tasks[4].Origin != 1 {
+		t.Errorf("unexpected origins: %+v", tasks)
+	}
+	if !almostEqual(tasks[2].Load, 2.5) {
+		t.Errorf("task 2 load = %v, want 2.5", tasks[2].Load)
+	}
+
+	// Assignment that swaps everything to the other process.
+	assign := []int{1, 1, 0, 0, 0}
+	p, err := PlanFromAssignment(in, tasks, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Migrated(); got != 5 {
+		t.Errorf("Migrated = %d, want 5", got)
+	}
+
+	// Invalid destination.
+	if _, err := PlanFromAssignment(in, tasks, []int{0, 0, 0, 0, 9}); err == nil {
+		t.Fatal("PlanFromAssignment accepted out-of-range destination")
+	}
+	// Length mismatch.
+	if _, err := PlanFromAssignment(in, tasks, []int{0}); err == nil {
+		t.Fatal("PlanFromAssignment accepted mismatched lengths")
+	}
+}
+
+func TestPlanFromAssignmentProperty(t *testing.T) {
+	in := MustInstance([]int{4, 4, 4}, []float64{1, 2, 3})
+	tasks := ExpandTasks(in)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assign := make([]int, len(tasks))
+		for i := range assign {
+			assign[i] = rng.Intn(3)
+		}
+		p, err := PlanFromAssignment(in, tasks, assign)
+		if err != nil {
+			return false
+		}
+		// Migration count equals the number of tasks whose destination
+		// differs from origin.
+		want := 0
+		for i, task := range tasks {
+			if assign[i] != task.Origin {
+				want++
+			}
+		}
+		return p.Migrated() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

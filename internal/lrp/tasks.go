@@ -1,0 +1,55 @@
+package lrp
+
+import "fmt"
+
+// Task is an individual task in the expanded (per-task) view of an
+// instance. Classical partitioning algorithms (Greedy, KK) operate on
+// individual tasks rather than on the aggregate migration matrix.
+type Task struct {
+	// ID is a stable identifier, unique within the expanded task list.
+	ID int
+	// Origin is the process the task was originally assigned to.
+	Origin int
+	// Load is the task's execution-time load value.
+	Load float64
+}
+
+// ExpandTasks flattens a uniform instance into its individual tasks, in
+// process order. Task IDs are assigned sequentially from zero.
+func ExpandTasks(in *Instance) []Task {
+	tasks := make([]Task, 0, in.NumTasks())
+	id := 0
+	for j := range in.Tasks {
+		for t := 0; t < in.Tasks[j]; t++ {
+			tasks = append(tasks, Task{ID: id, Origin: j, Load: in.Weight[j]})
+			id++
+		}
+	}
+	return tasks
+}
+
+// PlanFromAssignment converts a per-task assignment (assign[t] is the
+// destination process of tasks[t]) into a migration-matrix plan for in.
+// It returns an error when an assignment index is out of range or the
+// task list does not cover the instance.
+func PlanFromAssignment(in *Instance, tasks []Task, assign []int) (*Plan, error) {
+	if len(tasks) != len(assign) {
+		return nil, fmt.Errorf("lrp: %d tasks but %d assignments", len(tasks), len(assign))
+	}
+	m := in.NumProcs()
+	p := ZeroPlan(m)
+	for t, task := range tasks {
+		dst := assign[t]
+		if dst < 0 || dst >= m {
+			return nil, fmt.Errorf("lrp: task %d assigned to invalid process %d", task.ID, dst)
+		}
+		if task.Origin < 0 || task.Origin >= m {
+			return nil, fmt.Errorf("lrp: task %d has invalid origin %d", task.ID, task.Origin)
+		}
+		p.X[dst][task.Origin]++
+	}
+	if err := p.Validate(in); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,92 @@
+package mxm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lrp"
+)
+
+// Case is one imbalance test case: a uniform LRP instance plus the
+// per-process matrix sizes that produced it.
+type Case struct {
+	// Name labels the case in tables and figures (e.g. "Imb.2").
+	Name string
+	// ProcSizes[j] is the matrix size of every task on process j.
+	ProcSizes []int
+	// Instance is the resulting uniform LRP input.
+	Instance *lrp.Instance
+}
+
+// buildCase assembles a Case from per-process sizes and a cost model.
+func buildCase(name string, tasksPerProc int, procSizes []int, cm CostModel) Case {
+	weights := make([]float64, len(procSizes))
+	for j, s := range procSizes {
+		weights[j] = cm.Cost(s)
+	}
+	in, err := lrp.UniformInstance(tasksPerProc, weights)
+	if err != nil {
+		panic(err) // sizes and counts are generator-controlled
+	}
+	return Case{Name: name, ProcSizes: append([]int(nil), procSizes...), Instance: in}
+}
+
+// VaryImbalanceCases reproduces experiment group V-B.1: five cases
+// Imb.0..Imb.4 of increasing imbalance on 8 processes with 50 uniform
+// tasks each, using matrix sizes from the paper's {128..512} set.
+// Imb.0 is perfectly balanced (it assesses whether methods migrate
+// needlessly); the spread of sizes — and with the cubic cost model, the
+// imbalance ratio — grows monotonically through Imb.4.
+func VaryImbalanceCases(cm CostModel) []Case {
+	profiles := [][]int{
+		{320, 320, 320, 320, 320, 320, 320, 320}, // Imb.0: balanced
+		{256, 256, 320, 320, 320, 320, 384, 384}, // Imb.1
+		{192, 256, 256, 320, 320, 384, 384, 448}, // Imb.2
+		{128, 192, 256, 320, 320, 384, 448, 512}, // Imb.3
+		{128, 128, 128, 192, 192, 256, 320, 512}, // Imb.4
+	}
+	cases := make([]Case, len(profiles))
+	for i, sizes := range profiles {
+		cases[i] = buildCase(fmt.Sprintf("Imb.%d", i), 50, sizes, cm)
+	}
+	return cases
+}
+
+// VaryProcsCase reproduces one point of experiment group V-B.2: procs
+// processes, 100 uniform tasks each, sizes drawn deterministically from
+// the paper's size set so that the instance is imbalanced.
+func VaryProcsCase(procs int, cm CostModel, seed int64) Case {
+	return randomCase(fmt.Sprintf("%d nodes", procs), procs, 100, cm, seed)
+}
+
+// VaryTasksCase reproduces one point of experiment group V-B.3: 8
+// processes with tasksPerProc uniform tasks each.
+func VaryTasksCase(tasksPerProc int, cm CostModel, seed int64) Case {
+	return randomCase(fmt.Sprintf("%d tasks", tasksPerProc), 8, tasksPerProc, cm, seed)
+}
+
+// randomCase draws one size per process from the size set, re-drawing
+// until the case is imbalanced (all-equal draws would make the
+// experiment degenerate).
+func randomCase(name string, procs, tasksPerProc int, cm CostModel, seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := Sizes()
+	procSizes := make([]int, procs)
+	for {
+		for j := range procSizes {
+			procSizes[j] = sizes[rng.Intn(len(sizes))]
+		}
+		first := procSizes[0]
+		for _, s := range procSizes[1:] {
+			if s != first {
+				return buildCase(name, tasksPerProc, procSizes, cm)
+			}
+		}
+	}
+}
+
+// ProcScales returns the node counts of experiment group V-B.2.
+func ProcScales() []int { return []int{4, 8, 16, 32, 64} }
+
+// TaskScales returns the tasks-per-node counts of experiment group V-B.3.
+func TaskScales() []int { return []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048} }

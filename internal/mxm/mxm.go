@@ -1,0 +1,99 @@
+// Package mxm implements the paper's synthetic matrix-multiplication
+// workload: a task is one A = B x C kernel, and the matrix size controls
+// the task's execution time ("we can vary the task lengths by varying
+// matrix sizes", Section V-A). The package provides a real multiply
+// kernel, a calibrated cubic cost model, and deterministic generators for
+// the three MxM experiment groups of Section V-B.
+package mxm
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sizes returns the matrix sizes used by the paper's experiments:
+// {128, 192, 256, ..., 512}.
+func Sizes() []int {
+	return []int{128, 192, 256, 320, 384, 448, 512}
+}
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64
+}
+
+// NewRandomMatrix returns an n x n matrix with deterministic pseudo-random
+// entries in [0, 1).
+func NewRandomMatrix(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Matrix{N: n, Data: make([]float64, n*n)}
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.N+c] }
+
+// Multiply computes a = b x c with a cache-friendly ikj loop order; it is
+// the compute kernel of an MxM task. It panics on dimension mismatch.
+func Multiply(b, c *Matrix) *Matrix {
+	if b.N != c.N {
+		panic(fmt.Sprintf("mxm: dimension mismatch %d vs %d", b.N, c.N))
+	}
+	n := b.N
+	a := &Matrix{N: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			bik := b.Data[i*n+k]
+			if bik == 0 {
+				continue
+			}
+			crow := c.Data[k*n : (k+1)*n]
+			for j, cv := range crow {
+				arow[j] += bik * cv
+			}
+		}
+	}
+	return a
+}
+
+// CostModel maps a matrix size to a task load value (milliseconds).
+// The naive multiply kernel performs 2 n^3 floating-point operations, so
+// the model is cost(n) = CoefMsPerOp * 2 n^3.
+type CostModel struct {
+	// CoefMsPerOp is the per-flop cost in milliseconds.
+	CoefMsPerOp float64
+}
+
+// DefaultCostModel assumes ~1 GFLOP/s effective throughput, the right
+// order for a naive Go kernel on one Haswell-class core (the paper's
+// CoolMUC2 nodes).
+func DefaultCostModel() CostModel {
+	return CostModel{CoefMsPerOp: 1e-6 / 2} // 2n^3 ops * 0.5e-6 ms = 1e-6 n^3 ms
+}
+
+// Cost returns the modelled execution time in milliseconds of one task
+// multiplying two size x size matrices.
+func (c CostModel) Cost(size int) float64 {
+	s := float64(size)
+	return c.CoefMsPerOp * 2 * s * s * s
+}
+
+// Calibrate measures the real multiply kernel at the given size and
+// returns a cost model fitted to this machine. Generators use the
+// default model so experiments stay deterministic; Calibrate exists for
+// examples that execute real kernels.
+func Calibrate(size int) CostModel {
+	b := NewRandomMatrix(size, 1)
+	c := NewRandomMatrix(size, 2)
+	start := time.Now()
+	Multiply(b, c)
+	elapsed := time.Since(start)
+	ops := 2 * float64(size) * float64(size) * float64(size)
+	return CostModel{CoefMsPerOp: float64(elapsed.Milliseconds()) / ops}
+}

@@ -1,0 +1,183 @@
+package mxm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiplyIdentity(t *testing.T) {
+	n := 16
+	b := NewRandomMatrix(n, 1)
+	id := &Matrix{N: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		id.Data[i*n+i] = 1
+	}
+	got := Multiply(b, id)
+	for i := range b.Data {
+		if math.Abs(got.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatalf("B x I != B at %d: %v vs %v", i, got.Data[i], b.Data[i])
+		}
+	}
+	got = Multiply(id, b)
+	for i := range b.Data {
+		if math.Abs(got.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatalf("I x B != B at %d", i)
+		}
+	}
+}
+
+func TestMultiplyKnownProduct(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50].
+	b := &Matrix{N: 2, Data: []float64{1, 2, 3, 4}}
+	c := &Matrix{N: 2, Data: []float64{5, 6, 7, 8}}
+	a := Multiply(b, c)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if a.Data[i] != w {
+			t.Fatalf("product = %v, want %v", a.Data, want)
+		}
+	}
+	if a.At(1, 0) != 43 {
+		t.Fatalf("At(1,0) = %v", a.At(1, 0))
+	}
+}
+
+func TestMultiplyDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	Multiply(NewRandomMatrix(2, 1), NewRandomMatrix(3, 1))
+}
+
+func TestMultiplyAssociativityProperty(t *testing.T) {
+	// (AB)C == A(BC) within floating-point tolerance.
+	f := func(seed int64) bool {
+		n := 8
+		a := NewRandomMatrix(n, seed)
+		b := NewRandomMatrix(n, seed+1)
+		c := NewRandomMatrix(n, seed+2)
+		l := Multiply(Multiply(a, b), c)
+		r := Multiply(a, Multiply(b, c))
+		for i := range l.Data {
+			if math.Abs(l.Data[i]-r.Data[i]) > 1e-9*math.Max(1, math.Abs(l.Data[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelCubic(t *testing.T) {
+	cm := DefaultCostModel()
+	// Doubling the size multiplies the cost by 8.
+	if got := cm.Cost(256) / cm.Cost(128); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("cost(256)/cost(128) = %v, want 8", got)
+	}
+	if cm.Cost(128) <= 0 {
+		t.Fatal("non-positive cost")
+	}
+}
+
+func TestCalibrateProducesPositiveModel(t *testing.T) {
+	cm := Calibrate(64)
+	if cm.CoefMsPerOp < 0 {
+		t.Fatalf("negative coefficient %v", cm.CoefMsPerOp)
+	}
+}
+
+func TestSizesMatchPaper(t *testing.T) {
+	s := Sizes()
+	if s[0] != 128 || s[len(s)-1] != 512 {
+		t.Fatalf("Sizes = %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i]-s[i-1] != 64 {
+			t.Fatalf("Sizes not in steps of 64: %v", s)
+		}
+	}
+}
+
+func TestVaryImbalanceCasesShape(t *testing.T) {
+	cases := VaryImbalanceCases(DefaultCostModel())
+	if len(cases) != 5 {
+		t.Fatalf("got %d cases, want 5 (Imb.0..Imb.4)", len(cases))
+	}
+	prev := -1.0
+	for i, c := range cases {
+		if c.Name != "Imb."+string(rune('0'+i)) {
+			t.Errorf("case %d name = %q", i, c.Name)
+		}
+		if c.Instance.NumProcs() != 8 {
+			t.Errorf("%s: %d procs, want 8", c.Name, c.Instance.NumProcs())
+		}
+		if n, ok := c.Instance.Uniform(); !ok || n != 50 {
+			t.Errorf("%s: not uniform 50 tasks/proc", c.Name)
+		}
+		imb := c.Instance.Imbalance()
+		if i == 0 && imb > 1e-12 {
+			t.Errorf("Imb.0 has imbalance %v", imb)
+		}
+		if imb < prev {
+			t.Errorf("imbalance not monotone at %s: %v < %v", c.Name, imb, prev)
+		}
+		prev = imb
+		for _, s := range c.ProcSizes {
+			if s < 128 || s > 512 || s%64 != 0 {
+				t.Errorf("%s: size %d outside the paper's set", c.Name, s)
+			}
+		}
+	}
+}
+
+func TestVaryProcsCase(t *testing.T) {
+	for _, procs := range ProcScales() {
+		c := VaryProcsCase(procs, DefaultCostModel(), 42)
+		if c.Instance.NumProcs() != procs {
+			t.Fatalf("procs = %d, want %d", c.Instance.NumProcs(), procs)
+		}
+		if n, ok := c.Instance.Uniform(); !ok || n != 100 {
+			t.Fatalf("%s: not uniform 100 tasks", c.Name)
+		}
+		if c.Instance.Imbalance() <= 0 {
+			t.Fatalf("%s: balanced case generated", c.Name)
+		}
+	}
+}
+
+func TestVaryTasksCase(t *testing.T) {
+	for _, n := range TaskScales() {
+		c := VaryTasksCase(n, DefaultCostModel(), 7)
+		if got, ok := c.Instance.Uniform(); !ok || got != n {
+			t.Fatalf("tasks = %d, want %d", got, n)
+		}
+		if c.Instance.NumProcs() != 8 {
+			t.Fatalf("%s: %d procs, want 8", c.Name, c.Instance.NumProcs())
+		}
+	}
+}
+
+func TestCasesDeterministic(t *testing.T) {
+	a := VaryProcsCase(16, DefaultCostModel(), 5)
+	b := VaryProcsCase(16, DefaultCostModel(), 5)
+	for j := range a.ProcSizes {
+		if a.ProcSizes[j] != b.ProcSizes[j] {
+			t.Fatal("generator nondeterministic for fixed seed")
+		}
+	}
+	c := VaryProcsCase(16, DefaultCostModel(), 6)
+	same := true
+	for j := range a.ProcSizes {
+		if a.ProcSizes[j] != c.ProcSizes[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical cases")
+	}
+}

@@ -1,0 +1,28 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkNelderMeadRosenbrock(b *testing.B) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		c := x[1] - x[0]*x[0]
+		return a*a + 100*c*c
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := NelderMead(f, []float64{-1.2, 1}, Options{MaxEvals: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridSearch2D(b *testing.B) {
+	f := func(x []float64) float64 { return math.Sin(x[0]) * math.Cos(x[1]) }
+	for i := 0; i < b.N; i++ {
+		if _, err := GridSearch(f, []float64{0, 0}, []float64{3, 3}, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package optimize provides derivative-free optimization of continuous
+// functions. It exists for the gate-based solver path (Section VI of the
+// paper): QAOA's variational parameters are tuned classically, and
+// Nelder-Mead is the standard gradient-free choice for the noisy,
+// low-dimensional landscapes QAOA produces.
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Options configures a Nelder-Mead run.
+type Options struct {
+	// MaxEvals caps objective evaluations (0 = 500 per dimension).
+	MaxEvals int
+	// Tol stops the search when the simplex's objective spread falls
+	// below it (0 = 1e-8).
+	Tol float64
+	// Step is the initial simplex edge length (0 = 0.5).
+	Step float64
+}
+
+// Result reports the optimum found.
+type Result struct {
+	// X is the best parameter vector.
+	X []float64
+	// F is the objective at X.
+	F float64
+	// Evals counts objective evaluations used.
+	Evals int
+	// Converged reports whether the tolerance was met before the
+	// evaluation budget ran out.
+	Converged bool
+}
+
+// NelderMead minimizes f starting from x0 using the standard
+// reflection/expansion/contraction/shrink simplex method with adaptive
+// coefficients. It returns an error for an empty starting point.
+func NelderMead(f func([]float64) float64, x0 []float64, opt Options) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, fmt.Errorf("optimize: empty starting point")
+	}
+	if opt.MaxEvals <= 0 {
+		opt.MaxEvals = 500 * n
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.Step <= 0 {
+		opt.Step = 0.5
+	}
+	// Adaptive coefficients (Gao & Han) behave better in d > 2.
+	nd := float64(n)
+	alpha := 1.0
+	beta := 1.0 + 2.0/nd
+	gamma := 0.75 - 1.0/(2.0*nd)
+	delta := 1.0 - 1.0/nd
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i] += opt.Step
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+	converged := false
+	for evals < opt.MaxEvals {
+		sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		if math.Abs(simplex[n].f-simplex[0].f) < opt.Tol {
+			converged = true
+			break
+		}
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j] / nd
+			}
+		}
+		worst := &simplex[n]
+		// Reflection.
+		for j := range trial {
+			trial[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := eval(trial)
+		switch {
+		case fr < simplex[0].f:
+			// Expansion.
+			exp := make([]float64, n)
+			for j := range exp {
+				exp[j] = centroid[j] + beta*(trial[j]-centroid[j])
+			}
+			fe := eval(exp)
+			if fe < fr {
+				worst.x, worst.f = exp, fe
+			} else {
+				worst.x, worst.f = append([]float64(nil), trial...), fr
+			}
+		case fr < simplex[n-1].f:
+			worst.x, worst.f = append([]float64(nil), trial...), fr
+		default:
+			// Contraction (outside if the reflected point improved on
+			// the worst, inside otherwise).
+			con := make([]float64, n)
+			if fr < worst.f {
+				for j := range con {
+					con[j] = centroid[j] + gamma*(trial[j]-centroid[j])
+				}
+			} else {
+				for j := range con {
+					con[j] = centroid[j] - gamma*(centroid[j]-worst.x[j])
+				}
+			}
+			fc := eval(con)
+			if fc < math.Min(fr, worst.f) {
+				worst.x, worst.f = con, fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + delta*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = eval(simplex[i].x)
+					if evals >= opt.MaxEvals {
+						break
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return Result{
+		X:         append([]float64(nil), simplex[0].x...),
+		F:         simplex[0].f,
+		Evals:     evals,
+		Converged: converged,
+	}, nil
+}
+
+// GridSearch evaluates f on a regular grid over the box [lo,hi]^dims
+// with points samples per axis and returns the best point; it is the
+// robust (if expensive) initializer for QAOA's periodic, multi-modal
+// parameter landscape, typically followed by NelderMead refinement.
+func GridSearch(f func([]float64) float64, lo, hi []float64, samples int) (Result, error) {
+	dims := len(lo)
+	if dims == 0 || dims != len(hi) {
+		return Result{}, fmt.Errorf("optimize: bad grid bounds (%d vs %d dims)", dims, len(hi))
+	}
+	if samples < 2 {
+		return Result{}, fmt.Errorf("optimize: need at least 2 samples per axis, got %d", samples)
+	}
+	x := make([]float64, dims)
+	idx := make([]int, dims)
+	best := Result{F: math.Inf(1)}
+	for {
+		for d := 0; d < dims; d++ {
+			x[d] = lo[d] + (hi[d]-lo[d])*float64(idx[d])/float64(samples-1)
+		}
+		v := f(x)
+		best.Evals++
+		if v < best.F {
+			best.F = v
+			best.X = append(best.X[:0], x...)
+		}
+		// Advance the mixed-radix counter.
+		d := 0
+		for ; d < dims; d++ {
+			idx[d]++
+			if idx[d] < samples {
+				break
+			}
+			idx[d] = 0
+		}
+		if d == dims {
+			break
+		}
+	}
+	best.Converged = true
+	return best, nil
+}

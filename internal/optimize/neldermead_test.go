@@ -1,0 +1,138 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// min (x-3)^2 + (y+1)^2.
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)
+	}
+	res, err := NelderMead(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-3 || math.Abs(res.X[1]+1) > 1e-3 {
+		t.Fatalf("X = %v, want (3,-1)", res.X)
+	}
+	if res.F > 1e-6 {
+		t.Fatalf("F = %v", res.F)
+	}
+	if !res.Converged || res.Evals == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(f, []float64{-1.2, 1}, Options{MaxEvals: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Fatalf("Rosenbrock min at %v, want (1,1)", res.X)
+	}
+}
+
+func TestNelderMeadOneDimension(t *testing.T) {
+	f := func(x []float64) float64 { return math.Cos(x[0]) }
+	res, err := NelderMead(f, []float64{2.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum of cos near pi.
+	if math.Abs(res.X[0]-math.Pi) > 1e-3 {
+		t.Fatalf("X = %v, want pi", res.X)
+	}
+}
+
+func TestNelderMeadEmptyStart(t *testing.T) {
+	if _, err := NelderMead(func([]float64) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Fatal("accepted empty start")
+	}
+}
+
+func TestNelderMeadBudget(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	res, err := NelderMead(f, []float64{100}, Options{MaxEvals: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals > 6 { // initial simplex + a step may slightly overshoot
+		t.Fatalf("Evals = %d, budget 5", res.Evals)
+	}
+	if res.Converged {
+		t.Fatal("claimed convergence on a tiny budget far from optimum")
+	}
+}
+
+func TestNelderMeadNeverWorseThanStartProperty(t *testing.T) {
+	f := func(seedX, seedY int16) bool {
+		x0 := []float64{float64(seedX) / 100, float64(seedY) / 100}
+		obj := func(x []float64) float64 {
+			return math.Abs(x[0]-1) + (x[1]-2)*(x[1]-2) + math.Sin(x[0]*3)*0.1
+		}
+		res, err := NelderMead(obj, x0, Options{MaxEvals: 400})
+		if err != nil {
+			return false
+		}
+		return res.F <= obj(x0)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridSearchFindsBasin(t *testing.T) {
+	f := func(x []float64) float64 {
+		return -math.Exp(-((x[0]-0.7)*(x[0]-0.7) + (x[1]-0.2)*(x[1]-0.2)))
+	}
+	res, err := GridSearch(f, []float64{0, 0}, []float64{1, 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.7) > 0.1 || math.Abs(res.X[1]-0.2) > 0.1 {
+		t.Fatalf("grid best %v, want near (0.7,0.2)", res.X)
+	}
+	if res.Evals != 121 {
+		t.Fatalf("Evals = %d, want 121", res.Evals)
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	f := func([]float64) float64 { return 0 }
+	if _, err := GridSearch(f, nil, nil, 3); err == nil {
+		t.Fatal("accepted empty bounds")
+	}
+	if _, err := GridSearch(f, []float64{0}, []float64{1, 2}, 3); err == nil {
+		t.Fatal("accepted mismatched bounds")
+	}
+	if _, err := GridSearch(f, []float64{0}, []float64{1}, 1); err == nil {
+		t.Fatal("accepted single sample")
+	}
+}
+
+func TestGridThenNelderMeadPipeline(t *testing.T) {
+	// The intended QAOA usage: coarse grid, then refine.
+	f := func(x []float64) float64 {
+		return math.Sin(5*x[0])*math.Cos(3*x[1]) + 0.1*x[0]*x[0] + 0.1*x[1]*x[1]
+	}
+	g, err := GridSearch(f, []float64{-2, -2}, []float64{2, 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NelderMead(f, g.X, Options{Step: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > g.F+1e-12 {
+		t.Fatalf("refinement made things worse: %v -> %v", g.F, res.F)
+	}
+}

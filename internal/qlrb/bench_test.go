@@ -1,0 +1,82 @@
+package qlrb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lrp"
+)
+
+func benchInstance(m, n int) *lrp.Instance {
+	weights := make([]float64, m)
+	for i := range weights {
+		weights[i] = float64(1 + i%7)
+	}
+	in, err := lrp.UniformInstance(n, weights)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, shape := range []struct {
+		m, n int
+		form Formulation
+	}{
+		{8, 50, QCQM1}, {8, 50, QCQM2},
+		{32, 208, QCQM1}, {32, 208, QCQM2},
+	} {
+		in := benchInstance(shape.m, shape.n)
+		b.Run(fmt.Sprintf("%v_M%d_n%d", shape.form, shape.m, shape.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(in, BuildOptions{Form: shape.form, K: 100}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeRepaired(b *testing.B) {
+	in := benchInstance(32, 208)
+	enc, err := Build(in, BuildOptions{Form: QCQM1, K: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]bool, enc.Model.NumVars())
+	for i := range sample {
+		sample[i] = rng.Intn(8) == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.DecodeRepaired(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePlan(b *testing.B) {
+	in := benchInstance(32, 208)
+	enc, err := Build(in, BuildOptions{Form: QCQM2, K: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := lrp.NewPlan(in)
+	plan.Move(0, 31, 17)
+	plan.Move(5, 31, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncodePlan(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoefficients(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Coefficients(2048)
+	}
+}

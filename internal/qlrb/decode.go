@@ -1,0 +1,131 @@
+package qlrb
+
+import (
+	"fmt"
+
+	"repro/internal/cqm"
+	"repro/internal/lrp"
+)
+
+// Decode converts a solver sample (one bool per model variable) into a
+// migration plan. For QCQM1 the retained diagonal counts are inferred as
+// n minus the tasks migrated away. The raw decoded matrix may violate
+// feasibility when the sample is infeasible; see DecodeRepaired.
+func (enc *Encoded) Decode(sample []bool) (*lrp.Plan, error) {
+	if len(sample) != enc.Model.NumVars() {
+		return nil, fmt.Errorf("qlrb: sample has %d bits, model has %d variables", len(sample), enc.Model.NumVars())
+	}
+	m := enc.in.NumProcs()
+	p := lrp.ZeroPlan(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			base := enc.vars[i][j]
+			if base < 0 {
+				continue
+			}
+			count := 0
+			for l, c := range enc.coefs {
+				if sample[int(base)+l] {
+					count += c
+				}
+			}
+			p.X[i][j] = count
+		}
+	}
+	if enc.form == QCQM1 {
+		for j := 0; j < m; j++ {
+			out := 0
+			for i := 0; i < m; i++ {
+				if i != j {
+					out += p.X[i][j]
+				}
+			}
+			p.X[j][j] = enc.n - out
+		}
+	}
+	return p, nil
+}
+
+// DecodeRepaired decodes a sample and projects it onto the feasible set:
+// column sums are repaired to conserve tasks and the migration cap K is
+// enforced. repaired reports whether any projection was necessary (it is
+// false for samples that were already feasible). This guarantees the
+// caller always receives a valid plan, mirroring the paper's protocol of
+// using only feasible CQM-solver outputs.
+func (enc *Encoded) DecodeRepaired(sample []bool) (p *lrp.Plan, repaired bool, err error) {
+	p, err = enc.Decode(sample)
+	if err != nil {
+		return nil, false, err
+	}
+	if p.Validate(enc.in) != nil {
+		repaired = true
+		if err := p.Repair(enc.in); err != nil {
+			return nil, true, fmt.Errorf("qlrb: sample unrepairable: %w", err)
+		}
+	}
+	if enc.k >= 0 && p.Migrated() > enc.k {
+		repaired = true
+		p.CapMigrations(enc.in, enc.k)
+	}
+	return p, repaired, nil
+}
+
+// EncodePlan produces the sample bits corresponding to a feasible plan —
+// the inverse of Decode. It is used for warm starts and in tests as a
+// round-trip property. It returns an error if the plan is invalid for
+// the encoded instance or, for pinned formulations, if the plan migrates
+// tasks into an eliminated pair.
+func (enc *Encoded) EncodePlan(p *lrp.Plan) ([]bool, error) {
+	if err := p.Validate(enc.in); err != nil {
+		return nil, err
+	}
+	m := enc.in.NumProcs()
+	sample := make([]bool, enc.Model.NumVars())
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			base := enc.vars[i][j]
+			if base < 0 {
+				if i != j && p.X[i][j] != 0 {
+					return nil, fmt.Errorf("qlrb: plan moves %d tasks into eliminated pair (%d,%d)", p.X[i][j], i, j)
+				}
+				continue
+			}
+			bits, err := Encode(p.X[i][j], enc.coefs)
+			if err != nil {
+				return nil, fmt.Errorf("qlrb: pair (%d,%d): %w", i, j, err)
+			}
+			for l, b := range bits {
+				sample[int(base)+l] = b
+			}
+		}
+	}
+	return sample, nil
+}
+
+// ConservationPairs returns variable pairs whose co-flip preserves the
+// column (task-conservation) structure: each off-diagonal bit is paired
+// with the same-coefficient diagonal bit of its source process. Only the
+// full formulation (QCQM2) has diagonal variables; for QCQM1 the result
+// is empty because conservation is handled by inference and single flips
+// already preserve it.
+func (enc *Encoded) ConservationPairs() [][2]cqm.VarID {
+	if enc.form != QCQM2 {
+		return nil
+	}
+	m := enc.in.NumProcs()
+	pairs := make([][2]cqm.VarID, 0, m*(m-1)*len(enc.coefs))
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j || enc.vars[i][j] < 0 || enc.vars[j][j] < 0 {
+				continue
+			}
+			for l := range enc.coefs {
+				pairs = append(pairs, [2]cqm.VarID{
+					enc.vars[i][j] + cqm.VarID(l),
+					enc.vars[j][j] + cqm.VarID(l),
+				})
+			}
+		}
+	}
+	return pairs
+}

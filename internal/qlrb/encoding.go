@@ -1,0 +1,97 @@
+// Package qlrb implements the paper's primary contribution: the
+// transformation of the Load Rebalancing Problem into constrained
+// quadratic models solvable by a hybrid classical-quantum solver
+// (Section IV), in the two variants the paper evaluates:
+//
+//   - Q_CQM1 — the reduced formulation: diagonal (retained-task)
+//     variables are eliminated by inference, leaving only inequality
+//     constraints;
+//   - Q_CQM2 — the full formulation: variables for every (destination,
+//     source) pair, with M equality and M+1 inequality constraints.
+//
+// Task counts are encoded with the paper's non-standard binary
+// representation: the coefficient set
+//
+//	C = {2^0, 2^1, ..., 2^(floor(log2 n)-1)} ∪ {n - 2^floor(log2 n) + 1}
+//
+// whose members sum exactly to n, so that "all coefficients on" means
+// "all n tasks" with no overshoot.
+package qlrb
+
+import "fmt"
+
+// Coefficients returns the paper's coefficient set C for a per-process
+// task count n, in ascending order with the adjusted top coefficient
+// last. The coefficients sum to exactly n and every integer in [0, n] is
+// a subset sum (see Encode). It panics if n < 1.
+func Coefficients(n int) []int {
+	if n < 1 {
+		panic(fmt.Sprintf("qlrb: Coefficients requires n >= 1, got %d", n))
+	}
+	k := floorLog2(n)
+	coefs := make([]int, 0, k+1)
+	for l := 0; l < k; l++ {
+		coefs = append(coefs, 1<<l)
+	}
+	coefs = append(coefs, n-(1<<k)+1)
+	return coefs
+}
+
+// NumCoefficients returns |C| = floor(log2 n) + 1, the per-pair bit count
+// of the formulations (the paper's qubit formulas use this factor).
+func NumCoefficients(n int) int { return floorLog2(n) + 1 }
+
+func floorLog2(n int) int {
+	k := 0
+	for 1<<(k+1) <= n {
+		k++
+	}
+	return k
+}
+
+// Encode returns a bit vector over coefs (as returned by Coefficients
+// for some n) whose selected coefficients sum to v. It returns an error
+// when v is outside [0, sum(coefs)].
+//
+// The construction: the top (adjusted) coefficient r = n - 2^k + 1
+// satisfies r <= 2^k, and the remaining coefficients 1,2,...,2^(k-1)
+// represent any value in [0, 2^k - 1] in standard binary. If v >= r we
+// take r and represent v - r (<= 2^k - 1) in binary; otherwise v itself
+// (<= r - 1 <= 2^k - 1) is represented in binary.
+func Encode(v int, coefs []int) ([]bool, error) {
+	total := 0
+	for _, c := range coefs {
+		total += c
+	}
+	if v < 0 || v > total {
+		return nil, fmt.Errorf("qlrb: value %d out of range [0, %d]", v, total)
+	}
+	bits := make([]bool, len(coefs))
+	top := len(coefs) - 1
+	rest := v
+	if r := coefs[top]; v >= r {
+		bits[top] = true
+		rest = v - r
+	}
+	for l := top - 1; l >= 0; l-- {
+		if rest >= coefs[l] {
+			bits[l] = true
+			rest -= coefs[l]
+		}
+	}
+	if rest != 0 {
+		return nil, fmt.Errorf("qlrb: internal error encoding %d with %v", v, coefs)
+	}
+	return bits, nil
+}
+
+// Decode returns the sum of the coefficients selected by bits.
+func Decode(bits []bool, coefs []int) int {
+	v := 0
+	for l, b := range bits {
+		if b {
+			v += coefs[l]
+		}
+	}
+	return v
+}

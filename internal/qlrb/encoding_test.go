@@ -1,0 +1,140 @@
+package qlrb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoefficientsPaperExample(t *testing.T) {
+	// The paper's example: n = 13 -> C = {1, 2, 4, 6} ("to express
+	// 13_10, the coefficients are {2^0, 2^1, 2^2, 6}").
+	got := Coefficients(13)
+	want := []int{1, 2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Coefficients(13) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Coefficients(13) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCoefficientsSmallValues(t *testing.T) {
+	cases := map[int][]int{
+		1: {1},
+		2: {1, 1},
+		3: {1, 2},
+		4: {1, 2, 1},
+		7: {1, 2, 4},
+		8: {1, 2, 4, 1},
+	}
+	for n, want := range cases {
+		got := Coefficients(n)
+		if len(got) != len(want) {
+			t.Errorf("Coefficients(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Coefficients(%d) = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestCoefficientsPanicOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coefficients(0) did not panic")
+		}
+	}()
+	Coefficients(0)
+}
+
+func TestCoefficientsSumToN(t *testing.T) {
+	for n := 1; n <= 5000; n++ {
+		total := 0
+		for _, c := range Coefficients(n) {
+			total += c
+			if c <= 0 {
+				t.Fatalf("n=%d: non-positive coefficient %d", n, c)
+			}
+		}
+		if total != n {
+			t.Fatalf("n=%d: coefficients sum to %d", n, total)
+		}
+		if got, want := len(Coefficients(n)), NumCoefficients(n); got != want {
+			t.Fatalf("n=%d: |C| = %d but NumCoefficients = %d", n, got, want)
+		}
+	}
+}
+
+func TestNumCoefficientsMatchesPaperFormula(t *testing.T) {
+	// |C| = floor(log2 n) + 1 at the power-of-two boundaries.
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 50: 6, 100: 7, 208: 8, 2048: 12}
+	for n, want := range cases {
+		if got := NumCoefficients(n); got != want {
+			t.Errorf("NumCoefficients(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripExhaustive(t *testing.T) {
+	// Every value in [0, n] must round-trip, for a range of n that
+	// includes the experiment sizes.
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 50, 100, 208, 255, 256} {
+		coefs := Coefficients(n)
+		for v := 0; v <= n; v++ {
+			bits, err := Encode(v, coefs)
+			if err != nil {
+				t.Fatalf("n=%d v=%d: %v", n, v, err)
+			}
+			if got := Decode(bits, coefs); got != v {
+				t.Fatalf("n=%d: Encode/Decode %d -> %d", n, v, got)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	coefs := Coefficients(10)
+	if _, err := Encode(-1, coefs); err == nil {
+		t.Fatal("Encode(-1) succeeded")
+	}
+	if _, err := Encode(11, coefs); err == nil {
+		t.Fatal("Encode(n+1) succeeded")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(nRaw uint16, vRaw uint16) bool {
+		n := int(nRaw%4000) + 1
+		v := int(vRaw) % (n + 1)
+		coefs := Coefficients(n)
+		bits, err := Encode(v, coefs)
+		if err != nil {
+			return false
+		}
+		return Decode(bits, coefs) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAllOnesEqualsN(t *testing.T) {
+	// "if all coefficients are used ... adds up to exactly n" — the
+	// property the paper relies on for solution correctness.
+	for n := 1; n <= 300; n++ {
+		coefs := Coefficients(n)
+		bits := make([]bool, len(coefs))
+		for i := range bits {
+			bits[i] = true
+		}
+		if got := Decode(bits, coefs); got != n {
+			t.Fatalf("n=%d: all-ones decodes to %d", n, got)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package qlrb_test
+
+import (
+	"fmt"
+
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+)
+
+// The paper's example: n = 13 tasks per process encode with the
+// coefficient set {1, 2, 4, 6}, whose members sum to exactly 13.
+func ExampleCoefficients() {
+	fmt.Println(qlrb.Coefficients(13))
+	// Output:
+	// [1 2 4 6]
+}
+
+// Building Q_CQM2 for 8 processes with 50 tasks each needs
+// M^2 (log2 n + 1) = 64*6 = 384 logical qubits (Table I).
+func ExampleBuild() {
+	in, _ := lrp.UniformInstance(50, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	enc, _ := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM2, K: 60})
+	eq, ineq := enc.Model.CountConstraintSenses()
+	fmt.Printf("qubits=%d eq=%d ineq=%d\n", enc.NumLogicalQubits(), eq, ineq)
+	// Output:
+	// qubits=384 eq=8 ineq=9
+}

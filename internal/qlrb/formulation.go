@@ -1,0 +1,321 @@
+package qlrb
+
+import (
+	"fmt"
+
+	"repro/internal/cqm"
+	"repro/internal/lrp"
+)
+
+// Formulation selects between the paper's two CQM variants.
+type Formulation int
+
+const (
+	// QCQM1 is the reduced formulation: retained-task (diagonal)
+	// variables are inferred from the migrated ones, and every
+	// constraint is an inequality.
+	QCQM1 Formulation = iota
+	// QCQM2 is the full formulation with variables for every
+	// (destination, source) pair, M equality constraints and M+1
+	// inequality constraints.
+	QCQM2
+)
+
+// String names the formulation as the paper does.
+func (f Formulation) String() string {
+	switch f {
+	case QCQM1:
+		return "Q_CQM1"
+	case QCQM2:
+		return "Q_CQM2"
+	}
+	return fmt.Sprintf("Formulation(%d)", int(f))
+}
+
+// BuildOptions configures the CQM construction.
+type BuildOptions struct {
+	// Form selects the formulation variant.
+	Form Formulation
+	// K caps the total number of migrated tasks (the paper's relocation
+	// cost bound; k1/k2 in the experiments). K < 0 disables the cap.
+	K int
+	// PinHeaviest additionally removes the incoming variables of the
+	// maximally loaded process in QCQM1 (it may send but not receive).
+	// With this reduction the variable count is exactly the paper's
+	// (M-1)^2 * (floor(log2 n)+1); without it, eliminating only the
+	// diagonal leaves M(M-1) pairs. See DESIGN.md "Faithfulness notes".
+	PinHeaviest bool
+	// PerSourceK additionally caps how many tasks each single process
+	// may give away (ProactLB's per-process search-space bound K from
+	// the paper's Table I; the global K bounds the total instead).
+	// Zero or negative disables the per-source caps.
+	PerSourceK int
+	// MigrationWeight adds a soft migration cost to the objective:
+	// MigrationWeight * (migrated tasks) / n, in the same normalized
+	// units as the squared load deviations. It is the Lagrangian
+	// alternative to the hard K constraint (set K < 0 to study it in
+	// isolation) — one of the "different problem formulations" the
+	// paper's future work proposes. Zero disables it.
+	MigrationWeight float64
+}
+
+// Encoded is a built CQM for an LRP instance together with the metadata
+// needed to decode solver samples back into migration plans.
+type Encoded struct {
+	// Model is the constrained quadratic model to hand to a solver.
+	Model *cqm.Model
+
+	in    *lrp.Instance
+	n     int   // tasks per process (uniform)
+	coefs []int // coefficient set C
+	form  Formulation
+	k     int
+	// vars[i][j] is the VarID of bit 0 for pair (dest i, src j); bits
+	// l=0..|C|-1 are consecutive. -1 marks an eliminated pair.
+	vars [][]cqm.VarID
+}
+
+// Build constructs the CQM of opt.Form for a uniform instance. It
+// returns an error for non-uniform instances (the paper's formulations
+// assume each process starts with the same number n of tasks).
+func Build(in *lrp.Instance, opt BuildOptions) (*Encoded, error) {
+	n, uniform := in.Uniform()
+	if !uniform {
+		return nil, fmt.Errorf("qlrb: instance is not uniform (per-process task counts %v)", in.Tasks)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("qlrb: need at least one task per process, got %d", n)
+	}
+	mProcs := in.NumProcs()
+	if mProcs < 2 {
+		return nil, fmt.Errorf("qlrb: need at least two processes, got %d", mProcs)
+	}
+
+	coefs := Coefficients(n)
+	nc := len(coefs)
+	model := cqm.New()
+	enc := &Encoded{
+		Model: model,
+		in:    in.Clone(),
+		n:     n,
+		coefs: coefs,
+		form:  opt.Form,
+		k:     opt.K,
+		vars:  make([][]cqm.VarID, mProcs),
+	}
+
+	heaviest := -1
+	if opt.Form == QCQM1 && opt.PinHeaviest {
+		heaviest = 0
+		for j := 1; j < mProcs; j++ {
+			if in.Load(j) > in.Load(heaviest) {
+				heaviest = j
+			}
+		}
+	}
+
+	// Allocate variables.
+	for i := 0; i < mProcs; i++ {
+		enc.vars[i] = make([]cqm.VarID, mProcs)
+		for j := 0; j < mProcs; j++ {
+			if opt.Form == QCQM1 && (i == j || i == heaviest) {
+				enc.vars[i][j] = -1
+				continue
+			}
+			first := cqm.VarID(-1)
+			for l := 0; l < nc; l++ {
+				v := model.AddBinary(fmt.Sprintf("x[%d,%d,%d]", i, j, l))
+				if l == 0 {
+					first = v
+				}
+			}
+			enc.vars[i][j] = first
+		}
+	}
+
+	lavg := in.AvgLoad()
+	lmax := in.MaxLoad()
+	// Normalize load-dimension expressions by L_avg so the objective is
+	// O(1) per process regardless of the instance's absolute scale;
+	// this keeps annealing penalty weights instance-independent.
+	scale := 1.0
+	if lavg > 0 {
+		scale = 1 / lavg
+	}
+
+	// Objective: sum_i (L'_i - L_avg)^2, in normalized units.
+	for i := 0; i < mProcs; i++ {
+		var e cqm.LinExpr
+		switch opt.Form {
+		case QCQM2:
+			// L'_i = sum_j w_j * count(i,j).
+			e.Offset = -lavg * scale
+			for j := 0; j < mProcs; j++ {
+				enc.addCount(&e, i, j, in.Weight[j]*scale)
+			}
+		case QCQM1:
+			// L'_i = w_i*n - w_i*out_i + sum_{j != i} w_j*in_{ij}.
+			e.Offset = (in.Load(i) - lavg) * scale
+			for dst := 0; dst < mProcs; dst++ {
+				if dst == i {
+					continue
+				}
+				enc.addCount(&e, dst, i, -in.Weight[i]*scale) // tasks leaving i
+			}
+			for j := 0; j < mProcs; j++ {
+				if j == i {
+					continue
+				}
+				enc.addCount(&e, i, j, in.Weight[j]*scale) // tasks arriving at i
+			}
+		}
+		model.AddObjectiveSquared(e)
+	}
+
+	// Constraint group 1 — conservation ("no task is lost").
+	for j := 0; j < mProcs; j++ {
+		var e cqm.LinExpr
+		switch opt.Form {
+		case QCQM2:
+			// sum_i count(i,j) == n.
+			for i := 0; i < mProcs; i++ {
+				enc.addCount(&e, i, j, 1)
+			}
+			model.AddConstraint(fmt.Sprintf("conserve[%d]", j), e, cqm.Eq, float64(n))
+		case QCQM1:
+			// out_j <= n keeps the inferred diagonal non-negative.
+			for i := 0; i < mProcs; i++ {
+				if i != j {
+					enc.addCount(&e, i, j, 1)
+				}
+			}
+			model.AddConstraint(fmt.Sprintf("outcap[%d]", j), e, cqm.Le, float64(n))
+		}
+	}
+
+	// Constraint group 2 — no process may exceed the original L_max.
+	for i := 0; i < mProcs; i++ {
+		var e cqm.LinExpr
+		switch opt.Form {
+		case QCQM2:
+			for j := 0; j < mProcs; j++ {
+				enc.addCount(&e, i, j, in.Weight[j]*scale)
+			}
+		case QCQM1:
+			e.Offset = in.Load(i) * scale
+			for dst := 0; dst < mProcs; dst++ {
+				if dst != i {
+					enc.addCount(&e, dst, i, -in.Weight[i]*scale)
+				}
+			}
+			for j := 0; j < mProcs; j++ {
+				if j != i {
+					enc.addCount(&e, i, j, in.Weight[j]*scale)
+				}
+			}
+		}
+		model.AddConstraint(fmt.Sprintf("loadcap[%d]", i), e, cqm.Le, lmax*scale)
+	}
+
+	// Constraint group 3 — at most K migrated tasks in total.
+	if opt.K >= 0 {
+		var e cqm.LinExpr
+		for i := 0; i < mProcs; i++ {
+			for j := 0; j < mProcs; j++ {
+				if i != j {
+					enc.addCount(&e, i, j, 1)
+				}
+			}
+		}
+		model.AddConstraint("migcap", e, cqm.Le, float64(opt.K))
+	}
+
+	// Optional per-source caps: out_j <= PerSourceK for every process.
+	if opt.PerSourceK > 0 {
+		for j := 0; j < mProcs; j++ {
+			var e cqm.LinExpr
+			for i := 0; i < mProcs; i++ {
+				if i != j {
+					enc.addCount(&e, i, j, 1)
+				}
+			}
+			model.AddConstraint(fmt.Sprintf("srccap[%d]", j), e, cqm.Le, float64(opt.PerSourceK))
+		}
+	}
+
+	// Soft migration cost — the Lagrangian alternative to the hard cap:
+	// each migrated task adds MigrationWeight/n to the objective.
+	if opt.MigrationWeight > 0 {
+		per := opt.MigrationWeight / float64(n)
+		for i := 0; i < mProcs; i++ {
+			for j := 0; j < mProcs; j++ {
+				if i == j {
+					continue
+				}
+				base := enc.vars[i][j]
+				if base < 0 {
+					continue
+				}
+				for l, c := range coefs {
+					model.AddObjectiveLinear(base+cqm.VarID(l), per*float64(c))
+				}
+			}
+		}
+	}
+
+	return enc, nil
+}
+
+// addCount appends weight * (task count of pair (i,j)) to e; eliminated
+// pairs contribute nothing (their count is handled by inference).
+func (enc *Encoded) addCount(e *cqm.LinExpr, i, j int, weight float64) {
+	base := enc.vars[i][j]
+	if base < 0 {
+		return
+	}
+	for l, c := range enc.coefs {
+		e.Add(base+cqm.VarID(l), weight*float64(c))
+	}
+}
+
+// Instance returns (a copy of) the encoded instance.
+func (enc *Encoded) Instance() *lrp.Instance { return enc.in.Clone() }
+
+// Form returns the formulation variant.
+func (enc *Encoded) Form() Formulation { return enc.form }
+
+// K returns the migration cap (negative when disabled).
+func (enc *Encoded) K() int { return enc.k }
+
+// NumLogicalQubits returns the number of binary variables of the built
+// model — the logical-qubit requirement the paper tabulates in Table I.
+func (enc *Encoded) NumLogicalQubits() int { return enc.Model.NumVars() }
+
+// VariableCount predicts the number of binary variables a formulation
+// needs for M processes with n tasks each, without building the model.
+// For QCQM1, pinHeaviest selects between the diagonal-only reduction
+// (M(M-1)|C|) and the paper's reported count ((M-1)^2 |C|).
+func VariableCount(mProcs, n int, form Formulation, pinHeaviest bool) int {
+	nc := NumCoefficients(n)
+	switch form {
+	case QCQM2:
+		return mProcs * mProcs * nc
+	case QCQM1:
+		if pinHeaviest {
+			return (mProcs - 1) * (mProcs - 1) * nc
+		}
+		return mProcs * (mProcs - 1) * nc
+	}
+	return 0
+}
+
+// PaperVariableCount returns the qubit counts exactly as printed in the
+// paper's Table I: (M-1)^2 (log2(n)+1) for Q_CQM1 and M^2 (log2(n)+1)
+// for Q_CQM2.
+func PaperVariableCount(mProcs, n int, form Formulation) int {
+	nc := NumCoefficients(n)
+	if form == QCQM1 {
+		return (mProcs - 1) * (mProcs - 1) * nc
+	}
+	return mProcs * mProcs * nc
+}

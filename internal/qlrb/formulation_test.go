@@ -1,0 +1,352 @@
+package qlrb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cqm"
+	"repro/internal/lrp"
+)
+
+func mustBuild(t *testing.T, in *lrp.Instance, opt BuildOptions) *Encoded {
+	t.Helper()
+	enc, err := Build(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func testInstance() *lrp.Instance {
+	// 4 processes, 8 tasks each, visible imbalance.
+	return lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 2, 3, 10})
+}
+
+func TestBuildRejectsBadInstances(t *testing.T) {
+	if _, err := Build(lrp.MustInstance([]int{3, 4}, []float64{1, 1}), BuildOptions{K: -1}); err == nil {
+		t.Fatal("Build accepted a non-uniform instance")
+	}
+	if _, err := Build(lrp.MustInstance([]int{5}, []float64{1}), BuildOptions{K: -1}); err == nil {
+		t.Fatal("Build accepted a single-process instance")
+	}
+	if _, err := Build(lrp.MustInstance([]int{0, 0}, []float64{1, 1}), BuildOptions{K: -1}); err == nil {
+		t.Fatal("Build accepted zero tasks per process")
+	}
+}
+
+func TestVariableCountsMatchTableI(t *testing.T) {
+	// Table I: Q_CQM1 uses (M-1)^2 (floor(log2 n)+1) qubits (which our
+	// PinHeaviest reduction realizes) and Q_CQM2 uses M^2 (floor(log2 n)+1).
+	for _, tc := range []struct{ m, n int }{{4, 100}, {8, 50}, {8, 2048}, {32, 208}, {64, 100}} {
+		nc := NumCoefficients(tc.n)
+		weights := make([]float64, tc.m)
+		for i := range weights {
+			weights[i] = float64(i + 1)
+		}
+		in, err := lrp.UniformInstance(tc.n, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		enc2 := mustBuild(t, in, BuildOptions{Form: QCQM2, K: 10})
+		if got, want := enc2.NumLogicalQubits(), tc.m*tc.m*nc; got != want {
+			t.Errorf("M=%d n=%d QCQM2 qubits = %d, want %d", tc.m, tc.n, got, want)
+		}
+		if got, want := enc2.NumLogicalQubits(), PaperVariableCount(tc.m, tc.n, QCQM2); got != want {
+			t.Errorf("QCQM2 differs from paper formula: %d vs %d", got, want)
+		}
+
+		enc1 := mustBuild(t, in, BuildOptions{Form: QCQM1, K: 10})
+		if got, want := enc1.NumLogicalQubits(), tc.m*(tc.m-1)*nc; got != want {
+			t.Errorf("M=%d n=%d QCQM1 qubits = %d, want %d", tc.m, tc.n, got, want)
+		}
+
+		enc1p := mustBuild(t, in, BuildOptions{Form: QCQM1, K: 10, PinHeaviest: true})
+		if got, want := enc1p.NumLogicalQubits(), PaperVariableCount(tc.m, tc.n, QCQM1); got != want {
+			t.Errorf("M=%d n=%d QCQM1+pin qubits = %d, want paper's %d", tc.m, tc.n, got, want)
+		}
+
+		if got, want := VariableCount(tc.m, tc.n, QCQM2, false), enc2.NumLogicalQubits(); got != want {
+			t.Errorf("VariableCount(QCQM2) = %d, want %d", got, want)
+		}
+		if got, want := VariableCount(tc.m, tc.n, QCQM1, false), enc1.NumLogicalQubits(); got != want {
+			t.Errorf("VariableCount(QCQM1) = %d, want %d", got, want)
+		}
+		if got, want := VariableCount(tc.m, tc.n, QCQM1, true), enc1p.NumLogicalQubits(); got != want {
+			t.Errorf("VariableCount(QCQM1,pin) = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestConstraintStructureMatchesPaper(t *testing.T) {
+	in := testInstance()
+	// Q_CQM2: M equality + (M+1) inequality constraints.
+	enc2 := mustBuild(t, in, BuildOptions{Form: QCQM2, K: 5})
+	eq, ineq := enc2.Model.CountConstraintSenses()
+	if eq != 4 || ineq != 5 {
+		t.Errorf("QCQM2 constraints = (%d eq, %d ineq), want (4, 5)", eq, ineq)
+	}
+	// Q_CQM1: same total, all inequalities ("all of the constraints
+	// will be the inequality constraints").
+	enc1 := mustBuild(t, in, BuildOptions{Form: QCQM1, K: 5})
+	eq, ineq = enc1.Model.CountConstraintSenses()
+	if eq != 0 || ineq != 9 {
+		t.Errorf("QCQM1 constraints = (%d eq, %d ineq), want (0, 9)", eq, ineq)
+	}
+	// Without the migration cap there is one constraint fewer.
+	encNoK := mustBuild(t, in, BuildOptions{Form: QCQM2, K: -1})
+	if got := encNoK.Model.NumConstraints(); got != 8 {
+		t.Errorf("QCQM2 without K has %d constraints, want 8", got)
+	}
+}
+
+func TestFormulationString(t *testing.T) {
+	if QCQM1.String() != "Q_CQM1" || QCQM2.String() != "Q_CQM2" {
+		t.Fatal("Formulation.String mismatch")
+	}
+	if !strings.Contains(Formulation(9).String(), "9") {
+		t.Fatal("unknown formulation string")
+	}
+}
+
+// feasiblePlansAgree checks that a plan's CQM encoding is feasible and
+// its objective equals the normalized sum of squared load deviations.
+func checkPlanEnergy(t *testing.T, enc *Encoded, p *lrp.Plan) {
+	t.Helper()
+	in := enc.Instance()
+	sample, err := enc.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.Model.Feasible(sample, 1e-6) {
+		t.Fatalf("feasible plan encodes to infeasible sample (form %v)", enc.Form())
+	}
+	lavg := in.AvgLoad()
+	want := 0.0
+	for _, l := range p.Loads(in) {
+		d := (l - lavg) / lavg
+		want += d * d
+	}
+	got := enc.Model.Objective(sample)
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("objective = %v, want %v (form %v)", got, want, enc.Form())
+	}
+}
+
+func TestIdentityPlanEncodesFeasibly(t *testing.T) {
+	in := testInstance()
+	for _, form := range []Formulation{QCQM1, QCQM2} {
+		enc := mustBuild(t, in, BuildOptions{Form: form, K: 0})
+		checkPlanEnergy(t, enc, lrp.NewPlan(in))
+	}
+}
+
+func TestObjectiveMatchesLoadDeviation(t *testing.T) {
+	in := testInstance()
+	// A hand-built plan: P3 (weight 10) sends 3 tasks to P0, 2 to P1.
+	p := lrp.NewPlan(in)
+	p.Move(0, 3, 3)
+	p.Move(1, 3, 2)
+	for _, form := range []Formulation{QCQM1, QCQM2} {
+		enc := mustBuild(t, in, BuildOptions{Form: form, K: 5})
+		checkPlanEnergy(t, enc, p)
+	}
+}
+
+func TestMigrationCapConstraintBinds(t *testing.T) {
+	in := testInstance()
+	p := lrp.NewPlan(in)
+	p.Move(0, 3, 3) // 3 migrations
+	for _, form := range []Formulation{QCQM1, QCQM2} {
+		enc := mustBuild(t, in, BuildOptions{Form: form, K: 2})
+		sample, err := enc.EncodePlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.Model.Feasible(sample, 1e-6) {
+			t.Fatalf("form %v: plan with 3 migrations feasible under K=2", form)
+		}
+	}
+}
+
+func TestLoadCapConstraintBinds(t *testing.T) {
+	in := testInstance()
+	// Moving a heavy task ONTO the heaviest process exceeds L_max.
+	p := lrp.NewPlan(in)
+	p.Move(3, 2, 4)
+	for _, form := range []Formulation{QCQM1, QCQM2} {
+		enc := mustBuild(t, in, BuildOptions{Form: form, K: 10})
+		sample, err := enc.EncodePlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.Model.Feasible(sample, 1e-6) {
+			t.Fatalf("form %v: overloading plan reported feasible", form)
+		}
+	}
+}
+
+func TestDecodeRoundTripProperty(t *testing.T) {
+	in := testInstance()
+	f := func(seed int64, formBit bool) bool {
+		form := QCQM1
+		if formBit {
+			form = QCQM2
+		}
+		enc, err := Build(in, BuildOptions{Form: form, K: -1})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Random feasible plan.
+		p := lrp.NewPlan(in)
+		for j := 0; j < in.NumProcs(); j++ {
+			avail := in.Tasks[j]
+			for i := 0; i < in.NumProcs(); i++ {
+				if i == j || avail == 0 {
+					continue
+				}
+				c := rng.Intn(avail + 1)
+				p.Move(i, j, c)
+				avail -= c
+			}
+		}
+		sample, err := enc.EncodePlan(p)
+		if err != nil {
+			return false
+		}
+		back, err := enc.Decode(sample)
+		if err != nil {
+			return false
+		}
+		for i := range p.X {
+			for j := range p.X[i] {
+				if p.X[i][j] != back.X[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	enc := mustBuild(t, testInstance(), BuildOptions{Form: QCQM2, K: -1})
+	if _, err := enc.Decode([]bool{true}); err == nil {
+		t.Fatal("Decode accepted wrong-length sample")
+	}
+}
+
+func TestDecodeRepairedAlwaysValid(t *testing.T) {
+	in := testInstance()
+	for _, form := range []Formulation{QCQM1, QCQM2} {
+		enc := mustBuild(t, in, BuildOptions{Form: form, K: 4})
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			sample := make([]bool, enc.Model.NumVars())
+			for i := range sample {
+				sample[i] = rng.Intn(2) == 0
+			}
+			p, _, err := enc.DecodeRepaired(sample)
+			if err != nil {
+				return false
+			}
+			return p.Validate(in) == nil && p.Migrated() <= 4
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("form %v: %v", form, err)
+		}
+	}
+}
+
+func TestEncodePlanPinHeaviestRejectsInflow(t *testing.T) {
+	in := testInstance() // heaviest is P3 (load 80)
+	enc := mustBuild(t, in, BuildOptions{Form: QCQM1, K: 10, PinHeaviest: true})
+	p := lrp.NewPlan(in)
+	p.Move(3, 0, 1) // move a task INTO the heaviest process
+	if _, err := enc.EncodePlan(p); err == nil {
+		t.Fatal("EncodePlan accepted inflow into pinned process")
+	}
+	// Outflow from the heaviest is still representable.
+	p = lrp.NewPlan(in)
+	p.Move(0, 3, 2)
+	if _, err := enc.EncodePlan(p); err != nil {
+		t.Fatalf("outflow from pinned process rejected: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	in := testInstance()
+	enc := mustBuild(t, in, BuildOptions{Form: QCQM1, K: 7})
+	if enc.Form() != QCQM1 || enc.K() != 7 {
+		t.Fatal("accessor mismatch")
+	}
+	cp := enc.Instance()
+	cp.Tasks[0] = 999
+	if enc.in.Tasks[0] == 999 {
+		t.Fatal("Instance() returned shared storage")
+	}
+	// Eliminated pairs contribute nothing via addCount.
+	var e cqm.LinExpr
+	enc.addCount(&e, 0, 0, 1)
+	if len(e.Terms) != 0 {
+		t.Fatal("addCount added terms for an eliminated pair")
+	}
+}
+
+func TestMigrationWeightSoftCost(t *testing.T) {
+	in := testInstance()
+	plain := mustBuild(t, in, BuildOptions{Form: QCQM2, K: -1})
+	soft := mustBuild(t, in, BuildOptions{Form: QCQM2, K: -1, MigrationWeight: 2})
+	// Same constraint structure; the soft cost lives in the objective.
+	if soft.Model.NumConstraints() != plain.Model.NumConstraints() {
+		t.Fatal("soft cost changed the constraint count")
+	}
+	// A migrating plan pays the soft cost; identity does not.
+	p := lrp.NewPlan(in)
+	p.Move(0, 3, 2)
+	sPlain, err := plain.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSoft, err := soft.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 8, weight 2: each migrated task costs 2/8 = 0.25; 2 tasks -> 0.5.
+	diff := soft.Model.Objective(sSoft) - plain.Model.Objective(sPlain)
+	if diff < 0.5-1e-9 || diff > 0.5+1e-9 {
+		t.Fatalf("soft cost = %v, want 0.5", diff)
+	}
+	idPlain, _ := plain.EncodePlan(lrp.NewPlan(in))
+	idSoft, _ := soft.EncodePlan(lrp.NewPlan(in))
+	if d := soft.Model.Objective(idSoft) - plain.Model.Objective(idPlain); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("identity pays soft cost %v", d)
+	}
+}
+
+func TestMigrationWeightShrinksMigrations(t *testing.T) {
+	// With a large soft weight the solver should move (almost) nothing;
+	// with zero weight it should balance freely.
+	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
+	solve := func(w float64) int {
+		plan, _, err := Solve(in, SolveOptions{
+			Build:  BuildOptions{Form: QCQM1, K: -1, MigrationWeight: w},
+			Hybrid: fastHybrid(13),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.Migrated()
+	}
+	free := solve(0)
+	heavy := solve(100)
+	if heavy >= free && free > 0 {
+		t.Fatalf("soft cost did not reduce migrations: %d (w=100) vs %d (w=0)", heavy, free)
+	}
+}

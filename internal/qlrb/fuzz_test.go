@@ -1,0 +1,33 @@
+package qlrb
+
+import "testing"
+
+// FuzzEncodeDecode asserts the coefficient-set codec never panics and
+// round-trips every in-range value for arbitrary n.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(13, 7)
+	f.Add(1, 0)
+	f.Add(2048, 2047)
+	f.Fuzz(func(t *testing.T, n, v int) {
+		if n < 1 || n > 1<<20 {
+			return
+		}
+		coefs := Coefficients(n)
+		vv := v
+		if vv < 0 {
+			vv = -vv
+		}
+		vv %= n + 1
+		bits, err := Encode(vv, coefs)
+		if err != nil {
+			t.Fatalf("Encode(%d) with n=%d: %v", vv, n, err)
+		}
+		if got := Decode(bits, coefs); got != vv {
+			t.Fatalf("round trip %d -> %d (n=%d)", vv, got, n)
+		}
+		// Out-of-range values are rejected, not mispacked.
+		if _, err := Encode(n+1, coefs); err == nil {
+			t.Fatalf("Encode(n+1) accepted for n=%d", n)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package qlrb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cqm"
+	"repro/internal/lrp"
+	"repro/internal/quantum"
+)
+
+// GateOptions configures the gate-based (QAOA) solver path — the
+// extension the paper sketches in Section VI: converting the CQM to a
+// QUBO (with penalty-folded constraints) and running it on a gate-model
+// device. Here the device is an exact state-vector simulation, so only
+// small instances fit (quantum.MaxQubits).
+type GateOptions struct {
+	// Build selects the formulation and migration cap.
+	Build BuildOptions
+	// Layers is the QAOA depth p (0 = 2).
+	Layers int
+	// Shots is the number of measurement samples (0 = 512).
+	Shots int
+	// Seed drives sampling.
+	Seed int64
+	// QUBO controls the constraint folding; the zero value selects
+	// unbalanced penalization, which adds no slack qubits (the paper
+	// cites exactly this motivation for it).
+	QUBO cqm.QUBOOptions
+	// Optimize tunes the classical parameter search.
+	Optimize quantum.OptimizeOptions
+}
+
+// GateStats reports the gate-based solve.
+type GateStats struct {
+	// Qubits is the simulated register width (QUBO variables incl.
+	// slacks, if any).
+	Qubits int
+	// Layers is the QAOA depth used.
+	Layers int
+	// Expectation is the optimized cost expectation.
+	Expectation float64
+	// ApproxRatio and GroundProbability are quality diagnostics of the
+	// sampled state (see quantum.SampleResult).
+	ApproxRatio       float64
+	GroundProbability float64
+	// OptimizerEvals counts circuit evaluations spent on parameters.
+	OptimizerEvals int
+	// SampleFeasible reports whether any measured shot satisfied the
+	// CQM; when false the returned plan comes from repair.
+	SampleFeasible bool
+}
+
+// SolveGateBased solves a (small) LRP instance end to end on the
+// simulated gate-model path: CQM -> QUBO -> QAOA -> measurement ->
+// feasibility filter -> plan decode. It returns an error when the QUBO
+// needs more qubits than the simulator supports.
+func SolveGateBased(in *lrp.Instance, opt GateOptions) (*lrp.Plan, GateStats, error) {
+	if opt.Layers <= 0 {
+		opt.Layers = 2
+	}
+	if opt.Shots <= 0 {
+		opt.Shots = 512
+	}
+	if opt.QUBO.EqPenalty == 0 {
+		opt.QUBO = cqm.QUBOOptions{
+			Method:       cqm.UnbalancedPenalty,
+			EqPenalty:    20,
+			UnbalancedL1: 1,
+			UnbalancedL2: 20,
+		}
+	}
+
+	enc, err := Build(in, opt.Build)
+	if err != nil {
+		return nil, GateStats{}, err
+	}
+	qubo, err := cqm.ToQUBO(enc.Model, opt.QUBO)
+	if err != nil {
+		return nil, GateStats{}, fmt.Errorf("qlrb: QUBO conversion: %w", err)
+	}
+	if qubo.NumVars > quantum.MaxQubits {
+		return nil, GateStats{}, fmt.Errorf("qlrb: instance needs %d qubits, gate simulator supports %d",
+			qubo.NumVars, quantum.MaxQubits)
+	}
+
+	qa, err := quantum.NewQAOA(qubo, opt.Layers)
+	if err != nil {
+		return nil, GateStats{}, err
+	}
+	params, err := qa.Optimize(opt.Optimize)
+	if err != nil {
+		return nil, GateStats{}, err
+	}
+	state, err := qa.Evolve(params.X)
+	if err != nil {
+		return nil, GateStats{}, err
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	stats := GateStats{
+		Qubits:         qubo.NumVars,
+		Layers:         opt.Layers,
+		Expectation:    params.F,
+		OptimizerEvals: params.Evals,
+	}
+	// Feasibility filter over the shots: prefer the lowest-QUBO-energy
+	// sample whose base assignment satisfies the original CQM.
+	var bestFeas, bestAny []bool
+	bestFeasE, bestAnyE := 0.0, 0.0
+	for _, z := range state.Sample(rng, opt.Shots) {
+		bits := quantum.Bits(z, qubo.NumVars)
+		e := qubo.Energy(bits)
+		base := bits[:qubo.BaseVars]
+		if bestAny == nil || e < bestAnyE {
+			bestAny, bestAnyE = base, e
+		}
+		if enc.Model.Feasible(base, 1e-6) && (bestFeas == nil || e < bestFeasE) {
+			bestFeas, bestFeasE = base, e
+		}
+	}
+	sample := bestAny
+	if bestFeas != nil {
+		sample = bestFeas
+		stats.SampleFeasible = true
+	}
+	if sr, err := qa.Sample(params.X, 1, rng); err == nil {
+		stats.GroundProbability = sr.GroundProbability
+		if qaMax := sr.ApproxRatio; qaMax >= 0 {
+			stats.ApproxRatio = qaMax
+		}
+	}
+
+	plan, _, err := enc.DecodeRepaired(sample)
+	if err != nil {
+		return nil, stats, err
+	}
+	return plan, stats, nil
+}

@@ -1,0 +1,79 @@
+package qlrb
+
+import (
+	"testing"
+
+	"repro/internal/lrp"
+	"repro/internal/quantum"
+)
+
+func TestSolveGateBasedBalancesTwoProcs(t *testing.T) {
+	// 2 procs x 8 tasks, weights 1 and 3: loads 8 vs 24, avg 16.
+	// Moving 2 or 3 heavy tasks over balances well. QCQM1 here needs
+	// 2*1*4 = 8 qubits (unbalanced penalties add none).
+	in := lrp.MustInstance([]int{8, 8}, []float64{1, 3})
+	plan, stats, err := SolveGateBased(in, GateOptions{
+		Build:  BuildOptions{Form: QCQM1, K: 4},
+		Layers: 2,
+		Shots:  512,
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Qubits != 8 {
+		t.Fatalf("qubits = %d, want 8 (no slack qubits with unbalanced penalties)", stats.Qubits)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() > 4 {
+		t.Fatalf("migrated %d > k=4", plan.Migrated())
+	}
+	m := lrp.Evaluate(in, plan)
+	if m.Imbalance >= in.Imbalance() {
+		t.Fatalf("gate-based solve did not improve imbalance: %v >= %v", m.Imbalance, in.Imbalance())
+	}
+	if stats.OptimizerEvals == 0 || stats.Expectation == 0 && !stats.SampleFeasible {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+}
+
+func TestSolveGateBasedRespectsQubitLimit(t *testing.T) {
+	// 8 procs x 2048 tasks would need thousands of qubits.
+	weights := make([]float64, 8)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	in, err := lrp.UniformInstance(2048, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SolveGateBased(in, GateOptions{Build: BuildOptions{Form: QCQM2, K: 10}}); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestSolveGateBasedDefaults(t *testing.T) {
+	in := lrp.MustInstance([]int{4, 4}, []float64{1, 2})
+	plan, stats, err := SolveGateBased(in, GateOptions{Build: BuildOptions{Form: QCQM1, K: 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Layers != 2 {
+		t.Fatalf("default layers = %d", stats.Layers)
+	}
+	if plan.Migrated() > 2 {
+		t.Fatalf("migrated %d > 2", plan.Migrated())
+	}
+	if stats.Qubits > quantum.MaxQubits {
+		t.Fatalf("qubits %d over limit", stats.Qubits)
+	}
+}
+
+func TestSolveGateBasedPropagatesBuildErrors(t *testing.T) {
+	bad := lrp.MustInstance([]int{3, 4}, []float64{1, 1})
+	if _, _, err := SolveGateBased(bad, GateOptions{Build: BuildOptions{Form: QCQM1, K: 1}}); err == nil {
+		t.Fatal("non-uniform instance accepted")
+	}
+}

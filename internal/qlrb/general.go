@@ -1,0 +1,278 @@
+package qlrb
+
+import (
+	"fmt"
+
+	"repro/internal/cqm"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+)
+
+// GeneralEncoded is the per-task CQM formulation — the "different
+// problem formulations" direction of the paper's future work. The
+// paper's Q_CQM1/Q_CQM2 exploit the uniform-load assumption (all tasks
+// of a process share one weight) to encode task *counts* in
+// O(log n) bits per process pair; when task loads are arbitrary that
+// compression is unavailable and the natural model is one binary
+// variable per (task, destination):
+//
+//	x[t,i] = 1  <=>  task t runs on process i
+//
+// with per-task assignment constraints (sum_i x[t,i] = 1), the same
+// squared-deviation objective, and the migration budget
+// sum_{t, i != origin(t)} x[t,i] <= k.
+//
+// Qubit cost is N*M — for uniform instances exponentially more than the
+// paper's M^2(log2 n + 1); GeneralQubitRatio quantifies the gap.
+type GeneralEncoded struct {
+	// Model is the CQM to solve.
+	Model *cqm.Model
+
+	tasks  []lrp.Task
+	mProcs int
+	k      int
+	// vars[t] is the VarID of x[t,0]; destinations are consecutive.
+	vars []cqm.VarID
+}
+
+// GeneralBuildOptions configures the per-task formulation.
+type GeneralBuildOptions struct {
+	// Procs is the machine size M.
+	Procs int
+	// K caps the number of migrated tasks (< 0 disables).
+	K int
+}
+
+// BuildGeneral constructs the per-task CQM for an arbitrary task list.
+func BuildGeneral(tasks []lrp.Task, opt GeneralBuildOptions) (*GeneralEncoded, error) {
+	if opt.Procs < 2 {
+		return nil, fmt.Errorf("qlrb: general formulation needs at least 2 processes, got %d", opt.Procs)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("qlrb: no tasks")
+	}
+	total := 0.0
+	for _, t := range tasks {
+		if t.Origin < 0 || t.Origin >= opt.Procs {
+			return nil, fmt.Errorf("qlrb: task %d origin %d outside machine of %d", t.ID, t.Origin, opt.Procs)
+		}
+		if t.Load < 0 {
+			return nil, fmt.Errorf("qlrb: task %d has negative load", t.ID)
+		}
+		total += t.Load
+	}
+	avg := total / float64(opt.Procs)
+	scale := 1.0
+	if avg > 0 {
+		scale = 1 / avg
+	}
+
+	model := cqm.New()
+	enc := &GeneralEncoded{
+		Model:  model,
+		tasks:  append([]lrp.Task(nil), tasks...),
+		mProcs: opt.Procs,
+		k:      opt.K,
+		vars:   make([]cqm.VarID, len(tasks)),
+	}
+	for t := range tasks {
+		first := cqm.VarID(-1)
+		for i := 0; i < opt.Procs; i++ {
+			v := model.AddBinary(fmt.Sprintf("x[t%d,%d]", tasks[t].ID, i))
+			if i == 0 {
+				first = v
+			}
+		}
+		enc.vars[t] = first
+	}
+
+	// Objective: sum_i (L'_i - L_avg)^2, normalized by L_avg.
+	for i := 0; i < opt.Procs; i++ {
+		e := cqm.LinExpr{Offset: -avg * scale}
+		for t, task := range tasks {
+			e.Add(enc.vars[t]+cqm.VarID(i), task.Load*scale)
+		}
+		model.AddObjectiveSquared(e)
+	}
+	// Assignment: each task runs exactly once.
+	for t, task := range tasks {
+		var e cqm.LinExpr
+		for i := 0; i < opt.Procs; i++ {
+			e.Add(enc.vars[t]+cqm.VarID(i), 1)
+		}
+		model.AddConstraint(fmt.Sprintf("assign[t%d]", task.ID), e, cqm.Eq, 1)
+	}
+	// Migration budget.
+	if opt.K >= 0 {
+		var e cqm.LinExpr
+		for t, task := range tasks {
+			for i := 0; i < opt.Procs; i++ {
+				if i != task.Origin {
+					e.Add(enc.vars[t]+cqm.VarID(i), 1)
+				}
+			}
+		}
+		model.AddConstraint("migcap", e, cqm.Le, float64(opt.K))
+	}
+	return enc, nil
+}
+
+// AssignmentPairs returns variable pairs whose co-flip preserves the
+// per-task assignment constraints: the two destination bits of one task
+// (moving a task = one co-flip).
+func (enc *GeneralEncoded) AssignmentPairs() [][2]cqm.VarID {
+	pairs := make([][2]cqm.VarID, 0, len(enc.tasks)*enc.mProcs)
+	for t := range enc.tasks {
+		for i := 0; i < enc.mProcs; i++ {
+			for j := i + 1; j < enc.mProcs; j++ {
+				pairs = append(pairs, [2]cqm.VarID{
+					enc.vars[t] + cqm.VarID(i),
+					enc.vars[t] + cqm.VarID(j),
+				})
+			}
+		}
+	}
+	return pairs
+}
+
+// EncodeAssignment produces the sample for a per-task destination
+// vector (assign[t] = destination process).
+func (enc *GeneralEncoded) EncodeAssignment(assign []int) ([]bool, error) {
+	if len(assign) != len(enc.tasks) {
+		return nil, fmt.Errorf("qlrb: %d assignments for %d tasks", len(assign), len(enc.tasks))
+	}
+	sample := make([]bool, enc.Model.NumVars())
+	for t, dst := range assign {
+		if dst < 0 || dst >= enc.mProcs {
+			return nil, fmt.Errorf("qlrb: task %d assigned to invalid process %d", enc.tasks[t].ID, dst)
+		}
+		sample[int(enc.vars[t])+dst] = true
+	}
+	return sample, nil
+}
+
+// DecodeAssignment converts a sample to a per-task destination vector.
+// Infeasible samples (a task on zero or several processes) are repaired:
+// the task keeps its origin when unassigned and its lowest-index
+// destination when multiply assigned; the migration budget is then
+// enforced by returning excess tasks home, cheapest-first by load.
+func (enc *GeneralEncoded) DecodeAssignment(sample []bool) ([]int, bool, error) {
+	if len(sample) != enc.Model.NumVars() {
+		return nil, false, fmt.Errorf("qlrb: sample has %d bits, model has %d variables", len(sample), enc.Model.NumVars())
+	}
+	assign := make([]int, len(enc.tasks))
+	repaired := false
+	for t, task := range enc.tasks {
+		dst := -1
+		count := 0
+		for i := 0; i < enc.mProcs; i++ {
+			if sample[int(enc.vars[t])+i] {
+				count++
+				if dst < 0 {
+					dst = i
+				}
+			}
+		}
+		if count != 1 {
+			repaired = true
+			if dst < 0 {
+				dst = task.Origin
+			}
+		}
+		assign[t] = dst
+	}
+	if enc.k >= 0 {
+		// Count migrations; undo lightest migrations beyond the budget
+		// (they contribute least balance per unit of budget).
+		type mig struct {
+			t    int
+			load float64
+		}
+		var migs []mig
+		for t, task := range enc.tasks {
+			if assign[t] != task.Origin {
+				migs = append(migs, mig{t, task.Load})
+			}
+		}
+		if len(migs) > enc.k {
+			repaired = true
+			// Selection: keep the heaviest migrations (most balancing
+			// power per budget unit); return the rest home.
+			for i := 0; i < len(migs); i++ {
+				for j := i + 1; j < len(migs); j++ {
+					if migs[j].load > migs[i].load {
+						migs[i], migs[j] = migs[j], migs[i]
+					}
+				}
+			}
+			for _, mg := range migs[enc.k:] {
+				assign[mg.t] = enc.tasks[mg.t].Origin
+			}
+		}
+	}
+	return assign, repaired, nil
+}
+
+// GeneralResult reports a general-formulation solve.
+type GeneralResult struct {
+	// Assign is the per-task destination vector.
+	Assign []int
+	// Loads is the resulting per-process load vector.
+	Loads []float64
+	// Migrated counts tasks whose destination differs from origin.
+	Migrated int
+	// Qubits is the model's variable count (N*M).
+	Qubits int
+	// SampleFeasible reports whether the raw sample satisfied the CQM.
+	SampleFeasible bool
+	// Hybrid carries solver statistics.
+	Hybrid hybrid.Stats
+}
+
+// SolveGeneral builds and solves the per-task formulation, warm-started
+// from the current placement.
+func SolveGeneral(tasks []lrp.Task, opt GeneralBuildOptions, h hybrid.Options) (GeneralResult, error) {
+	enc, err := BuildGeneral(tasks, opt)
+	if err != nil {
+		return GeneralResult{}, err
+	}
+	identity := make([]int, len(tasks))
+	for t, task := range tasks {
+		identity[t] = task.Origin
+	}
+	if warm, werr := enc.EncodeAssignment(identity); werr == nil {
+		h.Initials = append(h.Initials, warm)
+	}
+	if h.PairProb == 0 {
+		h.Pairs = enc.AssignmentPairs()
+		h.PairProb = 0.5
+	}
+	res := hybrid.Solve(enc.Model, h)
+	assign, _, err := enc.DecodeAssignment(res.Sample)
+	if err != nil {
+		return GeneralResult{}, err
+	}
+	out := GeneralResult{
+		Assign:         assign,
+		Loads:          make([]float64, opt.Procs),
+		Qubits:         enc.Model.NumVars(),
+		SampleFeasible: res.Feasible,
+		Hybrid:         res.Stats,
+	}
+	for t, task := range tasks {
+		out.Loads[assign[t]] += task.Load
+		if assign[t] != task.Origin {
+			out.Migrated++
+		}
+	}
+	return out, nil
+}
+
+// GeneralQubitRatio returns how many times more qubits the per-task
+// formulation needs than the paper's count-encoded Q_CQM2 on a uniform
+// M-process, n-tasks-per-process machine: (N*M) / (M^2 (log2 n + 1)).
+func GeneralQubitRatio(mProcs, tasksPerProc int) float64 {
+	general := float64(mProcs * tasksPerProc * mProcs)
+	paper := float64(VariableCount(mProcs, tasksPerProc, QCQM2, false))
+	return general / paper
+}

@@ -1,0 +1,213 @@
+package qlrb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+)
+
+// nonUniformTasks builds a task list with genuinely heterogeneous loads
+// that the paper's count-based formulations cannot express.
+func nonUniformTasks() []lrp.Task {
+	return []lrp.Task{
+		{ID: 0, Origin: 0, Load: 9},
+		{ID: 1, Origin: 0, Load: 7},
+		{ID: 2, Origin: 0, Load: 5},
+		{ID: 3, Origin: 0, Load: 4},
+		{ID: 4, Origin: 0, Load: 2},
+		{ID: 5, Origin: 1, Load: 1},
+		{ID: 6, Origin: 1, Load: 1},
+		{ID: 7, Origin: 2, Load: 1},
+	}
+}
+
+func TestBuildGeneralValidation(t *testing.T) {
+	if _, err := BuildGeneral(nonUniformTasks(), GeneralBuildOptions{Procs: 1}); err == nil {
+		t.Fatal("accepted single process")
+	}
+	if _, err := BuildGeneral(nil, GeneralBuildOptions{Procs: 3}); err == nil {
+		t.Fatal("accepted empty task list")
+	}
+	bad := []lrp.Task{{ID: 0, Origin: 9, Load: 1}}
+	if _, err := BuildGeneral(bad, GeneralBuildOptions{Procs: 3}); err == nil {
+		t.Fatal("accepted out-of-range origin")
+	}
+	neg := []lrp.Task{{ID: 0, Origin: 0, Load: -1}}
+	if _, err := BuildGeneral(neg, GeneralBuildOptions{Procs: 3}); err == nil {
+		t.Fatal("accepted negative load")
+	}
+}
+
+func TestGeneralModelShape(t *testing.T) {
+	tasks := nonUniformTasks()
+	enc, err := BuildGeneral(tasks, GeneralBuildOptions{Procs: 3, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := enc.Model.NumVars(), len(tasks)*3; got != want {
+		t.Fatalf("vars = %d, want N*M = %d", got, want)
+	}
+	eq, ineq := enc.Model.CountConstraintSenses()
+	if eq != len(tasks) || ineq != 1 {
+		t.Fatalf("constraints = (%d eq, %d ineq), want (%d, 1)", eq, ineq, len(tasks))
+	}
+}
+
+func TestGeneralEncodeDecodeRoundTrip(t *testing.T) {
+	tasks := nonUniformTasks()
+	enc, err := BuildGeneral(tasks, GeneralBuildOptions{Procs: 3, K: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assign := make([]int, len(tasks))
+		for t := range assign {
+			assign[t] = rng.Intn(3)
+		}
+		sample, err := enc.EncodeAssignment(assign)
+		if err != nil {
+			return false
+		}
+		if !enc.Model.Feasible(sample, 1e-9) {
+			return false // every proper assignment satisfies the CQM
+		}
+		back, repaired, err := enc.DecodeAssignment(sample)
+		if err != nil || repaired {
+			return false
+		}
+		for t := range assign {
+			if back[t] != assign[t] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralDecodeRepairsGarbage(t *testing.T) {
+	tasks := nonUniformTasks()
+	enc, err := BuildGeneral(tasks, GeneralBuildOptions{Procs: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sample := make([]bool, enc.Model.NumVars())
+		for i := range sample {
+			sample[i] = rng.Intn(3) == 0
+		}
+		assign, _, err := enc.DecodeAssignment(sample)
+		if err != nil {
+			return false
+		}
+		migrated := 0
+		for t, task := range tasks {
+			if assign[t] < 0 || assign[t] >= 3 {
+				return false
+			}
+			if assign[t] != task.Origin {
+				migrated++
+			}
+		}
+		return migrated <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveGeneralBalancesNonUniform(t *testing.T) {
+	tasks := nonUniformTasks() // loads 27, 2, 1 across procs; total 30, avg 10
+	res, err := SolveGeneral(tasks, GeneralBuildOptions{Procs: 3, K: -1}, hybrid.Options{
+		Reads: 6, Sweeps: 400, Seed: 3, Presolve: true, Penalty: 5, PenaltyGrowth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SampleFeasible {
+		t.Fatal("no feasible sample")
+	}
+	maxLoad := 0.0
+	for _, l := range res.Loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	// Optimum here is 10/10/10 (e.g. {9,1},{7,2,1},{5,4,1}); allow a
+	// small margin.
+	if maxLoad > 12 {
+		t.Fatalf("max load %v, want near 10", maxLoad)
+	}
+	if res.Qubits != 24 {
+		t.Fatalf("qubits = %d, want 24", res.Qubits)
+	}
+}
+
+func TestSolveGeneralRespectsBudget(t *testing.T) {
+	tasks := nonUniformTasks()
+	res, err := SolveGeneral(tasks, GeneralBuildOptions{Procs: 3, K: 2}, hybrid.Options{
+		Reads: 4, Sweeps: 250, Seed: 9, Presolve: true, Penalty: 5, PenaltyGrowth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrated > 2 {
+		t.Fatalf("migrated %d > 2", res.Migrated)
+	}
+}
+
+func TestGeneralQubitRatio(t *testing.T) {
+	// 8 procs x 50 tasks: general = 8*50*8 = 3200, paper = 8*8*6 = 384.
+	got := GeneralQubitRatio(8, 50)
+	want := 3200.0 / 384.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("ratio = %v, want %v", got, want)
+	}
+	// The compression advantage grows with n — the paper's scalability
+	// point about millions of tasks.
+	if GeneralQubitRatio(8, 2048) <= GeneralQubitRatio(8, 50) {
+		t.Fatal("qubit ratio should grow with task count")
+	}
+}
+
+func TestPerSourceKConstraint(t *testing.T) {
+	in := lrp.MustInstance([]int{8, 8, 8}, []float64{1, 1, 6})
+	enc, err := Build(in, BuildOptions{Form: QCQM2, K: -1, PerSourceK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q_CQM2 without a global cap: 3 conservation equalities plus 3
+	// load-cap inequalities; PerSourceK adds 3 source-cap inequalities.
+	eq, ineq := enc.Model.CountConstraintSenses()
+	if eq != 3 || ineq != 6 {
+		t.Fatalf("constraints = (%d eq, %d ineq), want (3, 6)", eq, ineq)
+	}
+	// A plan moving 3 tasks out of one source violates the cap.
+	p := lrp.NewPlan(in)
+	p.Move(0, 2, 3)
+	sample, err := enc.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Model.Feasible(sample, 1e-6) {
+		t.Fatal("per-source cap not binding")
+	}
+	// Two out of each source is fine.
+	p = lrp.NewPlan(in)
+	p.Move(0, 2, 2)
+	p.Move(1, 2, 0)
+	sample, err = enc.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.Model.Feasible(sample, 1e-6) {
+		t.Fatal("compliant plan rejected")
+	}
+}

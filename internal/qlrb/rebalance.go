@@ -1,0 +1,130 @@
+package qlrb
+
+import (
+	"fmt"
+
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+)
+
+// SolveOptions configures an end-to-end quantum-hybrid rebalancing solve.
+type SolveOptions struct {
+	Build  BuildOptions
+	Hybrid hybrid.Options
+	// NoWarmStart disables seeding the sampler with the identity plan
+	// (every task stays home), which is feasible for every K >= 0 and is
+	// the natural warm start for a REbalancing problem.
+	NoWarmStart bool
+	// WarmPlans are additional warm starts, typically the plans of
+	// classical algorithms — the paper runs the classical methods first
+	// to guide the hybrid experiments, and cloud hybrid solvers likewise
+	// seed their samplers classically. Plans exceeding the migration cap
+	// are projected onto it before encoding; unencodable plans (e.g.
+	// inflow into a pinned process) are skipped.
+	WarmPlans []*lrp.Plan
+}
+
+// SolveStats reports everything the paper's tables need about one solve.
+type SolveStats struct {
+	// Qubits is the number of binary variables (logical qubits).
+	Qubits int
+	// Constraints is the total constraint count.
+	Constraints int
+	// EqConstraints and IneqConstraints split it by sense.
+	EqConstraints, IneqConstraints int
+	// SampleFeasible reports whether the raw best sample satisfied the
+	// CQM (before any plan-level repair).
+	SampleFeasible bool
+	// Repaired reports whether plan-level projection was needed.
+	Repaired bool
+	// Objective is the CQM objective of the returned sample.
+	Objective float64
+	// Hybrid carries the solver's timing and work counters.
+	Hybrid hybrid.Stats
+}
+
+// Solve builds the CQM for in, runs the hybrid solver, and decodes the
+// best sample into a guaranteed-feasible migration plan.
+func Solve(in *lrp.Instance, opt SolveOptions) (*lrp.Plan, SolveStats, error) {
+	enc, err := Build(in, opt.Build)
+	if err != nil {
+		return nil, SolveStats{}, err
+	}
+	if !opt.NoWarmStart {
+		candidates := append([]*lrp.Plan{lrp.NewPlan(in)}, opt.WarmPlans...)
+		for _, p := range candidates {
+			q := p.Clone()
+			if opt.Build.K >= 0 && q.Migrated() > opt.Build.K {
+				q.CapMigrations(in, opt.Build.K)
+			}
+			if warm, werr := enc.EncodePlan(q); werr == nil {
+				opt.Hybrid.Initials = append(opt.Hybrid.Initials, warm)
+			}
+		}
+	}
+	// PairProb == 0 means "default": enable conservation-preserving pair
+	// moves where the formulation needs them. A negative value disables
+	// pair moves explicitly (used by the tuning ablation).
+	if pairs := enc.ConservationPairs(); len(pairs) > 0 && opt.Hybrid.PairProb == 0 {
+		opt.Hybrid.Pairs = pairs
+		opt.Hybrid.PairProb = 0.4
+	}
+	if opt.Hybrid.PairProb < 0 {
+		opt.Hybrid.Pairs = nil
+		opt.Hybrid.PairProb = 0
+	}
+	res := hybrid.Solve(enc.Model, opt.Hybrid)
+	plan, repaired, err := enc.DecodeRepaired(res.Sample)
+	if err != nil {
+		return nil, SolveStats{}, err
+	}
+	ms := enc.Model.Stats()
+	stats := SolveStats{
+		Qubits:          ms.Vars,
+		Constraints:     ms.Constraints,
+		EqConstraints:   ms.EqConstraints,
+		IneqConstraints: ms.IneqConstraints,
+		SampleFeasible:  res.Feasible,
+		Repaired:        repaired,
+		Objective:       res.Objective,
+		Hybrid:          res.Stats,
+	}
+	return plan, stats, nil
+}
+
+// Quantum is a reusable rebalancer with fixed options; it satisfies the
+// balancer.Rebalancer interface so the experiment harness can treat
+// quantum-hybrid and classical methods uniformly.
+type Quantum struct {
+	// Label is the method name used in tables (e.g. "Q_CQM1_k1").
+	Label string
+	// Opts configures building and solving.
+	Opts SolveOptions
+	// LastStats records the most recent solve's statistics.
+	LastStats SolveStats
+}
+
+// NewQuantum builds a named quantum rebalancer for a formulation, a
+// migration cap k, and hybrid solver options.
+func NewQuantum(label string, form Formulation, k int, h hybrid.Options) *Quantum {
+	return &Quantum{
+		Label: label,
+		Opts: SolveOptions{
+			Build:  BuildOptions{Form: form, K: k},
+			Hybrid: h,
+		},
+	}
+}
+
+// Name returns the method label.
+func (q *Quantum) Name() string { return q.Label }
+
+// Rebalance solves the instance and returns a feasible migration plan.
+func (q *Quantum) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+	plan, stats, err := Solve(in, q.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q.Label, err)
+	}
+	q.LastStats = stats
+	return plan, nil
+}

@@ -1,0 +1,128 @@
+package qlrb
+
+import (
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+)
+
+func fastHybrid(seed int64) hybrid.Options {
+	return hybrid.Options{
+		Reads:         6,
+		Sweeps:        400,
+		Seed:          seed,
+		Presolve:      true,
+		Penalty:       5,
+		PenaltyGrowth: 4,
+		Timing:        hybrid.DefaultTimingModel(),
+	}
+}
+
+func TestSolveBalancesSmallInstance(t *testing.T) {
+	// 4 procs x 8 tasks, weights 1,1,1,5: loads 8,8,8,40, avg 16.
+	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
+	before := in.Imbalance()
+	for _, form := range []Formulation{QCQM1, QCQM2} {
+		plan, stats, err := Solve(in, SolveOptions{
+			Build:  BuildOptions{Form: form, K: -1},
+			Hybrid: fastHybrid(11),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", form, err)
+		}
+		if err := plan.Validate(in); err != nil {
+			t.Fatalf("%v: invalid plan: %v", form, err)
+		}
+		m := lrp.Evaluate(in, plan)
+		if m.Imbalance >= before/2 {
+			t.Errorf("%v: imbalance %v not reduced from %v", form, m.Imbalance, before)
+		}
+		if m.Speedup <= 1 {
+			t.Errorf("%v: speedup %v <= 1", form, m.Speedup)
+		}
+		if stats.Qubits == 0 || stats.Constraints == 0 {
+			t.Errorf("%v: stats not populated: %+v", form, stats)
+		}
+	}
+}
+
+func TestSolveRespectsMigrationCap(t *testing.T) {
+	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
+	for _, k := range []int{0, 2, 5} {
+		plan, _, err := Solve(in, SolveOptions{
+			Build:  BuildOptions{Form: QCQM1, K: k},
+			Hybrid: fastHybrid(7),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.Migrated(); got > k {
+			t.Errorf("K=%d: plan migrates %d tasks", k, got)
+		}
+	}
+}
+
+func TestSolveZeroKeepsEverythingHome(t *testing.T) {
+	in := lrp.MustInstance([]int{4, 4}, []float64{1, 3})
+	plan, _, err := Solve(in, SolveOptions{
+		Build:  BuildOptions{Form: QCQM2, K: 0},
+		Hybrid: fastHybrid(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() != 0 {
+		t.Fatalf("K=0 plan migrated %d tasks", plan.Migrated())
+	}
+}
+
+func TestSolveBalancedInstanceStaysPut(t *testing.T) {
+	// Imb.0-style case: already balanced; the solver should find that
+	// no migration is needed (or at least not worsen anything).
+	in := lrp.MustInstance([]int{10, 10, 10}, []float64{2, 2, 2})
+	plan, _, err := Solve(in, SolveOptions{
+		Build:  BuildOptions{Form: QCQM1, K: 50},
+		Hybrid: fastHybrid(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lrp.Evaluate(in, plan)
+	if m.Imbalance > 1e-9 {
+		t.Fatalf("balanced instance got imbalance %v", m.Imbalance)
+	}
+	if m.Speedup < 1-1e-9 {
+		t.Fatalf("balanced instance got speedup %v < 1", m.Speedup)
+	}
+}
+
+func TestQuantumRebalancerInterface(t *testing.T) {
+	q := NewQuantum("Q_CQM1_test", QCQM1, 20, fastHybrid(5))
+	if q.Name() != "Q_CQM1_test" {
+		t.Fatal("Name mismatch")
+	}
+	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 2, 3, 6})
+	plan, err := q.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if q.LastStats.Qubits == 0 {
+		t.Fatal("LastStats not recorded")
+	}
+	// Errors propagate with the label attached.
+	bad := lrp.MustInstance([]int{3, 4}, []float64{1, 1})
+	if _, err := q.Rebalance(bad); err == nil {
+		t.Fatal("Rebalance accepted non-uniform instance")
+	}
+}
+
+func TestSolvePropagatesBuildError(t *testing.T) {
+	in := lrp.MustInstance([]int{3, 4}, []float64{1, 1})
+	if _, _, err := Solve(in, SolveOptions{Build: BuildOptions{Form: QCQM1, K: -1}}); err == nil {
+		t.Fatal("Solve accepted a non-uniform instance")
+	}
+}

@@ -1,0 +1,74 @@
+package quantum
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+)
+
+func benchQUBO(n int) *cqm.QUBO {
+	rng := rand.New(rand.NewSource(3))
+	q := &cqm.QUBO{
+		NumVars:  n,
+		BaseVars: n,
+		Linear:   make([]float64, n),
+		Quad:     make(map[cqm.QPair]float64),
+	}
+	for i := range q.Linear {
+		q.Linear[i] = rng.Float64()*4 - 2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				q.Quad[cqm.QPair{A: cqm.VarID(i), B: cqm.VarID(j)}] = rng.Float64()*2 - 1
+			}
+		}
+	}
+	return q
+}
+
+func BenchmarkEnergyTable16(b *testing.B) {
+	q := benchQUBO(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EnergyTable(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQAOAEvolve12(b *testing.B) {
+	q := benchQUBO(12)
+	a, err := NewQAOA(q, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := []float64{0.1, 0.2, 0.3, 0.15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Evolve(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRXGate16(b *testing.B) {
+	s, err := Uniform(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RX(i%16, 0.3)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	s, _ := Uniform(14)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng, 128)
+	}
+}

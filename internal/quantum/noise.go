@@ -1,0 +1,84 @@
+package quantum
+
+import "math/rand"
+
+// NoiseModel captures the two dominant error channels of near-term
+// devices at the measurement-statistics level — the scalability concern
+// the paper raises for larger problem sizes ("noise and error mitigation
+// models must also be considered as we increase the problem size"):
+//
+//   - Depolarizing: with this probability a shot is replaced by a
+//     uniformly random basis state (the effect of a global depolarizing
+//     channel on the output distribution);
+//   - Readout: each measured bit flips independently with this
+//     probability (classical readout error).
+type NoiseModel struct {
+	Depolarizing float64
+	Readout      float64
+}
+
+// Valid reports whether the probabilities are in [0, 1].
+func (n NoiseModel) Valid() bool {
+	return n.Depolarizing >= 0 && n.Depolarizing <= 1 && n.Readout >= 0 && n.Readout <= 1
+}
+
+// SampleNoisy draws shots from the state's measurement distribution and
+// corrupts them with the noise model. A zero-valued model reproduces
+// Sample exactly (same RNG consumption for the underlying draw).
+func (s *State) SampleNoisy(rng *rand.Rand, shots int, noise NoiseModel) []int {
+	out := s.Sample(rng, shots)
+	if noise.Depolarizing == 0 && noise.Readout == 0 {
+		return out
+	}
+	size := len(s.amp)
+	for i, z := range out {
+		if noise.Depolarizing > 0 && rng.Float64() < noise.Depolarizing {
+			out[i] = rng.Intn(size)
+			continue
+		}
+		if noise.Readout > 0 {
+			for q := 0; q < s.n; q++ {
+				if rng.Float64() < noise.Readout {
+					z ^= 1 << q
+				}
+			}
+			out[i] = z
+		}
+	}
+	return out
+}
+
+// SampleNoisy measures the optimized circuit under a noise model and
+// returns the best observed assignment plus diagnostics. Compared to the
+// noiseless Sample, GroundProbability here is the *empirical* fraction
+// of shots that hit a ground state, since the analytic state no longer
+// describes what the device reports.
+func (a *QAOA) SampleNoisy(params []float64, shots int, rng *rand.Rand, noise NoiseModel) (SampleResult, error) {
+	s, err := a.Evolve(params)
+	if err != nil {
+		return SampleResult{}, err
+	}
+	res := SampleResult{BestEnergy: a.Emax}
+	ground := 0
+	first := true
+	for _, z := range s.SampleNoisy(rng, shots, noise) {
+		e := a.energies[z]
+		if first || e < res.BestEnergy {
+			res.BestEnergy = e
+			res.Best = Bits(z, a.n)
+			first = false
+		}
+		if e <= a.Emin+1e-12 {
+			ground++
+		}
+	}
+	if shots > 0 {
+		res.GroundProbability = float64(ground) / float64(shots)
+	}
+	if a.Emax > a.Emin {
+		res.ApproxRatio = (a.Emax - res.BestEnergy) / (a.Emax - a.Emin)
+	} else {
+		res.ApproxRatio = 1
+	}
+	return res, nil
+}

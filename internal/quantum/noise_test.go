@@ -1,0 +1,126 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+)
+
+func TestNoiseModelValid(t *testing.T) {
+	if !(NoiseModel{}).Valid() {
+		t.Fatal("zero model invalid")
+	}
+	if (NoiseModel{Depolarizing: 1.5}).Valid() || (NoiseModel{Readout: -0.1}).Valid() {
+		t.Fatal("out-of-range model accepted")
+	}
+}
+
+func TestSampleNoisyZeroNoiseMatchesClean(t *testing.T) {
+	s, _ := NewState(3)
+	s.H(0)
+	s.H(2)
+	a := s.SampleNoisy(rand.New(rand.NewSource(9)), 500, NoiseModel{})
+	b := s.Sample(rand.New(rand.NewSource(9)), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shot %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleNoisyFullDepolarizationIsUniform(t *testing.T) {
+	// A deterministic |000> state under full depolarization samples
+	// (approximately) uniformly.
+	s, _ := NewState(3)
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 8)
+	const shots = 16000
+	for _, z := range s.SampleNoisy(rng, shots, NoiseModel{Depolarizing: 1}) {
+		counts[z]++
+	}
+	for z, c := range counts {
+		frac := float64(c) / shots
+		if math.Abs(frac-0.125) > 0.02 {
+			t.Fatalf("state %d frequency %v, want ~0.125", z, frac)
+		}
+	}
+}
+
+func TestSampleNoisyReadoutFlipsBits(t *testing.T) {
+	// |00> with certain readout error on every bit gives |11> always.
+	s, _ := NewState(2)
+	rng := rand.New(rand.NewSource(1))
+	for _, z := range s.SampleNoisy(rng, 100, NoiseModel{Readout: 1}) {
+		if z != 0b11 {
+			t.Fatalf("full readout flip produced %02b", z)
+		}
+	}
+}
+
+func TestQAOANoiseDegradesGroundProbability(t *testing.T) {
+	a, err := NewQAOA(smallQUBO(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := a.Optimize(OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 4000
+	clean, err := a.SampleNoisy(params.X, shots, rand.New(rand.NewSource(2)), NoiseModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := a.SampleNoisy(params.X, shots, rand.New(rand.NewSource(2)), NoiseModel{Depolarizing: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.GroundProbability >= clean.GroundProbability {
+		t.Fatalf("noise did not degrade ground probability: %v >= %v",
+			noisy.GroundProbability, clean.GroundProbability)
+	}
+	// With enough shots the best sample usually still hits the optimum
+	// (error mitigation by repetition — the cheapest mitigation there is).
+	if noisy.ApproxRatio < 1 {
+		t.Fatalf("4000 noisy shots missed the 2-qubit optimum (ratio %v)", noisy.ApproxRatio)
+	}
+}
+
+func TestEstimateResources(t *testing.T) {
+	q := smallQUBO() // 2 vars, 2 nonzero linear, 1 coupler
+	r, err := EstimateResources(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Qubits != 2 || r.Couplers != 1 || r.Layers != 2 {
+		t.Fatalf("resources %+v", r)
+	}
+	// 1q: 2 prep H + 2 layers * (2 RZ + 1 gadget RZ + 2 RX) = 2 + 10.
+	if r.SingleQubitGates != 12 {
+		t.Fatalf("1q gates %d, want 12", r.SingleQubitGates)
+	}
+	// 2q: 2 layers * 2 CNOT per coupler = 4.
+	if r.TwoQubitGates != 4 {
+		t.Fatalf("2q gates %d, want 4", r.TwoQubitGates)
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty string")
+	}
+	if _, err := EstimateResources(q, 0); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+	if _, err := EstimateResources(&cqm.QUBO{}, 1); err == nil {
+		t.Fatal("empty QUBO accepted")
+	}
+}
+
+func TestEstimateResourcesScalesWithLayers(t *testing.T) {
+	q := smallQUBO()
+	r1, _ := EstimateResources(q, 1)
+	r3, _ := EstimateResources(q, 3)
+	if r3.TwoQubitGates != 3*r1.TwoQubitGates {
+		t.Fatalf("2q gates %d vs %d", r3.TwoQubitGates, r1.TwoQubitGates)
+	}
+}

@@ -1,0 +1,207 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cqm"
+	"repro/internal/optimize"
+)
+
+// EnergyTable evaluates a QUBO on every basis state, producing the
+// diagonal cost Hamiltonian used by the QAOA phase layer. Memory and
+// time are O(2^n); callers must respect MaxQubits.
+func EnergyTable(q *cqm.QUBO) ([]float64, error) {
+	n := q.NumVars
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("quantum: QUBO with %d variables outside [1,%d]", n, MaxQubits)
+	}
+	size := 1 << n
+	e := make([]float64, size)
+	for z := range e {
+		e[z] = q.Offset
+	}
+	for i, c := range q.Linear {
+		if c == 0 {
+			continue
+		}
+		bit := 1 << i
+		for base := 0; base < size; base += bit << 1 {
+			for z := base + bit; z < base+(bit<<1); z++ {
+				e[z] += c
+			}
+		}
+	}
+	for pair, c := range q.Quad {
+		mask := 1<<pair.A | 1<<pair.B
+		for z := 0; z < size; z++ {
+			if z&mask == mask {
+				e[z] += c
+			}
+		}
+	}
+	return e, nil
+}
+
+// QAOA is the Quantum Approximate Optimization Algorithm over a QUBO's
+// diagonal Hamiltonian: p alternating layers of cost-phase and
+// transverse-field mixer evolution, with 2p variational parameters
+// (gamma_1..gamma_p, beta_1..beta_p) optimized classically.
+type QAOA struct {
+	// Layers is the circuit depth p.
+	Layers int
+
+	n        int
+	energies []float64
+	// Emin and Emax bound the energy table (for diagnostics and
+	// approximation-ratio reporting).
+	Emin, Emax float64
+}
+
+// NewQAOA prepares a QAOA instance for the QUBO with depth layers.
+func NewQAOA(q *cqm.QUBO, layers int) (*QAOA, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("quantum: QAOA needs at least one layer, got %d", layers)
+	}
+	energies, err := EnergyTable(q)
+	if err != nil {
+		return nil, err
+	}
+	a := &QAOA{Layers: layers, n: q.NumVars, energies: energies, Emin: math.Inf(1), Emax: math.Inf(-1)}
+	for _, e := range energies {
+		a.Emin = math.Min(a.Emin, e)
+		a.Emax = math.Max(a.Emax, e)
+	}
+	return a, nil
+}
+
+// NumQubits returns the register width.
+func (a *QAOA) NumQubits() int { return a.n }
+
+// Evolve runs the circuit |+>^n -> prod_l [mixer(beta_l) cost(gamma_l)]
+// for params = (gamma_1..gamma_p, beta_1..beta_p).
+func (a *QAOA) Evolve(params []float64) (*State, error) {
+	if len(params) != 2*a.Layers {
+		return nil, fmt.Errorf("quantum: QAOA depth %d needs %d parameters, got %d", a.Layers, 2*a.Layers, len(params))
+	}
+	s, err := Uniform(a.n)
+	if err != nil {
+		return nil, err
+	}
+	for l := 0; l < a.Layers; l++ {
+		gamma, beta := params[l], params[a.Layers+l]
+		s.PhaseByEnergy(a.energies, gamma)
+		for q := 0; q < a.n; q++ {
+			s.RX(q, 2*beta)
+		}
+	}
+	return s, nil
+}
+
+// Expectation returns the cost expectation of the circuit output — the
+// objective the classical optimizer minimizes.
+func (a *QAOA) Expectation(params []float64) float64 {
+	s, err := a.Evolve(params)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return s.ExpectationDiagonal(a.energies)
+}
+
+// OptimizeOptions tunes the classical parameter search.
+type OptimizeOptions struct {
+	// GridSamples is the per-axis resolution of the depth-1 seeding
+	// grid (0 = 8).
+	GridSamples int
+	// NelderMead refines from the grid seed.
+	NelderMead optimize.Options
+}
+
+// Optimize finds good variational parameters: a coarse grid over the
+// first (gamma, beta) pair seeds Nelder-Mead over all 2p parameters.
+// The energy scale of gamma is normalized by the Hamiltonian's spread.
+func (a *QAOA) Optimize(opt OptimizeOptions) (optimize.Result, error) {
+	if opt.GridSamples <= 0 {
+		opt.GridSamples = 8
+	}
+	spread := a.Emax - a.Emin
+	if spread <= 0 {
+		// Flat Hamiltonian: any parameters are optimal.
+		params := make([]float64, 2*a.Layers)
+		return optimize.Result{X: params, F: a.Emin, Converged: true}, nil
+	}
+	// Gamma's useful range scales inversely with the typical energy
+	// gap; normalize by the spread per qubit so problems of any
+	// absolute scale search the same window.
+	gHi := math.Pi / math.Max(1e-9, spread/float64(a.n))
+	seed, err := optimize.GridSearch(func(x []float64) float64 {
+		params := make([]float64, 2*a.Layers)
+		for l := 0; l < a.Layers; l++ {
+			f := float64(l+1) / float64(a.Layers)
+			params[l] = x[0] * f                                        // gammas ramp up
+			params[a.Layers+l] = x[1] * (1 - f + 1/float64(2*a.Layers)) // betas ramp down
+		}
+		return a.Expectation(params)
+	}, []float64{gHi / 64, 0.05}, []float64{gHi, math.Pi / 2}, opt.GridSamples)
+	if err != nil {
+		return optimize.Result{}, err
+	}
+	start := make([]float64, 2*a.Layers)
+	for l := 0; l < a.Layers; l++ {
+		f := float64(l+1) / float64(a.Layers)
+		start[l] = seed.X[0] * f
+		start[a.Layers+l] = seed.X[1] * (1 - f + 1/float64(2*a.Layers))
+	}
+	nm := opt.NelderMead
+	if nm.Step == 0 {
+		nm.Step = seed.X[1] / 4
+	}
+	res, err := optimize.NelderMead(a.Expectation, start, nm)
+	if err != nil {
+		return optimize.Result{}, err
+	}
+	res.Evals += seed.Evals
+	return res, nil
+}
+
+// SampleResult is the outcome of measuring an optimized QAOA state.
+type SampleResult struct {
+	// Best is the lowest-energy assignment among the shots.
+	Best []bool
+	// BestEnergy is its QUBO energy.
+	BestEnergy float64
+	// GroundProbability is the total probability mass the state puts on
+	// globally optimal assignments.
+	GroundProbability float64
+	// ApproxRatio is (Emax - E[sampled best]) / (Emax - Emin), 1 at the
+	// optimum.
+	ApproxRatio float64
+}
+
+// Sample measures the circuit output shots times and returns the best
+// observed assignment plus quality diagnostics.
+func (a *QAOA) Sample(params []float64, shots int, rng *rand.Rand) (SampleResult, error) {
+	s, err := a.Evolve(params)
+	if err != nil {
+		return SampleResult{}, err
+	}
+	res := SampleResult{BestEnergy: math.Inf(1)}
+	for _, z := range s.Sample(rng, shots) {
+		if e := a.energies[z]; e < res.BestEnergy {
+			res.BestEnergy = e
+			res.Best = Bits(z, a.n)
+		}
+	}
+	for z, e := range a.energies {
+		if e <= a.Emin+1e-12 {
+			res.GroundProbability += s.Probability(z)
+		}
+	}
+	if a.Emax > a.Emin {
+		res.ApproxRatio = (a.Emax - res.BestEnergy) / (a.Emax - a.Emin)
+	} else {
+		res.ApproxRatio = 1
+	}
+	return res, nil
+}

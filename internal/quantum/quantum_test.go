@@ -1,0 +1,392 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cqm"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewStateBasics(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Fatal("accepted 0 qubits")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Fatal("accepted too many qubits")
+	}
+	s, err := NewState(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumQubits() != 3 || !almostEqual(s.Probability(0), 1) {
+		t.Fatalf("initial state wrong: P(0)=%v", s.Probability(0))
+	}
+	if !almostEqual(s.Norm(), 1) {
+		t.Fatalf("norm = %v", s.Norm())
+	}
+}
+
+func TestUniformState(t *testing.T) {
+	s, err := Uniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < 16; z++ {
+		if !almostEqual(s.Probability(z), 1.0/16) {
+			t.Fatalf("P(%d) = %v", z, s.Probability(z))
+		}
+	}
+}
+
+func TestHadamardInvolution(t *testing.T) {
+	s, _ := NewState(2)
+	s.H(0)
+	s.H(1)
+	s.H(0)
+	s.H(1)
+	if !almostEqual(s.Probability(0), 1) {
+		t.Fatalf("H^2 != I: P(0) = %v", s.Probability(0))
+	}
+}
+
+func TestXAndRXGates(t *testing.T) {
+	s, _ := NewState(2)
+	s.X(1)
+	if !almostEqual(s.Probability(0b10), 1) {
+		t.Fatalf("X(1)|00> wrong: %v", s.Probability(0b10))
+	}
+	// RX(pi) is X up to global phase.
+	s2, _ := NewState(1)
+	s2.RX(0, math.Pi)
+	if !almostEqual(s2.Probability(1), 1) {
+		t.Fatalf("RX(pi)|0> -> P(1) = %v", s2.Probability(1))
+	}
+	// RX(pi/2) gives a 50/50 split.
+	s3, _ := NewState(1)
+	s3.RX(0, math.Pi/2)
+	if !almostEqual(s3.Probability(0), 0.5) {
+		t.Fatalf("RX(pi/2) split = %v", s3.Probability(0))
+	}
+}
+
+func TestRZPhasesOnly(t *testing.T) {
+	s, _ := Uniform(2)
+	s.RZ(0, 1.234)
+	s.RZ(1, -0.7)
+	for z := 0; z < 4; z++ {
+		if !almostEqual(s.Probability(z), 0.25) {
+			t.Fatalf("RZ changed probabilities: P(%d)=%v", z, s.Probability(z))
+		}
+	}
+	// But relative phases changed: amplitudes differ.
+	if cmplx.Abs(s.Amplitude(0)-s.Amplitude(1)) < 1e-9 {
+		t.Fatal("RZ applied no relative phase")
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0b00, 0b00}, {0b01, 0b11}, {0b10, 0b10}, {0b11, 0b01},
+	} {
+		s, _ := NewState(2)
+		// Prepare |in> (qubit 0 = control).
+		if tc.in&1 != 0 {
+			s.X(0)
+		}
+		if tc.in&2 != 0 {
+			s.X(1)
+		}
+		s.CNOT(0, 1)
+		if !almostEqual(s.Probability(tc.want), 1) {
+			t.Fatalf("CNOT|%02b> -> P(%02b) = %v", tc.in, tc.want, s.Probability(tc.want))
+		}
+	}
+}
+
+func TestBellStateEntanglement(t *testing.T) {
+	s, _ := NewState(2)
+	s.H(0)
+	s.CNOT(0, 1)
+	if !almostEqual(s.Probability(0b00), 0.5) || !almostEqual(s.Probability(0b11), 0.5) {
+		t.Fatalf("Bell state probs: %v %v", s.Probability(0), s.Probability(3))
+	}
+	if s.Probability(0b01) > 1e-12 || s.Probability(0b10) > 1e-12 {
+		t.Fatal("Bell state has weight on odd-parity terms")
+	}
+}
+
+func TestUnitarityProperty(t *testing.T) {
+	// Random circuits preserve the norm.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewState(4)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 30; k++ {
+			q := rng.Intn(4)
+			switch rng.Intn(5) {
+			case 0:
+				s.H(q)
+			case 1:
+				s.X(q)
+			case 2:
+				s.RX(q, rng.Float64()*2*math.Pi)
+			case 3:
+				s.RZ(q, rng.Float64()*2*math.Pi)
+			case 4:
+				t := rng.Intn(4)
+				if t != q {
+					s.CNOT(q, t)
+				}
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseByEnergyKeepsProbabilities(t *testing.T) {
+	s, _ := Uniform(3)
+	energies := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	s.PhaseByEnergy(energies, 0.3)
+	for z := 0; z < 8; z++ {
+		if !almostEqual(s.Probability(z), 1.0/8) {
+			t.Fatalf("phase layer changed P(%d) to %v", z, s.Probability(z))
+		}
+	}
+	if !almostEqual(s.Norm(), 1) {
+		t.Fatal("phase layer broke normalization")
+	}
+}
+
+func TestExpectationDiagonal(t *testing.T) {
+	s, _ := Uniform(2)
+	energies := []float64{1, 2, 3, 4}
+	if got := s.ExpectationDiagonal(energies); !almostEqual(got, 2.5) {
+		t.Fatalf("uniform expectation = %v, want 2.5", got)
+	}
+	s2, _ := NewState(2)
+	s2.X(0) // |01> (z=1)
+	if got := s2.ExpectationDiagonal(energies); !almostEqual(got, 2) {
+		t.Fatalf("basis expectation = %v, want 2", got)
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	s, _ := NewState(2)
+	s.RX(0, math.Pi/2) // 50/50 on qubit 0, qubit 1 stays 0
+	rng := rand.New(rand.NewSource(5))
+	counts := make(map[int]int)
+	const shots = 20000
+	for _, z := range s.Sample(rng, shots) {
+		counts[z]++
+	}
+	if counts[2] != 0 || counts[3] != 0 {
+		t.Fatalf("sampled impossible states: %v", counts)
+	}
+	frac := float64(counts[0]) / shots
+	if frac < 0.46 || frac > 0.54 {
+		t.Fatalf("P(0) sampled as %v, want ~0.5", frac)
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	bits := Bits(0b1011, 4)
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("Bits = %v", bits)
+		}
+	}
+}
+
+// smallQUBO builds a 2-variable QUBO with ground state |11>:
+// E = 2 - x0 - x1 - 0.5 x0 x1 (E(11) = -0.5... offsets chosen so the
+// values are distinct).
+func smallQUBO() *cqm.QUBO {
+	return &cqm.QUBO{
+		NumVars:  2,
+		BaseVars: 2,
+		Linear:   []float64{-1, -1},
+		Quad:     map[cqm.QPair]float64{{A: 0, B: 1}: -0.5},
+		Offset:   2,
+	}
+}
+
+func TestEnergyTableMatchesQUBO(t *testing.T) {
+	q := smallQUBO()
+	table, err := EnergyTable(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < 4; z++ {
+		if got, want := table[z], q.Energy(Bits(z, 2)); !almostEqual(got, want) {
+			t.Fatalf("E[%d] = %v, want %v", z, got, want)
+		}
+	}
+}
+
+func TestEnergyTableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		q := &cqm.QUBO{
+			NumVars:  n,
+			BaseVars: n,
+			Linear:   make([]float64, n),
+			Quad:     make(map[cqm.QPair]float64),
+			Offset:   float64(rng.Intn(7) - 3),
+		}
+		for i := range q.Linear {
+			q.Linear[i] = float64(rng.Intn(9) - 4)
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			q.Quad[cqm.QPair{A: cqm.VarID(a), B: cqm.VarID(b)}] += float64(rng.Intn(7) - 3)
+		}
+		table, err := EnergyTable(q)
+		if err != nil {
+			return false
+		}
+		for z := range table {
+			if !almostEqual(table[z], q.Energy(Bits(z, n))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyTableRejectsBigQUBO(t *testing.T) {
+	q := &cqm.QUBO{NumVars: MaxQubits + 1}
+	if _, err := EnergyTable(q); err == nil {
+		t.Fatal("accepted oversized QUBO")
+	}
+}
+
+func TestQAOAValidation(t *testing.T) {
+	if _, err := NewQAOA(smallQUBO(), 0); err == nil {
+		t.Fatal("accepted 0 layers")
+	}
+	a, err := NewQAOA(smallQUBO(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Evolve([]float64{1}); err == nil {
+		t.Fatal("accepted wrong parameter count")
+	}
+	if a.NumQubits() != 2 {
+		t.Fatal("qubit count")
+	}
+}
+
+func TestQAOAZeroParamsIsUniform(t *testing.T) {
+	a, err := NewQAOA(smallQUBO(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gamma = beta = 0: expectation equals the uniform average.
+	got := a.Expectation([]float64{0, 0})
+	table, _ := EnergyTable(smallQUBO())
+	want := 0.0
+	for _, e := range table {
+		want += e / float64(len(table))
+	}
+	if !almostEqual(got, want) {
+		t.Fatalf("zero-parameter expectation %v, want %v", got, want)
+	}
+}
+
+func TestQAOAOptimizeBeatsUniform(t *testing.T) {
+	a, err := NewQAOA(smallQUBO(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := a.Expectation([]float64{0, 0})
+	res, err := a.Optimize(OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F >= uniform {
+		t.Fatalf("optimized expectation %v not below uniform %v", res.F, uniform)
+	}
+	// Sampling the optimized state finds the ground state |11>.
+	rng := rand.New(rand.NewSource(2))
+	sr, err := a.Sample(res.X, 256, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Best[0] || !sr.Best[1] {
+		t.Fatalf("best sample %v, want [true true]", sr.Best)
+	}
+	if !almostEqual(sr.ApproxRatio, 1) {
+		t.Fatalf("approx ratio %v", sr.ApproxRatio)
+	}
+	if sr.GroundProbability <= 0.25 {
+		t.Fatalf("ground probability %v not amplified above uniform", sr.GroundProbability)
+	}
+}
+
+func TestQAOADeeperHelps(t *testing.T) {
+	// A 4-variable partition-style QUBO; p=2 should do at least as well
+	// as p=1 after optimization.
+	q := &cqm.QUBO{
+		NumVars: 4, BaseVars: 4,
+		Linear: []float64{-3, -2, -2, -1},
+		Quad: map[cqm.QPair]float64{
+			{A: 0, B: 1}: 2, {A: 0, B: 2}: 2, {A: 1, B: 2}: 2, {A: 2, B: 3}: 2,
+		},
+		Offset: 3,
+	}
+	a1, err := NewQAOA(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewQAOA(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := a1.Optimize(OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a2.Optimize(OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.F > r1.F+0.05*(math.Abs(r1.F)+1) {
+		t.Fatalf("p=2 (%v) notably worse than p=1 (%v)", r2.F, r1.F)
+	}
+}
+
+func TestQAOAFlatHamiltonian(t *testing.T) {
+	q := &cqm.QUBO{NumVars: 2, BaseVars: 2, Linear: []float64{0, 0}, Quad: map[cqm.QPair]float64{}, Offset: 5}
+	a, err := NewQAOA(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Optimize(OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.F, 5) {
+		t.Fatalf("flat optimize F = %v", res.F)
+	}
+}

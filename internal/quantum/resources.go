@@ -1,0 +1,60 @@
+package quantum
+
+import (
+	"fmt"
+
+	"repro/internal/cqm"
+)
+
+// Resources estimates what a QAOA circuit for a QUBO would cost on a
+// real gate-model device — the resource-accounting view behind the
+// paper's Section VI scalability discussion. The cost layer of a QUBO
+// Hamiltonian compiles to one RZ per linear term and one ZZ interaction
+// (typically CNOT-RZ-CNOT) per quadratic coupler; the mixer is one RX
+// per qubit per layer.
+type Resources struct {
+	// Qubits is the register width.
+	Qubits int
+	// Layers is the QAOA depth p.
+	Layers int
+	// SingleQubitGates counts H (state prep) + RZ + RX gates.
+	SingleQubitGates int
+	// TwoQubitGates counts CNOTs (2 per coupler per layer).
+	TwoQubitGates int
+	// Couplers is the number of distinct ZZ interactions, the
+	// connectivity the device (or its embedding) must provide.
+	Couplers int
+}
+
+// EstimateResources computes the gate counts for depth-p QAOA over q.
+func EstimateResources(q *cqm.QUBO, layers int) (Resources, error) {
+	if layers < 1 {
+		return Resources{}, fmt.Errorf("quantum: need at least one layer, got %d", layers)
+	}
+	if q.NumVars < 1 {
+		return Resources{}, fmt.Errorf("quantum: empty QUBO")
+	}
+	linear := 0
+	for _, c := range q.Linear {
+		if c != 0 {
+			linear++
+		}
+	}
+	couplers := q.NumQuadTerms()
+	r := Resources{
+		Qubits:   q.NumVars,
+		Layers:   layers,
+		Couplers: couplers,
+		// H per qubit (prep) + per layer: RZ per linear term, one RZ
+		// inside each ZZ gadget, RX per qubit.
+		SingleQubitGates: q.NumVars + layers*(linear+couplers+q.NumVars),
+		TwoQubitGates:    layers * 2 * couplers,
+	}
+	return r, nil
+}
+
+// String renders a compact summary.
+func (r Resources) String() string {
+	return fmt.Sprintf("QAOA p=%d: %d qubits, %d couplers, %d 1q gates, %d 2q gates",
+		r.Layers, r.Qubits, r.Couplers, r.SingleQubitGates, r.TwoQubitGates)
+}

@@ -1,0 +1,173 @@
+// Package quantum implements a small state-vector simulator and the
+// QAOA variational algorithm over QUBO problems. It realizes the
+// paper's stated extension path (Section VI): "The hybrid model of our
+// Q_CQM* methods can be extended to use gate-based quantum solvers" —
+// here the gate-based solver is simulated exactly, which bounds it to
+// ~20 qubits and therefore to small LRP instances (see qlrb.SolveGateBased).
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// MaxQubits bounds simulations to keep the 2^n state vector in memory.
+const MaxQubits = 24
+
+// State is a pure quantum state over n qubits; amplitude indices use
+// the convention that bit q of the index is the computational-basis
+// value of qubit q.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0> over n qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("quantum: qubit count %d outside [1,%d]", n, MaxQubits)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<n)}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// Uniform returns the |+>^n state (the QAOA initial state).
+func Uniform(n int) (*State, error) {
+	s, err := NewState(n)
+	if err != nil {
+		return nil, err
+	}
+	a := complex(1/math.Sqrt(float64(len(s.amp))), 0)
+	for i := range s.amp {
+		s.amp[i] = a
+	}
+	return s, nil
+}
+
+// NumQubits returns n.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state z.
+func (s *State) Amplitude(z int) complex128 { return s.amp[z] }
+
+// apply1q applies the 2x2 unitary {{u00,u01},{u10,u11}} to qubit q.
+func (s *State) apply1q(q int, u00, u01, u10, u11 complex128) {
+	bit := 1 << q
+	size := len(s.amp)
+	for base := 0; base < size; base += bit << 1 {
+		for off := base; off < base+bit; off++ {
+			a0, a1 := s.amp[off], s.amp[off|bit]
+			s.amp[off] = u00*a0 + u01*a1
+			s.amp[off|bit] = u10*a0 + u11*a1
+		}
+	}
+}
+
+// H applies a Hadamard gate to qubit q.
+func (s *State) H(q int) {
+	c := complex(1/math.Sqrt2, 0)
+	s.apply1q(q, c, c, c, -c)
+}
+
+// X applies a Pauli-X (NOT) gate to qubit q.
+func (s *State) X(q int) { s.apply1q(q, 0, 1, 1, 0) }
+
+// RX applies exp(-i theta/2 X) to qubit q — the QAOA mixer rotation.
+func (s *State) RX(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	is := complex(0, -math.Sin(theta/2))
+	s.apply1q(q, c, is, is, c)
+}
+
+// RZ applies exp(-i theta/2 Z) to qubit q.
+func (s *State) RZ(q int, theta float64) {
+	s.apply1q(q, cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2)))
+}
+
+// CNOT applies a controlled-NOT with the given control and target.
+func (s *State) CNOT(control, target int) {
+	cb, tb := 1<<control, 1<<target
+	for z := range s.amp {
+		if z&cb != 0 && z&tb == 0 {
+			s.amp[z], s.amp[z|tb] = s.amp[z|tb], s.amp[z]
+		}
+	}
+}
+
+// PhaseByEnergy multiplies each basis amplitude by exp(-i gamma E[z]) —
+// the QAOA cost layer for a diagonal Hamiltonian given as an energy
+// table. It panics if the table size disagrees with the state.
+func (s *State) PhaseByEnergy(energies []float64, gamma float64) {
+	if len(energies) != len(s.amp) {
+		panic(fmt.Sprintf("quantum: energy table size %d for state size %d", len(energies), len(s.amp)))
+	}
+	for z := range s.amp {
+		s.amp[z] *= cmplx.Exp(complex(0, -gamma*energies[z]))
+	}
+}
+
+// Norm returns the state's L2 norm (1 for any unitary evolution).
+func (s *State) Norm() float64 {
+	total := 0.0
+	for _, a := range s.amp {
+		total += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(total)
+}
+
+// Probability returns |amp[z]|^2.
+func (s *State) Probability(z int) float64 {
+	a := s.amp[z]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// ExpectationDiagonal returns <psi| diag(energies) |psi>.
+func (s *State) ExpectationDiagonal(energies []float64) float64 {
+	if len(energies) != len(s.amp) {
+		panic(fmt.Sprintf("quantum: energy table size %d for state size %d", len(energies), len(s.amp)))
+	}
+	total := 0.0
+	for z, a := range s.amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		total += p * energies[z]
+	}
+	return total
+}
+
+// Sample draws shots basis states from the measurement distribution.
+func (s *State) Sample(rng *rand.Rand, shots int) []int {
+	// Cumulative distribution; binary search per shot.
+	cum := make([]float64, len(s.amp))
+	run := 0.0
+	for z, a := range s.amp {
+		run += real(a)*real(a) + imag(a)*imag(a)
+		cum[z] = run
+	}
+	out := make([]int, shots)
+	for i := range out {
+		r := rng.Float64() * run
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = lo
+	}
+	return out
+}
+
+// Bits unpacks basis-state index z into a boolean assignment.
+func Bits(z, n int) []bool {
+	out := make([]bool, n)
+	for q := 0; q < n; q++ {
+		out[q] = z&(1<<q) != 0
+	}
+	return out
+}

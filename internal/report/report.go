@@ -1,0 +1,255 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII charts — the forms in which this repository regenerates the
+// paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled table with a fixed header.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are an
+// error surfaced at render time via a panic (tables are
+// programmer-constructed).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the table as aligned monospaced text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table in CSV form (no title).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Fmt formats a float compactly for table cells: up to 5 significant
+// digits, trimming trailing zeros.
+func Fmt(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 5, 64)
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure holds the data of one paper figure: categorical x labels and
+// one series per method.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string, x []string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel, X: append([]string(nil), x...)}
+}
+
+// Add appends a series; it panics if the length disagrees with the
+// x-axis (figures are programmer-constructed).
+func (f *Figure) Add(name string, y []float64) {
+	if len(y) != len(f.X) {
+		panic(fmt.Sprintf("report: series %q has %d points, figure has %d x values", name, len(y), len(f.X)))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: append([]float64(nil), y...)})
+}
+
+// Table renders the figure's data as a table with one row per series —
+// the numeric form of the figure.
+func (f *Figure) Table() *Table {
+	headers := append([]string{f.YLabel + " \\ " + f.XLabel}, f.X...)
+	t := NewTable(f.Title, headers...)
+	for _, s := range f.Series {
+		cells := make([]string, 0, len(s.Y)+1)
+		cells = append(cells, s.Name)
+		for _, v := range s.Y {
+			cells = append(cells, Fmt(v))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// seriesMarks are the glyphs used to draw series in ASCII charts.
+var seriesMarks = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Chart renders an ASCII line chart of the figure, height rows tall
+// (minimum 4). Each series uses a distinct glyph; a legend follows.
+func (f *Figure) Chart(height int) string {
+	if height < 4 {
+		height = 4
+	}
+	if len(f.Series) == 0 || len(f.X) == 0 {
+		return f.Title + "\n(no data)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, v := range s.Y {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	colW := 6
+	width := colW * len(f.X)
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for xi, v := range s.Y {
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			col := xi*colW + colW/2
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			} else if grid[row][col] != mark {
+				grid[row][col] = '?'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (%s vs %s)\n", f.Title, f.YLabel, f.XLabel)
+	for r, line := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10s |%s\n", Fmt(yVal), string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(strings.Repeat(" ", 12))
+	for _, x := range f.X {
+		fmt.Fprintf(&b, "%-*s", colW, truncate(x, colW-1))
+	}
+	b.WriteByte('\n')
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s", seriesMarks[si%len(seriesMarks)], s.Name)
+		if si != len(f.Series)-1 {
+			b.WriteString("   ")
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table (the
+// format EXPERIMENTS.md uses), with the title as a bold caption line.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + strings.ReplaceAll(c, "|", "\\|") + " |")
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = "---"
+	}
+	row(rule)
+	for _, r := range t.rows {
+		row(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("Demo", "Algorithm", "Value")
+	tb.AddRow("Greedy", "351.8")
+	tb.AddRow("Q_CQM1_k1", "60.4")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Algorithm") {
+		t.Fatalf("header %q", lines[1])
+	}
+	// Columns aligned: "Value" starts at the same offset in all rows.
+	off := strings.Index(lines[1], "Value")
+	if !strings.HasPrefix(lines[3][off:], "351.8") || !strings.HasPrefix(lines[4][off:], "60.4") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableShortRowAndPanicOnLong(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only")
+	if !strings.Contains(tb.Render(), "only") {
+		t.Fatal("short row lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("long row did not panic")
+		}
+	}()
+	tb.AddRow("1", "2", "3")
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) || !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("CSV = %q", csv)
+	}
+	if !strings.HasPrefix(csv, "name,note\n") {
+		t.Fatalf("CSV header = %q", csv)
+	}
+}
+
+func TestFmt(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		5.19905: "5.199", // 5 significant digits, trailing zeros trimmed
+		0.00007: "7e-05",
+		6447:    "6447",
+	}
+	for v, want := range cases {
+		if got := Fmt(v); got != want {
+			t.Errorf("Fmt(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFigureTableAndChart(t *testing.T) {
+	f := NewFigure("Fig. 3 (left)", "imbalance case", "R_imb", []string{"Imb.0", "Imb.1", "Imb.2"})
+	f.Add("Greedy", []float64{0, 0.1, 0.2})
+	f.Add("Q_CQM1_k1", []float64{0, 0.15, 0.05})
+	tb := f.Table()
+	if tb.NumRows() != 2 {
+		t.Fatalf("figure table rows = %d", tb.NumRows())
+	}
+	out := tb.Render()
+	for _, want := range []string{"Imb.0", "Greedy", "0.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure table missing %q:\n%s", want, out)
+		}
+	}
+	chart := f.Chart(8)
+	for _, want := range []string{"Fig. 3 (left)", "*", "o", "Greedy", "Q_CQM1_k1"} {
+		if !strings.Contains(chart, want) {
+			t.Fatalf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// Same number of grid rows as requested height.
+	gridLines := 0
+	for _, line := range strings.Split(chart, "\n") {
+		if strings.Contains(line, "|") {
+			gridLines++
+		}
+	}
+	if gridLines != 8 {
+		t.Fatalf("chart has %d grid lines, want 8:\n%s", gridLines, chart)
+	}
+}
+
+func TestFigureChartDegenerate(t *testing.T) {
+	f := NewFigure("Empty", "x", "y", nil)
+	if !strings.Contains(f.Chart(5), "no data") {
+		t.Fatal("empty figure should render a placeholder")
+	}
+	// Constant series must not divide by zero.
+	g := NewFigure("Const", "x", "y", []string{"a", "b"})
+	g.Add("flat", []float64{3, 3})
+	if out := g.Chart(5); !strings.Contains(out, "flat") {
+		t.Fatalf("constant chart broken:\n%s", out)
+	}
+}
+
+func TestFigureAddPanicsOnLengthMismatch(t *testing.T) {
+	f := NewFigure("t", "x", "y", []string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched series")
+		}
+	}()
+	f.Add("bad", []float64{1, 2})
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("abcdef", 4) != "abc…" {
+		t.Fatalf("truncate = %q", truncate("abcdef", 4))
+	}
+	if truncate("ab", 4) != "ab" {
+		t.Fatal("short string modified")
+	}
+	if truncate("abc", 1) != "a" {
+		t.Fatal("n=1 broken")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Caption", "A", "B")
+	tb.AddRow("x|y", "2")
+	md := tb.Markdown()
+	for _, want := range []string{"**Caption**", "| A | B |", "| --- | --- |", `x\|y`} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package sa implements simulated annealing over the binary variables of
+// a constrained quadratic model. It is the sampling engine behind the
+// hybrid solver (internal/hybrid), standing in for the quantum-annealing
+// backend of D-Wave's Leap hybrid CQM solver: it samples the same
+// penalized energy landscape and returns low-energy, preferably feasible,
+// assignments.
+//
+// The engine supports geometric inverse-temperature schedules, growing
+// constraint-penalty weights, frozen (presolved) variables, independent
+// multi-restart portfolios executed on a goroutine pool, and parallel
+// tempering.
+package sa
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cqm"
+)
+
+// Options configures a single annealing run.
+type Options struct {
+	// Sweeps is the number of full passes over the variables.
+	Sweeps int
+	// BetaStart and BetaEnd bound the geometric inverse-temperature
+	// schedule. If either is zero, EstimateSchedule picks them.
+	BetaStart, BetaEnd float64
+	// Penalty is the initial constraint-penalty weight.
+	Penalty float64
+	// PenaltyGrowth multiplies the penalty weights at each quarter of
+	// the schedule, pushing late-stage search into the feasible region.
+	// Values <= 1 disable growth.
+	PenaltyGrowth float64
+	// Seed seeds the run's private RNG.
+	Seed int64
+	// Frozen maps presolved variables to their fixed values; the
+	// annealer never flips them.
+	Frozen map[cqm.VarID]bool
+	// Initial is an optional warm-start assignment (copied).
+	Initial []bool
+	// Pairs lists variable pairs that may be co-flipped as one move;
+	// model builders supply pairs whose co-flip preserves an equality
+	// constraint (e.g. the LRP's task-conservation constraints), letting
+	// the annealer cross penalty walls that block single flips.
+	Pairs [][2]cqm.VarID
+	// PairProb is the probability that a move is a pair co-flip when
+	// Pairs is non-empty (0 disables pair moves).
+	PairProb float64
+	// NoPolish disables the final zero-temperature descent that runs
+	// greedy improving flips (and pair co-flips) to a local optimum
+	// after the annealing schedule ends.
+	NoPolish bool
+	// Cancel, when non-nil, aborts the run at the next sweep boundary;
+	// the best state found so far is still returned.
+	Cancel <-chan struct{}
+}
+
+// DefaultOptions returns a schedule that solves the repository's LRP
+// models reliably at moderate cost.
+func DefaultOptions() Options {
+	return Options{
+		Sweeps:        400,
+		Penalty:       1,
+		PenaltyGrowth: 4,
+	}
+}
+
+// Result reports the outcome of an annealing run.
+type Result struct {
+	// Best is the best assignment found, preferring feasible ones.
+	Best []bool
+	// BestObjective is the model objective of Best.
+	BestObjective float64
+	// BestFeasible reports whether Best satisfies all constraints.
+	BestFeasible bool
+	// Sweeps and Flips count the work performed.
+	Sweeps int
+	Flips  int64
+	// Accepted counts accepted moves (for acceptance-rate diagnostics).
+	Accepted int64
+}
+
+// feasTol is the feasibility tolerance used throughout; all LRP data is
+// integral so a loose absolute tolerance is safe.
+const feasTol = 1e-6
+
+// Anneal runs one simulated-annealing trajectory on m and returns the
+// best assignment encountered. Feasible assignments always dominate
+// infeasible ones regardless of objective.
+func Anneal(m *cqm.Model, opt Options) Result {
+	n := m.NumVars()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	if opt.Sweeps <= 0 {
+		opt.Sweeps = DefaultOptions().Sweeps
+	}
+	if opt.Penalty <= 0 {
+		opt.Penalty = 1
+	}
+	if opt.BetaStart <= 0 || opt.BetaEnd <= 0 {
+		bs, be := EstimateSchedule(m, opt.Penalty, rng)
+		if opt.BetaStart <= 0 {
+			opt.BetaStart = bs
+		}
+		if opt.BetaEnd <= 0 {
+			opt.BetaEnd = be
+		}
+	}
+
+	ev := cqm.NewEvaluator(m, opt.Penalty)
+	state := make([]bool, n)
+	if opt.Initial != nil {
+		copy(state, opt.Initial)
+	} else {
+		for i := range state {
+			state[i] = rng.Intn(2) == 0
+		}
+	}
+	for v, val := range opt.Frozen {
+		state[v] = val
+	}
+	ev.Reset(state)
+
+	// Flippable variable pool.
+	pool := make([]cqm.VarID, 0, n)
+	for i := 0; i < n; i++ {
+		if _, frozen := opt.Frozen[cqm.VarID(i)]; !frozen {
+			pool = append(pool, cqm.VarID(i))
+		}
+	}
+
+	res := Result{Sweeps: opt.Sweeps}
+	best := ev.Assignment()
+	bestObj := ev.ObjectiveValue()
+	bestFeas := ev.Feasible(feasTol)
+	record := func() {
+		feas := ev.Feasible(feasTol)
+		obj := ev.ObjectiveValue()
+		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
+			bestFeas = feas
+			bestObj = obj
+			copy(best, ev.Assignment())
+		}
+	}
+
+	if len(pool) == 0 {
+		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		return res
+	}
+
+	// Pair moves are only usable when both variables are flippable.
+	pairs := opt.Pairs[:0:0]
+	for _, p := range opt.Pairs {
+		if _, fa := opt.Frozen[p[0]]; fa {
+			continue
+		}
+		if _, fb := opt.Frozen[p[1]]; fb {
+			continue
+		}
+		pairs = append(pairs, p)
+	}
+	usePairs := len(pairs) > 0 && opt.PairProb > 0
+
+	growAt := opt.Sweeps / 4
+	ratio := 1.0
+	if opt.Sweeps > 1 {
+		ratio = math.Pow(opt.BetaEnd/opt.BetaStart, 1/float64(opt.Sweeps-1))
+	}
+	beta := opt.BetaStart
+	cancelled := false
+sweeps:
+	for s := 0; s < opt.Sweeps; s++ {
+		if opt.Cancel != nil {
+			select {
+			case <-opt.Cancel:
+				res.Sweeps = s
+				cancelled = true
+				break sweeps
+			default:
+			}
+		}
+		if opt.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
+			ev.ScalePenalties(opt.PenaltyGrowth)
+		}
+		for range pool {
+			res.Flips++
+			if usePairs && rng.Float64() < opt.PairProb {
+				p := pairs[rng.Intn(len(pairs))]
+				// Evaluate the co-flip by committing the first half.
+				delta := ev.Flip(p[0])
+				delta += ev.FlipDelta(p[1])
+				if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
+					ev.Flip(p[1])
+					res.Accepted++
+					if delta < 0 {
+						record()
+					}
+				} else {
+					ev.Flip(p[0]) // revert
+				}
+				continue
+			}
+			v := pool[rng.Intn(len(pool))]
+			delta := ev.FlipDelta(v)
+			if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
+				ev.Flip(v)
+				res.Accepted++
+				if delta < 0 {
+					record()
+				}
+			}
+		}
+		record()
+		beta *= ratio
+	}
+
+	// Zero-temperature polish: descend greedily from the best state
+	// found until no single flip (or pair co-flip) improves. A cancelled
+	// run skips it: the caller wants out now.
+	if !opt.NoPolish && !cancelled {
+		ev.Reset(best)
+		improved := true
+		for improved {
+			improved = false
+			for _, v := range pool {
+				if ev.FlipDelta(v) < -1e-12 {
+					ev.Flip(v)
+					res.Flips++
+					improved = true
+				}
+			}
+			if usePairs {
+				for _, p := range pairs {
+					delta := ev.Flip(p[0])
+					delta += ev.FlipDelta(p[1])
+					if delta < -1e-12 {
+						ev.Flip(p[1])
+						res.Flips++
+						improved = true
+					} else {
+						ev.Flip(p[0])
+					}
+				}
+			}
+		}
+		record()
+	}
+
+	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	return res
+}
+
+// EstimateSchedule samples random flip deltas from random states and
+// derives (betaStart, betaEnd) so that uphill moves of typical size are
+// accepted with probability ~0.8 initially and ~1e-4 finally. This is the
+// standard auto-tuning used when callers do not provide a schedule.
+func EstimateSchedule(m *cqm.Model, penalty float64, rng *rand.Rand) (betaStart, betaEnd float64) {
+	n := m.NumVars()
+	if n == 0 {
+		return 1, 10
+	}
+	ev := cqm.NewEvaluator(m, penalty)
+	state := make([]bool, n)
+	var maxUp, sumUp float64
+	var count int
+	for trial := 0; trial < 8; trial++ {
+		for i := range state {
+			state[i] = rng.Intn(2) == 0
+		}
+		ev.Reset(state)
+		for k := 0; k < 4*n; k++ {
+			v := cqm.VarID(rng.Intn(n))
+			d := ev.FlipDelta(v)
+			if d > 0 {
+				sumUp += d
+				count++
+				if d > maxUp {
+					maxUp = d
+				}
+			}
+			ev.Flip(v)
+		}
+	}
+	if count == 0 || sumUp == 0 {
+		return 1, 10
+	}
+	avgUp := sumUp / float64(count)
+	// Accept average uphill with p0=0.8 at the start and the largest
+	// uphill with p1=1e-4 at the end.
+	betaStart = -math.Log(0.8) / avgUp
+	betaEnd = -math.Log(1e-4) / math.Max(avgUp, maxUp/8)
+	if betaEnd <= betaStart {
+		betaEnd = betaStart * 100
+	}
+	return betaStart, betaEnd
+}

@@ -1,0 +1,283 @@
+package sa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cqm"
+)
+
+// partitionModel builds min (sum_i a_i x_i - target)^2, a two-way number
+// partitioning objective with known optimum 0 for sets that split evenly.
+func partitionModel(weights []float64, target float64) *cqm.Model {
+	m := cqm.New()
+	var e cqm.LinExpr
+	for _, w := range weights {
+		v := m.AddBinary("x")
+		e.Add(v, w)
+	}
+	e.Offset = -target
+	m.AddObjectiveSquared(e)
+	return m
+}
+
+// bruteForceOptimum exhaustively minimizes the objective over feasible
+// assignments; it returns +Inf if nothing is feasible.
+func bruteForceOptimum(m *cqm.Model) float64 {
+	n := m.NumVars()
+	best := math.Inf(1)
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<i) != 0
+		}
+		if !m.Feasible(x, 1e-9) {
+			continue
+		}
+		if obj := m.Objective(x); obj < best {
+			best = obj
+		}
+	}
+	return best
+}
+
+func TestAnnealSolvesEasyPartition(t *testing.T) {
+	// 1..8 sums to 36; a perfect half of 18 exists.
+	m := partitionModel([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 18)
+	res := Anneal(m, Options{Sweeps: 200, Seed: 42, Penalty: 1})
+	if !res.BestFeasible {
+		t.Fatal("unconstrained model reported infeasible")
+	}
+	if res.BestObjective != 0 {
+		t.Fatalf("BestObjective = %v, want 0", res.BestObjective)
+	}
+	if res.Flips == 0 || res.Sweeps != 200 {
+		t.Fatalf("work counters: %+v", res)
+	}
+}
+
+func TestAnnealRespectsFrozenVariables(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5)
+	frozen := map[cqm.VarID]bool{0: false} // forbid the single-element optimum
+	res := Anneal(m, Options{Sweeps: 300, Seed: 7, Frozen: frozen})
+	if res.Best[0] {
+		t.Fatal("annealer flipped a frozen variable")
+	}
+	// Optimum with x0 = 0 is {3,2}, objective 0.
+	if res.BestObjective != 0 {
+		t.Fatalf("BestObjective = %v, want 0 via {3,2}", res.BestObjective)
+	}
+}
+
+func TestAnnealAllFrozen(t *testing.T) {
+	m := partitionModel([]float64{1, 2}, 3)
+	frozen := map[cqm.VarID]bool{0: true, 1: true}
+	res := Anneal(m, Options{Sweeps: 10, Seed: 1, Frozen: frozen})
+	if !res.Best[0] || !res.Best[1] {
+		t.Fatal("frozen assignment not respected")
+	}
+	if res.BestObjective != 0 {
+		t.Fatalf("objective = %v", res.BestObjective)
+	}
+}
+
+func TestAnnealFindsFeasibleConstrainedOptimum(t *testing.T) {
+	// Objective rewards turning everything on; a cardinality constraint
+	// caps the count at 2; optimum turns on the two largest rewards.
+	m := cqm.New()
+	rewards := []float64{-5, -3, -2, -1}
+	var sum cqm.LinExpr
+	for _, r := range rewards {
+		v := m.AddBinary("x")
+		m.AddObjectiveLinear(v, r)
+		sum.Add(v, 1)
+	}
+	m.AddConstraint("card", sum, cqm.Le, 2)
+	res := Anneal(m, Options{Sweeps: 400, Seed: 3, Penalty: 2, PenaltyGrowth: 4})
+	if !res.BestFeasible {
+		t.Fatal("no feasible solution found")
+	}
+	if got, want := res.BestObjective, -8.0; got != want {
+		t.Fatalf("BestObjective = %v, want %v", got, want)
+	}
+}
+
+func TestAnnealMatchesBruteForceOnRandomConstrainedModels(t *testing.T) {
+	// For small random constrained models with a generous budget, the
+	// portfolio must find the exact feasible optimum.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		m := cqm.New()
+		var all cqm.LinExpr
+		var sq cqm.LinExpr
+		for i := 0; i < n; i++ {
+			v := m.AddBinary("x")
+			m.AddObjectiveLinear(v, float64(rng.Intn(11)-5))
+			sq.Add(v, float64(rng.Intn(5)-2))
+			all.Add(v, 1)
+		}
+		sq.Offset = float64(rng.Intn(3))
+		m.AddObjectiveSquared(sq)
+		m.AddConstraint("card", all, cqm.Le, float64(1+rng.Intn(n)))
+		want := bruteForceOptimum(m)
+		best, _ := Portfolio(m, PortfolioOptions{
+			Base:     Options{Sweeps: 150, Seed: seed, Penalty: 2, PenaltyGrowth: 4},
+			Restarts: 6,
+			Workers:  3,
+		})
+		if !best.BestFeasible {
+			return false
+		}
+		return math.Abs(best.BestObjective-want) < 1e-9
+	}
+	// Pinned corpus: solver success within a fixed budget is an
+	// empirical property of the configuration, not a theorem.
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortfolioDeterministicForSeed(t *testing.T) {
+	m := partitionModel([]float64{3, 1, 4, 1, 5, 9, 2, 6}, 15)
+	opt := PortfolioOptions{Base: Options{Sweeps: 100, Seed: 99}, Restarts: 5, Workers: 4}
+	a, _ := Portfolio(m, opt)
+	b, _ := Portfolio(m, opt)
+	if a.BestObjective != b.BestObjective {
+		t.Fatalf("nondeterministic portfolio: %v vs %v", a.BestObjective, b.BestObjective)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("nondeterministic best assignment")
+		}
+	}
+}
+
+func TestPortfolioReturnsAllResults(t *testing.T) {
+	m := partitionModel([]float64{1, 2, 3}, 3)
+	best, all := Portfolio(m, PortfolioOptions{Base: Options{Sweeps: 50, Seed: 5}, Restarts: 7})
+	if len(all) != 7 {
+		t.Fatalf("got %d results, want 7", len(all))
+	}
+	for _, r := range all {
+		if Better(r, best) {
+			t.Fatal("Portfolio did not return the best result")
+		}
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	feasLow := Result{BestFeasible: true, BestObjective: 1}
+	feasHigh := Result{BestFeasible: true, BestObjective: 5}
+	infeasLow := Result{BestFeasible: false, BestObjective: -10}
+	if !Better(feasLow, feasHigh) {
+		t.Fatal("lower objective should win among feasible")
+	}
+	if !Better(feasHigh, infeasLow) {
+		t.Fatal("feasible should beat infeasible regardless of objective")
+	}
+	if Better(infeasLow, feasLow) {
+		t.Fatal("infeasible must not beat feasible")
+	}
+}
+
+func TestEstimateScheduleSane(t *testing.T) {
+	m := partitionModel([]float64{2, 4, 8, 16}, 15)
+	rng := rand.New(rand.NewSource(1))
+	bs, be := EstimateSchedule(m, 1, rng)
+	if bs <= 0 || be <= bs {
+		t.Fatalf("EstimateSchedule = (%v, %v)", bs, be)
+	}
+	// Degenerate flat model falls back to defaults.
+	flat := cqm.New()
+	flat.AddBinary("a")
+	bs, be = EstimateSchedule(flat, 1, rng)
+	if bs <= 0 || be <= bs {
+		t.Fatalf("flat schedule = (%v, %v)", bs, be)
+	}
+	// Empty model.
+	bs, be = EstimateSchedule(cqm.New(), 1, rng)
+	if bs != 1 || be != 10 {
+		t.Fatalf("empty schedule = (%v, %v)", bs, be)
+	}
+}
+
+func TestParallelTemperingSolvesConstrainedModel(t *testing.T) {
+	m := cqm.New()
+	rewards := []float64{-7, -5, -3, -2, -1, -1}
+	var sum cqm.LinExpr
+	for _, r := range rewards {
+		v := m.AddBinary("x")
+		m.AddObjectiveLinear(v, r)
+		sum.Add(v, 1)
+	}
+	m.AddConstraint("card", sum, cqm.Le, 3)
+	res := ParallelTempering(m, PTOptions{
+		Base:     Options{Sweeps: 200, Seed: 11, Penalty: 2, PenaltyGrowth: 4},
+		Replicas: 4,
+	})
+	if !res.BestFeasible {
+		t.Fatal("PT found no feasible solution")
+	}
+	if got, want := res.BestObjective, -15.0; got != want {
+		t.Fatalf("PT objective = %v, want %v", got, want)
+	}
+}
+
+func TestParallelTemperingRespectsFrozen(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5)
+	res := ParallelTempering(m, PTOptions{
+		Base:     Options{Sweeps: 100, Seed: 2, Frozen: map[cqm.VarID]bool{0: false}},
+		Replicas: 3,
+	})
+	if res.Best[0] {
+		t.Fatal("PT flipped a frozen variable")
+	}
+}
+
+func TestAnnealBestNeverWorsensProperty(t *testing.T) {
+	// On a fixed seed corpus, more sweeps never reports a worse best.
+	// (Not a theorem — the schedules differ — so the corpus is pinned.)
+	f := func(seed int64) bool {
+		m := partitionModel([]float64{4, 7, 1, 3, 9, 2}, 13)
+		short := Anneal(m, Options{Sweeps: 20, Seed: seed})
+		long := Anneal(m, Options{Sweeps: 200, Seed: seed})
+		if short.BestFeasible && long.BestFeasible {
+			return long.BestObjective <= short.BestObjective+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolishReachesLocalOptimum(t *testing.T) {
+	// After polishing, no single flip may improve the penalized energy
+	// of the returned best state.
+	m := partitionModel([]float64{7, 5, 4, 3, 2, 2, 1}, 12)
+	res := Anneal(m, Options{Sweeps: 5, Seed: 9, Penalty: 1})
+	ev := cqm.NewEvaluator(m, 1)
+	// Reconstruct the final penalty scale: growth happened 0 times with
+	// 5 sweeps (growAt = 1, scaled at s=1..4 => 4 times by default 1).
+	// Use the raw objective instead: for this unconstrained model the
+	// penalized energy IS the objective.
+	ev.Reset(res.Best)
+	for v := 0; v < m.NumVars(); v++ {
+		if ev.FlipDelta(cqm.VarID(v)) < -1e-9 {
+			t.Fatalf("flip of %d improves the polished state", v)
+		}
+	}
+}
+
+func TestPolishCanBeDisabled(t *testing.T) {
+	m := partitionModel([]float64{9, 8, 7, 1}, 12)
+	a := Anneal(m, Options{Sweeps: 3, Seed: 4})
+	b := Anneal(m, Options{Sweeps: 3, Seed: 4, NoPolish: true})
+	// Polish never returns a worse best.
+	if a.BestObjective > b.BestObjective+1e-12 {
+		t.Fatalf("polish worsened result: %v vs %v", a.BestObjective, b.BestObjective)
+	}
+}

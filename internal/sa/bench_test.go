@@ -1,0 +1,65 @@
+package sa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+)
+
+// benchModel is a 256-variable constrained partition model.
+func benchModel() *cqm.Model {
+	m := cqm.New()
+	var sq, cap cqm.LinExpr
+	for i := 0; i < 256; i++ {
+		v := m.AddBinary("x")
+		sq.Add(v, float64(1+i%13))
+		cap.Add(v, 1)
+	}
+	sq.Offset = -800
+	m.AddObjectiveSquared(sq)
+	m.AddConstraint("cap", cap, cqm.Le, 128)
+	return m
+}
+
+func BenchmarkAnnealSweeps(b *testing.B) {
+	m := benchModel()
+	var flips int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Anneal(m, Options{Sweeps: 50, Seed: int64(i), Penalty: 2, PenaltyGrowth: 4})
+		flips += res.Flips
+	}
+	b.ReportMetric(float64(flips)/b.Elapsed().Seconds(), "flips/s")
+}
+
+func BenchmarkPortfolio4(b *testing.B) {
+	m := benchModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Portfolio(m, PortfolioOptions{
+			Base:     Options{Sweeps: 30, Seed: int64(i), Penalty: 2},
+			Restarts: 4,
+		})
+	}
+}
+
+func BenchmarkParallelTempering(b *testing.B) {
+	m := benchModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelTempering(m, PTOptions{
+			Base:     Options{Sweeps: 30, Seed: int64(i), Penalty: 2},
+			Replicas: 4,
+		})
+	}
+}
+
+func BenchmarkEstimateSchedule(b *testing.B) {
+	m := benchModel()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EstimateSchedule(m, 1, rng)
+	}
+}

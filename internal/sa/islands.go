@@ -1,0 +1,96 @@
+package sa
+
+import (
+	"sync"
+
+	"repro/internal/cqm"
+)
+
+// IslandOptions configures an island-model run: Islands independent
+// populations anneal concurrently for Epochs rounds of Base.Sweeps
+// sweeps each; between rounds the globally best state migrates to the
+// weakest island (elitist migration). The island model is the classic
+// distributed-memory parallelization of annealing — each island maps to
+// a "node", migration to the inter-node exchange.
+type IslandOptions struct {
+	// Base is the per-epoch annealing configuration.
+	Base Options
+	// Islands is the population count (>= 2).
+	Islands int
+	// Epochs is the number of anneal-exchange rounds (>= 1).
+	Epochs int
+	// Workers bounds concurrency (0 = unbounded, one goroutine per
+	// island).
+	Workers int
+}
+
+// Islands runs island-model annealing and returns the global best.
+// Results are deterministic for a fixed seed: island trajectories use
+// disjoint seed streams and the exchange step is reduced in island
+// order.
+func Islands(m *cqm.Model, opt IslandOptions) Result {
+	if opt.Islands < 2 {
+		opt.Islands = 2
+	}
+	if opt.Epochs < 1 {
+		opt.Epochs = 1
+	}
+	workers := opt.Workers
+	if workers <= 0 || workers > opt.Islands {
+		workers = opt.Islands
+	}
+
+	states := make([][]bool, opt.Islands) // nil = random start
+	if opt.Base.Initial != nil {
+		states[0] = opt.Base.Initial
+	}
+	var agg Result
+	best := Result{BestObjective: 0, BestFeasible: false, Best: nil}
+	haveBest := false
+
+	results := make([]Result, opt.Islands)
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					o := opt.Base
+					o.Seed = opt.Base.Seed*1_000_003 + int64(epoch)*131_071 + int64(i)*8_191
+					o.Initial = states[i]
+					results[i] = Anneal(m, o)
+				}
+			}()
+		}
+		for i := 0; i < opt.Islands; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+
+		// Reduce: track the global best and each island's next state.
+		worst := 0
+		for i, r := range results {
+			agg.Flips += r.Flips
+			agg.Accepted += r.Accepted
+			agg.Sweeps += r.Sweeps
+			states[i] = r.Best
+			if !haveBest || Better(r, best) {
+				best = r
+				haveBest = true
+			}
+			if Better(results[worst], r) {
+				worst = i
+			}
+		}
+		// Elitist migration: the weakest island restarts from the
+		// global best next epoch.
+		states[worst] = best.Best
+	}
+	best.Flips = agg.Flips
+	best.Accepted = agg.Accepted
+	best.Sweeps = agg.Sweeps
+	return best
+}

@@ -1,0 +1,89 @@
+package sa
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cqm"
+)
+
+// PortfolioOptions configures a multi-restart portfolio: Restarts
+// independent annealing trajectories executed on Workers goroutines.
+type PortfolioOptions struct {
+	// Base is the per-restart configuration; each restart derives its
+	// own seed from Base.Seed and the restart index.
+	Base Options
+	// Restarts is the number of independent trajectories.
+	Restarts int
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Initials are warm-start assignments distributed round-robin over
+	// the even-indexed restarts (odd restarts always start random).
+	// Base.Initial, if set, is treated as an additional entry.
+	Initials [][]bool
+}
+
+// Portfolio runs independent annealing restarts in parallel and returns
+// the best result (feasible results dominate), plus per-restart results
+// for diagnostics. Selection is deterministic for a fixed seed: ties and
+// ordering do not depend on goroutine scheduling because results are
+// reduced by restart index.
+func Portfolio(m *cqm.Model, opt PortfolioOptions) (Result, []Result) {
+	if opt.Restarts <= 0 {
+		opt.Restarts = 1
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Restarts {
+		workers = opt.Restarts
+	}
+	initials := opt.Initials
+	if opt.Base.Initial != nil {
+		initials = append(append([][]bool(nil), initials...), opt.Base.Initial)
+	}
+	results := make([]Result, opt.Restarts)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				o := opt.Base
+				o.Seed = opt.Base.Seed*1_000_003 + int64(idx)*7919 + 1
+				// Alternate warm and cold starts: even restarts cycle
+				// through the provided initial assignments, odd restarts
+				// explore from random states.
+				o.Initial = nil
+				if len(initials) > 0 && idx%2 == 0 {
+					o.Initial = initials[(idx/2)%len(initials)]
+				}
+				results[idx] = Anneal(m, o)
+			}
+		}()
+	}
+	for i := 0; i < opt.Restarts; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	best := results[0]
+	for _, r := range results[1:] {
+		if Better(r, best) {
+			best = r
+		}
+	}
+	return best, results
+}
+
+// Better reports whether result a should be preferred over b: feasible
+// beats infeasible, then lower objective wins.
+func Better(a, b Result) bool {
+	if a.BestFeasible != b.BestFeasible {
+		return a.BestFeasible
+	}
+	return a.BestObjective < b.BestObjective
+}

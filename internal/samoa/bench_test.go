@@ -1,0 +1,55 @@
+package samoa
+
+import "testing"
+
+func BenchmarkMeshRefineUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewMesh(8) // 512 leaves, all bisections + edge-map updates
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 8 // freeze AMR so each iteration does equal work
+	sim := NewOscillatingLake(cfg, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+	b.ReportMetric(float64(sim.Mesh.NumLeaves()), "cells")
+}
+
+func BenchmarkStepWithAMR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MaxDepth = 10
+		sim := NewOscillatingLake(cfg, 8)
+		for s := 0; s < 3; s++ {
+			sim.Step()
+		}
+	}
+}
+
+func BenchmarkLeavesTraversal(b *testing.B) {
+	m := NewMesh(10) // 2048 leaves
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(m.Leaves()); got != 2048 {
+			b.Fatalf("leaves = %d", got)
+		}
+	}
+}
+
+func BenchmarkSectionCosts(b *testing.B) {
+	sim := NewOscillatingLake(DefaultConfig(), 10)
+	for s := 0; s < 3; s++ {
+		sim.Step()
+	}
+	cm := DefaultCostModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SectionCosts(sim.Mesh, 128, cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

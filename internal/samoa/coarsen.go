@@ -1,0 +1,138 @@
+package samoa
+
+// Coarsen merges the two children of parent back into it, conserving
+// mass and momentum (children have equal areas, so the parent state is
+// the plain average). It refuses — returning false — when either child
+// is not a leaf or when removing the children would leave a hanging
+// node (i.e. a neighbour across one of the parent's edges is refined
+// more deeply than the parent).
+func (m *Mesh) Coarsen(parent *Cell) bool {
+	l, r := parent.Left, parent.Right
+	if l == nil || r == nil || !l.IsLeaf() || !r.IsLeaf() {
+		return false
+	}
+	// Conformity precheck on the legs: they are full edges of the
+	// children themselves, so each interior leg must carry the child
+	// plus one same-depth neighbour (count 2); count 1 means the
+	// neighbour is refined deeper and merging would hang a node.
+	if !m.legsMergeable(parent) {
+		return false
+	}
+	// The refinement edge (hypotenuse) is currently split into the
+	// children's half-edges. Its full key held by exactly one leaf means
+	// an unrefined neighbour: safe to merge alone. An empty key off the
+	// boundary means the neighbour is refined too — the inverse of pair
+	// bisection: find the partner parent through the half-edge and merge
+	// both together (classic NVB pair coarsening).
+	hyp := parent.refEdge()
+	if onBoundary(hyp) || len(m.edges[hyp]) == 1 {
+		m.merge(parent)
+		return true
+	}
+	partner := m.partnerParent(parent)
+	if partner == nil || !m.legsMergeable(partner) {
+		return false
+	}
+	m.merge(parent)
+	m.merge(partner)
+	return true
+}
+
+// legsMergeable checks the leg-edge conformity condition for merging.
+func (m *Mesh) legsMergeable(parent *Cell) bool {
+	legs := [2]edgeKey{keyOf(parent.V[0], parent.V[2]), keyOf(parent.V[2], parent.V[1])}
+	for _, e := range legs {
+		if !onBoundary(e) && len(m.edges[e]) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// partnerParent finds the refined neighbour sharing parent's refinement
+// edge, by looking across one half-edge of the hypotenuse. It returns
+// nil unless the partner is a parent of two leaves with the same
+// refinement edge.
+func (m *Mesh) partnerParent(parent *Cell) *Cell {
+	mp := mid(parent.V[0], parent.V[1])
+	half := keyOf(parent.V[0], mp)
+	for _, leaf := range m.edges[half] {
+		if leaf == parent.Left || leaf == parent.Right {
+			continue
+		}
+		p := leaf.Parent
+		if p == nil || p == parent {
+			continue
+		}
+		if p.Left == nil || p.Right == nil || !p.Left.IsLeaf() || !p.Right.IsLeaf() {
+			return nil
+		}
+		if p.refEdge() != parent.refEdge() {
+			return nil
+		}
+		return p
+	}
+	return nil
+}
+
+// merge performs the actual unconditional child merge.
+func (m *Mesh) merge(parent *Cell) {
+	l, r := parent.Left, parent.Right
+	// Conservative restriction: equal child areas -> arithmetic mean.
+	parent.H = (l.H + r.H) / 2
+	parent.HU = (l.HU + r.HU) / 2
+	parent.HV = (l.HV + r.HV) / 2
+	parent.Limited = l.Limited || r.Limited
+	m.removeLeaf(l)
+	m.removeLeaf(r)
+	parent.Left, parent.Right = nil, nil
+	m.addLeaf(parent)
+	m.numLeaf--
+}
+
+// CoarsenWhere merges every parent whose two leaf children both satisfy
+// keep == false under pred (i.e. pred reports the child is coarsenable)
+// and whose merge keeps the mesh conforming. It returns the number of
+// merges performed. One pass is bottom-up over current parents; callers
+// may iterate for multi-level coarsening.
+func (m *Mesh) CoarsenWhere(pred func(c *Cell) bool) int {
+	// Collect mergeable parents first: mutating while traversing the
+	// leaf list would invalidate it.
+	var parents []*Cell
+	var walk func(c *Cell)
+	walk = func(c *Cell) {
+		if c.IsLeaf() {
+			return
+		}
+		l, r := c.Left, c.Right
+		if l.IsLeaf() && r.IsLeaf() {
+			if pred(l) && pred(r) {
+				parents = append(parents, c)
+			}
+			return
+		}
+		walk(l)
+		walk(r)
+	}
+	for _, root := range m.roots {
+		walk(root)
+	}
+	merged := 0
+	for _, p := range parents {
+		if p.Left == nil || !p.Left.IsLeaf() || !p.Right.IsLeaf() {
+			continue // already merged as someone's partner
+		}
+		// Pair merging would also coarsen the compatible partner; only
+		// proceed when its children satisfy pred too.
+		if hyp := p.refEdge(); !onBoundary(hyp) && len(m.edges[hyp]) == 0 {
+			q := m.partnerParent(p)
+			if q == nil || !pred(q.Left) || !pred(q.Right) {
+				continue
+			}
+		}
+		if m.Coarsen(p) {
+			merged++
+		}
+	}
+	return merged
+}

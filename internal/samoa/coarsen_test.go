@@ -1,0 +1,300 @@
+package samoa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoarsenRoundTrip(t *testing.T) {
+	m := NewMesh(4)
+	before := m.NumLeaves()
+	// Refine one cell, then coarsen it back.
+	target := m.Leaves()[3]
+	m.Refine(target)
+	refined := m.NumLeaves()
+	if refined <= before {
+		t.Fatal("refine did nothing")
+	}
+	// Coarsen everything above the original depth back down.
+	for m.NumLeaves() > before {
+		if m.CoarsenWhere(func(c *Cell) bool { return c.Depth > 4 }) == 0 {
+			break
+		}
+	}
+	if m.NumLeaves() != before {
+		t.Fatalf("could not coarsen back: %d vs %d", m.NumLeaves(), before)
+	}
+	if err := m.CheckConforming(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoarsenRefusesNonLeafChildren(t *testing.T) {
+	m := NewMesh(2)
+	parent := m.roots[0]
+	if m.Coarsen(parent) { // children are interior nodes
+		t.Fatal("coarsened a parent with non-leaf children")
+	}
+	leaf := m.Leaves()[0]
+	if m.Coarsen(leaf) { // a leaf has no children
+		t.Fatal("coarsened a leaf")
+	}
+}
+
+func TestCoarsenPreservesConformity(t *testing.T) {
+	// Refine a local patch deeply, then greedily coarsen; the mesh must
+	// stay conforming and keep total area 1 throughout.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMesh(3)
+		for k := 0; k < 20; k++ {
+			leaves := m.Leaves()
+			m.Refine(leaves[rng.Intn(len(leaves))])
+		}
+		for round := 0; round < 10; round++ {
+			if m.CoarsenWhere(func(c *Cell) bool { return rng.Intn(2) == 0 }) == 0 {
+				break
+			}
+			if m.CheckConforming() != nil {
+				return false
+			}
+		}
+		total := 0.0
+		for _, c := range m.Leaves() {
+			total += c.Area()
+		}
+		return math.Abs(total-1) < 1e-9 && m.CheckConforming() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoarsenConservesMass(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 5)
+	for _, c := range sim.Mesh.Leaves() {
+		sim.Mesh.Refine(c)
+	}
+	vol := sim.TotalVolume()
+	merged := sim.Mesh.CoarsenWhere(func(*Cell) bool { return true })
+	if merged == 0 {
+		t.Fatal("nothing coarsened")
+	}
+	if math.Abs(sim.TotalVolume()-vol) > 1e-9*math.Max(1, vol) {
+		t.Fatalf("coarsening changed volume: %v -> %v", vol, sim.TotalVolume())
+	}
+}
+
+func TestStepWithCoarseningKeepsMeshBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 10
+	cfg.MinDepth = 6
+	cfg.Coarsen = true
+	sim := NewOscillatingLake(cfg, 6)
+	coarsened := 0
+	for i := 0; i < 12; i++ {
+		st := sim.Step()
+		coarsened += st.Coarsened
+		if err := sim.Mesh.CheckConforming(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if coarsened == 0 {
+		t.Fatal("coarsening never fired over 12 steps")
+	}
+	for _, c := range sim.Mesh.Leaves() {
+		if c.Depth < cfg.MinDepth {
+			t.Fatalf("cell coarsened below MinDepth: %d", c.Depth)
+		}
+	}
+}
+
+func TestTsunamiScenario(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 9
+	sim := NewTsunami(cfg, 7)
+	// The hump must exist: surface elevation is higher offshore-left.
+	var maxEta float64
+	wet, dry := 0, 0
+	for _, c := range sim.Mesh.Leaves() {
+		if c.H > cfg.DryTol {
+			wet++
+			if eta := c.H + c.B; eta > maxEta {
+				maxEta = eta
+			}
+		} else {
+			dry++
+		}
+	}
+	if wet == 0 || dry == 0 {
+		t.Fatalf("tsunami needs ocean (%d wet) and beach (%d dry)", wet, dry)
+	}
+	if maxEta <= 0.3 {
+		t.Fatalf("no initial hump: max eta %v", maxEta)
+	}
+	vol0 := sim.TotalVolume()
+	for i := 0; i < 15; i++ {
+		st := sim.Step()
+		if math.IsNaN(st.Dt) || st.Dt <= 0 {
+			t.Fatalf("unstable at step %d", i)
+		}
+	}
+	// Wave propagates: momentum appears and the limiter fires.
+	anyFlow := false
+	for _, c := range sim.Mesh.Leaves() {
+		if math.Abs(c.HU) > 1e-9 {
+			anyFlow = true
+			break
+		}
+	}
+	if !anyFlow {
+		t.Fatal("tsunami never moved")
+	}
+	if v := sim.TotalVolume(); math.Abs(v-vol0) > 0.02*vol0 {
+		t.Fatalf("volume drift %v -> %v", vol0, v)
+	}
+}
+
+func TestLinearBeachGradient(t *testing.T) {
+	b := LinearBeach{ShoreStart: 0.55, Slope: 0.8}
+	if b.Elevation(0.3, 0.5) != 0 {
+		t.Fatal("ocean floor not flat")
+	}
+	if got := b.Elevation(0.8, 0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("beach elevation %v", got)
+	}
+	gx, gy := b.Gradient(0.8, 0.5)
+	if gx != 0.8 || gy != 0 {
+		t.Fatalf("gradient (%v,%v)", gx, gy)
+	}
+	gx, _ = b.Gradient(0.2, 0.5)
+	if gx != 0 {
+		t.Fatal("ocean gradient nonzero")
+	}
+}
+
+func TestRenderWater(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 6)
+	sim.Step()
+	out := RenderWater(sim.Mesh, 30, 12)
+	lines := 0
+	for _, line := range out {
+		if line == '\n' {
+			lines++
+		}
+	}
+	if lines != 14 { // 12 rows + 2 borders
+		t.Fatalf("render has %d lines:\n%s", lines, out)
+	}
+	// The lake has both water (dense glyphs) and dry land (space).
+	hasWater, hasDry := false, false
+	for _, r := range out {
+		switch r {
+		case '@', '%', '#':
+			hasWater = true
+		case ' ':
+			hasDry = true
+		}
+	}
+	if !hasWater || !hasDry {
+		t.Fatalf("render lacks contrast (water=%v dry=%v):\n%s", hasWater, hasDry, out)
+	}
+	// Degenerate sizes fall back to defaults.
+	if RenderWater(sim.Mesh, 0, 0) == "" {
+		t.Fatal("default-size render empty")
+	}
+}
+
+func TestSectionTasks(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 8)
+	for i := 0; i < 4; i++ {
+		sim.Step()
+	}
+	tasks, err := SectionTasks(sim.Mesh, 4, 8, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 32 {
+		t.Fatalf("%d tasks, want 32", len(tasks))
+	}
+	// Origins are contiguous along the curve, loads are heterogeneous.
+	distinct := map[float64]bool{}
+	for i, task := range tasks {
+		if task.ID != i || task.Origin != i/8 {
+			t.Fatalf("task %d malformed: %+v", i, task)
+		}
+		if task.Load <= 0 {
+			t.Fatalf("task %d non-positive load", i)
+		}
+		distinct[task.Load] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("only %d distinct loads; expected heterogeneity", len(distinct))
+	}
+	// Totals agree with the uniformized instance.
+	in, err := ImbalanceInput(sim.Mesh, 4, 8, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProc := make([]float64, 4)
+	for _, task := range tasks {
+		perProc[task.Origin] += task.Load
+	}
+	for p := range perProc {
+		if math.Abs(perProc[p]-in.Load(p)) > 1e-9*math.Max(1, in.Load(p)) {
+			t.Fatalf("proc %d: task sum %v != instance load %v", p, perProc[p], in.Load(p))
+		}
+	}
+	// Errors propagate.
+	if _, err := SectionTasks(sim.Mesh, 0, 8, DefaultCostModel()); err == nil {
+		t.Fatal("accepted zero procs")
+	}
+}
+
+func TestOscillatingLakePeriodMatchesThacker(t *testing.T) {
+	// Physics validation: a planar oscillation in the paraboloid
+	// b = a*r^2 has angular frequency omega = sqrt(2*g*a) (Thacker
+	// 1981), i.e. period T = 2*pi/sqrt(2*9.81*2.0) ~ 1.003 s for this
+	// scenario. The solver is first-order and diffusive, so we accept
+	// 10% tolerance on the interval between successive center-of-mass
+	// turning points.
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 8
+	sim := NewOscillatingLake(cfg, 8)
+	com := func() float64 {
+		num, den := 0.0, 0.0
+		for _, c := range sim.Mesh.Leaves() {
+			x, _ := c.Centroid()
+			m := c.H * c.Area()
+			num += x * m
+			den += m
+		}
+		return num / den
+	}
+	prev := com()
+	dir := 0.0
+	var minima []float64
+	for i := 0; i < 3000 && sim.Time < 3 && len(minima) < 3; i++ {
+		sim.Step()
+		cur := com()
+		if d := cur - prev; d != 0 {
+			if dir < 0 && d > 0 {
+				minima = append(minima, sim.Time)
+			}
+			dir = d
+		}
+		prev = cur
+	}
+	if len(minima) < 3 {
+		t.Fatalf("found only %d center-of-mass minima in 3 s", len(minima))
+	}
+	want := 2 * math.Pi / math.Sqrt(2*cfg.Gravity*2.0)
+	for i := 1; i < len(minima); i++ {
+		period := minima[i] - minima[i-1]
+		if math.Abs(period-want) > 0.1*want {
+			t.Fatalf("oscillation period %v, Thacker predicts %v", period, want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package samoa is a compact stand-in for the sam(oa)^2 framework the
+// paper uses as its realistic workload: dynamically adaptive,
+// tree-structured triangular meshes whose cells are contiguous along a
+// Sierpinski space-filling curve, solving the 2-D shallow water
+// equations with an a-posteriori limiter (Section II / V-C).
+//
+// The mesh is a forest of right isosceles triangles refined by
+// newest-vertex bisection with recursive compatibility refinement, so it
+// stays conforming (no hanging nodes). Depth-first traversal of the
+// refinement tree enumerates the leaves in Sierpinski order; contiguous
+// runs of leaves form the "sections" that define tasks.
+package samoa
+
+import "fmt"
+
+// Scale is the integer grid resolution of vertex coordinates: the unit
+// square [0,1]^2 maps to [0,Scale]^2. Integer coordinates make edge
+// hashing exact; midpoints stay integral for ~2*log2(Scale) bisection
+// levels, far beyond any practical depth.
+const Scale = 1 << 20
+
+// Vertex is an exact grid point.
+type Vertex struct {
+	X, Y int64
+}
+
+// XY returns the vertex position in unit-square coordinates.
+func (v Vertex) XY() (float64, float64) {
+	return float64(v.X) / Scale, float64(v.Y) / Scale
+}
+
+func mid(a, b Vertex) Vertex { return Vertex{(a.X + b.X) / 2, (a.Y + b.Y) / 2} }
+
+// edgeKey canonically identifies an undirected edge.
+type edgeKey struct {
+	a, b Vertex
+}
+
+func keyOf(a, b Vertex) edgeKey {
+	if a.X > b.X || (a.X == b.X && a.Y > b.Y) {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// Cell is one triangle of the refinement forest. V[0]-V[1] is the
+// refinement edge (the hypotenuse) and V[2] is the newest vertex.
+// Non-leaf cells keep their children in Left/Right; only leaves carry
+// evolving state.
+type Cell struct {
+	V     [3]Vertex
+	Depth int
+	Left  *Cell
+	Right *Cell
+	// Parent is the cell this one was bisected from (nil for roots);
+	// coarsening uses it to find the compatible partner pair.
+	Parent *Cell
+
+	// Shallow-water state (cell averages): water depth and momenta.
+	H, HU, HV float64
+	// B is the bathymetry elevation at the centroid.
+	B float64
+	// Limited marks cells flagged by the a-posteriori limiter in the
+	// last step; limited cells are costlier (DG -> FV fallback) and are
+	// candidates for refinement.
+	Limited bool
+}
+
+// IsLeaf reports whether the cell is currently a leaf of the forest.
+func (c *Cell) IsLeaf() bool { return c.Left == nil }
+
+// Centroid returns the triangle's centroid in unit coordinates.
+func (c *Cell) Centroid() (float64, float64) {
+	var sx, sy int64
+	for _, v := range c.V {
+		sx += v.X
+		sy += v.Y
+	}
+	return float64(sx) / (3 * Scale), float64(sy) / (3 * Scale)
+}
+
+// Area returns the triangle area in unit-square units.
+func (c *Cell) Area() float64 {
+	ax, ay := c.V[0].XY()
+	bx, by := c.V[1].XY()
+	cx, cy := c.V[2].XY()
+	cross := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+	if cross < 0 {
+		cross = -cross
+	}
+	return cross / 2
+}
+
+// edges returns the three undirected edges of the cell.
+func (c *Cell) edges() [3]edgeKey {
+	return [3]edgeKey{
+		keyOf(c.V[0], c.V[1]),
+		keyOf(c.V[1], c.V[2]),
+		keyOf(c.V[2], c.V[0]),
+	}
+}
+
+// refEdge returns the canonical key of the refinement edge.
+func (c *Cell) refEdge() edgeKey { return keyOf(c.V[0], c.V[1]) }
+
+// Mesh is an adaptive triangular mesh over the unit square.
+type Mesh struct {
+	roots   []*Cell
+	edges   map[edgeKey][]*Cell // leaf incidence per edge
+	numLeaf int
+}
+
+// NewMesh builds the two-triangle base mesh of the unit square and
+// uniformly refines it to the given depth.
+func NewMesh(uniformDepth int) *Mesh {
+	t1 := &Cell{V: [3]Vertex{{0, 0}, {Scale, Scale}, {Scale, 0}}}
+	t2 := &Cell{V: [3]Vertex{{Scale, Scale}, {0, 0}, {0, Scale}}}
+	m := &Mesh{roots: []*Cell{t1, t2}, edges: make(map[edgeKey][]*Cell), numLeaf: 2}
+	for _, r := range m.roots {
+		m.addLeaf(r)
+	}
+	for d := 0; d < uniformDepth; d++ {
+		for _, c := range m.Leaves() {
+			m.Refine(c)
+		}
+	}
+	return m
+}
+
+func (m *Mesh) addLeaf(c *Cell) {
+	for _, e := range c.edges() {
+		m.edges[e] = append(m.edges[e], c)
+	}
+}
+
+func (m *Mesh) removeLeaf(c *Cell) {
+	for _, e := range c.edges() {
+		list := m.edges[e]
+		for i, x := range list {
+			if x == c {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(m.edges, e)
+		} else {
+			m.edges[e] = list
+		}
+	}
+}
+
+// NumLeaves returns the current number of leaf cells.
+func (m *Mesh) NumLeaves() int { return m.numLeaf }
+
+// Leaves returns the leaf cells in Sierpinski (depth-first) order.
+func (m *Mesh) Leaves() []*Cell {
+	out := make([]*Cell, 0, m.numLeaf)
+	var walk func(c *Cell)
+	walk = func(c *Cell) {
+		if c.IsLeaf() {
+			out = append(out, c)
+			return
+		}
+		walk(c.Left)
+		walk(c.Right)
+	}
+	for _, r := range m.roots {
+		walk(r)
+	}
+	return out
+}
+
+// Neighbor returns the leaf sharing edge e with c, or nil for a boundary
+// edge.
+func (m *Mesh) Neighbor(c *Cell, e edgeKey) *Cell {
+	for _, x := range m.edges[e] {
+		if x != c {
+			return x
+		}
+	}
+	return nil
+}
+
+// Refine bisects leaf c, first refining neighbours recursively as needed
+// so the mesh stays conforming (newest-vertex bisection with
+// compatibility refinement). Refining a non-leaf is a no-op.
+func (m *Mesh) Refine(c *Cell) {
+	if !c.IsLeaf() {
+		return
+	}
+	for {
+		n := m.Neighbor(c, c.refEdge())
+		if n == nil {
+			break // boundary refinement edge
+		}
+		if n.refEdge() == c.refEdge() {
+			m.bisect(n) // compatible partner: bisect it alongside c
+			break
+		}
+		// Incompatible neighbour: refine it first; afterwards the cell
+		// across c's refinement edge is one of n's children whose own
+		// refinement edge is the shared edge.
+		m.Refine(n)
+	}
+	m.bisect(c)
+}
+
+// bisect splits one leaf into its two children, distributing state.
+func (m *Mesh) bisect(c *Cell) {
+	if !c.IsLeaf() {
+		return
+	}
+	// The Sierpinski traversal enters a cell at V[0] and exits at V[1];
+	// the curve passes V[0] -> V[2] -> V[1], so the first child owns the
+	// entry vertex and hands over at the apex V[2].
+	mp := mid(c.V[0], c.V[1])
+	c.Left = &Cell{
+		V:      [3]Vertex{c.V[0], c.V[2], mp},
+		Depth:  c.Depth + 1,
+		Parent: c,
+		H:      c.H, HU: c.HU, HV: c.HV, B: c.B, Limited: c.Limited,
+	}
+	c.Right = &Cell{
+		V:      [3]Vertex{c.V[2], c.V[1], mp},
+		Depth:  c.Depth + 1,
+		Parent: c,
+		H:      c.H, HU: c.HU, HV: c.HV, B: c.B, Limited: c.Limited,
+	}
+	m.removeLeaf(c)
+	m.addLeaf(c.Left)
+	m.addLeaf(c.Right)
+	m.numLeaf++
+}
+
+// CheckConforming verifies the structural invariant that every edge is
+// shared by at most two leaves, and that single-leaf edges lie on the
+// domain boundary. It returns an error describing the first violation.
+func (m *Mesh) CheckConforming() error {
+	for e, cells := range m.edges {
+		switch len(cells) {
+		case 1:
+			if !onBoundary(e) {
+				return fmt.Errorf("samoa: interior edge %v has a single incident leaf (hanging node)", e)
+			}
+		case 2:
+			// ok
+		default:
+			return fmt.Errorf("samoa: edge %v has %d incident leaves", e, len(cells))
+		}
+	}
+	return nil
+}
+
+func onBoundary(e edgeKey) bool {
+	onB := func(v Vertex) bool {
+		return v.X == 0 || v.Y == 0 || v.X == Scale || v.Y == Scale
+	}
+	if !onB(e.a) || !onB(e.b) {
+		return false
+	}
+	// Both endpoints on the boundary and the edge axis-aligned along it.
+	return (e.a.X == e.b.X && (e.a.X == 0 || e.a.X == Scale)) ||
+		(e.a.Y == e.b.Y && (e.a.Y == 0 || e.a.Y == Scale))
+}

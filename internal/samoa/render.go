@@ -1,0 +1,81 @@
+package samoa
+
+import (
+	"math"
+	"strings"
+)
+
+// waterGlyphs maps increasing water depth to denser glyphs.
+var waterGlyphs = []rune(" .:-=+*#%@")
+
+// RenderWater rasterizes the current water depth field into a
+// width x height ASCII heat map (deeper water renders denser). Cells
+// are splatted at their centroids with depth-weighted averaging per
+// character cell; limited cells are overlaid with '!' so the moving
+// front is visible. Intended for examples and debugging.
+func RenderWater(m *Mesh, width, height int) string {
+	if width < 1 {
+		width = 40
+	}
+	if height < 1 {
+		height = 20
+	}
+	sum := make([]float64, width*height)
+	cnt := make([]int, width*height)
+	limited := make([]bool, width*height)
+	maxH := 0.0
+	for _, c := range m.Leaves() {
+		x, y := c.Centroid()
+		col := int(x * float64(width))
+		row := int((1 - y) * float64(height))
+		if col >= width {
+			col = width - 1
+		}
+		if row >= height {
+			row = height - 1
+		}
+		if col < 0 || row < 0 {
+			continue
+		}
+		idx := row*width + col
+		sum[idx] += c.H
+		cnt[idx]++
+		if c.Limited {
+			limited[idx] = true
+		}
+		if c.H > maxH {
+			maxH = c.H
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for row := 0; row < height; row++ {
+		b.WriteByte('|')
+		for col := 0; col < width; col++ {
+			idx := row*width + col
+			if cnt[idx] == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			avg := sum[idx] / float64(cnt[idx])
+			// The wet/dry front: shallow limited cells render '!' so
+			// the moving shoreline is visible; deeper water shows its
+			// depth even when limited.
+			if limited[idx] && maxH > 0 && avg < 0.2*maxH {
+				b.WriteByte('!')
+				continue
+			}
+			g := 0
+			if maxH > 0 {
+				g = int(math.Round(avg / maxH * float64(len(waterGlyphs)-1)))
+			}
+			if g >= len(waterGlyphs) {
+				g = len(waterGlyphs) - 1
+			}
+			b.WriteRune(waterGlyphs[g])
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return b.String()
+}

@@ -1,0 +1,365 @@
+package samoa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMeshBase(t *testing.T) {
+	m := NewMesh(0)
+	if m.NumLeaves() != 2 {
+		t.Fatalf("base mesh has %d leaves, want 2", m.NumLeaves())
+	}
+	if err := m.CheckConforming(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range m.Leaves() {
+		total += c.Area()
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("base mesh area = %v, want 1", total)
+	}
+}
+
+func TestUniformRefinementCounts(t *testing.T) {
+	for d := 0; d <= 6; d++ {
+		m := NewMesh(d)
+		want := 2 << d // 2 * 2^d
+		if m.NumLeaves() != want {
+			t.Fatalf("depth %d: %d leaves, want %d", d, m.NumLeaves(), want)
+		}
+		if err := m.CheckConforming(); err != nil {
+			t.Fatalf("depth %d: %v", d, err)
+		}
+		if got := len(m.Leaves()); got != want {
+			t.Fatalf("Leaves() returned %d, want %d", got, want)
+		}
+	}
+}
+
+func TestAreaHalvesPerLevel(t *testing.T) {
+	m := NewMesh(4)
+	for _, c := range m.Leaves() {
+		want := 0.5 / math.Pow(2, float64(c.Depth))
+		if math.Abs(c.Area()-want) > 1e-12 {
+			t.Fatalf("depth %d cell area %v, want %v", c.Depth, c.Area(), want)
+		}
+	}
+}
+
+func TestAdaptiveRefinementStaysConforming(t *testing.T) {
+	// Property: randomly refining leaves (with recursive compatibility)
+	// never produces hanging nodes and preserves total area.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMesh(2)
+		for k := 0; k < 30; k++ {
+			leaves := m.Leaves()
+			m.Refine(leaves[rng.Intn(len(leaves))])
+		}
+		if m.CheckConforming() != nil {
+			return false
+		}
+		total := 0.0
+		for _, c := range m.Leaves() {
+			total += c.Area()
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineNonLeafNoOp(t *testing.T) {
+	m := NewMesh(1)
+	parent := m.roots[0]
+	before := m.NumLeaves()
+	m.Refine(parent) // not a leaf
+	if m.NumLeaves() != before {
+		t.Fatal("refining a non-leaf changed the mesh")
+	}
+}
+
+func TestSFCOrderIsDepthFirstAndContiguous(t *testing.T) {
+	// Consecutive leaves along the Sierpinski curve of a uniform mesh
+	// share at least one vertex (curve contiguity).
+	m := NewMesh(5)
+	leaves := m.Leaves()
+	for i := 1; i < len(leaves); i++ {
+		shared := 0
+		for _, va := range leaves[i-1].V {
+			for _, vb := range leaves[i].V {
+				if va == vb {
+					shared++
+				}
+			}
+		}
+		if shared == 0 {
+			t.Fatalf("leaves %d and %d share no vertex; SFC order broken", i-1, i)
+		}
+	}
+}
+
+func TestRefinementConservesState(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 4)
+	before := sim.TotalVolume()
+	for _, c := range sim.Mesh.Leaves() {
+		sim.Mesh.Refine(c)
+	}
+	after := sim.TotalVolume()
+	if math.Abs(before-after) > 1e-9*math.Max(1, before) {
+		t.Fatalf("refinement changed volume: %v -> %v", before, after)
+	}
+}
+
+func TestOscillatingLakeInitialState(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 6)
+	wet, dry := 0, 0
+	for _, c := range sim.Mesh.Leaves() {
+		if c.H < 0 {
+			t.Fatal("negative depth at init")
+		}
+		if c.H > sim.Cfg.DryTol {
+			wet++
+		} else {
+			dry++
+		}
+		if c.HU != 0 || c.HV != 0 {
+			t.Fatal("nonzero initial momentum")
+		}
+	}
+	if wet == 0 || dry == 0 {
+		t.Fatalf("oscillating lake needs both wet (%d) and dry (%d) cells", wet, dry)
+	}
+	if sim.TotalVolume() <= 0 {
+		t.Fatal("no water in the lake")
+	}
+}
+
+func TestStepStableAndPlausible(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 6)
+	vol0 := sim.TotalVolume()
+	for i := 0; i < 20; i++ {
+		st := sim.Step()
+		if st.Dt <= 0 || math.IsNaN(st.Dt) {
+			t.Fatalf("step %d: dt = %v", i, st.Dt)
+		}
+		if st.Cells != sim.Mesh.NumLeaves() {
+			t.Fatalf("step %d: stats cells %d != %d", i, st.Cells, sim.Mesh.NumLeaves())
+		}
+		for _, c := range sim.Mesh.Leaves() {
+			if math.IsNaN(c.H) || c.H < 0 {
+				t.Fatalf("step %d: bad depth %v", i, c.H)
+			}
+		}
+	}
+	if sim.Steps != 20 {
+		t.Fatalf("Steps = %d", sim.Steps)
+	}
+	if sim.Time <= 0 {
+		t.Fatal("time did not advance")
+	}
+	// The tilted surface must start moving: some momentum appears.
+	anyFlow := false
+	for _, c := range sim.Mesh.Leaves() {
+		if math.Abs(c.HU) > 1e-12 || math.Abs(c.HV) > 1e-12 {
+			anyFlow = true
+			break
+		}
+	}
+	if !anyFlow {
+		t.Fatal("lake never started flowing")
+	}
+	// Volume is conserved up to wet/dry clamping.
+	vol1 := sim.TotalVolume()
+	if math.Abs(vol1-vol0) > 0.02*vol0 {
+		t.Fatalf("volume drifted: %v -> %v", vol0, vol1)
+	}
+	if err := sim.Mesh.CheckConforming(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimiterFlagsFrontCells(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 6)
+	st := sim.Step()
+	if st.LimitedCells == 0 {
+		t.Fatal("limiter never fired on the wet/dry front")
+	}
+	if st.LimitedCells >= st.Cells {
+		t.Fatalf("limiter flagged everything: %d of %d", st.LimitedCells, st.Cells)
+	}
+}
+
+func TestAMRRefinesAroundFront(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 10
+	sim := NewOscillatingLake(cfg, 6)
+	before := sim.Mesh.NumLeaves()
+	refined := 0
+	for i := 0; i < 5; i++ {
+		refined += sim.Step().Refined
+	}
+	if refined == 0 || sim.Mesh.NumLeaves() <= before {
+		t.Fatal("AMR never refined near the front")
+	}
+	// Depth cap respected.
+	for _, c := range sim.Mesh.Leaves() {
+		if c.Depth > cfg.MaxDepth+1 {
+			t.Fatalf("cell depth %d exceeds cap %d (+1 for compatibility)", c.Depth, cfg.MaxDepth)
+		}
+	}
+}
+
+func TestVolumeConservationFullyWet(t *testing.T) {
+	// A deep flat lake with no dry cells: the flux scheme must conserve
+	// volume to machine precision (reflective walls, antisymmetric
+	// fluxes).
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 6 // forbid refinement churn
+	sim := NewOscillatingLake(cfg, 6)
+	for _, c := range sim.Mesh.Leaves() {
+		x, _ := c.Centroid()
+		c.H = 2.0 + 0.1*x // deep everywhere, gentle slope to drive flow
+	}
+	vol0 := sim.TotalVolume()
+	for i := 0; i < 10; i++ {
+		sim.Step()
+	}
+	vol1 := sim.TotalVolume()
+	if math.Abs(vol1-vol0) > 1e-9*vol0 {
+		t.Fatalf("wet-lake volume not conserved: %v -> %v", vol0, vol1)
+	}
+}
+
+func TestSectionCostsValidation(t *testing.T) {
+	m := NewMesh(3)
+	if _, err := SectionCosts(m, 0, DefaultCostModel()); err == nil {
+		t.Fatal("accepted zero sections")
+	}
+	if _, err := SectionCosts(m, m.NumLeaves()+1, DefaultCostModel()); err == nil {
+		t.Fatal("accepted more sections than cells")
+	}
+	costs, err := SectionCosts(m, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 4 {
+		t.Fatalf("got %d costs", len(costs))
+	}
+	for _, c := range costs {
+		if c <= 0 {
+			t.Fatalf("non-positive section cost %v", c)
+		}
+	}
+}
+
+func TestSectionCostsSumMatchesCellCosts(t *testing.T) {
+	cm := DefaultCostModel()
+	sim := NewOscillatingLake(DefaultConfig(), 6)
+	for i := 0; i < 3; i++ {
+		sim.Step()
+	}
+	costs, err := SectionCosts(sim.Mesh, 16, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumSections := 0.0
+	for _, c := range costs {
+		sumSections += c
+	}
+	want := 0.0
+	for _, c := range sim.Mesh.Leaves() {
+		if c.Limited {
+			want += cm.LimitedCellMs
+		} else {
+			want += cm.BaseCellMs
+		}
+	}
+	if math.Abs(sumSections-want) > 1e-9*want {
+		t.Fatalf("section costs sum %v, cell costs sum %v", sumSections, want)
+	}
+}
+
+func TestImbalanceInputShape(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 8)
+	for i := 0; i < 5; i++ {
+		sim.Step()
+	}
+	in, err := ImbalanceInput(sim.Mesh, 4, 16, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumProcs() != 4 {
+		t.Fatalf("procs = %d", in.NumProcs())
+	}
+	if n, ok := in.Uniform(); !ok || n != 16 {
+		t.Fatalf("tasks = %d uniform=%v", n, ok)
+	}
+	if in.Imbalance() <= 0 {
+		t.Fatal("simulation produced a perfectly balanced input; expected imbalance")
+	}
+}
+
+func TestCalibrateImbalanceHitsTarget(t *testing.T) {
+	sim := NewOscillatingLake(DefaultConfig(), 8)
+	for i := 0; i < 5; i++ {
+		sim.Step()
+	}
+	in, err := ImbalanceInput(sim.Mesh, 8, 13, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 4.1994
+	cal := CalibrateImbalance(in, target)
+	if got := cal.Imbalance(); math.Abs(got-target) > 0.05*target {
+		t.Fatalf("calibrated imbalance %v, want ~%v", got, target)
+	}
+	// Average load preserved (within the flooring tolerance).
+	if math.Abs(cal.AvgLoad()-in.AvgLoad()) > 0.05*in.AvgLoad() {
+		t.Fatalf("calibration changed avg load %v -> %v", in.AvgLoad(), cal.AvgLoad())
+	}
+	// Degenerate inputs pass through unchanged.
+	flat, _ := ImbalanceInput(sim.Mesh, 1, 8, DefaultCostModel())
+	if got := CalibrateImbalance(flat, target); got.Imbalance() != flat.Imbalance() {
+		t.Fatal("calibration modified a degenerate input")
+	}
+}
+
+func TestVertexAndCellHelpers(t *testing.T) {
+	v := Vertex{Scale / 2, Scale / 4}
+	x, y := v.XY()
+	if x != 0.5 || y != 0.25 {
+		t.Fatalf("XY = (%v,%v)", x, y)
+	}
+	m := NewMesh(0)
+	c := m.Leaves()[0]
+	cx, cy := c.Centroid()
+	if cx <= 0 || cx >= 1 || cy <= 0 || cy >= 1 {
+		t.Fatalf("centroid (%v,%v) outside domain", cx, cy)
+	}
+	if !c.IsLeaf() {
+		t.Fatal("fresh cell not a leaf")
+	}
+}
+
+func TestParabolicBowlGradient(t *testing.T) {
+	b := ParabolicBowl{Coef: 2}
+	// Numeric vs analytic gradient.
+	f := func(xr, yr uint8) bool {
+		x := float64(xr) / 255
+		y := float64(yr) / 255
+		gx, gy := b.Gradient(x, y)
+		const h = 1e-6
+		nx := (b.Elevation(x+h, y) - b.Elevation(x-h, y)) / (2 * h)
+		ny := (b.Elevation(x, y+h) - b.Elevation(x, y-h)) / (2 * h)
+		return math.Abs(gx-nx) < 1e-4 && math.Abs(gy-ny) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,371 @@
+package samoa
+
+import "math"
+
+// Config parameterises the shallow-water simulation.
+type Config struct {
+	// Gravity is the gravitational constant (m/s^2).
+	Gravity float64
+	// DryTol is the depth below which a cell counts as dry.
+	DryTol float64
+	// CFL is the Courant number of the adaptive time step.
+	CFL float64
+	// MaxDepth caps adaptive refinement.
+	MaxDepth int
+	// MinDepth floors adaptive coarsening (only meaningful with
+	// Coarsen).
+	MinDepth int
+	// Coarsen enables merging unlimited cells back, keeping the mesh
+	// small as the front moves on.
+	Coarsen bool
+	// LimitThreshold is the water-surface jump (relative to cell size)
+	// above which the a-posteriori limiter flags a cell.
+	LimitThreshold float64
+}
+
+// DefaultConfig returns stable settings for the oscillating-lake
+// scenario.
+func DefaultConfig() Config {
+	return Config{
+		Gravity:        9.81,
+		DryTol:         1e-4,
+		CFL:            0.4,
+		MaxDepth:       14,
+		LimitThreshold: 0.02,
+	}
+}
+
+// Bathymetry is a bottom-elevation field with an analytic gradient
+// (used for the topography source term).
+type Bathymetry interface {
+	// Elevation returns b(x,y).
+	Elevation(x, y float64) float64
+	// Gradient returns (db/dx, db/dy).
+	Gradient(x, y float64) (float64, float64)
+}
+
+// ParabolicBowl is the Thacker oscillating-lake bathymetry: a paraboloid
+// centred in the unit square.
+type ParabolicBowl struct {
+	// Coef scales the bowl steepness: b = Coef * r^2 with r measured
+	// from the centre (0.5, 0.5).
+	Coef float64
+}
+
+// Elevation implements Bathymetry.
+func (p ParabolicBowl) Elevation(x, y float64) float64 {
+	dx, dy := x-0.5, y-0.5
+	return p.Coef * (dx*dx + dy*dy)
+}
+
+// Gradient implements Bathymetry.
+func (p ParabolicBowl) Gradient(x, y float64) (float64, float64) {
+	return 2 * p.Coef * (x - 0.5), 2 * p.Coef * (y - 0.5)
+}
+
+// Sim is a shallow-water simulation on an adaptive mesh.
+type Sim struct {
+	Mesh *Mesh
+	Cfg  Config
+	Bath Bathymetry
+	// Time is the simulated time.
+	Time float64
+	// Steps counts completed time steps.
+	Steps int
+}
+
+// StepStats summarises one time step.
+type StepStats struct {
+	// Dt is the time step actually taken.
+	Dt float64
+	// Cells is the leaf count after the step (including refinement).
+	Cells int
+	// LimitedCells counts cells flagged by the limiter.
+	LimitedCells int
+	// Refined counts cells refined by the AMR pass.
+	Refined int
+	// Coarsened counts cells removed by merging in the AMR pass.
+	Coarsened int
+	// MaxSpeed is the largest wave speed observed.
+	MaxSpeed float64
+}
+
+// NewOscillatingLake sets up the paper's sam(oa)^2 scenario: a parabolic
+// bowl with a tilted initial water surface that sloshes back and forth,
+// producing a moving wet/dry front that triggers the limiter and AMR.
+func NewOscillatingLake(cfg Config, uniformDepth int) *Sim {
+	s := &Sim{
+		Mesh: NewMesh(uniformDepth),
+		Cfg:  cfg,
+		Bath: ParabolicBowl{Coef: 2.0},
+	}
+	const (
+		surface = 0.25 // still-water surface elevation
+		tilt    = 0.35 // initial planar tilt of the surface
+	)
+	for _, c := range s.Mesh.Leaves() {
+		x, y := c.Centroid()
+		c.B = s.Bath.Elevation(x, y)
+		eta := surface + tilt*(x-0.5)
+		c.H = math.Max(0, eta-c.B)
+		c.HU, c.HV = 0, 0
+	}
+	return s
+}
+
+// rusanov computes the Rusanov (local Lax-Friedrichs) numerical flux of
+// the 2-D shallow water equations across an edge with unit normal
+// (nx, ny), returning the flux of (h, hu, hv) from left to right.
+func rusanov(g, hL, huL, hvL, hR, huR, hvR, nx, ny float64) (fh, fhu, fhv, speed float64) {
+	flux1D := func(h, hu, hv float64) (f1, f2, f3, un, c float64) {
+		if h <= 0 {
+			return 0, 0, 0, 0, 0
+		}
+		u, v := hu/h, hv/h
+		un = u*nx + v*ny
+		f1 = h * un
+		f2 = hu*un + 0.5*g*h*h*nx
+		f3 = hv*un + 0.5*g*h*h*ny
+		c = math.Sqrt(g * h)
+		return
+	}
+	f1L, f2L, f3L, unL, cL := flux1D(hL, huL, hvL)
+	f1R, f2R, f3R, unR, cR := flux1D(hR, huR, hvR)
+	lambda := math.Max(math.Abs(unL)+cL, math.Abs(unR)+cR)
+	fh = 0.5*(f1L+f1R) - 0.5*lambda*(hR-hL)
+	fhu = 0.5*(f2L+f2R) - 0.5*lambda*(huR-huL)
+	fhv = 0.5*(f3L+f3R) - 0.5*lambda*(hvR-hvL)
+	return fh, fhu, fhv, lambda
+}
+
+// Step advances the simulation by one adaptive time step: flux
+// computation, state update with topography source term, limiter
+// flagging, and AMR refinement of flagged cells.
+func (s *Sim) Step() StepStats {
+	leaves := s.Mesh.Leaves()
+	g := s.Cfg.Gravity
+
+	// Pass 1: find the stable time step from wave speeds and the
+	// smallest incircle diameter.
+	maxSpeed := 0.0
+	minLen := math.Inf(1)
+	for _, c := range leaves {
+		if c.H > s.Cfg.DryTol {
+			sp := math.Hypot(c.HU/c.H, c.HV/c.H) + math.Sqrt(g*c.H)
+			if sp > maxSpeed {
+				maxSpeed = sp
+			}
+		}
+		// Shortest edge length ~ leg of the triangle.
+		ax, ay := c.V[2].XY()
+		bx, by := c.V[0].XY()
+		l := math.Hypot(bx-ax, by-ay)
+		if l < minLen {
+			minLen = l
+		}
+	}
+	dt := 1e-3
+	if maxSpeed > 0 {
+		dt = s.Cfg.CFL * minLen / maxSpeed
+	}
+
+	// Pass 2: accumulate edge fluxes. Visit each edge once via the
+	// incidence map; skip dry-dry edges.
+	type delta struct{ h, hu, hv float64 }
+	acc := make(map[*Cell]*delta, len(leaves))
+	getd := func(c *Cell) *delta {
+		d := acc[c]
+		if d == nil {
+			d = &delta{}
+			acc[c] = d
+		}
+		return d
+	}
+	for e, cells := range s.Mesh.edges {
+		a := cells[0]
+		ax1, ay1 := e.a.XY()
+		bx1, by1 := e.b.XY()
+		ex, ey := bx1-ax1, by1-ay1
+		elen := math.Hypot(ex, ey)
+		if elen == 0 {
+			continue
+		}
+		// Unit normal, oriented from cell a outward.
+		nx, ny := ey/elen, -ex/elen
+		cx, cy := a.Centroid()
+		mx, my := (ax1+bx1)/2, (ay1+by1)/2
+		if (mx-cx)*nx+(my-cy)*ny < 0 {
+			nx, ny = -nx, -ny
+		}
+		var b *Cell
+		if len(cells) == 2 {
+			b = cells[1]
+		}
+		hL, huL, hvL := a.H, a.HU, a.HV
+		var hR, huR, hvR float64
+		if b != nil {
+			hR, huR, hvR = b.H, b.HU, b.HV
+		} else {
+			// Reflective wall: mirror the normal velocity.
+			un := 0.0
+			if hL > 0 {
+				un = (huL*nx + hvL*ny)
+			}
+			hR = hL
+			huR = huL - 2*un*nx
+			hvR = hvL - 2*un*ny
+		}
+		if hL <= s.Cfg.DryTol && hR <= s.Cfg.DryTol {
+			continue
+		}
+		fh, fhu, fhv, _ := rusanov(g, hL, huL, hvL, hR, huR, hvR, nx, ny)
+		da := getd(a)
+		da.h -= fh * elen
+		da.hu -= fhu * elen
+		da.hv -= fhv * elen
+		if b != nil {
+			db := getd(b)
+			db.h += fh * elen
+			db.hu += fhu * elen
+			db.hv += fhv * elen
+		}
+	}
+
+	// Pass 3: update states with the flux divergence and the bathymetry
+	// source term; clamp dry cells.
+	for _, c := range leaves {
+		area := c.Area()
+		if d := acc[c]; d != nil {
+			c.H += dt * d.h / area
+			c.HU += dt * d.hu / area
+			c.HV += dt * d.hv / area
+		}
+		if c.H > s.Cfg.DryTol {
+			x, y := c.Centroid()
+			gbx, gby := s.Bath.Gradient(x, y)
+			c.HU -= dt * g * c.H * gbx
+			c.HV -= dt * g * c.H * gby
+		}
+		if c.H < 0 {
+			c.H = 0
+		}
+		if c.H <= s.Cfg.DryTol {
+			c.HU, c.HV = 0, 0
+		}
+	}
+
+	// Pass 4: a-posteriori limiter — flag cells whose water surface
+	// jumps sharply against a neighbour, or that sit on the wet/dry
+	// front (where the DG scheme would fall back to FV sub-cells).
+	limited := 0
+	for _, c := range leaves {
+		c.Limited = false
+		etaC := c.H + c.B
+		wetC := c.H > s.Cfg.DryTol
+		for _, e := range c.edges() {
+			n := s.Mesh.Neighbor(c, e)
+			if n == nil {
+				continue
+			}
+			wetN := n.H > s.Cfg.DryTol
+			if wetC != wetN {
+				c.Limited = true
+				break
+			}
+			if wetC && math.Abs((n.H+n.B)-etaC) > s.Cfg.LimitThreshold {
+				c.Limited = true
+				break
+			}
+		}
+		if c.Limited {
+			limited++
+		}
+	}
+
+	// Pass 5: AMR — refine flagged cells below the depth cap, then
+	// merge calm cells back toward the floor depth.
+	refined := 0
+	for _, c := range leaves {
+		if c.Limited && c.IsLeaf() && c.Depth < s.Cfg.MaxDepth {
+			before := s.Mesh.NumLeaves()
+			s.Mesh.Refine(c)
+			refined += s.Mesh.NumLeaves() - before
+		}
+	}
+	coarsened := 0
+	if s.Cfg.Coarsen {
+		coarsened = s.Mesh.CoarsenWhere(func(c *Cell) bool {
+			return !c.Limited && c.Depth > s.Cfg.MinDepth
+		})
+	}
+
+	s.Time += dt
+	s.Steps++
+	return StepStats{
+		Dt:           dt,
+		Cells:        s.Mesh.NumLeaves(),
+		LimitedCells: limited,
+		Refined:      refined,
+		Coarsened:    coarsened,
+		MaxSpeed:     maxSpeed,
+	}
+}
+
+// TotalVolume returns the integral of water depth over the domain; it is
+// conserved by the flux scheme (up to dry-cell clamping).
+func (s *Sim) TotalVolume() float64 {
+	total := 0.0
+	for _, c := range s.Mesh.Leaves() {
+		total += c.H * c.Area()
+	}
+	return total
+}
+
+// LinearBeach is a tsunami-style bathymetry: a flat ocean floor rising
+// linearly toward the x = 1 shore from ShoreStart on, with slope Slope.
+type LinearBeach struct {
+	ShoreStart float64
+	Slope      float64
+}
+
+// Elevation implements Bathymetry.
+func (b LinearBeach) Elevation(x, _ float64) float64 {
+	if x <= b.ShoreStart {
+		return 0
+	}
+	return b.Slope * (x - b.ShoreStart)
+}
+
+// Gradient implements Bathymetry.
+func (b LinearBeach) Gradient(x, _ float64) (float64, float64) {
+	if x <= b.ShoreStart {
+		return 0, 0
+	}
+	return b.Slope, 0
+}
+
+// NewTsunami sets up a tsunami run-up scenario: still water over a
+// LinearBeach bathymetry with a Gaussian surface hump offshore that
+// propagates toward the shore, triggering the limiter along the wave
+// front and the wet/dry line at the beach.
+func NewTsunami(cfg Config, uniformDepth int) *Sim {
+	s := &Sim{
+		Mesh: NewMesh(uniformDepth),
+		Cfg:  cfg,
+		Bath: LinearBeach{ShoreStart: 0.55, Slope: 0.8},
+	}
+	const (
+		surface = 0.25 // still-water level
+		amp     = 0.12 // hump amplitude
+		width   = 0.08 // hump radius parameter
+	)
+	for _, c := range s.Mesh.Leaves() {
+		x, y := c.Centroid()
+		c.B = s.Bath.Elevation(x, y)
+		dx, dy := x-0.25, y-0.5
+		eta := surface + amp*math.Exp(-(dx*dx+dy*dy)/(width*width))
+		c.H = math.Max(0, eta-c.B)
+		c.HU, c.HV = 0, 0
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+// Package tabu implements deterministic tabu search over constrained
+// quadratic models. D-Wave's hybrid solvers run a portfolio of classical
+// heuristics (simulated annealing, tabu search, ...) steered by QPU
+// samples; this package provides the tabu member of that portfolio: a
+// steepest-descent search with a recency-based tabu list and aspiration,
+// complementing the stochastic annealer on landscapes where directed
+// descent wins.
+package tabu
+
+import (
+	"math/rand"
+
+	"repro/internal/cqm"
+)
+
+// Options configures a search.
+type Options struct {
+	// Iterations is the number of moves (0 = 50 per variable).
+	Iterations int
+	// Tenure is how many iterations a flipped variable stays tabu
+	// (0 = n/10 + 7).
+	Tenure int
+	// Penalty is the constraint-penalty weight of the evaluator.
+	Penalty float64
+	// Seed randomizes the initial state when Initial is nil.
+	Seed int64
+	// Initial is an optional warm start.
+	Initial []bool
+	// Frozen variables are never flipped.
+	Frozen map[cqm.VarID]bool
+}
+
+// Result mirrors the annealer's result shape.
+type Result struct {
+	// Best is the best assignment found (feasible preferred).
+	Best []bool
+	// BestObjective is the model objective of Best.
+	BestObjective float64
+	// BestFeasible reports whether Best satisfies every constraint.
+	BestFeasible bool
+	// Moves counts executed flips.
+	Moves int64
+}
+
+const feasTol = 1e-6
+
+// Search runs tabu search on m and returns the best assignment found.
+func Search(m *cqm.Model, opt Options) Result {
+	n := m.NumVars()
+	if opt.Iterations <= 0 {
+		opt.Iterations = 50 * max(1, n)
+	}
+	if opt.Tenure <= 0 {
+		opt.Tenure = n/10 + 7
+	}
+	if opt.Penalty <= 0 {
+		opt.Penalty = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	ev := cqm.NewEvaluator(m, opt.Penalty)
+	state := make([]bool, n)
+	if opt.Initial != nil {
+		copy(state, opt.Initial)
+	} else {
+		for i := range state {
+			state[i] = rng.Intn(2) == 0
+		}
+	}
+	for v, val := range opt.Frozen {
+		state[v] = val
+	}
+	ev.Reset(state)
+
+	pool := make([]cqm.VarID, 0, n)
+	for i := 0; i < n; i++ {
+		if _, frozen := opt.Frozen[cqm.VarID(i)]; !frozen {
+			pool = append(pool, cqm.VarID(i))
+		}
+	}
+
+	res := Result{}
+	best := ev.Assignment()
+	bestObj := ev.ObjectiveValue()
+	bestFeas := ev.Feasible(feasTol)
+	bestEnergy := ev.Energy()
+	record := func() {
+		feas := ev.Feasible(feasTol)
+		obj := ev.ObjectiveValue()
+		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
+			bestFeas, bestObj = feas, obj
+			copy(best, ev.Assignment())
+		}
+	}
+	if len(pool) == 0 {
+		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		return res
+	}
+
+	tabuUntil := make([]int, n)
+	for it := 1; it <= opt.Iterations; it++ {
+		// Steepest admissible move: best delta among non-tabu variables;
+		// a tabu move is admitted if it would beat the best energy seen
+		// (aspiration).
+		bestVar := cqm.VarID(-1)
+		bestDelta := 0.0
+		found := false
+		for _, v := range pool {
+			delta := ev.FlipDelta(v)
+			if tabuUntil[v] >= it && ev.Energy()+delta >= bestEnergy-1e-12 {
+				continue
+			}
+			if !found || delta < bestDelta || (delta == bestDelta && rng.Intn(2) == 0) {
+				found = true
+				bestVar, bestDelta = v, delta
+			}
+		}
+		if !found {
+			break // everything tabu and nothing aspirates: stuck
+		}
+		ev.Flip(bestVar)
+		res.Moves++
+		tabuUntil[bestVar] = it + opt.Tenure
+		if e := ev.Energy(); e < bestEnergy {
+			bestEnergy = e
+		}
+		record()
+	}
+	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	return res
+}

@@ -1,0 +1,205 @@
+// Package repro is the public API of qulrb-go, a Go implementation of
+// hybrid classical-quantum load rebalancing for HPC (Zawalska, Chung et
+// al., SC 2024; see README.md and DESIGN.md).
+//
+// The package re-exports the library's stable surface from the internal
+// implementation packages:
+//
+//   - problem modelling: Instance, Plan, Metrics, Evaluate;
+//   - classical rebalancers: Greedy, KK, ProactLB, Baseline (all
+//     implementing Rebalancer);
+//   - the paper's contribution: the QCQM1/QCQM2 formulations, solved via
+//     SolveCQM (annealing-based hybrid solver) or SolveGateBased (QAOA
+//     on a simulated gate-model device);
+//   - the runtime simulator (RunSimulation) for end-to-end makespan
+//     evaluation including migration overhead.
+//
+// A minimal session:
+//
+//	in, _ := repro.UniformInstance(50, []float64{1, 1, 1, 5})
+//	plan, stats, _ := repro.SolveCQM(in, repro.CQMOptions{
+//		Form: repro.QCQM1,
+//		K:    20,
+//		Seed: 1,
+//	})
+//	m := repro.Evaluate(in, plan)
+//	fmt.Println(m.Imbalance, m.Speedup, m.Migrated, stats.Qubits)
+package repro
+
+import (
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+)
+
+// Instance is a uniform-load LRP instance (see internal/lrp).
+type Instance = lrp.Instance
+
+// Plan is a migration plan: X[i][j] tasks end on process i from j.
+type Plan = lrp.Plan
+
+// Metrics carries the paper's evaluation metrics for a plan.
+type Metrics = lrp.Metrics
+
+// Task is one task of the expanded per-task view.
+type Task = lrp.Task
+
+// NewInstance builds an instance from per-process task counts and
+// per-task weights.
+func NewInstance(tasks []int, weights []float64) (*Instance, error) {
+	return lrp.NewInstance(tasks, weights)
+}
+
+// UniformInstance builds an instance with n tasks on every process.
+func UniformInstance(n int, weights []float64) (*Instance, error) {
+	return lrp.UniformInstance(n, weights)
+}
+
+// Evaluate computes the paper's metrics for a plan.
+func Evaluate(in *Instance, p *Plan) Metrics { return lrp.Evaluate(in, p) }
+
+// Rebalancer is the common interface of all rebalancing methods.
+type Rebalancer = balancer.Rebalancer
+
+// Classical baselines (Section III of the paper).
+type (
+	// Greedy is Graham's LPT multiway partitioner.
+	Greedy = balancer.Greedy
+	// KK is the Karmarkar-Karp multiway differencing method.
+	KK = balancer.KK
+	// ProactLB is the proactive rebalancer of Chung et al.
+	ProactLB = balancer.ProactLB
+	// Baseline performs no rebalancing.
+	Baseline = balancer.Baseline
+	// Optimal is the exact branch-and-bound multiway partitioner
+	// (small instances only).
+	Optimal = balancer.Optimal
+)
+
+// ImprovePlan hill-climbs a plan under a migration budget; see
+// balancer.ImprovePlan.
+func ImprovePlan(in *Instance, p *Plan, k int) *Plan {
+	return balancer.ImprovePlan(in, p, k)
+}
+
+// Formulation selects between the paper's CQM variants.
+type Formulation = qlrb.Formulation
+
+// The two CQM formulations of Section IV.
+const (
+	// QCQM1 is the reduced formulation (inequality constraints only).
+	QCQM1 = qlrb.QCQM1
+	// QCQM2 is the full formulation (M equality + M+1 inequality).
+	QCQM2 = qlrb.QCQM2
+)
+
+// CQMOptions configures SolveCQM.
+type CQMOptions struct {
+	// Form selects QCQM1 or QCQM2.
+	Form Formulation
+	// K caps total migrations (< 0 disables the cap).
+	K int
+	// Seed makes the solve reproducible.
+	Seed int64
+	// Reads and Sweeps budget the sampler (0 = library defaults).
+	Reads, Sweeps int
+	// WarmPlans seed the sampler with known plans. When nil, the
+	// classical methods (ProactLB, Greedy) are run first and their
+	// plans used — the paper's protocol. Pass an empty non-nil slice to
+	// force a cold start.
+	WarmPlans []*Plan
+	// PinHeaviest applies the extra QCQM1 qubit reduction (the paper's
+	// (M-1)^2 count; see DESIGN.md).
+	PinHeaviest bool
+	// MigrationWeight adds a soft per-migration objective cost, the
+	// Lagrangian alternative to the hard K cap.
+	MigrationWeight float64
+}
+
+// CQMStats reports a hybrid solve (see qlrb.SolveStats).
+type CQMStats = qlrb.SolveStats
+
+// SolveCQM builds the paper's CQM for the instance and solves it with
+// the annealing-based hybrid solver, returning a feasible migration
+// plan.
+func SolveCQM(in *Instance, opt CQMOptions) (*Plan, CQMStats, error) {
+	h := hybrid.DefaultOptions()
+	h.Seed = opt.Seed
+	if opt.Reads > 0 {
+		h.Reads = opt.Reads
+	}
+	if opt.Sweeps > 0 {
+		h.Sweeps = opt.Sweeps
+	}
+	h.Penalty = 5
+	h.PenaltyGrowth = 4
+	warm := opt.WarmPlans
+	if warm == nil {
+		if p, err := (balancer.ProactLB{}).Rebalance(in); err == nil {
+			warm = append(warm, p)
+		}
+		if p, err := (balancer.Greedy{}).Rebalance(in); err == nil {
+			warm = append(warm, p)
+		}
+	}
+	return qlrb.Solve(in, qlrb.SolveOptions{
+		Build: qlrb.BuildOptions{
+			Form:            opt.Form,
+			K:               opt.K,
+			PinHeaviest:     opt.PinHeaviest,
+			MigrationWeight: opt.MigrationWeight,
+		},
+		Hybrid:    h,
+		WarmPlans: warm,
+	})
+}
+
+// CQMBuildOptions selects formulation and migration cap when building a
+// CQM directly (used by GateOptions).
+type CQMBuildOptions = qlrb.BuildOptions
+
+// GateOptions configures the QAOA path (Section VI extension).
+type GateOptions = qlrb.GateOptions
+
+// GateStats reports a gate-based solve.
+type GateStats = qlrb.GateStats
+
+// SolveGateBased solves a small instance on the simulated gate-model
+// path (CQM -> QUBO -> QAOA).
+func SolveGateBased(in *Instance, opt GateOptions) (*Plan, GateStats, error) {
+	return qlrb.SolveGateBased(in, opt)
+}
+
+// NewQuantumRebalancer wraps a CQM configuration as a Rebalancer so it
+// can be used interchangeably with the classical methods.
+func NewQuantumRebalancer(label string, form Formulation, k int, seed int64) Rebalancer {
+	h := hybrid.DefaultOptions()
+	h.Seed = seed
+	h.Penalty = 5
+	h.PenaltyGrowth = 4
+	return qlrb.NewQuantum(label, form, k, h)
+}
+
+// SimulationConfig shapes the Chameleon-style runtime simulator.
+type SimulationConfig = chameleon.Config
+
+// SimulationResult is one simulated BSP iteration.
+type SimulationResult = chameleon.IterStats
+
+// RunSimulation executes a plan on the runtime simulator and runs one
+// BSP iteration, returning the iteration statistics (makespan includes
+// in-flight migration delays).
+func RunSimulation(cfg SimulationConfig, in *Instance, p *Plan) (SimulationResult, error) {
+	rt, err := chameleon.New(cfg, in)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	if p != nil {
+		if _, err := rt.ApplyPlan(p); err != nil {
+			return SimulationResult{}, err
+		}
+	}
+	return rt.RunIteration(), nil
+}

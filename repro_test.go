@@ -1,0 +1,188 @@
+package repro
+
+import "testing"
+
+func TestPublicAPISolveCQM(t *testing.T) {
+	in, err := UniformInstance(10, []float64{1, 1, 1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proact, err := ProactLB{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, stats, err := SolveCQM(in, CQMOptions{
+		Form:      QCQM1,
+		K:         proact.Migrated(),
+		Seed:      1,
+		Reads:     4,
+		Sweeps:    200,
+		WarmPlans: []*Plan{proact},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(in, plan)
+	if m.Imbalance >= in.Imbalance() {
+		t.Fatalf("no improvement: %v", m.Imbalance)
+	}
+	if stats.Qubits == 0 {
+		t.Fatal("stats empty")
+	}
+}
+
+func TestPublicAPIClassicalMethods(t *testing.T) {
+	in, err := NewInstance([]int{5, 5}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Rebalancer{Greedy{}, KK{}, ProactLB{}, Baseline{}} {
+		plan, err := r.Rebalance(in)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if err := plan.Validate(in); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestPublicAPIQuantumRebalancerInterface(t *testing.T) {
+	in, err := UniformInstance(8, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuantumRebalancer("Q_CQM1", QCQM1, 3, 7)
+	plan, err := q.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() > 3 {
+		t.Fatalf("migrated %d > 3", plan.Migrated())
+	}
+}
+
+func TestPublicAPIGatePath(t *testing.T) {
+	in, err := UniformInstance(8, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, stats, err := SolveGateBased(in, GateOptions{
+		Build: CQMBuildOptions{Form: QCQM1, K: 3},
+		Seed:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Qubits == 0 {
+		t.Fatal("gate stats empty")
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	in, err := UniformInstance(6, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimulationConfig{Workers: 2, LatencyMs: 0.1, PerTaskMs: 0.05}
+	base, err := RunSimulation(cfg, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ProactLB{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := RunSimulation(cfg, in, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.MakespanMs >= base.MakespanMs {
+		t.Fatalf("rebalanced run not faster: %v vs %v", after.MakespanMs, base.MakespanMs)
+	}
+}
+
+func TestPublicAPIOptimalAndImprove(t *testing.T) {
+	in, err := UniformInstance(3, []float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Optimal{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Greedy{}.Rebalance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Evaluate(in, plan).MaxLoad > Evaluate(in, greedy).MaxLoad+1e-9 {
+		t.Fatal("optimal worse than greedy")
+	}
+	improved := ImprovePlan(in, greedy, greedy.Migrated())
+	if improved.Validate(in) != nil {
+		t.Fatal("improved plan invalid")
+	}
+}
+
+func TestPublicAPICQMOptionsVariants(t *testing.T) {
+	in, err := UniformInstance(8, []float64{1, 1, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Soft migration cost without a hard cap.
+	plan, _, err := SolveCQM(in, CQMOptions{
+		Form: QCQM1, K: -1, Seed: 2, Reads: 4, Sweeps: 200,
+		MigrationWeight: 100,
+		WarmPlans:       []*Plan{}, // cold start: test the soft cost alone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, _, err := SolveCQM(in, CQMOptions{Form: QCQM1, K: -1, Seed: 2, Reads: 4, Sweeps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrated() > free.Migrated() && free.Migrated() > 0 {
+		t.Fatalf("soft cost did not restrain migrations: %d vs %d", plan.Migrated(), free.Migrated())
+	}
+	// Pinned reduction still produces valid plans.
+	pinned, stats, err := SolveCQM(in, CQMOptions{Form: QCQM1, K: 6, Seed: 3, Reads: 4, Sweeps: 200, PinHeaviest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pinned.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Qubits != (4-1)*(4-1)*4 { // (M-1)^2 * |C| with n=8 -> |C|=4
+		t.Fatalf("pinned qubits = %d", stats.Qubits)
+	}
+}
+
+func TestPublicAPISimulationErrors(t *testing.T) {
+	in, err := UniformInstance(4, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid machine config.
+	if _, err := RunSimulation(SimulationConfig{Workers: 0}, in, nil); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	// Plan of the wrong dimension.
+	wrong, err := UniformInstance(4, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPlan, err := Baseline{}.Rebalance(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSimulation(SimulationConfig{Workers: 1}, in, badPlan); err == nil {
+		t.Fatal("mismatched plan accepted")
+	}
+}
