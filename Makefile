@@ -1,0 +1,32 @@
+GO ?= go
+
+# Packages whose concurrent paths (portfolio goroutines, shared Stop,
+# SerialProgress, the job client) must stay race-clean.
+RACE_PKGS = ./internal/solve ./internal/hybrid ./internal/sa
+
+.PHONY: check build vet fmt test race bench
+
+# check is the CI gate: vet + formatting + full tests + race detector on
+# the concurrent solver paths.
+check: vet fmt test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/balancer"
@@ -68,7 +69,7 @@ func BenchmarkFig3VaryImbalance(b *testing.B) {
 	var g experiments.GroupResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		g, err = experiments.RunVaryImbalance(cfg)
+		g, err = experiments.RunVaryImbalance(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkTable2Migrations(b *testing.B) {
 	var g experiments.GroupResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		g, err = experiments.RunVaryImbalance(cfg)
+		g, err = experiments.RunVaryImbalance(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkFig4VaryNodes(b *testing.B) {
 	var g experiments.GroupResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		g, err = experiments.RunVaryProcs(cfg, scales)
+		g, err = experiments.RunVaryProcs(context.Background(), cfg, scales)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkTable3Migrations(b *testing.B) {
 	var g experiments.GroupResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		g, err = experiments.RunVaryProcs(cfg, []int{16})
+		g, err = experiments.RunVaryProcs(context.Background(), cfg, []int{16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFig5VaryTasks(b *testing.B) {
 	var g experiments.GroupResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		g, err = experiments.RunVaryTasks(cfg, scales)
+		g, err = experiments.RunVaryTasks(context.Background(), cfg, scales)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkTable4TaskScaling(b *testing.B) {
 	var mig int
 	for i := 0; i < b.N; i++ {
 		c := mxm.VaryTasksCase(2048, mxm.DefaultCostModel(), 2024)
-		plan, err := balancer.Greedy{}.Rebalance(c.Instance)
+		plan, err := balancer.Greedy{}.Rebalance(context.Background(), c.Instance)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func BenchmarkTable5Samoa(b *testing.B) {
 	var cr experiments.CaseResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		cr, err = experiments.RunSamoa(cfg, params)
+		cr, err = experiments.RunSamoa(context.Background(), cfg, params)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +210,7 @@ func BenchmarkAblationQubitReduction(b *testing.B) {
 			var qubits int
 			var imb float64
 			for i := 0; i < b.N; i++ {
-				plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{Build: v.opt, Hybrid: h})
+				plan, stats, err := qlrb.Solve(context.Background(), in, qlrb.SolveOptions{Build: v.opt, Hybrid: h})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -275,7 +276,7 @@ func BenchmarkMigrationOverhead(b *testing.B) {
 		b.Run(m.Name(), func(b *testing.B) {
 			var makespan, comm float64
 			for i := 0; i < b.N; i++ {
-				plan, err := m.Rebalance(in)
+				plan, err := m.Rebalance(context.Background(), in)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -303,7 +304,7 @@ func BenchmarkAblationRelabel(b *testing.B) {
 	in := mxm.VaryProcsCase(16, mxm.DefaultCostModel(), 2024).Instance
 	var before, after int
 	for i := 0; i < b.N; i++ {
-		plan, err := balancer.Greedy{}.Rebalance(in)
+		plan, err := balancer.Greedy{}.Rebalance(context.Background(), in)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -318,14 +319,14 @@ func BenchmarkAblationRelabel(b *testing.B) {
 // future work: the balance-vs-budget frontier on the Imb.3 case.
 func BenchmarkKSweep(b *testing.B) {
 	in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
-	ks, err := experiments.DefaultKGrid(in)
+	ks, err := experiments.DefaultKGrid(context.Background(), in)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := benchConfig()
 	var points []experiments.KSweepPoint
 	for i := 0; i < b.N; i++ {
-		points, err = experiments.RunKSweep(in, qlrb.QCQM1, ks, cfg)
+		points, err = experiments.RunKSweep(context.Background(), in, qlrb.QCQM1, ks, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,7 +344,7 @@ func BenchmarkGateBasedQAOA(b *testing.B) {
 	var plan *lrp.Plan
 	var err error
 	for i := 0; i < b.N; i++ {
-		plan, stats, err = qlrb.SolveGateBased(in, qlrb.GateOptions{
+		plan, stats, err = qlrb.SolveGateBased(context.Background(), in, qlrb.GateOptions{
 			Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: 4},
 			Layers: 2,
 			Seed:   int64(i),
@@ -373,7 +374,7 @@ func BenchmarkDynamicLoop(b *testing.B) {
 		var res dlb.Result
 		var err error
 		for i := 0; i < b.N; i++ {
-			res, err = dlb.Run(workload, balancer.ProactLB{}, cfg)
+			res, err = dlb.Run(context.Background(), workload, balancer.ProactLB{}, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -413,7 +414,7 @@ func BenchmarkVariability(b *testing.B) {
 	var v experiments.Variability
 	var err error
 	for i := 0; i < b.N; i++ {
-		v, err = experiments.MeasureVariability(in, qlrb.QCQM1, 12, 5, cfg)
+		v, err = experiments.MeasureVariability(context.Background(), in, qlrb.QCQM1, 12, 5, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -430,7 +431,7 @@ func BenchmarkAblationFormulations(b *testing.B) {
 	var rows []experiments.FormulationComparison
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.RunFormulationComparison(in, 12, cfg)
+		rows, err = experiments.RunFormulationComparison(context.Background(), in, 12, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -447,7 +448,7 @@ func BenchmarkAblationTuning(b *testing.B) {
 	var points []experiments.TuningPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		points, err = experiments.RunSolverTuning(in, qlrb.QCQM2, 12, cfg)
+		points, err = experiments.RunSolverTuning(context.Background(), in, qlrb.QCQM2, 12, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

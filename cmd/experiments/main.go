@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -92,6 +94,10 @@ func run() error {
 		}
 		return false
 	}
+	// SIGINT cancels the remaining solves cleanly.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	ran := false
 	sink := artifactSink{dir: *outDir}
 	if *outDir != "" {
@@ -108,7 +114,7 @@ func run() error {
 
 	if want("fig3", "table2") {
 		ran = true
-		g, err := experiments.RunVaryImbalance(cfg)
+		g, err := experiments.RunVaryImbalance(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -123,7 +129,7 @@ func run() error {
 
 	if want("fig4", "table3") {
 		ran = true
-		g, err := experiments.RunVaryProcs(cfg, procScales)
+		g, err := experiments.RunVaryProcs(ctx, cfg, procScales)
 		if err != nil {
 			return err
 		}
@@ -138,7 +144,7 @@ func run() error {
 
 	if want("fig5", "table4") {
 		ran = true
-		g, err := experiments.RunVaryTasks(cfg, taskScales)
+		g, err := experiments.RunVaryTasks(ctx, cfg, taskScales)
 		if err != nil {
 			return err
 		}
@@ -157,7 +163,7 @@ func run() error {
 		if *fast {
 			p = experiments.SamoaParams{Procs: 16, TasksPerProc: 64, MeshDepth: 10, WarmupSteps: 8, TargetImbalance: 4.1994}
 		}
-		cr, err := experiments.RunSamoa(cfg, p)
+		cr, err := experiments.RunSamoa(ctx, cfg, p)
 		if err != nil {
 			return err
 		}
@@ -180,11 +186,11 @@ func run() error {
 		// The k parameter study (Section VI future work) on the Imb.3
 		// MxM case.
 		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
-		ks, err := experiments.DefaultKGrid(in)
+		ks, err := experiments.DefaultKGrid(ctx, in)
 		if err != nil {
 			return err
 		}
-		points, err := experiments.RunKSweep(in, qlrb.QCQM1, ks, cfg)
+		points, err := experiments.RunKSweep(ctx, in, qlrb.QCQM1, ks, cfg)
 		if err != nil {
 			return err
 		}
@@ -197,7 +203,7 @@ func run() error {
 		// paper's load-metric evaluation): every method's plan applied
 		// to the Imb.4 case, paying real migration costs.
 		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[4].Instance
-		cr, err := experiments.RunCase("Imb.4", in, cfg)
+		cr, err := experiments.RunCase(ctx, "Imb.4", in, cfg)
 		if err != nil {
 			return err
 		}
@@ -216,14 +222,14 @@ func run() error {
 		// Run-to-run variability of the hybrid methods (Appendix C's
 		// nondeterminism note) on the Imb.3 case.
 		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
-		ks, err := experiments.DefaultKGrid(in)
+		ks, err := experiments.DefaultKGrid(ctx, in)
 		if err != nil {
 			return err
 		}
 		var studies []experiments.Variability
 		for _, form := range []qlrb.Formulation{qlrb.QCQM1, qlrb.QCQM2} {
 			for _, k := range []int{ks[len(ks)/2], ks[len(ks)-1]} {
-				v, err := experiments.MeasureVariability(in, form, k, 5, cfg)
+				v, err := experiments.MeasureVariability(ctx, in, form, k, 5, cfg)
 				if err != nil {
 					return err
 				}
@@ -238,11 +244,11 @@ func run() error {
 		// Design-choice ablation of the hybrid solver pipeline on the
 		// Imb.3 case, full formulation (the harder landscape).
 		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[3].Instance
-		ks, err := experiments.DefaultKGrid(in)
+		ks, err := experiments.DefaultKGrid(ctx, in)
 		if err != nil {
 			return err
 		}
-		points, err := experiments.RunSolverTuning(in, qlrb.QCQM2, ks[len(ks)/2], cfg)
+		points, err := experiments.RunSolverTuning(ctx, in, qlrb.QCQM2, ks[len(ks)/2], cfg)
 		if err != nil {
 			return err
 		}
@@ -255,11 +261,11 @@ func run() error {
 		// Count-encoded vs per-task formulations on one uniform case
 		// (ablation A6: what the paper's encoding buys).
 		in := mxm.VaryImbalanceCases(mxm.DefaultCostModel())[2].Instance
-		ks, err := experiments.DefaultKGrid(in)
+		ks, err := experiments.DefaultKGrid(ctx, in)
 		if err != nil {
 			return err
 		}
-		rows, err := experiments.RunFormulationComparison(in, ks[len(ks)/2], cfg)
+		rows, err := experiments.RunFormulationComparison(ctx, in, ks[len(ks)/2], cfg)
 		if err != nil {
 			return err
 		}
@@ -272,7 +278,7 @@ func run() error {
 		// Imbalance evolution over simulation time (the Figure-1 story
 		// on the live AMR workload): static partition vs periodic
 		// ProactLB rebalancing.
-		points, err := experiments.RunEvolution(experiments.EvolutionParams{
+		points, err := experiments.RunEvolution(ctx, experiments.EvolutionParams{
 			Procs: 8, TasksPerProc: 16, MeshDepth: 9, Steps: 24, RebalanceEvery: 4,
 		}, balancer.ProactLB{})
 		if err != nil {

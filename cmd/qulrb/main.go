@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/balancer"
 	"repro/internal/chameleon"
@@ -65,22 +67,27 @@ func run() error {
 	}
 	fmt.Printf("instance: %s\n", in)
 
+	// SIGINT cancels the solve; iterative methods return their best
+	// partial result or a clean error instead of dying mid-plan.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	var plan *lrp.Plan
 	switch *algo {
 	case "greedy":
-		plan, err = balancer.Greedy{}.Rebalance(in)
+		plan, err = balancer.Greedy{}.Rebalance(ctx, in)
 	case "kk":
-		plan, err = balancer.KK{}.Rebalance(in)
+		plan, err = balancer.KK{}.Rebalance(ctx, in)
 	case "proactlb":
-		plan, err = balancer.ProactLB{}.Rebalance(in)
+		plan, err = balancer.ProactLB{}.Rebalance(ctx, in)
 	case "baseline":
-		plan, err = balancer.Baseline{}.Rebalance(in)
+		plan, err = balancer.Baseline{}.Rebalance(ctx, in)
 	case "general":
 		// The per-task formulation: solves the instance's expanded task
 		// list without the uniform-load assumption (identical result on
 		// uniform inputs; meant for inputs derived from traces).
 		tasks := lrp.ExpandTasks(in)
-		res, gerr := qlrb.SolveGeneral(tasks, qlrb.GeneralBuildOptions{Procs: in.NumProcs(), K: *k},
+		res, gerr := qlrb.SolveGeneral(ctx, tasks, qlrb.GeneralBuildOptions{Procs: in.NumProcs(), K: *k},
 			hybrid.Options{
 				Reads: *reads, Sweeps: *sweeps, Seed: *seed,
 				Presolve: true, Penalty: 5, PenaltyGrowth: 4,
@@ -93,7 +100,7 @@ func run() error {
 		plan, err = lrp.PlanFromAssignment(in, tasks, res.Assign)
 	case "qaoa":
 		var stats qlrb.GateStats
-		plan, stats, err = qlrb.SolveGateBased(in, qlrb.GateOptions{
+		plan, stats, err = qlrb.SolveGateBased(ctx, in, qlrb.GateOptions{
 			Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: *k},
 			Layers: *layers,
 			Seed:   *seed,
@@ -121,15 +128,15 @@ func run() error {
 		// sampler with their plans, as the paper does.
 		var warm []*lrp.Plan
 		if !*cold {
-			if p, err := (balancer.ProactLB{}).Rebalance(in); err == nil {
+			if p, err := (balancer.ProactLB{}).Rebalance(ctx, in); err == nil {
 				warm = append(warm, p)
 			}
-			if p, err := (balancer.Greedy{}).Rebalance(in); err == nil {
+			if p, err := (balancer.Greedy{}).Rebalance(ctx, in); err == nil {
 				warm = append(warm, p)
 			}
 		}
 		var stats qlrb.SolveStats
-		plan, stats, err = qlrb.Solve(in, qlrb.SolveOptions{
+		plan, stats, err = qlrb.Solve(ctx, in, qlrb.SolveOptions{
 			Build: qlrb.BuildOptions{Form: form, K: *k},
 			Hybrid: hybrid.Options{
 				Reads:         *reads,
@@ -146,7 +153,10 @@ func run() error {
 			fmt.Printf("cqm: %d logical qubits, %d constraints (%d eq, %d ineq), sample feasible: %v\n",
 				stats.Qubits, stats.Constraints, stats.EqConstraints, stats.IneqConstraints, stats.SampleFeasible)
 			fmt.Printf("hybrid runtime: CPU %v (simulated, incl. cloud latency), QPU %v\n",
-				stats.Hybrid.SimulatedCPU, stats.Hybrid.SimulatedQPU)
+				stats.Solver.SimulatedCPU, stats.Solver.SimulatedQPU)
+			if stats.Solver.Interrupted {
+				fmt.Println("solve interrupted; best sample collected so far was used")
+			}
 		}
 	default:
 		return fmt.Errorf("unknown -algo %q", *algo)

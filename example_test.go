@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -10,8 +11,8 @@ import (
 // the hybrid CQM solver plan the migrations.
 func ExampleSolveCQM() {
 	in, _ := repro.UniformInstance(10, []float64{1, 1, 1, 6})
-	proact, _ := repro.ProactLB{}.Rebalance(in)
-	plan, stats, _ := repro.SolveCQM(in, repro.CQMOptions{
+	proact, _ := repro.ProactLB{}.Rebalance(context.Background(), in)
+	plan, stats, _ := repro.SolveCQM(context.Background(), in, repro.CQMOptions{
 		Form: repro.QCQM1,
 		K:    proact.Migrated(),
 		Seed: 1,
@@ -32,7 +33,7 @@ func ExampleRebalancer() {
 		repro.NewQuantumRebalancer("Q_CQM1", repro.QCQM1, 4, 7),
 	}
 	for _, method := range methods {
-		plan, _ := method.Rebalance(in)
+		plan, _ := method.Rebalance(context.Background(), in)
 		fmt.Printf("%s ok=%v\n", method.Name(), plan.Validate(in) == nil)
 	}
 	// Output:

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 		balancer.Greedy{},
 		balancer.ProactLB{},
 	} {
-		res, err := dlb.Run(workload, method, cfg)
+		res, err := dlb.Run(context.Background(), workload, method, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	// End to end through the library path.
-	plan, stats, err := qlrb.SolveGateBased(in, qlrb.GateOptions{
+	plan, stats, err := qlrb.SolveGateBased(context.Background(), in, qlrb.GateOptions{
 		Build: qlrb.BuildOptions{Form: qlrb.QCQM1, K: 4}, Layers: 2, Seed: 3,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 		Presolve: true, Penalty: 5, PenaltyGrowth: 4,
 		Timing: hybrid.DefaultTimingModel(),
 	}
-	res, err := qlrb.SolveGeneral(tasks, qlrb.GeneralBuildOptions{Procs: 3, K: 4}, h)
+	res, err := qlrb.SolveGeneral(context.Background(), tasks, qlrb.GeneralBuildOptions{Procs: 3, K: 4}, h)
 	if err != nil {
 		log.Fatal(err)
 	}

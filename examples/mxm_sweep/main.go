@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -34,7 +35,7 @@ func main() {
 	// The paper's experiment group V-B.1 with a reduced solver budget
 	// (this is an example; cmd/experiments runs the full protocol).
 	cfg := experiments.FastConfig()
-	g, err := experiments.RunVaryImbalance(cfg)
+	g, err := experiments.RunVaryImbalance(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,8 @@ func main() {
 	fmt.Printf("baseline: L_max %.2f ms, R_imb %.4f\n\n", in.MaxLoad(), in.Imbalance())
 
 	// Classical: ProactLB moves only the overload excess.
-	proact, err := repro.ProactLB{}.Rebalance(in)
+	ctx := context.Background()
+	proact, err := repro.ProactLB{}.Rebalance(ctx, in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func main() {
 	// Q_CQM1_k1 protocol. SolveCQM seeds the sampler with the classical
 	// plans automatically.
 	k := proact.Migrated()
-	plan, stats, err := repro.SolveCQM(in, repro.CQMOptions{
+	plan, stats, err := repro.SolveCQM(ctx, in, repro.CQMOptions{
 		Form: repro.QCQM1,
 		K:    k,
 		Seed: 42,
@@ -54,7 +56,7 @@ func main() {
 	fmt.Printf("  CQM: %d logical qubits, %d constraints (all inequalities: %v)\n",
 		stats.Qubits, stats.Constraints, stats.EqConstraints == 0)
 	fmt.Printf("  simulated hybrid runtime: CPU %v, QPU %v\n",
-		stats.Hybrid.SimulatedCPU.Round(1e6), stats.Hybrid.SimulatedQPU)
+		stats.Solver.SimulatedCPU.Round(1e6), stats.Solver.SimulatedQPU)
 
 	// Replay both schedules on the runtime simulator: end-to-end
 	// makespan including migration overhead.

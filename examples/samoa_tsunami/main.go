@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,12 +51,13 @@ func main() {
 	fmt.Printf("\nLRP input: %v\n", in)
 
 	// 3. Rebalance with ProactLB and with Q_CQM1 under the k1 budget.
-	proact, err := balancer.ProactLB{}.Rebalance(in)
+	ctx := context.Background()
+	proact, err := balancer.ProactLB{}.Rebalance(ctx, in)
 	if err != nil {
 		log.Fatal(err)
 	}
 	k1 := proact.Migrated()
-	qplan, _, err := qlrb.Solve(in, qlrb.SolveOptions{
+	qplan, _, err := qlrb.Solve(ctx, in, qlrb.SolveOptions{
 		Build: qlrb.BuildOptions{Form: qlrb.QCQM1, K: k1},
 		Hybrid: hybrid.Options{
 			Reads: 8, Sweeps: 500, Seed: 7,

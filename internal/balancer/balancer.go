@@ -14,15 +14,23 @@
 // harness can evaluate classical and quantum methods identically.
 package balancer
 
-import "repro/internal/lrp"
+import (
+	"context"
+
+	"repro/internal/lrp"
+)
 
 // Rebalancer is the common interface of every rebalancing method in this
 // repository (classical here, quantum-hybrid in internal/qlrb).
 type Rebalancer interface {
 	// Name returns the method label used in result tables.
 	Name() string
-	// Rebalance computes a migration plan for the instance.
-	Rebalance(in *lrp.Instance) (*lrp.Plan, error)
+	// Rebalance computes a migration plan for the instance. Cancelling
+	// ctx makes iterative methods stop early: they return either a
+	// feasible (possibly lower-quality) plan or an error — never a plan
+	// that violates the instance's constraints. The cheap one-shot
+	// heuristics ignore ctx.
+	Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error)
 }
 
 // Baseline performs no rebalancing; it reports the uncorrected
@@ -33,7 +41,7 @@ type Baseline struct{}
 func (Baseline) Name() string { return "Baseline" }
 
 // Rebalance returns the identity plan.
-func (Baseline) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+func (Baseline) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
 	return lrp.NewPlan(in), nil
 }
 
@@ -53,11 +61,16 @@ type Refined struct {
 // Name returns "<inner>+LS".
 func (r Refined) Name() string { return r.Inner.Name() + "+LS" }
 
-// Rebalance runs the inner method and polishes its plan.
-func (r Refined) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
-	plan, err := r.Inner.Rebalance(in)
+// Rebalance runs the inner method and polishes its plan. When ctx is
+// cancelled the inner plan is returned unpolished (it is feasible on
+// its own).
+func (r Refined) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
+	plan, err := r.Inner.Rebalance(ctx, in)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		return plan, nil
 	}
 	return ImprovePlan(in, plan, plan.Migrated()+r.Slack), nil
 }

@@ -1,6 +1,7 @@
 package balancer
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func paperStyleInstance(n int, weights ...float64) *lrp.Instance {
 
 func TestBaselineIdentity(t *testing.T) {
 	in := paperStyleInstance(5, 1.87, 1.97, 3.12, 2.81)
-	plan, err := Baseline{}.Rebalance(in)
+	plan, err := Baseline{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestGreedyBalancesPerfectlyDivisibleCase(t *testing.T) {
 	// 2 procs, weights 1 and 3, 4 tasks each: total 16, perfect split 8
 	// exists (proc of 3s splits 2/2, 1s split 2/2: 3+3+1+1 = 8).
 	in := paperStyleInstance(4, 1, 3)
-	plan, err := Greedy{}.Rebalance(in)
+	plan, err := Greedy{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestGreedyMigrationCountShape(t *testing.T) {
 	// nodes x 8 tasks case from Table IV: 56 of 64.
 	weights := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5}
 	in := paperStyleInstance(8, weights...)
-	plan, err := Greedy{}.Rebalance(in)
+	plan, err := Greedy{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestGreedyLPTBound(t *testing.T) {
 		}
 		n := 1 + rng.Intn(20)
 		in := paperStyleInstance(n, weights...)
-		plan, err := Greedy{}.Rebalance(in)
+		plan, err := Greedy{}.Rebalance(context.Background(), in)
 		if err != nil {
 			return false
 		}
@@ -108,7 +109,7 @@ func TestGreedyLPTBound(t *testing.T) {
 
 func TestKKBalancesPerfectlyDivisibleCase(t *testing.T) {
 	in := paperStyleInstance(4, 1, 3)
-	plan, err := KK{}.Rebalance(in)
+	plan, err := KK{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +127,11 @@ func TestKKClassicTwoWayExample(t *testing.T) {
 	// Two-way partition: squeeze into 2 "processes" is not expressible
 	// here (M fixed by instance); use the 6-proc instance and just
 	// check validity + determinism instead.
-	p1, err := KK{}.Rebalance(in)
+	p1, err := KK{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := KK{}.Rebalance(in)
+	p2, err := KK{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestKKComparableToGreedy(t *testing.T) {
 		}
 		n := 4 + rng.Intn(60)
 		in := paperStyleInstance(n, weights...)
-		pg, err := Greedy{}.Rebalance(in)
+		pg, err := Greedy{}.Rebalance(context.Background(), in)
 		if err != nil {
 			return false
 		}
-		pk, err := KK{}.Rebalance(in)
+		pk, err := KK{}.Rebalance(context.Background(), in)
 		if err != nil {
 			return false
 		}
@@ -176,7 +177,7 @@ func TestKKComparableToGreedy(t *testing.T) {
 
 func TestKKEmptyInstance(t *testing.T) {
 	in := lrp.MustInstance([]int{0, 0}, []float64{1, 1})
-	plan, err := KK{}.Rebalance(in)
+	plan, err := KK{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestProactLBMovesOnlyExcess(t *testing.T) {
 	// Loads 10,10,10,50 with w=5 on the hot proc: excess = 50-20 = 30
 	// -> 6 tasks leave, nothing else moves.
 	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
-	plan, err := ProactLB{}.Rebalance(in)
+	plan, err := ProactLB{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestProactLBMovesOnlyExcess(t *testing.T) {
 		t.Fatalf("imbalance not improved: %v >= %v", m.Imbalance, in.Imbalance())
 	}
 	// Far fewer migrations than Greedy (the paper's key contrast).
-	pg, _ := Greedy{}.Rebalance(in)
+	pg, _ := Greedy{}.Rebalance(context.Background(), in)
 	if plan.Migrated() >= pg.Migrated() {
 		t.Fatalf("ProactLB migrated %d >= Greedy %d", plan.Migrated(), pg.Migrated())
 	}
@@ -215,7 +216,7 @@ func TestProactLBBalancedInputNoMigration(t *testing.T) {
 	// Imb.0: a balanced instance must trigger zero migrations (this is
 	// what Figure 3's Imb.0 case assesses).
 	in := paperStyleInstance(50, 2, 2, 2, 2)
-	plan, err := ProactLB{}.Rebalance(in)
+	plan, err := ProactLB{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestProactLBBalancedInputNoMigration(t *testing.T) {
 
 func TestProactLBRespectsK(t *testing.T) {
 	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
-	plan, err := ProactLB{K: 2}.Rebalance(in)
+	plan, err := ProactLB{K: 2}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestProactLBZeroWeightDonor(t *testing.T) {
 	// A process with zero weight but nonzero count cannot donate load;
 	// the algorithm must not divide by zero.
 	in := lrp.MustInstance([]int{5, 5}, []float64{0, 2})
-	plan, err := ProactLB{}.Rebalance(in)
+	plan, err := ProactLB{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestProactLBNeverIncreasesImbalanceProperty(t *testing.T) {
 		}
 		n := 1 + rng.Intn(50)
 		in := paperStyleInstance(n, weights...)
-		plan, err := ProactLB{}.Rebalance(in)
+		plan, err := ProactLB{}.Rebalance(context.Background(), in)
 		if err != nil {
 			return false
 		}
@@ -287,7 +288,7 @@ func TestAllRebalancersProduceValidPlans(t *testing.T) {
 		n := rng.Intn(40)
 		in := paperStyleInstance(n, weights...)
 		for _, method := range methods {
-			plan, err := method.Rebalance(in)
+			plan, err := method.Rebalance(context.Background(), in)
 			if err != nil {
 				return false
 			}
@@ -306,7 +307,7 @@ func TestRelabelReducesGreedyMigrations(t *testing.T) {
 	// On a balanced instance Greedy shuffles labels arbitrarily;
 	// relabeling should recover most tasks without changing loads.
 	in := paperStyleInstance(12, 3, 3, 3, 3)
-	plan, err := Greedy{}.Rebalance(in)
+	plan, err := Greedy{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestRelabelProperty(t *testing.T) {
 			weights[i] = rng.Float64() * 5
 		}
 		in := paperStyleInstance(3+rng.Intn(20), weights...)
-		plan, err := Greedy{}.Rebalance(in)
+		plan, err := Greedy{}.Rebalance(context.Background(), in)
 		if err != nil {
 			return false
 		}

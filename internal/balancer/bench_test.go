@@ -1,6 +1,7 @@
 package balancer
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,7 +25,7 @@ func benchRebalancer(b *testing.B, r Rebalancer) {
 		in := benchInstance(shape.m, shape.n)
 		b.Run(fmt.Sprintf("M%d_n%d", shape.m, shape.n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := r.Rebalance(in); err != nil {
+				if _, err := r.Rebalance(context.Background(), in); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -38,7 +39,7 @@ func BenchmarkProactLB(b *testing.B) { benchRebalancer(b, ProactLB{}) }
 
 func BenchmarkRelabelHungarian(b *testing.B) {
 	in := benchInstance(64, 100)
-	plan, err := Greedy{}.Rebalance(in)
+	plan, err := Greedy{}.Rebalance(context.Background(), in)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package balancer_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/balancer"
@@ -11,7 +12,7 @@ import (
 // tasks and nothing else moves.
 func ExampleProactLB() {
 	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
-	plan, _ := balancer.ProactLB{}.Rebalance(in)
+	plan, _ := balancer.ProactLB{}.Rebalance(context.Background(), in)
 	m := lrp.Evaluate(in, plan)
 	fmt.Printf("migrated=%d\n", m.Migrated)
 	// Output:
@@ -22,7 +23,7 @@ func ExampleProactLB() {
 // but moves far more tasks than ProactLB on the same input.
 func ExampleGreedy() {
 	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
-	plan, _ := balancer.Greedy{}.Rebalance(in)
+	plan, _ := balancer.Greedy{}.Rebalance(context.Background(), in)
 	m := lrp.Evaluate(in, plan)
 	fmt.Printf("imbalance=%.2f migrated>%d\n", m.Imbalance, 20)
 	// Output:

@@ -2,6 +2,7 @@ package balancer
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"repro/internal/lrp"
@@ -40,7 +41,7 @@ func (h binHeap) Peek() bin          { return h[0] }
 func (h *binHeap) Replace(b bin) bin { old := (*h)[0]; (*h)[0] = b; heap.Fix(h, 0); return old }
 
 // Rebalance partitions the expanded task list LPT-style.
-func (Greedy) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+func (Greedy) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
 	tasks := lrp.ExpandTasks(in)
 	order := make([]int, len(tasks))
 	for i := range order {

@@ -2,6 +2,7 @@ package balancer
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"repro/internal/lrp"
@@ -83,7 +84,7 @@ func mergeCounts(a, b []origCount) []origCount {
 // Rebalance runs multiway KK over the expanded task list and converts
 // the final tuple into a migration plan (slot p of the final tuple is
 // assigned to process p).
-func (KK) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+func (KK) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
 	m := in.NumProcs()
 	tasks := lrp.ExpandTasks(in)
 	if len(tasks) == 0 {

@@ -1,6 +1,7 @@
 package balancer
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -39,15 +40,24 @@ type optSearch struct {
 	nodes    int64
 	maxNodes int64
 	overrun  bool
+	ctx      context.Context
+	stopped  bool
 }
 
+// stopEvery is how many node expansions pass between cancellation polls.
+const stopEvery = 4096
+
 func (s *optSearch) dfs(i int, curMax float64) {
-	if s.overrun {
+	if s.overrun || s.stopped {
 		return
 	}
 	s.nodes++
 	if s.nodes > s.maxNodes {
 		s.overrun = true
+		return
+	}
+	if s.nodes%stopEvery == 0 && s.ctx.Err() != nil {
+		s.stopped = true
 		return
 	}
 	if curMax >= s.bestMax {
@@ -104,8 +114,10 @@ func (s *optSearch) dfs(i int, curMax float64) {
 }
 
 // Rebalance computes the optimal multiway partition and returns it as a
-// minimally-relabelled migration plan.
-func (o Optimal) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+// minimally-relabelled migration plan. Cancelling ctx aborts the search
+// with the context's error (the incumbent is only a bound seed, not a
+// usable assignment).
+func (o Optimal) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
 	maxNodes := o.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 20_000_000
@@ -126,15 +138,19 @@ func (o Optimal) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
 		best:     make([]int, len(tasks)),
 		bestMax:  in.TotalLoad() + 1,
 		maxNodes: maxNodes,
+		ctx:      ctx,
 	}
 	for i := len(tasks) - 1; i >= 0; i-- {
 		s.suffix[i] = s.suffix[i+1] + tasks[i].Load
 	}
 	// Seed the incumbent with Greedy so pruning bites immediately.
-	if gp, err := (Greedy{}).Rebalance(in); err == nil {
+	if gp, err := (Greedy{}).Rebalance(ctx, in); err == nil {
 		s.bestMax = lrp.MaxLoad(gp.Loads(in)) + 1e-9
 	}
 	s.dfs(0, 0)
+	if s.stopped {
+		return nil, ctx.Err()
+	}
 	if s.overrun {
 		return nil, ErrBudget
 	}

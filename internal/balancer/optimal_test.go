@@ -1,6 +1,7 @@
 package balancer
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -60,7 +61,7 @@ func TestOptimalMatchesBruteForce(t *testing.T) {
 			return true // keep brute force tractable
 		}
 		in := lrp.MustInstance(tasks, weights)
-		plan, err := Optimal{}.Rebalance(in)
+		plan, err := Optimal{}.Rebalance(context.Background(), in)
 		if err != nil {
 			return false
 		}
@@ -88,12 +89,12 @@ func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		opt, err := Optimal{}.Rebalance(in)
+		opt, err := Optimal{}.Rebalance(context.Background(), in)
 		if err != nil {
 			return false
 		}
 		for _, h := range []Rebalancer{Greedy{}, KK{}} {
-			hp, err := h.Rebalance(in)
+			hp, err := h.Rebalance(context.Background(), in)
 			if err != nil {
 				return false
 			}
@@ -117,7 +118,7 @@ func TestOptimalBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Optimal{MaxNodes: 10}).Rebalance(in); err != ErrBudget {
+	if _, err := (Optimal{MaxNodes: 10}).Rebalance(context.Background(), in); err != ErrBudget {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }
@@ -126,7 +127,7 @@ func TestOptimalRelabelsForFewMigrations(t *testing.T) {
 	// Balanced input: the optimal partition equals the current one, and
 	// relabeling should recognize that with (near) zero migrations.
 	in := lrp.MustInstance([]int{3, 3, 3}, []float64{2, 2, 2})
-	plan, err := Optimal{}.Rebalance(in)
+	plan, err := Optimal{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestImprovePlanReducesHotLoad(t *testing.T) {
 	// ProactLB leaves residual imbalance on coarse instances; the local
 	// search must close some of the gap within the same budget + slack.
 	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
-	base, err := ProactLB{}.Rebalance(in)
+	base, err := ProactLB{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestImprovePlanProperty(t *testing.T) {
 
 func TestRefinedComposition(t *testing.T) {
 	in := lrp.MustInstance([]int{10, 10, 10, 10}, []float64{1, 1, 1, 5})
-	base, err := ProactLB{}.Rebalance(in)
+	base, err := ProactLB{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestRefinedComposition(t *testing.T) {
 	if r.Name() != "ProactLB+LS" {
 		t.Fatalf("name %q", r.Name())
 	}
-	plan, err := r.Rebalance(in)
+	plan, err := r.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package balancer
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/lrp"
@@ -25,7 +26,7 @@ type ProactLB struct {
 func (ProactLB) Name() string { return "ProactLB" }
 
 // Rebalance moves excess tasks from overloaded to underloaded processes.
-func (p ProactLB) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
+func (p ProactLB) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
 	m := in.NumProcs()
 	plan := lrp.NewPlan(in)
 	loads := in.Loads()

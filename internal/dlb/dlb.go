@@ -13,6 +13,7 @@
 package dlb
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/balancer"
@@ -96,12 +97,17 @@ type Result struct {
 // workload: each iteration the method sees the current imbalance input,
 // produces a plan, the plan is executed on the runtime simulator
 // (paying migration costs), and the iteration's makespan is recorded.
-func Run(w Workload, method balancer.Rebalancer, cfg Config) (Result, error) {
+// Cancelling ctx stops the run at the next iteration boundary with the
+// partial result and the context's error.
+func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config) (Result, error) {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 1
 	}
 	var res Result
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		in, err := w.Iteration(it)
 		if err != nil {
 			return res, err
@@ -112,7 +118,7 @@ func Run(w Workload, method balancer.Rebalancer, cfg Config) (Result, error) {
 		}
 		baseStats := base.RunIteration()
 
-		plan, err := method.Rebalance(in)
+		plan, err := method.Rebalance(ctx, in)
 		if err != nil {
 			return res, fmt.Errorf("dlb: iteration %d: %w", it, err)
 		}

@@ -1,6 +1,7 @@
 package dlb
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -71,7 +72,7 @@ func TestDriftingWorkloadRotates(t *testing.T) {
 func TestRunImprovesDriftingWorkload(t *testing.T) {
 	w := DriftingWorkload{Base: testInstance(), Drift: 1}
 	cfg := Config{Runtime: runtimeCfg(), Iterations: 4}
-	res, err := Run(w, balancer.ProactLB{}, cfg)
+	res, err := Run(context.Background(), w, balancer.ProactLB{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRunImprovesDriftingWorkload(t *testing.T) {
 
 func TestRunBaselineMethodIsNeutral(t *testing.T) {
 	w := StaticWorkload{In: testInstance()}
-	res, err := Run(w, balancer.Baseline{}, Config{Runtime: runtimeCfg(), Iterations: 2})
+	res, err := Run(context.Background(), w, balancer.Baseline{}, Config{Runtime: runtimeCfg(), Iterations: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRunBaselineMethodIsNeutral(t *testing.T) {
 }
 
 func TestRunDefaultsToOneIteration(t *testing.T) {
-	res, err := Run(StaticWorkload{In: testInstance()}, balancer.Greedy{}, Config{Runtime: runtimeCfg()})
+	res, err := Run(context.Background(), StaticWorkload{In: testInstance()}, balancer.Greedy{}, Config{Runtime: runtimeCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}

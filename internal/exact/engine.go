@@ -1,0 +1,68 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"repro/internal/cqm"
+	"repro/internal/solve"
+)
+
+// Engine adapts the branch-and-bound solver to the solve.Solver
+// interface. Cancellation and deadlines are polled during node
+// expansion; an interrupted search returns the incumbent with
+// Stats.Interrupted set instead of an error. A search that completes
+// within its budgets sets Stats.Proven.
+type Engine struct {
+	// MaxNodes bounds the search (0 = the package default). Exhausting
+	// it is reported as an interruption, like a deadline.
+	MaxNodes int64
+}
+
+// NewEngine returns an exact engine with the default node budget.
+func NewEngine() *Engine { return &Engine{} }
+
+// Name implements solve.Solver.
+func (e *Engine) Name() string { return "exact" }
+
+// Solve implements solve.Solver.
+func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if m == nil {
+		return nil, errors.New("exact: nil model")
+	}
+	cfg := solve.NewConfig(opts...)
+	stop := cfg.NewStop(ctx)
+	start := cfg.Clock.Now()
+
+	var progress func(nodes int64, best float64, feasible bool)
+	if p := solve.SerialProgress(cfg.Progress); p != nil {
+		progress = func(nodes int64, best float64, feasible bool) {
+			p(solve.Event{Nodes: nodes, BestObjective: best, Feasible: feasible})
+		}
+	}
+	r, err := solveWith(m, e.MaxNodes, stop.Func(), progress)
+	outOfBudget := errors.Is(err, ErrNodeBudget)
+	if err != nil && !outOfBudget {
+		return nil, err
+	}
+
+	res := &solve.Result{
+		Sample:    r.Best,
+		Objective: r.Objective,
+		Feasible:  r.Feasible,
+		Stats: solve.Stats{
+			Wall:        cfg.Clock.Since(start),
+			Nodes:       r.Nodes,
+			Interrupted: r.Interrupted || outOfBudget || stop.Interrupted(),
+		},
+	}
+	res.Stats.Proven = !res.Stats.Interrupted
+	if !r.Feasible && math.IsInf(r.Objective, 1) && r.Best == nil {
+		// No incumbent: return an explicit empty (all-false) assignment
+		// so the sample is still a complete, decodable state.
+		res.Sample = make([]bool, m.NumVars())
+		res.Objective = m.Objective(res.Sample)
+	}
+	return res, nil
+}

@@ -25,6 +25,9 @@ type Result struct {
 	Feasible bool
 	// Nodes counts explored search nodes.
 	Nodes int64
+	// Interrupted reports that the search was cancelled before proving
+	// optimality; Best then holds the incumbent (possibly nil).
+	Interrupted bool
 }
 
 const tol = 1e-9
@@ -45,7 +48,18 @@ type solver struct {
 	found   bool
 	bestObj float64
 	budget  bool // budget exceeded
+
+	// stop is polled every stopEvery node expansions; once it returns
+	// true the search unwinds, keeping the incumbent.
+	stop     func() bool
+	stopped  bool
+	progress func(nodes int64, bestObjective float64, feasible bool)
 }
+
+// stopEvery is how many node expansions pass between stop polls and
+// progress notifications: frequent enough for sub-millisecond reaction,
+// rare enough to stay invisible next to the bound computations.
+const stopEvery = 4096
 
 // consState tracks one directional (<=) constraint half with suffix
 // contribution bounds by depth.
@@ -85,6 +99,12 @@ func buildSuffix(coef []float64) (sufMin, sufMax []float64) {
 // returns ErrNodeBudget if the budget is exhausted before the search
 // completes; the Result then holds the incumbent.
 func Solve(m *cqm.Model, maxNodes int64) (Result, error) {
+	return solveWith(m, maxNodes, nil, nil)
+}
+
+// solveWith is Solve plus the engine layer's cancellation hook and
+// progress callback (see Engine).
+func solveWith(m *cqm.Model, maxNodes int64, stop func() bool, progress func(nodes int64, bestObjective float64, feasible bool)) (Result, error) {
 	if maxNodes <= 0 {
 		maxNodes = 50_000_000
 	}
@@ -95,6 +115,8 @@ func Solve(m *cqm.Model, maxNodes int64) (Result, error) {
 		x:        make([]bool, n),
 		maxNodes: maxNodes,
 		bestObj:  math.Inf(1),
+		stop:     stop,
+		progress: progress,
 	}
 
 	linear, quad, squares, offset := m.ObjectiveParts()
@@ -129,7 +151,7 @@ func Solve(m *cqm.Model, maxNodes int64) (Result, error) {
 
 	s.dfs(0)
 
-	res := Result{Nodes: s.nodes, Objective: s.bestObj, Feasible: s.found, Best: s.best}
+	res := Result{Nodes: s.nodes, Objective: s.bestObj, Feasible: s.found, Best: s.best, Interrupted: s.stopped}
 	if s.found && res.Best == nil {
 		res.Best = []bool{}
 	}
@@ -195,13 +217,22 @@ func (s *solver) feasiblePossible(d int) bool {
 }
 
 func (s *solver) dfs(d int) {
-	if s.budget {
+	if s.budget || s.stopped {
 		return
 	}
 	s.nodes++
 	if s.nodes > s.maxNodes {
 		s.budget = true
 		return
+	}
+	if s.nodes%stopEvery == 0 {
+		if s.progress != nil {
+			s.progress(s.nodes, s.bestObj, s.found)
+		}
+		if s.stop != nil && s.stop() {
+			s.stopped = true
+			return
+		}
 	}
 	if !s.feasiblePossible(d) {
 		return

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/balancer"
@@ -47,7 +48,7 @@ type EvolutionParams struct {
 // imbalance of the section-cost workload over time, applying method
 // periodically. The rebalanced series evaluates each step's true costs
 // under the most recent migration plan.
-func RunEvolution(p EvolutionParams, method balancer.Rebalancer) ([]EvolutionPoint, error) {
+func RunEvolution(ctx context.Context, p EvolutionParams, method balancer.Rebalancer) ([]EvolutionPoint, error) {
 	cfg := samoa.DefaultConfig()
 	cfg.MaxDepth = p.MeshDepth + 2
 	sim := samoa.NewOscillatingLake(cfg, p.MeshDepth)
@@ -64,7 +65,7 @@ func RunEvolution(p EvolutionParams, method balancer.Rebalancer) ([]EvolutionPoi
 		pt := EvolutionPoint{Step: step, Cells: st.Cells, RawImbalance: in.Imbalance()}
 
 		if p.RebalanceEvery > 0 && step%p.RebalanceEvery == 0 {
-			plan, err = method.Rebalance(in)
+			plan, err = method.Rebalance(ctx, in)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: evolution step %d: %w", step, err)
 			}

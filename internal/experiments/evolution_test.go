@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestRunEvolution(t *testing.T) {
 	p := EvolutionParams{Procs: 4, TasksPerProc: 8, MeshDepth: 7, Steps: 12, RebalanceEvery: 3}
-	points, err := RunEvolution(p, balancer.ProactLB{})
+	points, err := RunEvolution(context.Background(), p, balancer.ProactLB{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunEvolution(t *testing.T) {
 
 func TestRunEvolutionNoRebalancing(t *testing.T) {
 	p := EvolutionParams{Procs: 4, TasksPerProc: 8, MeshDepth: 7, Steps: 4, RebalanceEvery: 0}
-	points, err := RunEvolution(p, balancer.ProactLB{})
+	points, err := RunEvolution(context.Background(), p, balancer.ProactLB{})
 	if err != nil {
 		t.Fatal(err)
 	}

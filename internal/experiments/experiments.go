@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -126,13 +127,13 @@ var MethodOrder = []string{
 // timeClassical measures a classical rebalancer, returning the plan and
 // the average runtime over a few repetitions (their runtimes sit near
 // timer resolution).
-func timeClassical(r balancer.Rebalancer, in *lrp.Instance) (*lrp.Plan, float64, error) {
+func timeClassical(ctx context.Context, r balancer.Rebalancer, in *lrp.Instance) (*lrp.Plan, float64, error) {
 	const runs = 3
 	var plan *lrp.Plan
 	var err error
 	start := time.Now()
 	for i := 0; i < runs; i++ {
-		plan, err = r.Rebalance(in)
+		plan, err = r.Rebalance(ctx, in)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -144,11 +145,11 @@ func timeClassical(r balancer.Rebalancer, in *lrp.Instance) (*lrp.Plan, float64,
 // runQuantum runs one hybrid method cfg.Reps times and keeps the best
 // plan (lexicographically smallest (R_imb, migrated)). warm carries the
 // classical plans the paper computes first; they seed the sampler.
-func runQuantum(label string, form qlrb.Formulation, k int, in *lrp.Instance, cfg Config, methodSalt int64, warm []*lrp.Plan) (MethodResult, error) {
+func runQuantum(ctx context.Context, label string, form qlrb.Formulation, k int, in *lrp.Instance, cfg Config, methodSalt int64, warm []*lrp.Plan) (MethodResult, error) {
 	var best MethodResult
 	for rep := 0; rep < max(1, cfg.Reps); rep++ {
 		seed := cfg.Seed*1_000_003 + methodSalt*8191 + int64(rep)
-		plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{
+		plan, stats, err := qlrb.Solve(ctx, in, qlrb.SolveOptions{
 			Build:     qlrb.BuildOptions{Form: form, K: k},
 			Hybrid:    cfg.hybridOptions(seed),
 			WarmPlans: warm,
@@ -160,8 +161,8 @@ func runQuantum(label string, form qlrb.Formulation, k int, in *lrp.Instance, cf
 		res := MethodResult{
 			Method:    label,
 			Metrics:   m,
-			RuntimeMs: float64(stats.Hybrid.SimulatedCPU.Microseconds()) / 1000,
-			QPUMs:     float64(stats.Hybrid.SimulatedQPU.Microseconds()) / 1000,
+			RuntimeMs: float64(stats.Solver.SimulatedCPU.Microseconds()) / 1000,
+			QPUMs:     float64(stats.Solver.SimulatedQPU.Microseconds()) / 1000,
 			Qubits:    stats.Qubits,
 			Plan:      plan,
 		}
@@ -184,22 +185,22 @@ func betterMetrics(a, b lrp.Metrics) bool {
 }
 
 // RunCase applies every method of the paper to one instance.
-func RunCase(name string, in *lrp.Instance, cfg Config) (CaseResult, error) {
+func RunCase(ctx context.Context, name string, in *lrp.Instance, cfg Config) (CaseResult, error) {
 	res := CaseResult{
 		Case:        name,
 		BaselineImb: in.Imbalance(),
 		BaselineMax: in.MaxLoad(),
 	}
 
-	greedyPlan, greedyMs, err := timeClassical(balancer.Greedy{}, in)
+	greedyPlan, greedyMs, err := timeClassical(ctx, balancer.Greedy{}, in)
 	if err != nil {
 		return res, err
 	}
-	kkPlan, kkMs, err := timeClassical(balancer.KK{}, in)
+	kkPlan, kkMs, err := timeClassical(ctx, balancer.KK{}, in)
 	if err != nil {
 		return res, err
 	}
-	proactPlan, proactMs, err := timeClassical(balancer.ProactLB{}, in)
+	proactPlan, proactMs, err := timeClassical(ctx, balancer.ProactLB{}, in)
 	if err != nil {
 		return res, err
 	}
@@ -230,7 +231,7 @@ func RunCase(name string, in *lrp.Instance, cfg Config) (CaseResult, error) {
 		if q.k == res.K2 {
 			warm = []*lrp.Plan{greedyPlan, proactPlan}
 		}
-		mr, err := runQuantum(q.label, q.form, q.k, in, cfg, int64(i+1), warm)
+		mr, err := runQuantum(ctx, q.label, q.form, q.k, in, cfg, int64(i+1), warm)
 		if err != nil {
 			return res, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func smallInstance() *lrp.Instance {
 
 func TestRunCaseShapeAndProtocol(t *testing.T) {
 	cfg := FastConfig()
-	cr, err := RunCase("small", smallInstance(), cfg)
+	cr, err := RunCase(context.Background(), "small", smallInstance(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRunCaseShapeAndProtocol(t *testing.T) {
 }
 
 func TestProactLBMigratesFarLessThanGreedy(t *testing.T) {
-	cr, err := RunCase("contrast", smallInstance(), FastConfig())
+	cr, err := RunCase(context.Background(), "contrast", smallInstance(), FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRunVaryImbalanceGroup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full group run in -short mode")
 	}
-	g, err := RunVaryImbalance(FastConfig())
+	g, err := RunVaryImbalance(context.Background(), FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestRunVaryProcsSmallScales(t *testing.T) {
 	if testing.Short() {
 		t.Skip("group run in -short mode")
 	}
-	g, err := RunVaryProcs(FastConfig(), []int{4, 8})
+	g, err := RunVaryProcs(context.Background(), FastConfig(), []int{4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestRunVaryTasksSmallScales(t *testing.T) {
 	if testing.Short() {
 		t.Skip("group run in -short mode")
 	}
-	g, err := RunVaryTasks(FastConfig(), []int{8, 16})
+	g, err := RunVaryTasks(context.Background(), FastConfig(), []int{8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestSamoaSmall(t *testing.T) {
 	if got := in.Imbalance(); got < 3.9 || got > 4.5 {
 		t.Fatalf("calibrated samoa imbalance = %v, want ~4.2", got)
 	}
-	cr, err := RunCase("samoa-small", in, FastConfig())
+	cr, err := RunCase(context.Background(), "samoa-small", in, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestExportCaseArtifacts(t *testing.T) {
 	in := smallInstance()
-	cr, err := RunCase("Imb.X test", in, FastConfig())
+	cr, err := RunCase(context.Background(), "Imb.X test", in, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

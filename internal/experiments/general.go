@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lrp"
@@ -25,10 +26,10 @@ type FormulationComparison struct {
 
 // RunFormulationComparison solves one uniform instance with Q_CQM1,
 // Q_CQM2 and the general per-task model under the same budget k.
-func RunFormulationComparison(in *lrp.Instance, k int, cfg Config) ([]FormulationComparison, error) {
+func RunFormulationComparison(ctx context.Context, in *lrp.Instance, k int, cfg Config) ([]FormulationComparison, error) {
 	var out []FormulationComparison
 	for _, form := range []qlrb.Formulation{qlrb.QCQM1, qlrb.QCQM2} {
-		mr, err := runQuantum(form.String(), form, k, in, cfg, int64(form)+40, nil)
+		mr, err := runQuantum(ctx, form.String(), form, k, in, cfg, int64(form)+40, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -41,7 +42,7 @@ func RunFormulationComparison(in *lrp.Instance, k int, cfg Config) ([]Formulatio
 	}
 
 	tasks := lrp.ExpandTasks(in)
-	res, err := qlrb.SolveGeneral(tasks, qlrb.GeneralBuildOptions{Procs: in.NumProcs(), K: k},
+	res, err := qlrb.SolveGeneral(ctx, tasks, qlrb.GeneralBuildOptions{Procs: in.NumProcs(), K: k},
 		cfg.hybridOptions(cfg.Seed*101))
 	if err != nil {
 		return nil, err

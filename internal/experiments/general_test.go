@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunFormulationComparison(t *testing.T) {
 	in := smallInstance() // 4 procs x 10 tasks
-	rows, err := RunFormulationComparison(in, 10, FastConfig())
+	rows, err := RunFormulationComparison(context.Background(), in, 10, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lrp"
@@ -19,10 +20,10 @@ type GroupResult struct {
 
 // RunVaryImbalance reproduces group V-B.1 (Figure 3 / Table II): five
 // imbalance levels on 8 processes x 50 tasks.
-func RunVaryImbalance(cfg Config) (GroupResult, error) {
+func RunVaryImbalance(ctx context.Context, cfg Config) (GroupResult, error) {
 	g := GroupResult{Name: "vary imbalance"}
 	for _, c := range mxm.VaryImbalanceCases(mxm.DefaultCostModel()) {
-		cr, err := RunCase(c.Name, c.Instance, cfg)
+		cr, err := RunCase(ctx, c.Name, c.Instance, cfg)
 		if err != nil {
 			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
 		}
@@ -33,11 +34,11 @@ func RunVaryImbalance(cfg Config) (GroupResult, error) {
 
 // RunVaryProcs reproduces group V-B.2 (Figure 4 / Table III) for the
 // given node counts (mxm.ProcScales() for the paper's full sweep).
-func RunVaryProcs(cfg Config, scales []int) (GroupResult, error) {
+func RunVaryProcs(ctx context.Context, cfg Config, scales []int) (GroupResult, error) {
 	g := GroupResult{Name: "vary processes"}
 	for i, procs := range scales {
 		c := mxm.VaryProcsCase(procs, mxm.DefaultCostModel(), cfg.Seed+int64(i))
-		cr, err := RunCase(c.Name, c.Instance, cfg)
+		cr, err := RunCase(ctx, c.Name, c.Instance, cfg)
 		if err != nil {
 			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
 		}
@@ -48,11 +49,11 @@ func RunVaryProcs(cfg Config, scales []int) (GroupResult, error) {
 
 // RunVaryTasks reproduces group V-B.3 (Figure 5 / Table IV) for the
 // given tasks-per-node counts (mxm.TaskScales() for the full sweep).
-func RunVaryTasks(cfg Config, scales []int) (GroupResult, error) {
+func RunVaryTasks(ctx context.Context, cfg Config, scales []int) (GroupResult, error) {
 	g := GroupResult{Name: "vary tasks"}
 	for i, n := range scales {
 		c := mxm.VaryTasksCase(n, mxm.DefaultCostModel(), cfg.Seed+int64(i))
-		cr, err := RunCase(c.Name, c.Instance, cfg)
+		cr, err := RunCase(ctx, c.Name, c.Instance, cfg)
 		if err != nil {
 			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
 		}
@@ -108,10 +109,10 @@ func SamoaInput(p SamoaParams) (*lrp.Instance, error) {
 }
 
 // RunSamoa reproduces the realistic use case (Table V).
-func RunSamoa(cfg Config, p SamoaParams) (CaseResult, error) {
+func RunSamoa(ctx context.Context, cfg Config, p SamoaParams) (CaseResult, error) {
 	in, err := SamoaInput(p)
 	if err != nil {
 		return CaseResult{}, fmt.Errorf("experiments: samoa input: %w", err)
 	}
-	return RunCase("sam(oa)2 oscillating lake", in, cfg)
+	return RunCase(ctx, "sam(oa)2 oscillating lake", in, cfg)
 }

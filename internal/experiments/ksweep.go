@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,12 +27,12 @@ type KSweepPoint struct {
 // DefaultKGrid derives a k grid from the classical reference points:
 // 0, k1/2, k1, 2k1, k2/2, k2 (deduplicated and sorted), where k1 and k2
 // follow the paper's protocol.
-func DefaultKGrid(in *lrp.Instance) ([]int, error) {
-	proact, err := balancer.ProactLB{}.Rebalance(in)
+func DefaultKGrid(ctx context.Context, in *lrp.Instance) ([]int, error) {
+	proact, err := balancer.ProactLB{}.Rebalance(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := balancer.Greedy{}.Rebalance(in)
+	greedy, err := balancer.Greedy{}.Rebalance(ctx, in)
 	if err != nil {
 		return nil, err
 	}
@@ -51,12 +52,12 @@ func DefaultKGrid(in *lrp.Instance) ([]int, error) {
 // RunKSweep solves the instance at every budget in ks with the given
 // formulation, seeding the sampler with classical plans as in the main
 // experiments.
-func RunKSweep(in *lrp.Instance, form qlrb.Formulation, ks []int, cfg Config) ([]KSweepPoint, error) {
-	proact, err := balancer.ProactLB{}.Rebalance(in)
+func RunKSweep(ctx context.Context, in *lrp.Instance, form qlrb.Formulation, ks []int, cfg Config) ([]KSweepPoint, error) {
+	proact, err := balancer.ProactLB{}.Rebalance(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := balancer.Greedy{}.Rebalance(in)
+	greedy, err := balancer.Greedy{}.Rebalance(ctx, in)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +72,7 @@ func RunKSweep(in *lrp.Instance, form qlrb.Formulation, ks []int, cfg Config) ([
 		var best KSweepPoint
 		for rep := 0; rep < max(1, cfg.Reps); rep++ {
 			seed := cfg.Seed*99_991 + int64(i)*257 + int64(rep)
-			plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{
+			plan, stats, err := qlrb.Solve(ctx, in, qlrb.SolveOptions{
 				Build:     qlrb.BuildOptions{Form: form, K: k},
 				Hybrid:    cfg.hybridOptions(seed),
 				WarmPlans: warm,

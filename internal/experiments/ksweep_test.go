@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestDefaultKGrid(t *testing.T) {
 	in := smallInstance()
-	ks, err := DefaultKGrid(in)
+	ks, err := DefaultKGrid(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +30,11 @@ func TestDefaultKGrid(t *testing.T) {
 
 func TestRunKSweepMonotonicity(t *testing.T) {
 	in := smallInstance()
-	ks, err := DefaultKGrid(in)
+	ks, err := DefaultKGrid(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := RunKSweep(in, qlrb.QCQM1, ks, FastConfig())
+	points, err := RunKSweep(context.Background(), in, qlrb.QCQM1, ks, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

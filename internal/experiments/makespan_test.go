@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestRunMakespanExecutesAllMethods(t *testing.T) {
 	in := smallInstance()
-	cr, err := RunCase("exec", in, FastConfig())
+	cr, err := RunCase(context.Background(), "exec", in, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestArtifactPipelineEndToEnd(t *testing.T) {
 	}
 
 	// 4. Rebalance and write output_lrp/.
-	plan, err := balancer.ProactLB{}.Rebalance(inBack)
+	plan, err := balancer.ProactLB{}.Rebalance(context.Background(), inBack)
 	if err != nil {
 		t.Fatal(err)
 	}

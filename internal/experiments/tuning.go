@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,12 +30,12 @@ type TuningPoint struct {
 // configurations that each toggle one design choice of the hybrid
 // pipeline: warm starts, pair moves, penalty schedule, tempering, and
 // tabu augmentation.
-func RunSolverTuning(in *lrp.Instance, form qlrb.Formulation, k int, cfg Config) ([]TuningPoint, error) {
-	proact, err := balancer.ProactLB{}.Rebalance(in)
+func RunSolverTuning(ctx context.Context, in *lrp.Instance, form qlrb.Formulation, k int, cfg Config) ([]TuningPoint, error) {
+	proact, err := balancer.ProactLB{}.Rebalance(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := balancer.Greedy{}.Rebalance(in)
+	greedy, err := balancer.Greedy{}.Rebalance(ctx, in)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +71,7 @@ func RunSolverTuning(in *lrp.Instance, form qlrb.Formulation, k int, cfg Config)
 			opts.WarmPlans = warm
 		}
 		start := time.Now()
-		plan, stats, err := qlrb.Solve(in, opts)
+		plan, stats, err := qlrb.Solve(ctx, in, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: tuning %s: %w", v.label, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestRunSolverTuning(t *testing.T) {
 	in := smallInstance()
-	points, err := RunSolverTuning(in, qlrb.QCQM2, 12, FastConfig())
+	points, err := RunSolverTuning(context.Background(), in, qlrb.QCQM2, 12, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,15 +31,15 @@ type Variability struct {
 
 // MeasureVariability solves the instance runs times with different seeds
 // and reports the distribution of outcomes.
-func MeasureVariability(in *lrp.Instance, form qlrb.Formulation, k int, runs int, cfg Config) (Variability, error) {
+func MeasureVariability(ctx context.Context, in *lrp.Instance, form qlrb.Formulation, k int, runs int, cfg Config) (Variability, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	proact, err := balancer.ProactLB{}.Rebalance(in)
+	proact, err := balancer.ProactLB{}.Rebalance(ctx, in)
 	if err != nil {
 		return Variability{}, err
 	}
-	greedy, err := balancer.Greedy{}.Rebalance(in)
+	greedy, err := balancer.Greedy{}.Rebalance(ctx, in)
 	if err != nil {
 		return Variability{}, err
 	}
@@ -51,7 +52,7 @@ func MeasureVariability(in *lrp.Instance, form qlrb.Formulation, k int, runs int
 	imbs := make([]float64, 0, runs)
 	migs := make([]int, 0, runs)
 	for r := 0; r < runs; r++ {
-		plan, stats, err := qlrb.Solve(in, qlrb.SolveOptions{
+		plan, stats, err := qlrb.Solve(ctx, in, qlrb.SolveOptions{
 			Build:     qlrb.BuildOptions{Form: form, K: k},
 			Hybrid:    cfg.hybridOptions(cfg.Seed*7919 + int64(r)),
 			WarmPlans: []*lrp.Plan{proact, greedy},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestMeasureVariability(t *testing.T) {
 	in := smallInstance()
-	v, err := MeasureVariability(in, qlrb.QCQM1, 12, 5, FastConfig())
+	v, err := MeasureVariability(context.Background(), in, qlrb.QCQM1, 12, 5, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestMeasureVariability(t *testing.T) {
 }
 
 func TestMeasureVariabilityClampsRuns(t *testing.T) {
-	v, err := MeasureVariability(smallInstance(), qlrb.QCQM2, 5, 0, FastConfig())
+	v, err := MeasureVariability(context.Background(), smallInstance(), qlrb.QCQM2, 5, 0, FastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRunSamoaSmallMachine(t *testing.T) {
 	if testing.Short() {
 		t.Skip("samoa case in -short mode")
 	}
-	cr, err := RunSamoa(FastConfig(), SamoaParams{
+	cr, err := RunSamoa(context.Background(), FastConfig(), SamoaParams{
 		Procs: 4, TasksPerProc: 8, MeshDepth: 6, WarmupSteps: 4, TargetImbalance: 2,
 	})
 	if err != nil {

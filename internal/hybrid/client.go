@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/cqm"
+	"repro/internal/solve"
 )
 
 // Client is an asynchronous job interface mimicking a cloud hybrid-solver
@@ -63,7 +64,8 @@ type job struct {
 	id     JobID
 	model  *cqm.Model
 	seed   int64
-	result Result
+	result *solve.Result
+	err    error
 	ready  chan struct{}
 
 	mu     sync.Mutex
@@ -125,9 +127,7 @@ func (c *Client) dispatch() {
 		if !j.setStatus(Running) {
 			continue // cancelled while queued
 		}
-		o := c.opts
-		o.Seed = j.seed
-		j.result = Solve(j.model, o)
+		j.result, j.err = New(c.opts).Solve(context.Background(), j.model, solve.WithSeed(j.seed))
 		j.setStatus(Done)
 		close(j.ready)
 	}
@@ -154,12 +154,12 @@ func (c *Client) Submit(m *cqm.Model) (JobID, error) {
 }
 
 // Wait blocks until the job completes or ctx is cancelled.
-func (c *Client) Wait(ctx context.Context, id JobID) (Result, error) {
+func (c *Client) Wait(ctx context.Context, id JobID) (*solve.Result, error) {
 	c.mu.Lock()
 	j, ok := c.jobs[id]
 	c.mu.Unlock()
 	if !ok {
-		return Result{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
 	select {
 	case <-j.ready:
@@ -167,11 +167,11 @@ func (c *Client) Wait(ctx context.Context, id JobID) (Result, error) {
 		st := j.status
 		j.mu.Unlock()
 		if st == Cancelled {
-			return Result{}, fmt.Errorf("%w: %d", ErrCancelled, id)
+			return nil, fmt.Errorf("%w: %d", ErrCancelled, id)
 		}
-		return j.result, nil
+		return j.result, j.err
 	case <-ctx.Done():
-		return Result{}, ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 

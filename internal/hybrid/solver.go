@@ -9,7 +9,8 @@
 //
 //  1. classical presolve (bound-based variable fixing),
 //  2. a portfolio of annealing trajectories (multi-restart or parallel
-//     tempering) run concurrently on a goroutine pool,
+//     tempering) run concurrently on a goroutine pool, optionally
+//     joined by deterministic tabu trajectories,
 //  3. feasibility filtering and best-feasible selection.
 //
 // A timing model accounts simulated cloud latency and QPU access time so
@@ -18,10 +19,12 @@
 package hybrid
 
 import (
-	"time"
+	"context"
+	"errors"
 
 	"repro/internal/cqm"
 	"repro/internal/sa"
+	"repro/internal/solve"
 	"repro/internal/tabu"
 )
 
@@ -54,9 +57,6 @@ type Options struct {
 	Initial []bool
 	// Initials are additional warm starts distributed across reads.
 	Initials [][]bool
-	// Cancel, when non-nil, aborts sampling at the next sweep boundary
-	// of each read; partial results are still collected.
-	Cancel <-chan struct{}
 	// Pairs and PairProb enable equality-preserving pair moves in the
 	// sampler (see sa.Options).
 	Pairs    [][2]cqm.VarID
@@ -78,39 +78,50 @@ func DefaultOptions() Options {
 	}
 }
 
-// Stats describes the work performed by a hybrid solve.
-type Stats struct {
-	// WallTime is the real time spent in the classical sampling engine.
-	WallTime time.Duration
-	// SimulatedCPU is what the paper's "CPU" runtime column reports:
-	// real solver time plus simulated cloud submission latency.
-	SimulatedCPU time.Duration
-	// SimulatedQPU is the simulated quantum-processor access time (the
-	// paper's "QPU" column, ~32 ms per call in Table V).
-	SimulatedQPU time.Duration
-	// Reads is the number of annealing trajectories executed.
-	Reads int
-	// PresolveFixed counts variables fixed by the classical presolve.
-	PresolveFixed int
-	// FeasibleReads counts reads whose best sample was feasible.
-	FeasibleReads int
-	// Flips counts total proposed moves across reads.
-	Flips int64
+// Engine runs the hybrid workflow behind the solve.Solver interface.
+// Cancellation and deadlines stop every portfolio member at its next
+// sweep (or tabu iteration) boundary and skip members not yet started;
+// the best sample collected so far is still selected and returned with
+// Stats.Interrupted set — an interrupted solve never returns an error.
+type Engine struct {
+	// Base holds the problem-independent configuration. Seed, Reads,
+	// Sweeps and Workers act as defaults that the per-solve options
+	// (solve.WithSeed etc.) override.
+	Base Options
 }
 
-// Result is a hybrid solve outcome.
-type Result struct {
-	// Sample is the best assignment found (feasible when Feasible).
-	Sample []bool
-	// Objective is the CQM objective of Sample.
-	Objective float64
-	// Feasible reports whether Sample satisfies every constraint.
-	Feasible bool
-	Stats    Stats
-}
+// New returns an engine with the given base configuration; zero fields
+// fall back to DefaultOptions at solve time.
+func New(opt Options) *Engine { return &Engine{Base: opt} }
 
-// Solve runs the hybrid workflow on m.
-func Solve(m *cqm.Model, opt Options) Result {
+// NewEngine returns an engine with the library defaults.
+func NewEngine() *Engine { return New(DefaultOptions()) }
+
+// Name implements solve.Solver.
+func (e *Engine) Name() string { return "hybrid" }
+
+// Solve implements solve.Solver.
+func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if m == nil {
+		return nil, errors.New("hybrid: nil model")
+	}
+	cfg := solve.NewConfig(opts...)
+	stop := cfg.NewStop(ctx)
+	start := cfg.Clock.Now()
+
+	opt := e.Base
+	if cfg.HasSeed {
+		opt.Seed = cfg.Seed
+	}
+	if cfg.Reads > 0 {
+		opt.Reads = cfg.Reads
+	}
+	if cfg.Sweeps > 0 {
+		opt.Sweeps = cfg.Sweeps
+	}
+	if cfg.Workers > 0 {
+		opt.Workers = cfg.Workers
+	}
 	if opt.Reads <= 0 {
 		opt.Reads = DefaultOptions().Reads
 	}
@@ -120,7 +131,7 @@ func Solve(m *cqm.Model, opt Options) Result {
 	if opt.Penalty <= 0 {
 		opt.Penalty = 1
 	}
-	start := time.Now()
+	progress := solve.SerialProgress(cfg.Progress)
 
 	var frozen map[cqm.VarID]bool
 	if opt.Presolve {
@@ -141,36 +152,55 @@ func Solve(m *cqm.Model, opt Options) Result {
 		Initial:       opt.Initial,
 		Pairs:         opt.Pairs,
 		PairProb:      opt.PairProb,
-		Cancel:        opt.Cancel,
+		Stop:          stop.Func(),
 	}
 
 	var best sa.Result
 	var all []sa.Result
 	if opt.Tempering {
-		best = sa.ParallelTempering(m, sa.PTOptions{Base: base, Replicas: maxInt(2, opt.Reads)})
+		if progress != nil {
+			base.Progress = func(sweep int, bestObj float64, feas bool) {
+				progress(solve.Event{Sweep: sweep, BestObjective: bestObj, Feasible: feas})
+			}
+		}
+		best = sa.ParallelTempering(m, sa.PTOptions{Base: base, Replicas: max(2, opt.Reads)})
 		all = []sa.Result{best}
 	} else {
-		best, all = sa.Portfolio(m, sa.PortfolioOptions{
+		popt := sa.PortfolioOptions{
 			Base:     base,
 			Restarts: opt.Reads,
 			Workers:  opt.Workers,
 			Initials: opt.Initials,
-		})
+		}
+		if progress != nil {
+			popt.Progress = func(restart, sweep int, bestObj float64, feas bool) {
+				progress(solve.Event{Restart: restart, Sweep: sweep, BestObjective: bestObj, Feasible: feas})
+			}
+		}
+		best, all = sa.Portfolio(m, popt)
 	}
 	// Tabu members of the portfolio: one per TabuRead, alternating
-	// between the provided warm starts and random initial states.
+	// between the provided warm starts and random initial states. Reads
+	// not yet started when the solve is interrupted are skipped.
 	initials := opt.Initials
 	if opt.Initial != nil {
 		initials = append(append([][]bool(nil), initials...), opt.Initial)
 	}
-	for r := 0; r < opt.TabuReads; r++ {
+	for r := 0; r < opt.TabuReads && !stop.Stopped(); r++ {
 		topt := tabu.Options{
 			Penalty: opt.Penalty * 16, // final-scale penalties: tabu has no growth phase
 			Seed:    opt.Seed*524_287 + int64(r),
 			Frozen:  frozen,
+			Stop:    stop.Func(),
 		}
 		if len(initials) > 0 && r%2 == 0 {
 			topt.Initial = initials[(r/2)%len(initials)]
+		}
+		if progress != nil {
+			restart := opt.Reads + r
+			topt.Progress = func(iter int, bestObj float64, feas bool) {
+				progress(solve.Event{Restart: restart, Sweep: iter, BestObjective: bestObj, Feasible: feas})
+			}
 		}
 		tr := tabu.Search(m, topt)
 		conv := sa.Result{Best: tr.Best, BestObjective: tr.BestObjective, BestFeasible: tr.BestFeasible, Flips: tr.Moves}
@@ -179,32 +209,28 @@ func Solve(m *cqm.Model, opt Options) Result {
 			best = conv
 		}
 	}
-	wall := time.Since(start)
+	wall := cfg.Clock.Since(start)
 
-	stats := Stats{
-		WallTime:      wall,
-		SimulatedCPU:  wall + opt.Timing.CloudOverhead(),
-		SimulatedQPU:  opt.Timing.QPUAccess,
-		Reads:         len(all),
-		PresolveFixed: len(frozen),
-	}
-	for _, r := range all {
-		stats.Flips += r.Flips
-		if r.BestFeasible {
-			stats.FeasibleReads++
-		}
-	}
-	return Result{
+	res := &solve.Result{
 		Sample:    best.Best,
 		Objective: best.BestObjective,
 		Feasible:  best.BestFeasible,
-		Stats:     stats,
+		Stats: solve.Stats{
+			Wall:          wall,
+			SimulatedCPU:  wall + opt.Timing.CloudOverhead(),
+			SimulatedQPU:  opt.Timing.QPUAccess,
+			Reads:         len(all),
+			PresolveFixed: len(frozen),
+			Interrupted:   stop.Interrupted(),
+		},
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+	for _, r := range all {
+		res.Stats.Sweeps += r.Sweeps
+		res.Stats.Flips += r.Flips
+		res.Stats.Accepted += r.Accepted
+		if r.BestFeasible {
+			res.Stats.FeasibleReads++
+		}
 	}
-	return b
+	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cqm"
 	"repro/internal/exact"
+	"repro/internal/solve"
 )
 
 // knapsackModel builds a small constrained model: maximize value (minimize
@@ -24,6 +25,17 @@ func knapsackModel(values []float64, cap int) *cqm.Model {
 	return m
 }
 
+// mustSolve runs the engine with the given options, failing the test on
+// error. It keeps the table-style tests below compact.
+func mustSolve(t *testing.T, m *cqm.Model, opt Options) *solve.Result {
+	t.Helper()
+	res, err := New(opt).Solve(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestSolveMatchesExactOnSmallModels(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		m := knapsackModel([]float64{9, 7, 5, 4, 3, 2, 1}, 3)
@@ -31,7 +43,7 @@ func TestSolveMatchesExactOnSmallModels(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := Solve(m, Options{Reads: 6, Sweeps: 300, Seed: seed, Presolve: true, Penalty: 2, PenaltyGrowth: 4})
+		got := mustSolve(t, m, Options{Reads: 6, Sweeps: 300, Seed: seed, Presolve: true, Penalty: 2, PenaltyGrowth: 4})
 		if !got.Feasible {
 			t.Fatalf("seed %d: hybrid found no feasible sample", seed)
 		}
@@ -43,7 +55,7 @@ func TestSolveMatchesExactOnSmallModels(t *testing.T) {
 
 func TestSolveStatsPopulated(t *testing.T) {
 	m := knapsackModel([]float64{3, 2, 1}, 2)
-	res := Solve(m, Options{Reads: 4, Sweeps: 100, Seed: 1, Timing: DefaultTimingModel()})
+	res := mustSolve(t, m, Options{Reads: 4, Sweeps: 100, Seed: 1, Timing: DefaultTimingModel()})
 	s := res.Stats
 	if s.Reads != 4 {
 		t.Errorf("Reads = %d, want 4", s.Reads)
@@ -57,8 +69,8 @@ func TestSolveStatsPopulated(t *testing.T) {
 	if s.SimulatedCPU < 5*time.Second {
 		t.Errorf("SimulatedCPU = %v, want >= hybrid floor", s.SimulatedCPU)
 	}
-	if s.WallTime <= 0 || s.WallTime > time.Minute {
-		t.Errorf("WallTime = %v", s.WallTime)
+	if s.Wall <= 0 || s.Wall > time.Minute {
+		t.Errorf("Wall = %v", s.Wall)
 	}
 	if s.FeasibleReads == 0 {
 		t.Error("no feasible reads on a trivial model")
@@ -74,7 +86,7 @@ func TestSolvePresolveShrinksSearch(t *testing.T) {
 	m.AddObjectiveLinear(c, -1)
 	m.AddConstraint("a0", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Le, 0)
 	m.AddConstraint("b1", cqm.LinExpr{Terms: []cqm.Term{{Var: b, Coef: 1}}}, cqm.Ge, 1)
-	res := Solve(m, Options{Reads: 2, Sweeps: 50, Seed: 1, Presolve: true})
+	res := mustSolve(t, m, Options{Reads: 2, Sweeps: 50, Seed: 1, Presolve: true})
 	if res.Stats.PresolveFixed != 2 {
 		t.Errorf("PresolveFixed = %d, want 2", res.Stats.PresolveFixed)
 	}
@@ -85,7 +97,7 @@ func TestSolvePresolveShrinksSearch(t *testing.T) {
 
 func TestSolveTemperingPath(t *testing.T) {
 	m := knapsackModel([]float64{8, 6, 4, 2, 1}, 2)
-	res := Solve(m, Options{Reads: 4, Sweeps: 200, Seed: 3, Tempering: true, Penalty: 2, PenaltyGrowth: 4})
+	res := mustSolve(t, m, Options{Reads: 4, Sweeps: 200, Seed: 3, Tempering: true, Penalty: 2, PenaltyGrowth: 4})
 	if !res.Feasible {
 		t.Fatal("tempering found no feasible sample")
 	}
@@ -96,8 +108,8 @@ func TestSolveTemperingPath(t *testing.T) {
 
 func TestSolveDeterministicPerSeed(t *testing.T) {
 	m := knapsackModel([]float64{5, 4, 3, 2, 1}, 2)
-	a := Solve(m, Options{Reads: 3, Sweeps: 80, Seed: 7})
-	b := Solve(m, Options{Reads: 3, Sweeps: 80, Seed: 7})
+	a := mustSolve(t, m, Options{Reads: 3, Sweeps: 80, Seed: 7})
+	b := mustSolve(t, m, Options{Reads: 3, Sweeps: 80, Seed: 7})
 	if a.Objective != b.Objective || a.Feasible != b.Feasible {
 		t.Fatalf("nondeterministic: %v vs %v", a.Objective, b.Objective)
 	}
@@ -108,7 +120,7 @@ func TestSolveReportsInfeasibleModel(t *testing.T) {
 	a := m.AddBinary("a")
 	m.AddConstraint("lo", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Ge, 1)
 	m.AddConstraint("hi", cqm.LinExpr{Terms: []cqm.Term{{Var: a, Coef: 1}}}, cqm.Le, 0)
-	res := Solve(m, Options{Reads: 2, Sweeps: 30, Seed: 1, Presolve: true})
+	res := mustSolve(t, m, Options{Reads: 2, Sweeps: 30, Seed: 1, Presolve: true})
 	if res.Feasible {
 		t.Fatal("infeasible model reported feasible")
 	}
@@ -178,7 +190,7 @@ func TestTimingModelOverhead(t *testing.T) {
 
 func TestSolveWithTabuReads(t *testing.T) {
 	m := knapsackModel([]float64{9, 7, 5, 4, 3, 2, 1}, 3)
-	res := Solve(m, Options{Reads: 2, TabuReads: 3, Sweeps: 100, Seed: 4, Presolve: true, Penalty: 2, PenaltyGrowth: 4})
+	res := mustSolve(t, m, Options{Reads: 2, TabuReads: 3, Sweeps: 100, Seed: 4, Presolve: true, Penalty: 2, PenaltyGrowth: 4})
 	if !res.Feasible {
 		t.Fatal("no feasible sample with tabu portfolio")
 	}
@@ -194,7 +206,7 @@ func TestSolveTabuOnly(t *testing.T) {
 	// A portfolio of only tabu members still works (Reads=1 minimum SA
 	// read is forced by the default, so use Reads explicitly).
 	m := knapsackModel([]float64{5, 4, 3}, 1)
-	res := Solve(m, Options{Reads: 1, TabuReads: 2, Sweeps: 50, Seed: 2, Penalty: 2})
+	res := mustSolve(t, m, Options{Reads: 1, TabuReads: 2, Sweeps: 50, Seed: 2, Penalty: 2})
 	if !res.Feasible || res.Objective != -5 {
 		t.Fatalf("tabu-augmented solve: %+v", res)
 	}

@@ -20,6 +20,10 @@ type Options struct {
 	Tol float64
 	// Step is the initial simplex edge length (0 = 0.5).
 	Step float64
+	// Stop, when non-nil, is polled before every simplex step; once it
+	// returns true the search winds down and the best vertex found so
+	// far is returned with Converged = false (see internal/solve).
+	Stop func() bool
 }
 
 // Result reports the optimum found.
@@ -81,6 +85,9 @@ func NelderMead(f func([]float64) float64, x0 []float64, opt Options) (Result, e
 	trial := make([]float64, n)
 	converged := false
 	for evals < opt.MaxEvals {
+		if opt.Stop != nil && opt.Stop() {
+			break // interrupted: keep the best vertex found so far
+		}
 		sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
 		if math.Abs(simplex[n].f-simplex[0].f) < opt.Tol {
 			converged = true
@@ -192,6 +199,12 @@ func GridSearch(f func([]float64) float64, lo, hi []float64, samples int) (Resul
 		if d == dims {
 			break
 		}
+	}
+	if best.X == nil {
+		// Every cell scored +Inf (possible when a cancelled callback
+		// short-circuits evaluation): fall back to the first grid point
+		// so callers always receive valid coordinates.
+		best.X = append([]float64(nil), lo...)
 	}
 	best.Converged = true
 	return best, nil

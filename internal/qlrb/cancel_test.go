@@ -1,0 +1,86 @@
+package qlrb
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/lrp"
+)
+
+// TestSolveCancelledContextYieldsFeasiblePlan pins the plan-level
+// cancellation contract at its extreme point: a context cancelled before
+// the solve starts must still produce a plan that validates against the
+// instance (the decoder repairs the best partial sample), never a
+// constraint-violating plan.
+func TestSolveCancelledContextYieldsFeasiblePlan(t *testing.T) {
+	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, form := range []Formulation{QCQM1, QCQM2} {
+		plan, stats, err := Solve(ctx, in, SolveOptions{
+			Build:  BuildOptions{Form: form, K: -1},
+			Hybrid: fastHybrid(3),
+		})
+		if err != nil {
+			t.Fatalf("%v: cancelled solve errored: %v", form, err)
+		}
+		if err := plan.Validate(in); err != nil {
+			t.Fatalf("%v: cancelled solve produced an invalid plan: %v", form, err)
+		}
+		if !stats.Solver.Interrupted {
+			t.Errorf("%v: interruption not reported", form)
+		}
+	}
+}
+
+// TestSolveCancellationAtArbitraryPointsProperty is the property test of
+// the ISSUE's cancellation contract: whenever the context is cancelled —
+// before the solve, between sweeps, or never quite in time — the result
+// is either an error or a plan that validates against the instance.
+// Cancellation points are exercised with a spread of real-time deadlines
+// racing a deliberately slow solve.
+func TestSolveCancellationAtArbitraryPointsProperty(t *testing.T) {
+	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
+	delays := []time.Duration{
+		0, 50 * time.Microsecond, 200 * time.Microsecond,
+		time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond,
+	}
+	for trial, d := range delays {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		h := fastHybrid(int64(trial + 1))
+		h.Reads = 4
+		h.Sweeps = 2000
+		plan, _, err := Solve(ctx, in, SolveOptions{
+			Build:  BuildOptions{Form: QCQM2, K: -1},
+			Hybrid: h,
+		})
+		cancel()
+		if err != nil {
+			continue // an explicit error is within the contract
+		}
+		if verr := plan.Validate(in); verr != nil {
+			t.Fatalf("delay %v: invalid plan after cancellation: %v", d, verr)
+		}
+	}
+}
+
+// TestQuantumRebalancerCancelled checks the Rebalancer-level contract:
+// a cancelled quantum rebalance returns a feasible plan or an error,
+// never a constraint-violating plan.
+func TestQuantumRebalancerCancelled(t *testing.T) {
+	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := NewQuantum("Q_CQM1", QCQM1, 4, fastHybrid(9))
+	plan, err := q.Rebalance(ctx, in)
+	if err != nil {
+		return
+	}
+	if verr := plan.Validate(in); verr != nil {
+		t.Fatalf("cancelled rebalance produced an invalid plan: %v", verr)
+	}
+	if plan.Migrated() > 4 {
+		t.Fatalf("cancelled rebalance broke the migration cap: %d > 4", plan.Migrated())
+	}
+}

@@ -1,6 +1,7 @@
 package qlrb
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -335,7 +336,7 @@ func TestMigrationWeightShrinksMigrations(t *testing.T) {
 	// with zero weight it should balance freely.
 	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
 	solve := func(w float64) int {
-		plan, _, err := Solve(in, SolveOptions{
+		plan, _, err := Solve(context.Background(), in, SolveOptions{
 			Build:  BuildOptions{Form: QCQM1, K: -1, MigrationWeight: w},
 			Hybrid: fastHybrid(13),
 		})

@@ -1,12 +1,12 @@
 package qlrb
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 
 	"repro/internal/cqm"
 	"repro/internal/lrp"
 	"repro/internal/quantum"
+	"repro/internal/solve"
 )
 
 // GateOptions configures the gate-based (QAOA) solver path — the
@@ -53,85 +53,36 @@ type GateStats struct {
 
 // SolveGateBased solves a (small) LRP instance end to end on the
 // simulated gate-model path: CQM -> QUBO -> QAOA -> measurement ->
-// feasibility filter -> plan decode. It returns an error when the QUBO
-// needs more qubits than the simulator supports.
-func SolveGateBased(in *lrp.Instance, opt GateOptions) (*lrp.Plan, GateStats, error) {
-	if opt.Layers <= 0 {
-		opt.Layers = 2
-	}
-	if opt.Shots <= 0 {
-		opt.Shots = 512
-	}
-	if opt.QUBO.EqPenalty == 0 {
-		opt.QUBO = cqm.QUBOOptions{
-			Method:       cqm.UnbalancedPenalty,
-			EqPenalty:    20,
-			UnbalancedL1: 1,
-			UnbalancedL2: 20,
-		}
-	}
-
+// feasibility filter -> plan decode, all delegated to quantum.Engine.
+// It returns an error when the QUBO needs more qubits than the
+// simulator supports. Cancelling ctx stops the variational parameter
+// search; the best parameters found so far are still measured and
+// decoded.
+func SolveGateBased(ctx context.Context, in *lrp.Instance, opt GateOptions) (*lrp.Plan, GateStats, error) {
 	enc, err := Build(in, opt.Build)
 	if err != nil {
 		return nil, GateStats{}, err
 	}
-	qubo, err := cqm.ToQUBO(enc.Model, opt.QUBO)
-	if err != nil {
-		return nil, GateStats{}, fmt.Errorf("qlrb: QUBO conversion: %w", err)
+	eng := &quantum.Engine{
+		Layers:   opt.Layers,
+		Shots:    opt.Shots,
+		QUBO:     opt.QUBO,
+		Optimize: opt.Optimize,
 	}
-	if qubo.NumVars > quantum.MaxQubits {
-		return nil, GateStats{}, fmt.Errorf("qlrb: instance needs %d qubits, gate simulator supports %d",
-			qubo.NumVars, quantum.MaxQubits)
-	}
-
-	qa, err := quantum.NewQAOA(qubo, opt.Layers)
+	res, err := eng.Solve(ctx, enc.Model, solve.WithSeed(opt.Seed))
 	if err != nil {
 		return nil, GateStats{}, err
 	}
-	params, err := qa.Optimize(opt.Optimize)
-	if err != nil {
-		return nil, GateStats{}, err
-	}
-	state, err := qa.Evolve(params.X)
-	if err != nil {
-		return nil, GateStats{}, err
-	}
-
-	rng := rand.New(rand.NewSource(opt.Seed))
 	stats := GateStats{
-		Qubits:         qubo.NumVars,
-		Layers:         opt.Layers,
-		Expectation:    params.F,
-		OptimizerEvals: params.Evals,
+		Qubits:            eng.Last.Qubits,
+		Layers:            eng.Last.Layers,
+		Expectation:       eng.Last.Expectation,
+		ApproxRatio:       eng.Last.ApproxRatio,
+		GroundProbability: eng.Last.GroundProbability,
+		OptimizerEvals:    res.Stats.Evals,
+		SampleFeasible:    res.Feasible,
 	}
-	// Feasibility filter over the shots: prefer the lowest-QUBO-energy
-	// sample whose base assignment satisfies the original CQM.
-	var bestFeas, bestAny []bool
-	bestFeasE, bestAnyE := 0.0, 0.0
-	for _, z := range state.Sample(rng, opt.Shots) {
-		bits := quantum.Bits(z, qubo.NumVars)
-		e := qubo.Energy(bits)
-		base := bits[:qubo.BaseVars]
-		if bestAny == nil || e < bestAnyE {
-			bestAny, bestAnyE = base, e
-		}
-		if enc.Model.Feasible(base, 1e-6) && (bestFeas == nil || e < bestFeasE) {
-			bestFeas, bestFeasE = base, e
-		}
-	}
-	sample := bestAny
-	if bestFeas != nil {
-		sample = bestFeas
-		stats.SampleFeasible = true
-	}
-	if sr, err := qa.Sample(params.X, 1, rng); err == nil {
-		stats.GroundProbability = sr.GroundProbability
-		if qaMax := sr.ApproxRatio; qaMax >= 0 {
-			stats.ApproxRatio = qaMax
-		}
-	}
-
-	plan, _, err := enc.DecodeRepaired(sample)
+	plan, _, err := enc.DecodeRepaired(res.Sample)
 	if err != nil {
 		return nil, stats, err
 	}

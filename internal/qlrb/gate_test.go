@@ -1,6 +1,7 @@
 package qlrb
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/lrp"
@@ -12,7 +13,7 @@ func TestSolveGateBasedBalancesTwoProcs(t *testing.T) {
 	// Moving 2 or 3 heavy tasks over balances well. QCQM1 here needs
 	// 2*1*4 = 8 qubits (unbalanced penalties add none).
 	in := lrp.MustInstance([]int{8, 8}, []float64{1, 3})
-	plan, stats, err := SolveGateBased(in, GateOptions{
+	plan, stats, err := SolveGateBased(context.Background(), in, GateOptions{
 		Build:  BuildOptions{Form: QCQM1, K: 4},
 		Layers: 2,
 		Shots:  512,
@@ -49,14 +50,14 @@ func TestSolveGateBasedRespectsQubitLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := SolveGateBased(in, GateOptions{Build: BuildOptions{Form: QCQM2, K: 10}}); err == nil {
+	if _, _, err := SolveGateBased(context.Background(), in, GateOptions{Build: BuildOptions{Form: QCQM2, K: 10}}); err == nil {
 		t.Fatal("oversized instance accepted")
 	}
 }
 
 func TestSolveGateBasedDefaults(t *testing.T) {
 	in := lrp.MustInstance([]int{4, 4}, []float64{1, 2})
-	plan, stats, err := SolveGateBased(in, GateOptions{Build: BuildOptions{Form: QCQM1, K: 2}, Seed: 1})
+	plan, stats, err := SolveGateBased(context.Background(), in, GateOptions{Build: BuildOptions{Form: QCQM1, K: 2}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSolveGateBasedDefaults(t *testing.T) {
 
 func TestSolveGateBasedPropagatesBuildErrors(t *testing.T) {
 	bad := lrp.MustInstance([]int{3, 4}, []float64{1, 1})
-	if _, _, err := SolveGateBased(bad, GateOptions{Build: BuildOptions{Form: QCQM1, K: 1}}); err == nil {
+	if _, _, err := SolveGateBased(context.Background(), bad, GateOptions{Build: BuildOptions{Form: QCQM1, K: 1}}); err == nil {
 		t.Fatal("non-uniform instance accepted")
 	}
 }

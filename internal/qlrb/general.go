@@ -1,11 +1,13 @@
 package qlrb
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cqm"
 	"repro/internal/hybrid"
 	"repro/internal/lrp"
+	"repro/internal/solve"
 )
 
 // GeneralEncoded is the per-task CQM formulation — the "different
@@ -225,13 +227,13 @@ type GeneralResult struct {
 	Qubits int
 	// SampleFeasible reports whether the raw sample satisfied the CQM.
 	SampleFeasible bool
-	// Hybrid carries solver statistics.
-	Hybrid hybrid.Stats
+	// Solver carries engine statistics.
+	Solver solve.Stats
 }
 
 // SolveGeneral builds and solves the per-task formulation, warm-started
 // from the current placement.
-func SolveGeneral(tasks []lrp.Task, opt GeneralBuildOptions, h hybrid.Options) (GeneralResult, error) {
+func SolveGeneral(ctx context.Context, tasks []lrp.Task, opt GeneralBuildOptions, h hybrid.Options) (GeneralResult, error) {
 	enc, err := BuildGeneral(tasks, opt)
 	if err != nil {
 		return GeneralResult{}, err
@@ -247,7 +249,10 @@ func SolveGeneral(tasks []lrp.Task, opt GeneralBuildOptions, h hybrid.Options) (
 		h.Pairs = enc.AssignmentPairs()
 		h.PairProb = 0.5
 	}
-	res := hybrid.Solve(enc.Model, h)
+	res, err := hybrid.New(h).Solve(ctx, enc.Model)
+	if err != nil {
+		return GeneralResult{}, err
+	}
 	assign, _, err := enc.DecodeAssignment(res.Sample)
 	if err != nil {
 		return GeneralResult{}, err
@@ -257,7 +262,7 @@ func SolveGeneral(tasks []lrp.Task, opt GeneralBuildOptions, h hybrid.Options) (
 		Loads:          make([]float64, opt.Procs),
 		Qubits:         enc.Model.NumVars(),
 		SampleFeasible: res.Feasible,
-		Hybrid:         res.Stats,
+		Solver:         res.Stats,
 	}
 	for t, task := range tasks {
 		out.Loads[assign[t]] += task.Load

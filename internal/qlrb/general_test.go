@@ -1,6 +1,7 @@
 package qlrb
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -125,7 +126,7 @@ func TestGeneralDecodeRepairsGarbage(t *testing.T) {
 
 func TestSolveGeneralBalancesNonUniform(t *testing.T) {
 	tasks := nonUniformTasks() // loads 27, 2, 1 across procs; total 30, avg 10
-	res, err := SolveGeneral(tasks, GeneralBuildOptions{Procs: 3, K: -1}, hybrid.Options{
+	res, err := SolveGeneral(context.Background(), tasks, GeneralBuildOptions{Procs: 3, K: -1}, hybrid.Options{
 		Reads: 6, Sweeps: 400, Seed: 3, Presolve: true, Penalty: 5, PenaltyGrowth: 4,
 	})
 	if err != nil {
@@ -152,7 +153,7 @@ func TestSolveGeneralBalancesNonUniform(t *testing.T) {
 
 func TestSolveGeneralRespectsBudget(t *testing.T) {
 	tasks := nonUniformTasks()
-	res, err := SolveGeneral(tasks, GeneralBuildOptions{Procs: 3, K: 2}, hybrid.Options{
+	res, err := SolveGeneral(context.Background(), tasks, GeneralBuildOptions{Procs: 3, K: 2}, hybrid.Options{
 		Reads: 4, Sweeps: 250, Seed: 9, Presolve: true, Penalty: 5, PenaltyGrowth: 4,
 	})
 	if err != nil {

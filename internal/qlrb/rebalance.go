@@ -1,10 +1,12 @@
 package qlrb
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hybrid"
 	"repro/internal/lrp"
+	"repro/internal/solve"
 )
 
 // SolveOptions configures an end-to-end quantum-hybrid rebalancing solve.
@@ -39,13 +41,15 @@ type SolveStats struct {
 	Repaired bool
 	// Objective is the CQM objective of the returned sample.
 	Objective float64
-	// Hybrid carries the solver's timing and work counters.
-	Hybrid hybrid.Stats
+	// Solver carries the engine's timing and work counters.
+	Solver solve.Stats
 }
 
-// Solve builds the CQM for in, runs the hybrid solver, and decodes the
-// best sample into a guaranteed-feasible migration plan.
-func Solve(in *lrp.Instance, opt SolveOptions) (*lrp.Plan, SolveStats, error) {
+// Solve builds the CQM for in, runs the hybrid engine, and decodes the
+// best sample into a guaranteed-feasible migration plan. Cancelling ctx
+// stops the solve at the next sweep boundary; the best sample collected
+// so far is still decoded (Stats.Solver.Interrupted reports the cut).
+func Solve(ctx context.Context, in *lrp.Instance, opt SolveOptions) (*lrp.Plan, SolveStats, error) {
 	enc, err := Build(in, opt.Build)
 	if err != nil {
 		return nil, SolveStats{}, err
@@ -73,7 +77,10 @@ func Solve(in *lrp.Instance, opt SolveOptions) (*lrp.Plan, SolveStats, error) {
 		opt.Hybrid.Pairs = nil
 		opt.Hybrid.PairProb = 0
 	}
-	res := hybrid.Solve(enc.Model, opt.Hybrid)
+	res, err := hybrid.New(opt.Hybrid).Solve(ctx, enc.Model)
+	if err != nil {
+		return nil, SolveStats{}, err
+	}
 	plan, repaired, err := enc.DecodeRepaired(res.Sample)
 	if err != nil {
 		return nil, SolveStats{}, err
@@ -87,7 +94,7 @@ func Solve(in *lrp.Instance, opt SolveOptions) (*lrp.Plan, SolveStats, error) {
 		SampleFeasible:  res.Feasible,
 		Repaired:        repaired,
 		Objective:       res.Objective,
-		Hybrid:          res.Stats,
+		Solver:          res.Stats,
 	}
 	return plan, stats, nil
 }
@@ -120,8 +127,8 @@ func NewQuantum(label string, form Formulation, k int, h hybrid.Options) *Quantu
 func (q *Quantum) Name() string { return q.Label }
 
 // Rebalance solves the instance and returns a feasible migration plan.
-func (q *Quantum) Rebalance(in *lrp.Instance) (*lrp.Plan, error) {
-	plan, stats, err := Solve(in, q.Opts)
+func (q *Quantum) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
+	plan, stats, err := Solve(ctx, in, q.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", q.Label, err)
 	}

@@ -1,6 +1,7 @@
 package qlrb
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/hybrid"
@@ -24,7 +25,7 @@ func TestSolveBalancesSmallInstance(t *testing.T) {
 	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
 	before := in.Imbalance()
 	for _, form := range []Formulation{QCQM1, QCQM2} {
-		plan, stats, err := Solve(in, SolveOptions{
+		plan, stats, err := Solve(context.Background(), in, SolveOptions{
 			Build:  BuildOptions{Form: form, K: -1},
 			Hybrid: fastHybrid(11),
 		})
@@ -50,7 +51,7 @@ func TestSolveBalancesSmallInstance(t *testing.T) {
 func TestSolveRespectsMigrationCap(t *testing.T) {
 	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 1, 1, 5})
 	for _, k := range []int{0, 2, 5} {
-		plan, _, err := Solve(in, SolveOptions{
+		plan, _, err := Solve(context.Background(), in, SolveOptions{
 			Build:  BuildOptions{Form: QCQM1, K: k},
 			Hybrid: fastHybrid(7),
 		})
@@ -65,7 +66,7 @@ func TestSolveRespectsMigrationCap(t *testing.T) {
 
 func TestSolveZeroKeepsEverythingHome(t *testing.T) {
 	in := lrp.MustInstance([]int{4, 4}, []float64{1, 3})
-	plan, _, err := Solve(in, SolveOptions{
+	plan, _, err := Solve(context.Background(), in, SolveOptions{
 		Build:  BuildOptions{Form: QCQM2, K: 0},
 		Hybrid: fastHybrid(3),
 	})
@@ -81,7 +82,7 @@ func TestSolveBalancedInstanceStaysPut(t *testing.T) {
 	// Imb.0-style case: already balanced; the solver should find that
 	// no migration is needed (or at least not worsen anything).
 	in := lrp.MustInstance([]int{10, 10, 10}, []float64{2, 2, 2})
-	plan, _, err := Solve(in, SolveOptions{
+	plan, _, err := Solve(context.Background(), in, SolveOptions{
 		Build:  BuildOptions{Form: QCQM1, K: 50},
 		Hybrid: fastHybrid(9),
 	})
@@ -103,7 +104,7 @@ func TestQuantumRebalancerInterface(t *testing.T) {
 		t.Fatal("Name mismatch")
 	}
 	in := lrp.MustInstance([]int{8, 8, 8, 8}, []float64{1, 2, 3, 6})
-	plan, err := q.Rebalance(in)
+	plan, err := q.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +116,14 @@ func TestQuantumRebalancerInterface(t *testing.T) {
 	}
 	// Errors propagate with the label attached.
 	bad := lrp.MustInstance([]int{3, 4}, []float64{1, 1})
-	if _, err := q.Rebalance(bad); err == nil {
+	if _, err := q.Rebalance(context.Background(), bad); err == nil {
 		t.Fatal("Rebalance accepted non-uniform instance")
 	}
 }
 
 func TestSolvePropagatesBuildError(t *testing.T) {
 	in := lrp.MustInstance([]int{3, 4}, []float64{1, 1})
-	if _, _, err := Solve(in, SolveOptions{Build: BuildOptions{Form: QCQM1, K: -1}}); err == nil {
+	if _, _, err := Solve(context.Background(), in, SolveOptions{Build: BuildOptions{Form: QCQM1, K: -1}}); err == nil {
 		t.Fatal("Solve accepted a non-uniform instance")
 	}
 }

@@ -116,6 +116,11 @@ type OptimizeOptions struct {
 	GridSamples int
 	// NelderMead refines from the grid seed.
 	NelderMead optimize.Options
+	// Stop, when non-nil, cancels the parameter search: grid cells
+	// evaluated after it trips score +Inf (skipping the circuit), and
+	// the Nelder-Mead refinement winds down at its next step. The best
+	// parameters found so far are still returned (see internal/solve).
+	Stop func() bool
 }
 
 // Optimize finds good variational parameters: a coarse grid over the
@@ -136,6 +141,9 @@ func (a *QAOA) Optimize(opt OptimizeOptions) (optimize.Result, error) {
 	// absolute scale search the same window.
 	gHi := math.Pi / math.Max(1e-9, spread/float64(a.n))
 	seed, err := optimize.GridSearch(func(x []float64) float64 {
+		if opt.Stop != nil && opt.Stop() {
+			return math.Inf(1)
+		}
 		params := make([]float64, 2*a.Layers)
 		for l := 0; l < a.Layers; l++ {
 			f := float64(l+1) / float64(a.Layers)
@@ -156,6 +164,9 @@ func (a *QAOA) Optimize(opt OptimizeOptions) (optimize.Result, error) {
 	nm := opt.NelderMead
 	if nm.Step == 0 {
 		nm.Step = seed.X[1] / 4
+	}
+	if nm.Stop == nil {
+		nm.Stop = opt.Stop
 	}
 	res, err := optimize.NelderMead(a.Expectation, start, nm)
 	if err != nil {

@@ -50,9 +50,14 @@ type Options struct {
 	// greedy improving flips (and pair co-flips) to a local optimum
 	// after the annealing schedule ends.
 	NoPolish bool
-	// Cancel, when non-nil, aborts the run at the next sweep boundary;
-	// the best state found so far is still returned.
-	Cancel <-chan struct{}
+	// Stop, when non-nil, is polled at every sweep boundary; once it
+	// returns true the run winds down and the best state found so far
+	// is still returned. The engine layer (internal/solve) wires ctx
+	// cancellation and clock deadlines into it.
+	Stop func() bool
+	// Progress, when non-nil, is called after every sweep with the
+	// sweep count and the best objective/feasibility seen so far.
+	Progress func(sweep int, bestObjective float64, feasible bool)
 }
 
 // DefaultOptions returns a schedule that solves the repository's LRP
@@ -167,16 +172,11 @@ func Anneal(m *cqm.Model, opt Options) Result {
 	}
 	beta := opt.BetaStart
 	cancelled := false
-sweeps:
 	for s := 0; s < opt.Sweeps; s++ {
-		if opt.Cancel != nil {
-			select {
-			case <-opt.Cancel:
-				res.Sweeps = s
-				cancelled = true
-				break sweeps
-			default:
-			}
+		if opt.Stop != nil && opt.Stop() {
+			res.Sweeps = s
+			cancelled = true
+			break
 		}
 		if opt.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
 			ev.ScalePenalties(opt.PenaltyGrowth)
@@ -211,6 +211,9 @@ sweeps:
 		}
 		record()
 		beta *= ratio
+		if opt.Progress != nil {
+			opt.Progress(s+1, bestObj, bestFeas)
+		}
 	}
 
 	// Zero-temperature polish: descend greedily from the best state

@@ -1,0 +1,77 @@
+package sa
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/cqm"
+	"repro/internal/solve"
+)
+
+// Engine adapts the annealer to the solve.Solver interface: one solve
+// runs a portfolio of independent restarts (solve.WithReads) of the
+// configured base schedule. Cancellation and deadlines stop every
+// restart at its next sweep boundary; the best state found so far is
+// returned with Stats.Interrupted set.
+type Engine struct {
+	// Base is the per-restart configuration. Seed, Sweeps, Stop and
+	// Progress are overridden per solve from the engine-layer options.
+	Base Options
+}
+
+// NewEngine returns an annealing engine with the default schedule.
+func NewEngine() *Engine { return &Engine{Base: DefaultOptions()} }
+
+// Name implements solve.Solver.
+func (e *Engine) Name() string { return "sa" }
+
+// Solve implements solve.Solver.
+func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if m == nil {
+		return nil, errors.New("sa: nil model")
+	}
+	cfg := solve.NewConfig(opts...)
+	stop := cfg.NewStop(ctx)
+	start := cfg.Clock.Now()
+
+	base := e.Base
+	if cfg.HasSeed {
+		base.Seed = cfg.Seed
+	}
+	if cfg.Sweeps > 0 {
+		base.Sweeps = cfg.Sweeps
+	}
+	base.Stop = stop.Func()
+	reads := cfg.Reads
+	if reads <= 0 {
+		reads = 1
+	}
+
+	popt := PortfolioOptions{Base: base, Restarts: reads, Workers: cfg.Workers}
+	if p := solve.SerialProgress(cfg.Progress); p != nil {
+		popt.Progress = func(restart, sweep int, best float64, feas bool) {
+			p(solve.Event{Restart: restart, Sweep: sweep, BestObjective: best, Feasible: feas})
+		}
+	}
+	best, all := Portfolio(m, popt)
+
+	res := &solve.Result{
+		Sample:    best.Best,
+		Objective: best.BestObjective,
+		Feasible:  best.BestFeasible,
+		Stats: solve.Stats{
+			Wall:        cfg.Clock.Since(start),
+			Reads:       len(all),
+			Interrupted: stop.Interrupted(),
+		},
+	}
+	for _, r := range all {
+		res.Stats.Sweeps += r.Sweeps
+		res.Stats.Flips += r.Flips
+		res.Stats.Accepted += r.Accepted
+		if r.BestFeasible {
+			res.Stats.FeasibleReads++
+		}
+	}
+	return res, nil
+}

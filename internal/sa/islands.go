@@ -50,6 +50,9 @@ func Islands(m *cqm.Model, opt IslandOptions) Result {
 
 	results := make([]Result, opt.Islands)
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		if opt.Base.Stop != nil && opt.Base.Stop() {
+			break // interrupted: keep the best state from finished epochs
+		}
 		var wg sync.WaitGroup
 		next := make(chan int)
 		for w := 0; w < workers; w++ {

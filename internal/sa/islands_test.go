@@ -73,9 +73,8 @@ func TestIslandsWarmStart(t *testing.T) {
 
 func TestAnnealCancellation(t *testing.T) {
 	m := partitionModel([]float64{5, 3, 8, 1, 9, 2, 7, 4}, 19)
-	cancel := make(chan struct{})
-	close(cancel) // cancelled before starting: abort at sweep 0
-	res := Anneal(m, Options{Sweeps: 10_000, Seed: 1, Cancel: cancel})
+	// Stop tripped before starting: abort at sweep 0.
+	res := Anneal(m, Options{Sweeps: 10_000, Seed: 1, Stop: func() bool { return true }})
 	if res.Sweeps != 0 {
 		t.Fatalf("ran %d sweeps after cancellation", res.Sweeps)
 	}

@@ -21,6 +21,10 @@ type PortfolioOptions struct {
 	// the even-indexed restarts (odd restarts always start random).
 	// Base.Initial, if set, is treated as an additional entry.
 	Initials [][]bool
+	// Progress, when non-nil, receives per-sweep notifications tagged
+	// with the restart index. It is called from worker goroutines and
+	// must be safe for concurrent use (see solve.SerialProgress).
+	Progress func(restart, sweep int, bestObjective float64, feasible bool)
 }
 
 // Portfolio runs independent annealing restarts in parallel and returns
@@ -59,6 +63,12 @@ func Portfolio(m *cqm.Model, opt PortfolioOptions) (Result, []Result) {
 				o.Initial = nil
 				if len(initials) > 0 && idx%2 == 0 {
 					o.Initial = initials[(idx/2)%len(initials)]
+				}
+				if opt.Progress != nil {
+					restart := idx
+					o.Progress = func(sweep int, best float64, feas bool) {
+						opt.Progress(restart, sweep, best, feas)
+					}
 				}
 				results[idx] = Anneal(m, o)
 			}

@@ -100,6 +100,12 @@ func ParallelTempering(m *cqm.Model, opt PTOptions) Result {
 
 	growAt := base.Sweeps / 4
 	for s := 0; s < base.Sweeps; s++ {
+		if base.Stop != nil && base.Stop() {
+			// Interrupted: wind down at the sweep boundary, keeping the
+			// best state recorded across all replicas so far.
+			res.Sweeps = s
+			break
+		}
 		if base.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
 			for r := range evs {
 				evs[r].ScalePenalties(base.PenaltyGrowth)
@@ -120,6 +126,9 @@ func ParallelTempering(m *cqm.Model, opt PTOptions) Result {
 		}
 		if s%opt.ExchangeEvery == opt.ExchangeEvery-1 {
 			for r := 0; r+1 < opt.Replicas; r++ {
+				if base.Stop != nil && base.Stop() {
+					break
+				}
 				dBeta := betas[r+1] - betas[r]
 				dE := evs[r].Energy() - evs[r+1].Energy()
 				if dBeta*dE > 0 || rng.Float64() < math.Exp(dBeta*dE) {
@@ -129,6 +138,9 @@ func ParallelTempering(m *cqm.Model, opt PTOptions) Result {
 					evs[r+1].Reset(a)
 				}
 			}
+		}
+		if base.Progress != nil {
+			base.Progress(s+1, bestObj, bestFeas)
 		}
 	}
 	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas

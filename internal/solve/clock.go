@@ -1,0 +1,56 @@
+package solve
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the injected time source of the engine layer. Backends and
+// engines read time exclusively through it, so tests can drive deadlines
+// and timing stats deterministically with a fake.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+// Fake is a manually advanced clock for tests. It is safe for
+// concurrent use; a common pattern is advancing it from a Progress hook
+// so that "time passes" exactly once per sweep.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a fake clock frozen at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the fake-elapsed time since t.
+func (f *Fake) Since(t time.Time) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now.Sub(t)
+}
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}

@@ -1,0 +1,201 @@
+package solve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNewConfigDefaults(t *testing.T) {
+	cfg := NewConfig()
+	if cfg.Clock == nil {
+		t.Fatal("default config has nil clock")
+	}
+	if cfg.HasSeed {
+		t.Error("HasSeed set without WithSeed")
+	}
+	if cfg.Reads != 0 || cfg.Sweeps != 0 || cfg.Workers != 0 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.Budget != 0 || !cfg.Deadline.IsZero() {
+		t.Errorf("time bounds set by default: %+v", cfg)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	fake := NewFake(time.Unix(100, 0))
+	deadline := time.Unix(200, 0)
+	var events []Event
+	cfg := NewConfig(
+		WithSeed(0), // 0 is a valid seed and must set HasSeed
+		WithReads(7),
+		WithSweeps(42),
+		WithWorkers(3),
+		WithBudget(time.Second),
+		WithDeadline(deadline),
+		WithClock(fake),
+		WithProgress(func(e Event) { events = append(events, e) }),
+		nil, // nil options are ignored
+	)
+	if !cfg.HasSeed || cfg.Seed != 0 {
+		t.Errorf("WithSeed(0): Seed=%d HasSeed=%v", cfg.Seed, cfg.HasSeed)
+	}
+	if cfg.Reads != 7 || cfg.Sweeps != 42 || cfg.Workers != 3 {
+		t.Errorf("knobs not applied: %+v", cfg)
+	}
+	if cfg.Budget != time.Second || !cfg.Deadline.Equal(deadline) {
+		t.Errorf("time bounds not applied: %+v", cfg)
+	}
+	if cfg.Clock != fake {
+		t.Error("clock not injected")
+	}
+	cfg.Progress(Event{Restart: 5})
+	if len(events) != 1 || events[0].Restart != 5 {
+		t.Errorf("progress hook not wired: %v", events)
+	}
+}
+
+func TestNilClockOptionFallsBackToReal(t *testing.T) {
+	cfg := NewConfig(WithClock(nil))
+	if cfg.Clock == nil {
+		t.Fatal("nil clock survived NewConfig")
+	}
+}
+
+func TestStopNilNeverStops(t *testing.T) {
+	var s *Stop
+	if s.Stopped() {
+		t.Error("nil Stop reported stopped")
+	}
+	if s.Interrupted() {
+		t.Error("nil Stop reported interrupted")
+	}
+	if s.Func() != nil {
+		t.Error("nil Stop should yield a nil predicate")
+	}
+}
+
+func TestStopContextCancellationLatches(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewConfig().NewStop(ctx)
+	if s.Stopped() {
+		t.Fatal("stopped before cancellation")
+	}
+	if s.Interrupted() {
+		t.Fatal("interrupted before cancellation")
+	}
+	cancel()
+	if !s.Stopped() {
+		t.Fatal("not stopped after cancellation")
+	}
+	// Latched: stays stopped, and Interrupted reports the trip.
+	if !s.Stopped() || !s.Interrupted() {
+		t.Fatal("stop did not latch")
+	}
+}
+
+func TestStopBudgetOnFakeClock(t *testing.T) {
+	fake := NewFake(time.Unix(0, 0))
+	cfg := NewConfig(WithClock(fake), WithBudget(10*time.Millisecond))
+	s := cfg.NewStop(context.Background())
+	if s.Stopped() {
+		t.Fatal("stopped before the budget elapsed")
+	}
+	fake.Advance(9 * time.Millisecond)
+	if s.Stopped() {
+		t.Fatal("stopped 1ms before the budget elapsed")
+	}
+	fake.Advance(time.Millisecond)
+	if !s.Stopped() || !s.Interrupted() {
+		t.Fatal("budget exhaustion did not stop the solve")
+	}
+}
+
+func TestStopDeadlineMergesWithBudget(t *testing.T) {
+	start := time.Unix(1000, 0)
+	fake := NewFake(start)
+	// Budget of 1s is tighter than the 10s deadline: it wins.
+	cfg := NewConfig(WithClock(fake),
+		WithBudget(time.Second),
+		WithDeadline(start.Add(10*time.Second)))
+	s := cfg.NewStop(context.Background())
+	fake.Advance(time.Second)
+	if !s.Stopped() {
+		t.Fatal("tighter budget ignored")
+	}
+
+	// An earlier absolute deadline beats a generous budget.
+	fake2 := NewFake(start)
+	cfg2 := NewConfig(WithClock(fake2),
+		WithBudget(time.Hour),
+		WithDeadline(start.Add(time.Second)))
+	s2 := cfg2.NewStop(context.Background())
+	fake2.Advance(time.Second)
+	if !s2.Stopped() {
+		t.Fatal("earlier deadline ignored")
+	}
+}
+
+func TestStopFuncSharedAcrossGoroutines(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewConfig().NewStop(ctx)
+	f := s.Func()
+	cancel()
+	done := make(chan bool, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- f() }()
+	}
+	for i := 0; i < 4; i++ {
+		if !<-done {
+			t.Fatal("shared predicate missed the cancellation")
+		}
+	}
+}
+
+func TestSerialProgress(t *testing.T) {
+	if SerialProgress(nil) != nil {
+		t.Fatal("nil hook should stay nil")
+	}
+	// The wrapper must serialize concurrent emitters; run with -race to
+	// catch violations.
+	count := 0
+	p := SerialProgress(func(Event) { count++ })
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				p(Event{Sweep: j})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if count != 800 {
+		t.Fatalf("count = %d, want 800", count)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Unix(500, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatal("fake clock not frozen at start")
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+	if got := f.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Fatal("real clock ran backwards")
+	}
+}

@@ -1,0 +1,91 @@
+package tabu
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/cqm"
+	"repro/internal/solve"
+)
+
+// Engine adapts tabu search to the solve.Solver interface. One solve
+// runs solve.WithReads independent trajectories sequentially (tabu is
+// deterministic per seed, so restarts differ only by their derived
+// seeds); cancellation stops the current trajectory at its next
+// iteration and skips the remaining ones.
+type Engine struct {
+	// Base is the per-trajectory configuration. Seed, Iterations, Stop
+	// and Progress are overridden per solve.
+	Base Options
+}
+
+// NewEngine returns a tabu engine with library defaults.
+func NewEngine() *Engine { return &Engine{} }
+
+// Name implements solve.Solver.
+func (e *Engine) Name() string { return "tabu" }
+
+// Solve implements solve.Solver.
+func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if m == nil {
+		return nil, errors.New("tabu: nil model")
+	}
+	cfg := solve.NewConfig(opts...)
+	stop := cfg.NewStop(ctx)
+	start := cfg.Clock.Now()
+
+	base := e.Base
+	if cfg.HasSeed {
+		base.Seed = cfg.Seed
+	}
+	if cfg.Sweeps > 0 {
+		base.Iterations = cfg.Sweeps
+	}
+	base.Stop = stop.Func()
+	reads := cfg.Reads
+	if reads <= 0 {
+		reads = 1
+	}
+	progress := solve.SerialProgress(cfg.Progress)
+
+	res := &solve.Result{}
+	var best Result
+	haveBest := false
+	for r := 0; r < reads; r++ {
+		if r > 0 && stop.Stopped() {
+			break
+		}
+		o := base
+		o.Seed = base.Seed*1_000_003 + int64(r)*7919 + 1
+		if progress != nil {
+			restart := r
+			o.Progress = func(it int, bestObj float64, feas bool) {
+				progress(solve.Event{Restart: restart, Sweep: it, BestObjective: bestObj, Feasible: feas})
+			}
+		}
+		tr := Search(m, o)
+		res.Stats.Reads++
+		res.Stats.Flips += tr.Moves
+		if tr.BestFeasible {
+			res.Stats.FeasibleReads++
+		}
+		if !haveBest || better(tr, best) {
+			best, haveBest = tr, true
+		}
+	}
+	res.Sample = best.Best
+	res.Objective = best.BestObjective
+	res.Feasible = best.BestFeasible
+	res.Stats.Wall = cfg.Clock.Since(start)
+	res.Stats.Interrupted = stop.Interrupted()
+	return res, nil
+}
+
+// better mirrors sa.Better for tabu results: feasible beats infeasible,
+// then lower objective wins.
+func better(a, b Result) bool {
+	if a.BestFeasible != b.BestFeasible {
+		return a.BestFeasible
+	}
+	return a.BestObjective < b.BestObjective
+}

@@ -28,6 +28,13 @@ type Options struct {
 	Initial []bool
 	// Frozen variables are never flipped.
 	Frozen map[cqm.VarID]bool
+	// Stop, when non-nil, is polled every iteration; once it returns
+	// true the search winds down and the best state found so far is
+	// still returned (see internal/solve).
+	Stop func() bool
+	// Progress, when non-nil, is called after every iteration with the
+	// move count and the best objective/feasibility seen so far.
+	Progress func(iteration int, bestObjective float64, feasible bool)
 }
 
 // Result mirrors the annealer's result shape.
@@ -99,6 +106,9 @@ func Search(m *cqm.Model, opt Options) Result {
 
 	tabuUntil := make([]int, n)
 	for it := 1; it <= opt.Iterations; it++ {
+		if opt.Stop != nil && opt.Stop() {
+			break // interrupted: return the best state found so far
+		}
 		// Steepest admissible move: best delta among non-tabu variables;
 		// a tabu move is admitted if it would beat the best energy seen
 		// (aspiration).
@@ -125,6 +135,9 @@ func Search(m *cqm.Model, opt Options) Result {
 			bestEnergy = e
 		}
 		record()
+		if opt.Progress != nil {
+			opt.Progress(it, bestObj, bestFeas)
+		}
 	}
 	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
 	return res

@@ -17,7 +17,7 @@
 // A minimal session:
 //
 //	in, _ := repro.UniformInstance(50, []float64{1, 1, 1, 5})
-//	plan, stats, _ := repro.SolveCQM(in, repro.CQMOptions{
+//	plan, stats, _ := repro.SolveCQM(context.Background(), in, repro.CQMOptions{
 //		Form: repro.QCQM1,
 //		K:    20,
 //		Seed: 1,
@@ -27,6 +27,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/balancer"
 	"repro/internal/chameleon"
 	"repro/internal/hybrid"
@@ -123,8 +125,10 @@ type CQMStats = qlrb.SolveStats
 
 // SolveCQM builds the paper's CQM for the instance and solves it with
 // the annealing-based hybrid solver, returning a feasible migration
-// plan.
-func SolveCQM(in *Instance, opt CQMOptions) (*Plan, CQMStats, error) {
+// plan. Cancelling ctx stops the sampler at the next sweep boundary;
+// the best sample collected so far is still decoded into a feasible
+// plan (Stats.Solver.Interrupted reports the cut).
+func SolveCQM(ctx context.Context, in *Instance, opt CQMOptions) (*Plan, CQMStats, error) {
 	h := hybrid.DefaultOptions()
 	h.Seed = opt.Seed
 	if opt.Reads > 0 {
@@ -137,14 +141,14 @@ func SolveCQM(in *Instance, opt CQMOptions) (*Plan, CQMStats, error) {
 	h.PenaltyGrowth = 4
 	warm := opt.WarmPlans
 	if warm == nil {
-		if p, err := (balancer.ProactLB{}).Rebalance(in); err == nil {
+		if p, err := (balancer.ProactLB{}).Rebalance(ctx, in); err == nil {
 			warm = append(warm, p)
 		}
-		if p, err := (balancer.Greedy{}).Rebalance(in); err == nil {
+		if p, err := (balancer.Greedy{}).Rebalance(ctx, in); err == nil {
 			warm = append(warm, p)
 		}
 	}
-	return qlrb.Solve(in, qlrb.SolveOptions{
+	return qlrb.Solve(ctx, in, qlrb.SolveOptions{
 		Build: qlrb.BuildOptions{
 			Form:            opt.Form,
 			K:               opt.K,
@@ -168,8 +172,8 @@ type GateStats = qlrb.GateStats
 
 // SolveGateBased solves a small instance on the simulated gate-model
 // path (CQM -> QUBO -> QAOA).
-func SolveGateBased(in *Instance, opt GateOptions) (*Plan, GateStats, error) {
-	return qlrb.SolveGateBased(in, opt)
+func SolveGateBased(ctx context.Context, in *Instance, opt GateOptions) (*Plan, GateStats, error) {
+	return qlrb.SolveGateBased(ctx, in, opt)
 }
 
 // NewQuantumRebalancer wraps a CQM configuration as a Rebalancer so it

@@ -1,17 +1,20 @@
 package repro
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestPublicAPISolveCQM(t *testing.T) {
 	in, err := UniformInstance(10, []float64{1, 1, 1, 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proact, err := ProactLB{}.Rebalance(in)
+	proact, err := ProactLB{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, stats, err := SolveCQM(in, CQMOptions{
+	plan, stats, err := SolveCQM(context.Background(), in, CQMOptions{
 		Form:      QCQM1,
 		K:         proact.Migrated(),
 		Seed:      1,
@@ -40,7 +43,7 @@ func TestPublicAPIClassicalMethods(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range []Rebalancer{Greedy{}, KK{}, ProactLB{}, Baseline{}} {
-		plan, err := r.Rebalance(in)
+		plan, err := r.Rebalance(context.Background(), in)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -56,7 +59,7 @@ func TestPublicAPIQuantumRebalancerInterface(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := NewQuantumRebalancer("Q_CQM1", QCQM1, 3, 7)
-	plan, err := q.Rebalance(in)
+	plan, err := q.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +73,7 @@ func TestPublicAPIGatePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, stats, err := SolveGateBased(in, GateOptions{
+	plan, stats, err := SolveGateBased(context.Background(), in, GateOptions{
 		Build: CQMBuildOptions{Form: QCQM1, K: 3},
 		Seed:  5,
 	})
@@ -95,7 +98,7 @@ func TestPublicAPISimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := ProactLB{}.Rebalance(in)
+	plan, err := ProactLB{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +116,11 @@ func TestPublicAPIOptimalAndImprove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Optimal{}.Rebalance(in)
+	plan, err := Optimal{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	greedy, err := Greedy{}.Rebalance(in)
+	greedy, err := Greedy{}.Rebalance(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +139,7 @@ func TestPublicAPICQMOptionsVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Soft migration cost without a hard cap.
-	plan, _, err := SolveCQM(in, CQMOptions{
+	plan, _, err := SolveCQM(context.Background(), in, CQMOptions{
 		Form: QCQM1, K: -1, Seed: 2, Reads: 4, Sweeps: 200,
 		MigrationWeight: 100,
 		WarmPlans:       []*Plan{}, // cold start: test the soft cost alone
@@ -144,7 +147,7 @@ func TestPublicAPICQMOptionsVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	free, _, err := SolveCQM(in, CQMOptions{Form: QCQM1, K: -1, Seed: 2, Reads: 4, Sweeps: 200})
+	free, _, err := SolveCQM(context.Background(), in, CQMOptions{Form: QCQM1, K: -1, Seed: 2, Reads: 4, Sweeps: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +155,7 @@ func TestPublicAPICQMOptionsVariants(t *testing.T) {
 		t.Fatalf("soft cost did not restrain migrations: %d vs %d", plan.Migrated(), free.Migrated())
 	}
 	// Pinned reduction still produces valid plans.
-	pinned, stats, err := SolveCQM(in, CQMOptions{Form: QCQM1, K: 6, Seed: 3, Reads: 4, Sweeps: 200, PinHeaviest: true})
+	pinned, stats, err := SolveCQM(context.Background(), in, CQMOptions{Form: QCQM1, K: 6, Seed: 3, Reads: 4, Sweeps: 200, PinHeaviest: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +181,7 @@ func TestPublicAPISimulationErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	badPlan, err := Baseline{}.Rebalance(wrong)
+	badPlan, err := Baseline{}.Rebalance(context.Background(), wrong)
 	if err != nil {
 		t.Fatal(err)
 	}
