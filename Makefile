@@ -1,10 +1,11 @@
 GO ?= go
 
 # Packages whose concurrent paths (portfolio goroutines, shared Stop,
-# SerialProgress, the job client) must stay race-clean.
-RACE_PKGS = ./internal/solve ./internal/hybrid ./internal/sa
+# SerialProgress, the job client, the resilience policy) must stay
+# race-clean.
+RACE_PKGS = ./internal/solve ./internal/hybrid ./internal/sa ./internal/resilient ./internal/faults
 
-.PHONY: check build vet fmt test race bench
+.PHONY: check build vet fmt test race bench fault-demo
 
 # check is the CI gate: vet + formatting + full tests + race detector on
 # the concurrent solver paths.
@@ -30,3 +31,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# fault-demo runs the degradation-curve experiment: the resilient cloud
+# path (retry + breaker + classical fallback) swept over injected fault
+# rates. See DESIGN.md's "Failure model".
+fault-demo:
+	$(GO) run ./cmd/experiments -exp faults -fast

@@ -53,7 +53,7 @@ func parseScales(s string) ([]int, error) {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | all")
+		exp    = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | faults | all")
 		fast   = flag.Bool("fast", false, "reduced solver budget")
 		seed   = flag.Int64("seed", 2024, "experiment seed")
 		procsF = flag.String("procs", "", "comma-separated node scales for fig4/table3 (default 4,8,16,32,64)")
@@ -300,6 +300,24 @@ func run() error {
 			sink.table("scaling_"+strings.ToLower(form.String()), experiments.ScalingTable(
 				fmt.Sprintf("Sampler scaling — %v, 100 tasks/node, 200 sweeps, 1 read", form), points))
 		}
+	}
+
+	if want("faults") {
+		ran = true
+		// Degradation curve of the resilient cloud path: the same
+		// drifting dlb run at increasing injected fault rates. Every
+		// round must complete at every rate; quality degrades gracefully
+		// as fallbacks replace cloud solves.
+		iters := 6
+		if *fast {
+			iters = 4
+		}
+		points, err := experiments.RunFaultSweep(ctx, cfg, experiments.DefaultFaultRates(), iters)
+		if err != nil {
+			return err
+		}
+		sink.table("faults", experiments.FaultTable(
+			"Degradation under injected cloud faults — drifting workload, resilient Q_CQM1 (retry+breaker+SA fallback)", points))
 	}
 
 	if !ran {

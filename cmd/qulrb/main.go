@@ -18,15 +18,27 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/balancer"
 	"repro/internal/chameleon"
 	"repro/internal/cqm"
 	"repro/internal/csvio"
+	"repro/internal/faults"
 	"repro/internal/hybrid"
 	"repro/internal/lrp"
 	"repro/internal/qlrb"
+	"repro/internal/resilient"
+	"repro/internal/sa"
 )
+
+// plural picks the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -46,6 +58,8 @@ func run() error {
 		layers   = flag.Int("layers", 2, "QAOA depth for -algo qaoa")
 		seed     = flag.Int64("seed", 1, "solver seed")
 		cold     = flag.Bool("cold", false, "disable classical warm starts for the CQM methods")
+		resil    = flag.Bool("resilient", false, "wrap the hybrid solve in retry/backoff + breaker + classical SA fallback")
+		faultPct = flag.Float64("fault-rate", 0, "inject simulated cloud faults at this probability per attempt (implies -resilient)")
 		dump     = flag.String("dump-cqm", "", "also write the built CQM model to this file (qcqm1/qcqm2/qaoa)")
 		sim      = flag.Bool("simulate", false, "replay baseline and plan on the runtime simulator")
 		traceOut = flag.String("trace-out", "", "write the simulated execution log here (implies -simulate)")
@@ -135,20 +149,44 @@ func run() error {
 				warm = append(warm, p)
 			}
 		}
-		var stats qlrb.SolveStats
-		plan, stats, err = qlrb.Solve(ctx, in, qlrb.SolveOptions{
-			Build: qlrb.BuildOptions{Form: form, K: *k},
-			Hybrid: hybrid.Options{
-				Reads:         *reads,
-				Sweeps:        *sweeps,
-				Seed:          *seed,
-				Presolve:      true,
-				Penalty:       5,
-				PenaltyGrowth: 4,
-				Timing:        hybrid.DefaultTimingModel(),
-			},
+		hopts := hybrid.Options{
+			Reads:         *reads,
+			Sweeps:        *sweeps,
+			Seed:          *seed,
+			Presolve:      true,
+			Penalty:       5,
+			PenaltyGrowth: 4,
+			Timing:        hybrid.DefaultTimingModel(),
+		}
+		sopts := qlrb.SolveOptions{
+			Build:     qlrb.BuildOptions{Form: form, K: *k},
+			Hybrid:    hopts,
 			WarmPlans: warm,
-		})
+		}
+		// The resilient path: deterministic fault injection on the
+		// simulated cloud, retry/backoff + circuit breaker around it,
+		// and a local SA fallback so a plan always comes back.
+		var policy *resilient.Policy
+		var injector *faults.Injector
+		if *resil || *faultPct > 0 {
+			if *faultPct > 0 {
+				injector = faults.NewInjector(faults.Uniform(*seed, *faultPct))
+				sopts.Hybrid.Faults = injector
+			}
+			ropts := resilient.DefaultOptions()
+			ropts.Seed = *seed
+			ropts.Fallback = &sa.Engine{Base: sa.Options{Sweeps: *sweeps, Penalty: 5, PenaltyGrowth: 4, Seed: *seed + 1}}
+			ropts.OnRetry = func(attempt int, wait time.Duration, err error) {
+				fmt.Printf("resilient: attempt %d failed (%v); retrying in %v\n", attempt, err, wait.Round(time.Millisecond))
+			}
+			ropts.OnFallback = func(err error) {
+				fmt.Printf("resilient: cloud path unavailable (%v); degrading to local SA fallback\n", err)
+			}
+			policy = resilient.NewPolicy(ropts)
+			sopts.Wrap = policy.Wrap
+		}
+		var stats qlrb.SolveStats
+		plan, stats, err = qlrb.Solve(ctx, in, sopts)
 		if err == nil {
 			fmt.Printf("cqm: %d logical qubits, %d constraints (%d eq, %d ineq), sample feasible: %v\n",
 				stats.Qubits, stats.Constraints, stats.EqConstraints, stats.IneqConstraints, stats.SampleFeasible)
@@ -156,6 +194,14 @@ func run() error {
 				stats.Solver.SimulatedCPU, stats.Solver.SimulatedQPU)
 			if stats.Solver.Interrupted {
 				fmt.Println("solve interrupted; best sample collected so far was used")
+			}
+			if policy != nil {
+				tot := policy.Totals()
+				fmt.Printf("resilient: %d attempt(s), %d retr%s, %d fallback(s), breaker %v\n",
+					tot.Attempts, tot.Retries, plural(tot.Retries, "y", "ies"), tot.Fallbacks, policy.Breaker().State())
+			}
+			if injector != nil {
+				fmt.Printf("faults: %d injected over %d attempt(s)\n", injector.Injected(), injector.Attempts())
 			}
 		}
 	default:

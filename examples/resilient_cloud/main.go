@@ -1,0 +1,145 @@
+// Resilient cloud workflow: the paper's rebalancing CQMs are solved on
+// a cloud hybrid service from inside an HPC job — a network hop that
+// fails, throttles, and times out in practice. This example injects a
+// deterministic fault schedule into the simulated cloud path and shows
+// the resilience layer absorbing it: retry with exponential backoff and
+// jitter, a circuit breaker that stops hammering a down service, and
+// graceful degradation to a local simulated-annealing solve so the BSP
+// loop always gets a feasible plan.
+//
+// Everything is seeded: rerunning prints the identical fault schedule,
+// retry log, and final plans.
+//
+// Run with:
+//
+//	go run ./examples/resilient_cloud
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/dlb"
+	"repro/internal/faults"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/resilient"
+	"repro/internal/sa"
+	"repro/internal/solve"
+)
+
+// tickingWorkload advances a fake clock before each round after the
+// first, standing in for the BSP compute phase between rebalances.
+// With the resilience policy on the same fake clock, backoff waits and
+// breaker cooldowns are exact and machine-independent.
+type tickingWorkload struct {
+	inner dlb.Workload
+	clk   *solve.Fake
+	step  time.Duration
+}
+
+func (w tickingWorkload) Iteration(it int) (*lrp.Instance, error) {
+	if it > 0 {
+		w.clk.Advance(w.step)
+	}
+	return w.inner.Iteration(it)
+}
+
+func main() {
+	const seed = 11
+
+	// A heavy fault mix: half of all cloud attempts fail somehow.
+	fcfg := faults.Uniform(seed, 0.5)
+	fmt.Print("injected fault schedule (first 12 attempts): ")
+	for i, k := range fcfg.Schedule(12) {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(k)
+	}
+	fmt.Println()
+
+	injector := faults.NewInjector(fcfg)
+	clk := solve.NewFake(time.Unix(0, 0))
+	policy := resilient.NewPolicy(resilient.Options{
+		MaxAttempts: 3,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Jitter:      0.2,
+		Seed:        seed,
+		Breaker:     resilient.BreakerConfig{Threshold: 4, Cooldown: 20 * time.Millisecond},
+		Fallback:    &sa.Engine{Base: sa.Options{Sweeps: 400, Penalty: 5, PenaltyGrowth: 4, Seed: seed + 1}},
+		Clock:       clk,
+		OnRetry: func(attempt int, wait time.Duration, err error) {
+			fmt.Printf("  retry: attempt %d failed (%v); backing off %v\n", attempt, err, wait.Round(time.Millisecond))
+		},
+		OnFallback: func(err error) {
+			fmt.Printf("  fallback: cloud path unavailable (%v); serving locally\n", err)
+		},
+	})
+
+	// A drifting hot spot, rebalanced every iteration by the resilient
+	// quantum-hybrid method — the Figure-1 BSP loop under cloud faults.
+	base, err := lrp.NewInstance([]int{12, 12, 12, 12}, []float64{1, 1, 1, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proact, err := balancer.ProactLB{}.Rebalance(context.Background(), base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := hybrid.Options{
+		Reads: 6, Sweeps: 400, Seed: seed,
+		Presolve: true, Penalty: 5, PenaltyGrowth: 4,
+		Timing: hybrid.DefaultTimingModel(),
+		Faults: injector,
+	}
+	method := &qlrb.Quantum{
+		Label: "Q_CQM1_resilient",
+		Opts: qlrb.SolveOptions{
+			Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: proact.Migrated()},
+			Hybrid: h,
+			Wrap:   policy.Wrap,
+		},
+	}
+
+	fmt.Println("\n8 BSP iterations at 50% injected fault rate:")
+	workload := tickingWorkload{
+		inner: dlb.DriftingWorkload{Base: base, Drift: 1},
+		clk:   clk,
+		step:  10 * time.Millisecond,
+	}
+	res, err := dlb.Run(context.Background(), workload, method, dlb.Config{
+		Runtime:    chameleon.Config{Workers: 2, LatencyMs: 0.2, PerTaskMs: 0.1},
+		Iterations: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it, ir := range res.Iterations {
+		note := ""
+		if ir.Degraded {
+			note = "  [degraded]"
+		}
+		fmt.Printf("  iter %d: R_imb %.4f, migrated %2d, makespan %.2f ms (baseline %.2f)%s\n",
+			it, ir.Imbalance, ir.Migrated, ir.MakespanMs, ir.BaselineMakespanMs, note)
+	}
+
+	tot := policy.Totals()
+	counts := injector.Counts()
+	fmt.Printf("\nall %d rounds completed; speedup %.3f, %d tasks migrated\n",
+		len(res.Iterations), res.Speedup, res.TotalMigrated)
+	fmt.Printf("faults injected: %d of %d attempts (%d transient, %d timeout, %d throttle, %d corrupt)\n",
+		injector.Injected(), injector.Attempts(),
+		counts[faults.Transient], counts[faults.Timeout], counts[faults.Throttle], counts[faults.Corrupt])
+	fmt.Printf("resilience: %d attempts, %d retries, %d fallbacks, %d breaker skips (%d trips, now %v)\n",
+		tot.Attempts, tot.Retries, tot.Fallbacks, tot.BreakerSkips, policy.Breaker().Trips(), policy.Breaker().State())
+	fmt.Println("\nthe cloud hop can fail half the time and the BSP loop still gets a")
+	fmt.Println("feasible plan every round — the classical floor the hybrid portfolio")
+	fmt.Println("guarantees, now enforced end to end.")
+}

@@ -1,0 +1,123 @@
+package dlb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+)
+
+// flaky fails Rebalance on the listed rounds and otherwise delegates to
+// an inner method.
+type flaky struct {
+	inner balancer.Rebalancer
+	fail  map[int]bool
+	calls int
+}
+
+var errCloudDown = errors.New("cloud down")
+
+func (f *flaky) Name() string { return "flaky(" + f.inner.Name() + ")" }
+
+func (f *flaky) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
+	call := f.calls
+	f.calls++
+	if f.fail[call] {
+		return nil, fmt.Errorf("round %d: %w", call, errCloudDown)
+	}
+	return f.inner.Rebalance(ctx, in)
+}
+
+func TestRunDegradesToPreviousPlan(t *testing.T) {
+	method := &flaky{inner: balancer.ProactLB{}, fail: map[int]bool{1: true, 3: true}}
+	w := StaticWorkload{In: testInstance()}
+	res, err := Run(context.Background(), w, method, Config{Runtime: runtimeCfg(), Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 5 {
+		t.Fatalf("only %d iterations completed", len(res.Iterations))
+	}
+	if res.DegradedRounds != 2 {
+		t.Fatalf("DegradedRounds = %d, want 2", res.DegradedRounds)
+	}
+	for i, ir := range res.Iterations {
+		wantDegraded := i == 1 || i == 3
+		if ir.Degraded != wantDegraded {
+			t.Fatalf("iteration %d: Degraded = %v", i, ir.Degraded)
+		}
+		if wantDegraded {
+			if !errors.Is(ir.Err, ErrRebalance) || !errors.Is(ir.Err, errCloudDown) {
+				t.Fatalf("iteration %d: Err = %v", i, ir.Err)
+			}
+			// The previous good plan stands in: on a static workload it
+			// yields the same balance as the round before.
+			if math.Abs(ir.Imbalance-res.Iterations[i-1].Imbalance) > 1e-9 {
+				t.Fatalf("iteration %d: stale plan gave R_imb %v, previous round %v",
+					i, ir.Imbalance, res.Iterations[i-1].Imbalance)
+			}
+		} else if ir.Err != nil {
+			t.Fatalf("iteration %d: unexpected Err %v", i, ir.Err)
+		}
+	}
+}
+
+func TestRunDegradesToIdentityWhenNoPlanYet(t *testing.T) {
+	method := &flaky{inner: balancer.ProactLB{}, fail: map[int]bool{0: true, 1: true, 2: true}}
+	w := StaticWorkload{In: testInstance()}
+	res, err := Run(context.Background(), w, method, Config{Runtime: runtimeCfg(), Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedRounds != 3 {
+		t.Fatalf("DegradedRounds = %d, want 3", res.DegradedRounds)
+	}
+	if res.TotalMigrated != 0 {
+		t.Fatalf("identity fallback migrated %d tasks", res.TotalMigrated)
+	}
+	for i, ir := range res.Iterations {
+		if math.Abs(ir.MakespanMs-ir.BaselineMakespanMs) > 1e-9 {
+			t.Fatalf("iteration %d: identity plan changed the makespan: %v vs %v",
+				i, ir.MakespanMs, ir.BaselineMakespanMs)
+		}
+	}
+	if math.Abs(res.Speedup-1) > 1e-9 {
+		t.Fatalf("speedup %v, want 1 on identity-only rounds", res.Speedup)
+	}
+}
+
+func TestRunStrictAbortsOnRebalanceFailure(t *testing.T) {
+	method := &flaky{inner: balancer.ProactLB{}, fail: map[int]bool{1: true}}
+	w := StaticWorkload{In: testInstance()}
+	_, err := Run(context.Background(), w, method, Config{Runtime: runtimeCfg(), Iterations: 4, Strict: true})
+	if !errors.Is(err, ErrRebalance) {
+		t.Fatalf("err = %v, want ErrRebalance", err)
+	}
+	if !errors.Is(err, errCloudDown) {
+		t.Fatalf("err = %v, want the cause wrapped", err)
+	}
+}
+
+func TestRunWorkloadErrorWrapped(t *testing.T) {
+	bad := DriftingWorkload{Base: &lrp.Instance{}}
+	_, err := Run(context.Background(), bad, balancer.Greedy{}, Config{Runtime: runtimeCfg(), Iterations: 1})
+	if !errors.Is(err, ErrWorkload) {
+		t.Fatalf("err = %v, want ErrWorkload", err)
+	}
+}
+
+func TestRunCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, StaticWorkload{In: testInstance()}, balancer.Greedy{}, Config{Runtime: runtimeCfg(), Iterations: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res.Iterations) != 0 {
+		t.Fatalf("%d iterations ran under a cancelled context", len(res.Iterations))
+	}
+}

@@ -14,11 +14,29 @@ package dlb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/balancer"
 	"repro/internal/chameleon"
 	"repro/internal/lrp"
+)
+
+// Sentinel errors: every failure Run returns wraps one of these (plus
+// the underlying cause, both reachable via errors.Is/As), so callers
+// can distinguish the layer that failed.
+var (
+	// ErrConfig marks an invalid driver configuration.
+	ErrConfig = errors.New("dlb: invalid config")
+	// ErrWorkload marks a failure producing an iteration's input.
+	ErrWorkload = errors.New("dlb: workload error")
+	// ErrRuntime marks a runtime-simulator failure.
+	ErrRuntime = errors.New("dlb: runtime error")
+	// ErrRebalance marks a rebalancing-method failure. Run only returns
+	// it in strict mode (or when the method's plan cannot be applied
+	// and no previous plan can stand in); otherwise the round degrades
+	// to the previous plan and the error is recorded per iteration.
+	ErrRebalance = errors.New("dlb: rebalance error")
 )
 
 // Workload produces the (possibly drifting) imbalance input of each BSP
@@ -49,7 +67,7 @@ type DriftingWorkload struct {
 func (w DriftingWorkload) Iteration(it int) (*lrp.Instance, error) {
 	m := w.Base.NumProcs()
 	if m == 0 {
-		return nil, fmt.Errorf("dlb: empty base instance")
+		return nil, fmt.Errorf("%w: empty base instance", ErrWorkload)
 	}
 	shift := ((it*w.Drift)%m + m) % m // Go's % keeps the dividend's sign
 	weights := make([]float64, m)
@@ -65,6 +83,10 @@ type Config struct {
 	Runtime chameleon.Config
 	// Iterations is the number of BSP iterations to run.
 	Iterations int
+	// Strict restores the fail-fast behaviour: abort the run on the
+	// first rebalance failure instead of degrading the round to the
+	// previous plan (identity when no round has succeeded yet).
+	Strict bool
 }
 
 // IterationResult records one iteration of the driven run.
@@ -80,6 +102,12 @@ type IterationResult struct {
 	CommMs float64
 	// Imbalance is R_imb of the plan's load vector.
 	Imbalance float64
+	// Degraded reports that the rebalancing method failed this round
+	// and the previous plan (or the identity plan) was applied instead.
+	Degraded bool
+	// Err is the rebalance error the round survived (nil unless
+	// Degraded).
+	Err error
 }
 
 // Result aggregates a full run.
@@ -89,6 +117,9 @@ type Result struct {
 	TotalMakespanMs, TotalBaselineMs float64
 	// TotalMigrated sums migrations across iterations.
 	TotalMigrated int
+	// DegradedRounds counts iterations that survived a rebalance
+	// failure on a stale or identity plan.
+	DegradedRounds int
 	// Speedup is TotalBaselineMs / TotalMakespanMs.
 	Speedup float64
 }
@@ -99,36 +130,72 @@ type Result struct {
 // (paying migration costs), and the iteration's makespan is recorded.
 // Cancelling ctx stops the run at the next iteration boundary with the
 // partial result and the context's error.
+//
+// A rebalance failure does not abort the run (unless cfg.Strict): the
+// BSP application must take its next step with or without a fresh plan,
+// so the round degrades to the previous iteration's plan — the load
+// distribution the machine already has — or the identity plan when no
+// round has succeeded yet (or the stale plan no longer fits the
+// workload's shape). Degraded rounds are flagged per iteration and
+// counted in Result.DegradedRounds.
 func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config) (Result, error) {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 1
 	}
 	var res Result
+	var prev *lrp.Plan // last plan that applied cleanly
 	for it := 0; it < cfg.Iterations; it++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		in, err := w.Iteration(it)
 		if err != nil {
-			return res, err
+			return res, fmt.Errorf("%w: iteration %d: %w", ErrWorkload, it, err)
 		}
 		base, err := chameleon.New(cfg.Runtime, in)
 		if err != nil {
-			return res, err
+			return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
 		}
 		baseStats := base.RunIteration()
 
-		plan, err := method.Rebalance(ctx, in)
-		if err != nil {
-			return res, fmt.Errorf("dlb: iteration %d: %w", it, err)
+		plan, rerr := method.Rebalance(ctx, in)
+		if rerr != nil {
+			if cfg.Strict || ctx.Err() != nil {
+				return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
+			}
+			plan = nil // degrade below
 		}
-		rt, err := chameleon.New(cfg.Runtime, in)
-		if err != nil {
-			return res, err
+
+		// Apply the plan; on failure degrade progressively: method plan
+		// -> previous good plan -> identity. The identity plan applies
+		// to any instance, so a round never aborts on plan trouble.
+		var rt *chameleon.Runtime
+		var mig chameleon.MigrationStats
+		degraded := rerr != nil
+		for _, cand := range [...]*lrp.Plan{plan, prev, lrp.NewPlan(in)} {
+			if cand == nil {
+				continue
+			}
+			if rt, err = chameleon.New(cfg.Runtime, in); err != nil {
+				return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
+			}
+			if mig, err = rt.ApplyPlan(cand); err == nil {
+				plan = cand
+				break
+			}
+			if cand == plan && plan != nil {
+				if cfg.Strict {
+					return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), err)
+				}
+				degraded = true
+				if rerr == nil {
+					rerr = err
+				}
+			}
 		}
-		mig, err := rt.ApplyPlan(plan)
 		if err != nil {
-			return res, fmt.Errorf("dlb: iteration %d: %w", it, err)
+			// Even the identity plan failed: the runtime itself is broken.
+			return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
 		}
 		st := rt.RunIteration()
 
@@ -138,6 +205,13 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 			Migrated:           mig.Tasks,
 			CommMs:             mig.CommTimeMs,
 			Imbalance:          lrp.Evaluate(in, plan).Imbalance,
+			Degraded:           degraded,
+		}
+		if degraded {
+			ir.Err = fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
+			res.DegradedRounds++
+		} else {
+			prev = plan
 		}
 		res.Iterations = append(res.Iterations, ir)
 		res.TotalBaselineMs += ir.BaselineMakespanMs

@@ -46,7 +46,7 @@ type procState struct {
 // with the most remaining queued work.
 func (ws WorkStealing) Simulate(in *lrp.Instance) (StealResult, error) {
 	if ws.Workers <= 0 {
-		return StealResult{}, fmt.Errorf("dlb: work stealing needs positive Workers")
+		return StealResult{}, fmt.Errorf("%w: work stealing needs positive Workers", ErrConfig)
 	}
 	m := in.NumProcs()
 	procs := make([]procState, m)

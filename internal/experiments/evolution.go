@@ -60,14 +60,14 @@ func RunEvolution(ctx context.Context, p EvolutionParams, method balancer.Rebala
 		st := sim.Step()
 		in, err := samoa.ImbalanceInput(sim.Mesh, p.Procs, p.TasksPerProc, cm)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: evolution step %d: %w", step, err)
+			return nil, fmt.Errorf("%w: evolution step %d: %w", ErrMethod, step, err)
 		}
 		pt := EvolutionPoint{Step: step, Cells: st.Cells, RawImbalance: in.Imbalance()}
 
 		if p.RebalanceEvery > 0 && step%p.RebalanceEvery == 0 {
 			plan, err = method.Rebalance(ctx, in)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: evolution step %d: %w", step, err)
+				return nil, fmt.Errorf("%w: evolution step %d: %w", ErrMethod, step, err)
 			}
 			pt.Migrated = plan.Migrated()
 		}

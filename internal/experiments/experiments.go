@@ -16,6 +16,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -23,6 +24,16 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/lrp"
 	"repro/internal/qlrb"
+)
+
+// Sentinel errors: runner failures wrap one of these plus the
+// underlying cause (both reachable via errors.Is), so the harness can
+// tell a failed method apart from a failed artifact write.
+var (
+	// ErrMethod marks a rebalancing-method failure inside a runner.
+	ErrMethod = errors.New("experiments: method failed")
+	// ErrExport marks an artifact-persistence failure.
+	ErrExport = errors.New("experiments: export failed")
 )
 
 // Config tunes experiment cost and reproducibility.
@@ -155,7 +166,7 @@ func runQuantum(ctx context.Context, label string, form qlrb.Formulation, k int,
 			WarmPlans: warm,
 		})
 		if err != nil {
-			return MethodResult{}, fmt.Errorf("%s: %w", label, err)
+			return MethodResult{}, fmt.Errorf("%w: %s: %w", ErrMethod, label, err)
 		}
 		m := lrp.Evaluate(in, plan)
 		res := MethodResult{

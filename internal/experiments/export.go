@@ -35,7 +35,7 @@ func ExportCaseArtifacts(dir string, in *lrp.Instance, cr CaseResult) ([]string,
 		err = cerr
 	}
 	if err != nil {
-		return nil, fmt.Errorf("experiments: writing %s: %w", inputPath, err)
+		return nil, fmt.Errorf("%w: writing %s: %w", ErrExport, inputPath, err)
 	}
 	written = append(written, inputPath)
 
@@ -53,7 +53,7 @@ func ExportCaseArtifacts(dir string, in *lrp.Instance, cr CaseResult) ([]string,
 			err = cerr
 		}
 		if err != nil {
-			return nil, fmt.Errorf("experiments: writing %s: %w", outPath, err)
+			return nil, fmt.Errorf("%w: writing %s: %w", ErrExport, outPath, err)
 		}
 		written = append(written, outPath)
 	}

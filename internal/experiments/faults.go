@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/chameleon"
+	"repro/internal/dlb"
+	"repro/internal/faults"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+	"repro/internal/resilient"
+	"repro/internal/sa"
+	"repro/internal/solve"
+)
+
+// tickingWorkload advances a fake clock by step before every round
+// after the first, modelling the BSP compute phase that elapses between
+// rebalances. Driving the resilience layer off the same fake clock
+// makes backoff and breaker-cooldown behaviour identical on any
+// machine, however fast the underlying solves run.
+type tickingWorkload struct {
+	inner dlb.Workload
+	clk   *solve.Fake
+	step  time.Duration
+}
+
+// Iteration implements dlb.Workload.
+func (w tickingWorkload) Iteration(it int) (*lrp.Instance, error) {
+	if it > 0 {
+		w.clk.Advance(w.step)
+	}
+	return w.inner.Iteration(it)
+}
+
+// FaultPoint is one point of the quality-vs-fault-rate degradation
+// curve: a full drifting-workload dlb run of the resilient cloud path
+// at one injected fault rate.
+type FaultPoint struct {
+	// Rate is the total per-attempt fault probability injected.
+	Rate float64
+	// Rounds is the number of BSP iterations completed (the resilience
+	// claim is that this equals the configured iteration count at every
+	// rate).
+	Rounds int
+	// DegradedRounds counts rounds that fell back to a stale plan (0
+	// when the classical fallback serves every outage).
+	DegradedRounds int
+	// AvgImbalance is the mean post-plan R_imb across rounds.
+	AvgImbalance float64
+	// Speedup and Migrated summarise the run as usual.
+	Speedup  float64
+	Migrated int
+	// Totals are the resilience policy's cumulative counters.
+	Totals resilient.Totals
+	// Injected is the number of faults the injector actually fired.
+	Injected int
+	// BreakerTrips counts circuit-breaker openings during the run.
+	BreakerTrips int
+}
+
+// DefaultFaultRates is the sweep grid of the degradation experiment.
+func DefaultFaultRates() []float64 { return []float64{0, 0.1, 0.2, 0.3} }
+
+// faultSweepBase is the drifting hot-spot workload the sweep runs on.
+func faultSweepBase() (*lrp.Instance, error) {
+	return lrp.NewInstance([]int{12, 12, 12, 12}, []float64{1, 1, 1, 5})
+}
+
+// RunFaultSweep drives the resilient quantum-hybrid rebalancer through
+// a drifting dlb run at each injected fault rate and reports the
+// degradation curve: the same seeded workload and solver budget per
+// point, with only the fault rate varying. Identical cfg.Seed yields an
+// identical schedule, retry counts, and final plans — the sweep is
+// fully reproducible.
+//
+// Faults follow the faults.Uniform split (40% transient, 20% timeout,
+// 20% throttle, 20% corrupt); the resilience policy retries up to 3
+// times with millisecond-scale backoff, trips its breaker after 4
+// consecutive failures, and degrades to a local simulated-annealing
+// solve, so every round completes and returns a feasible plan.
+func RunFaultSweep(ctx context.Context, cfg Config, rates []float64, iterations int) ([]FaultPoint, error) {
+	if len(rates) == 0 {
+		rates = DefaultFaultRates()
+	}
+	if iterations <= 0 {
+		iterations = 6
+	}
+	base, err := faultSweepBase()
+	if err != nil {
+		return nil, err
+	}
+	// The paper's protocol: k1 is ProactLB's migration count.
+	proact, err := balancer.ProactLB{}.Rebalance(ctx, base)
+	if err != nil {
+		return nil, fmt.Errorf("%w: proactlb: %w", ErrMethod, err)
+	}
+	k1 := proact.Migrated()
+
+	points := make([]FaultPoint, 0, len(rates))
+	for i, rate := range rates {
+		seed := cfg.Seed*7_919 + int64(i)*101
+		clk := solve.NewFake(time.Unix(0, 0))
+		injector := faults.NewInjector(faults.Uniform(seed, rate))
+		fallback := &sa.Engine{Base: sa.Options{
+			Sweeps:        cfg.Sweeps,
+			Penalty:       5,
+			PenaltyGrowth: 4,
+			Seed:          seed + 1,
+		}}
+		policy := resilient.NewPolicy(resilient.Options{
+			MaxAttempts: 3,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+			Seed:        seed,
+			Breaker:     resilient.BreakerConfig{Threshold: 4, Cooldown: 10 * time.Millisecond},
+			Fallback:    fallback,
+			Clock:       clk,
+		})
+		h := cfg.hybridOptions(seed)
+		h.Faults = injector
+		method := &qlrb.Quantum{
+			Label: "Q_CQM1_res",
+			Opts: qlrb.SolveOptions{
+				Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: k1},
+				Hybrid: h,
+				Wrap:   policy.Wrap,
+			},
+		}
+		workload := tickingWorkload{
+			inner: dlb.DriftingWorkload{Base: base, Drift: 1},
+			clk:   clk,
+			step:  5 * time.Millisecond,
+		}
+		run, err := dlb.Run(ctx, workload, method, dlb.Config{
+			Runtime:    chameleon.Config{Workers: 2, LatencyMs: 0.2, PerTaskMs: 0.1},
+			Iterations: iterations,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: fault rate %.2f: %w", ErrMethod, rate, err)
+		}
+		p := FaultPoint{
+			Rate:           rate,
+			Rounds:         len(run.Iterations),
+			DegradedRounds: run.DegradedRounds,
+			Speedup:        run.Speedup,
+			Migrated:       run.TotalMigrated,
+			Totals:         policy.Totals(),
+			Injected:       injector.Injected(),
+			BreakerTrips:   policy.Breaker().Trips(),
+		}
+		for _, ir := range run.Iterations {
+			p.AvgImbalance += ir.Imbalance
+		}
+		if len(run.Iterations) > 0 {
+			p.AvgImbalance /= float64(len(run.Iterations))
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// FaultTable renders the degradation curve: solution quality and
+// resilience counters against the injected fault rate.
+func FaultTable(title string, points []FaultPoint) *report.Table {
+	t := report.NewTable(title,
+		"fault rate", "rounds", "degraded", "injected",
+		"attempts", "retries", "fallbacks", "brk skips", "brk trips",
+		"R_imb avg", "speedup", "migrated")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", p.Rate*100),
+			fmt.Sprintf("%d", p.Rounds),
+			fmt.Sprintf("%d", p.DegradedRounds),
+			fmt.Sprintf("%d", p.Injected),
+			fmt.Sprintf("%d", p.Totals.Attempts),
+			fmt.Sprintf("%d", p.Totals.Retries),
+			fmt.Sprintf("%d", p.Totals.Fallbacks),
+			fmt.Sprintf("%d", p.Totals.BreakerSkips),
+			fmt.Sprintf("%d", p.BreakerTrips),
+			report.Fmt(p.AvgImbalance),
+			report.Fmt(p.Speedup),
+			fmt.Sprintf("%d", p.Migrated),
+		)
+	}
+	return t
+}

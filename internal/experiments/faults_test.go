@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func faultTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Reads = 2
+	cfg.Sweeps = 60
+	return cfg
+}
+
+func TestRunFaultSweepCompletesEveryRound(t *testing.T) {
+	cfg := faultTestConfig()
+	const iters = 3
+	points, err := RunFaultSweep(context.Background(), cfg, []float64{0, 0.3}, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	for _, p := range points {
+		// The resilience claim: every BSP round completes at every
+		// injected fault rate, degraded or not.
+		if p.Rounds != iters {
+			t.Fatalf("rate %.0f%%: %d of %d rounds completed", p.Rate*100, p.Rounds, iters)
+		}
+		if p.Totals.Solves != iters {
+			t.Fatalf("rate %.0f%%: policy served %d solves", p.Rate*100, p.Totals.Solves)
+		}
+		if p.AvgImbalance < 0 || p.Speedup <= 0 {
+			t.Fatalf("rate %.0f%%: degenerate metrics %+v", p.Rate*100, p)
+		}
+	}
+	clean, faulty := points[0], points[1]
+	if clean.Injected != 0 || clean.Totals.Retries != 0 || clean.Totals.Fallbacks != 0 {
+		t.Fatalf("faults at rate 0: %+v", clean)
+	}
+	if faulty.Injected == 0 {
+		t.Fatal("rate 0.3 injected nothing over the run")
+	}
+	// Every injected fault was absorbed somewhere: retried successfully
+	// or served by the fallback.
+	if faulty.Totals.Retries == 0 && faulty.Totals.Fallbacks == 0 {
+		t.Fatalf("faults injected but no resilience action recorded: %+v", faulty.Totals)
+	}
+}
+
+func TestRunFaultSweepDeterministic(t *testing.T) {
+	cfg := faultTestConfig()
+	rates := []float64{0.2}
+	a, err := RunFaultSweep(context.Background(), cfg, rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultSweep(context.Background(), cfg, rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("sweep not reproducible:\n%+v\n%+v", a[0], b[0])
+	}
+}
+
+func TestRunFaultSweepDefaults(t *testing.T) {
+	cfg := faultTestConfig()
+	points, err := RunFaultSweep(context.Background(), cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(DefaultFaultRates()) {
+		t.Fatalf("%d points, want %d", len(points), len(DefaultFaultRates()))
+	}
+}
+
+func TestFaultTableRenders(t *testing.T) {
+	points := []FaultPoint{{Rate: 0.3, Rounds: 6, DegradedRounds: 1, AvgImbalance: 0.25, Speedup: 1.5, Migrated: 30}}
+	tab := FaultTable("degradation", points)
+	s := tab.Render()
+	for _, want := range []string{"degradation", "30%", "fault rate", "fallbacks"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}

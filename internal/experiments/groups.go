@@ -25,7 +25,7 @@ func RunVaryImbalance(ctx context.Context, cfg Config) (GroupResult, error) {
 	for _, c := range mxm.VaryImbalanceCases(mxm.DefaultCostModel()) {
 		cr, err := RunCase(ctx, c.Name, c.Instance, cfg)
 		if err != nil {
-			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
+			return g, fmt.Errorf("%w: %s: %w", ErrMethod, c.Name, err)
 		}
 		g.Cases = append(g.Cases, cr)
 	}
@@ -40,7 +40,7 @@ func RunVaryProcs(ctx context.Context, cfg Config, scales []int) (GroupResult, e
 		c := mxm.VaryProcsCase(procs, mxm.DefaultCostModel(), cfg.Seed+int64(i))
 		cr, err := RunCase(ctx, c.Name, c.Instance, cfg)
 		if err != nil {
-			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
+			return g, fmt.Errorf("%w: %s: %w", ErrMethod, c.Name, err)
 		}
 		g.Cases = append(g.Cases, cr)
 	}
@@ -55,7 +55,7 @@ func RunVaryTasks(ctx context.Context, cfg Config, scales []int) (GroupResult, e
 		c := mxm.VaryTasksCase(n, mxm.DefaultCostModel(), cfg.Seed+int64(i))
 		cr, err := RunCase(ctx, c.Name, c.Instance, cfg)
 		if err != nil {
-			return g, fmt.Errorf("experiments: %s: %w", c.Name, err)
+			return g, fmt.Errorf("%w: %s: %w", ErrMethod, c.Name, err)
 		}
 		g.Cases = append(g.Cases, cr)
 	}
@@ -112,7 +112,7 @@ func SamoaInput(p SamoaParams) (*lrp.Instance, error) {
 func RunSamoa(ctx context.Context, cfg Config, p SamoaParams) (CaseResult, error) {
 	in, err := SamoaInput(p)
 	if err != nil {
-		return CaseResult{}, fmt.Errorf("experiments: samoa input: %w", err)
+		return CaseResult{}, fmt.Errorf("%w: samoa input: %w", ErrMethod, err)
 	}
 	return RunCase(ctx, "sam(oa)2 oscillating lake", in, cfg)
 }

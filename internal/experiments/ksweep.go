@@ -78,7 +78,7 @@ func RunKSweep(ctx context.Context, in *lrp.Instance, form qlrb.Formulation, ks 
 				WarmPlans: warm,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: k=%d: %w", k, err)
+				return nil, fmt.Errorf("%w: k=%d: %w", ErrMethod, k, err)
 			}
 			p := KSweepPoint{K: k, Metrics: lrp.Evaluate(in, plan), SampleFeasible: stats.SampleFeasible}
 			if rep == 0 || betterMetrics(p.Metrics, best.Metrics) {

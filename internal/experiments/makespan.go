@@ -54,7 +54,7 @@ func RunMakespan(in *lrp.Instance, cr CaseResult, rc chameleon.Config) ([]Makesp
 		}
 		mig, err := rt.ApplyPlan(mr.Plan)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			return nil, fmt.Errorf("%w: %s: %w", ErrMethod, name, err)
 		}
 		iters := rt.Run(2)
 		res := MakespanResult{

@@ -40,7 +40,7 @@ func RunScaling(form qlrb.Formulation, scales []int, sweeps int, seed int64) ([]
 		start := time.Now()
 		enc, err := qlrb.Build(c.Instance, qlrb.BuildOptions{Form: form, K: -1})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: scaling M=%d: %w", procs, err)
+			return nil, fmt.Errorf("%w: scaling M=%d: %w", ErrMethod, procs, err)
 		}
 		buildMs := float64(time.Since(start).Microseconds()) / 1000
 

@@ -73,7 +73,7 @@ func RunSolverTuning(ctx context.Context, in *lrp.Instance, form qlrb.Formulatio
 		start := time.Now()
 		plan, stats, err := qlrb.Solve(ctx, in, opts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: tuning %s: %w", v.label, err)
+			return nil, fmt.Errorf("%w: tuning %s: %w", ErrMethod, v.label, err)
 		}
 		m := lrp.Evaluate(in, plan)
 		out = append(out, TuningPoint{

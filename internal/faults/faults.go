@@ -1,0 +1,270 @@
+// Package faults is a seeded, deterministic fault injector for the
+// simulated cloud solver path. The paper's workflow submits every
+// rebalancing CQM to a cloud hybrid solver from inside an HPC job — a
+// network hop that in practice fails, throttles, and times out. The
+// injector reproduces those availability gaps on demand so the
+// resilience layer (internal/resilient) can be exercised and measured
+// deterministically: the full fault schedule is a pure function of the
+// configuration's seed, so identical seeds yield identical schedules,
+// retry counts, and final plans.
+//
+// Fault taxonomy:
+//
+//   - Transient — the submission fails with a retryable network error
+//     before the solver runs (connection reset, DNS, 5xx).
+//   - Timeout — the solve is accepted but never returns within its
+//     deadline; the attempt consumes Config.TimeoutDelay of (injected)
+//     clock time before the error surfaces.
+//   - Throttle — the service rejects the request up front with a quota
+//     error (HTTP 429-class).
+//   - Corrupt — the solve "succeeds" but the returned sample was
+//     damaged in flight: bits are flipped so the reported objective and
+//     feasibility no longer match the sample. Detected by response
+//     validation, not by an error.
+//
+// The injection surface is the Hook interface, consulted once per solve
+// attempt by the simulated cloud backend (hybrid.Options.Faults).
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None is a clean attempt.
+	None Kind = iota
+	// Transient is a retryable network failure before the solve runs.
+	Transient
+	// Timeout is a per-job solve deadline expiry.
+	Timeout
+	// Throttle is a quota/rate-limit rejection.
+	Throttle
+	// Corrupt damages the returned sample instead of erroring.
+	Corrupt
+)
+
+const numKinds = int(Corrupt) + 1
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Timeout:
+		return "timeout"
+	case Throttle:
+		return "throttle"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Sentinel errors the transport-level faults surface as. They are
+// wrapped with %w at the injection site, so callers classify them with
+// errors.Is.
+var (
+	// ErrTransient is a retryable network failure.
+	ErrTransient = errors.New("faults: transient network error")
+	// ErrTimeout is a per-job cloud solve deadline expiry.
+	ErrTimeout = errors.New("faults: cloud solve timed out")
+	// ErrThrottled is a quota/rate-limit rejection.
+	ErrThrottled = errors.New("faults: request throttled (quota exceeded)")
+)
+
+// Err returns the sentinel error a fault of this kind surfaces as. None
+// and Corrupt return nil: a corrupted response is returned, not errored
+// (that is what makes it dangerous).
+func (k Kind) Err() error {
+	switch k {
+	case Transient:
+		return ErrTransient
+	case Timeout:
+		return ErrTimeout
+	case Throttle:
+		return ErrThrottled
+	}
+	return nil
+}
+
+// Retryable reports whether err is (or wraps) one of the injectable
+// transport faults — the class a resilient client may safely resubmit.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrThrottled)
+}
+
+// Config shapes the fault distribution. Each attempt draws one uniform
+// variate; the rates carve it up, so they are mutually exclusive per
+// attempt and must sum to at most 1.
+type Config struct {
+	// Seed drives the schedule; the whole schedule is a pure function
+	// of (Config, attempt index).
+	Seed int64
+	// Transient, Timeout, Throttle, Corrupt are per-attempt injection
+	// probabilities of each kind.
+	Transient, Timeout, Throttle, Corrupt float64
+	// TimeoutDelay is the simulated time a Timeout fault consumes
+	// before surfacing (measured on the injected solve.Clock).
+	TimeoutDelay time.Duration
+	// MaxFaults caps the total number of injected faults (0 = no cap);
+	// useful for demos that should eventually converge.
+	MaxFaults int
+}
+
+// Uniform splits a total fault rate over the four kinds in fixed
+// proportions: 40% transient, 20% timeout, 20% throttle, 20% corrupt.
+func Uniform(seed int64, rate float64) Config {
+	return Config{
+		Seed:      seed,
+		Transient: 0.4 * rate,
+		Timeout:   0.2 * rate,
+		Throttle:  0.2 * rate,
+		Corrupt:   0.2 * rate,
+	}
+}
+
+// Rate returns the total per-attempt fault probability.
+func (c Config) Rate() float64 { return c.Transient + c.Timeout + c.Throttle + c.Corrupt }
+
+// mix derives a well-spread 64-bit stream seed from (seed, seq),
+// splitmix64-style, so consecutive attempts get decorrelated draws.
+func mix(seed, seq int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(seq)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1) // keep it non-negative for rand.NewSource
+}
+
+// at returns the fault decision of attempt seq — a pure function of the
+// configuration, the source of the injector's reproducibility.
+func (c Config) at(seq int) Fault {
+	rng := rand.New(rand.NewSource(mix(c.Seed, int64(seq))))
+	u := rng.Float64()
+	f := Fault{Seq: seq, rngSeed: rng.Int63()}
+	switch t, o, q := c.Transient, c.Timeout, c.Throttle; {
+	case u < t:
+		f.Kind = Transient
+	case u < t+o:
+		f.Kind = Timeout
+		f.Delay = c.TimeoutDelay
+	case u < t+o+q:
+		f.Kind = Throttle
+	case u < t+o+q+c.Corrupt:
+		f.Kind = Corrupt
+	}
+	return f
+}
+
+// Schedule returns the fault kinds of attempts 0..n-1 — exactly what a
+// fresh Injector with this config will produce (ignoring MaxFaults).
+// Tests and reports use it to assert and display the schedule.
+func (c Config) Schedule(n int) []Kind {
+	out := make([]Kind, n)
+	for i := range out {
+		out[i] = c.at(i).Kind
+	}
+	return out
+}
+
+// Fault is one attempt's injection decision.
+type Fault struct {
+	// Kind is the fault class (None for a clean attempt).
+	Kind Kind
+	// Seq is the 0-based attempt index the decision belongs to.
+	Seq int
+	// Delay is the simulated time the fault consumes before surfacing
+	// (Timeout faults; zero otherwise).
+	Delay time.Duration
+
+	rngSeed int64
+}
+
+// CorruptSample deterministically flips a small subset of sample's bits
+// in place (between 1 and len/8 of them), modelling a response damaged
+// in flight. It is a no-op unless Kind is Corrupt.
+func (f Fault) CorruptSample(sample []bool) {
+	if f.Kind != Corrupt || len(sample) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(f.rngSeed))
+	n := 1 + rng.Intn(max(1, len(sample)/8))
+	for i := 0; i < n; i++ {
+		j := rng.Intn(len(sample))
+		sample[j] = !sample[j]
+	}
+}
+
+// Hook is the injection surface a simulated cloud component consults
+// once per solve attempt. *Injector implements it; a nil Hook means a
+// perfectly reliable cloud.
+type Hook interface {
+	// Next consumes and returns the next attempt's fault decision.
+	Next() Fault
+}
+
+// Injector hands out the configured schedule attempt by attempt. It is
+// safe for concurrent use; under concurrent submitters the assignment
+// of schedule slots to attempts follows arrival order.
+type Injector struct {
+	mu     sync.Mutex
+	cfg    Config
+	seq    int
+	counts [numKinds]int
+}
+
+// NewInjector returns an injector at the start of cfg's schedule.
+func NewInjector(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Next implements Hook.
+func (i *Injector) Next() Fault {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	f := i.cfg.at(i.seq)
+	i.seq++
+	if f.Kind != None && i.cfg.MaxFaults > 0 && i.injectedLocked() >= i.cfg.MaxFaults {
+		f = Fault{Seq: f.Seq} // cap reached: serve clean attempts from here on
+	}
+	i.counts[f.Kind]++
+	return f
+}
+
+func (i *Injector) injectedLocked() int {
+	n := 0
+	for k := 1; k < numKinds; k++ {
+		n += i.counts[k]
+	}
+	return n
+}
+
+// Injected returns the total number of faults injected so far.
+func (i *Injector) Injected() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injectedLocked()
+}
+
+// Attempts returns how many attempts the injector has decided.
+func (i *Injector) Attempts() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.seq
+}
+
+// Counts returns the per-kind injection counts so far (indexable by
+// Kind; Counts()[None] counts clean attempts).
+func (i *Injector) Counts() [numKinds]int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.counts
+}

@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	cfg := Uniform(42, 0.5)
+	a := cfg.Schedule(64)
+	b := cfg.Schedule(64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := Uniform(43, 0.5).Schedule(64)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-attempt schedules")
+	}
+}
+
+func TestInjectorFollowsSchedule(t *testing.T) {
+	cfg := Uniform(7, 0.6)
+	want := cfg.Schedule(32)
+	inj := NewInjector(cfg)
+	for i, k := range want {
+		f := inj.Next()
+		if f.Kind != k {
+			t.Fatalf("attempt %d: injector %v, schedule %v", i, f.Kind, k)
+		}
+		if f.Seq != i {
+			t.Fatalf("attempt %d: Seq = %d", i, f.Seq)
+		}
+	}
+	if inj.Attempts() != 32 {
+		t.Fatalf("Attempts = %d, want 32", inj.Attempts())
+	}
+	counts := inj.Counts()
+	injected, total := 0, 0
+	for k, n := range counts {
+		total += n
+		if Kind(k) != None {
+			injected += n
+		}
+	}
+	if total != 32 {
+		t.Fatalf("counts sum to %d, want 32", total)
+	}
+	if inj.Injected() != injected {
+		t.Fatalf("Injected() = %d, counts say %d", inj.Injected(), injected)
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	for _, k := range Uniform(3, 0).Schedule(50) {
+		if k != None {
+			t.Fatal("rate 0 injected a fault")
+		}
+	}
+	for _, k := range Uniform(3, 1).Schedule(50) {
+		if k == None {
+			t.Fatal("rate 1 produced a clean attempt")
+		}
+	}
+}
+
+func TestUniformSplit(t *testing.T) {
+	c := Uniform(1, 0.5)
+	if c.Rate() != 0.5 {
+		t.Fatalf("Rate = %v", c.Rate())
+	}
+	if c.Transient != 0.2 || c.Timeout != 0.1 || c.Throttle != 0.1 || c.Corrupt != 0.1 {
+		t.Fatalf("split %+v", c)
+	}
+}
+
+func TestTimeoutCarriesDelay(t *testing.T) {
+	cfg := Config{Seed: 5, Timeout: 1, TimeoutDelay: 30 * time.Millisecond}
+	f := NewInjector(cfg).Next()
+	if f.Kind != Timeout || f.Delay != 30*time.Millisecond {
+		t.Fatalf("fault %+v", f)
+	}
+}
+
+func TestMaxFaultsCap(t *testing.T) {
+	cfg := Uniform(9, 1)
+	cfg.MaxFaults = 3
+	inj := NewInjector(cfg)
+	for i := 0; i < 20; i++ {
+		inj.Next()
+	}
+	if inj.Injected() != 3 {
+		t.Fatalf("Injected = %d, want cap 3", inj.Injected())
+	}
+	if inj.Counts()[None] != 17 {
+		t.Fatalf("clean attempts = %d, want 17", inj.Counts()[None])
+	}
+}
+
+func TestKindStringsAndErrs(t *testing.T) {
+	names := map[Kind]string{
+		None: "none", Transient: "transient", Timeout: "timeout",
+		Throttle: "throttle", Corrupt: "corrupt", Kind(99): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if None.Err() != nil || Corrupt.Err() != nil {
+		t.Error("None/Corrupt should not error")
+	}
+	if !errors.Is(Transient.Err(), ErrTransient) ||
+		!errors.Is(Timeout.Err(), ErrTimeout) ||
+		!errors.Is(Throttle.Err(), ErrThrottled) {
+		t.Error("sentinel mapping broken")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for _, err := range []error{ErrTransient, ErrTimeout, ErrThrottled} {
+		if !Retryable(err) {
+			t.Errorf("%v not retryable", err)
+		}
+		if !Retryable(fmt.Errorf("hybrid: job 3: %w", err)) {
+			t.Errorf("wrapped %v not retryable", err)
+		}
+	}
+	if Retryable(errors.New("boom")) || Retryable(nil) {
+		t.Error("non-fault errors must not be retryable")
+	}
+}
+
+func TestCorruptSampleDeterministicAndBounded(t *testing.T) {
+	cfg := Config{Seed: 11, Corrupt: 1}
+	f := NewInjector(cfg).Next()
+	if f.Kind != Corrupt {
+		t.Fatalf("kind %v", f.Kind)
+	}
+	mk := func() []bool {
+		s := make([]bool, 64)
+		for i := range s {
+			s[i] = i%3 == 0
+		}
+		return s
+	}
+	a, b, orig := mk(), mk(), mk()
+	f.CorruptSample(a)
+	f.CorruptSample(b)
+	flips := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corruption not deterministic at bit %d", i)
+		}
+		if a[i] != orig[i] {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("corrupt fault flipped nothing")
+	}
+	if flips > len(a)/8 {
+		t.Fatalf("flipped %d bits, cap is %d", flips, len(a)/8)
+	}
+	// Non-corrupt faults and empty samples are no-ops.
+	clean := Fault{Kind: Transient}
+	c := mk()
+	clean.CorruptSample(c)
+	for i := range c {
+		if c[i] != orig[i] {
+			t.Fatal("non-corrupt fault mutated the sample")
+		}
+	}
+	f.CorruptSample(nil) // must not panic
+}

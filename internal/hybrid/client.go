@@ -20,6 +20,11 @@ import (
 type Client struct {
 	opts Options
 
+	// ctx is the client-level context every dispatched solve runs
+	// under; CloseNow cancels it to recall in-flight solves.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu     sync.Mutex
 	jobs   map[JobID]*job
 	nextID int
@@ -107,6 +112,7 @@ func NewClientN(opts Options, workers int) *Client {
 		queue: make(chan *job, 64),
 		done:  make(chan struct{}),
 	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -127,17 +133,26 @@ func (c *Client) dispatch() {
 		if !j.setStatus(Running) {
 			continue // cancelled while queued
 		}
-		j.result, j.err = New(c.opts).Solve(context.Background(), j.model, solve.WithSeed(j.seed))
+		// Solves run under the client-level context so CloseNow can
+		// recall them; an interrupted solve still yields its best
+		// partial result (Stats.Interrupted), never an error.
+		j.result, j.err = New(c.opts).Solve(c.ctx, j.model, solve.WithSeed(j.seed))
 		j.setStatus(Done)
 		close(j.ready)
 	}
 }
 
 // Submit enqueues a model and returns its job id immediately.
+//
+// The enqueue happens while the client mutex is held: releasing it
+// before the channel send would let a concurrent Close slip in between
+// the closed check and the send and close the queue under us ("send on
+// closed channel"). Dispatchers never take the mutex, so a send that
+// blocks on a full queue still drains.
 func (c *Client) Submit(m *cqm.Model) (JobID, error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
 		return 0, ErrClientClosed
 	}
 	c.nextID++
@@ -148,7 +163,6 @@ func (c *Client) Submit(m *cqm.Model) (JobID, error) {
 		ready: make(chan struct{}),
 	}
 	c.jobs[j.id] = j
-	c.mu.Unlock()
 	c.queue <- j
 	return j.id, nil
 }
@@ -219,5 +233,38 @@ func (c *Client) Close() {
 	c.closed = true
 	c.mu.Unlock()
 	close(c.queue)
+	<-c.done
+	c.cancel()
+}
+
+// CloseNow stops accepting jobs, withdraws still-queued jobs, and
+// cancels in-flight solves via the client-level context. In-flight jobs
+// complete with their best partial result (Stats.Interrupted set);
+// withdrawn jobs report Cancelled from Wait. CloseNow returns once the
+// dispatchers have drained; it is idempotent and safe to combine with
+// Close.
+func (c *Client) CloseNow() {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	jobs := make([]*job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	// Recall in-flight solves first, then withdraw what is still
+	// queued; dispatchers skip withdrawn jobs while draining.
+	c.cancel()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.status == Queued {
+			j.status = Cancelled
+			close(j.ready)
+		}
+		j.mu.Unlock()
+	}
+	if !already {
+		close(c.queue)
+	}
 	<-c.done
 }

@@ -1,0 +1,96 @@
+package hybrid
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/solve"
+)
+
+func TestEngineInjectsTransportFaults(t *testing.T) {
+	m := knapsackModel([]float64{3, 2, 1}, 2)
+	cases := []struct {
+		kind faults.Kind
+		want error
+	}{
+		{faults.Transient, faults.ErrTransient},
+		{faults.Timeout, faults.ErrTimeout},
+		{faults.Throttle, faults.ErrThrottled},
+	}
+	for _, tc := range cases {
+		cfg := faults.Config{Seed: 1}
+		switch tc.kind {
+		case faults.Transient:
+			cfg.Transient = 1
+		case faults.Timeout:
+			cfg.Timeout = 1
+		case faults.Throttle:
+			cfg.Throttle = 1
+		}
+		e := New(Options{Reads: 1, Sweeps: 10, Faults: faults.NewInjector(cfg)})
+		_, err := e.Solve(context.Background(), m)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%v fault: err = %v, want %v", tc.kind, err, tc.want)
+		}
+	}
+}
+
+func TestEngineTimeoutFaultConsumesClock(t *testing.T) {
+	m := knapsackModel([]float64{2, 1}, 1)
+	clk := solve.NewFake(time.Unix(0, 0))
+	inj := faults.NewInjector(faults.Config{Seed: 2, Timeout: 1, TimeoutDelay: 40 * time.Millisecond})
+	e := New(Options{Reads: 1, Sweeps: 10, Faults: inj})
+	_, err := e.Solve(context.Background(), m, solve.WithClock(clk))
+	if !errors.Is(err, faults.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := clk.Since(time.Unix(0, 0)); got != 40*time.Millisecond {
+		t.Fatalf("timeout consumed %v of clock, want 40ms", got)
+	}
+}
+
+func TestEngineCorruptFaultDamagesSampleOnly(t *testing.T) {
+	// Distinct power-of-two values make every bit observable in the
+	// objective, so corruption is always detectable as a mismatch
+	// between the reported objective and the returned sample.
+	values := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	m := knapsackModel(values, 4)
+	opt := Options{Reads: 2, Sweeps: 100, Seed: 3, Penalty: 2, PenaltyGrowth: 4}
+
+	clean, err := New(opt).Solve(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Faults = faults.NewInjector(faults.Config{Seed: 3, Corrupt: 1})
+	res, err := New(opt).Solve(context.Background(), m)
+	if err != nil {
+		t.Fatalf("corrupt fault must not error, got %v", err)
+	}
+	// Reported metadata is the pre-corruption truth...
+	if res.Objective != clean.Objective || res.Feasible != clean.Feasible {
+		t.Fatalf("reported metadata changed: %v/%v vs clean %v/%v",
+			res.Objective, res.Feasible, clean.Objective, clean.Feasible)
+	}
+	// ...while the sample no longer backs it up.
+	if got := m.Objective(res.Sample); math.Abs(got-res.Objective) < 1e-9 {
+		t.Fatalf("corrupted sample still evaluates to the reported objective %v", got)
+	}
+}
+
+func TestEngineCleanScheduleUnaffected(t *testing.T) {
+	m := knapsackModel([]float64{3, 2, 1}, 2)
+	inj := faults.NewInjector(faults.Uniform(4, 0)) // rate 0: all clean
+	withHook := mustSolve(t, m, Options{Reads: 2, Sweeps: 60, Seed: 5, Faults: inj})
+	without := mustSolve(t, m, Options{Reads: 2, Sweeps: 60, Seed: 5})
+	if withHook.Objective != without.Objective || withHook.Feasible != without.Feasible {
+		t.Fatalf("clean injector changed the solve: %v vs %v", withHook.Objective, without.Objective)
+	}
+	if inj.Attempts() != 1 || inj.Injected() != 0 {
+		t.Fatalf("injector saw %d attempts, %d injected", inj.Attempts(), inj.Injected())
+	}
+}

@@ -1,0 +1,163 @@
+package hybrid
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowModel is big enough that a solve spans many milliseconds, giving
+// the lifecycle tests a window to act while a job is Running.
+func slowModel() []float64 {
+	values := make([]float64, 400)
+	for i := range values {
+		values[i] = float64(i % 17)
+	}
+	return values
+}
+
+// waitForStatus polls until the job reaches want or the deadline hits.
+func waitForStatus(t *testing.T, c *Client, id JobID, want JobStatus) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %d never reached %v", id, want)
+}
+
+// TestClientSubmitCloseRace hammers Submit from many goroutines while
+// Close runs concurrently. Before Submit held the client mutex across
+// the channel send, this raced Close's close(queue) and panicked with
+// "send on closed channel"; run under -race it also guards the closed
+// flag. Every Submit must either succeed or report ErrClientClosed.
+func TestClientSubmitCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		c := NewClientN(Options{Reads: 1, Sweeps: 10}, 2)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 10; i++ {
+					if _, err := c.Submit(knapsackModel([]float64{2, 1}, 1)); err != nil {
+						if !errors.Is(err, ErrClientClosed) {
+							t.Errorf("Submit: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			c.Close()
+		}()
+		close(start)
+		wg.Wait()
+	}
+}
+
+func TestClientCloseNowCancelsInFlight(t *testing.T) {
+	c := NewClientN(Options{Reads: 4, Sweeps: 50_000}, 1)
+	running, err := c.Submit(knapsackModel(slowModel(), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(knapsackModel([]float64{2, 1}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, c, running, Running)
+
+	done := make(chan struct{})
+	go func() {
+		c.CloseNow()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("CloseNow did not return; in-flight solve was not recalled")
+	}
+
+	// The in-flight job was interrupted, not errored: the cancellation
+	// contract returns the best partial sample.
+	res, err := c.Wait(context.Background(), running)
+	if err != nil {
+		t.Fatalf("interrupted job errored: %v", err)
+	}
+	if !res.Stats.Interrupted {
+		t.Error("in-flight job not flagged Interrupted")
+	}
+	// The queued job was withdrawn.
+	if _, err := c.Wait(context.Background(), queued); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("queued job Wait = %v, want ErrCancelled", err)
+	}
+	st, _ := c.Status(queued)
+	if st != Cancelled {
+		t.Fatalf("queued job status %v", st)
+	}
+	// Closed for business afterwards; further CloseNow/Close are no-ops.
+	if _, err := c.Submit(knapsackModel([]float64{1}, 1)); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Submit after CloseNow: %v", err)
+	}
+	c.CloseNow()
+	c.Close()
+}
+
+// TestClientLifecycleInterleaved exercises Submit/Wait/Cancel/Status
+// racing a mid-stream CloseNow: no deadlocks, no panics, and every Wait
+// resolves to a result, a cancellation, or a client shutdown.
+func TestClientLifecycleInterleaved(t *testing.T) {
+	c := NewClientN(Options{Reads: 1, Sweeps: 200}, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				id, err := c.Submit(knapsackModel([]float64{4, 3, 2, 1}, 2))
+				if err != nil {
+					if !errors.Is(err, ErrClientClosed) {
+						t.Errorf("Submit: %v", err)
+					}
+					return
+				}
+				if g%2 == 0 {
+					if _, err := c.Cancel(id); err != nil {
+						t.Errorf("Cancel: %v", err)
+						return
+					}
+				}
+				if _, err := c.Status(id); err != nil {
+					t.Errorf("Status: %v", err)
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				_, err = c.Wait(ctx, id)
+				cancel()
+				if err != nil && !errors.Is(err, ErrCancelled) && !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("Wait: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	c.CloseNow()
+	wg.Wait()
+}

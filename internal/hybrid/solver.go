@@ -21,8 +21,10 @@ package hybrid
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/cqm"
+	"repro/internal/faults"
 	"repro/internal/sa"
 	"repro/internal/solve"
 	"repro/internal/tabu"
@@ -63,6 +65,12 @@ type Options struct {
 	PairProb float64
 	// Timing is the simulated cloud/QPU timing model.
 	Timing TimingModel
+	// Faults, when non-nil, is consulted once per Solve call: the
+	// simulated cloud path surfaces the injected fault — a transport
+	// error (transient/timeout/throttle) instead of a result, or a
+	// corrupted sample on an otherwise clean solve. A nil hook models a
+	// perfectly reliable cloud. Pair with internal/resilient to recover.
+	Faults faults.Hook
 }
 
 // DefaultOptions returns settings that solve the paper's LRP models
@@ -132,6 +140,25 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		opt.Penalty = 1
 	}
 	progress := solve.SerialProgress(cfg.Progress)
+
+	// Fault injection point: the simulated cloud decides this attempt's
+	// fate before any sampling happens. Transport faults surface as
+	// errors (the one case where Solve errors on well-formed input, by
+	// design — they model the network, not the solver); a Corrupt fault
+	// damages the returned sample after the solve below.
+	var fault faults.Fault
+	if opt.Faults != nil {
+		fault = opt.Faults.Next()
+		if ferr := fault.Kind.Err(); ferr != nil {
+			if fault.Delay > 0 {
+				// A timeout burns simulated time before surfacing.
+				if cerr := cfg.Clock.Sleep(ctx, fault.Delay); cerr != nil {
+					return nil, fmt.Errorf("hybrid: job %d: %w", fault.Seq, cerr)
+				}
+			}
+			return nil, fmt.Errorf("hybrid: job %d: %w", fault.Seq, ferr)
+		}
+	}
 
 	var frozen map[cqm.VarID]bool
 	if opt.Presolve {
@@ -210,6 +237,15 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		}
 	}
 	wall := cfg.Clock.Since(start)
+
+	if fault.Kind == faults.Corrupt {
+		// The reported objective/feasibility intentionally keep their
+		// pre-corruption values: the damage is exactly that the reply no
+		// longer matches its own metadata (resilient's validation
+		// detects the mismatch).
+		best.Best = append([]bool(nil), best.Best...)
+		fault.CorruptSample(best.Best)
+	}
 
 	res := &solve.Result{
 		Sample:    best.Best,

@@ -24,6 +24,11 @@ type SolveOptions struct {
 	// are projected onto it before encoding; unencodable plans (e.g.
 	// inflow into a pinned process) are skipped.
 	WarmPlans []*lrp.Plan
+	// Wrap, when non-nil, decorates the hybrid engine built for this
+	// solve (after warm starts and pair moves are resolved into it) —
+	// the attachment point for resilience middleware
+	// (resilient.Policy.Wrap) or any other solve.Solver decorator.
+	Wrap func(solve.Solver) solve.Solver
 }
 
 // SolveStats reports everything the paper's tables need about one solve.
@@ -77,7 +82,11 @@ func Solve(ctx context.Context, in *lrp.Instance, opt SolveOptions) (*lrp.Plan, 
 		opt.Hybrid.Pairs = nil
 		opt.Hybrid.PairProb = 0
 	}
-	res, err := hybrid.New(opt.Hybrid).Solve(ctx, enc.Model)
+	var solver solve.Solver = hybrid.New(opt.Hybrid)
+	if opt.Wrap != nil {
+		solver = opt.Wrap(solver)
+	}
+	res, err := solver.Solve(ctx, enc.Model)
 	if err != nil {
 		return nil, SolveStats{}, err
 	}

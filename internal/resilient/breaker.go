@@ -1,0 +1,123 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's lifecycle state.
+type BreakerState int
+
+const (
+	// Closed passes every request through (normal operation).
+	Closed BreakerState = iota
+	// Open rejects requests until the cooldown elapses.
+	Open
+	// HalfOpen admits probe requests after the cooldown; a success
+	// closes the breaker again, a failure reopens it immediately.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker; <= 0 disables the breaker entirely (always closed).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe, measured on the caller-supplied clock.
+	Cooldown time.Duration
+}
+
+// Breaker is a clock-agnostic closed/open/half-open circuit breaker:
+// callers pass the current time in, so real and fake clocks drive it
+// identically. It is safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	trips    int
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker { return &Breaker{cfg: cfg} }
+
+// Allow reports whether a request may proceed at time now. An open
+// breaker whose cooldown has elapsed transitions to half-open and
+// admits the probe.
+func (b *Breaker) Allow(now time.Time) bool {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			return true
+		}
+		return false
+	default: // Closed, HalfOpen
+		return true
+	}
+}
+
+// Record reports an attempt's outcome at time now. A success closes the
+// breaker and clears the failure streak; a failure extends the streak,
+// opening the breaker at the threshold — or immediately when the
+// failure was a half-open probe.
+func (b *Breaker) Record(success bool, now time.Time) {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = Closed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == HalfOpen || b.fails >= b.cfg.Threshold {
+		b.state = Open
+		b.openedAt = now
+		b.trips++
+		b.fails = 0
+	}
+}
+
+// State returns the current state (an elapsed cooldown is reported as
+// Open until the next Allow observes it).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts closed/half-open -> open transitions so far.
+func (b *Breaker) Trips() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,87 @@
+package resilient
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+
+	// Closed: everything passes; failures below the threshold keep it
+	// closed, and a success clears the streak.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(t0) {
+			t.Fatal("closed breaker rejected a request")
+		}
+		b.Record(false, t0)
+	}
+	b.Record(true, t0)
+	if b.State() != Closed || b.Trips() != 0 {
+		t.Fatalf("state %v trips %d after streak reset", b.State(), b.Trips())
+	}
+
+	// Three consecutive failures open it.
+	for i := 0; i < 3; i++ {
+		b.Record(false, t0)
+	}
+	if b.State() != Open || b.Trips() != 1 {
+		t.Fatalf("state %v trips %d, want open/1", b.State(), b.Trips())
+	}
+
+	// Open: rejected inside the cooldown, half-open probe after.
+	if b.Allow(t0.Add(999 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if !b.Allow(t0.Add(time.Second)) {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+
+	// Half-open probe failure reopens immediately (no threshold).
+	b.Record(false, t0.Add(time.Second))
+	if b.State() != Open || b.Trips() != 2 {
+		t.Fatalf("state %v trips %d after probe failure", b.State(), b.Trips())
+	}
+
+	// A successful probe closes it again.
+	if !b.Allow(t0.Add(3 * time.Second)) {
+		t.Fatal("second probe rejected")
+	}
+	b.Record(true, t0.Add(3*time.Second))
+	if b.State() != Closed {
+		t.Fatalf("state %v, want closed after probe success", b.State())
+	}
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	now := time.Unix(0, 0)
+	var nilB *Breaker
+	if !nilB.Allow(now) {
+		t.Fatal("nil breaker rejected")
+	}
+	nilB.Record(false, now) // must not panic
+	if nilB.State() != Closed || nilB.Trips() != 0 {
+		t.Fatal("nil breaker state")
+	}
+
+	off := NewBreaker(BreakerConfig{})
+	for i := 0; i < 10; i++ {
+		off.Record(false, now)
+	}
+	if !off.Allow(now) || off.State() != Closed {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if Closed.String() != "closed" || Open.String() != "open" || HalfOpen.String() != "half-open" {
+		t.Fatal("state names")
+	}
+	if BreakerState(9).String() != "unknown" {
+		t.Fatal("unknown state name")
+	}
+}

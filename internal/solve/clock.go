@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -13,12 +14,38 @@ type Clock interface {
 	Now() time.Time
 	// Since returns the elapsed time since t.
 	Since(t time.Time) time.Duration
+	// Sleep pauses for d or until ctx is cancelled, returning ctx's
+	// error in the latter case. The fake clock advances itself instead
+	// of blocking, which makes retry backoff schedules deterministic in
+	// tests.
+	Sleep(ctx context.Context, d time.Duration) error
 }
 
 type realClock struct{}
 
 func (realClock) Now() time.Time                  { return time.Now() }
 func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
 
 // Real returns the wall clock.
 func Real() Clock { return realClock{} }
@@ -53,4 +80,16 @@ func (f *Fake) Advance(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.now = f.now.Add(d)
+}
+
+// Sleep advances the fake clock by d without blocking (fake time passes
+// instantly), unless ctx is already cancelled.
+func (f *Fake) Sleep(ctx context.Context, d time.Duration) error {
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if d > 0 {
+		f.Advance(d)
+	}
+	return nil
 }

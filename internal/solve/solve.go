@@ -82,6 +82,19 @@ type Stats struct {
 	Nodes int64
 	// Evals counts objective/circuit evaluations (quantum backend).
 	Evals int
+	// Attempts counts cloud solve attempts made by the resilient
+	// wrapper (internal/resilient), including the successful one.
+	Attempts int
+	// Retries counts re-submissions after a failed attempt (Attempts-1
+	// when the solve eventually succeeded on the cloud path).
+	Retries int
+	// Fallbacks is 1 when the result was served by the classical
+	// fallback solver after the cloud path was exhausted or the circuit
+	// breaker was open.
+	Fallbacks int
+	// BreakerSkips counts attempts skipped because the circuit breaker
+	// was open.
+	BreakerSkips int
 	// Interrupted reports that the solve stopped early on cancellation,
 	// deadline, or budget exhaustion; the result is the best found so
 	// far.
