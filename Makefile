@@ -1,14 +1,9 @@
 GO ?= go
 
-# Packages whose concurrent paths (portfolio goroutines, shared Stop,
-# SerialProgress, the job client, the resilience policy) must stay
-# race-clean.
-RACE_PKGS = ./internal/solve ./internal/hybrid ./internal/sa ./internal/resilient ./internal/faults
-
 .PHONY: check build vet fmt test race bench fault-demo
 
-# check is the CI gate: vet + formatting + full tests + race detector on
-# the concurrent solver paths.
+# check is the CI gate: vet + formatting + full shuffled tests + the
+# race detector over every package.
 check: vet fmt test race
 
 build:
@@ -23,11 +18,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# -shuffle=on randomizes test order so hidden inter-test state cannot
+# hide; the shuffle seed is printed on failure for replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

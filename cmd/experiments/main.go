@@ -27,6 +27,7 @@ import (
 	"repro/internal/chameleon"
 	"repro/internal/experiments"
 	"repro/internal/mxm"
+	"repro/internal/obs"
 	"repro/internal/qlrb"
 	"repro/internal/report"
 )
@@ -53,12 +54,13 @@ func parseScales(s string) ([]int, error) {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | faults | all")
-		fast   = flag.Bool("fast", false, "reduced solver budget")
-		seed   = flag.Int64("seed", 2024, "experiment seed")
-		procsF = flag.String("procs", "", "comma-separated node scales for fig4/table3 (default 4,8,16,32,64)")
-		tasksF = flag.String("tasks", "", "comma-separated task scales for fig5/table4 (default 8,...,2048)")
-		outDir = flag.String("out", "", "also write each artifact as .txt/.csv files into this directory")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | faults | all")
+		fast      = flag.Bool("fast", false, "reduced solver budget")
+		seed      = flag.Int64("seed", 2024, "experiment seed")
+		procsF    = flag.String("procs", "", "comma-separated node scales for fig4/table3 (default 4,8,16,32,64)")
+		tasksF    = flag.String("tasks", "", "comma-separated task scales for fig5/table4 (default 8,...,2048)")
+		outDir    = flag.String("out", "", "also write each artifact as .txt/.csv files into this directory")
+		noMetrics = flag.Bool("no-metrics", false, "disable the observability trace (obs_snapshot/obs_events artifacts)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,9 @@ func run() error {
 		cfg = experiments.FastConfig()
 	}
 	cfg.Seed = *seed
+	if !*noMetrics {
+		cfg.Obs = obs.NewRegistry()
+	}
 
 	procScales := mxm.ProcScales()
 	if *procsF != "" {
@@ -322,6 +327,27 @@ func run() error {
 
 	if !ran {
 		return fmt.Errorf("unknown -exp %q", *exp)
+	}
+
+	// The run manifest: whatever the solvers recorded while regenerating
+	// the artifacts above — per-phase spans, solver work counters, and
+	// the structured event log.
+	if cfg.Obs != nil && *outDir != "" {
+		snap := cfg.Obs.Snapshot()
+		sink.write("obs_snapshot.txt", snap.Text())
+		sink.write("obs_snapshot.csv", snap.CSV())
+		f, err := os.Create(filepath.Join(*outDir, "obs_events.json"))
+		if err != nil {
+			return err
+		}
+		werr := snap.WriteEvents(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("observability artifacts written to %s (obs_snapshot.txt/.csv, obs_events.json)\n", *outDir)
 	}
 	return nil
 }

@@ -27,9 +27,11 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hybrid"
 	"repro/internal/lrp"
+	"repro/internal/obs"
 	"repro/internal/qlrb"
 	"repro/internal/resilient"
 	"repro/internal/sa"
+	"repro/internal/solve"
 )
 
 // plural picks the singular or plural suffix for n.
@@ -63,6 +65,8 @@ func run() error {
 		dump     = flag.String("dump-cqm", "", "also write the built CQM model to this file (qcqm1/qcqm2/qaoa)")
 		sim      = flag.Bool("simulate", false, "replay baseline and plan on the runtime simulator")
 		traceOut = flag.String("trace-out", "", "write the simulated execution log here (implies -simulate)")
+		metrics  = flag.Bool("metrics", false, "print the solver metrics and phase-span snapshot after the solve")
+		evOut    = flag.String("metrics-json", "", "write the structured JSON event log here (enables metrics collection)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -86,6 +90,13 @@ func run() error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	// A nil registry disables instrumentation everywhere it is passed;
+	// the flags just decide whether one exists.
+	var reg *obs.Registry
+	if *metrics || *evOut != "" {
+		reg = obs.NewRegistry()
+	}
+
 	var plan *lrp.Plan
 	switch *algo {
 	case "greedy":
@@ -106,7 +117,7 @@ func run() error {
 				Reads: *reads, Sweeps: *sweeps, Seed: *seed,
 				Presolve: true, Penalty: 5, PenaltyGrowth: 4,
 				Timing: hybrid.DefaultTimingModel(),
-			})
+			}, solve.WithObs(reg))
 		if gerr != nil {
 			return gerr
 		}
@@ -162,6 +173,7 @@ func run() error {
 			Build:     qlrb.BuildOptions{Form: form, K: *k},
 			Hybrid:    hopts,
 			WarmPlans: warm,
+			Obs:       reg,
 		}
 		// The resilient path: deterministic fault injection on the
 		// simulated cloud, retry/backoff + circuit breaker around it,
@@ -230,6 +242,27 @@ func run() error {
 	if *sim || *traceOut != "" {
 		if err := simulate(in, plan, *traceOut); err != nil {
 			return err
+		}
+	}
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if *metrics {
+			fmt.Print(snap.Text())
+		}
+		if *evOut != "" {
+			f, err := os.Create(*evOut)
+			if err != nil {
+				return err
+			}
+			werr := snap.WriteEvents(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Printf("metrics event log written to %s\n", *evOut)
 		}
 	}
 	return nil

@@ -88,6 +88,7 @@ func TestGreedyLPTBound(t *testing.T) {
 		in := paperStyleInstance(n, weights...)
 		plan, err := Greedy{}.Rebalance(context.Background(), in)
 		if err != nil {
+			t.Errorf("seed %d: n=%d weights=%v: Greedy: %v", seed, n, weights, err)
 			return false
 		}
 		res := lrp.Evaluate(in, plan)
@@ -100,7 +101,11 @@ func TestGreedyLPTBound(t *testing.T) {
 			}
 		}
 		bound := in.TotalLoad()/float64(m) + (1-1/float64(m))*maxTask
-		return res.MaxLoad <= bound+1e-9
+		if res.MaxLoad > bound+1e-9 {
+			t.Errorf("seed %d: n=%d weights=%v: makespan %v exceeds Graham bound %v", seed, n, weights, res.MaxLoad, bound)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -161,14 +166,20 @@ func TestKKComparableToGreedy(t *testing.T) {
 		in := paperStyleInstance(n, weights...)
 		pg, err := Greedy{}.Rebalance(context.Background(), in)
 		if err != nil {
+			t.Errorf("seed %d: n=%d weights=%v: Greedy: %v", seed, n, weights, err)
 			return false
 		}
 		pk, err := KK{}.Rebalance(context.Background(), in)
 		if err != nil {
+			t.Errorf("seed %d: n=%d weights=%v: KK: %v", seed, n, weights, err)
 			return false
 		}
 		mg, mk := lrp.Evaluate(in, pg), lrp.Evaluate(in, pk)
-		return mk.MaxLoad <= mg.MaxLoad*1.05+1e-9
+		if mk.MaxLoad > mg.MaxLoad*1.05+1e-9 {
+			t.Errorf("seed %d: n=%d weights=%v: KK makespan %v > 1.05x Greedy %v", seed, n, weights, mk.MaxLoad, mg.MaxLoad)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}); err != nil {
 		t.Fatal(err)
@@ -263,13 +274,19 @@ func TestProactLBNeverIncreasesImbalanceProperty(t *testing.T) {
 		in := paperStyleInstance(n, weights...)
 		plan, err := ProactLB{}.Rebalance(context.Background(), in)
 		if err != nil {
+			t.Errorf("seed %d: n=%d weights=%v: ProactLB: %v", seed, n, weights, err)
 			return false
 		}
-		if plan.Validate(in) != nil {
+		if verr := plan.Validate(in); verr != nil {
+			t.Errorf("seed %d: n=%d weights=%v: invalid plan: %v", seed, n, weights, verr)
 			return false
 		}
 		res := lrp.Evaluate(in, plan)
-		return res.MaxLoad <= in.MaxLoad()+1e-9
+		if res.MaxLoad > in.MaxLoad()+1e-9 {
+			t.Errorf("seed %d: n=%d weights=%v: max load rose %v -> %v", seed, n, weights, in.MaxLoad(), res.MaxLoad)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
@@ -290,9 +307,11 @@ func TestAllRebalancersProduceValidPlans(t *testing.T) {
 		for _, method := range methods {
 			plan, err := method.Rebalance(context.Background(), in)
 			if err != nil {
+				t.Errorf("seed %d: n=%d weights=%v: %s: %v", seed, n, weights, method.Name(), err)
 				return false
 			}
-			if plan.Validate(in) != nil {
+			if verr := plan.Validate(in); verr != nil {
+				t.Errorf("seed %d: n=%d weights=%v: %s produced invalid plan: %v", seed, n, weights, method.Name(), verr)
 				return false
 			}
 		}
@@ -333,19 +352,29 @@ func TestRelabelProperty(t *testing.T) {
 		for i := range weights {
 			weights[i] = rng.Float64() * 5
 		}
-		in := paperStyleInstance(3+rng.Intn(20), weights...)
+		n := 3 + rng.Intn(20)
+		in := paperStyleInstance(n, weights...)
 		plan, err := Greedy{}.Rebalance(context.Background(), in)
 		if err != nil {
+			t.Errorf("seed %d: n=%d weights=%v: Greedy: %v", seed, n, weights, err)
 			return false
 		}
 		rel := RelabelMinMigrations(plan)
-		if rel.Validate(in) != nil {
+		if verr := rel.Validate(in); verr != nil {
+			t.Errorf("seed %d: n=%d weights=%v: relabeled plan invalid: %v", seed, n, weights, verr)
 			return false
 		}
 		if rel.Migrated() > plan.Migrated() {
+			t.Errorf("seed %d: n=%d weights=%v: relabeling raised migrations %d -> %d",
+				seed, n, weights, plan.Migrated(), rel.Migrated())
 			return false
 		}
-		return almostEqual(lrp.MaxLoad(rel.Loads(in)), lrp.MaxLoad(plan.Loads(in)))
+		if !almostEqual(lrp.MaxLoad(rel.Loads(in)), lrp.MaxLoad(plan.Loads(in))) {
+			t.Errorf("seed %d: n=%d weights=%v: relabeling changed max load %v -> %v",
+				seed, n, weights, lrp.MaxLoad(plan.Loads(in)), lrp.MaxLoad(rel.Loads(in)))
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/lrp"
+	"repro/internal/obs"
 )
 
 // Optimal is an exact multiway number partitioner: branch-and-bound over
@@ -22,26 +23,36 @@ type Optimal struct {
 	// MaxNodes bounds the search (0 = 20 million). ErrBudget is
 	// returned when exceeded.
 	MaxNodes int64
+	// Obs, when non-nil, receives a "balancer.optimal" span per solve
+	// and the counters balancer.optimal.{nodes,bound_prunes,
+	// dominance_prunes}. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
-// ErrBudget reports that the exact search exceeded its node budget.
+// ErrBudget reports that the exact search exceeded its node budget
+// before an optimal assignment was proven. Callers should treat it as
+// "instance too hard for exact search" and degrade to a heuristic
+// (Greedy or KK), not as a failure of the instance itself.
 var ErrBudget = errors.New("balancer: optimal search budget exhausted")
 
 // Name returns "Optimal".
 func (Optimal) Name() string { return "Optimal" }
 
 type optSearch struct {
-	loads    []float64
-	suffix   []float64 // suffix[i] = sum of task loads from i on
-	tasks    []lrp.Task
-	assign   []int
-	best     []int
-	bestMax  float64
-	nodes    int64
-	maxNodes int64
-	overrun  bool
-	ctx      context.Context
-	stopped  bool
+	loads       []float64
+	suffix      []float64 // suffix[i] = sum of task loads from i on
+	tasks       []lrp.Task
+	assign      []int
+	best        []int
+	bestMax     float64
+	lb          float64 // constant lower bound: total load / partitions
+	nodes       int64
+	maxNodes    int64
+	boundPrunes int64
+	domPrunes   int64
+	overrun     bool
+	ctx         context.Context
+	stopped     bool
 }
 
 // stopEvery is how many node expansions pass between cancellation polls.
@@ -61,6 +72,7 @@ func (s *optSearch) dfs(i int, curMax float64) {
 		return
 	}
 	if curMax >= s.bestMax {
+		s.boundPrunes++
 		return
 	}
 	m := len(s.loads)
@@ -69,21 +81,40 @@ func (s *optSearch) dfs(i int, curMax float64) {
 		copy(s.best, s.assign)
 		return
 	}
-	// Lower bound: remaining work spread perfectly over all partitions
-	// cannot bring the final max below (current total + remaining)/m,
-	// nor below the current max.
-	total := 0.0
-	for _, l := range s.loads {
-		total += l
-	}
-	lb := (total + s.suffix[i]) / float64(m)
-	if lb >= s.bestMax {
+	// Lower bound: the final max can never drop below the perfectly
+	// balanced average. Assigned + remaining load is the (constant) total,
+	// so the bound itself is constant; it only starts pruning once the
+	// incumbent reaches it, at which point the whole search is over.
+	if s.lb >= s.bestMax {
+		s.boundPrunes++
 		return
+	}
+	// Dominance over equal-load tasks: tasks are sorted by load, so a run
+	// of equal loads is contiguous. Within a run, any assignment is
+	// equivalent under permuting the run's tasks, so only the variant
+	// whose partition indices are non-decreasing is explored: task i may
+	// not go to a partition below its equal-load predecessor's. This is
+	// what collapses the m^k blowup on uniform instances (all tasks equal)
+	// to the multiset choice C(k+m-1, m-1).
+	//
+	// Soundness, jointly with the duplicate-load skip below: among all
+	// optimal assignments, consider the lexicographically smallest
+	// per-task index sequence A*. If A* violated this rule, swapping the
+	// two equal-load tasks' partitions would be lex-smaller; if A*[i] had
+	// an earlier partition q with the same load, relabeling q<->p for
+	// tasks i.. would be lex-smaller. So A* satisfies both rules and the
+	// pruned search still reaches an optimum.
+	minP := 0
+	if i > 0 && s.tasks[i].Load == s.tasks[i-1].Load {
+		minP = s.assign[i-1]
+		if minP > 0 {
+			s.domPrunes++
+		}
 	}
 	// Branch over partitions, skipping duplicate empty partitions
 	// (symmetry breaking) and identical loads.
 	usedEmpty := false
-	for p := 0; p < m; p++ {
+	for p := minP; p < m; p++ {
 		if s.loads[p] == 0 {
 			if usedEmpty {
 				continue
@@ -143,11 +174,18 @@ func (o Optimal) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, er
 	for i := len(tasks) - 1; i >= 0; i-- {
 		s.suffix[i] = s.suffix[i+1] + tasks[i].Load
 	}
+	s.lb = s.suffix[0] / float64(m)
 	// Seed the incumbent with Greedy so pruning bites immediately.
 	if gp, err := (Greedy{}).Rebalance(ctx, in); err == nil {
 		s.bestMax = lrp.MaxLoad(gp.Loads(in)) + 1e-9
 	}
+	span := o.Obs.StartSpan("balancer.optimal")
 	s.dfs(0, 0)
+	o.Obs.Counter("balancer.optimal.nodes").Add(s.nodes)
+	o.Obs.Counter("balancer.optimal.bound_prunes").Add(s.boundPrunes)
+	o.Obs.Counter("balancer.optimal.dominance_prunes").Add(s.domPrunes)
+	span.Set("tasks", len(tasks)).Set("procs", m).Set("nodes", s.nodes).
+		Set("overrun", s.overrun).Set("makespan", s.bestMax).End()
 	if s.stopped {
 		return nil, ctx.Err()
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/balancer"
 	"repro/internal/chameleon"
 	"repro/internal/lrp"
+	"repro/internal/obs"
 )
 
 // Sentinel errors: every failure Run returns wraps one of these (plus
@@ -87,6 +88,10 @@ type Config struct {
 	// first rebalance failure instead of degrading the round to the
 	// previous plan (identity when no round has succeeded yet).
 	Strict bool
+	// Obs, when non-nil, receives one "dlb.round" span per iteration
+	// (tagged with the method, migration count and degradation flag) and
+	// the counters dlb.rounds / dlb.degraded_rounds.
+	Obs *obs.Registry
 }
 
 // IterationResult records one iteration of the driven run.
@@ -148,6 +153,8 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
+		round := cfg.Obs.StartSpan("dlb.round")
+		round.Set("iteration", it).Set("method", method.Name())
 		in, err := w.Iteration(it)
 		if err != nil {
 			return res, fmt.Errorf("%w: iteration %d: %w", ErrWorkload, it, err)
@@ -210,9 +217,13 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 		if degraded {
 			ir.Err = fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
 			res.DegradedRounds++
+			cfg.Obs.Counter("dlb.degraded_rounds").Inc()
 		} else {
 			prev = plan
 		}
+		cfg.Obs.Counter("dlb.rounds").Inc()
+		round.Set("migrated", ir.Migrated).Set("makespan_ms", ir.MakespanMs).
+			Set("degraded", degraded).End()
 		res.Iterations = append(res.Iterations, ir)
 		res.TotalBaselineMs += ir.BaselineMakespanMs
 		res.TotalMakespanMs += ir.MakespanMs

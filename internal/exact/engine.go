@@ -52,9 +52,11 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		Objective: r.Objective,
 		Feasible:  r.Feasible,
 		Stats: solve.Stats{
-			Wall:        cfg.Clock.Since(start),
-			Nodes:       r.Nodes,
-			Interrupted: r.Interrupted || outOfBudget || stop.Interrupted(),
+			Wall:             cfg.Clock.Since(start),
+			Nodes:            r.Nodes,
+			BoundPrunes:      r.BoundPrunes,
+			InfeasiblePrunes: r.InfeasiblePrunes,
+			Interrupted:      r.Interrupted || outOfBudget || stop.Interrupted(),
 		},
 	}
 	res.Stats.Proven = !res.Stats.Interrupted
@@ -64,5 +66,6 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		res.Sample = make([]bool, m.NumVars())
 		res.Objective = m.Objective(res.Sample)
 	}
+	cfg.Observe(e.Name(), res.Stats)
 	return res, nil
 }

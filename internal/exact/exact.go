@@ -25,6 +25,12 @@ type Result struct {
 	Feasible bool
 	// Nodes counts explored search nodes.
 	Nodes int64
+	// BoundPrunes counts subtrees cut because the objective bound could
+	// not beat the incumbent.
+	BoundPrunes int64
+	// InfeasiblePrunes counts subtrees cut because no completion could
+	// satisfy the constraints.
+	InfeasiblePrunes int64
 	// Interrupted reports that the search was cancelled before proving
 	// optimality; Best then holds the incumbent (possibly nil).
 	Interrupted bool
@@ -33,11 +39,13 @@ type Result struct {
 const tol = 1e-9
 
 type solver struct {
-	m        *cqm.Model
-	n        int
-	x        []bool
-	maxNodes int64
-	nodes    int64
+	m           *cqm.Model
+	n           int
+	x           []bool
+	maxNodes    int64
+	nodes       int64
+	boundPrunes int64
+	infeasCuts  int64
 
 	cons []consState
 	lin  linState
@@ -151,7 +159,10 @@ func solveWith(m *cqm.Model, maxNodes int64, stop func() bool, progress func(nod
 
 	s.dfs(0)
 
-	res := Result{Nodes: s.nodes, Objective: s.bestObj, Feasible: s.found, Best: s.best, Interrupted: s.stopped}
+	res := Result{
+		Nodes: s.nodes, Objective: s.bestObj, Feasible: s.found, Best: s.best,
+		BoundPrunes: s.boundPrunes, InfeasiblePrunes: s.infeasCuts, Interrupted: s.stopped,
+	}
 	if s.found && res.Best == nil {
 		res.Best = []bool{}
 	}
@@ -235,9 +246,11 @@ func (s *solver) dfs(d int) {
 		}
 	}
 	if !s.feasiblePossible(d) {
+		s.infeasCuts++
 		return
 	}
 	if s.bound(d) >= s.bestObj-tol {
+		s.boundPrunes++
 		return
 	}
 	if d == s.n {

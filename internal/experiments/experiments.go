@@ -23,6 +23,7 @@ import (
 	"repro/internal/balancer"
 	"repro/internal/hybrid"
 	"repro/internal/lrp"
+	"repro/internal/obs"
 	"repro/internal/qlrb"
 )
 
@@ -48,6 +49,10 @@ type Config struct {
 	Workers int
 	// Timing is the simulated cloud/QPU timing model.
 	Timing hybrid.TimingModel
+	// Obs, when non-nil, collects the full observability trace of every
+	// hybrid solve the runners perform (workflow spans, solver counters);
+	// the harness exports it next to the tables. Nil disables tracing.
+	Obs *obs.Registry
 }
 
 // DefaultConfig matches the paper's protocol (best of 3 repetitions)
@@ -164,6 +169,7 @@ func runQuantum(ctx context.Context, label string, form qlrb.Formulation, k int,
 			Build:     qlrb.BuildOptions{Form: form, K: k},
 			Hybrid:    cfg.hybridOptions(seed),
 			WarmPlans: warm,
+			Obs:       cfg.Obs,
 		})
 		if err != nil {
 			return MethodResult{}, fmt.Errorf("%w: %s: %w", ErrMethod, label, err)

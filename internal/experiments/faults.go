@@ -130,6 +130,7 @@ func RunFaultSweep(ctx context.Context, cfg Config, rates []float64, iterations 
 				Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: k1},
 				Hybrid: h,
 				Wrap:   policy.Wrap,
+				Obs:    cfg.Obs,
 			},
 		}
 		workload := tickingWorkload{
@@ -140,6 +141,7 @@ func RunFaultSweep(ctx context.Context, cfg Config, rates []float64, iterations 
 		run, err := dlb.Run(ctx, workload, method, dlb.Config{
 			Runtime:    chameleon.Config{Workers: 2, LatencyMs: 0.2, PerTaskMs: 0.1},
 			Iterations: iterations,
+			Obs:        cfg.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%w: fault rate %.2f: %w", ErrMethod, rate, err)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lrp"
 	"repro/internal/qlrb"
 	"repro/internal/report"
+	"repro/internal/solve"
 )
 
 // FormulationComparison contrasts the paper's count-encoded CQM with the
@@ -43,7 +44,7 @@ func RunFormulationComparison(ctx context.Context, in *lrp.Instance, k int, cfg 
 
 	tasks := lrp.ExpandTasks(in)
 	res, err := qlrb.SolveGeneral(ctx, tasks, qlrb.GeneralBuildOptions{Procs: in.NumProcs(), K: k},
-		cfg.hybridOptions(cfg.Seed*101))
+		cfg.hybridOptions(cfg.Seed*101), solve.WithObs(cfg.Obs))
 	if err != nil {
 		return nil, err
 	}

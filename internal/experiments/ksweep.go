@@ -76,6 +76,7 @@ func RunKSweep(ctx context.Context, in *lrp.Instance, form qlrb.Formulation, ks 
 				Build:     qlrb.BuildOptions{Form: form, K: k},
 				Hybrid:    cfg.hybridOptions(seed),
 				WarmPlans: warm,
+				Obs:       cfg.Obs,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%w: k=%d: %w", ErrMethod, k, err)

@@ -64,6 +64,7 @@ func RunSolverTuning(ctx context.Context, in *lrp.Instance, form qlrb.Formulatio
 		opts := qlrb.SolveOptions{
 			Build:  qlrb.BuildOptions{Form: form, K: k},
 			Hybrid: h,
+			Obs:    cfg.Obs,
 		}
 		if v.noWarm {
 			opts.NoWarmStart = true

@@ -56,6 +56,7 @@ func MeasureVariability(ctx context.Context, in *lrp.Instance, form qlrb.Formula
 			Build:     qlrb.BuildOptions{Form: form, K: k},
 			Hybrid:    cfg.hybridOptions(cfg.Seed*7919 + int64(r)),
 			WarmPlans: []*lrp.Plan{proact, greedy},
+			Obs:       cfg.Obs,
 		})
 		if err != nil {
 			return v, err

@@ -162,12 +162,14 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 
 	var frozen map[cqm.VarID]bool
 	if opt.Presolve {
+		sp := cfg.Obs.StartSpan("hybrid.presolve")
 		fixed, err := cqm.Presolve(m)
 		if err == nil {
 			frozen = fixed
 		}
 		// A presolve infeasibility proof still lets the sampler run;
 		// the result will simply be reported infeasible.
+		sp.Set("fixed", len(frozen)).End()
 	}
 
 	base := sa.Options{
@@ -184,6 +186,8 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 
 	var best sa.Result
 	var all []sa.Result
+	portfolioSpan := cfg.Obs.StartSpan("hybrid.portfolio")
+	portfolioSpan.Set("reads", opt.Reads).Set("tempering", opt.Tempering)
 	if opt.Tempering {
 		if progress != nil {
 			base.Progress = func(sweep int, bestObj float64, feas bool) {
@@ -206,6 +210,7 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		}
 		best, all = sa.Portfolio(m, popt)
 	}
+	portfolioSpan.End()
 	// Tabu members of the portfolio: one per TabuRead, alternating
 	// between the provided warm starts and random initial states. Reads
 	// not yet started when the solve is interrupted are skipped.
@@ -264,9 +269,12 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		res.Stats.Sweeps += r.Sweeps
 		res.Stats.Flips += r.Flips
 		res.Stats.Accepted += r.Accepted
+		res.Stats.PenaltyRescales += r.PenaltyRescales
+		res.Stats.TemperingSwaps += r.Swaps
 		if r.BestFeasible {
 			res.Stats.FeasibleReads++
 		}
 	}
+	cfg.Observe(e.Name(), res.Stats)
 	return res, nil
 }

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/report"
+)
+
+// CounterSnap is one counter's value in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge's value in a snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnap is one histogram's aggregate view in a snapshot.
+type HistSnap struct {
+	Name   string    `json:"name"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// SpanGroup aggregates the completed spans sharing one name.
+type SpanGroup struct {
+	Name  string        `json:"name"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot is a consistent point-in-time view of a registry, sorted by
+// name so its renderings are deterministic.
+type Snapshot struct {
+	Counters      []CounterSnap `json:"counters"`
+	Gauges        []GaugeSnap   `json:"gauges"`
+	Histograms    []HistSnap    `json:"histograms"`
+	Spans         []SpanRecord  `json:"spans"`
+	DroppedSpans  int64         `json:"dropped_spans,omitempty"`
+	Events        []Event       `json:"events,omitempty"`
+	DroppedEvents int64         `json:"dropped_events,omitempty"`
+}
+
+// Snapshot captures the registry's current state. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	s.Spans = append(s.Spans, r.spans...)
+	s.DroppedSpans = r.dropped
+	s.Events = append(s.Events, r.events...)
+	s.DroppedEvents = r.evDrop
+	r.mu.RUnlock()
+
+	for name, h := range hists {
+		count, sum, min, max, bounds, counts := h.snapshot()
+		s.Histograms = append(s.Histograms, HistSnap{
+			Name: name, Count: count, Sum: sum, Min: min, Max: max,
+			Bounds: bounds, Counts: counts,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// SpanGroups aggregates the snapshot's spans by name, sorted by name.
+func (s Snapshot) SpanGroups() []SpanGroup {
+	byName := make(map[string]*SpanGroup)
+	for _, sp := range s.Spans {
+		d := sp.Duration()
+		g := byName[sp.Name]
+		if g == nil {
+			g = &SpanGroup{Name: sp.Name, Min: d, Max: d}
+			byName[sp.Name] = g
+		}
+		g.Count++
+		g.Total += d
+		if d < g.Min {
+			g.Min = d
+		}
+		if d > g.Max {
+			g.Max = d
+		}
+	}
+	out := make([]SpanGroup, 0, len(byName))
+	for _, g := range byName {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return report.Fmt(float64(d) / float64(time.Millisecond))
+}
+
+// MetricsTable renders every counter, gauge, and histogram as one
+// metrics table (type, name, value columns; histograms show
+// count/mean/min/max).
+func (s Snapshot) MetricsTable() *report.Table {
+	t := report.NewTable("metrics", "type", "name", "value", "count", "mean", "min", "max")
+	for _, c := range s.Counters {
+		t.AddRow("counter", c.Name, fmt.Sprintf("%d", c.Value))
+	}
+	for _, g := range s.Gauges {
+		t.AddRow("gauge", g.Name, report.Fmt(g.Value))
+	}
+	for _, h := range s.Histograms {
+		t.AddRow("histogram", h.Name, report.Fmt(h.Sum),
+			fmt.Sprintf("%d", h.Count), report.Fmt(h.Mean()),
+			report.Fmt(h.Min), report.Fmt(h.Max))
+	}
+	return t
+}
+
+// SpansTable renders the snapshot's spans aggregated by name.
+func (s Snapshot) SpansTable() *report.Table {
+	t := report.NewTable("spans", "name", "count", "total ms", "min ms", "max ms", "avg ms")
+	for _, g := range s.SpanGroups() {
+		avg := time.Duration(0)
+		if g.Count > 0 {
+			avg = g.Total / time.Duration(g.Count)
+		}
+		t.AddRow(g.Name, fmt.Sprintf("%d", g.Count), ms(g.Total), ms(g.Min), ms(g.Max), ms(avg))
+	}
+	if s.DroppedSpans > 0 {
+		t.AddRow("(dropped)", fmt.Sprintf("%d", s.DroppedSpans))
+	}
+	return t
+}
+
+// Text renders the snapshot as aligned text: the metrics table followed
+// by the span table.
+func (s Snapshot) Text() string {
+	return s.MetricsTable().Render() + "\n" + s.SpansTable().Render()
+}
+
+// CSV renders the snapshot's metrics and span aggregates as one CSV
+// stream (a "kind" column distinguishes rows).
+func (s Snapshot) CSV() string {
+	t := report.NewTable("", "kind", "name", "value", "count", "mean", "min", "max")
+	for _, c := range s.Counters {
+		t.AddRow("counter", c.Name, fmt.Sprintf("%d", c.Value))
+	}
+	for _, g := range s.Gauges {
+		t.AddRow("gauge", g.Name, report.Fmt(g.Value))
+	}
+	for _, h := range s.Histograms {
+		t.AddRow("histogram", h.Name, report.Fmt(h.Sum),
+			fmt.Sprintf("%d", h.Count), report.Fmt(h.Mean()),
+			report.Fmt(h.Min), report.Fmt(h.Max))
+	}
+	for _, g := range s.SpanGroups() {
+		t.AddRow("span", g.Name, ms(g.Total), fmt.Sprintf("%d", g.Count), "",
+			ms(g.Min), ms(g.Max))
+	}
+	return t.CSV()
+}
+
+// jsonEvent is one line of the structured event log.
+type jsonEvent struct {
+	Kind  string  `json:"kind"`
+	Time  string  `json:"time,omitempty"`
+	Name  string  `json:"name"`
+	Value any     `json:"value,omitempty"`
+	DurMs float64 `json:"dur_ms,omitempty"`
+	Attrs []Attr  `json:"attrs,omitempty"`
+}
+
+// WriteEvents writes the snapshot as a structured JSON event log: one
+// JSON object per line — every completed span (kind "span", in start
+// order), every emitted event (kind "event"), then the final metric
+// values (kinds "counter", "gauge", "histogram").
+func (s Snapshot) WriteEvents(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	ts := func(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }
+	for _, sp := range s.Spans {
+		e := jsonEvent{Kind: "span", Time: ts(sp.Start), Name: sp.Name,
+			DurMs: float64(sp.Duration()) / float64(time.Millisecond), Attrs: sp.Attrs}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	for _, ev := range s.Events {
+		if err := enc.Encode(jsonEvent{Kind: "event", Time: ts(ev.Time), Name: ev.Name, Attrs: ev.Attrs}); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Counters {
+		if err := enc.Encode(jsonEvent{Kind: "counter", Name: c.Name, Value: c.Value}); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := enc.Encode(jsonEvent{Kind: "gauge", Name: g.Name, Value: g.Value}); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		e := jsonEvent{Kind: "histogram", Name: h.Name, Value: map[string]any{
+			"count": h.Count, "sum": h.Sum, "min": h.Min, "max": h.Max, "mean": h.Mean(),
+		}}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Attr is one span or event attribute. Values are stringified at
+// attachment time so records are immutable and JSON-safe.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// attr renders a value compactly: integers without exponent, floats via
+// %g, everything else via %v.
+func attr(key string, value any) Attr {
+	switch v := value.(type) {
+	case float64:
+		return Attr{Key: key, Value: fmt.Sprintf("%g", v)}
+	case float32:
+		return Attr{Key: key, Value: fmt.Sprintf("%g", v)}
+	case string:
+		return Attr{Key: key, Value: v}
+	default:
+		return Attr{Key: key, Value: fmt.Sprintf("%v", v)}
+	}
+}
+
+// SpanRecord is one completed span in the registry's trace log.
+type SpanRecord struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall time on the registry's time source.
+func (s SpanRecord) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Span is an in-flight trace span: a named phase of the hybrid workflow
+// (or a dlb round) between StartSpan and End. Spans are single-owner:
+// one goroutine starts, annotates, and ends a span. A nil span no-ops.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+	attrs []Attr
+	done  bool
+}
+
+// StartSpan opens a span at the registry's current time. A nil registry
+// returns a nil (no-op) span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, start: r.clock()()}
+}
+
+// Set attaches an attribute to the span (stringified immediately) and
+// returns the span for chaining.
+func (s *Span) Set(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, attr(key, value))
+	return s
+}
+
+// End closes the span and appends it to the registry's trace log; calls
+// after the first are ignored. The histogram "span.<name>.ms" receives
+// the duration, so aggregate phase timings survive even when the raw
+// span log overflows.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	end := s.r.clock()()
+	rec := SpanRecord{Name: s.name, Start: s.start, End: end, Attrs: s.attrs}
+	s.r.Histogram("span." + s.name + ".ms").Observe(float64(end.Sub(s.start)) / float64(time.Millisecond))
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if len(s.r.spans) >= maxSpans {
+		s.r.dropped++
+		return
+	}
+	s.r.spans = append(s.r.spans, rec)
+}
+
+// Event is one ad-hoc structured record in the registry's event log
+// (e.g. a breaker transition or a budget exhaustion).
+type Event struct {
+	Time  time.Time `json:"time"`
+	Name  string    `json:"name"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Emit appends an event with the given fields (sorted by key for
+// deterministic output). A nil registry no-ops.
+func (r *Registry) Emit(name string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]Attr, 0, len(keys))
+	for _, k := range keys {
+		attrs = append(attrs, attr(k, fields[k]))
+	}
+	ev := Event{Time: r.clock()(), Name: name, Attrs: attrs}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= maxEvents {
+		r.evDrop++
+		return
+	}
+	r.events = append(r.events, ev)
+}

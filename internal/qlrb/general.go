@@ -233,7 +233,7 @@ type GeneralResult struct {
 
 // SolveGeneral builds and solves the per-task formulation, warm-started
 // from the current placement.
-func SolveGeneral(ctx context.Context, tasks []lrp.Task, opt GeneralBuildOptions, h hybrid.Options) (GeneralResult, error) {
+func SolveGeneral(ctx context.Context, tasks []lrp.Task, opt GeneralBuildOptions, h hybrid.Options, opts ...solve.Option) (GeneralResult, error) {
 	enc, err := BuildGeneral(tasks, opt)
 	if err != nil {
 		return GeneralResult{}, err
@@ -249,7 +249,7 @@ func SolveGeneral(ctx context.Context, tasks []lrp.Task, opt GeneralBuildOptions
 		h.Pairs = enc.AssignmentPairs()
 		h.PairProb = 0.5
 	}
-	res, err := hybrid.New(h).Solve(ctx, enc.Model)
+	res, err := hybrid.New(h).Solve(ctx, enc.Model, opts...)
 	if err != nil {
 		return GeneralResult{}, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hybrid"
 	"repro/internal/lrp"
+	"repro/internal/obs"
 	"repro/internal/solve"
 )
 
@@ -29,6 +30,10 @@ type SolveOptions struct {
 	// the attachment point for resilience middleware
 	// (resilient.Policy.Wrap) or any other solve.Solver decorator.
 	Wrap func(solve.Solver) solve.Solver
+	// Obs, when non-nil, receives the full workflow trace: qlrb.build /
+	// qlrb.solve / qlrb.decode spans plus every solver-internal counter
+	// (passed down via solve.WithObs). Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // SolveStats reports everything the paper's tables need about one solve.
@@ -55,10 +60,14 @@ type SolveStats struct {
 // stops the solve at the next sweep boundary; the best sample collected
 // so far is still decoded (Stats.Solver.Interrupted reports the cut).
 func Solve(ctx context.Context, in *lrp.Instance, opt SolveOptions) (*lrp.Plan, SolveStats, error) {
+	buildSpan := opt.Obs.StartSpan("qlrb.build")
 	enc, err := Build(in, opt.Build)
 	if err != nil {
+		buildSpan.Set("error", err.Error()).End()
 		return nil, SolveStats{}, err
 	}
+	ms0 := enc.Model.Stats()
+	buildSpan.Set("qubits", ms0.Vars).Set("constraints", ms0.Constraints).End()
 	if !opt.NoWarmStart {
 		candidates := append([]*lrp.Plan{lrp.NewPlan(in)}, opt.WarmPlans...)
 		for _, p := range candidates {
@@ -86,13 +95,23 @@ func Solve(ctx context.Context, in *lrp.Instance, opt SolveOptions) (*lrp.Plan, 
 	if opt.Wrap != nil {
 		solver = opt.Wrap(solver)
 	}
-	res, err := solver.Solve(ctx, enc.Model)
+	solveSpan := opt.Obs.StartSpan("qlrb.solve")
+	res, err := solver.Solve(ctx, enc.Model, solve.WithObs(opt.Obs))
 	if err != nil {
+		solveSpan.Set("error", err.Error()).End()
 		return nil, SolveStats{}, err
 	}
+	solveSpan.Set("solver", solver.Name()).Set("objective", res.Objective).
+		Set("feasible", res.Feasible).End()
+	decodeSpan := opt.Obs.StartSpan("qlrb.decode")
 	plan, repaired, err := enc.DecodeRepaired(res.Sample)
 	if err != nil {
+		decodeSpan.Set("error", err.Error()).End()
 		return nil, SolveStats{}, err
+	}
+	decodeSpan.Set("repaired", repaired).End()
+	if repaired {
+		opt.Obs.Counter("qlrb.repairs").Inc()
 	}
 	ms := enc.Model.Stats()
 	stats := SolveStats{

@@ -169,5 +169,6 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 	if progress != nil {
 		progress(solve.Event{Sweep: params.Evals, BestObjective: res.Objective, Feasible: res.Feasible})
 	}
+	cfg.Observe(e.Name(), res.Stats)
 	return res, nil
 }

@@ -269,6 +269,22 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		}
 		s.p.mu.Unlock()
 	}()
+	// recordBreaker mirrors an outcome into the shared breaker and, when a
+	// registry is attached, publishes the resulting state as gauges and a
+	// transition event — the raw material for breaker-behaviour plots.
+	recordBreaker := func(success bool) {
+		before := s.p.breaker.State()
+		s.p.breaker.Record(success, clk.Now())
+		after := s.p.breaker.State()
+		if cfg.Obs != nil {
+			cfg.Obs.Gauge("resilient.breaker_state").Set(float64(after))
+			cfg.Obs.Gauge("resilient.breaker_trips").Set(float64(s.p.breaker.Trips()))
+			if after != before {
+				cfg.Obs.Counter("resilient.breaker_transitions").Inc()
+				cfg.Obs.Emit("resilient.breaker", map[string]any{"from": before.String(), "to": after.String()})
+			}
+		}
+	}
 	finish := func(res *solve.Result) *solve.Result {
 		res.Stats.Attempts = attempts
 		res.Stats.Retries = retries
@@ -277,6 +293,7 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 			res.Stats.Fallbacks = 1
 		}
 		res.Stats.Wall = clk.Since(start)
+		cfg.Observe("resilient", res.Stats)
 		return res
 	}
 
@@ -304,10 +321,10 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 			}
 		}
 		if err == nil {
-			s.p.breaker.Record(true, clk.Now())
+			recordBreaker(true)
 			return finish(res), nil
 		}
-		s.p.breaker.Record(false, clk.Now())
+		recordBreaker(false)
 		lastErr = err
 		if !retryable(err) {
 			// Malformed input fails the same way everywhere; no retry,
@@ -317,6 +334,9 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		if n < opt.MaxAttempts {
 			wait := opt.backoff(n, rng)
 			retries++
+			cfg.Obs.Emit("resilient.retry", map[string]any{
+				"attempt": n, "wait_ms": float64(wait) / float64(time.Millisecond), "error": err.Error(),
+			})
 			if opt.OnRetry != nil {
 				opt.OnRetry(n, wait, err)
 			}
@@ -328,6 +348,7 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 	}
 
 	if opt.Fallback != nil {
+		cfg.Obs.Emit("resilient.fallback", map[string]any{"solver": opt.Fallback.Name(), "error": lastErr.Error()})
 		if opt.OnFallback != nil {
 			opt.OnFallback(lastErr)
 		}

@@ -83,6 +83,10 @@ type Result struct {
 	Flips  int64
 	// Accepted counts accepted moves (for acceptance-rate diagnostics).
 	Accepted int64
+	// PenaltyRescales counts constraint-penalty growth events.
+	PenaltyRescales int
+	// Swaps counts accepted replica exchanges (parallel tempering only).
+	Swaps int64
 }
 
 // feasTol is the feasibility tolerance used throughout; all LRP data is
@@ -180,6 +184,7 @@ func Anneal(m *cqm.Model, opt Options) Result {
 		}
 		if opt.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
 			ev.ScalePenalties(opt.PenaltyGrowth)
+			res.PenaltyRescales++
 		}
 		for range pool {
 			res.Flips++

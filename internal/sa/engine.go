@@ -69,9 +69,12 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		res.Stats.Sweeps += r.Sweeps
 		res.Stats.Flips += r.Flips
 		res.Stats.Accepted += r.Accepted
+		res.Stats.PenaltyRescales += r.PenaltyRescales
+		res.Stats.TemperingSwaps += r.Swaps
 		if r.BestFeasible {
 			res.Stats.FeasibleReads++
 		}
 	}
+	cfg.Observe(e.Name(), res.Stats)
 	return res, nil
 }

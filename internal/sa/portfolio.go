@@ -22,8 +22,12 @@ type PortfolioOptions struct {
 	// Base.Initial, if set, is treated as an additional entry.
 	Initials [][]bool
 	// Progress, when non-nil, receives per-sweep notifications tagged
-	// with the restart index. It is called from worker goroutines and
-	// must be safe for concurrent use (see solve.SerialProgress).
+	// with the restart index. Portfolio serializes invocations, so the
+	// hook never runs concurrently with itself. When Progress is nil but
+	// Base.Progress is set, Base.Progress is promoted into this hook
+	// (serialized, restart index dropped) instead of being invoked
+	// concurrently from every worker — Base.Progress is documented for
+	// serial single-run use.
 	Progress func(restart, sweep int, bestObjective float64, feasible bool)
 }
 
@@ -46,6 +50,26 @@ func Portfolio(m *cqm.Model, opt PortfolioOptions) (Result, []Result) {
 	initials := opt.Initials
 	if opt.Base.Initial != nil {
 		initials = append(append([][]bool(nil), initials...), opt.Base.Initial)
+	}
+	// Base.Progress is a per-run callback documented for serial use; a
+	// portfolio runs Base on concurrent workers, so promote it into the
+	// restart-tagged portfolio hook (serialized below) instead of letting
+	// every worker invoke it concurrently and untagged.
+	if opt.Progress == nil && opt.Base.Progress != nil {
+		baseProgress := opt.Base.Progress
+		opt.Progress = func(_, sweep int, best float64, feas bool) {
+			baseProgress(sweep, best, feas)
+		}
+	}
+	opt.Base.Progress = nil
+	if opt.Progress != nil {
+		var mu sync.Mutex
+		serial := opt.Progress
+		opt.Progress = func(restart, sweep int, best float64, feas bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			serial(restart, sweep, best, feas)
+		}
 	}
 	results := make([]Result, opt.Restarts)
 	var wg sync.WaitGroup

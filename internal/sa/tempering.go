@@ -110,6 +110,7 @@ func ParallelTempering(m *cqm.Model, opt PTOptions) Result {
 			for r := range evs {
 				evs[r].ScalePenalties(base.PenaltyGrowth)
 			}
+			res.PenaltyRescales++
 		}
 		for r := range evs {
 			ev, beta, rr := evs[r], betas[r], rngs[r]
@@ -136,6 +137,7 @@ func ParallelTempering(m *cqm.Model, opt PTOptions) Result {
 					a, b := evs[r].Assignment(), evs[r+1].Assignment()
 					evs[r].Reset(b)
 					evs[r+1].Reset(a)
+					res.Swaps++
 				}
 			}
 		}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cqm"
+	"repro/internal/obs"
 )
 
 // Solver is the common interface of every solver backend. Solve runs
@@ -80,6 +81,18 @@ type Stats struct {
 	Accepted int64
 	// Nodes counts branch-and-bound nodes (exact backend).
 	Nodes int64
+	// BoundPrunes counts subtrees cut by the objective bound (exact
+	// backend).
+	BoundPrunes int64
+	// InfeasiblePrunes counts subtrees cut by constraint propagation
+	// (exact backend).
+	InfeasiblePrunes int64
+	// PenaltyRescales counts constraint-penalty growth events (sa-based
+	// backends).
+	PenaltyRescales int
+	// TemperingSwaps counts accepted replica exchanges (parallel
+	// tempering in the hybrid backend).
+	TemperingSwaps int64
 	// Evals counts objective/circuit evaluations (quantum backend).
 	Evals int
 	// Attempts counts cloud solve attempts made by the resilient
@@ -148,6 +161,9 @@ type Config struct {
 	Clock Clock
 	// Progress, when non-nil, receives solve events.
 	Progress Progress
+	// Obs, when non-nil, is the metrics registry every backend emits
+	// into (see Observe); nil disables observability at zero cost.
+	Obs *obs.Registry
 }
 
 // Option mutates a Config; see the With* constructors.
@@ -193,6 +209,53 @@ func WithClock(cl Clock) Option { return func(c *Config) { c.Clock = cl } }
 
 // WithProgress attaches a progress hook.
 func WithProgress(p Progress) Option { return func(c *Config) { c.Progress = p } }
+
+// WithObs attaches the metrics registry the solve reports into.
+func WithObs(r *obs.Registry) Option { return func(c *Config) { c.Obs = r } }
+
+// Observe records a completed solve's stats into the config's obs
+// registry under "solver.<name>.*": one counter per non-zero work
+// counter, a wall-time histogram, and an acceptance-rate gauge. Every
+// backend calls it once per Solve; with a nil registry it is free.
+func (cfg Config) Observe(name string, st Stats) {
+	r := cfg.Obs
+	if r == nil {
+		return
+	}
+	p := "solver." + name + "."
+	r.Counter(p + "solves").Inc()
+	add := func(metric string, v int64) {
+		if v != 0 {
+			r.Counter(p + metric).Add(v)
+		}
+	}
+	add("reads", int64(st.Reads))
+	add("feasible_reads", int64(st.FeasibleReads))
+	add("presolve_fixed", int64(st.PresolveFixed))
+	add("sweeps", int64(st.Sweeps))
+	add("flips", st.Flips)
+	add("accepted", st.Accepted)
+	add("nodes", st.Nodes)
+	add("bound_prunes", st.BoundPrunes)
+	add("infeasible_prunes", st.InfeasiblePrunes)
+	add("penalty_rescales", int64(st.PenaltyRescales))
+	add("tempering_swaps", st.TemperingSwaps)
+	add("evals", int64(st.Evals))
+	add("attempts", int64(st.Attempts))
+	add("retries", int64(st.Retries))
+	add("fallbacks", int64(st.Fallbacks))
+	add("breaker_skips", int64(st.BreakerSkips))
+	if st.Interrupted {
+		r.Counter(p + "interrupted").Inc()
+	}
+	if st.Proven {
+		r.Counter(p + "proven").Inc()
+	}
+	r.Histogram(p + "wall_ms").Observe(float64(st.Wall) / float64(time.Millisecond))
+	if st.Flips > 0 {
+		r.Gauge(p + "acceptance_rate").Set(float64(st.Accepted) / float64(st.Flips))
+	}
+}
 
 // Stop coalesces context cancellation and the clock-based
 // deadline/budget into one polled predicate. It is safe for concurrent

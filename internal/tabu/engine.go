@@ -78,6 +78,7 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 	res.Feasible = best.BestFeasible
 	res.Stats.Wall = cfg.Clock.Since(start)
 	res.Stats.Interrupted = stop.Interrupted()
+	cfg.Observe(e.Name(), res.Stats)
 	return res, nil
 }
 
