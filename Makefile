@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet fmt test race bench fault-demo
+.PHONY: check build vet fmt test race bench fault-demo fuzz-smoke
 
 # check is the CI gate: vet + formatting + full shuffled tests + the
 # race detector over every package.
@@ -28,6 +29,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# fuzz-smoke gives every fuzz target a short randomized shake
+# (FUZZTIME per corpus, ~10s default) — enough to catch shallow
+# regressions in the parsers, the encode/decode round-trip, and the
+# independent verifier on every CI run without a dedicated fuzz farm.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzPlan -fuzztime=$(FUZZTIME) ./internal/verify
+	$(GO) test -run='^$$' -fuzz=FuzzSample -fuzztime=$(FUZZTIME) ./internal/verify
+	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode -fuzztime=$(FUZZTIME) ./internal/qlrb
+	$(GO) test -run='^$$' -fuzz=FuzzParseTraceLog -fuzztime=$(FUZZTIME) ./internal/chameleon
+	$(GO) test -run='^$$' -fuzz=FuzzReadInput -fuzztime=$(FUZZTIME) ./internal/csvio
+	$(GO) test -run='^$$' -fuzz=FuzzReadModel -fuzztime=$(FUZZTIME) ./internal/cqm
 
 # fault-demo runs the degradation-curve experiment: the resilient cloud
 # path (retry + breaker + classical fallback) swept over injected fault

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"path/filepath"
 
@@ -99,8 +100,9 @@ func run() error {
 		}
 		return false
 	}
-	// SIGINT cancels the remaining solves cleanly.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM cancel the remaining solves cleanly (SIGTERM is
+	// what batch schedulers send before SIGKILL).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	ran := false
@@ -336,16 +338,8 @@ func run() error {
 		snap := cfg.Obs.Snapshot()
 		sink.write("obs_snapshot.txt", snap.Text())
 		sink.write("obs_snapshot.csv", snap.CSV())
-		f, err := os.Create(filepath.Join(*outDir, "obs_events.json"))
-		if err != nil {
+		if err := experiments.WriteFileAtomic(filepath.Join(*outDir, "obs_events.json"), snap.WriteEvents); err != nil {
 			return err
-		}
-		werr := snap.WriteEvents(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
 		}
 		fmt.Printf("observability artifacts written to %s (obs_snapshot.txt/.csv, obs_events.json)\n", *outDir)
 	}
@@ -377,7 +371,9 @@ func (s artifactSink) figure(name string, f *report.Figure) {
 
 func (s artifactSink) write(name, content string) {
 	path := filepath.Join(s.dir, name)
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	// Atomic (temp file + rename): a run killed mid-write never leaves a
+	// truncated table or CSV under results/.
+	if err := experiments.WriteStringAtomic(path, content); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
 	}
 }

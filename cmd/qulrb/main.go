@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/balancer"
@@ -85,9 +86,10 @@ func run() error {
 	}
 	fmt.Printf("instance: %s\n", in)
 
-	// SIGINT cancels the solve; iterative methods return their best
-	// partial result or a clean error instead of dying mid-plan.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM cancel the solve; iterative methods return
+	// their best partial result or a clean error instead of dying
+	// mid-plan (SIGTERM is what schedulers and container runtimes send).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	// A nil registry disables instrumentation everywhere it is passed;

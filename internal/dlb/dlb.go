@@ -21,6 +21,7 @@ import (
 	"repro/internal/chameleon"
 	"repro/internal/lrp"
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 // Sentinel errors: every failure Run returns wraps one of these (plus
@@ -38,6 +39,12 @@ var (
 	// and no previous plan can stand in); otherwise the round degrades
 	// to the previous plan and the error is recorded per iteration.
 	ErrRebalance = errors.New("dlb: rebalance error")
+	// ErrVerify marks a plan rejected by the independent verifier
+	// before application. It is treated exactly like a failed rebalance
+	// round (degrade to previous/identity, DegradedRounds++) and is
+	// reachable via errors.Is on IterationResult.Err, wrapped in
+	// ErrRebalance.
+	ErrVerify = errors.New("dlb: plan failed verification")
 )
 
 // Workload produces the (possibly drifting) imbalance input of each BSP
@@ -88,9 +95,18 @@ type Config struct {
 	// first rebalance failure instead of degrading the round to the
 	// previous plan (identity when no round has succeeded yet).
 	Strict bool
+	// MigrationBudget, when > 0, is the per-round migration cap the
+	// verifier enforces on fresh method plans: a plan moving more tasks
+	// is rejected (ErrVerify) exactly like a failed rebalance. Zero
+	// disables the budget check. The cap applies only to the method's
+	// own plan — the degrade candidates (previous plan, identity) are
+	// verified for integrity but not against the budget, since applying
+	// the plan the machine already has migrates nothing.
+	MigrationBudget int
 	// Obs, when non-nil, receives one "dlb.round" span per iteration
 	// (tagged with the method, migration count and degradation flag) and
-	// the counters dlb.rounds / dlb.degraded_rounds.
+	// the counters dlb.rounds / dlb.degraded_rounds /
+	// dlb.rejected_plans.
 	Obs *obs.Registry
 }
 
@@ -176,33 +192,53 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 		// Apply the plan; on failure degrade progressively: method plan
 		// -> previous good plan -> identity. The identity plan applies
 		// to any instance, so a round never aborts on plan trouble.
+		//
+		// No unverified plan ever reaches the runtime: every candidate —
+		// the method's plan included — passes through the independent
+		// verifier first. A candidate failing verification is treated
+		// exactly like a failed rebalance (skip to the next degrade
+		// step); only the fresh method plan is additionally held to the
+		// migration budget.
 		var rt *chameleon.Runtime
 		var mig chameleon.MigrationStats
 		degraded := rerr != nil
-		for _, cand := range [...]*lrp.Plan{plan, prev, lrp.NewPlan(in)} {
+		applied := false
+		for ci, cand := range [...]*lrp.Plan{plan, prev, lrp.NewPlan(in)} {
 			if cand == nil {
 				continue
 			}
-			if rt, err = chameleon.New(cfg.Runtime, in); err != nil {
-				return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
+			fresh := ci == 0 && plan != nil
+			budget := -1
+			if fresh && cfg.MigrationBudget > 0 {
+				budget = cfg.MigrationBudget
 			}
-			if mig, err = rt.ApplyPlan(cand); err == nil {
-				plan = cand
-				break
+			cerr := verify.Plan(in, cand, budget, verify.Options{}).Err()
+			if cerr != nil {
+				cerr = fmt.Errorf("%w: %w", ErrVerify, cerr)
+				cfg.Obs.Counter("dlb.rejected_plans").Inc()
+			} else {
+				if rt, err = chameleon.New(cfg.Runtime, in); err != nil {
+					return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
+				}
+				if mig, cerr = rt.ApplyPlan(cand); cerr == nil {
+					plan = cand
+					applied = true
+					break
+				}
 			}
-			if cand == plan && plan != nil {
+			if fresh {
 				if cfg.Strict {
-					return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), err)
+					return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), cerr)
 				}
 				degraded = true
 				if rerr == nil {
-					rerr = err
+					rerr = cerr
 				}
 			}
 		}
-		if err != nil {
+		if !applied {
 			// Even the identity plan failed: the runtime itself is broken.
-			return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
+			return res, fmt.Errorf("%w: iteration %d: identity plan not applicable", ErrRuntime, it)
 		}
 		st := rt.RunIteration()
 

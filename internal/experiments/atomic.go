@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a result artifact so that readers never see a
+// truncated file: the content is produced into a temporary file in the
+// destination's directory and renamed over the target only after a
+// successful write+sync. A run killed mid-write (SIGINT/SIGTERM land
+// between any two syscalls) leaves either the previous version or
+// nothing — never a half-written CSV/JSON under results/.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	err = write(tmp)
+	if serr := tmp.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteStringAtomic is WriteFileAtomic for in-memory content.
+func WriteStringAtomic(path, content string) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	})
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,16 +27,10 @@ func ExportCaseArtifacts(dir string, in *lrp.Instance, cr CaseResult) ([]string,
 	var written []string
 
 	inputPath := filepath.Join(inputDir, slug+".csv")
-	f, err := os.Create(inputPath)
-	if err != nil {
-		return nil, err
-	}
-	err = csvio.WriteInput(f, in)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, fmt.Errorf("%w: writing %s: %w", ErrExport, inputPath, err)
+	if err := WriteFileAtomic(inputPath, func(w io.Writer) error {
+		return csvio.WriteInput(w, in)
+	}); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrExport, err)
 	}
 	written = append(written, inputPath)
 
@@ -43,17 +38,12 @@ func ExportCaseArtifacts(dir string, in *lrp.Instance, cr CaseResult) ([]string,
 		if mr.Plan == nil {
 			continue
 		}
+		plan := mr.Plan
 		outPath := filepath.Join(outputDir, slug+"_"+sanitizeSlug(mr.Method)+".csv")
-		f, err := os.Create(outPath)
-		if err != nil {
-			return nil, err
-		}
-		err = csvio.WriteOutput(f, in, mr.Plan)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: writing %s: %w", ErrExport, outPath, err)
+		if err := WriteFileAtomic(outPath, func(w io.Writer) error {
+			return csvio.WriteOutput(w, in, plan)
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrExport, err)
 		}
 		written = append(written, outPath)
 	}

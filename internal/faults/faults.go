@@ -21,6 +21,9 @@
 //     damaged in flight: bits are flipped so the reported objective and
 //     feasibility no longer match the sample. Detected by response
 //     validation, not by an error.
+//   - Panic — the solver goroutine panics mid-solve (crashing worker,
+//     poisoned reply tripping a client bug). Contained by the panic
+//     isolation layer (solve.Protected), not by retries.
 //
 // The injection surface is the Hook interface, consulted once per solve
 // attempt by the simulated cloud backend (hybrid.Options.Faults).
@@ -47,9 +50,14 @@ const (
 	Throttle
 	// Corrupt damages the returned sample instead of erroring.
 	Corrupt
+	// Panic makes the solver goroutine panic mid-solve, modelling a
+	// crashing worker or a poisoned reply that trips a bug in the
+	// client. Only the isolation layer (solve.Protected) stands between
+	// it and the process.
+	Panic
 )
 
-const numKinds = int(Corrupt) + 1
+const numKinds = int(Panic) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -64,6 +72,8 @@ func (k Kind) String() string {
 		return "throttle"
 	case Corrupt:
 		return "corrupt"
+	case Panic:
+		return "panic"
 	}
 	return "unknown"
 }
@@ -108,9 +118,9 @@ type Config struct {
 	// Seed drives the schedule; the whole schedule is a pure function
 	// of (Config, attempt index).
 	Seed int64
-	// Transient, Timeout, Throttle, Corrupt are per-attempt injection
-	// probabilities of each kind.
-	Transient, Timeout, Throttle, Corrupt float64
+	// Transient, Timeout, Throttle, Corrupt, Panic are per-attempt
+	// injection probabilities of each kind.
+	Transient, Timeout, Throttle, Corrupt, Panic float64
 	// TimeoutDelay is the simulated time a Timeout fault consumes
 	// before surfacing (measured on the injected solve.Clock).
 	TimeoutDelay time.Duration
@@ -132,7 +142,23 @@ func Uniform(seed int64, rate float64) Config {
 }
 
 // Rate returns the total per-attempt fault probability.
-func (c Config) Rate() float64 { return c.Transient + c.Timeout + c.Throttle + c.Corrupt }
+func (c Config) Rate() float64 {
+	return c.Transient + c.Timeout + c.Throttle + c.Corrupt + c.Panic
+}
+
+// Chaos returns a configuration injecting only the two faults no
+// transport-level retry can paper over — corrupted replies and solver
+// panics — splitting rate evenly between them. It is the adversary the
+// trust-but-verify layer (verify + hedge + solve.Protected) is built
+// for: Uniform's transient/timeout/throttle faults exercise retries,
+// Chaos exercises verification and isolation.
+func Chaos(seed int64, rate float64) Config {
+	return Config{
+		Seed:    seed,
+		Corrupt: 0.5 * rate,
+		Panic:   0.5 * rate,
+	}
+}
 
 // mix derives a well-spread 64-bit stream seed from (seed, seq),
 // splitmix64-style, so consecutive attempts get decorrelated draws.
@@ -162,6 +188,8 @@ func (c Config) at(seq int) Fault {
 		f.Kind = Throttle
 	case u < t+o+q+c.Corrupt:
 		f.Kind = Corrupt
+	case u < t+o+q+c.Corrupt+c.Panic:
+		f.Kind = Panic
 	}
 	return f
 }

@@ -110,15 +110,15 @@ func TestMaxFaultsCap(t *testing.T) {
 func TestKindStringsAndErrs(t *testing.T) {
 	names := map[Kind]string{
 		None: "none", Transient: "transient", Timeout: "timeout",
-		Throttle: "throttle", Corrupt: "corrupt", Kind(99): "unknown",
+		Throttle: "throttle", Corrupt: "corrupt", Panic: "panic", Kind(99): "unknown",
 	}
 	for k, want := range names {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
 		}
 	}
-	if None.Err() != nil || Corrupt.Err() != nil {
-		t.Error("None/Corrupt should not error")
+	if None.Err() != nil || Corrupt.Err() != nil || Panic.Err() != nil {
+		t.Error("None/Corrupt/Panic should not error (they surface in-band)")
 	}
 	if !errors.Is(Transient.Err(), ErrTransient) ||
 		!errors.Is(Timeout.Err(), ErrTimeout) ||
@@ -138,6 +138,47 @@ func TestRetryable(t *testing.T) {
 	}
 	if Retryable(errors.New("boom")) || Retryable(nil) {
 		t.Error("non-fault errors must not be retryable")
+	}
+}
+
+func TestPanicKindScheduled(t *testing.T) {
+	// A panic-only config must inject Panic (and nothing else) at
+	// roughly the configured rate, deterministically per seed.
+	cfg := Config{Seed: 11, Panic: 0.5}
+	sched := cfg.Schedule(200)
+	panics := 0
+	for _, k := range sched {
+		switch k {
+		case Panic:
+			panics++
+		case None:
+		default:
+			t.Fatalf("unexpected kind %v in a panic-only schedule", k)
+		}
+	}
+	if panics < 60 || panics > 140 {
+		t.Fatalf("panic count %d far from 50%% of 200", panics)
+	}
+	again := cfg.Schedule(200)
+	for i := range sched {
+		if sched[i] != again[i] {
+			t.Fatalf("schedule not deterministic at %d", i)
+		}
+	}
+}
+
+func TestChaosSplit(t *testing.T) {
+	cfg := Chaos(3, 0.3)
+	if cfg.Corrupt != 0.15 || cfg.Panic != 0.15 {
+		t.Fatalf("Chaos split = %+v", cfg)
+	}
+	if r := cfg.Rate(); r < 0.299 || r > 0.301 {
+		t.Fatalf("Rate() = %v, want 0.3", r)
+	}
+	for _, k := range cfg.Schedule(100) {
+		if k != None && k != Corrupt && k != Panic {
+			t.Fatalf("Chaos schedule contains %v", k)
+		}
 	}
 }
 

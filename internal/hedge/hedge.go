@@ -1,0 +1,300 @@
+// Package hedge races multiple solver backends against each other with
+// staggered starts — the tail-latency hedging pattern applied to the
+// rebalancing pipeline's solve step. The primary backend is launched
+// immediately; each additional hedge fires after a configurable delay
+// on the injected solve.Clock, or immediately once an earlier backend
+// fails, panics, or returns a reply that flunks independent
+// verification. The first verified-feasible result wins the race and
+// every loser is cancelled; verified-but-infeasible results are held as
+// a fallback in case nobody does better.
+//
+// The race trusts nothing: every backend runs behind solve.Protected
+// (a panicking backend merely loses), and every candidate reply is
+// re-checked by internal/verify before it can win. A corrupted or
+// dishonest reply is therefore indistinguishable, from the caller's
+// point of view, from a slow one — it just loses.
+//
+// Per-backend win/loss/reject/panic tallies accumulate across solves
+// and are mirrored into the obs registry under "hedge.*", so a fleet
+// operator can see which backend actually serves the traffic and which
+// one only burns cycles.
+package hedge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/solve"
+	"repro/internal/verify"
+)
+
+// ErrAllFailed marks a race in which every backend errored out or was
+// rejected by verification; no usable result exists. Match with
+// errors.Is — the returned error joins the per-backend causes.
+var ErrAllFailed = errors.New("hedge: all backends failed or were rejected")
+
+// DefaultDelay is the stagger between backend launches when Options
+// leaves Delay zero.
+const DefaultDelay = 50 * time.Millisecond
+
+// Options shapes a hedged race.
+type Options struct {
+	// Delay is the stagger between consecutive backend launches,
+	// measured on the injected Clock (DefaultDelay when <= 0). A
+	// backend failure launches the next hedge immediately regardless.
+	Delay time.Duration
+	// Verify tunes the independent verification every candidate reply
+	// must pass before it can win the race.
+	Verify verify.Options
+	// Name overrides the solver name ("hedge" when empty).
+	Name string
+}
+
+// Tally is one backend's cumulative race record.
+type Tally struct {
+	// Backend is the backend's Name().
+	Backend string
+	// Starts counts races in which the backend was launched.
+	Starts int
+	// Wins counts races the backend's verified result won.
+	Wins int
+	// Rejects counts replies discarded by independent verification.
+	Rejects int
+	// Errors counts failed attempts (panics included).
+	Errors int
+	// Panics counts recovered panics (a subset of Errors).
+	Panics int
+}
+
+// Solver races its backends and implements solve.Solver. Safe for
+// concurrent use; tallies aggregate across solves.
+type Solver struct {
+	name     string
+	delay    time.Duration
+	vopt     verify.Options
+	backends []solve.Solver
+
+	mu      sync.Mutex
+	tallies []Tally
+	starts  []time.Duration // launch offsets of the most recent race
+}
+
+// New builds a hedged solver over the given backends, in launch order
+// (the first is the primary). Every backend is wrapped in
+// solve.Protected, so a panic loses the race instead of crashing the
+// process. At least one backend is required.
+func New(opt Options, backends ...solve.Solver) (*Solver, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("hedge: no backends")
+	}
+	s := &Solver{
+		name:     opt.Name,
+		delay:    opt.Delay,
+		vopt:     opt.Verify,
+		backends: make([]solve.Solver, len(backends)),
+		tallies:  make([]Tally, len(backends)),
+	}
+	if s.name == "" {
+		s.name = "hedge"
+	}
+	if s.delay <= 0 {
+		s.delay = DefaultDelay
+	}
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("hedge: backend %d is nil", i)
+		}
+		s.backends[i] = solve.Protected(b)
+		s.tallies[i].Backend = b.Name()
+	}
+	return s, nil
+}
+
+// Name implements solve.Solver.
+func (s *Solver) Name() string { return s.name }
+
+// Tallies returns a copy of the cumulative per-backend race records.
+func (s *Solver) Tallies() []Tally {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Tally, len(s.tallies))
+	copy(out, s.tallies)
+	return out
+}
+
+// LastStarts returns the launch offsets (relative to the race start, on
+// the injected Clock) of the backends launched in the most recent
+// Solve, in launch order. Tests use it to pin the stagger schedule.
+func (s *Solver) LastStarts() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]time.Duration, len(s.starts))
+	copy(out, s.starts)
+	return out
+}
+
+// outcome is one backend's race result.
+type outcome struct {
+	idx int
+	res *solve.Result
+	err error
+}
+
+// Solve implements solve.Solver: it races the backends and returns the
+// first verified-feasible result, falling back to the best
+// verified-infeasible one, or ErrAllFailed when every backend erred or
+// was rejected. Losers are cancelled as soon as a winner is decided.
+func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if m == nil {
+		return nil, errors.New("hedge: nil model")
+	}
+	cfg := solve.NewConfig(opts...)
+	clk := cfg.Clock
+	start := clk.Now()
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels every still-running loser on return
+
+	// Buffered so losers finishing after the race is decided can post
+	// their outcome and exit without a reader — no goroutine leaks.
+	outcomes := make(chan outcome, len(s.backends))
+	// timer signals that the current stagger delay elapsed. Under the
+	// fake clock Sleep advances time instantly, so launch offsets are
+	// exactly 0, Delay, 2*Delay, ... — deterministic in tests.
+	timer := make(chan struct{}, 1)
+	armTimer := func() {
+		go func() {
+			if clk.Sleep(raceCtx, s.delay) == nil {
+				select {
+				case timer <- struct{}{}:
+				default:
+				}
+			}
+		}()
+	}
+
+	launched := 0
+	offsets := make([]time.Duration, 0, len(s.backends))
+	launch := func() {
+		idx := launched
+		launched++
+		off := clk.Since(start)
+		offsets = append(offsets, off)
+		s.mu.Lock()
+		s.tallies[idx].Starts++
+		s.mu.Unlock()
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("hedge.backend." + s.backends[idx].Name() + ".starts").Inc()
+			cfg.Obs.Emit("hedge.launch", map[string]any{
+				"backend":   s.backends[idx].Name(),
+				"offset_ms": float64(off) / float64(time.Millisecond),
+			})
+		}
+		go func() {
+			res, err := s.backends[idx].Solve(raceCtx, m, opts...)
+			outcomes <- outcome{idx: idx, res: res, err: err}
+		}()
+		if launched < len(s.backends) {
+			armTimer()
+		}
+	}
+	launch() // primary starts immediately
+
+	var (
+		stats    solve.Stats
+		fallback *solve.Result // best verified-but-infeasible result
+		causes   []error
+		done     int
+	)
+	finish := func(idx int, res *solve.Result) (*solve.Result, error) {
+		s.mu.Lock()
+		if idx >= 0 {
+			s.tallies[idx].Wins++
+		}
+		s.starts = offsets
+		s.mu.Unlock()
+		if res != nil {
+			st := res.Stats
+			st.Wall = clk.Since(start)
+			st.Hedged += launched - 1
+			st.HedgeRejects += stats.HedgeRejects
+			st.Panics += stats.Panics
+			res.Stats = st
+			if idx >= 0 && cfg.Obs != nil {
+				cfg.Obs.Counter("hedge.backend." + s.backends[idx].Name() + ".wins").Inc()
+			}
+			cfg.Observe(s.name, res.Stats)
+			return res, nil
+		}
+		stats.Wall = clk.Since(start)
+		stats.Hedged = launched - 1
+		cfg.Observe(s.name, stats)
+		return nil, fmt.Errorf("%w: %w", ErrAllFailed, errors.Join(causes...))
+	}
+
+	for {
+		select {
+		case <-timer:
+			if launched < len(s.backends) {
+				launch()
+			}
+			continue
+		case o := <-outcomes:
+			done++
+			name := s.backends[o.idx].Name()
+			if o.err != nil {
+				s.mu.Lock()
+				s.tallies[o.idx].Errors++
+				if errors.Is(o.err, solve.ErrPanic) {
+					s.tallies[o.idx].Panics++
+					stats.Panics++
+				}
+				s.mu.Unlock()
+				causes = append(causes, fmt.Errorf("%s: %w", name, o.err))
+			} else {
+				rep := verify.Sample(m, o.res, s.vopt)
+				switch {
+				case !rep.Ok():
+					// Corrupted or dishonest reply: it loses, and the
+					// violation that sank it goes on record.
+					stats.HedgeRejects++
+					s.mu.Lock()
+					s.tallies[o.idx].Rejects++
+					s.mu.Unlock()
+					if cfg.Obs != nil {
+						cfg.Obs.Counter("hedge.backend." + name + ".rejects").Inc()
+						cfg.Obs.Emit("hedge.reject", map[string]any{
+							"backend":   name,
+							"violation": rep.Violations[0].String(),
+						})
+					}
+					causes = append(causes, fmt.Errorf("%s: %w", name, rep.Err()))
+				case rep.Feasible:
+					return finish(o.idx, o.res)
+				default:
+					// Honest but infeasible: hold as a fallback, keep
+					// racing for a feasible result.
+					if fallback == nil || o.res.Objective < fallback.Objective {
+						fallback = o.res
+					}
+					causes = append(causes, fmt.Errorf("%s: verified but infeasible (objective %g)", name, o.res.Objective))
+				}
+			}
+			if done == len(s.backends) {
+				if fallback != nil {
+					return finish(-1, fallback)
+				}
+				return finish(-1, nil)
+			}
+			// A decided non-winning outcome escalates the race: launch
+			// the next hedge now instead of waiting out the stagger.
+			if launched < len(s.backends) {
+				launch()
+			}
+		}
+	}
+}

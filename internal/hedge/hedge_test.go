@@ -1,0 +1,281 @@
+package hedge
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/obs"
+	"repro/internal/solve"
+)
+
+func model() *cqm.Model {
+	m := cqm.New()
+	v := m.AddBinary("x")
+	m.AddObjectiveLinear(v, 1)
+	return m
+}
+
+// honest returns a correctly attested result for x.
+func honest(m *cqm.Model, x []bool) *solve.Result {
+	return &solve.Result{Sample: x, Objective: m.Objective(x), Feasible: m.Feasible(x, 1e-6)}
+}
+
+// blocking waits for ctx cancellation, then reports it on cancelled.
+type blocking struct {
+	name      string
+	cancelled chan struct{}
+}
+
+func newBlocking(name string) *blocking {
+	return &blocking{name: name, cancelled: make(chan struct{})}
+}
+
+func (b *blocking) Name() string { return b.name }
+
+func (b *blocking) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	<-ctx.Done()
+	close(b.cancelled)
+	return nil, ctx.Err()
+}
+
+// instant returns a fixed (result, error) immediately.
+type instant struct {
+	name string
+	res  *solve.Result
+	err  error
+}
+
+func (s *instant) Name() string { return s.name }
+
+func (s *instant) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	r := *s.res
+	return &r, nil
+}
+
+// crashing panics on every solve.
+type crashing struct{ name string }
+
+func (s *crashing) Name() string { return s.name }
+
+func (s *crashing) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	panic("worker crash")
+}
+
+// waiting polls ready() before returning its result — used to pin the
+// order in which the race processes outcomes (the winner only reports
+// once the loser's fate is on record).
+type waiting struct {
+	name  string
+	ready func() bool
+	res   *solve.Result
+}
+
+func (s *waiting) Name() string { return s.name }
+
+func (s *waiting) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	for !s.ready() {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	r := *s.res
+	return &r, nil
+}
+
+// TestStaggeredStartsAndLoserCancellation pins the hedge schedule on
+// the fake clock: launches at exactly 0, Delay, 2*Delay, the winner's
+// result is returned, and both blocked losers observe cancellation.
+func TestStaggeredStartsAndLoserCancellation(t *testing.T) {
+	m := model()
+	clk := solve.NewFake(time.Unix(0, 0))
+	b0 := newBlocking("slow0")
+	b1 := newBlocking("slow1")
+	win := &instant{name: "fast", res: honest(m, []bool{false})}
+	const delay = 40 * time.Millisecond
+	s, err := New(Options{Delay: delay}, b0, b1, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background(), m, solve.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 0 {
+		t.Fatalf("winner result = %+v", res)
+	}
+	if res.Stats.Hedged != 2 {
+		t.Fatalf("Stats.Hedged = %d, want 2", res.Stats.Hedged)
+	}
+
+	starts := s.LastStarts()
+	want := []time.Duration{0, delay, 2 * delay}
+	if len(starts) != len(want) {
+		t.Fatalf("LastStarts = %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("launch %d at %v, want %v (all: %v)", i, starts[i], want[i], starts)
+		}
+	}
+
+	// Losers are cancelled, not leaked: both blocked backends must see
+	// ctx.Done.
+	for _, b := range []*blocking{b0, b1} {
+		select {
+		case <-b.cancelled:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("loser %s never saw cancellation", b.name)
+		}
+	}
+
+	tallies := s.Tallies()
+	if tallies[2].Wins != 1 || tallies[2].Starts != 1 {
+		t.Fatalf("winner tally = %+v", tallies[2])
+	}
+	if tallies[0].Starts != 1 || tallies[1].Starts != 1 {
+		t.Fatalf("loser tallies = %+v %+v", tallies[0], tallies[1])
+	}
+}
+
+// TestRejectedReplyLosesRace proves a corrupted (claim-inconsistent)
+// reply cannot win: the primary's reply flunks verification and the
+// hedge serves the honest result instead.
+func TestRejectedReplyLosesRace(t *testing.T) {
+	m := model()
+	corrupt := &instant{name: "corrupt", res: &solve.Result{
+		Sample: []bool{true}, Objective: -99, Feasible: true, // lies about the objective
+	}}
+	var s *Solver
+	good := &waiting{name: "good", res: honest(m, []bool{false}),
+		ready: func() bool { return s.Tallies()[0].Rejects == 1 }}
+	reg := obs.NewRegistry()
+	s, err := New(Options{Delay: time.Millisecond}, corrupt, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := s.Solve(context.Background(), m, solve.WithClock(clk), solve.WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 0 || !res.Feasible {
+		t.Fatalf("wrong winner: %+v", res)
+	}
+	if res.Stats.HedgeRejects != 1 {
+		t.Fatalf("Stats.HedgeRejects = %d, want 1", res.Stats.HedgeRejects)
+	}
+	tallies := s.Tallies()
+	if tallies[0].Rejects != 1 {
+		t.Fatalf("corrupt backend tally = %+v", tallies[0])
+	}
+	if tallies[1].Wins != 1 {
+		t.Fatalf("good backend tally = %+v", tallies[1])
+	}
+	if got := reg.Counter("hedge.backend.corrupt.rejects").Value(); got != 1 {
+		t.Fatalf("rejects counter = %d, want 1", got)
+	}
+}
+
+// TestPanickingBackendLosesRace proves a crashing backend merely loses.
+func TestPanickingBackendLosesRace(t *testing.T) {
+	m := model()
+	var s *Solver
+	good := &waiting{name: "good", res: honest(m, []bool{false}),
+		ready: func() bool { return s.Tallies()[0].Panics == 1 }}
+	s, err := New(Options{Delay: time.Millisecond}, &crashing{name: "boom"}, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := s.Solve(context.Background(), m, solve.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("winner not feasible: %+v", res)
+	}
+	if res.Stats.Panics != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", res.Stats.Panics)
+	}
+	tallies := s.Tallies()
+	if tallies[0].Panics != 1 || tallies[0].Errors != 1 {
+		t.Fatalf("crashing backend tally = %+v", tallies[0])
+	}
+}
+
+// TestAllFailed proves the race surfaces a joined, errors.Is-able error
+// when nothing usable comes back.
+func TestAllFailed(t *testing.T) {
+	m := model()
+	s, err := New(Options{Delay: time.Millisecond},
+		&instant{name: "broken", err: errors.New("cloud down")},
+		&crashing{name: "boom"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := s.Solve(context.Background(), m, solve.WithClock(clk))
+	if res != nil {
+		t.Fatalf("got a result from an all-failed race: %+v", res)
+	}
+	if !errors.Is(err, ErrAllFailed) {
+		t.Fatalf("err = %v, want ErrAllFailed", err)
+	}
+	if !errors.Is(err, solve.ErrPanic) {
+		t.Fatalf("joined error lost the panic cause: %v", err)
+	}
+}
+
+// TestInfeasibleFallback: when every backend is honest but infeasible,
+// the best verified result is still returned rather than an error.
+func TestInfeasibleFallback(t *testing.T) {
+	m := model()
+	var e cqm.LinExpr
+	e.Offset = 1
+	m.AddConstraint("impossible", e, cqm.Eq, 2) // 1 == 2: never satisfiable
+	worse := &instant{name: "worse", res: honest(m, []bool{true})}
+	better := &instant{name: "better", res: honest(m, []bool{false})}
+	s, err := New(Options{Delay: time.Millisecond}, worse, better)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := s.Solve(context.Background(), m, solve.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("impossible model reported feasible")
+	}
+	if res.Objective != 0 {
+		t.Fatalf("fallback picked objective %v, want the better (0)", res.Objective)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New with no backends succeeded")
+	}
+	if _, err := New(Options{}, nil); err == nil {
+		t.Fatal("New with a nil backend succeeded")
+	}
+	s, err := New(Options{Name: "custom"}, &crashing{name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "custom" {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+	if _, err := s.Solve(context.Background(), nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}

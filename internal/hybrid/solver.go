@@ -28,6 +28,7 @@ import (
 	"repro/internal/sa"
 	"repro/internal/solve"
 	"repro/internal/tabu"
+	"repro/internal/verify"
 )
 
 // Options configures a hybrid solve.
@@ -158,6 +159,12 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 			}
 			return nil, fmt.Errorf("hybrid: job %d: %w", fault.Seq, ferr)
 		}
+		if fault.Kind == faults.Panic {
+			// A crashing worker takes the goroutine down mid-solve; only
+			// the isolation layer (solve.Protected, as used by the hedge
+			// and resilient wrappers) keeps it from taking the process.
+			panic(fmt.Sprintf("hybrid: job %d: injected solver crash", fault.Seq))
+		}
 	}
 
 	var frozen map[cqm.VarID]bool
@@ -243,15 +250,6 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 	}
 	wall := cfg.Clock.Since(start)
 
-	if fault.Kind == faults.Corrupt {
-		// The reported objective/feasibility intentionally keep their
-		// pre-corruption values: the damage is exactly that the reply no
-		// longer matches its own metadata (resilient's validation
-		// detects the mismatch).
-		best.Best = append([]bool(nil), best.Best...)
-		fault.CorruptSample(best.Best)
-	}
-
 	res := &solve.Result{
 		Sample:    best.Best,
 		Objective: best.BestObjective,
@@ -274,6 +272,24 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		if r.BestFeasible {
 			res.Stats.FeasibleReads++
 		}
+	}
+	// Attest the reply before it leaves the engine: objective and
+	// feasibility are recomputed from the sample itself, so an
+	// incremental-evaluator drift or selection bug can never ship
+	// metadata the sample does not back. Adjustments are counted — a
+	// non-zero rate is an engine bug worth investigating.
+	if verify.Attest(m, res, verify.Options{}) && cfg.Obs != nil {
+		cfg.Obs.Counter("solver.hybrid.attest_fixes").Inc()
+	}
+	if fault.Kind == faults.Corrupt {
+		// Corruption happens after attestation, on a copy: the reported
+		// objective/feasibility intentionally keep their pre-corruption
+		// values. The damage is exactly that the reply no longer matches
+		// its own metadata, which is what independent verification
+		// (internal/verify, resilient's validation, the hedge race)
+		// detects downstream.
+		res.Sample = append([]bool(nil), res.Sample...)
+		fault.CorruptSample(res.Sample)
 	}
 	cfg.Observe(e.Name(), res.Stats)
 	return res, nil

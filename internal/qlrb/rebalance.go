@@ -8,6 +8,7 @@ import (
 	"repro/internal/lrp"
 	"repro/internal/obs"
 	"repro/internal/solve"
+	"repro/internal/verify"
 )
 
 // SolveOptions configures an end-to-end quantum-hybrid rebalancing solve.
@@ -112,6 +113,16 @@ func Solve(ctx context.Context, in *lrp.Instance, opt SolveOptions) (*lrp.Plan, 
 	decodeSpan.Set("repaired", repaired).End()
 	if repaired {
 		opt.Obs.Counter("qlrb.repairs").Inc()
+	}
+	// Mandatory trust-but-verify gate: the decoded (and possibly
+	// repaired) plan is re-checked from scratch against the instance and
+	// migration budget by the independent verifier before it leaves this
+	// package. Decode/Repair are supposed to guarantee this — the gate is
+	// what turns "supposed to" into "checked on every solve".
+	if rep := verify.Plan(in, plan, opt.Build.K, verify.Options{}); !rep.Ok() {
+		opt.Obs.Counter("qlrb.rejected_plans").Inc()
+		opt.Obs.Emit("qlrb.reject", map[string]any{"violation": rep.Violations[0].String()})
+		return nil, SolveStats{}, fmt.Errorf("qlrb: decoded plan failed verification: %w", rep.Err())
 	}
 	ms := enc.Model.Stats()
 	stats := SolveStats{

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cqm"
 	"repro/internal/faults"
 	"repro/internal/solve"
+	"repro/internal/verify"
 )
 
 // Sentinel errors of the resilience layer; call sites wrap them with %w.
@@ -139,6 +140,9 @@ type Totals struct {
 	BreakerSkips int
 	// InvalidResponses counts corrupted replies caught by validation.
 	InvalidResponses int
+	// Panics counts inner-solver panics recovered by the isolation
+	// layer (each also counts as a failed, retryable attempt).
+	Panics int
 }
 
 // Policy holds the resilience configuration plus the state that must
@@ -162,8 +166,12 @@ func NewPolicy(opt Options) *Policy {
 
 // Wrap binds the policy to an inner solver. The returned solver shares
 // the policy's breaker and counters with every other solver the policy
-// wrapped.
-func (p *Policy) Wrap(inner solve.Solver) solve.Solver { return &Solver{inner: inner, p: p} }
+// wrapped. The inner solver runs behind solve.Protected: a panicking
+// backend is recovered into a retryable error instead of crashing the
+// process.
+func (p *Policy) Wrap(inner solve.Solver) solve.Solver {
+	return &Solver{inner: solve.Protected(inner), p: p}
+}
 
 // Totals returns the cumulative counters across all served solves.
 func (p *Policy) Totals() Totals {
@@ -182,9 +190,10 @@ type Solver struct {
 	p     *Policy
 }
 
-// New wraps inner in a fresh policy resolved from opt.
+// New wraps inner in a fresh policy resolved from opt. As with Wrap,
+// the inner solver runs behind solve.Protected.
 func New(inner solve.Solver, opt Options) *Solver {
-	return &Solver{inner: inner, p: NewPolicy(opt)}
+	return &Solver{inner: solve.Protected(inner), p: NewPolicy(opt)}
 }
 
 // Policy returns the solver's policy (breaker state, totals).
@@ -206,32 +215,27 @@ func (o Options) backoff(n int, rng *rand.Rand) time.Duration {
 }
 
 // retryable classifies failures worth resubmitting: the injectable
-// transport faults and corrupted responses. Anything else (malformed
-// input, nil model) would fail identically on retry and on the
-// fallback, so it surfaces immediately.
+// transport faults, corrupted responses, and recovered solver panics
+// (a crashed worker is just another flaky attempt from the caller's
+// point of view). Anything else (malformed input, nil model) would
+// fail identically on retry and on the fallback, so it surfaces
+// immediately.
 func retryable(err error) bool {
-	return faults.Retryable(err) || errors.Is(err, ErrInvalidResponse)
+	return faults.Retryable(err) || errors.Is(err, ErrInvalidResponse) || errors.Is(err, solve.ErrPanic)
 }
 
 // validate cross-checks a response against the model it claims to
-// solve: the sample must cover every variable and reproduce the
-// reported objective and feasibility. This is what catches Corrupt
-// faults, which do not error.
+// solve via the independent verifier (internal/verify): the sample must
+// cover every variable and reproduce the reported objective and
+// feasibility claim. This is what catches Corrupt faults, which do not
+// error. The returned error matches both ErrInvalidResponse and
+// verify.ErrRejected under errors.Is and names the broken check.
 func validate(m *cqm.Model, res *solve.Result) error {
-	if res == nil {
-		return fmt.Errorf("%w: nil result", ErrInvalidResponse)
+	rep := verify.Sample(m, res, verify.Options{})
+	if rep.Ok() {
+		return nil
 	}
-	if len(res.Sample) != m.NumVars() {
-		return fmt.Errorf("%w: sample has %d of %d variables", ErrInvalidResponse, len(res.Sample), m.NumVars())
-	}
-	obj := m.Objective(res.Sample)
-	if math.Abs(obj-res.Objective) > 1e-6*(1+math.Abs(obj)) {
-		return fmt.Errorf("%w: reported objective %g, sample evaluates to %g", ErrInvalidResponse, res.Objective, obj)
-	}
-	if feas := m.Feasible(res.Sample, 1e-6); feas != res.Feasible {
-		return fmt.Errorf("%w: reported feasible=%v, sample is %v", ErrInvalidResponse, res.Feasible, feas)
-	}
-	return nil
+	return fmt.Errorf("%w: %w", ErrInvalidResponse, rep.Err())
 }
 
 // Solve implements solve.Solver: it retries the inner solver per the
@@ -254,7 +258,7 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 	}
 	rng := rand.New(rand.NewSource(jitterSeed*1_000_003 + 17))
 
-	var attempts, retries, skips, invalid int
+	var attempts, retries, skips, invalid, panics int
 	var fellBack bool
 	var lastErr error
 	defer func() {
@@ -264,6 +268,7 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		s.p.totals.Retries += retries
 		s.p.totals.BreakerSkips += skips
 		s.p.totals.InvalidResponses += invalid
+		s.p.totals.Panics += panics
 		if fellBack {
 			s.p.totals.Fallbacks++
 		}
@@ -289,6 +294,7 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		res.Stats.Attempts = attempts
 		res.Stats.Retries = retries
 		res.Stats.BreakerSkips = skips
+		res.Stats.Panics = panics
 		if fellBack {
 			res.Stats.Fallbacks = 1
 		}
@@ -326,6 +332,9 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		}
 		recordBreaker(false)
 		lastErr = err
+		if errors.Is(err, solve.ErrPanic) {
+			panics++
+		}
 		if !retryable(err) {
 			// Malformed input fails the same way everywhere; no retry,
 			// no fallback.
@@ -352,7 +361,9 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		if opt.OnFallback != nil {
 			opt.OnFallback(lastErr)
 		}
-		res, err := opt.Fallback.Solve(ctx, m, opts...)
+		// The fallback is the last line of defence, so it gets the same
+		// panic isolation the cloud path does.
+		res, err := solve.Protected(opt.Fallback).Solve(ctx, m, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("resilient: fallback %s after %w: %w", opt.Fallback.Name(), lastErr, err)
 		}

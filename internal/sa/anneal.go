@@ -152,6 +152,8 @@ func Anneal(m *cqm.Model, opt Options) Result {
 	}
 
 	if len(pool) == 0 {
+		// Empty move set: no sweeps actually run, so don't claim them.
+		res.Sweeps = 0
 		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
 		return res
 	}

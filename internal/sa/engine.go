@@ -47,6 +47,22 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 		reads = 1
 	}
 
+	// Fast path: with no free variables (empty model, or everything
+	// frozen by presolve) there is no move set to search — the single
+	// reachable assignment IS the answer. Return it immediately instead
+	// of burning the sweep budget, per the cancellation contract's
+	// best-partial shape with Stats populated.
+	if x, ok := solve.FixedAssignment(m, base.Frozen); ok {
+		res := &solve.Result{
+			Sample:    x,
+			Objective: m.Objective(x),
+			Feasible:  m.Feasible(x, feasTol),
+			Stats:     solve.Stats{Wall: cfg.Clock.Since(start), Reads: 1, Proven: true},
+		}
+		cfg.Observe(e.Name(), res.Stats)
+		return res, nil
+	}
+
 	popt := PortfolioOptions{Base: base, Restarts: reads, Workers: cfg.Workers}
 	if p := solve.SerialProgress(cfg.Progress); p != nil {
 		popt.Progress = func(restart, sweep int, best float64, feas bool) {

@@ -1,0 +1,64 @@
+package sa
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/solve"
+)
+
+// TestEngineFastPathEmptyModel: with zero variables there is nothing to
+// search; the engine must return immediately with populated Stats. The
+// fake clock never advances here, so a budget-bounded spin through the
+// sweep loop would never terminate — completion is itself the proof.
+func TestEngineFastPathEmptyModel(t *testing.T) {
+	m := cqm.New()
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := NewEngine().Solve(context.Background(), m,
+		solve.WithClock(clk), solve.WithBudget(time.Second), solve.WithSweeps(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sample) != 0 || !res.Feasible {
+		t.Fatalf("empty-model result = %+v", res)
+	}
+	if !res.Stats.Proven || res.Stats.Reads != 1 {
+		t.Fatalf("fast path Stats = %+v, want Proven with Reads 1", res.Stats)
+	}
+	if res.Stats.Sweeps != 0 || res.Stats.Interrupted {
+		t.Fatalf("fast path claims work it did not do: %+v", res.Stats)
+	}
+}
+
+// TestEngineFastPathAllFrozen: every variable pinned by the base
+// configuration leaves an empty move set; the single reachable
+// assignment comes back immediately, evaluated from scratch.
+func TestEngineFastPathAllFrozen(t *testing.T) {
+	m := cqm.New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	var e cqm.LinExpr
+	e.Add(a, 2)
+	e.Add(b, 3)
+	e.Offset = -2
+	m.AddObjectiveSquared(e)
+
+	eng := NewEngine()
+	eng.Base.Frozen = map[cqm.VarID]bool{a: true, b: false}
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := eng.Solve(context.Background(), m, solve.WithClock(clk), solve.WithBudget(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sample[0] || res.Sample[1] {
+		t.Fatalf("Sample = %v, want frozen assignment [true false]", res.Sample)
+	}
+	if res.Objective != 0 {
+		t.Fatalf("Objective = %v, want (2*1+3*0-2)^2 = 0", res.Objective)
+	}
+	if !res.Stats.Proven {
+		t.Fatalf("Stats = %+v, want Proven", res.Stats)
+	}
+}

@@ -1,0 +1,29 @@
+package solve
+
+import "repro/internal/cqm"
+
+// FixedAssignment reports whether the model has no free variables left
+// once frozen is applied — zero variables, or every variable pinned —
+// and, if so, returns the single reachable assignment. Heuristic
+// engines use it as a fast path: with an empty move set there is
+// nothing to search, so the unique assignment is returned immediately
+// (and is trivially the optimum over the reachable space) instead of
+// spinning sweeps until the deadline.
+func FixedAssignment(m *cqm.Model, frozen map[cqm.VarID]bool) ([]bool, bool) {
+	if m == nil {
+		return nil, false
+	}
+	n := m.NumVars()
+	if n > 0 && len(frozen) < n {
+		return nil, false
+	}
+	x := make([]bool, n)
+	for i := 0; i < n; i++ {
+		v, ok := frozen[cqm.VarID(i)]
+		if !ok {
+			return nil, false
+		}
+		x[i] = v
+	}
+	return x, true
+}

@@ -1,0 +1,150 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cqm"
+	"repro/internal/obs"
+)
+
+// panicky is a Solver that panics on Solve until armed attempts run
+// out, then succeeds.
+type panicky struct {
+	mu         sync.Mutex
+	panicsLeft int
+}
+
+func (p *panicky) Name() string { return "panicky" }
+
+func (p *panicky) Solve(ctx context.Context, m *cqm.Model, opts ...Option) (*Result, error) {
+	p.mu.Lock()
+	boom := p.panicsLeft > 0
+	if boom {
+		p.panicsLeft--
+	}
+	p.mu.Unlock()
+	if boom {
+		panic("injected crash")
+	}
+	x := make([]bool, m.NumVars())
+	return &Result{Sample: x, Objective: m.Objective(x), Feasible: m.Feasible(x, 1e-6)}, nil
+}
+
+func TestProtectedRecoversPanic(t *testing.T) {
+	m := cqm.New()
+	m.AddBinary("x")
+	reg := obs.NewRegistry()
+	s := Protected(&panicky{panicsLeft: 1})
+	res, err := s.Solve(context.Background(), m, WithObs(reg))
+	if res != nil {
+		t.Fatal("panicked solve returned a result")
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T does not unwrap to *PanicError", err)
+	}
+	if pe.Backend != "panicky" {
+		t.Fatalf("Backend = %q, want panicky", pe.Backend)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "Solve") {
+		t.Fatal("PanicError carries no useful stack")
+	}
+	if got := reg.Counter("solver.panicky.panics").Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// The wrapper passes clean solves through untouched.
+	res, err = s.Solve(context.Background(), m)
+	if err != nil || res == nil {
+		t.Fatalf("clean solve through Protected = (%v, %v)", res, err)
+	}
+}
+
+func TestProtectedIsIdempotent(t *testing.T) {
+	inner := &panicky{}
+	once := Protected(inner)
+	if twice := Protected(once); twice != once {
+		t.Fatal("double wrapping allocated a second layer")
+	}
+	if Protected(nil) != nil {
+		t.Fatal("Protected(nil) != nil")
+	}
+	if once.Name() != "panicky" {
+		t.Fatalf("Name() = %q, want delegation", once.Name())
+	}
+}
+
+// TestProtectedConcurrentLifecycle is the -race lifecycle test of the
+// panic-isolation path: many goroutines share one Protected solver
+// whose backend crashes on some attempts, and every panic must be
+// contained, classified, and leave the process healthy.
+func TestProtectedConcurrentLifecycle(t *testing.T) {
+	m := cqm.New()
+	v := m.AddBinary("x")
+	m.AddObjectiveLinear(v, 1)
+	reg := obs.NewRegistry()
+	s := Protected(&panicky{panicsLeft: 16})
+
+	const workers = 8
+	const solvesPerWorker = 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	panics, successes := 0, 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < solvesPerWorker; i++ {
+				res, err := s.Solve(context.Background(), m, WithObs(reg))
+				mu.Lock()
+				switch {
+				case errors.Is(err, ErrPanic):
+					panics++
+				case err == nil && res != nil:
+					successes++
+				default:
+					t.Errorf("unexpected outcome (%v, %v)", res, err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if panics != 16 {
+		t.Fatalf("recovered panics = %d, want 16", panics)
+	}
+	if successes != workers*solvesPerWorker-16 {
+		t.Fatalf("successes = %d, want %d", successes, workers*solvesPerWorker-16)
+	}
+	if got := reg.Counter("solver.panicky.panics").Value(); got != 16 {
+		t.Fatalf("panics counter = %d, want 16", got)
+	}
+}
+
+func TestFixedAssignment(t *testing.T) {
+	empty := cqm.New()
+	if x, ok := FixedAssignment(empty, nil); !ok || len(x) != 0 {
+		t.Fatalf("empty model: (%v, %v), want ([], true)", x, ok)
+	}
+
+	m := cqm.New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	if _, ok := FixedAssignment(m, map[cqm.VarID]bool{a: true}); ok {
+		t.Fatal("partially frozen model reported fixed")
+	}
+	x, ok := FixedAssignment(m, map[cqm.VarID]bool{a: true, b: false})
+	if !ok || !x[0] || x[1] {
+		t.Fatalf("fully frozen model: (%v, %v)", x, ok)
+	}
+	if _, ok := FixedAssignment(nil, nil); ok {
+		t.Fatal("nil model reported fixed")
+	}
+}

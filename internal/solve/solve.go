@@ -108,6 +108,15 @@ type Stats struct {
 	// BreakerSkips counts attempts skipped because the circuit breaker
 	// was open.
 	BreakerSkips int
+	// Panics counts solver panics recovered by the isolation layer
+	// (Protected / the hedge and resilient wrappers).
+	Panics int
+	// Hedged counts hedge backends launched beyond the primary
+	// (internal/hedge).
+	Hedged int
+	// HedgeRejects counts hedge-race candidates discarded because they
+	// failed independent verification (internal/hedge).
+	HedgeRejects int
 	// Interrupted reports that the solve stopped early on cancellation,
 	// deadline, or budget exhaustion; the result is the best found so
 	// far.
@@ -245,6 +254,9 @@ func (cfg Config) Observe(name string, st Stats) {
 	add("retries", int64(st.Retries))
 	add("fallbacks", int64(st.Fallbacks))
 	add("breaker_skips", int64(st.BreakerSkips))
+	add("panics", int64(st.Panics))
+	add("hedged", int64(st.Hedged))
+	add("hedge_rejects", int64(st.HedgeRejects))
 	if st.Interrupted {
 		r.Counter(p + "interrupted").Inc()
 	}

@@ -46,6 +46,20 @@ func (e *Engine) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 	if reads <= 0 {
 		reads = 1
 	}
+
+	// Fast path: no free variables means an empty candidate move set —
+	// the single reachable assignment is the answer. Return it with
+	// populated Stats instead of spinning trajectories to the deadline.
+	if x, ok := solve.FixedAssignment(m, base.Frozen); ok {
+		res := &solve.Result{
+			Sample:    x,
+			Objective: m.Objective(x),
+			Feasible:  m.Feasible(x, 1e-6),
+			Stats:     solve.Stats{Wall: cfg.Clock.Since(start), Reads: 1, Proven: true},
+		}
+		cfg.Observe(e.Name(), res.Stats)
+		return res, nil
+	}
 	progress := solve.SerialProgress(cfg.Progress)
 
 	res := &solve.Result{}

@@ -1,0 +1,54 @@
+package tabu
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/solve"
+)
+
+// TestEngineFastPathEmptyModel: an empty candidate move set must not
+// spin trajectories to the deadline. The fake clock never advances, so
+// only the fast path lets this test terminate.
+func TestEngineFastPathEmptyModel(t *testing.T) {
+	m := cqm.New()
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := NewEngine().Solve(context.Background(), m,
+		solve.WithClock(clk), solve.WithBudget(time.Second), solve.WithReads(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sample) != 0 || !res.Feasible {
+		t.Fatalf("empty-model result = %+v", res)
+	}
+	if !res.Stats.Proven || res.Stats.Reads != 1 || res.Stats.Interrupted {
+		t.Fatalf("fast path Stats = %+v, want Proven, Reads 1, not interrupted", res.Stats)
+	}
+}
+
+// TestEngineFastPathAllFrozen mirrors the sa fast path for tabu.
+func TestEngineFastPathAllFrozen(t *testing.T) {
+	m := cqm.New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	var count cqm.LinExpr
+	count.Add(a, 1)
+	count.Add(b, 1)
+	m.AddConstraint("both", count, cqm.Eq, 2)
+
+	eng := NewEngine()
+	eng.Base.Frozen = map[cqm.VarID]bool{a: true, b: true}
+	clk := solve.NewFake(time.Unix(0, 0))
+	res, err := eng.Solve(context.Background(), m, solve.WithClock(clk), solve.WithBudget(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sample[0] || !res.Sample[1] || !res.Feasible {
+		t.Fatalf("result = %+v, want the frozen feasible assignment", res)
+	}
+	if !res.Stats.Proven {
+		t.Fatalf("Stats = %+v, want Proven", res.Stats)
+	}
+}

@@ -1,0 +1,130 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+	"repro/internal/lrp"
+	"repro/internal/solve"
+)
+
+// FuzzPlan drives random plan matrices against random instances: the
+// verifier must never panic, and on these small instances its verdict
+// must agree with a brute-force re-check built directly from the
+// definitions (column sums, negativity, off-diagonal migration count).
+func FuzzPlan(f *testing.F) {
+	f.Add(int64(1), uint8(3), int8(2), uint8(0))
+	f.Add(int64(42), uint8(1), int8(-1), uint8(7))
+	f.Add(int64(7), uint8(4), int8(0), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, procs uint8, k int8, noise uint8) {
+		m := int(procs%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tasks := make([]int, m)
+		weights := make([]float64, m)
+		for j := range tasks {
+			tasks[j] = rng.Intn(8)
+			weights[j] = float64(rng.Intn(40)) / 8
+		}
+		in, err := lrp.NewInstance(tasks, weights)
+		if err != nil {
+			t.Skip()
+		}
+		// Start from the identity and apply random (possibly invalid)
+		// edits: conserving moves, column breaks, and negative cells.
+		p := lrp.NewPlan(in)
+		for e := 0; e < int(noise%12); e++ {
+			i, j := rng.Intn(m), rng.Intn(m)
+			switch rng.Intn(3) {
+			case 0: // conserving move
+				if p.X[j][j] > 0 {
+					p.Move(i, j, 1)
+				}
+			case 1: // break conservation
+				p.X[i][j] += rng.Intn(3) - 1
+			case 2: // force negativity
+				p.X[i][j] -= rng.Intn(2)
+			}
+		}
+
+		rep := Plan(in, p, int(k), Options{})
+
+		// Brute-force re-derivation from the definitions.
+		okBrute := true
+		migrated := 0
+		for j := 0; j < m; j++ {
+			sum := 0
+			for i := 0; i < m; i++ {
+				if p.X[i][j] < 0 {
+					okBrute = false
+				} else if i != j {
+					migrated += p.X[i][j]
+				}
+				sum += p.X[i][j]
+			}
+			if sum != in.Tasks[j] {
+				okBrute = false
+			}
+		}
+		if k >= 0 && migrated > int(k) {
+			okBrute = false
+		}
+		if rep.Ok() != okBrute {
+			t.Fatalf("verifier ok=%v, brute force ok=%v (plan %v, tasks %v, k=%d): %v",
+				rep.Ok(), okBrute, p.X, in.Tasks, k, rep.Violations)
+		}
+		if rep.Ok() && !rep.Feasible {
+			t.Fatal("passing report not marked feasible")
+		}
+	})
+}
+
+// FuzzSample drives random samples and claims against random CQMs: the
+// verifier must never panic, and its recomputed feasibility must agree
+// with the model's own full evaluation.
+func FuzzSample(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), 0.0, true, uint8(0))
+	f.Add(int64(9), uint8(5), uint8(0), 3.5, false, uint8(31))
+	f.Add(int64(123), uint8(0), uint8(4), -1.0, true, uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, vars, cons uint8, claimObj float64, claimFeas bool, bits uint8) {
+		if math.IsNaN(claimObj) || math.IsInf(claimObj, 0) {
+			t.Skip()
+		}
+		n := int(vars % 8)
+		rng := rand.New(rand.NewSource(seed))
+		m := cqm.New()
+		var obj cqm.LinExpr
+		ids := make([]cqm.VarID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = m.AddBinary("x")
+			obj.Add(ids[i], float64(rng.Intn(9)-4))
+		}
+		obj.Offset = float64(rng.Intn(5))
+		m.AddObjectiveSquared(obj)
+		for c := 0; c < int(cons%5) && n > 0; c++ {
+			var e cqm.LinExpr
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					e.Add(ids[i], float64(rng.Intn(5)-2))
+				}
+			}
+			m.AddConstraint("c", e, cqm.Sense(rng.Intn(3)), float64(rng.Intn(7)-3))
+		}
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = bits&(1<<(i%8)) != 0
+		}
+		res := &solve.Result{Sample: x, Objective: claimObj, Feasible: claimFeas}
+
+		rep := Sample(m, res, Options{})
+		if rep.Feasible != m.Feasible(x, DefaultTol) {
+			t.Fatalf("verifier feasible=%v, model says %v", rep.Feasible, m.Feasible(x, DefaultTol))
+		}
+		// A result whose claims are actually consistent must pass.
+		honest := &solve.Result{Sample: x, Objective: m.Objective(x), Feasible: m.Feasible(x, DefaultTol)}
+		if hrep := Sample(m, honest, Options{}); !hrep.Ok() {
+			t.Fatalf("honest result rejected: %v", hrep.Violations)
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package verify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cqm"
+	"repro/internal/lrp"
+	"repro/internal/solve"
+)
+
+// partitionModel builds min (sum w_i x_i - target)^2 with one named
+// constraint bounding the selection size.
+func partitionModel(weights []float64, target float64, maxPicked float64) *cqm.Model {
+	m := cqm.New()
+	var e, count cqm.LinExpr
+	for _, w := range weights {
+		v := m.AddBinary("x")
+		e.Add(v, w)
+		count.Add(v, 1)
+	}
+	e.Offset = -target
+	m.AddObjectiveSquared(e)
+	m.AddConstraint("picklimit", count, cqm.Le, maxPicked)
+	return m
+}
+
+func instance(t *testing.T, tasks []int, weights []float64) *lrp.Instance {
+	t.Helper()
+	in, err := lrp.NewInstance(tasks, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSampleAcceptsConsistentResult(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5, 2)
+	x := []bool{true, false, false}
+	res := &solve.Result{Sample: x, Objective: m.Objective(x), Feasible: true}
+	rep := Sample(m, res, Options{})
+	if !rep.Ok() {
+		t.Fatalf("consistent result rejected: %v", rep.Violations)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v on passing report", rep.Err())
+	}
+	if !rep.Feasible || rep.Objective != 0 {
+		t.Fatalf("recomputed feasible=%v objective=%v, want true/0", rep.Feasible, rep.Objective)
+	}
+}
+
+func TestSampleAcceptsHonestInfeasible(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5, 1)
+	x := []bool{false, true, true} // picks 2 > limit 1
+	res := &solve.Result{Sample: x, Objective: m.Objective(x), Feasible: false}
+	if rep := Sample(m, res, Options{}); !rep.Ok() {
+		t.Fatalf("honest infeasible result rejected: %v", rep.Violations)
+	}
+}
+
+func TestSampleRejectsLyingFeasibilityNamingConstraint(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5, 1)
+	x := []bool{false, true, true}
+	res := &solve.Result{Sample: x, Objective: m.Objective(x), Feasible: true}
+	rep := Sample(m, res, Options{})
+	if rep.Ok() {
+		t.Fatal("claim-feasible result with violated constraint passed")
+	}
+	err := rep.Err()
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("Err() = %v, want ErrRejected", err)
+	}
+	if !strings.Contains(err.Error(), "picklimit") {
+		t.Fatalf("rejection does not name the broken constraint: %v", err)
+	}
+}
+
+func TestSampleRejectsObjectiveMismatch(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5, 2)
+	x := []bool{true, false, false}
+	res := &solve.Result{Sample: x, Objective: m.Objective(x) + 10, Feasible: true}
+	rep := Sample(m, res, Options{})
+	if rep.Ok() || rep.Violations[0].Check != "objective" {
+		t.Fatalf("objective mismatch not caught: %+v", rep.Violations)
+	}
+}
+
+func TestSampleRejectsShapeMismatch(t *testing.T) {
+	m := partitionModel([]float64{5, 3}, 5, 2)
+	res := &solve.Result{Sample: []bool{true}, Objective: 0, Feasible: true}
+	rep := Sample(m, res, Options{})
+	if rep.Ok() || rep.Violations[0].Check != "shape" {
+		t.Fatalf("shape mismatch not caught: %+v", rep.Violations)
+	}
+}
+
+func TestSampleRejectsFeasibleClaimedInfeasible(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5, 2)
+	x := []bool{true, false, false}
+	res := &solve.Result{Sample: x, Objective: m.Objective(x), Feasible: false}
+	rep := Sample(m, res, Options{})
+	if rep.Ok() || rep.Violations[0].Check != "feasibility" {
+		t.Fatalf("inverse feasibility lie not caught: %+v", rep.Violations)
+	}
+}
+
+func TestAttestFixesMetadata(t *testing.T) {
+	m := partitionModel([]float64{5, 3, 2}, 5, 2)
+	x := []bool{true, false, false}
+	res := &solve.Result{Sample: x, Objective: 99, Feasible: false}
+	if !Attest(m, res, Options{}) {
+		t.Fatal("Attest did not report a change on inconsistent metadata")
+	}
+	if res.Objective != 0 || !res.Feasible {
+		t.Fatalf("Attest left objective=%v feasible=%v", res.Objective, res.Feasible)
+	}
+	if Attest(m, res, Options{}) {
+		t.Fatal("Attest reported a change on already-consistent metadata")
+	}
+}
+
+func TestPlanAcceptsIdentity(t *testing.T) {
+	in := instance(t, []int{4, 2, 6}, []float64{1, 2, 0.5})
+	rep := Plan(in, lrp.NewPlan(in), -1, Options{})
+	if !rep.Ok() {
+		t.Fatalf("identity plan rejected: %v", rep.Violations)
+	}
+	if !rep.Feasible {
+		t.Fatal("identity plan not reported feasible")
+	}
+}
+
+func TestPlanRejectsConservationViolation(t *testing.T) {
+	in := instance(t, []int{4, 2, 6}, []float64{1, 2, 0.5})
+	p := lrp.NewPlan(in)
+	p.X[0][1]++ // invent a task out of thin air in column 1
+	rep := Plan(in, p, -1, Options{})
+	if rep.Ok() {
+		t.Fatal("task-inventing plan passed verification")
+	}
+	if !strings.Contains(rep.Err().Error(), "conserve[1]") {
+		t.Fatalf("violation does not name conserve[1]: %v", rep.Err())
+	}
+	if !errors.Is(rep.Err(), ErrRejected) {
+		t.Fatalf("Err() = %v, want ErrRejected", rep.Err())
+	}
+}
+
+func TestPlanRejectsBudgetOverrun(t *testing.T) {
+	in := instance(t, []int{4, 2, 6}, []float64{1, 2, 0.5})
+	p := lrp.NewPlan(in)
+	p.Move(0, 2, 3) // move 3 tasks from proc 2 to proc 0
+	if rep := Plan(in, p, 3, Options{}); !rep.Ok() {
+		t.Fatalf("plan within budget rejected: %v", rep.Violations)
+	}
+	rep := Plan(in, p, 2, Options{})
+	if rep.Ok() {
+		t.Fatal("budget overrun passed verification")
+	}
+	if !strings.Contains(rep.Err().Error(), "migcap") {
+		t.Fatalf("violation does not name migcap: %v", rep.Err())
+	}
+}
+
+func TestPlanRejectsNegativeEntry(t *testing.T) {
+	in := instance(t, []int{4, 2}, []float64{1, 1})
+	p := lrp.NewPlan(in)
+	p.X[0][0] -= 1
+	p.X[1][0] += 1 // keep the column sum intact; only negativity breaks
+	p.X[0][0] -= 4
+	p.X[1][0] += 4
+	rep := Plan(in, p, -1, Options{})
+	if rep.Ok() {
+		t.Fatal("negative-entry plan passed verification")
+	}
+	if !strings.Contains(rep.Err().Error(), "negative[0,0]") {
+		t.Fatalf("violation does not name the negative cell: %v", rep.Err())
+	}
+}
+
+func TestPlanLoadCap(t *testing.T) {
+	in := instance(t, []int{4, 4}, []float64{1, 1})
+	p := lrp.NewPlan(in)
+	p.Move(0, 1, 4) // all of proc 1's tasks onto proc 0: load 8 vs 0
+	if rep := Plan(in, p, -1, Options{}); !rep.Ok() {
+		t.Fatalf("cap disabled but plan rejected: %v", rep.Violations)
+	}
+	rep := Plan(in, p, -1, Options{MaxLoad: 6})
+	if rep.Ok() {
+		t.Fatal("overloaded plan passed the load cap")
+	}
+	if !strings.Contains(rep.Err().Error(), "loadcap[0]") {
+		t.Fatalf("violation does not name loadcap[0]: %v", rep.Err())
+	}
+}
+
+func TestPlanObjectiveMatchesEvaluate(t *testing.T) {
+	in := instance(t, []int{6, 2, 4}, []float64{1, 3, 0.5})
+	p := lrp.NewPlan(in)
+	p.Move(0, 1, 1)
+	rep := Plan(in, p, -1, Options{})
+	if !rep.Ok() {
+		t.Fatalf("valid plan rejected: %v", rep.Violations)
+	}
+	// Independent cross-check: sum of squared deviations from average.
+	loads := p.Loads(in)
+	avg := 0.0
+	for _, l := range loads {
+		avg += l
+	}
+	avg /= float64(len(loads))
+	want := 0.0
+	for _, l := range loads {
+		want += (l - avg) * (l - avg)
+	}
+	if diff := rep.Objective - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Objective = %v, want %v", rep.Objective, want)
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	if rep := Sample(nil, &solve.Result{}, Options{}); rep.Ok() {
+		t.Fatal("nil model passed")
+	}
+	if rep := Sample(cqm.New(), nil, Options{}); rep.Ok() {
+		t.Fatal("nil result passed")
+	}
+	if rep := Plan(nil, nil, -1, Options{}); rep.Ok() {
+		t.Fatal("nil instance passed")
+	}
+	in := instance(t, []int{1}, []float64{1})
+	if rep := Plan(in, nil, -1, Options{}); rep.Ok() {
+		t.Fatal("nil plan passed")
+	}
+}
