@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCH_JSON ?= BENCH_6.json
 
-.PHONY: check build vet fmt test race bench fault-demo fuzz-smoke
+.PHONY: check build vet fmt test race bench bench-json fault-demo fuzz-smoke
 
 # check is the CI gate: vet + formatting + full shuffled tests + the
 # race detector over every package.
@@ -29,6 +30,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-json runs the paper-metric benchmarks (root tables/figures,
+# annealer flips/s, CQM evaluator hot path) once each and converts the
+# text output into a machine-readable $(BENCH_JSON) artifact — custom
+# metrics like flips/s survive verbatim. The intermediate text file
+# keeps the pipeline failure-honest: a failing bench run stops make
+# before anything is converted.
+bench-json:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x . ./internal/sa ./internal/cqm > $(BENCH_JSON).txt
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON).txt
+	@rm -f $(BENCH_JSON).txt
 
 # fuzz-smoke gives every fuzz target a short randomized shake
 # (FUZZTIME per corpus, ~10s default) — enough to catch shallow

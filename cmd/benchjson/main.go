@@ -1,0 +1,48 @@
+// benchjson turns `go test -bench` text output into a JSON artifact.
+//
+//	go test -bench=. -benchtime=1x ./... | benchjson -out BENCH_6.json
+//
+// The text stream is echoed to stdout unchanged so the human-readable
+// benchmark lines still appear in CI logs; the parsed report — every
+// benchmark with its full metric set, including custom units like the
+// annealer's flips/s — is written atomically to -out.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "path of the JSON report to write")
+	flag.Parse()
+
+	var buf bytes.Buffer
+	if _, err := io.Copy(io.MultiWriter(os.Stdout, &buf), os.Stdin); err != nil {
+		fatal(err)
+	}
+	rep, err := benchfmt.Parse(&buf)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteFileAtomic(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

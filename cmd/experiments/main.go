@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"path/filepath"
 
@@ -55,7 +56,8 @@ func parseScales(s string) ([]int, error) {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | faults | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | faults | shard | all")
+		shardSize = flag.Int("shard-size", 8, "maximum processes per group for -exp shard")
 		fast      = flag.Bool("fast", false, "reduced solver budget")
 		seed      = flag.Int64("seed", 2024, "experiment seed")
 		procsF    = flag.String("procs", "", "comma-separated node scales for fig4/table3 (default 4,8,16,32,64)")
@@ -325,6 +327,36 @@ func run() error {
 		}
 		sink.table("faults", experiments.FaultTable(
 			"Degradation under injected cloud faults — drifting workload, resilient Q_CQM1 (retry+breaker+SA fallback)", points))
+	}
+
+	if want("shard") {
+		ran = true
+		// Hierarchical sharded solving: (a) quality lost to decomposition
+		// on paper-sized instances, monolithic vs sharded under the same
+		// migration budget; (b) wall-clock scaling far beyond the
+		// monolithic regime, up to M=1024 processes and ~1M tasks.
+		qualScales := []int{8, 16, 32}
+		rows, err := experiments.RunShardQuality(ctx, cfg, qualScales, *shardSize)
+		if err != nil {
+			return err
+		}
+		sink.table("shard_quality", experiments.ShardQualityTable(
+			fmt.Sprintf("Sharded vs monolithic Q_CQM1 — same k, shard size %d", *shardSize), rows))
+
+		scaleScales := []int{64, 256, 1024}
+		tasksPerProc := 1024
+		budget := 2 * time.Second
+		if *fast {
+			scaleScales = []int{64, 256}
+			tasksPerProc = 256
+			budget = 500 * time.Millisecond
+		}
+		points, err := experiments.RunShardScale(ctx, cfg, scaleScales, tasksPerProc, budget, 16)
+		if err != nil {
+			return err
+		}
+		sink.table("shard_scaling", experiments.ShardScaleTable(
+			fmt.Sprintf("Hierarchical wall-clock scaling — shard size 16, %d tasks/node, %v budget", tasksPerProc, budget), points))
 	}
 
 	if !ran {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/qlrb"
 	"repro/internal/resilient"
 	"repro/internal/sa"
+	"repro/internal/shard"
 	"repro/internal/solve"
 )
 
@@ -62,6 +63,8 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "solver seed")
 		cold     = flag.Bool("cold", false, "disable classical warm starts for the CQM methods")
 		resil    = flag.Bool("resilient", false, "wrap the hybrid solve in retry/backoff + breaker + classical SA fallback")
+		sharded  = flag.Bool("shard", false, "solve qcqm1/qcqm2 hierarchically: partition into size-bounded groups, solve per-group sub-CQMs concurrently, coordinate across groups")
+		shardSz  = flag.Int("shard-size", shard.DefaultSize, "maximum processes per group for -shard")
 		faultPct = flag.Float64("fault-rate", 0, "inject simulated cloud faults at this probability per attempt (implies -resilient)")
 		dump     = flag.String("dump-cqm", "", "also write the built CQM model to this file (qcqm1/qcqm2/qaoa)")
 		sim      = flag.Bool("simulate", false, "replay baseline and plan on the runtime simulator")
@@ -198,6 +201,26 @@ func run() error {
 			}
 			policy = resilient.NewPolicy(ropts)
 			sopts.Wrap = policy.Wrap
+		}
+		if *sharded {
+			var sst shard.Stats
+			plan, sst, err = shard.Solve(ctx, in, shard.Options{
+				Size:   *shardSz,
+				Build:  sopts.Build,
+				Hybrid: sopts.Hybrid,
+				Wrap:   sopts.Wrap,
+				Obs:    reg,
+			})
+			if err == nil {
+				fmt.Printf("shard: %d groups (size <= %d), %d levels, %d sub-solves, max sub-model %d qubits\n",
+					sst.Groups, *shardSz, sst.Levels, sst.SubSolves, sst.MaxShardQubits)
+				fmt.Printf("shard: %d coordination moves (%d skipped by load guard), %d fallbacks, load cap ok: %v, wall %v\n",
+					sst.CoordMigrated, sst.SkippedMoves, sst.Fallbacks, sst.LoadCapOK, sst.Wall.Round(time.Millisecond))
+				if injector != nil {
+					fmt.Printf("faults: %d injected over %d attempt(s)\n", injector.Injected(), injector.Attempts())
+				}
+			}
+			break
 		}
 		var stats qlrb.SolveStats
 		plan, stats, err = qlrb.Solve(ctx, in, sopts)

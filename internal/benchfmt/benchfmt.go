@@ -1,0 +1,121 @@
+// Package benchfmt parses the text output of `go test -bench` into a
+// machine-readable structure. The Go toolchain prints one line per
+// benchmark — name, iteration count, then (value, unit) pairs — with
+// pkg:/goos:/cpu: context lines interleaved when several packages run
+// in one invocation. Custom metrics reported via b.ReportMetric (such
+// as the simulated annealer's flips/s) appear as extra pairs and are
+// kept verbatim under their unit name.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Pkg is the import path from the most recent pkg: context line
+	// (empty if the stream had none).
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name with the -N GOMAXPROCS suffix
+	// stripped; Procs carries the suffix (1 when absent).
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every (value, unit) pair on the
+	// line: ns/op always, plus B/op, allocs/op, and any custom units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is a parsed benchmark stream.
+type Report struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse reads a `go test -bench` text stream. Non-benchmark lines
+// (PASS, ok, test log output) are skipped; a line that starts like a
+// benchmark but does not parse is an error, so silent corruption of a
+// metrics pipeline cannot pass for an empty run.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: line %d: %w", ln, err)
+			}
+			res.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return rep, nil
+}
+
+func parseLine(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Result{}, fmt.Errorf("truncated benchmark line %q", line)
+	}
+	name, procs := splitProcs(f[0])
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	res := Result{
+		Name:       name,
+		Procs:      procs,
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q in %q: %w", rest[i], line, err)
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, nil
+}
+
+// splitProcs strips the trailing -N GOMAXPROCS suffix the bench runner
+// appends when GOMAXPROCS > 1. A trailing -N that is part of the
+// benchmark's own name (e.g. a sub-benchmark "/n-4") is inseparable
+// from the suffix in text form; like benchstat, the last -N wins.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -1,0 +1,122 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// canned output from `go test -bench=. -benchtime=1x ./internal/sa
+// ./internal/cqm` — two packages, one custom metric, mixed noise lines.
+const twoPackages = `goos: linux
+goarch: amd64
+pkg: repro/internal/sa
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAnnealSweeps      	       1	   1160323 ns/op	  11040841 flips/s
+BenchmarkPortfolio4        	       1	   8773088 ns/op
+PASS
+ok  	repro/internal/sa	0.028s
+goos: linux
+goarch: amd64
+pkg: repro/internal/cqm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEvaluatorFlipDelta   	       1	       808.0 ns/op
+ok  	repro/internal/cqm	0.057s
+`
+
+func TestParseTwoPackages(t *testing.T) {
+	rep, err := Parse(strings.NewReader(twoPackages))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" {
+		t.Fatalf("context = %q/%q, want linux/amd64", rep.GoOS, rep.GoArch)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	anneal := rep.Benchmarks[0]
+	if anneal.Pkg != "repro/internal/sa" || anneal.Name != "BenchmarkAnnealSweeps" {
+		t.Fatalf("first result = %+v", anneal)
+	}
+	if anneal.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", anneal.Iterations)
+	}
+	if got := anneal.Metrics["ns/op"]; got != 1160323 {
+		t.Fatalf("ns/op = %g", got)
+	}
+	if got := anneal.Metrics["flips/s"]; got != 11040841 {
+		t.Fatalf("flips/s = %g — custom metric lost", got)
+	}
+	// pkg context must switch with the second package's pkg: line
+	if last := rep.Benchmarks[2]; last.Pkg != "repro/internal/cqm" {
+		t.Fatalf("last result pkg = %q, want repro/internal/cqm", last.Pkg)
+	}
+	if got := rep.Benchmarks[2].Metrics["ns/op"]; got != 808.0 {
+		t.Fatalf("fractional ns/op = %g, want 808.0", got)
+	}
+}
+
+func TestParseProcsSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkSolve-8 	 4	 250 ns/op\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	r := rep.Benchmarks[0]
+	if r.Name != "BenchmarkSolve" || r.Procs != 8 {
+		t.Fatalf("got name %q procs %d, want BenchmarkSolve / 8", r.Name, r.Procs)
+	}
+	if r.Iterations != 4 {
+		t.Fatalf("iterations = %d", r.Iterations)
+	}
+}
+
+func TestParseNoSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBuild 	 1	 99 ns/op\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r := rep.Benchmarks[0]; r.Name != "BenchmarkBuild" || r.Procs != 1 {
+		t.Fatalf("got %+v, want BenchmarkBuild / procs 1", r)
+	}
+}
+
+func TestParseAllocMetrics(t *testing.T) {
+	rep, err := Parse(strings.NewReader(
+		"BenchmarkX-2 	 10	 5.5 ns/op	 128 B/op	 3 allocs/op\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := rep.Benchmarks[0].Metrics
+	if m["B/op"] != 128 || m["allocs/op"] != 3 {
+		t.Fatalf("alloc metrics = %v", m)
+	}
+}
+
+func TestParseRejectsCorruptLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkHalf\n",                // no iteration count
+		"BenchmarkOdd 	 1	 42\n",         // value without unit
+		"BenchmarkNaN 	 one	 42 ns/op\n", // non-numeric iterations
+		"BenchmarkVal 	 1	 fast ns/op\n", // non-numeric value
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("Parse accepted corrupt line %q", bad)
+		}
+	}
+}
+
+func TestParseEmptyStream(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok  	repro	0.01s\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v, want none", rep.Benchmarks)
+	}
+	if rep.Benchmarks == nil {
+		t.Fatal("Benchmarks must be non-nil so JSON renders [] not null")
+	}
+}

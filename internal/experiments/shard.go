@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+	"repro/internal/mxm"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+	"repro/internal/shard"
+)
+
+// ShardComparison is one instance's monolithic-vs-sharded head-to-head:
+// same formulation, same migration budget, same solver settings — the
+// only difference is whether the CQM is solved whole or hierarchically.
+// The quality loss column is what sharding pays for its qubit savings.
+type ShardComparison struct {
+	// Case labels the instance (e.g. "8 nodes").
+	Case string
+	// BaselineImb is the uncorrected R_imb.
+	BaselineImb float64
+	// K is the shared migration budget (ProactLB's count, the paper's k1).
+	K int
+	// MonoQubits and MaxShardQubits compare model sizes: the monolithic
+	// CQM vs the largest sub-CQM the hierarchy built.
+	MonoQubits, MaxShardQubits int
+	// Mono and Shard carry each path's metrics.
+	Mono, Shard MethodResult
+	// Groups and Levels describe the hierarchy used.
+	Groups, Levels int
+}
+
+// RunShardQuality runs the monolithic and sharded Q_CQM1 paths on
+// paper-sized instances (the V-B.2 varying-nodes generator) under the
+// same migration budget and reports both, quantifying the quality lost
+// to decomposition.
+func RunShardQuality(ctx context.Context, cfg Config, procScales []int, size int) ([]ShardComparison, error) {
+	out := make([]ShardComparison, 0, len(procScales))
+	for i, procs := range procScales {
+		c := mxm.VaryProcsCase(procs, mxm.DefaultCostModel(), cfg.Seed)
+		in := c.Instance
+		proact, err := balancer.ProactLB{}.Rebalance(ctx, in)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard quality %s: %w", ErrMethod, c.Name, err)
+		}
+		k := proact.Migrated()
+
+		mono, err := runQuantum(ctx, "Q_CQM1_mono", qlrb.QCQM1, k, in, cfg, int64(100+i), []*lrp.Plan{proact})
+		if err != nil {
+			return nil, err
+		}
+
+		sharded, st, err := runSharded(ctx, fmt.Sprintf("Shard_s%d", size), in, k, size, 0, cfg, int64(200+i))
+		if err != nil {
+			return nil, err
+		}
+
+		n, _ := in.Uniform()
+		out = append(out, ShardComparison{
+			Case:           c.Name,
+			BaselineImb:    in.Imbalance(),
+			K:              k,
+			MonoQubits:     qlrb.VariableCount(procs, n, qlrb.QCQM1, false),
+			MaxShardQubits: st.MaxShardQubits,
+			Mono:           mono,
+			Shard:          sharded,
+			Groups:         st.Groups,
+			Levels:         st.Levels,
+		})
+	}
+	return out, nil
+}
+
+// runSharded runs the hierarchical solver cfg.Reps times and keeps the
+// best plan, mirroring runQuantum's best-of-reps protocol.
+func runSharded(ctx context.Context, label string, in *lrp.Instance, k, size int, budget time.Duration, cfg Config, salt int64) (MethodResult, shard.Stats, error) {
+	var best MethodResult
+	var bestStats shard.Stats
+	for rep := 0; rep < max(1, cfg.Reps); rep++ {
+		seed := cfg.Seed*1_000_003 + salt*8191 + int64(rep)
+		plan, st, err := shard.Solve(ctx, in, shard.Options{
+			Size:   size,
+			Budget: budget,
+			Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: k},
+			Hybrid: cfg.hybridOptions(seed),
+			Obs:    cfg.Obs,
+		})
+		if err != nil {
+			return MethodResult{}, shard.Stats{}, fmt.Errorf("%w: %s: %w", ErrMethod, label, err)
+		}
+		res := MethodResult{
+			Method:    label,
+			Metrics:   lrp.Evaluate(in, plan),
+			RuntimeMs: float64(st.Wall.Microseconds()) / 1000,
+			Qubits:    st.MaxShardQubits,
+			Plan:      plan,
+		}
+		if rep == 0 || betterMetrics(res.Metrics, best.Metrics) {
+			best, bestStats = res, st
+		}
+	}
+	return best, bestStats, nil
+}
+
+// ShardQualityTable renders the head-to-head.
+func ShardQualityTable(title string, rows []ShardComparison) *report.Table {
+	t := report.NewTable(title,
+		"Case", "k", "Mono qubits", "Max shard qubits", "Groups",
+		"R_imb base", "R_imb mono", "R_imb shard",
+		"Speedup mono", "Speedup shard", "Migr mono", "Migr shard", "Quality loss %")
+	for _, r := range rows {
+		loss := 0.0
+		if r.Mono.Metrics.Speedup > 0 {
+			loss = (r.Mono.Metrics.Speedup - r.Shard.Metrics.Speedup) / r.Mono.Metrics.Speedup * 100
+		}
+		t.AddRow(
+			r.Case,
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.MonoQubits),
+			fmt.Sprintf("%d", r.MaxShardQubits),
+			fmt.Sprintf("%d", r.Groups),
+			fmt.Sprintf("%.4f", r.BaselineImb),
+			fmt.Sprintf("%.4f", r.Mono.Metrics.Imbalance),
+			fmt.Sprintf("%.4f", r.Shard.Metrics.Imbalance),
+			fmt.Sprintf("%.4f", r.Mono.Metrics.Speedup),
+			fmt.Sprintf("%.4f", r.Shard.Metrics.Speedup),
+			fmt.Sprintf("%d", r.Mono.Metrics.Migrated),
+			fmt.Sprintf("%d", r.Shard.Metrics.Migrated),
+			fmt.Sprintf("%.1f", loss))
+	}
+	return t
+}
+
+// ShardScalePoint is one machine scale of the wall-clock scaling sweep:
+// instances far beyond the monolithic regime, solved hierarchically
+// under a fixed clock budget.
+type ShardScalePoint struct {
+	// Procs and Tasks describe the instance (Tasks = total task count).
+	Procs, Tasks int
+	// MonoQubits is what the monolithic QCQM1 model would need;
+	// MaxShardQubits is the largest sub-CQM actually built.
+	MonoQubits, MaxShardQubits int
+	// Groups, Levels and SubSolves describe the hierarchy.
+	Groups, Levels, SubSolves int
+	// WallMs is the end-to-end wall clock.
+	WallMs float64
+	// ImbBefore and ImbAfter are R_imb around the solve.
+	ImbBefore, ImbAfter float64
+	// Migrated is the plan's migration count.
+	Migrated int
+}
+
+// scaleInstance builds a deterministic uniform instance with scattered
+// hot spots — the shape of the shard package's million-task scale test.
+func scaleInstance(procs, tasksPerProc int, seed int64) *lrp.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]int, procs)
+	weight := make([]float64, procs)
+	for j := range tasks {
+		tasks[j] = tasksPerProc
+		weight[j] = 1 + float64(rng.Intn(7))
+		if j%97 == 0 {
+			weight[j] = 12
+		}
+	}
+	return lrp.MustInstance(tasks, weight)
+}
+
+// RunShardScale measures hierarchical wall-clock scaling: one sharded
+// solve per machine scale, migration-unconstrained, each under the same
+// clock budget. Monolithic solves are impossible at these scales (the
+// MonoQubits column says why); the point of the sweep is that wall
+// clock stays budget-bounded while the instance grows to M=1024
+// processes and a million tasks.
+func RunShardScale(ctx context.Context, cfg Config, scales []int, tasksPerProc int, budget time.Duration, size int) ([]ShardScalePoint, error) {
+	out := make([]ShardScalePoint, 0, len(scales))
+	for i, procs := range scales {
+		in := scaleInstance(procs, tasksPerProc, cfg.Seed+int64(i))
+		h := cfg.hybridOptions(cfg.Seed + int64(1000+i))
+		// Parallelism comes from the shards, and the annealing schedule
+		// must complete inside the per-shard budget carve-out (an
+		// interrupted anneal is still in its hot phase and returns the
+		// warm start) — so one read with few sweeps per shard, with the
+		// clock budget as the backstop.
+		h.Reads = 1
+		if h.Sweeps > 64 {
+			h.Sweeps = 64
+		}
+		plan, st, err := shard.Solve(ctx, in, shard.Options{
+			Size:   size,
+			Budget: budget,
+			Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: -1},
+			Hybrid: h,
+			Obs:    cfg.Obs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard scale M=%d: %w", ErrMethod, procs, err)
+		}
+		out = append(out, ShardScalePoint{
+			Procs:          procs,
+			Tasks:          in.NumTasks(),
+			MonoQubits:     qlrb.VariableCount(procs, tasksPerProc, qlrb.QCQM1, false),
+			MaxShardQubits: st.MaxShardQubits,
+			Groups:         st.Groups,
+			Levels:         st.Levels,
+			SubSolves:      st.SubSolves,
+			WallMs:         float64(st.Wall.Microseconds()) / 1000,
+			ImbBefore:      in.Imbalance(),
+			ImbAfter:       lrp.Evaluate(in, plan).Imbalance,
+			Migrated:       plan.Migrated(),
+		})
+	}
+	return out, nil
+}
+
+// ShardScaleTable renders the sweep.
+func ShardScaleTable(title string, points []ShardScalePoint) *report.Table {
+	t := report.NewTable(title,
+		"M", "Tasks", "Mono qubits", "Max shard qubits",
+		"Groups", "Levels", "Sub-solves", "Wall (ms)", "R_imb before", "R_imb after", "Migrated")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Procs),
+			fmt.Sprintf("%d", p.Tasks),
+			fmt.Sprintf("%d", p.MonoQubits),
+			fmt.Sprintf("%d", p.MaxShardQubits),
+			fmt.Sprintf("%d", p.Groups),
+			fmt.Sprintf("%d", p.Levels),
+			fmt.Sprintf("%d", p.SubSolves),
+			fmt.Sprintf("%.0f", p.WallMs),
+			fmt.Sprintf("%.4f", p.ImbBefore),
+			fmt.Sprintf("%.4f", p.ImbAfter),
+			fmt.Sprintf("%d", p.Migrated))
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package lrp
+
+import (
+	"fmt"
+)
+
+// Sub-instance extraction and plan merging are the data-model half of
+// hierarchical (sharded) solving: a parent instance is restricted to a
+// group of processes, the group is solved as an ordinary LRP instance,
+// and the group-local plan is embedded back into the parent's M×M
+// migration matrix. Because every group plan conserves its own columns,
+// a merge of disjoint group plans conserves the parent's columns too —
+// the invariant internal/verify re-proves after every merge.
+
+// Extract returns the sub-instance restricted to the given processes,
+// in the given order: sub-process s corresponds to parent process
+// procs[s]. It returns an error for an empty group, an out-of-range
+// index, or a repeated index.
+func (in *Instance) Extract(procs []int) (*Instance, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("lrp: cannot extract an empty process group")
+	}
+	m := in.NumProcs()
+	seen := make(map[int]bool, len(procs))
+	tasks := make([]int, len(procs))
+	weight := make([]float64, len(procs))
+	for s, j := range procs {
+		if j < 0 || j >= m {
+			return nil, fmt.Errorf("lrp: group process %d out of range [0,%d)", j, m)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("lrp: group repeats process %d", j)
+		}
+		seen[j] = true
+		tasks[s] = in.Tasks[j]
+		weight[s] = in.Weight[j]
+	}
+	return NewInstance(tasks, weight)
+}
+
+// EmbedPlan writes a group-local plan into the parent-shaped plan dst:
+// sub entry (s, t) lands at parent entry (procs[s], procs[t]). The
+// block owned by the group is overwritten; entries outside the block
+// are untouched. It returns an error when the sub-plan's dimension does
+// not match the group or an index is out of range.
+func EmbedPlan(dst *Plan, procs []int, sub *Plan) error {
+	if sub.NumProcs() != len(procs) {
+		return fmt.Errorf("lrp: sub-plan covers %d processes, group has %d", sub.NumProcs(), len(procs))
+	}
+	m := dst.NumProcs()
+	for _, j := range procs {
+		if j < 0 || j >= m {
+			return fmt.Errorf("lrp: group process %d out of range [0,%d)", j, m)
+		}
+	}
+	for s := range sub.X {
+		for t, c := range sub.X[s] {
+			dst.X[procs[s]][procs[t]] = c
+		}
+	}
+	return nil
+}
+
+// MergePlans assembles group-local plans into one parent plan: group g's
+// plan occupies the block of rows/columns groups[g]. Processes not
+// covered by any group retain their tasks (identity diagonal). Groups
+// must be disjoint; a nil sub-plan stands for "keep this group's tasks
+// home" and merges as the group's identity block. The merged plan is
+// validated against the parent instance before it is returned, so a
+// caller never receives a merge that lost or invented tasks.
+func MergePlans(in *Instance, groups [][]int, subs []*Plan) (*Plan, error) {
+	if len(groups) != len(subs) {
+		return nil, fmt.Errorf("lrp: %d groups but %d sub-plans", len(groups), len(subs))
+	}
+	merged := NewPlan(in) // identity: uncovered processes keep their tasks
+	covered := make(map[int]bool, in.NumProcs())
+	for g, procs := range groups {
+		for _, j := range procs {
+			if covered[j] {
+				return nil, fmt.Errorf("lrp: process %d appears in more than one group", j)
+			}
+			covered[j] = true
+		}
+		if subs[g] == nil {
+			continue // identity block is already in place
+		}
+		// Clear the group's identity diagonal before embedding: the
+		// sub-plan owns the whole block.
+		for _, j := range procs {
+			merged.X[j][j] = 0
+		}
+		if err := EmbedPlan(merged, procs, subs[g]); err != nil {
+			return nil, fmt.Errorf("lrp: group %d: %w", g, err)
+		}
+	}
+	if err := merged.Validate(in); err != nil {
+		return nil, fmt.Errorf("lrp: merged plan invalid: %w", err)
+	}
+	return merged, nil
+}

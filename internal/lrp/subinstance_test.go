@@ -1,0 +1,253 @@
+package lrp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtract(t *testing.T) {
+	parent := MustInstance([]int{10, 10, 10, 10}, []float64{1, 2, 3, 4})
+	uniformLoads := MustInstance([]int{5, 5, 5}, []float64{2, 2, 2})
+	cases := []struct {
+		name       string
+		in         *Instance
+		procs      []int
+		wantErr    string
+		wantTasks  []int
+		wantWeight []float64
+	}{
+		{
+			name:    "empty group",
+			in:      parent,
+			procs:   nil,
+			wantErr: "empty process group",
+		},
+		{
+			name:       "singleton group",
+			in:         parent,
+			procs:      []int{2},
+			wantTasks:  []int{10},
+			wantWeight: []float64{3},
+		},
+		{
+			name:       "pair preserves order",
+			in:         parent,
+			procs:      []int{3, 1},
+			wantTasks:  []int{10, 10},
+			wantWeight: []float64{4, 2},
+		},
+		{
+			name:       "uniform loads (PR 3 regression shape)",
+			in:         uniformLoads,
+			procs:      []int{0, 1, 2},
+			wantTasks:  []int{5, 5, 5},
+			wantWeight: []float64{2, 2, 2},
+		},
+		{
+			name:    "out of range",
+			in:      parent,
+			procs:   []int{0, 4},
+			wantErr: "out of range",
+		},
+		{
+			name:    "negative index",
+			in:      parent,
+			procs:   []int{-1},
+			wantErr: "out of range",
+		},
+		{
+			name:    "repeated process",
+			in:      parent,
+			procs:   []int{1, 1},
+			wantErr: "repeats process",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sub, err := tc.in.Extract(tc.procs)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Extract(%v) err = %v, want substring %q", tc.procs, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Extract(%v): %v", tc.procs, err)
+			}
+			if len(sub.Tasks) != len(tc.wantTasks) {
+				t.Fatalf("sub has %d processes, want %d", len(sub.Tasks), len(tc.wantTasks))
+			}
+			for s := range tc.wantTasks {
+				if sub.Tasks[s] != tc.wantTasks[s] || sub.Weight[s] != tc.wantWeight[s] {
+					t.Fatalf("sub process %d = (%d, %g), want (%d, %g)",
+						s, sub.Tasks[s], sub.Weight[s], tc.wantTasks[s], tc.wantWeight[s])
+				}
+			}
+			// Extraction must preserve the group's total load exactly.
+			want := 0.0
+			for _, j := range tc.procs {
+				want += tc.in.Load(j)
+			}
+			if got := sub.TotalLoad(); got != want {
+				t.Fatalf("sub total load %g, want %g", got, want)
+			}
+		})
+	}
+}
+
+func TestEmbedPlanErrors(t *testing.T) {
+	in := MustInstance([]int{4, 4, 4}, []float64{1, 1, 1})
+	dst := NewPlan(in)
+	if err := EmbedPlan(dst, []int{0, 1}, ZeroPlan(3)); err == nil {
+		t.Fatal("EmbedPlan accepted a sub-plan larger than its group")
+	}
+	if err := EmbedPlan(dst, []int{0, 7}, ZeroPlan(2)); err == nil {
+		t.Fatal("EmbedPlan accepted an out-of-range group index")
+	}
+}
+
+func TestMergePlans(t *testing.T) {
+	parent := MustInstance([]int{6, 6, 6, 6}, []float64{1, 5, 2, 2})
+
+	// balanced2 moves 2 tasks from sub-process 1 to sub-process 0 in a
+	// two-process group.
+	balanced2 := func(in *Instance) *Plan {
+		p := NewPlan(in)
+		p.Move(0, 1, 2)
+		return p
+	}
+
+	cases := []struct {
+		name     string
+		groups   [][]int
+		subs     func() []*Plan
+		wantErr  string
+		wantMigr int
+	}{
+		{
+			name:     "no groups is the identity",
+			groups:   nil,
+			subs:     func() []*Plan { return nil },
+			wantMigr: 0,
+		},
+		{
+			name:   "two disjoint pairs",
+			groups: [][]int{{0, 1}, {2, 3}},
+			subs: func() []*Plan {
+				s0, _ := parent.Extract([]int{0, 1})
+				s1, _ := parent.Extract([]int{2, 3})
+				return []*Plan{balanced2(s0), balanced2(s1)}
+			},
+			wantMigr: 4,
+		},
+		{
+			name:   "singleton groups merge as identity blocks",
+			groups: [][]int{{0}, {1}, {2}, {3}},
+			subs: func() []*Plan {
+				subs := make([]*Plan, 4)
+				for g := 0; g < 4; g++ {
+					s, _ := parent.Extract([]int{g})
+					subs[g] = NewPlan(s)
+				}
+				return subs
+			},
+			wantMigr: 0,
+		},
+		{
+			name:   "nil sub-plan keeps the group's tasks home",
+			groups: [][]int{{0, 1}, {2, 3}},
+			subs: func() []*Plan {
+				s0, _ := parent.Extract([]int{0, 1})
+				return []*Plan{balanced2(s0), nil}
+			},
+			wantMigr: 2,
+		},
+		{
+			name:   "uniform-load group (equal weights) round-trips",
+			groups: [][]int{{2, 3}},
+			subs: func() []*Plan {
+				s, _ := parent.Extract([]int{2, 3})
+				return []*Plan{balanced2(s)}
+			},
+			wantMigr: 2,
+		},
+		{
+			name:   "overlapping groups rejected",
+			groups: [][]int{{0, 1}, {1, 2}},
+			subs: func() []*Plan {
+				return []*Plan{nil, nil}
+			},
+			wantErr: "more than one group",
+		},
+		{
+			name:    "group/sub count mismatch",
+			groups:  [][]int{{0, 1}},
+			subs:    func() []*Plan { return nil },
+			wantErr: "1 groups but 0 sub-plans",
+		},
+		{
+			name:   "conservation-breaking sub-plan rejected",
+			groups: [][]int{{0, 1}},
+			subs: func() []*Plan {
+				s, _ := parent.Extract([]int{0, 1})
+				p := NewPlan(s)
+				p.X[0][0]++ // column 0 now over-subscribed
+				return []*Plan{p}
+			},
+			wantErr: "merged plan invalid",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			merged, err := MergePlans(parent, tc.groups, tc.subs())
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("MergePlans err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("MergePlans: %v", err)
+			}
+			if err := merged.Validate(parent); err != nil {
+				t.Fatalf("merged plan invalid: %v", err)
+			}
+			if got := merged.Migrated(); got != tc.wantMigr {
+				t.Fatalf("merged plan migrates %d tasks, want %d", got, tc.wantMigr)
+			}
+		})
+	}
+}
+
+// TestExtractMergeRoundTrip proves the extraction/merge pair is lossless
+// for plans confined to group blocks: solving each group's extraction
+// and merging preserves per-process loads computed group-locally.
+func TestExtractMergeRoundTrip(t *testing.T) {
+	parent := MustInstance([]int{8, 8, 8, 8, 8, 8}, []float64{1, 1, 4, 4, 2, 2})
+	groups := [][]int{{0, 2, 4}, {1, 3, 5}}
+	subs := make([]*Plan, len(groups))
+	wantLoads := make([]float64, parent.NumProcs())
+	for g, procs := range groups {
+		sub, err := parent.Extract(procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPlan(sub)
+		p.Move(0, 1, 3) // arbitrary in-group migration
+		subs[g] = p
+		loads := p.Loads(sub)
+		for s, j := range procs {
+			wantLoads[j] = loads[s]
+		}
+	}
+	merged, err := MergePlans(parent, groups, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := merged.Loads(parent)
+	for j := range got {
+		if got[j] != wantLoads[j] {
+			t.Fatalf("process %d load %g after merge, want %g (group-local)", j, got[j], wantLoads[j])
+		}
+	}
+}

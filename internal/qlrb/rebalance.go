@@ -8,7 +8,6 @@ import (
 	"repro/internal/lrp"
 	"repro/internal/obs"
 	"repro/internal/solve"
-	"repro/internal/verify"
 )
 
 // SolveOptions configures an end-to-end quantum-hybrid rebalancing solve.
@@ -56,86 +55,29 @@ type SolveStats struct {
 	Solver solve.Stats
 }
 
+// Pipeline returns the staged pipeline equivalent of the options: the
+// monolithic Solve path expressed as the shared Pipeline stages.
+func (opt SolveOptions) Pipeline() *Pipeline {
+	return &Pipeline{
+		Build:       opt.Build,
+		Hybrid:      opt.Hybrid,
+		NoWarmStart: opt.NoWarmStart,
+		WarmPlans:   opt.WarmPlans,
+		Wrap:        opt.Wrap,
+		Obs:         opt.Obs,
+	}
+}
+
 // Solve builds the CQM for in, runs the hybrid engine, and decodes the
 // best sample into a guaranteed-feasible migration plan. Cancelling ctx
 // stops the solve at the next sweep boundary; the best sample collected
 // so far is still decoded (Stats.Solver.Interrupted reports the cut).
+//
+// Solve is a thin wrapper over the shared staged Pipeline — the same
+// build → sample → decode → verify stages the hedged and sharded paths
+// run through.
 func Solve(ctx context.Context, in *lrp.Instance, opt SolveOptions) (*lrp.Plan, SolveStats, error) {
-	buildSpan := opt.Obs.StartSpan("qlrb.build")
-	enc, err := Build(in, opt.Build)
-	if err != nil {
-		buildSpan.Set("error", err.Error()).End()
-		return nil, SolveStats{}, err
-	}
-	ms0 := enc.Model.Stats()
-	buildSpan.Set("qubits", ms0.Vars).Set("constraints", ms0.Constraints).End()
-	if !opt.NoWarmStart {
-		candidates := append([]*lrp.Plan{lrp.NewPlan(in)}, opt.WarmPlans...)
-		for _, p := range candidates {
-			q := p.Clone()
-			if opt.Build.K >= 0 && q.Migrated() > opt.Build.K {
-				q.CapMigrations(in, opt.Build.K)
-			}
-			if warm, werr := enc.EncodePlan(q); werr == nil {
-				opt.Hybrid.Initials = append(opt.Hybrid.Initials, warm)
-			}
-		}
-	}
-	// PairProb == 0 means "default": enable conservation-preserving pair
-	// moves where the formulation needs them. A negative value disables
-	// pair moves explicitly (used by the tuning ablation).
-	if pairs := enc.ConservationPairs(); len(pairs) > 0 && opt.Hybrid.PairProb == 0 {
-		opt.Hybrid.Pairs = pairs
-		opt.Hybrid.PairProb = 0.4
-	}
-	if opt.Hybrid.PairProb < 0 {
-		opt.Hybrid.Pairs = nil
-		opt.Hybrid.PairProb = 0
-	}
-	var solver solve.Solver = hybrid.New(opt.Hybrid)
-	if opt.Wrap != nil {
-		solver = opt.Wrap(solver)
-	}
-	solveSpan := opt.Obs.StartSpan("qlrb.solve")
-	res, err := solver.Solve(ctx, enc.Model, solve.WithObs(opt.Obs))
-	if err != nil {
-		solveSpan.Set("error", err.Error()).End()
-		return nil, SolveStats{}, err
-	}
-	solveSpan.Set("solver", solver.Name()).Set("objective", res.Objective).
-		Set("feasible", res.Feasible).End()
-	decodeSpan := opt.Obs.StartSpan("qlrb.decode")
-	plan, repaired, err := enc.DecodeRepaired(res.Sample)
-	if err != nil {
-		decodeSpan.Set("error", err.Error()).End()
-		return nil, SolveStats{}, err
-	}
-	decodeSpan.Set("repaired", repaired).End()
-	if repaired {
-		opt.Obs.Counter("qlrb.repairs").Inc()
-	}
-	// Mandatory trust-but-verify gate: the decoded (and possibly
-	// repaired) plan is re-checked from scratch against the instance and
-	// migration budget by the independent verifier before it leaves this
-	// package. Decode/Repair are supposed to guarantee this — the gate is
-	// what turns "supposed to" into "checked on every solve".
-	if rep := verify.Plan(in, plan, opt.Build.K, verify.Options{}); !rep.Ok() {
-		opt.Obs.Counter("qlrb.rejected_plans").Inc()
-		opt.Obs.Emit("qlrb.reject", map[string]any{"violation": rep.Violations[0].String()})
-		return nil, SolveStats{}, fmt.Errorf("qlrb: decoded plan failed verification: %w", rep.Err())
-	}
-	ms := enc.Model.Stats()
-	stats := SolveStats{
-		Qubits:          ms.Vars,
-		Constraints:     ms.Constraints,
-		EqConstraints:   ms.EqConstraints,
-		IneqConstraints: ms.IneqConstraints,
-		SampleFeasible:  res.Feasible,
-		Repaired:        repaired,
-		Objective:       res.Objective,
-		Solver:          res.Stats,
-	}
-	return plan, stats, nil
+	return opt.Pipeline().Run(ctx, in)
 }
 
 // Quantum is a reusable rebalancer with fixed options; it satisfies the

@@ -1,0 +1,196 @@
+// Property tests for the EncodePlan ⇄ Decode round-trip on exactly the
+// sub-instances the hierarchical solver produces: shard.Partition groups
+// extracted from random uniform instances. The hierarchy's correctness
+// leans on this inverse pair — warm starts are injected with EncodePlan
+// and solver samples come back through Decode — so the round-trip must
+// hold on every group shape the partitioner can emit, including pinned
+// (heaviest-process) encodings at shard boundaries.
+package qlrb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/shard"
+)
+
+// randUniform draws a uniform instance: m processes, n tasks each,
+// lumpy weights so partition groups have genuinely distinct loads.
+func randUniform(rng *rand.Rand) *lrp.Instance {
+	m := 4 + rng.Intn(9)  // 4..12 processes
+	n := 1 + rng.Intn(33) // 1..33 tasks per process, covers n=1 and non-powers of two
+	tasks := make([]int, m)
+	weight := make([]float64, m)
+	for j := range tasks {
+		tasks[j] = n
+		weight[j] = 0.25 + rng.Float64()*4
+		if rng.Intn(4) == 0 {
+			weight[j] *= 5
+		}
+	}
+	return lrp.MustInstance(tasks, weight)
+}
+
+// randPlan draws a feasible plan by scattering random unit moves.
+// Column sums are preserved by construction, so the plan is valid for
+// any K >= Migrated(). avoidRecv >= 0 forbids moves into that process
+// (to respect pinned-heaviest encodings).
+func randPlan(rng *rand.Rand, in *lrp.Instance, avoidRecv int) *lrp.Plan {
+	m := in.NumProcs()
+	p := lrp.NewPlan(in)
+	n, _ := in.Uniform()
+	for moves := rng.Intn(2*n + 1); moves > 0; moves-- {
+		j := rng.Intn(m) // origin column
+		var holders []int
+		for i := 0; i < m; i++ {
+			if p.X[i][j] > 0 {
+				holders = append(holders, i)
+			}
+		}
+		if len(holders) == 0 {
+			continue
+		}
+		a := holders[rng.Intn(len(holders))]
+		b := rng.Intn(m)
+		if b == a || b == avoidRecv {
+			continue
+		}
+		p.X[a][j]--
+		p.X[b][j]++
+	}
+	return p
+}
+
+// heaviestProc mirrors Build's PinHeaviest tie-break: the first process
+// with maximal load.
+func heaviestProc(in *lrp.Instance) int {
+	h := 0
+	for j := 1; j < in.NumProcs(); j++ {
+		if in.Load(j) > in.Load(h) {
+			h = j
+		}
+	}
+	return h
+}
+
+func roundTrip(t *testing.T, enc *qlrb.Encoded, p *lrp.Plan, label string) {
+	t.Helper()
+	sample, err := enc.EncodePlan(p)
+	if err != nil {
+		t.Fatalf("%s: EncodePlan: %v", label, err)
+	}
+	back, err := enc.Decode(sample)
+	if err != nil {
+		t.Fatalf("%s: Decode: %v", label, err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("%s: round-trip changed the plan:\nin:\n%v\nout:\n%v", label, p, back)
+	}
+}
+
+// TestPropShardSubInstanceRoundTrip: for every group the partitioner
+// deals from a random instance, both formulations must round-trip
+// random feasible plans through EncodePlan → Decode unchanged.
+func TestPropShardSubInstanceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		in := randUniform(rng)
+		size := 2 + rng.Intn(5)
+		for gi, procs := range shard.Partition(in, size) {
+			if len(procs) < 2 {
+				continue
+			}
+			sub, err := in.Extract(procs)
+			if err != nil {
+				t.Fatalf("trial %d: Extract(%v): %v", trial, procs, err)
+			}
+			p := randPlan(rng, sub, -1)
+			for _, form := range []qlrb.Formulation{qlrb.QCQM1, qlrb.QCQM2} {
+				enc, err := qlrb.Build(sub, qlrb.BuildOptions{Form: form, K: -1})
+				if err != nil {
+					t.Fatalf("trial %d group %d: Build(%v): %v", trial, gi, form, err)
+				}
+				roundTrip(t, enc, p, fmt.Sprintf("trial %d group %d %v", trial, gi, form))
+				// The identity must round-trip too: it is the hierarchy's
+				// default warm start for every sub-solve.
+				roundTrip(t, enc, lrp.NewPlan(sub), fmt.Sprintf("trial %d group %d %v identity", trial, gi, form))
+			}
+		}
+	}
+}
+
+// TestPropPinnedHeaviestRoundTrip: pinned encodings at shard boundaries
+// eliminate the heaviest process's incoming variables. Plans that never
+// send into it must round-trip; plans that do must be rejected by
+// EncodePlan rather than silently dropped.
+func TestPropPinnedHeaviestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 60; trial++ {
+		in := randUniform(rng)
+		for gi, procs := range shard.Partition(in, 2+rng.Intn(5)) {
+			if len(procs) < 3 {
+				continue // need a sender, the pinned receiver, and a third party
+			}
+			sub, err := in.Extract(procs)
+			if err != nil {
+				t.Fatalf("trial %d: Extract: %v", trial, err)
+			}
+			enc, err := qlrb.Build(sub, qlrb.BuildOptions{Form: qlrb.QCQM1, K: -1, PinHeaviest: true})
+			if err != nil {
+				t.Fatalf("trial %d group %d: Build pinned: %v", trial, gi, err)
+			}
+			h := heaviestProc(sub)
+			p := randPlan(rng, sub, h)
+			roundTrip(t, enc, p, fmt.Sprintf("trial %d group %d pinned", trial, gi))
+
+			// One unit into the pinned process makes the plan unencodable.
+			bad := p.Clone()
+			src := (h + 1) % sub.NumProcs()
+			bad.Move(h, src, 1)
+			if bad.Validate(sub) != nil {
+				continue // the random plan had already drained src's diagonal
+			}
+			if _, err := enc.EncodePlan(bad); err == nil {
+				t.Fatalf("trial %d group %d: EncodePlan accepted a move into pinned process %d", trial, gi, h)
+			}
+		}
+	}
+}
+
+// TestPropDecodeRepairedIdempotent: any bit pattern, once through
+// DecodeRepaired, is a feasible plan — and feasible plans are fixed
+// points of the encode/decode pair.
+func TestPropDecodeRepairedIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 60; trial++ {
+		in := randUniform(rng)
+		for gi, procs := range shard.Partition(in, 2+rng.Intn(5)) {
+			if len(procs) < 2 {
+				continue
+			}
+			sub, err := in.Extract(procs)
+			if err != nil {
+				t.Fatalf("trial %d: Extract: %v", trial, err)
+			}
+			enc, err := qlrb.Build(sub, qlrb.BuildOptions{Form: qlrb.QCQM1, K: -1})
+			if err != nil {
+				t.Fatalf("trial %d group %d: Build: %v", trial, gi, err)
+			}
+			bits := make([]bool, enc.Model.NumVars())
+			for b := range bits {
+				bits[b] = rng.Intn(2) == 1
+			}
+			p, _, err := enc.DecodeRepaired(bits)
+			if err != nil {
+				t.Fatalf("trial %d group %d: DecodeRepaired: %v", trial, gi, err)
+			}
+			if err := p.Validate(sub); err != nil {
+				t.Fatalf("trial %d group %d: repaired plan invalid: %v", trial, gi, err)
+			}
+			roundTrip(t, enc, p, fmt.Sprintf("trial %d group %d repaired", trial, gi))
+		}
+	}
+}

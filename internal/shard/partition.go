@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/lrp"
+)
+
+// Partition splits the instance's processes into ceil(M/size) groups of
+// near-equal cardinality (sizes differ by at most one, never exceeding
+// size) using a serpentine deal by descending load: processes are
+// sorted heaviest-first and dealt across the groups in snake order
+// (left-to-right, then right-to-left, ...). The deal gives every group
+// a comparable mix of heavy and light processes, so
+//
+//   - intra-group solves have real balancing work to do (a group of
+//     uniformly light processes would be a wasted sub-CQM), and
+//   - group aggregate loads start near-equal, which keeps the top-level
+//     coordination solve small — most of the imbalance is dissolved in
+//     parallel inside the groups.
+//
+// The deal is deterministic: ties in load break by process index.
+// size < 2 is treated as 2 (a one-process group has no rebalancing
+// problem to solve). When M <= size a single group holding every
+// process is returned.
+func Partition(in *lrp.Instance, size int) [][]int {
+	m := in.NumProcs()
+	if size < 2 {
+		size = 2
+	}
+	if m <= size {
+		all := make([]int, m)
+		for j := range all {
+			all[j] = j
+		}
+		return [][]int{all}
+	}
+	g := (m + size - 1) / size
+	order := make([]int, m)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := in.Load(order[a]), in.Load(order[b])
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+	groups := make([][]int, g)
+	for idx, p := range order {
+		col := idx % g
+		if (idx/g)%2 == 1 {
+			col = g - 1 - col // snake back
+		}
+		groups[col] = append(groups[col], p)
+	}
+	// Keep each group's member list in ascending process order: group
+	// composition (a set) is what matters, and sorted members make
+	// sub-instance extraction and tests deterministic to read.
+	for _, grp := range groups {
+		sort.Ints(grp)
+	}
+	return groups
+}
+
+// coarseInstance aggregates each group into one pseudo-process: the
+// group's task count is the sum of its members' tasks and its per-task
+// weight is the group's mean task weight (total load / total tasks), so
+// the coarse instance preserves every group's aggregate load exactly.
+// Groups with zero tasks get weight 0. This is the "group load
+// aggregates" instance the top-level coordination solve runs on.
+func coarseInstance(in *lrp.Instance, groups [][]int) (*lrp.Instance, error) {
+	tasks := make([]int, len(groups))
+	weight := make([]float64, len(groups))
+	for g, procs := range groups {
+		load := 0.0
+		for _, j := range procs {
+			tasks[g] += in.Tasks[j]
+			load += in.Load(j)
+		}
+		if tasks[g] > 0 {
+			weight[g] = load / float64(tasks[g])
+		}
+	}
+	return lrp.NewInstance(tasks, weight)
+}

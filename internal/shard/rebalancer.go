@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/lrp"
+)
+
+// Rebalancer exposes the hierarchical solve through the
+// balancer.Rebalancer interface, so internal/dlb can drive it exactly
+// like the classical methods and the monolithic qlrb.Quantum — every
+// plan it hands back has already passed the merge verification gate,
+// and dlb's own gate re-checks it like any other candidate.
+type Rebalancer struct {
+	// Label is the method name used in tables (e.g. "Shard_s8_k16").
+	Label string
+	// Opts configures the hierarchy.
+	Opts Options
+	// LastStats records the most recent solve's statistics.
+	LastStats Stats
+}
+
+// New builds a named sharded rebalancer.
+func New(label string, opt Options) *Rebalancer {
+	return &Rebalancer{Label: label, Opts: opt}
+}
+
+// Name returns the method label ("Shard" when unset).
+func (r *Rebalancer) Name() string {
+	if r.Label == "" {
+		return "Shard"
+	}
+	return r.Label
+}
+
+// Rebalance solves the instance hierarchically.
+func (r *Rebalancer) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
+	plan, stats, err := Solve(ctx, in, r.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.Name(), err)
+	}
+	r.LastStats = stats
+	return plan, nil
+}

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/qlrb"
+	"repro/internal/verify"
+)
+
+// TestScaleMillionTasks drives the hierarchy at the scale the monolithic
+// path cannot touch: M=1024 processes with 1024 tasks each (~1M tasks).
+// A monolithic QCQM1 model for this instance would need
+// 1024·1023·11 ≈ 11.5M logical qubits; the hierarchy caps every
+// sub-model at 16 processes (≈ 2640 qubits) and must finish inside a
+// bounded wall-clock because every sampler runs under a carved-out
+// clock budget and interrupted solves return their best partial sample.
+func TestScaleMillionTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-task scale test skipped in -short mode")
+	}
+	const (
+		m      = 1024
+		n      = 1024
+		budget = 2 * time.Second
+	)
+	tasks := make([]int, m)
+	weight := make([]float64, m)
+	for j := range tasks {
+		tasks[j] = n
+		weight[j] = 1 + float64(j%7)
+		if j%97 == 0 {
+			weight[j] = 12 // scattered hot spots
+		}
+	}
+	in := lrp.MustInstance(tasks, weight)
+	if got := in.NumTasks(); got != m*n {
+		t.Fatalf("instance has %d tasks, want %d", got, m*n)
+	}
+
+	opt := Options{
+		Size:   16,
+		Budget: budget,
+		Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: 8192},
+		Hybrid: hybrid.Options{Reads: 1, Sweeps: 64, Seed: 1},
+	}
+	start := time.Now()
+	plan, st, err := Solve(context.Background(), in, opt)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// The clock budget bounds sampling; building 64 sub-CQMs and
+	// merging a 1024×1024 plan add overhead on top. 90s is a generous
+	// ceiling that still proves the wall-clock is bounded, not
+	// quadratic in the monolithic model size.
+	if elapsed > 90*time.Second {
+		t.Fatalf("sharded solve took %v, budget-bounded ceiling is 90s", elapsed)
+	}
+	if rep := verify.Plan(in, plan, opt.Build.K, verify.Options{}); !rep.Ok() {
+		t.Fatalf("merged plan failed verification: %v", rep.Err())
+	}
+	if got := plan.Migrated(); got > opt.Build.K {
+		t.Fatalf("plan migrates %d tasks, cap is %d", got, opt.Build.K)
+	}
+	met := lrp.Evaluate(in, plan)
+	if st.Groups != m/16 {
+		t.Fatalf("Groups = %d, want %d", st.Groups, m/16)
+	}
+	if st.Levels < 2 {
+		t.Fatalf("Levels = %d, want >= 2", st.Levels)
+	}
+	// Every sub-model must stay inside the paper's tractable regime:
+	// 16·15·11 = 2640 qubits for the fine level; coarser levels are
+	// smaller still in process count (their task counts only raise |C|
+	// logarithmically).
+	if st.MaxShardQubits > 16*15*17 {
+		t.Fatalf("MaxShardQubits = %d — a sub-model escaped the tractable regime", st.MaxShardQubits)
+	}
+	t.Logf("M=%d n=%d: %v wall, %d groups, %d levels, %d sub-solves, max shard %d qubits, "+
+		"L_max %.1f -> %.1f, %d migrated, %d coord moves (%d skipped)",
+		m, n, elapsed, st.Groups, st.Levels, st.SubSolves, st.MaxShardQubits,
+		in.MaxLoad(), met.MaxLoad, plan.Migrated(), st.CoordMigrated, st.SkippedMoves)
+}

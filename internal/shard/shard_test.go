@@ -1,0 +1,305 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/cqm"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/obs"
+	"repro/internal/qlrb"
+	"repro/internal/solve"
+	"repro/internal/verify"
+)
+
+// hotSpots builds an instance with m processes of n tasks each where
+// every (stride)-th process is heavy — plenty of imbalance for both the
+// intra-group and the coordination level to dissolve.
+func hotSpots(m, n, stride int) *lrp.Instance {
+	tasks := make([]int, m)
+	weight := make([]float64, m)
+	for j := range tasks {
+		tasks[j] = n
+		weight[j] = 1
+		if j%stride == 0 {
+			weight[j] = 5
+		}
+	}
+	return lrp.MustInstance(tasks, weight)
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		name       string
+		m, size    int
+		wantGroups int
+	}{
+		{"fits in one group", 4, 8, 1},
+		{"even split", 12, 4, 3},
+		{"ragged split", 10, 4, 3},
+		{"size floor of two", 5, 1, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := hotSpots(tc.m, 4, 3)
+			groups := Partition(in, tc.size)
+			if len(groups) != tc.wantGroups {
+				t.Fatalf("Partition(%d procs, size %d) = %d groups, want %d",
+					tc.m, tc.size, len(groups), tc.wantGroups)
+			}
+			seen := make(map[int]bool)
+			lo, hi := tc.m, 0
+			for _, grp := range groups {
+				if len(grp) < lo {
+					lo = len(grp)
+				}
+				if len(grp) > hi {
+					hi = len(grp)
+				}
+				for _, j := range grp {
+					if seen[j] {
+						t.Fatalf("process %d dealt twice", j)
+					}
+					seen[j] = true
+				}
+			}
+			if len(seen) != tc.m {
+				t.Fatalf("groups cover %d of %d processes", len(seen), tc.m)
+			}
+			size := tc.size
+			if size < 2 {
+				size = 2
+			}
+			if hi > size {
+				t.Fatalf("largest group has %d processes, cap is %d", hi, size)
+			}
+			if hi-lo > 1 {
+				t.Fatalf("group sizes range %d..%d, want near-equal", lo, hi)
+			}
+		})
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	in := hotSpots(17, 4, 3)
+	a := Partition(in, 4)
+	b := Partition(in, 4)
+	for g := range a {
+		for s := range a[g] {
+			if a[g][s] != b[g][s] {
+				t.Fatalf("partition not deterministic at group %d", g)
+			}
+		}
+	}
+}
+
+// TestSolveBaseCase pins the degenerate hierarchy: an instance that
+// fits in one group must take the exact monolithic pipeline path and
+// produce the same plan as qlrb.Solve for the same seed and the same
+// classical warm starts.
+func TestSolveBaseCase(t *testing.T) {
+	in := hotSpots(4, 8, 3)
+	h := hybrid.Options{Reads: 2, Sweeps: 120, Seed: 11}
+	build := qlrb.BuildOptions{Form: qlrb.QCQM1, K: 8}
+
+	var warm []*lrp.Plan
+	if p, err := (balancer.ProactLB{}).Rebalance(context.Background(), in); err == nil {
+		warm = append(warm, p)
+	}
+	if p, err := (balancer.Greedy{}).Rebalance(context.Background(), in); err == nil {
+		warm = append(warm, p)
+	}
+	mono, _, err := qlrb.Solve(context.Background(), in, qlrb.SolveOptions{Build: build, Hybrid: h, WarmPlans: warm})
+	if err != nil {
+		t.Fatalf("qlrb.Solve: %v", err)
+	}
+	plan, st, err := Solve(context.Background(), in, Options{Size: 8, Build: build, Hybrid: h})
+	if err != nil {
+		t.Fatalf("shard.Solve: %v", err)
+	}
+	if plan.String() != mono.String() {
+		t.Fatalf("base case diverged from monolithic solve:\nmono:\n%v\nshard:\n%v", mono, plan)
+	}
+	if st.Groups != 1 || st.Levels != 1 || st.SubSolves != 1 {
+		t.Fatalf("base case stats = %+v, want 1 group / 1 level / 1 sub-solve", st)
+	}
+}
+
+// TestSolveSharded is the core hierarchy test: a 12-process hot-spot
+// instance split into 3 groups must come back verified, within the
+// migration cap, and strictly better balanced than doing nothing.
+func TestSolveSharded(t *testing.T) {
+	in := hotSpots(12, 6, 4) // procs 0,4,8 carry 5× weight: baseline L_max = 30
+	opt := Options{
+		Size:   4,
+		Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: 24},
+		Hybrid: hybrid.Options{Reads: 2, Sweeps: 200, Seed: 7},
+	}
+	plan, st, err := Solve(context.Background(), in, opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if rep := verify.Plan(in, plan, opt.Build.K, verify.Options{}); !rep.Ok() {
+		t.Fatalf("merged plan failed independent verification: %v", rep.Err())
+	}
+	if got := plan.Migrated(); got > 24 {
+		t.Fatalf("plan migrates %d tasks, global cap is 24", got)
+	}
+	met := lrp.Evaluate(in, plan)
+	if met.MaxLoad >= in.MaxLoad() {
+		t.Fatalf("sharded solve did not improve: L_max %g (baseline %g)", met.MaxLoad, in.MaxLoad())
+	}
+	if st.Groups != 3 {
+		t.Fatalf("Groups = %d, want 3", st.Groups)
+	}
+	if st.Levels < 2 {
+		t.Fatalf("Levels = %d, want >= 2 (groups + coordination)", st.Levels)
+	}
+	if st.SubSolves < 3 {
+		t.Fatalf("SubSolves = %d, want >= 3 (one per group)", st.SubSolves)
+	}
+	if st.MaxShardQubits == 0 {
+		t.Fatal("MaxShardQubits not recorded")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	in := hotSpots(12, 6, 4)
+	opt := Options{
+		Size:    4,
+		Workers: 3, // concurrency must not leak into the result
+		Build:   qlrb.BuildOptions{Form: qlrb.QCQM1, K: 24},
+		Hybrid:  hybrid.Options{Reads: 2, Sweeps: 120, Seed: 5},
+	}
+	a, _, err := Solve(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 1
+	b, _, err := Solve(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("seeded solve depends on worker count:\n3 workers:\n%v\n1 worker:\n%v", a, b)
+	}
+}
+
+func TestSolveGlobalCap(t *testing.T) {
+	in := hotSpots(12, 6, 4)
+	opt := Options{
+		Size:   4,
+		Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: 4},
+		Hybrid: hybrid.Options{Reads: 1, Sweeps: 80, Seed: 3},
+	}
+	plan, _, err := Solve(context.Background(), in, opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if got := plan.Migrated(); got > 4 {
+		t.Fatalf("plan migrates %d tasks, global cap is 4", got)
+	}
+}
+
+func TestSolveRejectsBadInstances(t *testing.T) {
+	if _, _, err := Solve(context.Background(), lrp.MustInstance([]int{4}, []float64{1}), Options{}); err == nil {
+		t.Fatal("accepted a single-process instance")
+	}
+	nonUniform := lrp.MustInstance([]int{4, 5, 4}, []float64{1, 1, 1})
+	if _, _, err := Solve(context.Background(), nonUniform, Options{}); err == nil || !strings.Contains(err.Error(), "uniform") {
+		t.Fatalf("non-uniform instance: err = %v, want uniformity complaint", err)
+	}
+}
+
+// failSolver errors on every solve — stands in for a dead sampler.
+type failSolver struct{}
+
+func (failSolver) Name() string { return "fail" }
+func (failSolver) Solve(context.Context, *cqm.Model, ...solve.Option) (*solve.Result, error) {
+	return nil, errors.New("sampler down")
+}
+
+// TestSolveFallback proves one sick shard cannot sink the hierarchy:
+// with every sampler dead, each group degrades to the classical greedy
+// fallback and the merge still comes back verified.
+func TestSolveFallback(t *testing.T) {
+	in := hotSpots(8, 6, 4)
+	reg := obs.NewRegistry()
+	opt := Options{
+		Size:  4,
+		Build: qlrb.BuildOptions{Form: qlrb.QCQM1, K: 16},
+		Wrap:  func(solve.Solver) solve.Solver { return failSolver{} },
+		Obs:   reg,
+	}
+	plan, st, err := Solve(context.Background(), in, opt)
+	if err != nil {
+		t.Fatalf("Solve with dead samplers: %v", err)
+	}
+	if rep := verify.Plan(in, plan, 16, verify.Options{}); !rep.Ok() {
+		t.Fatalf("fallback plan failed verification: %v", rep.Err())
+	}
+	if st.Fallbacks < 2 {
+		t.Fatalf("Fallbacks = %d, want >= 2 (both groups)", st.Fallbacks)
+	}
+	if got := reg.Counter("shard.fallbacks").Value(); got != int64(st.Fallbacks) {
+		t.Fatalf("shard.fallbacks counter = %d, stats say %d", got, st.Fallbacks)
+	}
+}
+
+// TestSolveObsSpans pins the shard.* span names observability consumers
+// rely on.
+func TestSolveObsSpans(t *testing.T) {
+	in := hotSpots(12, 6, 4)
+	reg := obs.NewRegistry()
+	opt := Options{
+		Size:   4,
+		Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: 12},
+		Hybrid: hybrid.Options{Reads: 1, Sweeps: 60, Seed: 9},
+		Obs:    reg,
+	}
+	if _, _, err := Solve(context.Background(), in, opt); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := map[string]bool{
+		"shard.solve": false, "shard.subsolve": false, "shard.coordinate": false,
+		"shard.merge": false, "shard.verify": false,
+		// per-shard pipelines must trace through the same registry
+		"qlrb.build": false, "qlrb.verify": false,
+	}
+	for _, sp := range reg.Snapshot().Spans {
+		if _, ok := want[sp.Name]; ok {
+			want[sp.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("span %q missing from hierarchy trace", name)
+		}
+	}
+}
+
+func TestRebalancer(t *testing.T) {
+	in := hotSpots(8, 6, 4)
+	r := New("Shard_s4_k16", Options{
+		Size:   4,
+		Build:  qlrb.BuildOptions{Form: qlrb.QCQM1, K: 16},
+		Hybrid: hybrid.Options{Reads: 1, Sweeps: 80, Seed: 2},
+	})
+	if r.Name() != "Shard_s4_k16" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	plan, err := r.Rebalance(context.Background(), in)
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	if r.LastStats.Groups != 2 {
+		t.Fatalf("LastStats.Groups = %d, want 2", r.LastStats.Groups)
+	}
+}

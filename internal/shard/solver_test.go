@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/hedge"
+	"repro/internal/hybrid"
+	"repro/internal/qlrb"
+	"repro/internal/solve"
+)
+
+// TestSolverAdapter proves the solve.Solver adapter round-trips: the
+// hierarchical solve's merged plan re-encodes into the monolithic
+// model's sample space, decodes back to a feasible plan, and carries an
+// honest (attested) feasibility flag.
+func TestSolverAdapter(t *testing.T) {
+	in := hotSpots(8, 6, 4)
+	enc, err := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM1, K: 16})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := NewSolver(enc, Options{
+		Size:   4,
+		Hybrid: hybrid.Options{Reads: 1, Sweeps: 80},
+	})
+	res, err := s.Solve(context.Background(), enc.Model, solve.WithSeed(13))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("attested sample infeasible (objective %g)", res.Objective)
+	}
+	plan, _, err := enc.DecodeRepaired(res.Sample)
+	if err != nil {
+		t.Fatalf("DecodeRepaired: %v", err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatalf("decoded plan invalid: %v", err)
+	}
+	if res.Stats.Reads == 0 {
+		t.Fatal("adapter did not report its sub-solve count")
+	}
+}
+
+func TestSolverAdapterRejectsForeignModel(t *testing.T) {
+	in := hotSpots(8, 6, 4)
+	enc, err := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM1, K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM1, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSolver(enc, Options{Size: 4}).Solve(context.Background(), other.Model); err == nil {
+		t.Fatal("adapter accepted a model it was not bound to")
+	}
+}
+
+// TestSolverInHedge races the monolithic hybrid against the sharded
+// adapter on the same model — the first-class-backend wiring the
+// hierarchy promises. Whichever backend wins, the hedged result must be
+// a verified-feasible sample of the monolithic model.
+func TestSolverInHedge(t *testing.T) {
+	in := hotSpots(8, 6, 4)
+	enc, err := qlrb.Build(in, qlrb.BuildOptions{Form: qlrb.QCQM1, K: 16})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mono := hybrid.New(hybrid.Options{Reads: 1, Sweeps: 120, Seed: 21})
+	sharded := NewSolver(enc, Options{
+		Size:   4,
+		Hybrid: hybrid.Options{Reads: 1, Sweeps: 120, Seed: 22},
+	})
+	h, err := hedge.New(hedge.Options{}, mono, sharded)
+	if err != nil {
+		t.Fatalf("hedge.New: %v", err)
+	}
+	res, err := h.Solve(context.Background(), enc.Model, solve.WithSeed(23))
+	if err != nil {
+		t.Fatalf("hedged solve: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("hedged winner infeasible")
+	}
+	plan, _, err := enc.DecodeRepaired(res.Sample)
+	if err != nil {
+		t.Fatalf("DecodeRepaired: %v", err)
+	}
+	if err := plan.Validate(in); err != nil {
+		t.Fatalf("hedged plan invalid: %v", err)
+	}
+}
