@@ -1,8 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 
-.PHONY: check build vet fmt test race bench bench-json fault-demo fuzz-smoke
+.PHONY: check build vet fmt test race bench bench-json fault-demo fuzz-smoke daemon-smoke
 
 # check is the CI gate: vet + formatting + full shuffled tests + the
 # race detector over every package.
@@ -38,7 +38,7 @@ bench:
 # keeps the pipeline failure-honest: a failing bench run stops make
 # before anything is converted.
 bench-json:
-	$(GO) test -run=^$$ -bench=. -benchtime=1x . ./internal/sa ./internal/cqm > $(BENCH_JSON).txt
+	$(GO) test -run=^$$ -bench=. -benchtime=1x . ./internal/sa ./internal/cqm ./internal/serve > $(BENCH_JSON).txt
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON).txt
 	@rm -f $(BENCH_JSON).txt
 
@@ -53,6 +53,14 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseTraceLog -fuzztime=$(FUZZTIME) ./internal/chameleon
 	$(GO) test -run='^$$' -fuzz=FuzzReadInput -fuzztime=$(FUZZTIME) ./internal/csvio
 	$(GO) test -run='^$$' -fuzz=FuzzReadModel -fuzztime=$(FUZZTIME) ./internal/cqm
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve
+
+# daemon-smoke exercises the serving daemon end to end from the
+# outside: build qulrbd, start it, POST a real instance over HTTP, poll
+# the job to completion, check /metrics is populated, SIGTERM, and
+# require a clean drain and exit. See scripts/daemon_smoke.sh.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 # fault-demo runs the degradation-curve experiment: the resilient cloud
 # path (retry + breaker + classical fallback) swept over injected fault

@@ -17,10 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"path/filepath"
@@ -32,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qlrb"
 	"repro/internal/report"
+	"repro/internal/shutdown"
 )
 
 func main() {
@@ -104,7 +103,7 @@ func run() error {
 	}
 	// SIGINT and SIGTERM cancel the remaining solves cleanly (SIGTERM is
 	// what batch schedulers send before SIGKILL).
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := shutdown.Context(context.Background())
 	defer cancel()
 
 	ran := false

@@ -17,8 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/internal/balancer"
@@ -33,6 +31,7 @@ import (
 	"repro/internal/resilient"
 	"repro/internal/sa"
 	"repro/internal/shard"
+	"repro/internal/shutdown"
 	"repro/internal/solve"
 )
 
@@ -92,7 +91,7 @@ func run() error {
 	// SIGINT and SIGTERM cancel the solve; iterative methods return
 	// their best partial result or a clean error instead of dying
 	// mid-plan (SIGTERM is what schedulers and container runtimes send).
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := shutdown.Context(context.Background())
 	defer cancel()
 
 	// A nil registry disables instrumentation everywhere it is passed;

@@ -1,0 +1,172 @@
+// Command qulrbd is the rebalancing-as-a-service daemon: a stdlib-only
+// HTTP/JSON server that accepts LRP instances, solves them through the
+// failure-aware router over the repository's solver backends, verifies
+// every plan, and serves job status and metrics.
+//
+//	qulrbd -addr :8080 -backends sa,tabu,exact
+//
+// API:
+//
+//	GET  /healthz   liveness (503 while draining)
+//	POST /solve     submit {"tasks":[4,4,4],"weights":[8,2,2],...} → 202 {job}
+//	GET  /jobs/{id} job status, plan and metrics when done
+//	GET  /metrics   plain-text metric snapshot
+//
+// Admission is bounded (429 on queue/rate/budget overload), and SIGINT/
+// SIGTERM triggers a graceful drain: in-flight solves finish, queued
+// and new work is rejected, observability state is flushed, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/faults"
+	"repro/internal/hybrid"
+	"repro/internal/obs"
+	"repro/internal/quantum"
+	"repro/internal/route"
+	"repro/internal/sa"
+	"repro/internal/serve"
+	"repro/internal/shutdown"
+	"repro/internal/solve"
+	"repro/internal/tabu"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qulrbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		backends     = flag.String("backends", "sa,tabu,exact", "comma-separated solver backends: sa,tabu,exact,hybrid,quantum")
+		queueDepth   = flag.Int("queue", 64, "job queue depth (admission bound)")
+		workers      = flag.Int("workers", 2, "concurrent solve workers")
+		rate         = flag.Float64("rate", 10, "per-tenant admission rate (requests/sec; 0 disables)")
+		burst        = flag.Float64("burst", 0, "per-tenant burst capacity (0 = 2x rate)")
+		tenantBudget = flag.Duration("tenant-budget", 0, "cumulative per-tenant solve budget (0 = unlimited)")
+		timeout      = flag.Duration("timeout", 2*time.Second, "default per-request solve budget")
+		maxBudget    = flag.Duration("max-budget", 10*time.Second, "cap on any requested solve budget")
+		maxProcs     = flag.Int("max-procs", 64, "largest accepted instance size M")
+		sweeps       = flag.Int("sweeps", 400, "annealing sweeps for the sa/hybrid backends")
+		seed         = flag.Int64("seed", 1, "base seed for the stochastic backends")
+		faultRate    = flag.Float64("fault-rate", 0, "injected fault rate on the hybrid backend (testing)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	solvers, err := buildBackends(*backends, *sweeps, *seed, *faultRate)
+	if err != nil {
+		return err
+	}
+	router, err := route.New(route.Options{Obs: reg, Name: "qulrbd"}, solvers...)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Options{
+		Backend:       router,
+		Obs:           reg,
+		QueueDepth:    *queueDepth,
+		Workers:       *workers,
+		Rate:          *rate,
+		Burst:         *burst,
+		NoRateLimit:   *rate <= 0,
+		TenantBudget:  *tenantBudget,
+		DefaultBudget: *timeout,
+		MaxBudget:     *maxBudget,
+		Limits:        serve.Limits{MaxProcs: *maxProcs},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: serve.Handler(s)}
+
+	ctx, stop := shutdown.Context(context.Background())
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	names := make([]string, len(solvers))
+	for i, sv := range solvers {
+		names[i] = sv.Name()
+	}
+	fmt.Printf("qulrbd: listening on http://%s (backends %s)\n", ln.Addr(), strings.Join(names, ","))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now force-kills via the default disposition
+
+	fmt.Println("qulrbd: draining...")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainWait)
+	defer dcancel()
+	// Stop accepting connections first, then drain the solve queue.
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "qulrbd: http shutdown:", err)
+	}
+	if err := s.Drain(dctx); err != nil {
+		return err
+	}
+	fmt.Println("qulrbd: drained cleanly")
+	return nil
+}
+
+// buildBackends assembles the requested solver set. The quantum engine
+// is wrapped for the serving context: Serialized (its diagnostics are
+// not synchronized) and Gated (the statevector simulator is O(2^n)).
+func buildBackends(list string, sweeps int, seed int64, faultRate float64) ([]solve.Solver, error) {
+	var out []solve.Solver
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(strings.ToLower(name)) {
+		case "":
+		case "sa":
+			out = append(out, &sa.Engine{Base: sa.Options{
+				Sweeps: sweeps, Penalty: 5, PenaltyGrowth: 4, Seed: seed,
+			}})
+		case "tabu":
+			out = append(out, tabu.NewEngine())
+		case "exact":
+			out = append(out, exact.NewEngine())
+		case "hybrid":
+			opt := hybrid.Options{Reads: 2, Sweeps: sweeps, Seed: seed + 1}
+			if faultRate > 0 {
+				opt.Faults = faults.NewInjector(faults.Chaos(seed, faultRate))
+			}
+			out = append(out, hybrid.New(opt))
+		case "quantum":
+			out = append(out, route.Serialized(route.Gated(quantum.NewEngine(), quantum.MaxQubits)))
+		default:
+			return nil, fmt.Errorf("unknown backend %q (want sa, tabu, exact, hybrid, quantum)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no backends selected")
+	}
+	return out, nil
+}

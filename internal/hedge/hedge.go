@@ -249,11 +249,20 @@ func (s *Solver) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) 
 			if o.err != nil {
 				s.mu.Lock()
 				s.tallies[o.idx].Errors++
-				if errors.Is(o.err, solve.ErrPanic) {
+				panicked := errors.Is(o.err, solve.ErrPanic)
+				if panicked {
 					s.tallies[o.idx].Panics++
 					stats.Panics++
 				}
 				s.mu.Unlock()
+				// Published under the same stable names the router and
+				// /metrics read: hedge.backend.<name>.{errors,panics}.
+				if cfg.Obs != nil {
+					cfg.Obs.Counter("hedge.backend." + name + ".errors").Inc()
+					if panicked {
+						cfg.Obs.Counter("hedge.backend." + name + ".panics").Inc()
+					}
+				}
 				causes = append(causes, fmt.Errorf("%s: %w", name, o.err))
 			} else {
 				rep := verify.Sample(m, o.res, s.vopt)

@@ -195,7 +195,8 @@ func TestPanickingBackendLosesRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	clk := solve.NewFake(time.Unix(0, 0))
-	res, err := s.Solve(context.Background(), m, solve.WithClock(clk))
+	reg := obs.NewRegistry()
+	res, err := s.Solve(context.Background(), m, solve.WithClock(clk), solve.WithObs(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,6 +209,14 @@ func TestPanickingBackendLosesRace(t *testing.T) {
 	tallies := s.Tallies()
 	if tallies[0].Panics != 1 || tallies[0].Errors != 1 {
 		t.Fatalf("crashing backend tally = %+v", tallies[0])
+	}
+	// The same tallies are published as stable counters — the one
+	// source of truth the router and /metrics read.
+	if got := reg.Counter("hedge.backend.boom.errors").Value(); got != 1 {
+		t.Fatalf("errors counter = %d, want 1", got)
+	}
+	if got := reg.Counter("hedge.backend.boom.panics").Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/obs"
+	"repro/internal/route"
+	"repro/internal/sa"
+	"repro/internal/verify"
+)
+
+// TestChaosConcurrentTenants is the tentpole acceptance test: several
+// tenants hammer the server concurrently while one routed backend
+// injects 30% faults (corrupted replies and panics). The server must
+//
+//   - never return an unverified plan: every done job's plan is
+//     re-checked here with verify.Plan, independently of the pipeline;
+//   - shed overload only with typed errors (ErrOverload family);
+//   - drain within its deadline once the burst is over;
+//   - leak no goroutines.
+func TestChaosConcurrentTenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is seconds-long; skipped in -short")
+	}
+	before := runtime.NumGoroutine()
+
+	// A chaotic hybrid backend (30% corrupt/panic faults) races a clean
+	// annealer behind the failure-aware router. The router's verify
+	// gate rejects corrupted replies and fails over.
+	chaotic := hybrid.New(hybrid.Options{
+		Reads: 1, Sweeps: 60, Seed: 7,
+		Faults: faults.NewInjector(faults.Chaos(7, 0.3)),
+	})
+	clean := &sa.Engine{Base: sa.Options{Sweeps: 60, Penalty: 5, PenaltyGrowth: 4, Seed: 11}}
+	reg := obs.NewRegistry()
+	router, err := route.New(route.Options{Obs: reg, Name: "chaos-router"}, chaotic, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Options{
+		Backend:    router,
+		Obs:        reg,
+		Workers:    4,
+		QueueDepth: 32,
+		Rate:       200, Burst: 50,
+		DefaultBudget: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		tenants    = 4
+		perTenant  = 12
+		totalprocs = 3
+	)
+	type submitted struct {
+		id string
+		in *lrp.Instance
+	}
+	var (
+		mu       sync.Mutex
+		accepted []submitted
+		overload int
+	)
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				r := &Request{
+					Tenant:  fmt.Sprintf("tenant-%d", tn),
+					Tasks:   []int{4, 4, 4},
+					Weights: []float64{8, 2, float64(2 + i%3)},
+					Seed:    int64(tn*100 + i),
+				}
+				in, err := lrp.NewInstance(r.Tasks, r.Weights)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				j, err := s.Submit(r)
+				switch {
+				case err == nil:
+					mu.Lock()
+					accepted = append(accepted, submitted{j.ID, in})
+					mu.Unlock()
+				case errors.Is(err, ErrOverload):
+					mu.Lock()
+					overload++
+					mu.Unlock()
+				default:
+					t.Errorf("untyped rejection: %v", err)
+					return
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var done, failed int
+	for _, sub := range accepted {
+		j, err := s.Wait(ctx, sub.id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", sub.id, err)
+		}
+		switch j.Status {
+		case StatusDone:
+			done++
+			if len(j.Plan) != totalprocs {
+				t.Fatalf("job %s: plan has %d rows", j.ID, len(j.Plan))
+			}
+			// Independent re-verification: the server's word is not
+			// trusted here.
+			rep := verify.Plan(sub.in, &lrp.Plan{X: j.Plan}, -1, verify.Options{})
+			if !rep.Ok() {
+				t.Fatalf("job %s: served plan fails verification: %v", j.ID, rep.Err())
+			}
+			if j.Metrics == nil {
+				t.Fatalf("job %s: done without metrics", j.ID)
+			}
+		case StatusFailed:
+			failed++
+		default:
+			t.Fatalf("job %s: unexpected terminal status %s", j.ID, j.Status)
+		}
+	}
+	if done == 0 {
+		t.Fatalf("no job succeeded (failed %d, overloaded %d)", failed, overload)
+	}
+	// With a clean backend behind the router, faults should mostly fail
+	// over rather than fail the job.
+	if done < len(accepted)/2 {
+		t.Fatalf("only %d/%d accepted jobs succeeded under chaos", done, len(accepted))
+	}
+	t.Logf("chaos: accepted %d (done %d, failed %d), overloaded %d", len(accepted), done, failed, overload)
+
+	// Drain must finish within its deadline.
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := s.Submit(&Request{Tasks: []int{4, 4}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit err = %v, want ErrDraining", err)
+	}
+
+	// No goroutine leaks: allow the runtime a moment to land exiting
+	// goroutines, then require the count back near the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after drain\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest hardens the /solve JSON decode path: arbitrary
+// bodies must either produce a request that passes validation or a
+// clean error — never a panic, and never a request that validation
+// would have rejected.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"tasks":[4,4,4],"weights":[8,2,2]}`))
+	f.Add([]byte(`{"tenant":"t","tasks":[2,2],"form":"qcqm2","k":1,"budget_ms":100,"seed":7}`))
+	f.Add([]byte(`{"tasks":[1]}`))
+	f.Add([]byte(`{"tasks":[4,4]} {"tasks":[4,4]}`))
+	f.Add([]byte(`{"tasks":[-1,2]}`))
+	f.Add([]byte(`{"tasks":[4,4],"unknown":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"weights":[1e309]}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		lim := Limits{MaxProcs: 16, MaxTasksPerProc: 1 << 10, MaxBodyBytes: 1 << 16}
+		req, err := DecodeRequest(bytes.NewReader(body), lim)
+		if err != nil {
+			return
+		}
+		// A decoded request must be internally consistent: re-validation
+		// passes and the derived build options are well-formed.
+		if verr := req.Validate(lim); verr != nil {
+			t.Fatalf("decoded request fails re-validation: %v (body %q)", verr, body)
+		}
+		if req.Tenant == "" {
+			t.Fatal("decoded request has empty tenant after validation")
+		}
+		if k := req.k(); k == 0 {
+			t.Fatalf("derived K must never be 0 (unconstrained is -1), got %d", k)
+		}
+	})
+}

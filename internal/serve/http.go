@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API over s:
+//
+//	GET  /healthz   — liveness: 200 {"status":"ok",...} or 503 while draining
+//	POST /solve     — submit a Request; 202 {job} on admission,
+//	                  400 invalid, 429 overload/rate/budget, 503 draining
+//	GET  /jobs/{id} — job snapshot; 404 unknown id
+//	GET  /metrics   — plain-text snapshot of the obs registry
+//
+// Responses are JSON except /metrics. Admission errors carry their
+// typed cause in the "error" field so clients can distinguish
+// back-off-and-retry (429) from go-away (503).
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
+		body := http.MaxBytesReader(w, r.Body, s.opt.Limits.withDefaults().MaxBodyBytes)
+		req, err := DecodeRequest(body, s.opt.Limits)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := s.Submit(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(s.Obs().Snapshot().Text())) //nolint:errcheck
+	})
+	return mux
+}
+
+// statusFor maps typed admission errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

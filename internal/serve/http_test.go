@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opt.Backend == nil {
+		opt.Backend = &instantBackend{}
+	}
+	if opt.Clock == nil {
+		opt.Clock = fakeClock(t)
+	}
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck
+	})
+	return s, ts
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+// TestHTTPSolveLifecycle: POST /solve → 202 + id, poll /jobs/{id} to
+// done, plan and metrics in the payload.
+func TestHTTPSolveLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Options{NoRateLimit: true})
+	resp, out := postSolve(t, ts, `{"tasks":[4,4,4],"weights":[8,2,2],"budget_ms":1000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /solve status = %d, want 202 (%v)", resp.StatusCode, out)
+	}
+	id, _ := out["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", out)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var job Job
+	if err := json.NewDecoder(r2.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != StatusDone {
+		t.Fatalf("job status = %s (err %q), want done", job.Status, job.Error)
+	}
+	if len(job.Plan) != 3 || job.Metrics == nil {
+		t.Fatalf("job payload incomplete: plan %d rows, metrics %v", len(job.Plan), job.Metrics)
+	}
+}
+
+// TestHTTPBadRequests: malformed and invalid bodies are 400 with an
+// error message; unknown jobs are 404.
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{NoRateLimit: true})
+	for _, body := range []string{
+		`{`,                       // truncated
+		`{"tasks":[4,4]} trailer`, // trailing garbage
+		`{"tasks":[4,4],"bogus":1}`,
+		`{"tasks":[4]}`,
+		`{"tasks":[4,3]}`, // non-uniform
+	} {
+		resp, out := postSolve(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q status = %d, want 400", body, resp.StatusCode)
+		}
+		if out["error"] == "" {
+			t.Fatalf("body %q: no error message", body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/jobs/j99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPOverloadIs429: token-bucket rejection surfaces as 429.
+func TestHTTPOverloadIs429(t *testing.T) {
+	_, ts := newTestServer(t, Options{Rate: 0.001, Burst: 1})
+	if resp, out := postSolve(t, ts, `{"tasks":[4,4]}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first request status = %d (%v)", resp.StatusCode, out)
+	}
+	resp, out := postSolve(t, ts, `{"tasks":[4,4]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("burst overflow status = %d, want 429 (%v)", resp.StatusCode, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "rate limit") {
+		t.Fatalf("429 error = %q, want rate limit cause", msg)
+	}
+}
+
+// TestHTTPHealthAndMetrics: /healthz flips to 503 on drain; /metrics
+// renders a non-empty text snapshot.
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Options{NoRateLimit: true})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	postSolve(t, ts, `{"tasks":[4,4]}`)
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "serve.submitted") {
+		t.Fatalf("/metrics missing serve counters:\n%s", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp2.StatusCode)
+	}
+	resp3, out := postSolve(t, ts, `{"tasks":[4,4]}`)
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST status = %d, want 503 (%v)", resp3.StatusCode, out)
+	}
+}

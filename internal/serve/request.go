@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/qlrb"
+)
+
+// Limits bounds what a single request may ask of the server. They are
+// admission-side validation, applied before any queue or solver
+// resource is consumed.
+type Limits struct {
+	// MaxProcs caps the instance size M (default 64).
+	MaxProcs int
+	// MaxTasksPerProc caps each entry of the task vector (default 1 << 20).
+	MaxTasksPerProc int
+	// MaxBodyBytes caps the request body the HTTP layer will read
+	// (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxProcs <= 0 {
+		l.MaxProcs = 64
+	}
+	if l.MaxTasksPerProc <= 0 {
+		l.MaxTasksPerProc = 1 << 20
+	}
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = 1 << 20
+	}
+	return l
+}
+
+// Request is one rebalancing job submission: the LRP instance plus
+// solve parameters. The zero values of the optional fields select the
+// server's defaults.
+type Request struct {
+	// Tenant identifies the submitting tenant for rate limiting and
+	// budget accounting (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Tasks[j] is the number of (unit) tasks on process j.
+	Tasks []int `json:"tasks"`
+	// Weights, when non-empty, gives per-process task weights
+	// (len == len(Tasks)); empty means uniform unit weights.
+	Weights []float64 `json:"weights,omitempty"`
+	// Form selects the CQM formulation: "qcqm1" (default) or "qcqm2".
+	Form string `json:"form,omitempty"`
+	// K caps total migrations; 0 means unconstrained (encoded as K=-1).
+	K int `json:"k,omitempty"`
+	// BudgetMs is the solve budget in milliseconds; 0 selects the
+	// server's default, and the server's MaxBudget caps it either way.
+	BudgetMs int `json:"budget_ms,omitempty"`
+	// Seed makes the solve reproducible; 0 selects the server default.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DecodeRequest parses a JSON request body, rejecting unknown fields
+// and trailing garbage, and validates it against lim. It is the single
+// decode path for the HTTP handler and the fuzz target.
+func DecodeRequest(r io.Reader, lim Limits) (*Request, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: bad request body: %w", err)
+	}
+	// A second document after the first is a malformed request, not
+	// extra work to do.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, errors.New("serve: trailing data after JSON request")
+	}
+	if err := req.Validate(lim); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate normalizes defaults and applies lim. It mutates req only to
+// fill the Tenant default.
+func (req *Request) Validate(lim Limits) error {
+	lim = lim.withDefaults()
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if len(req.Tenant) > 128 {
+		return errors.New("serve: tenant name too long")
+	}
+	if len(req.Tasks) < 2 {
+		return errors.New("serve: need at least 2 processes")
+	}
+	if len(req.Tasks) > lim.MaxProcs {
+		return fmt.Errorf("serve: %d processes exceeds limit %d", len(req.Tasks), lim.MaxProcs)
+	}
+	for j, n := range req.Tasks {
+		if n < 1 {
+			return fmt.Errorf("serve: tasks[%d] = %d, want >= 1", j, n)
+		}
+		if n > lim.MaxTasksPerProc {
+			return fmt.Errorf("serve: tasks[%d] = %d exceeds limit %d", j, n, lim.MaxTasksPerProc)
+		}
+		// The paper's CQM formulations assume a uniform instance: the
+		// same task count everywhere, with imbalance expressed through
+		// the per-process weights. Reject at admission (400) rather than
+		// failing the job later in the build stage.
+		if n != req.Tasks[0] {
+			return fmt.Errorf("serve: task counts must be uniform (got %v); encode imbalance via weights", req.Tasks)
+		}
+	}
+	if len(req.Weights) != 0 && len(req.Weights) != len(req.Tasks) {
+		return fmt.Errorf("serve: %d weights for %d processes", len(req.Weights), len(req.Tasks))
+	}
+	for j, w := range req.Weights {
+		if w < 0 || w != w { // negative or NaN
+			return fmt.Errorf("serve: weights[%d] = %v is invalid", j, w)
+		}
+	}
+	switch strings.ToLower(req.Form) {
+	case "", "qcqm1", "qcqm2":
+	default:
+		return fmt.Errorf("serve: unknown formulation %q (want qcqm1 or qcqm2)", req.Form)
+	}
+	if req.K < 0 {
+		return fmt.Errorf("serve: k = %d is negative (omit for unconstrained)", req.K)
+	}
+	if req.BudgetMs < 0 {
+		return fmt.Errorf("serve: budget_ms = %d is negative", req.BudgetMs)
+	}
+	return nil
+}
+
+// formulation maps the request's form string to the build option.
+func (req *Request) formulation() qlrb.Formulation {
+	if strings.EqualFold(req.Form, "qcqm2") {
+		return qlrb.QCQM2
+	}
+	return qlrb.QCQM1
+}
+
+// k maps the request's migration cap to BuildOptions.K, where the
+// request's "0 = unconstrained" becomes the builder's K = -1.
+func (req *Request) k() int {
+	if req.K <= 0 {
+		return -1
+	}
+	return req.K
+}

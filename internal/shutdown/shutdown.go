@@ -1,0 +1,33 @@
+// Package shutdown centralizes the repository's termination-signal
+// handling. Every long-running entry point — the one-shot CLIs
+// (cmd/qulrb, cmd/experiments) and the serving daemon (cmd/qulrbd) —
+// must react identically to SIGINT (interactive ^C) and SIGTERM (what
+// batch schedulers and container runtimes send before SIGKILL): cancel
+// outstanding work, let iterative solvers yield their best partial
+// result, and exit cleanly. This package is that one shared definition,
+// so a new signal (or a platform quirk) is handled in one place.
+package shutdown
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Signals returns the termination signals every entry point listens
+// for: SIGINT and SIGTERM.
+func Signals() []os.Signal {
+	return []os.Signal{os.Interrupt, syscall.SIGTERM}
+}
+
+// Context returns a copy of parent that is cancelled on the first
+// SIGINT or SIGTERM (or when parent is cancelled). The returned stop
+// function unregisters the signal handlers and releases resources;
+// call it as soon as the program no longer needs the notification — a
+// second signal after stop kills the process with the default
+// disposition, which is the conventional "hit ^C twice to force quit"
+// escape hatch.
+func Context(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, Signals()...)
+}

@@ -1,0 +1,51 @@
+package shutdown
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestContextCancelsOnSIGTERM sends the process a real SIGTERM and
+// asserts the derived context observes it. The handler registered by
+// Context consumes the signal, so the test binary survives.
+func TestContextCancelsOnSIGTERM(t *testing.T) {
+	ctx, stop := Context(context.Background())
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled within 5s of SIGTERM")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
+
+// TestContextParentCancellation propagates parent cancellation without
+// any signal involved.
+func TestContextParentCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := Context(parent)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation not propagated")
+	}
+}
+
+// TestSignalsCoversTermAndInt pins the signal set other packages rely
+// on (cmd wiring and the daemon's drain path).
+func TestSignalsCoversTermAndInt(t *testing.T) {
+	got := Signals()
+	if len(got) != 2 {
+		t.Fatalf("Signals() = %v, want 2 entries", got)
+	}
+}
