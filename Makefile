@@ -1,8 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
+# bench-diff / perf-gate knobs: the committed baseline to diff against,
+# and the relative tolerance applied to allocs/op (work counters and
+# qubit counts always compare exactly; see cmd/benchdiff).
+BASE ?= BENCH_8.json
+TOL ?= 0.1
 
-.PHONY: check build vet fmt test race bench bench-json fault-demo fuzz-smoke daemon-smoke
+.PHONY: check build vet fmt test race bench bench-json bench-diff perf-gate fault-demo fuzz-smoke daemon-smoke
 
 # check is the CI gate: vet + formatting + full shuffled tests + the
 # race detector over every package.
@@ -31,16 +36,37 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# bench-json runs the paper-metric benchmarks (root tables/figures,
-# annealer flips/s, CQM evaluator hot path) once each and converts the
-# text output into a machine-readable $(BENCH_JSON) artifact — custom
-# metrics like flips/s survive verbatim. The intermediate text file
-# keeps the pipeline failure-honest: a failing bench run stops make
-# before anything is converted.
+# bench-json runs the paper-metric benchmarks and converts the text
+# output into a machine-readable $(BENCH_JSON) artifact — custom
+# metrics like the annealer's flips/s survive verbatim. The root
+# tables/figures are full experiments, so they run once; the hot-path
+# packages (sa, tabu, cqm, serve) run 100 warm iterations with -benchmem
+# so their per-op timings and allocs/op are measurements, not cold
+# single-shot noise. The intermediate text file is truncated up front
+# and removed even when a bench run fails, so an aborted run cannot
+# leave a stale $(BENCH_JSON).txt behind or feed it to a later convert.
 bench-json:
-	$(GO) test -run=^$$ -bench=. -benchtime=1x . ./internal/sa ./internal/cqm ./internal/serve > $(BENCH_JSON).txt
+	@rm -f $(BENCH_JSON).txt
+	$(GO) test -run=^$$ -bench=. -benchtime=1x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
+	$(GO) test -run=^$$ -bench=. -benchtime=100x -benchmem ./internal/sa ./internal/tabu ./internal/cqm ./internal/serve >> $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON).txt
 	@rm -f $(BENCH_JSON).txt
+
+# bench-diff re-runs the benchmarks and diffs them against the
+# committed $(BASE) report: deterministic metrics (flips, moves,
+# allocs/op, qubit counts) gate with a non-zero exit, wall-clock
+# metrics are advisory. The delta table lands in bench_delta.md.
+bench-diff:
+	$(MAKE) bench-json BENCH_JSON=bench_current.json
+	$(GO) run ./cmd/benchdiff -base $(BASE) -new bench_current.json -table bench_delta.md -tol $(TOL)
+
+# perf-gate is the merge-blocking performance check: the TestPerfGate*
+# unit gates (zero-alloc inner loops, exact deterministic flip counts)
+# plus a benchdiff against the committed baseline. Everything it gates
+# on is machine-independent, so it cannot flake on runner timing noise.
+perf-gate:
+	$(GO) test -run='^TestPerfGate' -count=1 ./internal/sa ./internal/tabu ./internal/cqm
+	$(MAKE) bench-diff
 
 # fuzz-smoke gives every fuzz target a short randomized shake
 # (FUZZTIME per corpus, ~10s default) — enough to catch shallow
@@ -53,6 +79,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseTraceLog -fuzztime=$(FUZZTIME) ./internal/chameleon
 	$(GO) test -run='^$$' -fuzz=FuzzReadInput -fuzztime=$(FUZZTIME) ./internal/csvio
 	$(GO) test -run='^$$' -fuzz=FuzzReadModel -fuzztime=$(FUZZTIME) ./internal/cqm
+	$(GO) test -run='^$$' -fuzz=FuzzEvaluator -fuzztime=$(FUZZTIME) ./internal/cqm
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve
 
 # daemon-smoke exercises the serving daemon end to end from the

@@ -1,0 +1,224 @@
+// benchdiff compares two benchmark JSON reports (as written by
+// `make bench-json` / cmd/benchjson) and renders a per-metric delta
+// table.
+//
+//	benchdiff -base BENCH_7.json -new BENCH_8.json -table bench_delta.md
+//
+// Metrics split into two classes:
+//
+//   - Deterministic metrics — allocs/op, the annealers' flips and moves
+//     work counters, and the qubits_* formulation sizes — are exact on
+//     any machine, so a change is a real code change, never noise.
+//     benchdiff exits non-zero when one regresses — beyond -tol for
+//     allocs/op (a GC emptying a sync.Pool mid-run can wiggle it), with
+//     exact comparison for work counters and qubit counts — or when a
+//     benchmark that carried one disappears from the new report.
+//   - Wall-clock metrics (ns/op, flips/s, req/s, ...) vary with the
+//     host and are reported for humans but never gate.
+//
+// This is what lets CI block on performance-relevant regressions
+// without flaking on shared-runner timing noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+)
+
+// metricClass describes how one metric unit is judged.
+type metricClass struct {
+	deterministic bool
+	// dir is +1 when higher is better, -1 when lower is better, and 0
+	// when any change is a regression (exact-match metrics).
+	dir int
+}
+
+// classify assigns gating semantics to a metric unit.
+func classify(unit string) metricClass {
+	switch unit {
+	case "allocs/op":
+		return metricClass{deterministic: true, dir: -1}
+	case "flips", "moves":
+		// Deterministic work counters: fewer means the benchmark's
+		// workload silently shrank; more is impossible at a fixed budget
+		// and means the workload definition changed — flag both.
+		return metricClass{deterministic: true, dir: 0}
+	case "flips/s", "moves/s", "req/s":
+		return metricClass{dir: +1}
+	}
+	if strings.HasPrefix(unit, "qubits") {
+		// Formulation sizes are exact; any drift is a model change.
+		return metricClass{deterministic: true, dir: 0}
+	}
+	if strings.Contains(unit, "speedup") {
+		return metricClass{dir: +1}
+	}
+	// ns/op, B/op, migration counts, unknown custom units: advisory,
+	// lower assumed better for display.
+	return metricClass{dir: -1}
+}
+
+// row is one rendered comparison line.
+type row struct {
+	bench, unit        string
+	base, new_, deltaP float64
+	gated, regressed   bool
+}
+
+// diff compares two reports and returns the table rows plus the list of
+// human-readable gate failures.
+func diff(base, cur *benchfmt.Report, tol float64) (rows []row, failures []string) {
+	curByKey := map[string]benchfmt.Result{}
+	for _, b := range cur.Benchmarks {
+		curByKey[b.Pkg+"."+b.Name] = b
+	}
+	for _, b := range base.Benchmarks {
+		key := b.Pkg + "." + b.Name
+		nb, ok := curByKey[key]
+		if !ok {
+			for unit := range b.Metrics {
+				if classify(unit).deterministic {
+					failures = append(failures,
+						fmt.Sprintf("%s: gated benchmark missing from new report", key))
+					break
+				}
+			}
+			continue
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := b.Metrics[unit]
+			nv, ok := nb.Metrics[unit]
+			cl := classify(unit)
+			if !ok {
+				if cl.deterministic {
+					failures = append(failures,
+						fmt.Sprintf("%s %s: gated metric missing from new report", key, unit))
+				}
+				continue
+			}
+			deltaP := math.Inf(1)
+			if bv != 0 {
+				deltaP = (nv - bv) / math.Abs(bv) * 100
+			} else if nv == 0 {
+				deltaP = 0
+			}
+			r := row{bench: key, unit: unit, base: bv, new_: nv, deltaP: deltaP, gated: cl.deterministic}
+			if cl.deterministic {
+				worse := false
+				switch cl.dir {
+				case -1:
+					worse = nv > bv*(1+tol)+1e-12
+				case +1:
+					worse = nv < bv*(1-tol)-1e-12
+				case 0:
+					// Exact-match metrics: -tol does not apply, any
+					// drift is a real change.
+					worse = nv != bv
+				}
+				if worse {
+					r.regressed = true
+					failures = append(failures,
+						fmt.Sprintf("%s %s: %s -> %s (%+.2f%%) beyond tolerance %.2g",
+							key, unit, fmtVal(bv), fmtVal(nv), deltaP, tol))
+				}
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, failures
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// writeTable renders the delta table as markdown.
+func writeTable(w io.Writer, rows []row, failures []string) {
+	fmt.Fprintln(w, "| benchmark | metric | base | new | delta | gate |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		gate := ""
+		switch {
+		case r.regressed:
+			gate = "REGRESSED"
+		case r.gated:
+			gate = "ok"
+		}
+		delta := fmt.Sprintf("%+.2f%%", r.deltaP)
+		if math.IsInf(r.deltaP, 0) {
+			delta = "n/a"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			r.bench, r.unit, fmtVal(r.base), fmtVal(r.new_), delta, gate)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(w, "\n**FAIL** %s\n", f)
+	}
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline benchmark JSON report (required)")
+	newPath := flag.String("new", "", "new benchmark JSON report (required)")
+	tol := flag.Float64("tol", 0.001, "relative tolerance for deterministic metrics")
+	table := flag.String("table", "", "also write the markdown delta table to this file")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	rows, failures := diff(base, cur, *tol)
+	writeTable(os.Stdout, rows, failures)
+	if *table != "" {
+		if err := experiments.WriteFileAtomic(*table, func(w io.Writer) error {
+			writeTable(w, rows, failures)
+			return nil
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d deterministic metric regression(s)\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchdiff: no deterministic regressions")
+}
+
+func load(path string) (*benchfmt.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchfmt.ReadJSON(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func report(benches ...benchfmt.Result) *benchfmt.Report {
+	return &benchfmt.Report{Benchmarks: benches}
+}
+
+func bench(pkg, name string, metrics map[string]float64) benchfmt.Result {
+	return benchfmt.Result{Pkg: pkg, Name: name, Procs: 1, Iterations: 1, Metrics: metrics}
+}
+
+func TestDiffPassesOnIdenticalDeterministicMetrics(t *testing.T) {
+	base := report(
+		bench("repro/internal/sa", "BenchmarkAnnealHotLoop",
+			map[string]float64{"ns/op": 500000, "flips": 12800, "flips/s": 2.5e7}),
+		bench("repro", "BenchmarkTable1Qubits",
+			map[string]float64{"ns/op": 1e7, "qubits_qcqm1": 7688}),
+	)
+	cur := report(
+		bench("repro/internal/sa", "BenchmarkAnnealHotLoop",
+			map[string]float64{"ns/op": 900000, "flips": 12800, "flips/s": 1.4e7}),
+		bench("repro", "BenchmarkTable1Qubits",
+			map[string]float64{"ns/op": 2e7, "qubits_qcqm1": 7688}),
+	)
+	rows, failures := diff(base, cur, 0.001)
+	if len(failures) != 0 {
+		t.Fatalf("wall-clock slowdown must not gate, got failures %v", failures)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+}
+
+func TestDiffFailsOnDeterministicRegression(t *testing.T) {
+	cases := []struct {
+		name       string
+		base, cur  map[string]float64
+		wantInFail string
+	}{
+		{"allocs grew",
+			map[string]float64{"allocs/op": 0}, map[string]float64{"allocs/op": 3}, "allocs/op"},
+		{"flips shrank",
+			map[string]float64{"flips": 12800}, map[string]float64{"flips": 6400}, "flips"},
+		{"flips inflated",
+			map[string]float64{"flips": 12800}, map[string]float64{"flips": 25600}, "flips"},
+		{"qubits drifted",
+			map[string]float64{"qubits_qcqm1": 7688}, map[string]float64{"qubits_qcqm1": 7690}, "qubits_qcqm1"},
+		{"moves shrank",
+			map[string]float64{"moves": 400}, map[string]float64{"moves": 12}, "moves"},
+	}
+	for _, tc := range cases {
+		_, failures := diff(report(bench("p", "BenchmarkX", tc.base)),
+			report(bench("p", "BenchmarkX", tc.cur)), 0.001)
+		if len(failures) != 1 || !strings.Contains(failures[0], tc.wantInFail) {
+			t.Errorf("%s: failures = %v, want one mentioning %q", tc.name, failures, tc.wantInFail)
+		}
+	}
+}
+
+func TestDiffFailsOnMissingGatedBenchmark(t *testing.T) {
+	base := report(bench("p", "BenchmarkX", map[string]float64{"flips": 12800, "ns/op": 1000}))
+	_, failures := diff(base, report(), 0.001)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v, want one missing-benchmark failure", failures)
+	}
+
+	// A benchmark with only wall-clock metrics may come and go freely.
+	base = report(bench("p", "BenchmarkY", map[string]float64{"ns/op": 1000}))
+	if _, failures := diff(base, report(), 0.001); len(failures) != 0 {
+		t.Fatalf("advisory-only benchmark must not gate when missing, got %v", failures)
+	}
+
+	// A gated metric vanishing from a still-present benchmark gates too.
+	base = report(bench("p", "BenchmarkZ", map[string]float64{"flips": 12800, "ns/op": 1000}))
+	cur := report(bench("p", "BenchmarkZ", map[string]float64{"ns/op": 1000}))
+	if _, failures := diff(base, cur, 0.001); len(failures) != 1 {
+		t.Fatalf("failures = %v, want one missing-metric failure", failures)
+	}
+}
+
+func TestDiffToleratesAllocNoiseWithinTol(t *testing.T) {
+	// A GC emptying a sync.Pool mid-benchmark can wiggle allocs/op
+	// slightly; the tolerance knob absorbs it when the caller asks.
+	base := report(bench("p", "BenchmarkX", map[string]float64{"allocs/op": 100}))
+	cur := report(bench("p", "BenchmarkX", map[string]float64{"allocs/op": 101}))
+	if _, failures := diff(base, cur, 0.05); len(failures) != 0 {
+		t.Fatalf("1%% alloc growth under 5%% tol must pass, got %v", failures)
+	}
+	if _, failures := diff(base, cur, 0.001); len(failures) != 1 {
+		t.Fatalf("1%% alloc growth under 0.1%% tol must fail")
+	}
+}
+
+func TestWriteTableMarksRegressions(t *testing.T) {
+	base := report(bench("p", "BenchmarkX", map[string]float64{"flips": 12800, "ns/op": 1000}))
+	cur := report(bench("p", "BenchmarkX", map[string]float64{"flips": 6400, "ns/op": 900}))
+	rows, failures := diff(base, cur, 0.001)
+	var sb strings.Builder
+	writeTable(&sb, rows, failures)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "**FAIL**") {
+		t.Fatalf("table missing regression markers:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@ package benchfmt
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -37,6 +38,19 @@ type Report struct {
 	GoArch     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// ReadJSON reads a Report previously serialized to JSON (a BENCH_*.json
+// artifact written by cmd/benchjson). Unknown fields are rejected so a
+// mangled or wrong-schema file fails loudly instead of diffing as empty.
+func ReadJSON(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	rep := &Report{}
+	if err := dec.Decode(rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return rep, nil
 }
 
 // Parse reads a `go test -bench` text stream. Non-benchmark lines

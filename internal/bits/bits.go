@@ -1,0 +1,121 @@
+// Package bits provides the packed uint64 bitset that backs assignment
+// state throughout the solve hot path. The annealing and tabu inner
+// loops (internal/sa, internal/tabu) read and flip millions of binary
+// variables per second; a []bool burns one byte — and one cache line
+// per 64 variables — where a bitset word burns one bit, so the whole
+// assignment of a paper-sized model fits in a handful of cache lines.
+// The independent verifier (internal/verify) uses the same packed form
+// to re-scan a sample against every constraint without re-reading a
+// byte-per-variable slice once per constraint.
+//
+// A Set is a plain []uint64 with no length header of its own: callers
+// that need the variable count carry it alongside, which keeps the type
+// free to alias into pooled scratch buffers.
+package bits
+
+import "math/bits"
+
+// Set is a packed bitset: bit i lives in word i/64 at position i%64.
+type Set []uint64
+
+// WordsFor returns the number of words needed for n bits.
+func WordsFor(n int) int { return (n + 63) / 64 }
+
+// New returns a zeroed Set with capacity for n bits.
+func New(n int) Set { return make(Set, WordsFor(n)) }
+
+// Get reports whether bit i is set.
+func (s Set) Get(i int) bool { return s[uint(i)>>6]>>(uint(i)&63)&1 != 0 }
+
+// Set2 sets bit i to v. (Named to leave the type's own name free; the
+// hot paths use SetTrue/SetFalse/Flip directly.)
+func (s Set) Set2(i int, v bool) {
+	if v {
+		s[uint(i)>>6] |= 1 << (uint(i) & 63)
+	} else {
+		s[uint(i)>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip inverts bit i.
+func (s Set) Flip(i int) { s[uint(i)>>6] ^= 1 << (uint(i) & 63) }
+
+// Clear zeroes every word.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// CopyFrom copies t into s. The sets must be the same length.
+func (s Set) CopyFrom(t Set) { copy(s, t) }
+
+// Equal reports whether s and t contain identical words.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	total := 0
+	for _, w := range s {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// FromBools packs a []bool into a fresh Set.
+func FromBools(x []bool) Set {
+	s := New(len(x))
+	s.PackBools(x)
+	return s
+}
+
+// PackBools packs x into s, which must have at least WordsFor(len(x))
+// words; words beyond the packed range are left untouched, bits beyond
+// len(x) in the last touched word are zeroed.
+func (s Set) PackBools(x []bool) {
+	nw := WordsFor(len(x))
+	for w := 0; w < nw; w++ {
+		var word uint64
+		base := w << 6
+		end := base + 64
+		if end > len(x) {
+			end = len(x)
+		}
+		for i := base; i < end; i++ {
+			if x[i] {
+				word |= 1 << (uint(i) & 63)
+			}
+		}
+		s[w] = word
+	}
+}
+
+// ToBools decodes the first n bits into a fresh []bool.
+func (s Set) ToBools(n int) []bool {
+	return s.AppendBools(make([]bool, 0, n), n)
+}
+
+// AppendBools appends the first n bits to dst and returns it.
+func (s Set) AppendBools(dst []bool, n int) []bool {
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.Get(i))
+	}
+	return dst
+}
+
+// UnpackBools decodes the first len(x) bits into x in place.
+func (s Set) UnpackBools(x []bool) {
+	for i := range x {
+		x[i] = s.Get(i)
+	}
+}

@@ -1,0 +1,120 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := WordsFor(c.n); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSetGetFlipRoundTrip(t *testing.T) {
+	const n = 131 // crosses word boundaries, ends mid-word
+	s := New(n)
+	ref := make([]bool, n)
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 10_000; step++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Intn(2) == 0
+			s.Set2(i, v)
+			ref[i] = v
+		case 1:
+			s.Flip(i)
+			ref[i] = !ref[i]
+		case 2:
+			if s.Get(i) != ref[i] {
+				t.Fatalf("step %d: Get(%d) = %v, want %v", step, i, s.Get(i), ref[i])
+			}
+		}
+	}
+	for i := range ref {
+		if s.Get(i) != ref[i] {
+			t.Fatalf("final: Get(%d) = %v, want %v", i, s.Get(i), ref[i])
+		}
+	}
+	count := 0
+	for _, v := range ref {
+		if v {
+			count++
+		}
+	}
+	if got := s.Count(); got != count {
+		t.Fatalf("Count = %d, want %d", got, count)
+	}
+}
+
+func TestPackUnpackBools(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 257} {
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 0
+		}
+		s := FromBools(x)
+		back := s.ToBools(n)
+		if len(back) != n {
+			t.Fatalf("n=%d: ToBools returned %d values", n, len(back))
+		}
+		for i := range x {
+			if back[i] != x[i] {
+				t.Fatalf("n=%d: bit %d mismatch", n, i)
+			}
+		}
+		inPlace := make([]bool, n)
+		s.UnpackBools(inPlace)
+		for i := range x {
+			if inPlace[i] != x[i] {
+				t.Fatalf("n=%d: UnpackBools bit %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestPackBoolsZeroesTailBits(t *testing.T) {
+	s := New(70)
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+	x := make([]bool, 70) // all false
+	s.PackBools(x)
+	for i := 0; i < 70; i++ {
+		if s.Get(i) {
+			t.Fatalf("bit %d survived PackBools of all-false", i)
+		}
+	}
+	if s[1] != 0 {
+		t.Fatalf("tail bits of last word not zeroed: %#x", s[1])
+	}
+}
+
+func TestCopyEqualClear(t *testing.T) {
+	a := FromBools([]bool{true, false, true})
+	b := New(3)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("copied sets reported unequal")
+	}
+	if !a.Equal(a) {
+		t.Fatal("set not equal to itself")
+	}
+	if a.Equal(New(100)) {
+		t.Fatal("different-length sets reported equal")
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatal("Clear left bits set")
+	}
+}

@@ -1,11 +1,189 @@
 package cqm
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+)
+
+// layout is the immutable, cache-packed view of a model that the hot
+// loop walks: every slice-of-slices adjacency of the old evaluator is
+// flattened into CSR-style arrays (one offset index plus flat term
+// arrays), so a flip of variable v reads three contiguous ranges
+// instead of chasing per-variable slice headers across the heap.
+//
+// A layout is built once per model and shared by every evaluator on
+// it (annealing restarts, tempering replicas, portfolio workers); the
+// model caches it and invalidates on mutation.
+type layout struct {
+	n int
+
+	// linCoef is the merged linear objective coefficient per variable.
+	linCoef []float64
+
+	// Quadratic adjacency: neighbours of v are quadVar/quadCoef in
+	// [quadOff[v], quadOff[v+1]).
+	quadOff  []int32
+	quadVar  []int32
+	quadCoef []float64
+
+	// Squared-expression memberships of v: sqIdx/sqCoef in
+	// [sqOff[v], sqOff[v+1]).
+	sqOff  []int32
+	sqIdx  []int32
+	sqCoef []float64
+
+	// Constraint memberships of v: conIdx/conCoef in
+	// [conOff[v], conOff[v+1]).
+	conOff  []int32
+	conIdx  []int32
+	conCoef []float64
+
+	// Per-constraint feasible band [lo, hi]: Eq pins lo == hi == RHS,
+	// Le leaves lo at -Inf, Ge leaves hi at +Inf. Encoding the sense as
+	// a band keeps the penalty kernel branch-lean: the violation gap is
+	// max(0, lhs-hi) + max(0, lo-lhs) for every sense.
+	conLo []float64
+	conHi []float64
+}
+
+const maxLayoutTerms = math.MaxInt32
+
+func buildLayout(m *Model) *layout {
+	n := m.NumVars()
+	if n > maxLayoutTerms {
+		panic(fmt.Sprintf("cqm: %d variables exceed the evaluator's int32 layout limit", n))
+	}
+	lay := &layout{
+		n:       n,
+		linCoef: make([]float64, n),
+		quadOff: make([]int32, n+1),
+		sqOff:   make([]int32, n+1),
+		conOff:  make([]int32, n+1),
+		conLo:   make([]float64, len(m.constraints)),
+		conHi:   make([]float64, len(m.constraints)),
+	}
+	for _, t := range m.objLinear {
+		lay.linCoef[t.Var] += t.Coef
+	}
+
+	// Counting-sort each adjacency into CSR form. Iteration order is
+	// the old evaluator's append order, so per-variable term order — and
+	// with it every float accumulation order downstream — is preserved
+	// exactly.
+	counts := make([]int32, n)
+	for _, q := range m.objQuad {
+		counts[q.A]++
+		counts[q.B]++
+	}
+	total := fillOffsets(lay.quadOff, counts)
+	lay.quadVar = make([]int32, total)
+	lay.quadCoef = make([]float64, total)
+	cursor := append([]int32(nil), lay.quadOff[:n]...)
+	for _, q := range m.objQuad {
+		i := cursor[q.A]
+		cursor[q.A]++
+		lay.quadVar[i] = int32(q.B)
+		lay.quadCoef[i] = q.Coef
+		i = cursor[q.B]
+		cursor[q.B]++
+		lay.quadVar[i] = int32(q.A)
+		lay.quadCoef[i] = q.Coef
+	}
+
+	for i := range counts {
+		counts[i] = 0
+	}
+	for si := range m.objSquares {
+		for _, t := range m.objSquares[si].Terms {
+			counts[t.Var]++
+		}
+	}
+	total = fillOffsets(lay.sqOff, counts)
+	lay.sqIdx = make([]int32, total)
+	lay.sqCoef = make([]float64, total)
+	copy(cursor, lay.sqOff[:n])
+	for si := range m.objSquares {
+		for _, t := range m.objSquares[si].Terms {
+			i := cursor[t.Var]
+			cursor[t.Var]++
+			lay.sqIdx[i] = int32(si)
+			lay.sqCoef[i] = t.Coef
+		}
+	}
+
+	for i := range counts {
+		counts[i] = 0
+	}
+	for ci := range m.constraints {
+		for _, t := range m.constraints[ci].Expr.Terms {
+			counts[t.Var]++
+		}
+	}
+	total = fillOffsets(lay.conOff, counts)
+	lay.conIdx = make([]int32, total)
+	lay.conCoef = make([]float64, total)
+	copy(cursor, lay.conOff[:n])
+	for ci := range m.constraints {
+		for _, t := range m.constraints[ci].Expr.Terms {
+			i := cursor[t.Var]
+			cursor[t.Var]++
+			lay.conIdx[i] = int32(ci)
+			lay.conCoef[i] = t.Coef
+		}
+	}
+
+	for ci := range m.constraints {
+		c := &m.constraints[ci]
+		switch c.Sense {
+		case Eq:
+			lay.conLo[ci], lay.conHi[ci] = c.RHS, c.RHS
+		case Le:
+			lay.conLo[ci], lay.conHi[ci] = math.Inf(-1), c.RHS
+		case Ge:
+			lay.conLo[ci], lay.conHi[ci] = c.RHS, math.Inf(1)
+		}
+	}
+	return lay
+}
+
+// fillOffsets turns per-variable counts into CSR offsets (off has
+// len(counts)+1 entries) and returns the total term count.
+func fillOffsets(off []int32, counts []int32) int {
+	var total int64
+	for i, c := range counts {
+		off[i] = int32(total)
+		total += int64(c)
+	}
+	if total > maxLayoutTerms {
+		panic(fmt.Sprintf("cqm: %d terms exceed the evaluator's int32 layout limit", total))
+	}
+	off[len(counts)] = int32(total)
+	return int(total)
+}
+
+// bandGap returns the constraint violation gap of LHS value lhs against
+// the feasible band [lo, hi]: 0 inside the band, the distance to the
+// nearest bound outside it. Exactly one of the two max terms can be
+// positive, so the value matches the old per-sense switch bit for bit.
+func bandGap(lhs, lo, hi float64) float64 {
+	over := lhs - hi
+	if over < 0 {
+		over = 0
+	}
+	under := lo - lhs
+	if under < 0 {
+		under = 0
+	}
+	return over + under
+}
 
 // Evaluator maintains an assignment for a model and supports O(degree)
 // energy-delta queries for single-bit flips. It is the hot path of the
 // annealing solvers: a flip of variable v touches only the squared
-// expressions and constraints containing v.
+// expressions and constraints containing v, found through the model's
+// flat CSR layout; the assignment itself is a packed uint64 bitset.
 //
 // The penalized energy is
 //
@@ -16,73 +194,65 @@ import "fmt"
 // penalty weight.
 //
 // An Evaluator is not safe for concurrent use; annealing replicas each own
-// one.
+// one. The immutable layout is shared between evaluators of one model.
 type Evaluator struct {
-	m *Model
-	x []bool
+	m   *Model
+	lay *layout
+	x   bits.Set
 
 	penalty []float64 // per-constraint penalty weight
 
 	sqVal  []float64 // current value of each squared objective expression
 	conVal []float64 // current LHS value of each constraint
 
-	linCoef []float64 // merged linear objective coefficient per variable
-	quadAdj [][]Term  // quadratic adjacency: neighbours of each variable
-	varSq   [][]ref   // squared-expression memberships per variable
-	varCon  [][]ref   // constraint memberships per variable
-
 	objLinear float64 // current linear + offset objective value
 	objQuad   float64 // current plain-quadratic objective value
 	energy    float64 // current penalized energy
 }
 
-type ref struct {
-	idx  int
-	coef float64
-}
-
 // NewEvaluator builds an evaluator with every variable set to false and a
-// uniform constraint penalty weight.
+// uniform constraint penalty weight. The flat adjacency layout is cached
+// on the model, so constructing additional evaluators (annealing
+// restarts, tempering replicas) costs only the mutable state.
 func NewEvaluator(m *Model, penalty float64) *Evaluator {
 	n := m.NumVars()
 	ev := &Evaluator{
 		m:       m,
-		x:       make([]bool, n),
+		lay:     m.evalLayout(),
+		x:       bits.New(n),
 		penalty: make([]float64, m.NumConstraints()),
 		sqVal:   make([]float64, len(m.objSquares)),
 		conVal:  make([]float64, m.NumConstraints()),
-		linCoef: make([]float64, n),
-		quadAdj: make([][]Term, n),
-		varSq:   make([][]ref, n),
-		varCon:  make([][]ref, n),
 	}
 	for i := range ev.penalty {
 		ev.penalty[i] = penalty
-	}
-	for _, t := range m.objLinear {
-		ev.linCoef[t.Var] += t.Coef
-	}
-	for _, q := range m.objQuad {
-		ev.quadAdj[q.A] = append(ev.quadAdj[q.A], Term{q.B, q.Coef})
-		ev.quadAdj[q.B] = append(ev.quadAdj[q.B], Term{q.A, q.Coef})
-	}
-	for si := range m.objSquares {
-		for _, t := range m.objSquares[si].Terms {
-			ev.varSq[t.Var] = append(ev.varSq[t.Var], ref{si, t.Coef})
-		}
-	}
-	for ci := range m.constraints {
-		for _, t := range m.constraints[ci].Expr.Terms {
-			ev.varCon[t.Var] = append(ev.varCon[t.Var], ref{ci, t.Coef})
-		}
 	}
 	ev.Reset(nil)
 	return ev
 }
 
+// Model returns the model this evaluator is bound to.
+func (ev *Evaluator) Model() *Model { return ev.m }
+
+// LayoutCurrent reports whether the evaluator's flat layout is still the
+// model's current one; mutating the model invalidates it. Solvers that
+// pool evaluators across runs check this before reuse and rebuild when
+// the model changed underneath them.
+func (ev *Evaluator) LayoutCurrent() bool { return ev.lay == ev.m.evalLayout() }
+
 // SetPenalty overrides the penalty weight for one constraint.
 func (ev *Evaluator) SetPenalty(constraint int, w float64) {
 	ev.penalty[constraint] = w
+	ev.recomputeEnergy()
+}
+
+// SetAllPenalties resets every constraint to a uniform penalty weight;
+// pooled evaluators use it to restore the starting weights between
+// annealing restarts without rebuilding any state.
+func (ev *Evaluator) SetAllPenalties(w float64) {
+	for i := range ev.penalty {
+		ev.penalty[i] = w
+	}
 	ev.recomputeEnergy()
 }
 
@@ -100,32 +270,61 @@ func (ev *Evaluator) ScalePenalties(factor float64) {
 func (ev *Evaluator) Reset(x []bool) {
 	n := ev.m.NumVars()
 	if x == nil {
-		for i := range ev.x {
-			ev.x[i] = false
-		}
+		ev.x.Clear()
 	} else {
 		if len(x) != n {
 			panic(fmt.Sprintf("cqm: Reset with %d values for %d variables", len(x), n))
 		}
-		copy(ev.x, x)
+		ev.x.PackBools(x)
 	}
+	ev.refresh()
+}
+
+// ResetBits sets the assignment from a packed bitset (which must cover
+// the model's variables) and recomputes all cached values from scratch.
+func (ev *Evaluator) ResetBits(s bits.Set) {
+	if len(s) != len(ev.x) {
+		panic(fmt.Sprintf("cqm: ResetBits with %d words for %d", len(s), len(ev.x)))
+	}
+	ev.x.CopyFrom(s)
+	ev.refresh()
+}
+
+// refresh recomputes every cached value from the packed assignment.
+// Accumulation order matches the original slice-walking evaluator term
+// for term, so the cached floats are bit-identical to a fresh build.
+func (ev *Evaluator) refresh() {
 	ev.objLinear = ev.m.objOffset
 	for _, t := range ev.m.objLinear {
-		if ev.x[t.Var] {
+		if ev.x.Get(int(t.Var)) {
 			ev.objLinear += t.Coef
 		}
 	}
 	ev.objQuad = 0
 	for _, q := range ev.m.objQuad {
-		if ev.x[q.A] && ev.x[q.B] {
+		if ev.x.Get(int(q.A)) && ev.x.Get(int(q.B)) {
 			ev.objQuad += q.Coef
 		}
 	}
 	for si := range ev.m.objSquares {
-		ev.sqVal[si] = ev.m.objSquares[si].Value(ev.x)
+		e := &ev.m.objSquares[si]
+		v := e.Offset
+		for _, t := range e.Terms {
+			if ev.x.Get(int(t.Var)) {
+				v += t.Coef
+			}
+		}
+		ev.sqVal[si] = v
 	}
 	for ci := range ev.m.constraints {
-		ev.conVal[ci] = ev.m.constraints[ci].Expr.Value(ev.x)
+		e := &ev.m.constraints[ci].Expr
+		v := e.Offset
+		for _, t := range e.Terms {
+			if ev.x.Get(int(t.Var)) {
+				v += t.Coef
+			}
+		}
+		ev.conVal[ci] = v
 	}
 	ev.recomputeEnergy()
 }
@@ -135,30 +334,12 @@ func (ev *Evaluator) recomputeEnergy() {
 	for _, v := range ev.sqVal {
 		e += v * v
 	}
+	lo, hi := ev.lay.conLo, ev.lay.conHi
 	for ci, lhs := range ev.conVal {
-		e += ev.penalty[ci] * ev.penaltyTerm(ci, lhs)
+		gap := bandGap(lhs, lo[ci], hi[ci])
+		e += ev.penalty[ci] * (gap * gap)
 	}
 	ev.energy = e
-}
-
-// penaltyTerm returns the squared violation of constraint ci at LHS value
-// lhs (unweighted).
-func (ev *Evaluator) penaltyTerm(ci int, lhs float64) float64 {
-	c := &ev.m.constraints[ci]
-	var gap float64
-	switch c.Sense {
-	case Eq:
-		gap = lhs - c.RHS
-	case Le:
-		if lhs > c.RHS {
-			gap = lhs - c.RHS
-		}
-	case Ge:
-		if lhs < c.RHS {
-			gap = c.RHS - lhs
-		}
-	}
-	return gap * gap
 }
 
 // Energy returns the current penalized energy.
@@ -181,21 +362,9 @@ func (ev *Evaluator) PenaltyValue() float64 { return ev.energy - ev.ObjectiveVal
 // Feasible reports whether the current assignment satisfies every
 // constraint within tol.
 func (ev *Evaluator) Feasible(tol float64) bool {
+	lo, hi := ev.lay.conLo, ev.lay.conHi
 	for ci, lhs := range ev.conVal {
-		c := &ev.m.constraints[ci]
-		var gap float64
-		switch c.Sense {
-		case Eq:
-			gap = lhs - c.RHS
-			if gap < 0 {
-				gap = -gap
-			}
-		case Le:
-			gap = lhs - c.RHS
-		case Ge:
-			gap = c.RHS - lhs
-		}
-		if gap > tol {
+		if bandGap(lhs, lo[ci], hi[ci]) > tol {
 			return false
 		}
 	}
@@ -203,65 +372,86 @@ func (ev *Evaluator) Feasible(tol float64) bool {
 }
 
 // Get returns the current value of variable v.
-func (ev *Evaluator) Get(v VarID) bool { return ev.x[v] }
+func (ev *Evaluator) Get(v VarID) bool { return ev.x.Get(int(v)) }
+
+// Words returns the packed assignment as a read-only view; callers
+// snapshot it with bits.Set.CopyFrom instead of allocating a []bool.
+func (ev *Evaluator) Words() bits.Set { return ev.x }
 
 // Assignment returns a copy of the current assignment.
-func (ev *Evaluator) Assignment() []bool { return append([]bool(nil), ev.x...) }
+func (ev *Evaluator) Assignment() []bool { return ev.x.ToBools(ev.lay.n) }
+
+// AppendAssignment appends the current assignment to dst and returns it.
+func (ev *Evaluator) AppendAssignment(dst []bool) []bool {
+	return ev.x.AppendBools(dst, ev.lay.n)
+}
 
 // FlipDelta returns the penalized-energy change that flipping variable v
 // would cause, without changing state. Cost is O(degree of v).
 func (ev *Evaluator) FlipDelta(v VarID) float64 {
+	lay := ev.lay
+	x := ev.x
 	d := 1.0
-	if ev.x[v] {
+	if x.Get(int(v)) {
 		d = -1.0
 	}
-	delta := d * ev.linCoef[v]
-	for _, t := range ev.quadAdj[v] {
-		if ev.x[t.Var] {
-			delta += d * t.Coef
+	delta := d * lay.linCoef[v]
+	for i, end := lay.quadOff[v], lay.quadOff[v+1]; i < end; i++ {
+		if x.Get(int(lay.quadVar[i])) {
+			delta += d * lay.quadCoef[i]
 		}
 	}
-	for _, r := range ev.varSq[v] {
-		old := ev.sqVal[r.idx]
-		nv := old + d*r.coef
+	for i, end := lay.sqOff[v], lay.sqOff[v+1]; i < end; i++ {
+		old := ev.sqVal[lay.sqIdx[i]]
+		nv := old + d*lay.sqCoef[i]
 		delta += nv*nv - old*old
 	}
-	for _, r := range ev.varCon[v] {
-		old := ev.conVal[r.idx]
-		nv := old + d*r.coef
-		delta += ev.penalty[r.idx] * (ev.penaltyTerm(r.idx, nv) - ev.penaltyTerm(r.idx, old))
+	for i, end := lay.conOff[v], lay.conOff[v+1]; i < end; i++ {
+		ci := lay.conIdx[i]
+		old := ev.conVal[ci]
+		nv := old + d*lay.conCoef[i]
+		lo, hi := lay.conLo[ci], lay.conHi[ci]
+		ng := bandGap(nv, lo, hi)
+		og := bandGap(old, lo, hi)
+		delta += ev.penalty[ci] * (ng*ng - og*og)
 	}
 	return delta
+}
+
+// CommitFlip commits a flip of variable v whose energy delta was just
+// computed by FlipDelta (with no state change in between). It updates
+// the cached expression values without re-deriving the penalty terms,
+// so an accepted move costs one full delta scan plus one cheap update
+// scan instead of two full scans.
+func (ev *Evaluator) CommitFlip(v VarID, delta float64) {
+	lay := ev.lay
+	x := ev.x
+	d := 1.0
+	if x.Get(int(v)) {
+		d = -1.0
+	}
+	ev.objLinear += d * lay.linCoef[v]
+	for i, end := lay.quadOff[v], lay.quadOff[v+1]; i < end; i++ {
+		if x.Get(int(lay.quadVar[i])) {
+			ev.objQuad += d * lay.quadCoef[i]
+		}
+	}
+	for i, end := lay.sqOff[v], lay.sqOff[v+1]; i < end; i++ {
+		si := lay.sqIdx[i]
+		ev.sqVal[si] += d * lay.sqCoef[i]
+	}
+	for i, end := lay.conOff[v], lay.conOff[v+1]; i < end; i++ {
+		ci := lay.conIdx[i]
+		ev.conVal[ci] += d * lay.conCoef[i]
+	}
+	ev.x.Flip(int(v))
+	ev.energy += delta
 }
 
 // Flip commits a flip of variable v, updating all cached values in
 // O(degree of v), and returns the energy change.
 func (ev *Evaluator) Flip(v VarID) float64 {
-	d := 1.0
-	if ev.x[v] {
-		d = -1.0
-	}
-	delta := d * ev.linCoef[v]
-	ev.objLinear += d * ev.linCoef[v]
-	for _, t := range ev.quadAdj[v] {
-		if ev.x[t.Var] {
-			delta += d * t.Coef
-			ev.objQuad += d * t.Coef
-		}
-	}
-	for _, r := range ev.varSq[v] {
-		old := ev.sqVal[r.idx]
-		nv := old + d*r.coef
-		ev.sqVal[r.idx] = nv
-		delta += nv*nv - old*old
-	}
-	for _, r := range ev.varCon[v] {
-		old := ev.conVal[r.idx]
-		nv := old + d*r.coef
-		ev.conVal[r.idx] = nv
-		delta += ev.penalty[r.idx] * (ev.penaltyTerm(r.idx, nv) - ev.penaltyTerm(r.idx, old))
-	}
-	ev.x[v] = !ev.x[v]
-	ev.energy += delta
+	delta := ev.FlipDelta(v)
+	ev.CommitFlip(v, delta)
 	return delta
 }

@@ -21,6 +21,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // VarID identifies a binary variable within a model.
@@ -139,6 +141,10 @@ type QuadTerm struct {
 }
 
 // Model is a constrained quadratic model over binary variables.
+//
+// A Model must not be copied after first use: it caches the evaluator's
+// flat CSR layout behind an atomic pointer so concurrent solver workers
+// (portfolio restarts, tempering replicas) share one build.
 type Model struct {
 	names []string
 
@@ -149,7 +155,32 @@ type Model struct {
 	objOffset  float64
 
 	constraints []Constraint
+
+	// Cached evaluator layout; nil until the first NewEvaluator and
+	// invalidated by every mutation. Reads are lock-free on the hot
+	// path; the mutex only serializes the one-time build.
+	layoutCache atomic.Pointer[layout]
+	layoutMu    sync.Mutex
 }
+
+// evalLayout returns the cached flat evaluator layout, building it on
+// first use. Safe for concurrent use; mutation methods invalidate it.
+func (m *Model) evalLayout() *layout {
+	if l := m.layoutCache.Load(); l != nil {
+		return l
+	}
+	m.layoutMu.Lock()
+	defer m.layoutMu.Unlock()
+	if l := m.layoutCache.Load(); l != nil {
+		return l
+	}
+	l := buildLayout(m)
+	m.layoutCache.Store(l)
+	return l
+}
+
+// invalidateLayout drops the cached evaluator layout after a mutation.
+func (m *Model) invalidateLayout() { m.layoutCache.Store(nil) }
 
 // New returns an empty model.
 func New() *Model { return &Model{} }
@@ -157,6 +188,7 @@ func New() *Model { return &Model{} }
 // AddBinary declares a new binary variable and returns its id. Names are
 // for diagnostics only and need not be unique.
 func (m *Model) AddBinary(name string) VarID {
+	m.invalidateLayout()
 	m.names = append(m.names, name)
 	return VarID(len(m.names) - 1)
 }
@@ -175,6 +207,7 @@ func (m *Model) VarName(v VarID) string {
 
 // AddObjectiveLinear adds a linear objective term.
 func (m *Model) AddObjectiveLinear(v VarID, coef float64) {
+	m.invalidateLayout()
 	m.objLinear = append(m.objLinear, Term{v, coef})
 }
 
@@ -185,12 +218,14 @@ func (m *Model) AddObjectiveQuad(a, b VarID, coef float64) {
 		m.AddObjectiveLinear(a, coef)
 		return
 	}
+	m.invalidateLayout()
 	m.objQuad = append(m.objQuad, QuadTerm{a, b, coef})
 }
 
 // AddObjectiveSquared adds (expr)^2 to the objective, keeping the
 // structured (sum-of-squares) form.
 func (m *Model) AddObjectiveSquared(expr LinExpr) {
+	m.invalidateLayout()
 	e := expr.Clone()
 	e.Normalize()
 	m.objSquares = append(m.objSquares, e)
@@ -201,6 +236,7 @@ func (m *Model) AddObjectiveOffset(c float64) { m.objOffset += c }
 
 // AddConstraint adds a linear constraint and returns its index.
 func (m *Model) AddConstraint(name string, expr LinExpr, sense Sense, rhs float64) int {
+	m.invalidateLayout()
 	e := expr.Clone()
 	e.Normalize()
 	m.constraints = append(m.constraints, Constraint{Name: name, Expr: e, Sense: sense, RHS: rhs})

@@ -1,0 +1,54 @@
+package cqm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPerfGateEvaluatorAllocFree is a CI gate: the per-move evaluator
+// kernels — FlipDelta, CommitFlip, Flip — and the read accessors the
+// annealers call every sweep must not allocate. The model is the
+// paper-shaped LRP instance so every membership kind (linear, quad,
+// squared, constraint) is on the measured path.
+func TestPerfGateEvaluatorAllocFree(t *testing.T) {
+	m := lrpLikeModel(4, 3)
+	n := m.NumVars()
+	ev := NewEvaluator(m, 2)
+	rng := rand.New(rand.NewSource(11))
+	state := make([]bool, n)
+	for i := range state {
+		state[i] = rng.Intn(2) == 0
+	}
+	ev.Reset(state)
+
+	v := VarID(0)
+	if allocs := testing.AllocsPerRun(200, func() {
+		v = VarID(rng.Intn(n))
+		d := ev.FlipDelta(v)
+		ev.CommitFlip(v, d)
+		ev.Flip(v)
+	}); allocs != 0 {
+		t.Errorf("FlipDelta+CommitFlip+Flip allocates %.1f allocs/run, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = ev.Energy()
+		_ = ev.ObjectiveValue()
+		_ = ev.Feasible(1e-6)
+		_ = ev.Words()
+	}); allocs != 0 {
+		t.Errorf("read accessors allocate %.1f allocs/run, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(50, func() {
+		ev.ScalePenalties(1.0001)
+	}); allocs != 0 {
+		t.Errorf("ScalePenalties allocates %.1f allocs/run, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(50, func() {
+		ev.Reset(state)
+	}); allocs != 0 {
+		t.Errorf("Reset allocates %.1f allocs/run, want 0", allocs)
+	}
+}

@@ -1,0 +1,256 @@
+// Package refeval is the frozen reference evaluator used by the
+// differential and golden trajectory tests of the solver packages
+// (internal/sa, internal/tabu).
+//
+// It is a verbatim port of the pre-CSR cqm.Evaluator — slice-of-slices
+// adjacency, []bool assignment, per-sense penalty switch — rebuilt on
+// top of the model's public accessors. The hot-path rewrite
+// (internal/cqm's flat layout and packed bitset) claims bit-identical
+// arithmetic: every float operation happens in the same order with the
+// same values. The golden tests hold the rewritten solvers to that claim
+// by replaying the exact historical inner loops against this evaluator
+// and requiring identical trajectories at fixed seeds.
+//
+// Nothing outside _test.go files may import this package; it preserves
+// old code for comparison, not for use.
+package refeval
+
+import "repro/internal/cqm"
+
+// Eval is the pre-rewrite incremental evaluator: O(degree) flip deltas
+// over per-variable adjacency slices and a byte-per-variable assignment.
+type Eval struct {
+	x []bool
+
+	penalty []float64
+
+	sqVal  []float64
+	conVal []float64
+
+	linCoef []float64
+	quadAdj [][]cqm.Term
+	varSq   [][]ref
+	varCon  [][]ref
+
+	objLinear float64
+	objQuad   float64
+	energy    float64
+
+	linear  []cqm.Term
+	quad    []cqm.QuadTerm
+	squares []cqm.LinExpr
+	offset  float64
+	cons    []cqm.Constraint
+}
+
+type ref struct {
+	idx  int
+	coef float64
+}
+
+// New builds the reference evaluator with every variable false and a
+// uniform penalty weight, exactly as the old cqm.NewEvaluator did.
+func New(m *cqm.Model, penalty float64) *Eval {
+	n := m.NumVars()
+	linear, quad, squares, offset := m.ObjectiveParts()
+	ev := &Eval{
+		x:       make([]bool, n),
+		penalty: make([]float64, m.NumConstraints()),
+		sqVal:   make([]float64, len(squares)),
+		conVal:  make([]float64, m.NumConstraints()),
+		linCoef: make([]float64, n),
+		quadAdj: make([][]cqm.Term, n),
+		varSq:   make([][]ref, n),
+		varCon:  make([][]ref, n),
+		linear:  linear,
+		quad:    quad,
+		squares: squares,
+		offset:  offset,
+		cons:    m.Constraints(),
+	}
+	for i := range ev.penalty {
+		ev.penalty[i] = penalty
+	}
+	for _, t := range linear {
+		ev.linCoef[t.Var] += t.Coef
+	}
+	for _, q := range quad {
+		ev.quadAdj[q.A] = append(ev.quadAdj[q.A], cqm.Term{Var: q.B, Coef: q.Coef})
+		ev.quadAdj[q.B] = append(ev.quadAdj[q.B], cqm.Term{Var: q.A, Coef: q.Coef})
+	}
+	for si := range squares {
+		for _, t := range squares[si].Terms {
+			ev.varSq[t.Var] = append(ev.varSq[t.Var], ref{si, t.Coef})
+		}
+	}
+	for ci := range ev.cons {
+		for _, t := range ev.cons[ci].Expr.Terms {
+			ev.varCon[t.Var] = append(ev.varCon[t.Var], ref{ci, t.Coef})
+		}
+	}
+	ev.Reset(nil)
+	return ev
+}
+
+// ScalePenalties multiplies all penalty weights by factor.
+func (ev *Eval) ScalePenalties(factor float64) {
+	for i := range ev.penalty {
+		ev.penalty[i] *= factor
+	}
+	ev.recomputeEnergy()
+}
+
+// Reset sets the assignment (nil means all-false) and recomputes all
+// cached values from scratch.
+func (ev *Eval) Reset(x []bool) {
+	if x == nil {
+		for i := range ev.x {
+			ev.x[i] = false
+		}
+	} else {
+		copy(ev.x, x)
+	}
+	ev.objLinear = ev.offset
+	for _, t := range ev.linear {
+		if ev.x[t.Var] {
+			ev.objLinear += t.Coef
+		}
+	}
+	ev.objQuad = 0
+	for _, q := range ev.quad {
+		if ev.x[q.A] && ev.x[q.B] {
+			ev.objQuad += q.Coef
+		}
+	}
+	for si := range ev.squares {
+		ev.sqVal[si] = ev.squares[si].Value(ev.x)
+	}
+	for ci := range ev.cons {
+		ev.conVal[ci] = ev.cons[ci].Expr.Value(ev.x)
+	}
+	ev.recomputeEnergy()
+}
+
+func (ev *Eval) recomputeEnergy() {
+	e := ev.objLinear + ev.objQuad
+	for _, v := range ev.sqVal {
+		e += v * v
+	}
+	for ci, lhs := range ev.conVal {
+		e += ev.penalty[ci] * ev.penaltyTerm(ci, lhs)
+	}
+	ev.energy = e
+}
+
+func (ev *Eval) penaltyTerm(ci int, lhs float64) float64 {
+	c := &ev.cons[ci]
+	var gap float64
+	switch c.Sense {
+	case cqm.Eq:
+		gap = lhs - c.RHS
+	case cqm.Le:
+		if lhs > c.RHS {
+			gap = lhs - c.RHS
+		}
+	case cqm.Ge:
+		if lhs < c.RHS {
+			gap = c.RHS - lhs
+		}
+	}
+	return gap * gap
+}
+
+// Energy returns the current penalized energy.
+func (ev *Eval) Energy() float64 { return ev.energy }
+
+// ObjectiveValue returns the unpenalized objective.
+func (ev *Eval) ObjectiveValue() float64 {
+	e := ev.objLinear + ev.objQuad
+	for _, v := range ev.sqVal {
+		e += v * v
+	}
+	return e
+}
+
+// Feasible reports whether the current assignment satisfies every
+// constraint within tol.
+func (ev *Eval) Feasible(tol float64) bool {
+	for ci, lhs := range ev.conVal {
+		c := &ev.cons[ci]
+		var gap float64
+		switch c.Sense {
+		case cqm.Eq:
+			gap = lhs - c.RHS
+			if gap < 0 {
+				gap = -gap
+			}
+		case cqm.Le:
+			gap = lhs - c.RHS
+		case cqm.Ge:
+			gap = c.RHS - lhs
+		}
+		if gap > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Assignment returns a copy of the current assignment.
+func (ev *Eval) Assignment() []bool { return append([]bool(nil), ev.x...) }
+
+// FlipDelta returns the energy change a flip of v would cause.
+func (ev *Eval) FlipDelta(v cqm.VarID) float64 {
+	d := 1.0
+	if ev.x[v] {
+		d = -1.0
+	}
+	delta := d * ev.linCoef[v]
+	for _, t := range ev.quadAdj[v] {
+		if ev.x[t.Var] {
+			delta += d * t.Coef
+		}
+	}
+	for _, r := range ev.varSq[v] {
+		old := ev.sqVal[r.idx]
+		nv := old + d*r.coef
+		delta += nv*nv - old*old
+	}
+	for _, r := range ev.varCon[v] {
+		old := ev.conVal[r.idx]
+		nv := old + d*r.coef
+		delta += ev.penalty[r.idx] * (ev.penaltyTerm(r.idx, nv) - ev.penaltyTerm(r.idx, old))
+	}
+	return delta
+}
+
+// Flip commits a flip of v and returns the energy change.
+func (ev *Eval) Flip(v cqm.VarID) float64 {
+	d := 1.0
+	if ev.x[v] {
+		d = -1.0
+	}
+	delta := d * ev.linCoef[v]
+	ev.objLinear += d * ev.linCoef[v]
+	for _, t := range ev.quadAdj[v] {
+		if ev.x[t.Var] {
+			delta += d * t.Coef
+			ev.objQuad += d * t.Coef
+		}
+	}
+	for _, r := range ev.varSq[v] {
+		old := ev.sqVal[r.idx]
+		nv := old + d*r.coef
+		ev.sqVal[r.idx] = nv
+		delta += nv*nv - old*old
+	}
+	for _, r := range ev.varCon[v] {
+		old := ev.conVal[r.idx]
+		nv := old + d*r.coef
+		ev.conVal[r.idx] = nv
+		delta += ev.penalty[r.idx] * (ev.penaltyTerm(r.idx, nv) - ev.penaltyTerm(r.idx, old))
+	}
+	ev.x[v] = !ev.x[v]
+	ev.energy += delta
+	return delta
+}

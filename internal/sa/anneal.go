@@ -9,12 +9,19 @@
 // constraint-penalty weights, frozen (presolved) variables, independent
 // multi-restart portfolios executed on a goroutine pool, and parallel
 // tempering.
+//
+// The inner loop is allocation-free in steady state: each run borrows a
+// pooled scratch bundle (evaluator, variable pool, best-state bitset)
+// and the per-move kernel works over the model's flat CSR layout with a
+// packed bitset assignment (see internal/cqm and internal/bits).
 package sa
 
 import (
 	"math"
 	"math/rand"
+	"sync"
 
+	"repro/internal/bits"
 	"repro/internal/cqm"
 )
 
@@ -93,6 +100,148 @@ type Result struct {
 // integral so a loose absolute tolerance is safe.
 const feasTol = 1e-6
 
+// annealScratch is the reusable per-run state. Runs borrow one from a
+// sync.Pool so repeated restarts (portfolio workers, benchmark
+// iterations) allocate nothing after warm-up.
+type annealScratch struct {
+	ev    *cqm.Evaluator
+	state []bool
+	pool  []cqm.VarID
+	pairs [][2]cqm.VarID
+	best  bits.Set
+}
+
+var annealScratchPool sync.Pool
+
+// getScratch returns a scratch bundle ready for model m with uniform
+// penalty weights, reusing a pooled one when it matches the model and
+// its layout is still current.
+func getScratch(m *cqm.Model, penalty float64) *annealScratch {
+	if sc, _ := annealScratchPool.Get().(*annealScratch); sc != nil {
+		if sc.ev.Model() == m && sc.ev.LayoutCurrent() {
+			sc.ev.SetAllPenalties(penalty)
+			return sc
+		}
+		// Wrong model or stale layout: drop it and build fresh.
+	}
+	n := m.NumVars()
+	return &annealScratch{
+		ev:    cqm.NewEvaluator(m, penalty),
+		state: make([]bool, n),
+		pool:  make([]cqm.VarID, 0, n),
+		best:  bits.New(n),
+	}
+}
+
+func putScratch(sc *annealScratch) { annealScratchPool.Put(sc) }
+
+// annealRun is one trajectory's hot state. Its sweep and polish methods
+// are allocation-free; the perf-gate tests assert that with
+// testing.AllocsPerRun.
+type annealRun struct {
+	ev  *cqm.Evaluator
+	rng *rand.Rand
+
+	pool     []cqm.VarID
+	pairs    [][2]cqm.VarID
+	pairProb float64
+	usePairs bool
+
+	best     bits.Set
+	bestObj  float64
+	bestFeas bool
+
+	flips    int64
+	accepted int64
+}
+
+// record keeps the current state if it beats the best seen so far;
+// feasible assignments dominate infeasible ones regardless of objective.
+func (r *annealRun) record() {
+	feas := r.ev.Feasible(feasTol)
+	obj := r.ev.ObjectiveValue()
+	if (feas && !r.bestFeas) || (feas == r.bestFeas && obj < r.bestObj) {
+		r.bestFeas = feas
+		r.bestObj = obj
+		r.best.CopyFrom(r.ev.Words())
+	}
+}
+
+// sweep performs one full pass of Metropolis moves at inverse
+// temperature beta, then records the reached state.
+func (r *annealRun) sweep(beta float64) {
+	ev, rng, pool := r.ev, r.rng, r.pool
+	for range pool {
+		r.flips++
+		if r.usePairs && rng.Float64() < r.pairProb {
+			p := r.pairs[rng.Intn(len(r.pairs))]
+			// Evaluate the co-flip by committing the first half.
+			delta := ev.Flip(p[0])
+			d1 := ev.FlipDelta(p[1])
+			delta += d1
+			if delta <= 0 {
+				ev.CommitFlip(p[1], d1)
+				r.accepted++
+				if delta < 0 {
+					r.record()
+				}
+			} else if metropolisAccept(rng.Float64(), beta*delta) {
+				ev.CommitFlip(p[1], d1)
+				r.accepted++
+			} else {
+				ev.Flip(p[0]) // revert
+			}
+			continue
+		}
+		v := pool[rng.Intn(len(pool))]
+		delta := ev.FlipDelta(v)
+		if delta <= 0 {
+			ev.CommitFlip(v, delta)
+			r.accepted++
+			if delta < 0 {
+				r.record()
+			}
+		} else if metropolisAccept(rng.Float64(), beta*delta) {
+			ev.CommitFlip(v, delta)
+			r.accepted++
+		}
+	}
+	r.record()
+}
+
+// polish descends greedily from the current state: improving single
+// flips, then improving pair co-flips, until a full round changes
+// nothing. The reached local optimum is recorded.
+func (r *annealRun) polish() {
+	ev := r.ev
+	improved := true
+	for improved {
+		improved = false
+		for _, v := range r.pool {
+			if d := ev.FlipDelta(v); d < -1e-12 {
+				ev.CommitFlip(v, d)
+				r.flips++
+				improved = true
+			}
+		}
+		if r.usePairs {
+			for _, p := range r.pairs {
+				delta := ev.Flip(p[0])
+				d1 := ev.FlipDelta(p[1])
+				delta += d1
+				if delta < -1e-12 {
+					ev.CommitFlip(p[1], d1)
+					r.flips++
+					improved = true
+				} else {
+					ev.Flip(p[0])
+				}
+			}
+		}
+	}
+	r.record()
+}
+
 // Anneal runs one simulated-annealing trajectory on m and returns the
 // best assignment encountered. Feasible assignments always dominate
 // infeasible ones regardless of objective.
@@ -115,8 +264,10 @@ func Anneal(m *cqm.Model, opt Options) Result {
 		}
 	}
 
-	ev := cqm.NewEvaluator(m, opt.Penalty)
-	state := make([]bool, n)
+	sc := getScratch(m, opt.Penalty)
+	defer putScratch(sc)
+	ev := sc.ev
+	state := sc.state[:n]
 	if opt.Initial != nil {
 		copy(state, opt.Initial)
 	} else {
@@ -130,36 +281,35 @@ func Anneal(m *cqm.Model, opt Options) Result {
 	ev.Reset(state)
 
 	// Flippable variable pool.
-	pool := make([]cqm.VarID, 0, n)
+	pool := sc.pool[:0]
 	for i := 0; i < n; i++ {
 		if _, frozen := opt.Frozen[cqm.VarID(i)]; !frozen {
 			pool = append(pool, cqm.VarID(i))
 		}
 	}
+	sc.pool = pool
+
+	run := annealRun{
+		ev:       ev,
+		rng:      rng,
+		pool:     pool,
+		best:     sc.best,
+		bestObj:  ev.ObjectiveValue(),
+		bestFeas: ev.Feasible(feasTol),
+	}
+	run.best.CopyFrom(ev.Words())
 
 	res := Result{Sweeps: opt.Sweeps}
-	best := ev.Assignment()
-	bestObj := ev.ObjectiveValue()
-	bestFeas := ev.Feasible(feasTol)
-	record := func() {
-		feas := ev.Feasible(feasTol)
-		obj := ev.ObjectiveValue()
-		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
-			bestFeas = feas
-			bestObj = obj
-			copy(best, ev.Assignment())
-		}
-	}
-
 	if len(pool) == 0 {
 		// Empty move set: no sweeps actually run, so don't claim them.
 		res.Sweeps = 0
-		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		res.Best = run.best.ToBools(n)
+		res.BestObjective, res.BestFeasible = run.bestObj, run.bestFeas
 		return res
 	}
 
 	// Pair moves are only usable when both variables are flippable.
-	pairs := opt.Pairs[:0:0]
+	pairs := sc.pairs[:0]
 	for _, p := range opt.Pairs {
 		if _, fa := opt.Frozen[p[0]]; fa {
 			continue
@@ -169,7 +319,10 @@ func Anneal(m *cqm.Model, opt Options) Result {
 		}
 		pairs = append(pairs, p)
 	}
-	usePairs := len(pairs) > 0 && opt.PairProb > 0
+	sc.pairs = pairs
+	run.pairs = pairs
+	run.pairProb = opt.PairProb
+	run.usePairs = len(pairs) > 0 && opt.PairProb > 0
 
 	growAt := opt.Sweeps / 4
 	ratio := 1.0
@@ -188,38 +341,10 @@ func Anneal(m *cqm.Model, opt Options) Result {
 			ev.ScalePenalties(opt.PenaltyGrowth)
 			res.PenaltyRescales++
 		}
-		for range pool {
-			res.Flips++
-			if usePairs && rng.Float64() < opt.PairProb {
-				p := pairs[rng.Intn(len(pairs))]
-				// Evaluate the co-flip by committing the first half.
-				delta := ev.Flip(p[0])
-				delta += ev.FlipDelta(p[1])
-				if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
-					ev.Flip(p[1])
-					res.Accepted++
-					if delta < 0 {
-						record()
-					}
-				} else {
-					ev.Flip(p[0]) // revert
-				}
-				continue
-			}
-			v := pool[rng.Intn(len(pool))]
-			delta := ev.FlipDelta(v)
-			if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
-				ev.Flip(v)
-				res.Accepted++
-				if delta < 0 {
-					record()
-				}
-			}
-		}
-		record()
+		run.sweep(beta)
 		beta *= ratio
 		if opt.Progress != nil {
-			opt.Progress(s+1, bestObj, bestFeas)
+			opt.Progress(s+1, run.bestObj, run.bestFeas)
 		}
 	}
 
@@ -227,35 +352,14 @@ func Anneal(m *cqm.Model, opt Options) Result {
 	// found until no single flip (or pair co-flip) improves. A cancelled
 	// run skips it: the caller wants out now.
 	if !opt.NoPolish && !cancelled {
-		ev.Reset(best)
-		improved := true
-		for improved {
-			improved = false
-			for _, v := range pool {
-				if ev.FlipDelta(v) < -1e-12 {
-					ev.Flip(v)
-					res.Flips++
-					improved = true
-				}
-			}
-			if usePairs {
-				for _, p := range pairs {
-					delta := ev.Flip(p[0])
-					delta += ev.FlipDelta(p[1])
-					if delta < -1e-12 {
-						ev.Flip(p[1])
-						res.Flips++
-						improved = true
-					} else {
-						ev.Flip(p[0])
-					}
-				}
-			}
-		}
-		record()
+		ev.ResetBits(run.best)
+		run.polish()
 	}
 
-	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	res.Flips = run.flips
+	res.Accepted = run.accepted
+	res.Best = run.best.ToBools(n)
+	res.BestObjective, res.BestFeasible = run.bestObj, run.bestFeas
 	return res
 }
 
@@ -287,7 +391,7 @@ func EstimateSchedule(m *cqm.Model, penalty float64, rng *rand.Rand) (betaStart,
 					maxUp = d
 				}
 			}
-			ev.Flip(v)
+			ev.CommitFlip(v, d)
 		}
 	}
 	if count == 0 || sumUp == 0 {

@@ -1,0 +1,453 @@
+package sa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+	"repro/internal/refeval"
+)
+
+// This file holds the rewritten annealer to its headline claim: the
+// CSR/bitset hot path is a pure performance change, byte-identical in
+// behaviour. refAnneal and refTempering below are verbatim replays of
+// the pre-rewrite inner loops on top of the frozen reference evaluator
+// (internal/refeval); the tests require the real implementations to
+// reproduce their trajectories exactly — same best assignment, same
+// float objective bits, same flip/accept counters — across seeds and
+// option shapes.
+
+// refAnneal is the historical Anneal implementation, verbatim.
+func refAnneal(m *cqm.Model, opt Options) Result {
+	n := m.NumVars()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	if opt.Sweeps <= 0 {
+		opt.Sweeps = DefaultOptions().Sweeps
+	}
+	if opt.Penalty <= 0 {
+		opt.Penalty = 1
+	}
+	if opt.BetaStart <= 0 || opt.BetaEnd <= 0 {
+		bs, be := refEstimateSchedule(m, opt.Penalty, rng)
+		if opt.BetaStart <= 0 {
+			opt.BetaStart = bs
+		}
+		if opt.BetaEnd <= 0 {
+			opt.BetaEnd = be
+		}
+	}
+
+	ev := refeval.New(m, opt.Penalty)
+	state := make([]bool, n)
+	if opt.Initial != nil {
+		copy(state, opt.Initial)
+	} else {
+		for i := range state {
+			state[i] = rng.Intn(2) == 0
+		}
+	}
+	for v, val := range opt.Frozen {
+		state[v] = val
+	}
+	ev.Reset(state)
+
+	pool := make([]cqm.VarID, 0, n)
+	for i := 0; i < n; i++ {
+		if _, frozen := opt.Frozen[cqm.VarID(i)]; !frozen {
+			pool = append(pool, cqm.VarID(i))
+		}
+	}
+
+	res := Result{Sweeps: opt.Sweeps}
+	best := ev.Assignment()
+	bestObj := ev.ObjectiveValue()
+	bestFeas := ev.Feasible(feasTol)
+	record := func() {
+		feas := ev.Feasible(feasTol)
+		obj := ev.ObjectiveValue()
+		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
+			bestFeas = feas
+			bestObj = obj
+			copy(best, ev.Assignment())
+		}
+	}
+
+	if len(pool) == 0 {
+		res.Sweeps = 0
+		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		return res
+	}
+
+	pairs := opt.Pairs[:0:0]
+	for _, p := range opt.Pairs {
+		if _, fa := opt.Frozen[p[0]]; fa {
+			continue
+		}
+		if _, fb := opt.Frozen[p[1]]; fb {
+			continue
+		}
+		pairs = append(pairs, p)
+	}
+	usePairs := len(pairs) > 0 && opt.PairProb > 0
+
+	growAt := opt.Sweeps / 4
+	ratio := 1.0
+	if opt.Sweeps > 1 {
+		ratio = math.Pow(opt.BetaEnd/opt.BetaStart, 1/float64(opt.Sweeps-1))
+	}
+	beta := opt.BetaStart
+	cancelled := false
+	for s := 0; s < opt.Sweeps; s++ {
+		if opt.Stop != nil && opt.Stop() {
+			res.Sweeps = s
+			cancelled = true
+			break
+		}
+		if opt.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
+			ev.ScalePenalties(opt.PenaltyGrowth)
+			res.PenaltyRescales++
+		}
+		for range pool {
+			res.Flips++
+			if usePairs && rng.Float64() < opt.PairProb {
+				p := pairs[rng.Intn(len(pairs))]
+				delta := ev.Flip(p[0])
+				delta += ev.FlipDelta(p[1])
+				if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
+					ev.Flip(p[1])
+					res.Accepted++
+					if delta < 0 {
+						record()
+					}
+				} else {
+					ev.Flip(p[0])
+				}
+				continue
+			}
+			v := pool[rng.Intn(len(pool))]
+			delta := ev.FlipDelta(v)
+			if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
+				ev.Flip(v)
+				res.Accepted++
+				if delta < 0 {
+					record()
+				}
+			}
+		}
+		record()
+		beta *= ratio
+		if opt.Progress != nil {
+			opt.Progress(s+1, bestObj, bestFeas)
+		}
+	}
+
+	if !opt.NoPolish && !cancelled {
+		ev.Reset(best)
+		improved := true
+		for improved {
+			improved = false
+			for _, v := range pool {
+				if ev.FlipDelta(v) < -1e-12 {
+					ev.Flip(v)
+					res.Flips++
+					improved = true
+				}
+			}
+			if usePairs {
+				for _, p := range pairs {
+					delta := ev.Flip(p[0])
+					delta += ev.FlipDelta(p[1])
+					if delta < -1e-12 {
+						ev.Flip(p[1])
+						res.Flips++
+						improved = true
+					} else {
+						ev.Flip(p[0])
+					}
+				}
+			}
+		}
+		record()
+	}
+
+	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	return res
+}
+
+// refEstimateSchedule is the historical EstimateSchedule, verbatim.
+func refEstimateSchedule(m *cqm.Model, penalty float64, rng *rand.Rand) (betaStart, betaEnd float64) {
+	n := m.NumVars()
+	if n == 0 {
+		return 1, 10
+	}
+	ev := refeval.New(m, penalty)
+	state := make([]bool, n)
+	var maxUp, sumUp float64
+	var count int
+	for trial := 0; trial < 8; trial++ {
+		for i := range state {
+			state[i] = rng.Intn(2) == 0
+		}
+		ev.Reset(state)
+		for k := 0; k < 4*n; k++ {
+			v := cqm.VarID(rng.Intn(n))
+			d := ev.FlipDelta(v)
+			if d > 0 {
+				sumUp += d
+				count++
+				if d > maxUp {
+					maxUp = d
+				}
+			}
+			ev.Flip(v)
+		}
+	}
+	if count == 0 || sumUp == 0 {
+		return 1, 10
+	}
+	avgUp := sumUp / float64(count)
+	betaStart = -math.Log(0.8) / avgUp
+	betaEnd = -math.Log(1e-4) / math.Max(avgUp, maxUp/8)
+	if betaEnd <= betaStart {
+		betaEnd = betaStart * 100
+	}
+	return betaStart, betaEnd
+}
+
+// refTempering is the historical sequential ParallelTempering, verbatim.
+func refTempering(m *cqm.Model, opt PTOptions) Result {
+	if opt.Replicas < 2 {
+		opt.Replicas = 2
+	}
+	if opt.ExchangeEvery <= 0 {
+		opt.ExchangeEvery = 10
+	}
+	base := opt.Base
+	if base.Sweeps <= 0 {
+		base.Sweeps = DefaultOptions().Sweeps
+	}
+	if base.Penalty <= 0 {
+		base.Penalty = 1
+	}
+	rng := rand.New(rand.NewSource(base.Seed))
+	if base.BetaStart <= 0 || base.BetaEnd <= 0 {
+		bs, be := refEstimateSchedule(m, base.Penalty, rng)
+		if base.BetaStart <= 0 {
+			base.BetaStart = bs
+		}
+		if base.BetaEnd <= 0 {
+			base.BetaEnd = be
+		}
+	}
+
+	n := m.NumVars()
+	betas := make([]float64, opt.Replicas)
+	for r := range betas {
+		f := float64(r) / float64(opt.Replicas-1)
+		betas[r] = base.BetaStart * math.Pow(base.BetaEnd/base.BetaStart, f)
+	}
+
+	evs := make([]*refeval.Eval, opt.Replicas)
+	rngs := make([]*rand.Rand, opt.Replicas)
+	pool := make([]cqm.VarID, 0, n)
+	for i := 0; i < n; i++ {
+		if _, frozen := base.Frozen[cqm.VarID(i)]; !frozen {
+			pool = append(pool, cqm.VarID(i))
+		}
+	}
+	for r := range evs {
+		evs[r] = refeval.New(m, base.Penalty)
+		rngs[r] = rand.New(rand.NewSource(base.Seed*31 + int64(r)))
+		state := make([]bool, n)
+		for i := range state {
+			state[i] = rngs[r].Intn(2) == 0
+		}
+		for v, val := range base.Frozen {
+			state[v] = val
+		}
+		evs[r].Reset(state)
+	}
+
+	res := Result{Sweeps: base.Sweeps}
+	var best []bool
+	bestObj := math.Inf(1)
+	bestFeas := false
+	record := func(ev *refeval.Eval) {
+		feas := ev.Feasible(feasTol)
+		obj := ev.ObjectiveValue()
+		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
+			bestFeas, bestObj = feas, obj
+			best = ev.Assignment()
+		}
+	}
+	for r := range evs {
+		record(evs[r])
+	}
+	if len(pool) == 0 {
+		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		return res
+	}
+
+	growAt := base.Sweeps / 4
+	for s := 0; s < base.Sweeps; s++ {
+		if base.Stop != nil && base.Stop() {
+			res.Sweeps = s
+			break
+		}
+		if base.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
+			for r := range evs {
+				evs[r].ScalePenalties(base.PenaltyGrowth)
+			}
+			res.PenaltyRescales++
+		}
+		for r := range evs {
+			ev, beta, rr := evs[r], betas[r], rngs[r]
+			for range pool {
+				v := pool[rr.Intn(len(pool))]
+				delta := ev.FlipDelta(v)
+				res.Flips++
+				if delta <= 0 || rr.Float64() < math.Exp(-beta*delta) {
+					ev.Flip(v)
+					res.Accepted++
+				}
+			}
+			record(ev)
+		}
+		if s%opt.ExchangeEvery == opt.ExchangeEvery-1 {
+			for r := 0; r+1 < opt.Replicas; r++ {
+				if base.Stop != nil && base.Stop() {
+					break
+				}
+				dBeta := betas[r+1] - betas[r]
+				dE := evs[r].Energy() - evs[r+1].Energy()
+				if dBeta*dE > 0 || rng.Float64() < math.Exp(dBeta*dE) {
+					a, b := evs[r].Assignment(), evs[r+1].Assignment()
+					evs[r].Reset(b)
+					evs[r+1].Reset(a)
+					res.Swaps++
+				}
+			}
+		}
+		if base.Progress != nil {
+			base.Progress(s+1, bestObj, bestFeas)
+		}
+	}
+	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	return res
+}
+
+// goldenModel builds a small constrained model with fractional
+// coefficients — bit-identity must hold for arbitrary floats, not just
+// integral test data.
+func goldenModel(seed int64) *cqm.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := cqm.New()
+	n := 12 + rng.Intn(20)
+	vars := make([]cqm.VarID, n)
+	for i := range vars {
+		vars[i] = m.AddBinary("x")
+	}
+	coef := func() float64 { return float64(rng.Intn(17)-8) + 0.125*float64(rng.Intn(8)) }
+	for k := 0; k < 2*n; k++ {
+		m.AddObjectiveQuad(vars[rng.Intn(n)], vars[rng.Intn(n)], coef())
+	}
+	for k := 0; k < 3; k++ {
+		var e cqm.LinExpr
+		for t := 0; t < 4+rng.Intn(n/2); t++ {
+			e.Add(vars[rng.Intn(n)], coef())
+		}
+		e.Offset = coef()
+		m.AddObjectiveSquared(e)
+	}
+	for k := 0; k < 3; k++ {
+		var e cqm.LinExpr
+		for t := 0; t < 3+rng.Intn(n/2); t++ {
+			e.Add(vars[rng.Intn(n)], coef())
+		}
+		m.AddConstraint("c", e, cqm.Sense(rng.Intn(3)), coef())
+	}
+	return m
+}
+
+func sameResult(t *testing.T, tag string, want, got Result) {
+	t.Helper()
+	if got.BestObjective != want.BestObjective {
+		t.Errorf("%s: BestObjective = %v, golden %v", tag, got.BestObjective, want.BestObjective)
+	}
+	if got.BestFeasible != want.BestFeasible {
+		t.Errorf("%s: BestFeasible = %v, golden %v", tag, got.BestFeasible, want.BestFeasible)
+	}
+	if got.Sweeps != want.Sweeps || got.Flips != want.Flips || got.Accepted != want.Accepted {
+		t.Errorf("%s: counters (sweeps, flips, accepted) = (%d, %d, %d), golden (%d, %d, %d)",
+			tag, got.Sweeps, got.Flips, got.Accepted, want.Sweeps, want.Flips, want.Accepted)
+	}
+	if got.PenaltyRescales != want.PenaltyRescales {
+		t.Errorf("%s: PenaltyRescales = %d, golden %d", tag, got.PenaltyRescales, want.PenaltyRescales)
+	}
+	if got.Swaps != want.Swaps {
+		t.Errorf("%s: Swaps = %d, golden %d", tag, got.Swaps, want.Swaps)
+	}
+	if len(got.Best) != len(want.Best) {
+		t.Fatalf("%s: Best has %d vars, golden %d", tag, len(got.Best), len(want.Best))
+	}
+	for i := range want.Best {
+		if got.Best[i] != want.Best[i] {
+			t.Errorf("%s: Best[%d] = %v, golden %v", tag, i, got.Best[i], want.Best[i])
+			break
+		}
+	}
+}
+
+func TestAnnealMatchesGoldenTrajectory(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		m := goldenModel(100 + seed)
+		pairs := [][2]cqm.VarID{{0, 1}, {2, 3}, {4, 5}}
+		variants := []struct {
+			tag string
+			opt Options
+		}{
+			{"plain", Options{Sweeps: 60, Seed: seed, Penalty: 2, PenaltyGrowth: 4, BetaStart: 0.1, BetaEnd: 8}},
+			{"estimated-schedule", Options{Sweeps: 40, Seed: seed, Penalty: 1.5, PenaltyGrowth: 3}},
+			{"no-polish", Options{Sweeps: 60, Seed: seed, Penalty: 2, PenaltyGrowth: 4, BetaStart: 0.1, BetaEnd: 8, NoPolish: true}},
+			{"pairs", Options{Sweeps: 50, Seed: seed, Penalty: 2, BetaStart: 0.2, BetaEnd: 6, Pairs: pairs, PairProb: 0.3}},
+			{"frozen", Options{Sweeps: 50, Seed: seed, Penalty: 2, BetaStart: 0.2, BetaEnd: 6, Pairs: pairs, PairProb: 0.25,
+				Frozen: map[cqm.VarID]bool{1: true, 7: false}}},
+			{"warm-start", Options{Sweeps: 30, Seed: seed, Penalty: 1, BetaStart: 0.5, BetaEnd: 10,
+				Initial: make([]bool, m.NumVars())}},
+		}
+		for _, v := range variants {
+			want := refAnneal(m, v.opt)
+			got := Anneal(m, v.opt)
+			sameResult(t, v.tag, want, got)
+			// A second run reuses pooled scratch; it must be untouched by
+			// the first run's leftovers.
+			again := Anneal(m, v.opt)
+			sameResult(t, v.tag+"/pooled-rerun", want, again)
+		}
+	}
+}
+
+func TestParallelTemperingMatchesGoldenTrajectory(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		m := goldenModel(200 + seed)
+		variants := []struct {
+			tag string
+			opt PTOptions
+		}{
+			{"plain", PTOptions{Base: Options{Sweeps: 60, Seed: seed, Penalty: 2, PenaltyGrowth: 4, BetaStart: 0.1, BetaEnd: 8},
+				Replicas: 4, ExchangeEvery: 5}},
+			{"odd-segments", PTOptions{Base: Options{Sweeps: 47, Seed: seed, Penalty: 1.5, BetaStart: 0.2, BetaEnd: 6},
+				Replicas: 3, ExchangeEvery: 7}},
+			{"estimated-schedule", PTOptions{Base: Options{Sweeps: 30, Seed: seed, Penalty: 1, PenaltyGrowth: 2},
+				Replicas: 2, ExchangeEvery: 4}},
+			{"frozen", PTOptions{Base: Options{Sweeps: 40, Seed: seed, Penalty: 2, BetaStart: 0.1, BetaEnd: 8,
+				Frozen: map[cqm.VarID]bool{0: true, 5: false}}, Replicas: 3, ExchangeEvery: 5}},
+		}
+		for _, v := range variants {
+			want := refTempering(m, v.opt)
+			got := ParallelTempering(m, v.opt)
+			sameResult(t, v.tag, want, got)
+		}
+	}
+}

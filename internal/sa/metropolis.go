@@ -1,0 +1,55 @@
+package sa
+
+import "math"
+
+// expFloor is the smallest bd = beta*delta for which math.Exp(-bd) is
+// exactly zero in float64: beyond it the Metropolis test cannot pass
+// for any u in [0, 1).
+const expFloor = 746
+
+// metropolisAccept decides an uphill Metropolis move: it returns
+// exactly u < math.Exp(-bd) for bd > 0, but routes the overwhelming
+// majority of decisions through cheap polynomial bounds instead of the
+// exp call that otherwise dominates the annealing profile.
+//
+// The short-circuits are strict mathematical bounds with float margins
+// far above the arithmetic error, so the decision is bit-identical to
+// the direct formulation (the golden trajectory tests and
+// TestMetropolisAcceptMatchesExp hold it to that):
+//
+//   - accept when u < 1 - bd + bd²/2 - bd³/6: the cubic Taylor
+//     truncation of e^-bd with an alternating remainder, so it
+//     underestimates e^-bd by bd⁴/24·e^-θbd — at least ~4e-14 over the
+//     guarded range, versus ~1e-15 of accumulated rounding.
+//   - reject when u·(1 + bd + bd²/2 + bd³/6) >= 1: e^bd exceeds its
+//     cubic truncation by bd⁴/24, so 1/q overestimates e^-bd by the
+//     same safe margin.
+//
+// Only u landing between the two bounds — a band whose width shrinks
+// as bd⁴ — pays for math.Exp. Below bd = 1e-3 the cubic margins thin
+// toward the rounding noise, so the quadratic-margin linear bounds
+// take over; below 1e-7 (where even those margins drown) the code just
+// calls exp, which is vanishingly rare for real schedules.
+func metropolisAccept(u, bd float64) bool {
+	if bd >= expFloor {
+		return false
+	}
+	if bd >= 1e-3 {
+		if bd < 1 {
+			if u < 1-bd+bd*bd*0.5-bd*bd*bd*(1.0/6) {
+				return true
+			}
+		}
+		if u*(1+bd+bd*bd*0.5+bd*bd*bd*(1.0/6)) >= 1 {
+			return false
+		}
+	} else if bd >= 1e-7 {
+		if u < 1-bd {
+			return true
+		}
+		if u*(1+bd) >= 1 {
+			return false
+		}
+	}
+	return u < math.Exp(-bd)
+}

@@ -1,0 +1,62 @@
+package sa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMetropolisAcceptMatchesExp holds the short-circuited Metropolis
+// test to its contract: for every (u, bd) it must decide exactly
+// u < math.Exp(-bd). Random draws cover the bulk; the adversarial
+// cases put u within a few ulps of exp(-bd) itself and of the
+// polynomial accept/reject bounds, and bd right at the regime
+// boundaries, where a margin mistake would first show.
+func TestMetropolisAcceptMatchesExp(t *testing.T) {
+	check := func(u, bd float64) {
+		t.Helper()
+		want := u < math.Exp(-bd)
+		if got := metropolisAccept(u, bd); got != want {
+			t.Fatalf("metropolisAccept(%v, %v) = %v, want %v (exp(-bd) = %v)",
+				u, bd, got, want, math.Exp(-bd))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	// Random sweep over every bd regime the implementation splits on.
+	scales := []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2, 5, 20, 100, 700, 746, 800}
+	for _, s := range scales {
+		for i := 0; i < 2000; i++ {
+			bd := s * (0.5 + rng.Float64())
+			check(rng.Float64(), bd)
+			// u concentrated near the decision point exp(-bd).
+			e := math.Exp(-bd)
+			check(e*(1+(rng.Float64()-0.5)*1e-12), bd)
+		}
+	}
+
+	// Exact ulp neighbours of exp(-bd): the tightest possible u.
+	for i := 0; i < 20000; i++ {
+		bd := math.Exp(rng.Float64()*20 - 10) // log-uniform over [e^-10, e^10]
+		e := math.Exp(-bd)
+		for _, u := range []float64{
+			e,
+			math.Nextafter(e, 0),
+			math.Nextafter(e, 1),
+			math.Nextafter(math.Nextafter(e, 1), 1),
+		} {
+			check(u, bd)
+		}
+	}
+
+	// Regime boundaries and degenerate u.
+	for _, bd := range []float64{1e-7, math.Nextafter(1e-7, 0), math.Nextafter(1e-7, 1),
+		1e-3, math.Nextafter(1e-3, 0), math.Nextafter(1e-3, 1),
+		1, math.Nextafter(1, 0), math.Nextafter(1, 2),
+		745, 746, 747, 1000} {
+		for _, u := range []float64{0, math.SmallestNonzeroFloat64, 0.5,
+			math.Nextafter(1, 0), math.Exp(-bd)} {
+			check(u, bd)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package sa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+)
+
+// gateRun builds a warmed annealRun on benchModel for direct inner-loop
+// measurement.
+func gateRun(pairProb float64) *annealRun {
+	m := benchModel()
+	n := m.NumVars()
+	sc := getScratch(m, 2)
+	rng := rand.New(rand.NewSource(7))
+	state := sc.state[:n]
+	for i := range state {
+		state[i] = rng.Intn(2) == 0
+	}
+	sc.ev.Reset(state)
+	pool := sc.pool[:0]
+	for i := 0; i < n; i++ {
+		pool = append(pool, cqm.VarID(i))
+	}
+	sc.pool = pool
+	pairs := sc.pairs[:0]
+	for i := 0; i+1 < n; i += 2 {
+		pairs = append(pairs, [2]cqm.VarID{cqm.VarID(i), cqm.VarID(i + 1)})
+	}
+	sc.pairs = pairs
+	run := &annealRun{
+		ev:       sc.ev,
+		rng:      rng,
+		pool:     pool,
+		pairs:    pairs,
+		pairProb: pairProb,
+		usePairs: pairProb > 0,
+		best:     sc.best,
+		bestObj:  sc.ev.ObjectiveValue(),
+		bestFeas: sc.ev.Feasible(feasTol),
+	}
+	run.best.CopyFrom(sc.ev.Words())
+	return run
+}
+
+// TestPerfGateSweepAllocFree is a CI gate: the Metropolis sweep must not
+// allocate, with or without pair co-flips. A regression here means the
+// hot loop grew a heap allocation per move or per sweep.
+func TestPerfGateSweepAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		pairProb float64
+	}{
+		{"singles", 0},
+		{"pairs", 0.5},
+	} {
+		run := gateRun(tc.pairProb)
+		beta := 0.2
+		if allocs := testing.AllocsPerRun(50, func() {
+			run.sweep(beta)
+			beta *= 1.05
+		}); allocs != 0 {
+			t.Errorf("%s: sweep allocates %.1f allocs/run, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestPerfGatePolishAllocFree is a CI gate: the zero-temperature descent
+// must not allocate.
+func TestPerfGatePolishAllocFree(t *testing.T) {
+	run := gateRun(0.5)
+	run.polish() // reach a local optimum first
+	if allocs := testing.AllocsPerRun(20, run.polish); allocs != 0 {
+		t.Errorf("polish allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// TestPerfGateAnnealSteadyStateAllocs is a CI gate: a full Anneal call
+// with a pooled scratch and a fixed schedule performs only O(1) setup
+// allocations (the run RNG and the returned assignment), independent of
+// sweep count and model size.
+func TestPerfGateAnnealSteadyStateAllocs(t *testing.T) {
+	m := benchModel()
+	opt := Options{Sweeps: 20, Seed: 3, Penalty: 2, BetaStart: 0.14, BetaEnd: 14, NoPolish: true}
+	Anneal(m, opt) // warm the scratch pool
+	allocs := testing.AllocsPerRun(30, func() { Anneal(m, opt) })
+	// The bound is loose only to tolerate a GC emptying the sync.Pool
+	// mid-measurement; steady state is ~4 (RNG source, RNG, Best slice).
+	if allocs > 16 {
+		t.Errorf("steady-state Anneal allocates %.1f allocs/run, want <= 16", allocs)
+	}
+}
+
+// TestPerfGateFlipsDeterministic is a CI gate: with NoPolish the flip
+// count is exactly Sweeps x pool size — machine-independent, so a
+// benchdiff of the flips metric catches a silently shrunk or inflated
+// workload where ns/op noise could not.
+func TestPerfGateFlipsDeterministic(t *testing.T) {
+	m := benchModel()
+	n := m.NumVars()
+
+	res := Anneal(m, Options{Sweeps: 50, Seed: 1, Penalty: 2, PenaltyGrowth: 4,
+		BetaStart: 0.14, BetaEnd: 14, NoPolish: true})
+	if want := int64(50 * n); res.Flips != want {
+		t.Errorf("Anneal flips = %d, want %d", res.Flips, want)
+	}
+
+	frozen := map[cqm.VarID]bool{0: true, 5: false, 9: true}
+	res = Anneal(m, Options{Sweeps: 12, Seed: 2, Penalty: 2,
+		BetaStart: 0.14, BetaEnd: 14, NoPolish: true, Frozen: frozen})
+	if want := int64(12 * (n - len(frozen))); res.Flips != want {
+		t.Errorf("Anneal flips with frozen vars = %d, want %d", res.Flips, want)
+	}
+
+	pt := ParallelTempering(m, PTOptions{
+		Base:     Options{Sweeps: 30, Seed: 1, Penalty: 2, BetaStart: 0.14, BetaEnd: 14},
+		Replicas: 4,
+	})
+	if want := int64(4 * 30 * n); pt.Flips != want {
+		t.Errorf("ParallelTempering flips = %d, want %d", pt.Flips, want)
+	}
+}

@@ -3,7 +3,9 @@ package sa
 import (
 	"math"
 	"math/rand"
+	"sync"
 
+	"repro/internal/bits"
 	"repro/internal/cqm"
 )
 
@@ -20,10 +22,93 @@ type PTOptions struct {
 	ExchangeEvery int
 }
 
+// ptSlot is one temperature rung. Between exchange barriers a slot runs
+// on its own goroutine, touching only its own fields: its current
+// evaluator (swapped between slots at barriers), its private RNG, and
+// its sweep logs. The main goroutine reads them only after the barrier,
+// so no locks are needed in the hot loop.
+//
+// Determinism: the slot logs (feasible, objective) for every sweep it
+// completes. After each barrier the main goroutine replays those logs in
+// the exact (sweep-major, slot-minor) order the old sequential
+// implementation called record() in, so the global best — including
+// order-dependent tie-breaking — is byte-identical to the sequential
+// trajectory. The winning state itself is the slot's local best
+// snapshot: strict improvement keeps the earliest occurrence of any
+// value, which is provably the state the sequential scan would have
+// copied.
+type ptSlot struct {
+	ev   *cqm.Evaluator
+	rng  *rand.Rand
+	beta float64
+
+	// Per-sweep records, indexed by global sweep number.
+	feasLog []bool
+	objLog  []float64
+	// completed is the number of sweeps this slot has finished.
+	completed int
+
+	// Slot-local best (earliest occurrence of the slot's best value,
+	// counting the initial state as sweep -1).
+	best     bits.Set
+	bestObj  float64
+	bestFeas bool
+
+	flips    int64
+	accepted int64
+}
+
+// recordLocal keeps the slot's current state if it strictly improves the
+// slot-local best.
+func (w *ptSlot) recordLocal() {
+	feas := w.ev.Feasible(feasTol)
+	obj := w.ev.ObjectiveValue()
+	if (feas && !w.bestFeas) || (feas == w.bestFeas && obj < w.bestObj) {
+		w.bestFeas, w.bestObj = feas, obj
+		w.best.CopyFrom(w.ev.Words())
+	}
+}
+
+// runSegment advances the slot from global sweep segStart up to (not
+// including) segEnd, or until Stop fires at a sweep boundary. The loop
+// body is allocation-free.
+func (w *ptSlot) runSegment(segStart, segEnd int, pool []cqm.VarID, opt *Options, growAt int) {
+	ev, rng, beta := w.ev, w.rng, w.beta
+	for s := segStart; s < segEnd; s++ {
+		if opt.Stop != nil && opt.Stop() {
+			return
+		}
+		if opt.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
+			ev.ScalePenalties(opt.PenaltyGrowth)
+		}
+		for range pool {
+			w.flips++
+			v := pool[rng.Intn(len(pool))]
+			delta := ev.FlipDelta(v)
+			if delta <= 0 {
+				ev.CommitFlip(v, delta)
+				w.accepted++
+			} else if metropolisAccept(rng.Float64(), beta*delta) {
+				ev.CommitFlip(v, delta)
+				w.accepted++
+			}
+		}
+		w.feasLog[s] = ev.Feasible(feasTol)
+		w.objLog[s] = ev.ObjectiveValue()
+		w.recordLocal()
+		w.completed = s + 1
+	}
+}
+
 // ParallelTempering runs replica-exchange annealing. Compared to plain
 // multi-restart it mixes better on rugged landscapes (the paper's
 // Q_CQM2 models at scale); it is used by the hybrid solver for large
 // models.
+//
+// Replicas run concurrently between exchange barriers, one goroutine
+// per temperature rung with a private evaluator; exchanges swap the
+// evaluator pointers of neighbouring rungs in O(1). Results at a fixed
+// seed are identical to the sequential formulation (see ptSlot).
 func ParallelTempering(m *cqm.Model, opt PTOptions) Result {
 	if opt.Replicas < 2 {
 		opt.Replicas = 2
@@ -50,101 +135,138 @@ func ParallelTempering(m *cqm.Model, opt PTOptions) Result {
 	}
 
 	n := m.NumVars()
-	// Temperature ladder: geometric from BetaStart (hot) to BetaEnd (cold).
-	betas := make([]float64, opt.Replicas)
-	for r := range betas {
-		f := float64(r) / float64(opt.Replicas-1)
-		betas[r] = base.BetaStart * math.Pow(base.BetaEnd/base.BetaStart, f)
-	}
-
-	evs := make([]*cqm.Evaluator, opt.Replicas)
-	rngs := make([]*rand.Rand, opt.Replicas)
 	pool := make([]cqm.VarID, 0, n)
 	for i := 0; i < n; i++ {
 		if _, frozen := base.Frozen[cqm.VarID(i)]; !frozen {
 			pool = append(pool, cqm.VarID(i))
 		}
 	}
-	for r := range evs {
-		evs[r] = cqm.NewEvaluator(m, base.Penalty)
-		rngs[r] = rand.New(rand.NewSource(base.Seed*31 + int64(r)))
-		state := make([]bool, n)
+
+	// Temperature ladder: geometric from BetaStart (hot) to BetaEnd
+	// (cold). Each slot gets its own evaluator and RNG; the shared rng
+	// above is reserved for exchange decisions, as in the sequential
+	// formulation.
+	slots := make([]*ptSlot, opt.Replicas)
+	state := make([]bool, n)
+	for r := range slots {
+		f := float64(r) / float64(opt.Replicas-1)
+		w := &ptSlot{
+			ev:      cqm.NewEvaluator(m, base.Penalty),
+			rng:     rand.New(rand.NewSource(base.Seed*31 + int64(r))),
+			beta:    base.BetaStart * math.Pow(base.BetaEnd/base.BetaStart, f),
+			feasLog: make([]bool, base.Sweeps),
+			objLog:  make([]float64, base.Sweeps),
+			best:    bits.New(n),
+		}
 		for i := range state {
-			state[i] = rngs[r].Intn(2) == 0
+			state[i] = w.rng.Intn(2) == 0
 		}
 		for v, val := range base.Frozen {
 			state[v] = val
 		}
-		evs[r].Reset(state)
+		w.ev.Reset(state)
+		w.bestObj = w.ev.ObjectiveValue()
+		w.bestFeas = w.ev.Feasible(feasTol)
+		w.best.CopyFrom(w.ev.Words())
+		slots[r] = w
 	}
 
 	res := Result{Sweeps: base.Sweeps}
-	var best []bool
 	bestObj := math.Inf(1)
 	bestFeas := false
-	record := func(ev *cqm.Evaluator) {
-		feas := ev.Feasible(feasTol)
-		obj := ev.ObjectiveValue()
+	bestSlot := 0
+	// merge folds one (feasible, objective) record into the global best,
+	// remembering which slot holds the winning snapshot.
+	merge := func(r int, feas bool, obj float64) {
 		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
 			bestFeas, bestObj = feas, obj
-			best = ev.Assignment()
+			bestSlot = r
 		}
 	}
-	for r := range evs {
-		record(evs[r])
+	// Initial states are recorded in slot order, before any sweep.
+	for r, w := range slots {
+		merge(r, w.bestFeas, w.bestObj)
 	}
 	if len(pool) == 0 {
-		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		res.Best = slots[bestSlot].best.ToBools(n)
+		res.BestObjective, res.BestFeasible = bestObj, bestFeas
 		return res
 	}
 
 	growAt := base.Sweeps / 4
-	for s := 0; s < base.Sweeps; s++ {
-		if base.Stop != nil && base.Stop() {
-			// Interrupted: wind down at the sweep boundary, keeping the
-			// best state recorded across all replicas so far.
-			res.Sweeps = s
-			break
+	var wg sync.WaitGroup
+	merged := 0 // sweeps folded into the global best so far
+	for segStart := 0; segStart < base.Sweeps; segStart += opt.ExchangeEvery {
+		segEnd := segStart + opt.ExchangeEvery
+		if segEnd > base.Sweeps {
+			segEnd = base.Sweeps
 		}
-		if base.PenaltyGrowth > 1 && growAt > 0 && s > 0 && s%growAt == 0 {
-			for r := range evs {
-				evs[r].ScalePenalties(base.PenaltyGrowth)
+		for _, w := range slots {
+			wg.Add(1)
+			go func(w *ptSlot) {
+				defer wg.Done()
+				w.runSegment(segStart, segEnd, pool, &base, growAt)
+			}(w)
+		}
+		wg.Wait()
+
+		// Replay this segment's records in sequential (sweep-major,
+		// slot-minor) order. A slot that stopped early simply has no
+		// record at the later sweeps.
+		done := segEnd
+		for _, w := range slots {
+			if w.completed < done {
+				done = w.completed
 			}
-			res.PenaltyRescales++
 		}
-		for r := range evs {
-			ev, beta, rr := evs[r], betas[r], rngs[r]
-			for range pool {
-				v := pool[rr.Intn(len(pool))]
-				delta := ev.FlipDelta(v)
-				res.Flips++
-				if delta <= 0 || rr.Float64() < math.Exp(-beta*delta) {
-					ev.Flip(v)
-					res.Accepted++
+		for s := merged; s < segEnd; s++ {
+			for r, w := range slots {
+				if s < w.completed {
+					merge(r, w.feasLog[s], w.objLog[s])
 				}
 			}
-			record(ev)
+			if base.Progress != nil && s < done {
+				base.Progress(s+1, bestObj, bestFeas)
+			}
 		}
-		if s%opt.ExchangeEvery == opt.ExchangeEvery-1 {
+		merged = segEnd
+
+		if done < segEnd {
+			// A Stop fired mid-segment: wind down at the barrier keeping
+			// everything recorded so far.
+			res.Sweeps = done
+			break
+		}
+
+		// Exchange pass at the barrier: neighbour swaps are O(1)
+		// evaluator-pointer swaps, decided by the shared exchange RNG.
+		if (segEnd-1)%opt.ExchangeEvery == opt.ExchangeEvery-1 {
 			for r := 0; r+1 < opt.Replicas; r++ {
 				if base.Stop != nil && base.Stop() {
 					break
 				}
-				dBeta := betas[r+1] - betas[r]
-				dE := evs[r].Energy() - evs[r+1].Energy()
+				dBeta := slots[r+1].beta - slots[r].beta
+				dE := slots[r].ev.Energy() - slots[r+1].ev.Energy()
 				if dBeta*dE > 0 || rng.Float64() < math.Exp(dBeta*dE) {
-					// Swap states by re-seating the assignments.
-					a, b := evs[r].Assignment(), evs[r+1].Assignment()
-					evs[r].Reset(b)
-					evs[r+1].Reset(a)
+					slots[r].ev, slots[r+1].ev = slots[r+1].ev, slots[r].ev
 					res.Swaps++
 				}
 			}
 		}
-		if base.Progress != nil {
-			base.Progress(s+1, bestObj, bestFeas)
+	}
+
+	if base.PenaltyGrowth > 1 && growAt > 0 {
+		for s := 1; s < res.Sweeps; s++ {
+			if s%growAt == 0 {
+				res.PenaltyRescales++
+			}
 		}
 	}
-	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	for _, w := range slots {
+		res.Flips += w.flips
+		res.Accepted += w.accepted
+	}
+	res.Best = slots[bestSlot].best.ToBools(n)
+	res.BestObjective, res.BestFeasible = bestObj, bestFeas
 	return res
 }

@@ -1,0 +1,38 @@
+package tabu
+
+import (
+	"testing"
+
+	"repro/internal/cqm"
+)
+
+// benchModel is a 256-variable constrained partition model, the same
+// shape internal/sa benchmarks use.
+func benchModel() *cqm.Model {
+	m := cqm.New()
+	var sq, cap cqm.LinExpr
+	for i := 0; i < 256; i++ {
+		v := m.AddBinary("x")
+		sq.Add(v, float64(1+i%13))
+		cap.Add(v, 1)
+	}
+	sq.Offset = -800
+	m.AddObjectiveSquared(sq)
+	m.AddConstraint("cap", cap, cqm.Le, 128)
+	return m
+}
+
+// BenchmarkTabuSearch runs a fixed-seed search so the moves metric is
+// deterministic (the same trajectory every iteration); CI gates on
+// moves while moves/s stays advisory.
+func BenchmarkTabuSearch(b *testing.B) {
+	m := benchModel()
+	var moves int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Search(m, Options{Iterations: 400, Seed: 1, Penalty: 2})
+		moves += res.Moves
+	}
+	b.ReportMetric(float64(moves)/b.Elapsed().Seconds(), "moves/s")
+	b.ReportMetric(float64(moves)/float64(b.N), "moves")
+}

@@ -1,0 +1,173 @@
+package tabu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+	"repro/internal/refeval"
+)
+
+// refSearch is the historical tabu Search implementation, verbatim, on
+// the frozen reference evaluator. The golden test requires the rewritten
+// CSR/bitset search to reproduce its trajectory exactly at fixed seeds.
+func refSearch(m *cqm.Model, opt Options) Result {
+	n := m.NumVars()
+	if opt.Iterations <= 0 {
+		opt.Iterations = 50 * max(1, n)
+	}
+	if opt.Tenure <= 0 {
+		opt.Tenure = n/10 + 7
+	}
+	if opt.Penalty <= 0 {
+		opt.Penalty = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	ev := refeval.New(m, opt.Penalty)
+	state := make([]bool, n)
+	if opt.Initial != nil {
+		copy(state, opt.Initial)
+	} else {
+		for i := range state {
+			state[i] = rng.Intn(2) == 0
+		}
+	}
+	for v, val := range opt.Frozen {
+		state[v] = val
+	}
+	ev.Reset(state)
+
+	pool := make([]cqm.VarID, 0, n)
+	for i := 0; i < n; i++ {
+		if _, frozen := opt.Frozen[cqm.VarID(i)]; !frozen {
+			pool = append(pool, cqm.VarID(i))
+		}
+	}
+
+	res := Result{}
+	best := ev.Assignment()
+	bestObj := ev.ObjectiveValue()
+	bestFeas := ev.Feasible(feasTol)
+	bestEnergy := ev.Energy()
+	record := func() {
+		feas := ev.Feasible(feasTol)
+		obj := ev.ObjectiveValue()
+		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
+			bestFeas, bestObj = feas, obj
+			copy(best, ev.Assignment())
+		}
+	}
+	if len(pool) == 0 {
+		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		return res
+	}
+
+	tabuUntil := make([]int, n)
+	for it := 1; it <= opt.Iterations; it++ {
+		if opt.Stop != nil && opt.Stop() {
+			break
+		}
+		bestVar := cqm.VarID(-1)
+		bestDelta := 0.0
+		found := false
+		for _, v := range pool {
+			delta := ev.FlipDelta(v)
+			if tabuUntil[v] >= it && ev.Energy()+delta >= bestEnergy-1e-12 {
+				continue
+			}
+			if !found || delta < bestDelta || (delta == bestDelta && rng.Intn(2) == 0) {
+				found = true
+				bestVar, bestDelta = v, delta
+			}
+		}
+		if !found {
+			break
+		}
+		ev.Flip(bestVar)
+		res.Moves++
+		tabuUntil[bestVar] = it + opt.Tenure
+		if e := ev.Energy(); e < bestEnergy {
+			bestEnergy = e
+		}
+		record()
+		if opt.Progress != nil {
+			opt.Progress(it, bestObj, bestFeas)
+		}
+	}
+	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	return res
+}
+
+// goldenModel builds a small constrained model with dyadic fractional
+// coefficients, on which the reference and rewritten evaluators perform
+// exact arithmetic in lockstep.
+func goldenModel(seed int64) *cqm.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := cqm.New()
+	n := 10 + rng.Intn(16)
+	vars := make([]cqm.VarID, n)
+	for i := range vars {
+		vars[i] = m.AddBinary("x")
+	}
+	coef := func() float64 { return float64(rng.Intn(13)-6) + 0.25*float64(rng.Intn(4)) }
+	for k := 0; k < 2*n; k++ {
+		m.AddObjectiveQuad(vars[rng.Intn(n)], vars[rng.Intn(n)], coef())
+	}
+	for k := 0; k < 2; k++ {
+		var e cqm.LinExpr
+		for t := 0; t < 3+rng.Intn(n/2); t++ {
+			e.Add(vars[rng.Intn(n)], coef())
+		}
+		e.Offset = coef()
+		m.AddObjectiveSquared(e)
+	}
+	for k := 0; k < 3; k++ {
+		var e cqm.LinExpr
+		for t := 0; t < 3+rng.Intn(n/2); t++ {
+			e.Add(vars[rng.Intn(n)], coef())
+		}
+		m.AddConstraint("c", e, cqm.Sense(rng.Intn(3)), coef())
+	}
+	return m
+}
+
+func TestSearchMatchesGoldenTrajectory(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		m := goldenModel(300 + seed)
+		variants := []struct {
+			tag string
+			opt Options
+		}{
+			{"plain", Options{Iterations: 200, Seed: seed, Penalty: 2}},
+			{"short-tenure", Options{Iterations: 150, Tenure: 2, Seed: seed, Penalty: 1.5}},
+			{"frozen", Options{Iterations: 150, Seed: seed, Penalty: 2,
+				Frozen: map[cqm.VarID]bool{0: true, 3: false}}},
+			{"warm-start", Options{Iterations: 100, Seed: seed, Penalty: 1,
+				Initial: make([]bool, m.NumVars())}},
+		}
+		for _, v := range variants {
+			want := refSearch(m, v.opt)
+			got := Search(m, v.opt)
+			compare := func(tag string, got Result) {
+				t.Helper()
+				if got.BestObjective != want.BestObjective ||
+					got.BestFeasible != want.BestFeasible ||
+					got.Moves != want.Moves {
+					t.Errorf("%s: (objective, feasible, moves) = (%v, %v, %d), golden (%v, %v, %d)",
+						tag, got.BestObjective, got.BestFeasible, got.Moves,
+						want.BestObjective, want.BestFeasible, want.Moves)
+				}
+				for i := range want.Best {
+					if got.Best[i] != want.Best[i] {
+						t.Errorf("%s: Best[%d] = %v, golden %v", tag, i, got.Best[i], want.Best[i])
+						break
+					}
+				}
+			}
+			compare(v.tag, got)
+			// Pooled-scratch rerun must be identical.
+			compare(v.tag+"/pooled-rerun", Search(m, v.opt))
+		}
+	}
+}

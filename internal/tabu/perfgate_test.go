@@ -1,0 +1,78 @@
+package tabu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cqm"
+)
+
+// TestPerfGateStepAllocFree is a CI gate: the steepest-descent step must
+// not allocate.
+func TestPerfGateStepAllocFree(t *testing.T) {
+	m := benchModel()
+	n := m.NumVars()
+	sc := getScratch(m, 2)
+	rng := rand.New(rand.NewSource(7))
+	state := sc.state[:n]
+	for i := range state {
+		state[i] = rng.Intn(2) == 0
+	}
+	sc.ev.Reset(state)
+	pool := sc.pool[:0]
+	for i := 0; i < n; i++ {
+		pool = append(pool, cqm.VarID(i))
+	}
+	sc.pool = pool
+	run := searchRun{
+		ev:         sc.ev,
+		rng:        rng,
+		pool:       pool,
+		tabu:       sc.tabuUntil,
+		tenure:     9,
+		best:       sc.best,
+		bestObj:    sc.ev.ObjectiveValue(),
+		bestFeas:   sc.ev.Feasible(feasTol),
+		bestEnergy: sc.ev.Energy(),
+	}
+	run.best.CopyFrom(sc.ev.Words())
+
+	it := 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		it++
+		run.step(it)
+	}); allocs != 0 {
+		t.Errorf("step allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// TestPerfGateSearchSteadyStateAllocs is a CI gate: a full Search call
+// with a pooled scratch performs only O(1) setup allocations.
+func TestPerfGateSearchSteadyStateAllocs(t *testing.T) {
+	m := benchModel()
+	opt := Options{Iterations: 100, Seed: 3, Penalty: 2}
+	Search(m, opt) // warm the scratch pool
+	allocs := testing.AllocsPerRun(30, func() { Search(m, opt) })
+	// Loose only to tolerate a GC emptying the sync.Pool mid-measurement;
+	// steady state is ~4 (RNG source, RNG, Best slice).
+	if allocs > 16 {
+		t.Errorf("steady-state Search allocates %.1f allocs/run, want <= 16", allocs)
+	}
+}
+
+// TestPerfGateMovesDeterministic is a CI gate: at a fixed seed the move
+// count is exactly reproducible, so benchdiff can gate the moves metric
+// across machines.
+func TestPerfGateMovesDeterministic(t *testing.T) {
+	m := benchModel()
+	opt := Options{Iterations: 400, Seed: 1, Penalty: 2}
+	first := Search(m, opt)
+	if first.Moves == 0 {
+		t.Fatalf("search made no moves")
+	}
+	for i := 0; i < 3; i++ {
+		if got := Search(m, opt); got.Moves != first.Moves {
+			t.Errorf("rerun %d: moves = %d, want %d", i, got.Moves, first.Moves)
+		}
+	}
+}

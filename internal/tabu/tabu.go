@@ -5,11 +5,17 @@
 // steepest-descent search with a recency-based tabu list and aspiration,
 // complementing the stochastic annealer on landscapes where directed
 // descent wins.
+//
+// Like the annealer, the search loop is allocation-free in steady state:
+// runs borrow a pooled scratch bundle (evaluator, tabu clock, best-state
+// bitset) and step over the model's flat CSR layout.
 package tabu
 
 import (
 	"math/rand"
+	"sync"
 
+	"repro/internal/bits"
 	"repro/internal/cqm"
 )
 
@@ -51,6 +57,96 @@ type Result struct {
 
 const feasTol = 1e-6
 
+// searchScratch is the reusable per-run state, pooled so repeated
+// searches on one model allocate nothing after warm-up.
+type searchScratch struct {
+	ev        *cqm.Evaluator
+	state     []bool
+	pool      []cqm.VarID
+	tabuUntil []int
+	best      bits.Set
+}
+
+var scratchPool sync.Pool
+
+func getScratch(m *cqm.Model, penalty float64) *searchScratch {
+	if sc, _ := scratchPool.Get().(*searchScratch); sc != nil {
+		if sc.ev.Model() == m && sc.ev.LayoutCurrent() {
+			sc.ev.SetAllPenalties(penalty)
+			for i := range sc.tabuUntil {
+				sc.tabuUntil[i] = 0
+			}
+			return sc
+		}
+	}
+	n := m.NumVars()
+	return &searchScratch{
+		ev:        cqm.NewEvaluator(m, penalty),
+		state:     make([]bool, n),
+		pool:      make([]cqm.VarID, 0, n),
+		tabuUntil: make([]int, n),
+		best:      bits.New(n),
+	}
+}
+
+// searchRun is one search's hot state; its step method is
+// allocation-free (asserted by the perf-gate tests).
+type searchRun struct {
+	ev     *cqm.Evaluator
+	rng    *rand.Rand
+	pool   []cqm.VarID
+	tabu   []int
+	tenure int
+
+	best       bits.Set
+	bestObj    float64
+	bestFeas   bool
+	bestEnergy float64
+
+	moves int64
+}
+
+// record keeps the current state if it beats the best seen so far.
+func (r *searchRun) record() {
+	feas := r.ev.Feasible(feasTol)
+	obj := r.ev.ObjectiveValue()
+	if (feas && !r.bestFeas) || (feas == r.bestFeas && obj < r.bestObj) {
+		r.bestFeas, r.bestObj = feas, obj
+		r.best.CopyFrom(r.ev.Words())
+	}
+}
+
+// step executes one iteration: the steepest admissible move over the
+// whole pool (tabu moves admitted only under aspiration). It reports
+// false when every move is tabu and nothing aspirates.
+func (r *searchRun) step(it int) bool {
+	ev, pool := r.ev, r.pool
+	bestVar := cqm.VarID(-1)
+	bestDelta := 0.0
+	found := false
+	for _, v := range pool {
+		delta := ev.FlipDelta(v)
+		if r.tabu[v] >= it && ev.Energy()+delta >= r.bestEnergy-1e-12 {
+			continue
+		}
+		if !found || delta < bestDelta || (delta == bestDelta && r.rng.Intn(2) == 0) {
+			found = true
+			bestVar, bestDelta = v, delta
+		}
+	}
+	if !found {
+		return false
+	}
+	ev.CommitFlip(bestVar, bestDelta)
+	r.moves++
+	r.tabu[bestVar] = it + r.tenure
+	if e := ev.Energy(); e < r.bestEnergy {
+		r.bestEnergy = e
+	}
+	r.record()
+	return true
+}
+
 // Search runs tabu search on m and returns the best assignment found.
 func Search(m *cqm.Model, opt Options) Result {
 	n := m.NumVars()
@@ -65,8 +161,10 @@ func Search(m *cqm.Model, opt Options) Result {
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
-	ev := cqm.NewEvaluator(m, opt.Penalty)
-	state := make([]bool, n)
+	sc := getScratch(m, opt.Penalty)
+	defer scratchPool.Put(sc)
+	ev := sc.ev
+	state := sc.state[:n]
 	if opt.Initial != nil {
 		copy(state, opt.Initial)
 	} else {
@@ -79,66 +177,47 @@ func Search(m *cqm.Model, opt Options) Result {
 	}
 	ev.Reset(state)
 
-	pool := make([]cqm.VarID, 0, n)
+	pool := sc.pool[:0]
 	for i := 0; i < n; i++ {
 		if _, frozen := opt.Frozen[cqm.VarID(i)]; !frozen {
 			pool = append(pool, cqm.VarID(i))
 		}
 	}
+	sc.pool = pool
+
+	run := searchRun{
+		ev:         ev,
+		rng:        rng,
+		pool:       pool,
+		tabu:       sc.tabuUntil,
+		tenure:     opt.Tenure,
+		best:       sc.best,
+		bestObj:    ev.ObjectiveValue(),
+		bestFeas:   ev.Feasible(feasTol),
+		bestEnergy: ev.Energy(),
+	}
+	run.best.CopyFrom(ev.Words())
 
 	res := Result{}
-	best := ev.Assignment()
-	bestObj := ev.ObjectiveValue()
-	bestFeas := ev.Feasible(feasTol)
-	bestEnergy := ev.Energy()
-	record := func() {
-		feas := ev.Feasible(feasTol)
-		obj := ev.ObjectiveValue()
-		if (feas && !bestFeas) || (feas == bestFeas && obj < bestObj) {
-			bestFeas, bestObj = feas, obj
-			copy(best, ev.Assignment())
-		}
-	}
 	if len(pool) == 0 {
-		res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+		res.Best = run.best.ToBools(n)
+		res.BestObjective, res.BestFeasible = run.bestObj, run.bestFeas
 		return res
 	}
 
-	tabuUntil := make([]int, n)
 	for it := 1; it <= opt.Iterations; it++ {
 		if opt.Stop != nil && opt.Stop() {
 			break // interrupted: return the best state found so far
 		}
-		// Steepest admissible move: best delta among non-tabu variables;
-		// a tabu move is admitted if it would beat the best energy seen
-		// (aspiration).
-		bestVar := cqm.VarID(-1)
-		bestDelta := 0.0
-		found := false
-		for _, v := range pool {
-			delta := ev.FlipDelta(v)
-			if tabuUntil[v] >= it && ev.Energy()+delta >= bestEnergy-1e-12 {
-				continue
-			}
-			if !found || delta < bestDelta || (delta == bestDelta && rng.Intn(2) == 0) {
-				found = true
-				bestVar, bestDelta = v, delta
-			}
-		}
-		if !found {
+		if !run.step(it) {
 			break // everything tabu and nothing aspirates: stuck
 		}
-		ev.Flip(bestVar)
-		res.Moves++
-		tabuUntil[bestVar] = it + opt.Tenure
-		if e := ev.Energy(); e < bestEnergy {
-			bestEnergy = e
-		}
-		record()
 		if opt.Progress != nil {
-			opt.Progress(it, bestObj, bestFeas)
+			opt.Progress(it, run.bestObj, run.bestFeas)
 		}
 	}
-	res.Best, res.BestObjective, res.BestFeasible = best, bestObj, bestFeas
+	res.Moves = run.moves
+	res.Best = run.best.ToBools(n)
+	res.BestObjective, res.BestFeasible = run.bestObj, run.bestFeas
 	return res
 }

@@ -8,10 +8,14 @@
 // The verifier is deliberately independent of the solver stack: it
 // reuses none of the incremental evaluators (internal/cqm.Evaluator)
 // or repair helpers the solvers themselves rely on, so a bug or a
-// corrupted reply in that machinery cannot vouch for itself. It is
-// also allocation-light — a clean verification allocates one Report
-// and nothing else — so it is cheap enough to run on every solve of a
-// BSP rebalancing loop.
+// corrupted reply in that machinery cannot vouch for itself. (It does
+// share the low-level internal/bits bitset: Sample packs the byte-per-
+// variable sample into uint64 words once, then every constraint scan
+// reads the packed form — the whole assignment stays in a few cache
+// lines across the model's full constraint sweep.) It is also
+// allocation-light — a clean verification allocates one Report plus a
+// pooled packed-sample scratch that is reused across calls — so it is
+// cheap enough to run on every solve of a BSP rebalancing loop.
 //
 // Two inputs are covered:
 //
@@ -36,11 +40,86 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
+	"repro/internal/bits"
 	"repro/internal/cqm"
 	"repro/internal/lrp"
 	"repro/internal/solve"
 )
+
+// packedSample is the pooled scratch Sample/Attest pack assignments
+// into; pooling keeps repeated verifications allocation-free.
+type packedSample struct{ s bits.Set }
+
+var packPool = sync.Pool{New: func() any { return new(packedSample) }}
+
+// getPacked packs x into a pooled bitset. Callers return it with
+// packPool.Put when done.
+func getPacked(x []bool) *packedSample {
+	p := packPool.Get().(*packedSample)
+	if need := bits.WordsFor(len(x)); cap(p.s) < need {
+		p.s = make(bits.Set, need)
+	} else {
+		p.s = p.s[:need]
+	}
+	p.s.PackBools(x)
+	return p
+}
+
+// packedValue evaluates a sparse linear expression against the packed
+// assignment — the verifier's own walker, independent of the solver
+// evaluators.
+func packedValue(e *cqm.LinExpr, s bits.Set) float64 {
+	v := e.Offset
+	for _, t := range e.Terms {
+		if s.Get(int(t.Var)) {
+			v += t.Coef
+		}
+	}
+	return v
+}
+
+// packedViolation recomputes one constraint's violation gap from the
+// packed assignment: 0 when satisfied, otherwise the absolute gap.
+func packedViolation(c *cqm.Constraint, s bits.Set) float64 {
+	v := packedValue(&c.Expr, s)
+	switch c.Sense {
+	case cqm.Eq:
+		return math.Abs(v - c.RHS)
+	case cqm.Le:
+		if v > c.RHS {
+			return v - c.RHS
+		}
+	case cqm.Ge:
+		if v < c.RHS {
+			return c.RHS - v
+		}
+	}
+	return 0
+}
+
+// packedObjective recomputes the model objective from the packed
+// assignment via the model's exposed structure.
+func packedObjective(m *cqm.Model, s bits.Set) float64 {
+	linear, quad, squares, offset := m.ObjectiveParts()
+	e := offset
+	for _, t := range linear {
+		if s.Get(int(t.Var)) {
+			e += t.Coef
+		}
+	}
+	for _, q := range quad {
+		if s.Get(int(q.A)) && s.Get(int(q.B)) {
+			e += q.Coef
+		}
+	}
+	for i := range squares {
+		v := packedValue(&squares[i], s)
+		e += v * v
+	}
+	return e
+}
 
 // ErrRejected marks a response or plan that failed independent
 // verification. Every non-nil Report.Err wraps it.
@@ -154,7 +233,9 @@ func Sample(m *cqm.Model, res *solve.Result, opt Options) *Report {
 		return rep
 	}
 
-	obj := m.Objective(res.Sample)
+	packed := getPacked(res.Sample)
+	defer packPool.Put(packed)
+	obj := packedObjective(m, packed.s)
 	rep.Objective = obj
 	rep.Checks++
 	if gap := math.Abs(obj - res.Objective); gap > tol*(1+math.Abs(obj)) {
@@ -165,7 +246,7 @@ func Sample(m *cqm.Model, res *solve.Result, opt Options) *Report {
 	cs := m.Constraints()
 	for i := range cs {
 		rep.Checks++
-		gap := cs[i].Violation(res.Sample)
+		gap := packedViolation(&cs[i], packed.s)
 		if gap > tol {
 			feasible = false
 			if res.Feasible {
@@ -197,8 +278,17 @@ func Attest(m *cqm.Model, res *solve.Result, opt Options) bool {
 		return false
 	}
 	tol := opt.tol()
-	obj := m.Objective(res.Sample)
-	feas := m.Feasible(res.Sample, tol)
+	packed := getPacked(res.Sample)
+	defer packPool.Put(packed)
+	obj := packedObjective(m, packed.s)
+	feas := true
+	cs := m.Constraints()
+	for i := range cs {
+		if packedViolation(&cs[i], packed.s) > tol {
+			feas = false
+			break
+		}
+	}
 	changed := feas != res.Feasible || math.Abs(obj-res.Objective) > tol*(1+math.Abs(obj))
 	res.Objective, res.Feasible = obj, feas
 	return changed
