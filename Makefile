@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 # bench-diff / perf-gate knobs: the committed baseline to diff against,
 # and the relative tolerance applied to allocs/op (work counters and
 # qubit counts always compare exactly; see cmd/benchdiff).
-BASE ?= BENCH_8.json
+BASE ?= BENCH_9.json
 TOL ?= 0.1
 
 .PHONY: check build vet fmt test race bench bench-json bench-diff perf-gate fault-demo fuzz-smoke daemon-smoke
@@ -48,7 +48,7 @@ bench:
 bench-json:
 	@rm -f $(BENCH_JSON).txt
 	$(GO) test -run=^$$ -bench=. -benchtime=1x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
-	$(GO) test -run=^$$ -bench=. -benchtime=100x -benchmem ./internal/sa ./internal/tabu ./internal/cqm ./internal/serve >> $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
+	$(GO) test -run=^$$ -bench=. -benchtime=100x -benchmem ./internal/sa ./internal/tabu ./internal/cqm ./internal/serve ./internal/batch ./internal/plancache >> $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON).txt
 	@rm -f $(BENCH_JSON).txt
 
@@ -65,7 +65,7 @@ bench-diff:
 # plus a benchdiff against the committed baseline. Everything it gates
 # on is machine-independent, so it cannot flake on runner timing noise.
 perf-gate:
-	$(GO) test -run='^TestPerfGate' -count=1 ./internal/sa ./internal/tabu ./internal/cqm
+	$(GO) test -run='^TestPerfGate' -count=1 ./internal/sa ./internal/tabu ./internal/cqm ./internal/plancache
 	$(MAKE) bench-diff
 
 # fuzz-smoke gives every fuzz target a short randomized shake
@@ -81,6 +81,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadModel -fuzztime=$(FUZZTIME) ./internal/cqm
 	$(GO) test -run='^$$' -fuzz=FuzzEvaluator -fuzztime=$(FUZZTIME) ./internal/cqm
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME) ./internal/plancache
 
 # daemon-smoke exercises the serving daemon end to end from the
 # outside: build qulrbd, start it, POST a real instance over HTTP, poll

@@ -55,7 +55,7 @@ func parseScales(s string) ([]int, error) {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | faults | shard | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig3 | table2 | fig4 | table3 | fig5 | table4 | table5 | ksweep | stability | makespan | tuning | formulations | evolution | scaling | faults | shard | batchcache | all")
 		shardSize = flag.Int("shard-size", 8, "maximum processes per group for -exp shard")
 		fast      = flag.Bool("fast", false, "reduced solver budget")
 		seed      = flag.Int64("seed", 2024, "experiment seed")
@@ -356,6 +356,25 @@ func run() error {
 		}
 		sink.table("shard_scaling", experiments.ShardScaleTable(
 			fmt.Sprintf("Hierarchical wall-clock scaling — shard size 16, %d tasks/node, %v budget", tasksPerProc, budget), points))
+	}
+
+	if want("batchcache") {
+		ran = true
+		// Replay a repetitive multi-round trace against the batching
+		// coalescer + verified plan cache stacked in front of the
+		// hybrid cloud client: concurrent same-round requests coalesce
+		// into shared submissions, and rotated repeats of earlier
+		// rounds are served from the cache without any submission.
+		rounds, concurrent := 6, 8
+		if *fast {
+			rounds = 4
+		}
+		bc, err := experiments.RunBatchCache(ctx, cfg, rounds, concurrent)
+		if err != nil {
+			return err
+		}
+		sink.table("batchcache", experiments.BatchCacheTable(
+			fmt.Sprintf("Batching + verified plan cache — %d rounds x %d concurrent requests, drifting shapes", rounds, concurrent), bc))
 	}
 
 	if !ran {

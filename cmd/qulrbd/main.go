@@ -29,10 +29,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/exact"
 	"repro/internal/faults"
 	"repro/internal/hybrid"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/quantum"
 	"repro/internal/route"
 	"repro/internal/sa"
@@ -65,19 +67,29 @@ func run() error {
 		seed         = flag.Int64("seed", 1, "base seed for the stochastic backends")
 		faultRate    = flag.Float64("fault-rate", 0, "injected fault rate on the hybrid backend (testing)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
+		batchSize    = flag.Int("batch", 0, "coalesce up to N concurrent requests per hybrid cloud submission (0 disables batching)")
+		batchWait    = flag.Duration("batch-wait", batch.DefaultMaxWait, "max time a request waits for its batch to fill")
+		cacheCap     = flag.Int("cache", 0, "verified plan cache capacity in entries (0 disables caching)")
+		cacheEps     = flag.Float64("cache-eps", plancache.DefaultEpsilon, "load quantization epsilon for cache fingerprints")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	solvers, err := buildBackends(*backends, *sweeps, *seed, *faultRate)
+	solvers, closeBackends, err := buildBackends(*backends, *sweeps, *seed, *faultRate, *batchSize, *batchWait, reg)
 	if err != nil {
 		return err
 	}
+	defer closeBackends()
 	router, err := route.New(route.Options{Obs: reg, Name: "qulrbd"}, solvers...)
 	if err != nil {
 		return err
 	}
+	var cache *plancache.Cache
+	if *cacheCap > 0 {
+		cache = plancache.New(plancache.Config{Capacity: *cacheCap, Epsilon: *cacheEps, Obs: reg})
+	}
 	s, err := serve.New(serve.Options{
+		Cache:         cache,
 		Backend:       router,
 		Obs:           reg,
 		QueueDepth:    *queueDepth,
@@ -137,11 +149,22 @@ func run() error {
 	return nil
 }
 
-// buildBackends assembles the requested solver set. The quantum engine
-// is wrapped for the serving context: Serialized (its diagnostics are
-// not synchronized) and Gated (the statevector simulator is O(2^n)).
-func buildBackends(list string, sweeps int, seed int64, faultRate float64) ([]solve.Solver, error) {
+// buildBackends assembles the requested solver set and returns a
+// cleanup that releases whatever the backends own (the batching
+// coalescer and its cloud client). The quantum engine is wrapped for
+// the serving context: Serialized (its diagnostics are not
+// synchronized) and Gated (the statevector simulator is O(2^n)).
+// With -batch > 0 the hybrid backend is fronted by a request coalescer:
+// up to batchSize concurrent solves ride one cloud submission, and a
+// lone request waits at most batchWait before its batch flushes.
+func buildBackends(list string, sweeps int, seed int64, faultRate float64, batchSize int, batchWait time.Duration, reg *obs.Registry) ([]solve.Solver, func(), error) {
 	var out []solve.Solver
+	var closers []func()
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
 	for _, name := range strings.Split(list, ",") {
 		switch strings.TrimSpace(strings.ToLower(name)) {
 		case "":
@@ -158,15 +181,25 @@ func buildBackends(list string, sweeps int, seed int64, faultRate float64) ([]so
 			if faultRate > 0 {
 				opt.Faults = faults.NewInjector(faults.Chaos(seed, faultRate))
 			}
-			out = append(out, hybrid.New(opt))
+			if batchSize > 0 {
+				client := hybrid.NewClient(opt)
+				co := batch.New(batch.Config{
+					Client: client, MaxBatch: batchSize, MaxWait: batchWait, Obs: reg,
+				})
+				closers = append(closers, client.Close, co.Close)
+				out = append(out, co)
+			} else {
+				out = append(out, hybrid.New(opt))
+			}
 		case "quantum":
 			out = append(out, route.Serialized(route.Gated(quantum.NewEngine(), quantum.MaxQubits)))
 		default:
-			return nil, fmt.Errorf("unknown backend %q (want sa, tabu, exact, hybrid, quantum)", name)
+			closeAll()
+			return nil, nil, fmt.Errorf("unknown backend %q (want sa, tabu, exact, hybrid, quantum)", name)
 		}
 	}
 	if len(out) == 0 {
-		return nil, errors.New("no backends selected")
+		return nil, nil, errors.New("no backends selected")
 	}
-	return out, nil
+	return out, closeAll, nil
 }

@@ -1,0 +1,381 @@
+// Package batch coalesces concurrent solve requests into single cloud
+// submissions, amortizing the hybrid path's constant service latency.
+//
+// Table V's shape is a large fixed cloud overhead (submission +
+// hybrid-solver floor, ~seconds) dwarfing per-instance algorithm time.
+// Under traffic the win is therefore never per-request — it is sharing
+// that constant across requests. The Coalescer implements solve.Solver:
+// concurrent Solve calls are collected into a generation, and a
+// generation flushes when it holds MaxBatch instances or when MaxWait
+// has elapsed on the injected solve.Clock since its first request,
+// whichever comes first. A flush merges the pending CQMs into one
+// block-diagonal model, submits ONE job on the shared hybrid.Client
+// queue (one cloud round-trip for the whole batch), splits the merged
+// sample back per sub-model, and fans each caller's slice back out on
+// its own buffered channel.
+//
+// Per-caller context cancellation is honored at every stage: an
+// abandoned waiter never blocks the batch (delivery channels are
+// buffered), and when every waiter of a generation has abandoned, the
+// generation's flight context is cancelled so a queued cloud job is
+// withdrawn instead of solved for nobody.
+//
+// Clock semantics: the flush timer sleeps on the injected clock. Under
+// solve.Fake, Sleep returns as soon as fake time covers MaxWait — so a
+// generation flushes almost immediately and batches form only from
+// requests that are already concurrent. That is the correct reading of
+// "T ms elapsed"; tests that want to hold a generation open use a clock
+// whose Sleep blocks until released.
+//
+// When the underlying client has been closed, a flush's Submit fails
+// with hybrid.ErrClientClosed; the Coalescer surfaces that to every
+// waiter wrapped (errors.Is-able), and internal/resilient classifies it
+// as retryable, so a resilient wrapper falls back to its classical
+// solver instead of failing the round.
+//
+// Exported metrics (nil-safe via a nil obs.Registry):
+//
+//	batch.requests / batch.submissions         (counters)
+//	batch.flush_size / batch.flush_timeout /
+//	batch.flush_close / batch.abandoned        (counters: flush causes)
+//	batch.errors                               (counter)
+//	batch.size / batch.merged_vars             (histograms per flush)
+package batch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/hybrid"
+	"repro/internal/obs"
+	"repro/internal/solve"
+	"repro/internal/verify"
+)
+
+// DefaultMaxBatch is the generation size cap when Config.MaxBatch is 0.
+const DefaultMaxBatch = 8
+
+// DefaultMaxWait is the generation age cap when Config.MaxWait is 0:
+// well under the cloud overhead it amortizes, so batching never costs
+// more latency than one submission saves.
+const DefaultMaxWait = 5 * time.Millisecond
+
+// Config tunes a Coalescer.
+type Config struct {
+	// Client is the shared hybrid job queue flushes submit to. Required.
+	// The Coalescer does not own it: closing the Coalescer leaves the
+	// client running.
+	Client *hybrid.Client
+	// MaxBatch flushes a generation when it holds this many instances
+	// (DefaultMaxBatch when <= 0; 1 disables coalescing).
+	MaxBatch int
+	// MaxWait flushes a generation this long after its first request,
+	// measured on Clock (DefaultMaxWait when <= 0).
+	MaxWait time.Duration
+	// Clock drives the flush timer (solve.Real when nil).
+	Clock solve.Clock
+	// Obs receives batch.* metrics (nil is fine).
+	Obs *obs.Registry
+}
+
+// outcome is one waiter's delivered result.
+type outcome struct {
+	res *solve.Result
+	err error
+}
+
+// waiter is one pending Solve call.
+type waiter struct {
+	model *cqm.Model
+	off   int          // variable offset in the merged model (set at flush)
+	ch    chan outcome // buffered(1): delivery never blocks on an abandoned caller
+}
+
+// generation is one batch being collected, then flushed as one job.
+type generation struct {
+	waiters []*waiter
+	taken   bool // claimed by exactly one flusher (size, timer, close, or abandon)
+
+	// active counts waiters still listening, guarded by the coalescer
+	// mutex. When it reaches zero the generation is retired: if still
+	// pending it is taken so no new arrival joins a dead batch, and its
+	// flight context is cancelled so a sleeping timer or queued cloud
+	// job is withdrawn instead of serving nobody.
+	active       int
+	flight       context.Context
+	cancelFlight context.CancelFunc
+}
+
+// Coalescer is the batching front of the cloud path. It implements
+// solve.Solver and is safe for concurrent use.
+type Coalescer struct {
+	cfg Config
+
+	mu      sync.Mutex
+	pending *generation
+	closed  bool
+
+	cReq, cSub, cFlushSize, cFlushTimeout, cFlushClose, cAbandoned, cErr *obs.Counter
+	hSize, hVars                                                         *obs.Histogram
+}
+
+// New builds a Coalescer over the given client.
+func New(cfg Config) *Coalescer {
+	if cfg.Client == nil {
+		panic("batch: Config.Client is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultMaxWait
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = solve.Real()
+	}
+	r := cfg.Obs
+	return &Coalescer{
+		cfg:           cfg,
+		cReq:          r.Counter("batch.requests"),
+		cSub:          r.Counter("batch.submissions"),
+		cFlushSize:    r.Counter("batch.flush_size"),
+		cFlushTimeout: r.Counter("batch.flush_timeout"),
+		cFlushClose:   r.Counter("batch.flush_close"),
+		cAbandoned:    r.Counter("batch.abandoned"),
+		cErr:          r.Counter("batch.errors"),
+		hSize:         r.Histogram("batch.size", 1, 2, 4, 8, 16, 32, 64),
+		hVars:         r.Histogram("batch.merged_vars"),
+	}
+}
+
+// Name labels the batching layer in logs and result tables.
+func (c *Coalescer) Name() string { return "batch(hybrid)" }
+
+// Solve enqueues m into the current generation and blocks until the
+// batched cloud job delivers this caller's slice, or ctx is cancelled.
+func (c *Coalescer) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	w := &waiter{model: m, ch: make(chan outcome, 1)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		// The sentinel keeps post-close submissions errors.Is-able and
+		// retryable, exactly like a flush hitting a closed client.
+		return nil, fmt.Errorf("batch: coalescer closed: %w", hybrid.ErrClientClosed)
+	}
+	g := c.pending
+	if g == nil {
+		g = &generation{}
+		g.flight, g.cancelFlight = context.WithCancel(context.Background())
+		c.pending = g
+		// First request arms the flush timer on the injected clock.
+		go c.timer(g)
+	}
+	g.waiters = append(g.waiters, w)
+	g.active++
+	full := len(g.waiters) >= c.cfg.MaxBatch
+	if full {
+		g.taken = true
+		c.pending = nil
+	}
+	c.mu.Unlock()
+	c.cReq.Inc()
+
+	if full {
+		go c.flush(g, c.cFlushSize)
+	}
+
+	select {
+	case out := <-w.ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		c.abandon(g)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon records one waiter leaving g. The last one out retires the
+// generation: a still-pending batch is taken (counted abandoned) so no
+// new arrival joins it, and the flight context is cancelled to recall
+// a sleeping timer or an in-flight cloud wait.
+func (c *Coalescer) abandon(g *generation) {
+	c.mu.Lock()
+	g.active--
+	last := g.active == 0
+	if last && !g.taken {
+		g.taken = true
+		if c.pending == g {
+			c.pending = nil
+		}
+		c.cAbandoned.Inc()
+	}
+	c.mu.Unlock()
+	if last {
+		g.cancelFlight()
+	}
+}
+
+// activeOf reads g's live waiter count under the coalescer mutex.
+func (c *Coalescer) activeOf(g *generation) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return g.active
+}
+
+// timer flushes g after MaxWait on the clock unless a size or close
+// flush claimed it first, or every waiter abandoned it (abandon retires
+// the generation before cancelling the flight, so a Sleep error always
+// means there is nothing left to flush).
+func (c *Coalescer) timer(g *generation) {
+	if err := c.cfg.Clock.Sleep(g.flight, c.cfg.MaxWait); err != nil {
+		return
+	}
+	if !c.take(g) {
+		return
+	}
+	c.flush(g, c.cFlushTimeout)
+}
+
+// take claims g for one flusher; exactly one claimant wins.
+func (c *Coalescer) take(g *generation) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g.taken {
+		return false
+	}
+	g.taken = true
+	if c.pending == g {
+		c.pending = nil
+	}
+	return true
+}
+
+// Close stops accepting requests and flushes the pending generation so
+// no accepted caller is stranded. It does not close the client.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	g := c.pending
+	c.pending = nil
+	if g != nil {
+		g.taken = true
+	}
+	c.mu.Unlock()
+	if g != nil {
+		c.flush(g, c.cFlushClose)
+	}
+}
+
+// flush merges g's models block-diagonally, submits one client job,
+// splits the result, and delivers every waiter's slice. cause is the
+// flush-cause counter to credit.
+func (c *Coalescer) flush(g *generation, cause *obs.Counter) {
+	if c.activeOf(g) == 0 {
+		// Everyone left before the flush ran: spend no cloud time.
+		c.cAbandoned.Inc()
+		return
+	}
+	cause.Inc()
+	merged := c.merge(g)
+	c.hSize.Observe(float64(len(g.waiters)))
+	c.hVars.Observe(float64(merged.NumVars()))
+
+	id, err := c.cfg.Client.Submit(merged)
+	if err != nil {
+		// Typically hybrid.ErrClientClosed; keep it unwrappable so
+		// resilient classifies the failure as retryable.
+		c.fail(g, fmt.Errorf("batch: submitting %d-instance batch: %w", len(g.waiters), err))
+		return
+	}
+	c.cSub.Inc()
+	res, err := c.cfg.Client.Wait(g.flight, id)
+	if err != nil {
+		if c.activeOf(g) == 0 {
+			// Abandoned mid-flight; best effort withdraw, nobody listens.
+			c.cfg.Client.Cancel(id)
+			c.cAbandoned.Inc()
+			return
+		}
+		c.fail(g, fmt.Errorf("batch: waiting for batched job %d: %w", id, err))
+		return
+	}
+	c.split(g, res)
+}
+
+// fail delivers err to every waiter.
+func (c *Coalescer) fail(g *generation, err error) {
+	c.cErr.Inc()
+	for _, w := range g.waiters {
+		w.ch <- outcome{err: err}
+	}
+}
+
+// merge builds the block-diagonal union model: each sub-model's
+// variables are appended at its recorded offset; objectives add, and
+// constraints are carried over with a per-block name prefix so a
+// violation report still names its source instance.
+func (c *Coalescer) merge(g *generation) *cqm.Model {
+	merged := cqm.New()
+	for bi, w := range g.waiters {
+		w.off = merged.NumVars()
+		off := cqm.VarID(w.off)
+		n := w.model.NumVars()
+		for v := 0; v < n; v++ {
+			merged.AddBinary(fmt.Sprintf("b%d.%s", bi, w.model.VarName(cqm.VarID(v))))
+		}
+		linear, quad, squares, offset := w.model.ObjectiveParts()
+		for _, t := range linear {
+			merged.AddObjectiveLinear(t.Var+off, t.Coef)
+		}
+		for _, q := range quad {
+			merged.AddObjectiveQuad(q.A+off, q.B+off, q.Coef)
+		}
+		for i := range squares {
+			merged.AddObjectiveSquared(shift(&squares[i], off))
+		}
+		merged.AddObjectiveOffset(offset)
+		cs := w.model.Constraints()
+		for i := range cs {
+			merged.AddConstraint(fmt.Sprintf("b%d.%s", bi, cs[i].Name), shift(&cs[i].Expr, off), cs[i].Sense, cs[i].RHS)
+		}
+	}
+	return merged
+}
+
+// shift clones a linear expression with every variable offset.
+func shift(e *cqm.LinExpr, off cqm.VarID) cqm.LinExpr {
+	s := cqm.LinExpr{Offset: e.Offset, Terms: make([]cqm.Term, len(e.Terms))}
+	for i, t := range e.Terms {
+		s.Terms[i] = cqm.Term{Var: t.Var + off, Coef: t.Coef}
+	}
+	return s
+}
+
+// split carves the merged sample back into per-waiter results. Each
+// waiter's objective and feasibility are recomputed against its own
+// sub-model — never inferred from the merged job's aggregate — and its
+// Stats are the shared batch's stats (the cloud overhead each caller
+// would otherwise have paid alone).
+func (c *Coalescer) split(g *generation, res *solve.Result) {
+	for _, w := range g.waiters {
+		n := w.model.NumVars()
+		out := outcome{}
+		if res == nil || len(res.Sample) < w.off+n {
+			out.err = fmt.Errorf("batch: merged sample too short for block at %d+%d", w.off, n)
+			c.cErr.Inc()
+		} else {
+			sub := make([]bool, n)
+			copy(sub, res.Sample[w.off:w.off+n])
+			out.res = &solve.Result{
+				Sample:    sub,
+				Objective: w.model.Objective(sub),
+				Feasible:  w.model.Feasible(sub, verify.DefaultTol),
+				Stats:     res.Stats,
+			}
+		}
+		w.ch <- out
+	}
+}

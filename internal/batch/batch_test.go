@@ -1,0 +1,333 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/hybrid"
+	"repro/internal/obs"
+	"repro/internal/resilient"
+	"repro/internal/sa"
+	"repro/internal/solve"
+)
+
+// gateClock holds every flush timer until the test releases the gate —
+// deterministic control over the MaxWait trigger without real time.
+type gateClock struct{ release chan struct{} }
+
+func newGateClock() *gateClock { return &gateClock{release: make(chan struct{})} }
+
+func (g *gateClock) Now() time.Time                { return time.Unix(0, 0) }
+func (g *gateClock) Since(time.Time) time.Duration { return 0 }
+func (g *gateClock) Sleep(ctx context.Context, _ time.Duration) error {
+	select {
+	case <-g.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// pickOne builds a tiny model with a unique optimum: exactly one of n
+// variables is set (constraint), and variable `best` has the lowest
+// cost, so a correct solve returns the one-hot vector at `best`. The
+// per-caller cost pattern makes cross-block mix-ups detectable.
+func pickOne(n, best int) *cqm.Model {
+	m := cqm.New()
+	var sum cqm.LinExpr
+	for v := 0; v < n; v++ {
+		id := m.AddBinary(fmt.Sprintf("x%d", v))
+		cost := 10.0 + float64(v)
+		if v == best {
+			cost = 1
+		}
+		m.AddObjectiveLinear(id, cost)
+		sum.Add(id, 1)
+	}
+	m.AddConstraint("one", sum, cqm.Eq, 1)
+	return m
+}
+
+func newTestClient(t *testing.T) *hybrid.Client {
+	t.Helper()
+	c := hybrid.NewClient(hybrid.Options{Reads: 4, Sweeps: 200, Seed: 7, Presolve: true})
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestSizeFlushCoalesces: MaxBatch concurrent requests become exactly
+// one cloud submission, and every caller gets its own block's optimum
+// back (objective and sample recomputed against its own model).
+func TestSizeFlushCoalesces(t *testing.T) {
+	const n = 4
+	client := newTestClient(t)
+	reg := obs.NewRegistry()
+	co := New(Config{Client: client, MaxBatch: n, MaxWait: time.Hour, Clock: newGateClock(), Obs: reg})
+	defer co.Close()
+
+	var wg sync.WaitGroup
+	results := make([]*solve.Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = co.Solve(context.Background(), pickOne(3+i, i%3))
+		}(i)
+	}
+	wg.Wait()
+
+	if got := client.Jobs(); got != 1 {
+		t.Fatalf("client saw %d submissions, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		res := results[i]
+		if res == nil || len(res.Sample) != 3+i {
+			t.Fatalf("caller %d: wrong sample size %d, want %d", i, len(res.Sample), 3+i)
+		}
+		if !res.Feasible {
+			t.Fatalf("caller %d: infeasible batched result", i)
+		}
+		for v, set := range res.Sample {
+			if want := v == i%3; set != want {
+				t.Fatalf("caller %d: sample[%d]=%v, want %v (objective %g)", i, v, set, want, res.Objective)
+			}
+		}
+		if res.Objective != 1 {
+			t.Fatalf("caller %d: objective %g, want 1", i, res.Objective)
+		}
+	}
+	if v := reg.Counter("batch.submissions").Value(); v != 1 {
+		t.Fatalf("batch.submissions = %d, want 1", v)
+	}
+	if v := reg.Counter("batch.flush_size").Value(); v != 1 {
+		t.Fatalf("batch.flush_size = %d, want 1", v)
+	}
+	if v := reg.Counter("batch.requests").Value(); v != int64(n) {
+		t.Fatalf("batch.requests = %d, want %d", v, n)
+	}
+}
+
+// TestTimerFlush: a lone request is flushed by the MaxWait timer, not
+// stranded waiting for a full batch.
+func TestTimerFlush(t *testing.T) {
+	client := newTestClient(t)
+	reg := obs.NewRegistry()
+	gate := newGateClock()
+	co := New(Config{Client: client, MaxBatch: 64, MaxWait: time.Hour, Clock: gate, Obs: reg})
+	defer co.Close()
+
+	done := make(chan struct{})
+	var res *solve.Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = co.Solve(context.Background(), pickOne(4, 2))
+	}()
+	close(gate.release) // fire the flush timer
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 1 {
+		t.Fatalf("timer-flushed solve: feasible=%v objective=%g", res.Feasible, res.Objective)
+	}
+	if v := reg.Counter("batch.flush_timeout").Value(); v != 1 {
+		t.Fatalf("batch.flush_timeout = %d, want 1", v)
+	}
+	if got := client.Jobs(); got != 1 {
+		t.Fatalf("client saw %d submissions, want 1", got)
+	}
+}
+
+// TestFakeClockFlushesImmediately: under solve.Fake, the flush timer's
+// Sleep advances fake time instead of blocking, so a generation drains
+// without any real waiting — the documented fake-clock semantics.
+func TestFakeClockFlushesImmediately(t *testing.T) {
+	client := newTestClient(t)
+	co := New(Config{Client: client, MaxBatch: 64, MaxWait: time.Hour, Clock: solve.NewFake(time.Unix(0, 0))})
+	defer co.Close()
+	res, err := co.Solve(context.Background(), pickOne(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible")
+	}
+}
+
+// TestWaiterCancellation: one caller abandoning its context neither
+// blocks nor poisons the rest of the generation.
+func TestWaiterCancellation(t *testing.T) {
+	client := newTestClient(t)
+	gate := newGateClock()
+	co := New(Config{Client: client, MaxBatch: 64, MaxWait: time.Hour, Clock: gate})
+	defer co.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := make(chan error, 1)
+	go func() {
+		_, err := co.Solve(ctx, pickOne(3, 0))
+		abandoned <- err
+	}()
+	// Make sure the doomed waiter joined a generation, then abandon it;
+	// the emptied generation is retired, so the survivor starts fresh.
+	waitPending(t, co, 1)
+	cancel()
+	if err := <-abandoned; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter got %v, want context.Canceled", err)
+	}
+
+	survived := make(chan struct{})
+	var res *solve.Result
+	var err error
+	go func() {
+		defer close(survived)
+		res, err = co.Solve(context.Background(), pickOne(4, 2))
+	}()
+	waitPending(t, co, 1)
+	close(gate.release)
+	<-survived
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 1 {
+		t.Fatalf("survivor: feasible=%v objective=%g", res.Feasible, res.Objective)
+	}
+}
+
+// TestFullyAbandonedGenerationSubmitsNothing: when every waiter leaves
+// before the flush, no cloud job is spent on the empty generation.
+func TestFullyAbandonedGenerationSubmitsNothing(t *testing.T) {
+	client := newTestClient(t)
+	reg := obs.NewRegistry()
+	co := New(Config{Client: client, MaxBatch: 64, MaxWait: time.Hour, Clock: newGateClock(), Obs: reg})
+	defer co.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := co.Solve(ctx, pickOne(3, 0))
+		errc <- err
+	}()
+	waitPending(t, co, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The abandonment cancels the flight context, which wakes the
+	// timer; give it a bounded moment to observe and account for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("batch.abandoned").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for batch.abandoned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := client.Jobs(); got != 0 {
+		t.Fatalf("client saw %d submissions for an abandoned batch, want 0", got)
+	}
+}
+
+// waitPending spins until the coalescer's pending generation holds n
+// waiters — synchronization on the batcher's own state, not real time.
+func waitPending(t *testing.T, co *Coalescer, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		co.mu.Lock()
+		got := 0
+		if co.pending != nil {
+			got = len(co.pending.waiters)
+		}
+		co.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d pending waiters (have %d)", n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClosedClientSurfacesSentinel is the ISSUE's satellite assertion:
+// a flush against a closed client, and a Solve against a closed
+// coalescer, both fail with an error wrapping hybrid.ErrClientClosed.
+func TestClosedClientSurfacesSentinel(t *testing.T) {
+	client := hybrid.NewClient(hybrid.Options{Reads: 1, Sweeps: 10})
+	client.Close()
+	co := New(Config{Client: client, MaxBatch: 1, MaxWait: time.Hour, Clock: newGateClock()})
+	_, err := co.Solve(context.Background(), pickOne(3, 0))
+	if !errors.Is(err, hybrid.ErrClientClosed) {
+		t.Fatalf("flush against closed client: %v, want hybrid.ErrClientClosed", err)
+	}
+
+	co.Close()
+	_, err = co.Solve(context.Background(), pickOne(3, 0))
+	if !errors.Is(err, hybrid.ErrClientClosed) {
+		t.Fatalf("solve on closed coalescer: %v, want hybrid.ErrClientClosed", err)
+	}
+}
+
+// TestResilientTreatsClosedClientAsRetryable: wrapped in the resilience
+// layer, a batcher whose client has shut down degrades to the classical
+// fallback instead of failing the round.
+func TestResilientTreatsClosedClientAsRetryable(t *testing.T) {
+	client := hybrid.NewClient(hybrid.Options{Reads: 1, Sweeps: 10})
+	client.Close()
+	co := New(Config{Client: client, MaxBatch: 1, MaxWait: time.Hour, Clock: newGateClock()})
+	defer co.Close()
+
+	wrapped := resilient.New(co, resilient.Options{
+		MaxAttempts: 2,
+		BaseBackoff: time.Nanosecond,
+		Clock:       solve.NewFake(time.Unix(0, 0)),
+		Fallback:    sa.NewEngine(),
+	})
+	res, err := wrapped.Solve(context.Background(), pickOne(4, 1), solve.WithSeed(3))
+	if err != nil {
+		t.Fatalf("resilient wrapper failed instead of falling back: %v", err)
+	}
+	if res.Stats.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1 (cloud path should be exhausted)", res.Stats.Fallbacks)
+	}
+	if !res.Feasible {
+		t.Fatal("fallback result infeasible")
+	}
+}
+
+// TestCloseFlushesPending: accepted requests are not stranded by Close.
+func TestCloseFlushesPending(t *testing.T) {
+	client := newTestClient(t)
+	reg := obs.NewRegistry()
+	co := New(Config{Client: client, MaxBatch: 64, MaxWait: time.Hour, Clock: newGateClock(), Obs: reg})
+
+	done := make(chan struct{})
+	var res *solve.Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = co.Solve(context.Background(), pickOne(5, 3))
+	}()
+	waitPending(t, co, 1)
+	co.Close()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 1 {
+		t.Fatalf("close-flushed solve: feasible=%v objective=%g", res.Feasible, res.Objective)
+	}
+	if v := reg.Counter("batch.flush_close").Value(); v != 1 {
+		t.Fatalf("batch.flush_close = %d, want 1", v)
+	}
+}

@@ -1,0 +1,42 @@
+package batch
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hybrid"
+)
+
+// BenchmarkBatchThroughput measures the coalescer end to end: each
+// iteration fires MaxBatch concurrent solves that form exactly one
+// size-triggered batch (the gate clock never fires the timer), ride one
+// cloud submission, and fan back out. The deterministic batch shape
+// keeps allocs/op a gateable measurement rather than scheduling noise.
+func BenchmarkBatchThroughput(b *testing.B) {
+	const width = 8
+	client := hybrid.NewClient(hybrid.Options{Reads: 1, Sweeps: 50, Seed: 1, Presolve: true})
+	defer client.Close()
+	co := New(Config{Client: client, MaxBatch: width, MaxWait: time.Hour, Clock: newGateClock()})
+	defer co.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < width; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				if _, err := co.Solve(context.Background(), pickOne(4, j%4)); err != nil {
+					b.Error(err)
+				}
+			}(j)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(width*b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(client.Jobs())/float64(b.N), "submissions/op")
+}

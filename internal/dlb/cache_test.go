@@ -1,0 +1,134 @@
+package dlb
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+	"repro/internal/obs"
+	"repro/internal/plancache"
+)
+
+// countingRebalancer wraps a method and counts how often the driver
+// actually invokes it — cache hits must not reach the method at all.
+type countingRebalancer struct {
+	inner balancer.Rebalancer
+	calls int
+}
+
+func (c *countingRebalancer) Name() string { return c.inner.Name() }
+
+func (c *countingRebalancer) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
+	c.calls++
+	return c.inner.Rebalance(ctx, in)
+}
+
+// TestRunCacheShortCircuitsStaticWorkload: a static workload repeats
+// one instance, so after the first round every plan comes from the
+// cache and the method is never called again.
+func TestRunCacheShortCircuitsStaticWorkload(t *testing.T) {
+	const iters = 6
+	method := &countingRebalancer{inner: balancer.ProactLB{}}
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Runtime:    runtimeCfg(),
+		Iterations: iters,
+		Cache:      plancache.New(plancache.Config{}),
+		Obs:        reg,
+	}
+	res, err := Run(context.Background(), StaticWorkload{In: testInstance()}, method, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method.calls != 1 {
+		t.Fatalf("method invoked %d times, want 1 (cache must absorb repeats)", method.calls)
+	}
+	if res.CacheHits != iters-1 {
+		t.Fatalf("CacheHits = %d, want %d", res.CacheHits, iters-1)
+	}
+	if v := reg.Counter("dlb.cache_hits").Value(); v != int64(iters-1) {
+		t.Fatalf("dlb.cache_hits = %d, want %d", v, iters-1)
+	}
+	if res.Iterations[0].CacheHit {
+		t.Fatal("first round cannot be a cache hit")
+	}
+	for i := 1; i < iters; i++ {
+		ir := res.Iterations[i]
+		if !ir.CacheHit || ir.Degraded {
+			t.Fatalf("iteration %d: CacheHit=%v Degraded=%v", i, ir.CacheHit, ir.Degraded)
+		}
+		// A cached round must match the solved round's quality exactly:
+		// same instance, same (byte-identical) plan.
+		if ir.Imbalance != res.Iterations[0].Imbalance {
+			t.Fatalf("iteration %d: imbalance %v != first round's %v", i, ir.Imbalance, res.Iterations[0].Imbalance)
+		}
+	}
+	if res.DegradedRounds != 0 {
+		t.Fatalf("DegradedRounds = %d", res.DegradedRounds)
+	}
+}
+
+// TestRunCacheHitsPermutedDrift: a drifting workload rotates the weight
+// vector every round. The instances differ positionally but share the
+// canonical fingerprint, so rounds 1..m-1 are served permuted replays
+// of round 0's plan — the rebalancer runs exactly once per distinct
+// load shape, not once per round.
+func TestRunCacheHitsPermutedDrift(t *testing.T) {
+	const iters = 8 // two full rotations of the m=4 hot spot
+	method := &countingRebalancer{inner: balancer.ProactLB{}}
+	cfg := Config{
+		Runtime:    runtimeCfg(),
+		Iterations: iters,
+		Cache:      plancache.New(plancache.Config{}),
+	}
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	res, err := Run(context.Background(), w, method, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method.calls != 1 {
+		t.Fatalf("method invoked %d times, want 1 (rotations share one canonical shape)", method.calls)
+	}
+	if res.CacheHits != iters-1 {
+		t.Fatalf("CacheHits = %d, want %d", res.CacheHits, iters-1)
+	}
+	// Cached permuted plans must not cost quality: the run still beats
+	// the baseline on the drifting hot spot.
+	if res.Speedup <= 1 {
+		t.Fatalf("speedup %v with cached plans, want > 1", res.Speedup)
+	}
+	if res.DegradedRounds != 0 {
+		t.Fatalf("DegradedRounds = %d", res.DegradedRounds)
+	}
+}
+
+// TestRunCacheKeyedByBudget: entries are keyed by the migration budget,
+// so a run with a different budget never reuses a plan cached under a
+// looser one.
+func TestRunCacheKeyedByBudget(t *testing.T) {
+	cache := plancache.New(plancache.Config{})
+	w := StaticWorkload{In: testInstance()}
+
+	loose := &countingRebalancer{inner: balancer.ProactLB{}}
+	if _, err := Run(context.Background(), w, loose, Config{
+		Runtime: runtimeCfg(), Iterations: 2, Cache: cache,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tight := &countingRebalancer{inner: balancer.ProactLB{}}
+	res, err := Run(context.Background(), w, tight, Config{
+		Runtime: runtimeCfg(), Iterations: 2, Cache: cache, MigrationBudget: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.calls == 0 {
+		t.Fatal("budgeted run reused a plan cached under no budget")
+	}
+	for _, ir := range res.Iterations {
+		if ir.Migrated > 3 && !ir.Degraded {
+			t.Fatalf("budget violated: migrated %d", ir.Migrated)
+		}
+	}
+}

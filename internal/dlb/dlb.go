@@ -21,6 +21,7 @@ import (
 	"repro/internal/chameleon"
 	"repro/internal/lrp"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/verify"
 )
 
@@ -103,11 +104,35 @@ type Config struct {
 	// verified for integrity but not against the budget, since applying
 	// the plan the machine already has migrates nothing.
 	MigrationBudget int
+	// Cache, when non-nil, is consulted before each round's rebalance
+	// call: an instance whose fingerprint matches a previously verified
+	// plan is served from the cache and the method is not invoked at
+	// all — the common case under slowly-drifting or periodic workloads
+	// where many rounds see the same (or a permuted) load vector. A hit
+	// still walks the full verify-then-apply candidate ladder below, so
+	// a cached plan is held to exactly the same standard as a fresh one
+	// (including the migration budget). Clean fresh plans are stored
+	// back after they apply. Hits are flagged per iteration, summed in
+	// Result.CacheHits and counted on the dlb.cache_hits counter.
+	Cache *plancache.Cache
 	// Obs, when non-nil, receives one "dlb.round" span per iteration
 	// (tagged with the method, migration count and degradation flag) and
 	// the counters dlb.rounds / dlb.degraded_rounds /
-	// dlb.rejected_plans.
+	// dlb.rejected_plans / dlb.cache_hits.
 	Obs *obs.Registry
+}
+
+// cacheParams keys the plan cache for this driver: the migration budget
+// is part of the key (a plan cached under a looser budget may move more
+// tasks than a tighter run allows), and the Form slot is pinned to -1
+// so driver entries never alias the server's formulation-keyed entries
+// when a cache is shared.
+func (cfg Config) cacheParams() plancache.Params {
+	k := -1
+	if cfg.MigrationBudget > 0 {
+		k = cfg.MigrationBudget
+	}
+	return plancache.Params{K: k, Form: -1}
 }
 
 // IterationResult records one iteration of the driven run.
@@ -126,6 +151,9 @@ type IterationResult struct {
 	// Degraded reports that the rebalancing method failed this round
 	// and the previous plan (or the identity plan) was applied instead.
 	Degraded bool
+	// CacheHit reports that the round's plan came from the plan cache
+	// and the rebalancing method was never invoked.
+	CacheHit bool
 	// Err is the rebalance error the round survived (nil unless
 	// Degraded).
 	Err error
@@ -141,6 +169,9 @@ type Result struct {
 	// DegradedRounds counts iterations that survived a rebalance
 	// failure on a stale or identity plan.
 	DegradedRounds int
+	// CacheHits counts iterations served from the plan cache without
+	// invoking the rebalancing method.
+	CacheHits int
 	// Speedup is TotalBaselineMs / TotalMakespanMs.
 	Speedup float64
 }
@@ -181,12 +212,19 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 		}
 		baseStats := base.RunIteration()
 
-		plan, rerr := method.Rebalance(ctx, in)
-		if rerr != nil {
-			if cfg.Strict || ctx.Err() != nil {
-				return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
+		var plan *lrp.Plan
+		var rerr error
+		cacheHit := false
+		if plan, cacheHit = cfg.Cache.Get(in, cfg.cacheParams()); cacheHit {
+			cfg.Obs.Counter("dlb.cache_hits").Inc()
+		} else {
+			plan, rerr = method.Rebalance(ctx, in)
+			if rerr != nil {
+				if cfg.Strict || ctx.Err() != nil {
+					return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
+				}
+				plan = nil // degrade below
 			}
-			plan = nil // degrade below
 		}
 
 		// Apply the plan; on failure degrade progressively: method plan
@@ -249,6 +287,7 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 			CommMs:             mig.CommTimeMs,
 			Imbalance:          lrp.Evaluate(in, plan).Imbalance,
 			Degraded:           degraded,
+			CacheHit:           cacheHit && !degraded,
 		}
 		if degraded {
 			ir.Err = fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
@@ -256,6 +295,14 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 			cfg.Obs.Counter("dlb.degraded_rounds").Inc()
 		} else {
 			prev = plan
+			if ir.CacheHit {
+				res.CacheHits++
+			} else {
+				// Store the freshly-verified, freshly-applied plan for
+				// the rounds that will see this load shape again. Put
+				// re-verifies; a failure only means no caching.
+				_ = cfg.Cache.Put(in, cfg.cacheParams(), plan)
+			}
 		}
 		cfg.Obs.Counter("dlb.rounds").Inc()
 		round.Set("migrated", ir.Migrated).Set("makespan_ms", ir.MakespanMs).

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/batch"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/plancache"
+	"repro/internal/qlrb"
+	"repro/internal/report"
+	"repro/internal/solve"
+	"repro/internal/verify"
+)
+
+// BatchCacheRound records one replayed round of the batching+caching
+// trace: how many requests arrived, how many were served straight from
+// the verified plan cache, and how many cloud submissions the round
+// actually cost.
+type BatchCacheRound struct {
+	Round       int
+	Requests    int
+	CacheHits   int
+	Submissions int
+}
+
+// BatchCacheResult aggregates the replay: total requests vs total
+// hybrid cloud submissions (the ratio the batching+caching front is
+// for), plus the cache's own accounting.
+type BatchCacheResult struct {
+	Rounds []BatchCacheRound
+	// Requests is the total number of solve requests replayed.
+	Requests int
+	// Submissions is the number of jobs the hybrid client actually saw
+	// (counted on the client itself, not by the batcher).
+	Submissions int
+	// Ratio is Requests / Submissions.
+	Ratio float64
+	// Cache is the plan cache's final accounting (hits, misses,
+	// rejects, evictions) — rejects/evictions stay visible even when
+	// zero, so a poisoned cache cannot hide.
+	Cache plancache.Stats
+	// BatchedPerFlush is Submissions' worth of context: average
+	// instances merged per cloud submission across the replay.
+	BatchedPerFlush float64
+}
+
+// RunBatchCache replays a repetitive multi-round rebalancing trace —
+// the access pattern a periodic BSP workload produces — against the
+// batching coalescer and the verified plan cache stacked in front of
+// the hybrid cloud client:
+//
+//   - each round fires `concurrency` solve requests at once (distinct
+//     load shapes, as distinct tenants would);
+//   - between rounds every shape's weight vector rotates, the way a
+//     drifting hot spot moves around the machine, so later rounds
+//     repeat earlier rounds' shapes only up to process permutation.
+//
+// Round 0 is all misses: its concurrent requests coalesce into a
+// handful of cloud submissions. Every later round is served from the
+// cache — the permutation-canonical fingerprint recognizes the rotated
+// instances — and costs no submissions at all. Every plan handed back
+// (cached or fresh) is independently re-verified here with verify.Plan;
+// a single unverifiable plan fails the experiment.
+func RunBatchCache(ctx context.Context, cfg Config, rounds, concurrency int) (*BatchCacheResult, error) {
+	if rounds <= 0 {
+		rounds = 6
+	}
+	if concurrency <= 0 {
+		concurrency = 8
+	}
+
+	// Distinct base shapes: m=6 processes, 10 tasks each, one hot spot
+	// whose height depends on the shape index. Rotating the weight
+	// vector between rounds keeps the multiset (and the canonical
+	// fingerprint) while changing the positional instance.
+	const m, tasksPerProc = 6, 10
+	bases := make([]*lrp.Instance, concurrency)
+	ks := make([]int, concurrency)
+	for i := range bases {
+		tasks := make([]int, m)
+		weights := make([]float64, m)
+		for j := 0; j < m; j++ {
+			tasks[j] = tasksPerProc
+			weights[j] = 1
+		}
+		weights[0] = float64(3 + i%4)
+		in, err := lrp.NewInstance(tasks, weights)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shape %d: %w", ErrMethod, i, err)
+		}
+		bases[i] = in
+		// The paper's protocol: k is the classical method's migration
+		// count. It depends only on the weight multiset, so one k per
+		// shape serves every rotation.
+		proact, err := balancer.ProactLB{}.Rebalance(ctx, in)
+		if err != nil {
+			return nil, fmt.Errorf("%w: proactlb shape %d: %w", ErrMethod, i, err)
+		}
+		ks[i] = proact.Migrated()
+	}
+	rotate := func(in *lrp.Instance, by int) (*lrp.Instance, error) {
+		w := make([]float64, m)
+		for j := 0; j < m; j++ {
+			w[j] = in.Weight[(j+by)%m]
+		}
+		return lrp.NewInstance(in.Tasks, w)
+	}
+
+	client := hybrid.NewClient(cfg.hybridOptions(cfg.Seed * 31))
+	defer client.Close()
+	co := batch.New(batch.Config{
+		Client:   client,
+		MaxBatch: concurrency,
+		MaxWait:  50 * time.Millisecond,
+		Obs:      cfg.Obs,
+	})
+	defer co.Close()
+	cache := plancache.New(plancache.Config{Obs: cfg.Obs})
+
+	res := &BatchCacheResult{}
+	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		before := client.Jobs()
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			hits   int
+			firstE error
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if firstE == nil {
+				firstE = err
+			}
+			mu.Unlock()
+		}
+		for i := 0; i < concurrency; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				in, err := rotate(bases[i], r%m)
+				if err != nil {
+					fail(err)
+					return
+				}
+				params := plancache.Params{K: ks[i], Form: int(qlrb.QCQM1)}
+				plan, hit := cache.Get(in, params)
+				if !hit {
+					plan, _, err = qlrb.Solve(ctx, in, qlrb.SolveOptions{
+						Build: qlrb.BuildOptions{Form: qlrb.QCQM1, K: ks[i]},
+						// The coalescer replaces the per-solve hybrid
+						// engine: every miss rides the shared batch.
+						Wrap: func(solve.Solver) solve.Solver { return co },
+						Obs:  cfg.Obs,
+					})
+					if err != nil {
+						fail(fmt.Errorf("round %d shape %d: %w", r, i, err))
+						return
+					}
+					if err := cache.Put(in, params, plan); err != nil {
+						fail(fmt.Errorf("round %d shape %d: cache put: %w", r, i, err))
+						return
+					}
+				}
+				// Independent re-verification of every served plan —
+				// the acceptance bar: cached or fresh, nothing
+				// unverified leaves the experiment.
+				if rep := verify.Plan(in, plan, ks[i], verify.Options{}); !rep.Ok() {
+					fail(fmt.Errorf("round %d shape %d: served plan fails verification (hit=%v): %w", r, i, hit, rep.Err()))
+					return
+				}
+				if hit {
+					mu.Lock()
+					hits++
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		if firstE != nil {
+			return nil, fmt.Errorf("%w: %w", ErrMethod, firstE)
+		}
+		res.Rounds = append(res.Rounds, BatchCacheRound{
+			Round:       r,
+			Requests:    concurrency,
+			CacheHits:   hits,
+			Submissions: client.Jobs() - before,
+		})
+		res.Requests += concurrency
+	}
+	res.Submissions = client.Jobs()
+	if res.Submissions > 0 {
+		res.Ratio = float64(res.Requests) / float64(res.Submissions)
+		batched := res.Requests - int(cache.Stats().Hits)
+		res.BatchedPerFlush = float64(batched) / float64(res.Submissions)
+	}
+	res.Cache = cache.Stats()
+	return res, nil
+}
+
+// BatchCacheTable renders the replay: per-round requests vs cloud
+// submissions, then the totals and the cache's own ledger.
+func BatchCacheTable(title string, r *BatchCacheResult) *report.Table {
+	t := report.NewTable(title, "round", "requests", "cache hits", "submissions")
+	for _, p := range r.Rounds {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Round),
+			fmt.Sprintf("%d", p.Requests),
+			fmt.Sprintf("%d", p.CacheHits),
+			fmt.Sprintf("%d", p.Submissions),
+		)
+	}
+	t.AddRow("total", fmt.Sprintf("%d", r.Requests), fmt.Sprintf("%d", r.Cache.Hits), fmt.Sprintf("%d", r.Submissions))
+	t.AddRow("ratio", fmt.Sprintf("%.1fx fewer submissions", r.Ratio), "", "")
+	t.AddRow("avg batch", fmt.Sprintf("%.1f instances/submission", r.BatchedPerFlush), "", "")
+	t.AddRow("cache", fmt.Sprintf("hits %d", r.Cache.Hits), fmt.Sprintf("misses %d", r.Cache.Misses),
+		fmt.Sprintf("rejects %d / evictions %d", r.Cache.Rejects, r.Cache.Evictions))
+	return t
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunBatchCacheReducesSubmissions is the acceptance bar of the
+// batching+caching front: a repetitive trace must cost at least 5x
+// fewer hybrid cloud submissions than it has requests, with every
+// served plan verified (RunBatchCache fails on any unverified plan).
+func TestRunBatchCacheReducesSubmissions(t *testing.T) {
+	cfg := FastConfig()
+	res, err := RunBatchCache(context.Background(), cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 16 {
+		t.Fatalf("Requests = %d, want 16", res.Requests)
+	}
+	if res.Submissions == 0 {
+		t.Fatal("no submissions at all — round 0 must miss")
+	}
+	if res.Ratio < 5 {
+		t.Fatalf("requests/submissions = %.1f, want >= 5 (submissions %d)", res.Ratio, res.Submissions)
+	}
+	// Rounds after the first are rotations of round 0's shapes: all hits.
+	for _, p := range res.Rounds[1:] {
+		if p.CacheHits != p.Requests {
+			t.Fatalf("round %d: %d/%d cache hits, want all (rotation must share the canonical fingerprint)",
+				p.Round, p.CacheHits, p.Requests)
+		}
+		if p.Submissions != 0 {
+			t.Fatalf("round %d: %d submissions on a fully-cached round", p.Round, p.Submissions)
+		}
+	}
+	if res.Cache.Rejects != 0 || res.Cache.PutRejects != 0 {
+		t.Fatalf("clean replay rejected cache entries: %+v", res.Cache)
+	}
+	tbl := BatchCacheTable("t", res)
+	if tbl.NumRows() < len(res.Rounds)+4 {
+		t.Fatalf("table rows %d", tbl.NumRows())
+	}
+}

@@ -167,6 +167,15 @@ func (c *Client) Submit(m *cqm.Model) (JobID, error) {
 	return j.id, nil
 }
 
+// Jobs returns the number of jobs ever submitted — the independent
+// "how many cloud round-trips did we actually pay for" counter the
+// batching layer and its experiments are judged against.
+func (c *Client) Jobs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextID
+}
+
 // Wait blocks until the job completes or ctx is cancelled.
 func (c *Client) Wait(ctx context.Context, id JobID) (*solve.Result, error) {
 	c.mu.Lock()

@@ -9,7 +9,8 @@ package mxm
 import (
 	"fmt"
 	"math/rand"
-	"time"
+
+	"repro/internal/solve"
 )
 
 // Sizes returns the matrix sizes used by the paper's experiments:
@@ -87,13 +88,21 @@ func (c CostModel) Cost(size int) float64 {
 // Calibrate measures the real multiply kernel at the given size and
 // returns a cost model fitted to this machine. Generators use the
 // default model so experiments stay deterministic; Calibrate exists for
-// examples that execute real kernels.
+// examples that execute real kernels. It measures on the real clock;
+// use CalibrateOn to supply an injected solve.Clock (the repo-wide
+// contract — a fake-clock harness must see the sweep's wall time on
+// its own clock, not the system's).
 func Calibrate(size int) CostModel {
+	return CalibrateOn(solve.Real(), size)
+}
+
+// CalibrateOn is Calibrate timed on the given clock.
+func CalibrateOn(clock solve.Clock, size int) CostModel {
 	b := NewRandomMatrix(size, 1)
 	c := NewRandomMatrix(size, 2)
-	start := time.Now()
+	start := clock.Now()
 	Multiply(b, c)
-	elapsed := time.Since(start)
+	elapsed := clock.Since(start)
 	ops := 2 * float64(size) * float64(size) * float64(size)
 	return CostModel{CoefMsPerOp: float64(elapsed.Milliseconds()) / ops}
 }

@@ -1,9 +1,13 @@
 package mxm
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"repro/internal/solve"
 )
 
 func TestMultiplyIdentity(t *testing.T) {
@@ -179,5 +183,30 @@ func TestCasesDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical cases")
+	}
+}
+
+// scriptedClock reports a fixed elapsed duration for any measurement —
+// the harness for pinning clock injection without depending on how fast
+// this machine multiplies matrices.
+type scriptedClock struct{ elapsed time.Duration }
+
+func (s scriptedClock) Now() time.Time                             { return time.Unix(0, 0) }
+func (s scriptedClock) Since(time.Time) time.Duration              { return s.elapsed }
+func (s scriptedClock) Sleep(context.Context, time.Duration) error { return nil }
+
+// TestCalibrateUsesInjectedClock pins the injected-clock contract:
+// Calibrate's elapsed time must come from the supplied solve.Clock, so
+// a scripted 500ms sweep yields exactly 500/(2·64³) ms per op — and a
+// fake clock that never advances yields a zero coefficient rather than
+// leaking real wall time into the model.
+func TestCalibrateUsesInjectedClock(t *testing.T) {
+	cm := CalibrateOn(scriptedClock{elapsed: 500 * time.Millisecond}, 64)
+	want := 500.0 / (2 * 64 * 64 * 64)
+	if cm.CoefMsPerOp != want {
+		t.Fatalf("CoefMsPerOp = %v, want %v (clock not injected)", cm.CoefMsPerOp, want)
+	}
+	if cm := CalibrateOn(solve.NewFake(time.Unix(0, 0)), 64); cm.CoefMsPerOp != 0 {
+		t.Fatalf("fake clock leaked real time into the model: %v", cm.CoefMsPerOp)
 	}
 }

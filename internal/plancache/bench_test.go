@@ -1,0 +1,50 @@
+package plancache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lrp"
+)
+
+// BenchmarkCacheHit measures the full warm hit path at the paper's
+// largest size (M=32): fingerprint + canonical sort + LRU lookup +
+// permutation map-back + verify-on-hit. allocs/op is gated at 0 by
+// TestPerfGateCacheHitZeroAlloc and by benchdiff against the committed
+// baseline.
+func BenchmarkCacheHit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randInstance(rng, 32)
+	plan := randPlan(rng, in, 64)
+	c := New(Config{})
+	if err := c.Put(in, Params{K: -1}, plan); err != nil {
+		b.Fatal(err)
+	}
+	dst := lrp.ZeroPlan(32)
+	if !c.GetInto(dst, in, Params{K: -1}) {
+		b.Fatal("miss")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.GetInto(dst, in, Params{K: -1}) {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkCacheMiss prices the pure lookup failure: fingerprint +
+// canonical sort + map probe on an absent key.
+func BenchmarkCacheMiss(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := randInstance(rng, 32)
+	c := New(Config{})
+	dst := lrp.ZeroPlan(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.GetInto(dst, in, Params{K: -1}) {
+			b.Fatal("hit on empty cache")
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package plancache
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/lrp"
+	"repro/internal/obs"
+	"repro/internal/verify"
+)
+
+// randInstance builds a valid random instance with m processes.
+func randInstance(rng *rand.Rand, m int) *lrp.Instance {
+	tasks := make([]int, m)
+	weight := make([]float64, m)
+	for j := range tasks {
+		tasks[j] = 1 + rng.Intn(12)
+		weight[j] = 1 + 9*rng.Float64()
+	}
+	return lrp.MustInstance(tasks, weight)
+}
+
+// randPlan perturbs the identity plan with random feasible moves so the
+// cached plans are not trivially diagonal; the result conserves every
+// column by construction.
+func randPlan(rng *rand.Rand, in *lrp.Instance, moves int) *lrp.Plan {
+	p := lrp.NewPlan(in)
+	m := in.NumProcs()
+	for n := 0; n < moves; n++ {
+		j := rng.Intn(m)
+		i := rng.Intn(m)
+		if i == j || p.X[j][j] == 0 {
+			continue
+		}
+		p.Move(i, j, 1+rng.Intn(p.X[j][j]))
+	}
+	return p
+}
+
+// permuted returns the instance with process order shuffled by perm
+// (new[j] = old[perm[j]]) plus the perm used.
+func permuted(rng *rand.Rand, in *lrp.Instance) (*lrp.Instance, []int) {
+	m := in.NumProcs()
+	perm := rng.Perm(m)
+	tasks := make([]int, m)
+	weight := make([]float64, m)
+	for j, src := range perm {
+		tasks[j] = in.Tasks[src]
+		weight[j] = in.Weight[src]
+	}
+	return lrp.MustInstance(tasks, weight), perm
+}
+
+// TestHitByteIdenticalAndVerified is the ISSUE's property test: for the
+// same instance, a cache hit returns a plan byte-identical to the plan
+// stored, and every hit passes verify.Plan.
+func TestHitByteIdenticalAndVerified(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(14)
+		in := randInstance(rng, m)
+		plan := randPlan(rng, in, rng.Intn(3*m))
+		p := Params{K: -1, Form: rng.Intn(3)}
+		c := New(Config{})
+		if err := c.Put(in, p, plan); err != nil {
+			t.Fatalf("trial %d: Put: %v", trial, err)
+		}
+		got, ok := c.Get(in, p)
+		if !ok {
+			t.Fatalf("trial %d: same-instance Get missed", trial)
+		}
+		if !reflect.DeepEqual(got.X, plan.X) {
+			t.Fatalf("trial %d: hit not byte-identical:\nstored %v\ngot    %v", trial, plan.X, got.X)
+		}
+		if rep := verify.Plan(in, got, p.K, verify.Options{}); !rep.Ok() {
+			t.Fatalf("trial %d: served plan failed verify.Plan: %v", trial, rep.Err())
+		}
+		// The returned plan is the caller's: mutating it must not
+		// corrupt the cache.
+		got.X[0][0]++
+		again, ok := c.Get(in, p)
+		if !ok || !reflect.DeepEqual(again.X, plan.X) {
+			t.Fatalf("trial %d: cache aliased a served plan", trial)
+		}
+	}
+}
+
+// TestPermutedInstanceHits: a process-permuted replay of a cached round
+// hits, and the served plan verifies against the permuted instance.
+func TestPermutedInstanceHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(14)
+		in := randInstance(rng, m)
+		plan := randPlan(rng, in, rng.Intn(3*m))
+		p := Params{K: -1}
+		c := New(Config{})
+		if err := c.Put(in, p, plan); err != nil {
+			t.Fatalf("trial %d: Put: %v", trial, err)
+		}
+		in2, _ := permuted(rng, in)
+		got, ok := c.Get(in2, p)
+		if !ok {
+			t.Fatalf("trial %d: permuted Get missed", trial)
+		}
+		if rep := verify.Plan(in2, got, p.K, verify.Options{}); !rep.Ok() {
+			t.Fatalf("trial %d: permuted hit failed verify.Plan: %v", trial, rep.Err())
+		}
+		if got.Migrated() != plan.Migrated() {
+			t.Fatalf("trial %d: permuted hit migrates %d, stored plan %d", trial, got.Migrated(), plan.Migrated())
+		}
+	}
+}
+
+// TestEpsilonDistinct: weights moved by clearly more than epsilon miss;
+// weights jittered well below epsilon still hit.
+func TestEpsilonDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eps := 1e-3
+	in := randInstance(rng, 8)
+	plan := lrp.NewPlan(in)
+	c := New(Config{Epsilon: eps})
+	if err := c.Put(in, Params{K: -1}, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	near := in.Clone()
+	for j := range near.Weight {
+		near.Weight[j] += eps / 64 // far below a bucket boundary shift
+	}
+	if _, ok := c.Get(near, Params{K: -1}); !ok {
+		// Jitter can still straddle one bucket edge; only fail when the
+		// quantized view agrees and we *still* missed.
+		same := true
+		for j := range in.Weight {
+			if quantize(in.Weight[j], eps) != quantize(near.Weight[j], eps) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("sub-epsilon jitter missed despite identical quantization")
+		}
+	}
+
+	far := in.Clone()
+	far.Weight[3] += 10 * eps
+	if _, ok := c.Get(far, Params{K: -1}); ok {
+		t.Fatal("epsilon-distinct instance hit")
+	}
+}
+
+// TestParamsDiscriminate: the migration budget and the form tag are
+// part of the key.
+func TestParamsDiscriminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := randInstance(rng, 6)
+	plan := lrp.NewPlan(in)
+	c := New(Config{})
+	if err := c.Put(in, Params{K: 4, Form: 1}, plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(in, Params{K: 8, Form: 1}); ok {
+		t.Fatal("budget-8 request answered by budget-4 entry")
+	}
+	if _, ok := c.Get(in, Params{K: 4, Form: 2}); ok {
+		t.Fatal("form-2 request answered by form-1 entry")
+	}
+	if _, ok := c.Get(in, Params{K: 4, Form: 1}); !ok {
+		t.Fatal("exact Params missed")
+	}
+}
+
+// TestVerifyOnHitEvictsCorrupt reaches into the store (white-box) and
+// corrupts the cached matrix: the next Get must reject, evict, count —
+// and never serve the corrupt plan.
+func TestVerifyOnHitEvictsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	reg := obs.NewRegistry()
+	in := randInstance(rng, 6)
+	c := New(Config{Obs: reg})
+	if err := c.Put(in, Params{K: -1}, lrp.NewPlan(in)); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.ll.Front().Value.(*entry).plan.X[0][0]++ // break conservation in place
+	c.mu.Unlock()
+
+	if _, ok := c.Get(in, Params{K: -1}); ok {
+		t.Fatal("corrupt entry was served")
+	}
+	st := c.Stats()
+	if st.Rejects != 1 || st.Evictions != 1 || st.Entries != 0 {
+		t.Fatalf("want 1 reject, 1 eviction, 0 entries; got %+v", st)
+	}
+	if v := reg.Counter("plancache.rejects").Value(); v != 1 {
+		t.Fatalf("plancache.rejects = %d, want 1", v)
+	}
+	if v := reg.Counter("plancache.evictions").Value(); v != 1 {
+		t.Fatalf("plancache.evictions = %d, want 1", v)
+	}
+	// The entry is gone: a fresh Put must be accepted again.
+	if err := c.Put(in, Params{K: -1}, lrp.NewPlan(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutRejectsUnverifiedPlan: Put refuses plans that fail
+// verify.Plan, with an errors.Is-able rejection.
+func TestPutRejectsUnverifiedPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	reg := obs.NewRegistry()
+	in := randInstance(rng, 5)
+	c := New(Config{Obs: reg})
+
+	bad := lrp.NewPlan(in)
+	bad.X[0][0]++ // invents a task
+	err := c.Put(in, Params{K: -1}, bad)
+	if err == nil || !errors.Is(err, verify.ErrRejected) {
+		t.Fatalf("Put(bad) = %v, want verify.ErrRejected", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected plan was stored")
+	}
+	if v := reg.Counter("plancache.put_rejects").Value(); v != 1 {
+		t.Fatalf("plancache.put_rejects = %d, want 1", v)
+	}
+
+	// Over-budget is a verification failure too.
+	over := lrp.NewPlan(in)
+	over.Move(1, 0, in.Tasks[0])
+	if in.Tasks[0] > 1 {
+		if err := c.Put(in, Params{K: 0}, over); err == nil || !errors.Is(err, verify.ErrRejected) {
+			t.Fatalf("Put(over-budget) = %v, want verify.ErrRejected", err)
+		}
+	}
+}
+
+// TestLRUEviction: capacity bounds the store, oldest-touched goes
+// first, and the bytes gauge tracks the survivors.
+func TestLRUEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	reg := obs.NewRegistry()
+	c := New(Config{Capacity: 2, Obs: reg})
+	ins := []*lrp.Instance{randInstance(rng, 4), randInstance(rng, 5), randInstance(rng, 6)}
+	for _, in := range ins {
+		if err := c.Put(in, Params{K: -1}, lrp.NewPlan(in)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(ins[0], Params{K: -1}); ok {
+		t.Fatal("LRU entry survived over capacity")
+	}
+	for _, in := range ins[1:] {
+		if _, ok := c.Get(in, Params{K: -1}); !ok {
+			t.Fatal("recent entry evicted")
+		}
+	}
+	wantBytes := int64(5*5+6*6) * 8
+	if st := c.Stats(); st.Bytes != wantBytes || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want bytes %d, evictions 1", st, wantBytes)
+	}
+	if v := reg.Gauge("plancache.bytes").Value(); v != float64(wantBytes) {
+		t.Fatalf("plancache.bytes gauge = %g, want %d", v, wantBytes)
+	}
+}
+
+// TestNilCacheNoops: a nil *Cache is a valid "caching disabled" value.
+func TestNilCacheNoops(t *testing.T) {
+	var c *Cache
+	in := lrp.MustInstance([]int{1, 2}, []float64{1, 2})
+	if _, ok := c.Get(in, Params{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.GetInto(lrp.ZeroPlan(2), in, Params{}) {
+		t.Fatal("nil cache GetInto hit")
+	}
+	if err := c.Put(in, Params{}, lrp.NewPlan(in)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache has state")
+	}
+}
+
+// TestGetIntoMatchesGet: the zero-alloc path returns the same bytes as
+// the allocating path and leaves dst untouched on a miss.
+func TestGetIntoMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	in := randInstance(rng, 9)
+	plan := randPlan(rng, in, 12)
+	c := New(Config{})
+	if err := c.Put(in, Params{K: -1}, plan); err != nil {
+		t.Fatal(err)
+	}
+	dst := lrp.ZeroPlan(9)
+	if !c.GetInto(dst, in, Params{K: -1}) {
+		t.Fatal("GetInto missed")
+	}
+	if !reflect.DeepEqual(dst.X, plan.X) {
+		t.Fatal("GetInto differs from stored plan")
+	}
+	other := randInstance(rng, 9)
+	before := dst.Clone()
+	if c.GetInto(dst, other, Params{K: -1}) {
+		t.Fatal("unexpected hit")
+	}
+	if !reflect.DeepEqual(dst.X, before.X) {
+		t.Fatal("miss mutated dst")
+	}
+}

@@ -1,0 +1,135 @@
+// Canonical instance fingerprinting for the verified plan cache.
+//
+// Two rebalance rounds rarely present the *same* instance object, but
+// AMR-style workloads present the same instance up to two nuisances:
+// process order (the drifting workload literally rotates weights) and
+// float jitter far below anything that changes the optimal plan. The
+// fingerprint quotients both out:
+//
+//   - every per-task weight is quantized to a configurable epsilon
+//     (q = round(w/ε)), so weights within ε/2 of each other land on the
+//     same integer;
+//   - processes are re-ordered into a canonical permutation, sorted by
+//     (quantized weight, task count), so any permutation of the same
+//     multiset of processes hashes identically.
+//
+// The hash covers the canonical (tasks, qweight) sequence plus
+// everything else that changes which plans are interchangeable: M, the
+// migration budget k, the formulation discriminator, the load-cap knob
+// and ε itself. Plans are stored in canonical space and mapped back
+// through the requester's own permutation on the way out, so a hit for
+// a permuted instance yields a correspondingly permuted plan.
+//
+// The fingerprint is advisory, never trusted: a colliding-but-different
+// instance produces a plan that fails the mandatory verify-on-hit gate
+// (conservation is exact), gets evicted, and is never served.
+package plancache
+
+import (
+	"math"
+	"slices"
+)
+
+// fingerprint is the 128-bit map key: two independent word-level
+// FNV-1a-style streams over the canonical encoding. A comparable struct
+// so lookups allocate nothing.
+type fingerprint struct{ hi, lo uint64 }
+
+const (
+	fnvOffset  = 14695981039346656037
+	fnvOffset2 = 14695981039346656037 ^ 0x9e3779b97f4a7c15
+	fnvPrime   = 1099511628211
+)
+
+// mix folds one 64-bit word into both streams; the second stream sees
+// the word bit-rotated so the streams stay decorrelated.
+func (f *fingerprint) mix(v uint64) {
+	f.hi = (f.hi ^ v) * fnvPrime
+	f.lo = (f.lo ^ ((v << 31) | (v >> 33))) * fnvPrime
+}
+
+// quantize maps a weight onto its epsilon bucket, clamping the
+// degenerate float range (NaN, ±Inf, |w/ε| ≥ 2⁶³) to deterministic
+// sentinels so a hostile instance cannot hit implementation-specific
+// float→int conversion.
+func quantize(w, eps float64) int64 {
+	q := math.Round(w / eps)
+	switch {
+	case math.IsNaN(q):
+		return math.MinInt64 + 1
+	case q >= math.MaxInt64:
+		return math.MaxInt64
+	case q <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(q)
+}
+
+// procKey is one process in canonical order. The sort is by
+// (qw, tasks, idx): idx is a deterministic tie-break only — it is never
+// hashed, so permuted-equal instances still collide, while tied
+// processes (equal qw AND equal tasks) are interchangeable for every
+// exact invariant verify.Plan checks.
+type procKey struct {
+	qw    int64
+	tasks int
+	idx   int
+}
+
+// scratch is the cache-owned working set for one fingerprint
+// computation, reused under the cache mutex so the hot path allocates
+// nothing once warm.
+type scratch struct {
+	keys []procKey
+	perm []int // canonical position -> original process index
+	inv  []int // original process index -> canonical position
+}
+
+func (s *scratch) grow(m int) {
+	if cap(s.keys) < m {
+		s.keys = make([]procKey, m)
+		s.perm = make([]int, m)
+		s.inv = make([]int, m)
+	}
+	s.keys = s.keys[:m]
+	s.perm = s.perm[:m]
+	s.inv = s.inv[:m]
+}
+
+// fingerprintInto canonicalizes (tasks, weight) under eps and fills
+// s.perm/s.inv as a side effect. The caller guarantees
+// len(tasks) == len(weight).
+func fingerprintInto(s *scratch, tasks []int, weight []float64, eps float64, p Params, maxLoad float64) fingerprint {
+	m := len(tasks)
+	s.grow(m)
+	for j := 0; j < m; j++ {
+		s.keys[j] = procKey{qw: quantize(weight[j], eps), tasks: tasks[j], idx: j}
+	}
+	slices.SortFunc(s.keys, func(a, b procKey) int {
+		switch {
+		case a.qw != b.qw:
+			if a.qw < b.qw {
+				return -1
+			}
+			return 1
+		case a.tasks != b.tasks:
+			return a.tasks - b.tasks
+		default:
+			return a.idx - b.idx
+		}
+	})
+	fp := fingerprint{hi: fnvOffset, lo: fnvOffset2}
+	fp.mix(uint64(m))
+	fp.mix(uint64(p.K))
+	fp.mix(uint64(p.Form))
+	fp.mix(math.Float64bits(eps))
+	fp.mix(uint64(quantize(maxLoad, eps)))
+	for a := 0; a < m; a++ {
+		k := s.keys[a]
+		fp.mix(uint64(k.qw))
+		fp.mix(uint64(k.tasks))
+		s.perm[a] = k.idx
+		s.inv[k.idx] = a
+	}
+	return fp
+}

@@ -1,0 +1,39 @@
+package plancache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lrp"
+	"repro/internal/obs"
+)
+
+// TestPerfGateCacheHitZeroAlloc is the merge-blocking allocation gate:
+// a warm cache hit through GetInto — fingerprint, canonical sort, LRU
+// lookup, permutation map-back, and the mandatory verify-on-hit pass —
+// must perform zero heap allocations. This is what makes verify-on-hit
+// affordable on every round of a hot rebalance loop.
+func TestPerfGateCacheHitZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randInstance(rng, 32)
+	plan := randPlan(rng, in, 64)
+	c := New(Config{Obs: obs.NewRegistry()})
+	if err := c.Put(in, Params{K: -1}, plan); err != nil {
+		t.Fatal(err)
+	}
+	dst := lrp.ZeroPlan(32)
+	missed := false
+	hit := func() {
+		if !c.GetInto(dst, in, Params{K: -1}) {
+			missed = true
+		}
+	}
+	hit() // warm the pooled verify scratch
+	allocs := testing.AllocsPerRun(200, hit)
+	if missed {
+		t.Fatal("warm GetInto missed")
+	}
+	if allocs != 0 {
+		t.Fatalf("warm cache hit allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cqm"
 	"repro/internal/faults"
+	"repro/internal/hybrid"
 	"repro/internal/solve"
 	"repro/internal/verify"
 )
@@ -215,13 +216,16 @@ func (o Options) backoff(n int, rng *rand.Rand) time.Duration {
 }
 
 // retryable classifies failures worth resubmitting: the injectable
-// transport faults, corrupted responses, and recovered solver panics
+// transport faults, corrupted responses, recovered solver panics
 // (a crashed worker is just another flaky attempt from the caller's
-// point of view). Anything else (malformed input, nil model) would
-// fail identically on retry and on the fallback, so it surfaces
-// immediately.
+// point of view), and a hybrid client that has shut down underneath a
+// batching layer — a draining cloud queue is an outage the fallback
+// solver must absorb, not a caller error. Anything else (malformed
+// input, nil model) would fail identically on retry and on the
+// fallback, so it surfaces immediately.
 func retryable(err error) bool {
-	return faults.Retryable(err) || errors.Is(err, ErrInvalidResponse) || errors.Is(err, solve.ErrPanic)
+	return faults.Retryable(err) || errors.Is(err, ErrInvalidResponse) ||
+		errors.Is(err, solve.ErrPanic) || errors.Is(err, hybrid.ErrClientClosed)
 }
 
 // validate cross-checks a response against the model it claims to

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/lrp"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/qlrb"
 	"repro/internal/solve"
 	"repro/internal/verify"
@@ -94,6 +95,9 @@ type Metrics struct {
 	SampleFeasible  bool    `json:"sample_feasible"`
 	Repaired        bool    `json:"repaired"`
 	WallMs          float64 `json:"wall_ms"`
+	// CacheHit marks a plan served from the verified plan cache: no
+	// solver ran, but the plan still passed verify.Plan on the way out.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // Job is a snapshot of one submitted solve. Snapshots are copies; the
@@ -188,6 +192,12 @@ type Options struct {
 	// Backend is the solver serving every request — typically a
 	// route.Router over several engines (required).
 	Backend solve.Solver
+	// Cache, when non-nil, short-circuits solves whose canonical
+	// instance fingerprint holds a verified plan (keyed by form and
+	// migration budget); hits still pass verify.Plan before being
+	// served, and the plan of every clean miss is stored back. Nil
+	// disables caching.
+	Cache *plancache.Cache
 	// Verify tunes the mandatory plan-verification gate.
 	Verify verify.Options
 	// Clock is the time source for admission, budgets, and deadlines
@@ -258,11 +268,16 @@ type Server struct {
 
 	mu       sync.Mutex
 	draining bool
-	tenants  map[string]*tenant
-	jobs     map[string]*job
-	order    []string // insertion order, for retention eviction
-	nextID   int64
-	inflight int
+	// drainStarted closes the moment Drain flips the server into
+	// draining — the channel-signaled readiness tests (and any caller
+	// sequencing work against the drain barrier) wait on, instead of
+	// polling Draining() on real time.
+	drainStarted chan struct{}
+	tenants      map[string]*tenant
+	jobs         map[string]*job
+	order        []string // insertion order, for retention eviction
+	nextID       int64
+	inflight     int
 }
 
 // New starts a server with opt.Workers solve workers.
@@ -281,6 +296,8 @@ func New(opt Options) (*Server, error) {
 		queue:      make(chan *job, opt.QueueDepth),
 		tenants:    make(map[string]*tenant),
 		jobs:       make(map[string]*job),
+
+		drainStarted: make(chan struct{}),
 	}
 	for i := 0; i < opt.Workers; i++ {
 		s.wg.Add(1)
@@ -292,6 +309,10 @@ func New(opt Options) (*Server, error) {
 // Obs returns the server's metrics registry (for /metrics rendering
 // and test assertions).
 func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// DrainStarted returns a channel that closes when Drain begins —
+// admission is rejecting by the time it fires.
+func (s *Server) DrainStarted() <-chan struct{} { return s.drainStarted }
 
 // Draining reports whether Drain has begun.
 func (s *Server) Draining() bool {
@@ -551,6 +572,30 @@ func (s *Server) run(j *job) {
 	// deadline the solver polls (exact under the fake clock) and as a
 	// context deadline on the pipeline (real time), so a stuck backend
 	// is cut off even if it stops polling the clock.
+	// The verified plan cache answers before any solver spends cloud or
+	// CPU time; the hit has already re-passed verify.Plan inside Get.
+	cp := plancache.Params{K: j.req.k(), Form: int(j.req.formulation())}
+	if plan, ok := s.opt.Cache.Get(j.in, cp); ok {
+		wall := s.clock.Since(now)
+		s.settle(j, wall)
+		s.obs.Counter("serve.cache_hits").Inc()
+		ev := lrp.Evaluate(j.in, plan)
+		rep := verify.Plan(j.in, plan, cp.K, s.opt.Verify)
+		m := &Metrics{
+			ImbalanceBefore: j.in.Imbalance(),
+			ImbalanceAfter:  ev.Imbalance,
+			Speedup:         ev.Speedup,
+			Migrated:        ev.Migrated,
+			// No CQM was built for a hit, so there is no sample
+			// objective to report; Objective stays zero like Qubits.
+			SampleFeasible: rep.Feasible,
+			WallMs:         float64(wall) / float64(time.Millisecond),
+			CacheHit:       true,
+		}
+		s.finish(j, StatusDone, plan, m, nil)
+		return
+	}
+
 	remaining := j.deadline.Sub(now)
 	ctx, cancel := context.WithTimeout(s.baseCtx, remaining)
 	pl := qlrb.Pipeline{
@@ -567,15 +612,7 @@ func (s *Server) run(j *job) {
 	plan, stats, err := pl.Run(ctx, j.in)
 	cancel()
 	wall := s.clock.Since(now)
-
-	s.mu.Lock()
-	s.inflight--
-	s.obs.Gauge("serve.inflight").Set(float64(s.inflight))
-	if t := s.tenants[j.tenant]; t != nil {
-		t.used += wall
-	}
-	s.mu.Unlock()
-	s.obs.Histogram("serve.solve_ms").Observe(float64(wall) / float64(time.Millisecond))
+	s.settle(j, wall)
 
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -596,7 +633,24 @@ func (s *Server) run(j *job) {
 		Repaired:        stats.Repaired,
 		WallMs:          float64(wall) / float64(time.Millisecond),
 	}
+	// A cleanly solved, verified plan seeds the cache for the next
+	// repeat of this round; a rejected Put only bumps
+	// plancache.put_rejects.
+	_ = s.opt.Cache.Put(j.in, cp, plan)
 	s.finish(j, StatusDone, plan, m, nil)
+}
+
+// settle lands a finished (or cache-served) job's accounting: inflight
+// gauge, tenant budget burn, and the solve-time histogram.
+func (s *Server) settle(j *job, wall time.Duration) {
+	s.mu.Lock()
+	s.inflight--
+	s.obs.Gauge("serve.inflight").Set(float64(s.inflight))
+	if t := s.tenants[j.tenant]; t != nil {
+		t.used += wall
+	}
+	s.mu.Unlock()
+	s.obs.Histogram("serve.solve_ms").Observe(float64(wall) / float64(time.Millisecond))
 }
 
 // Drain stops admission, rejects everything still queued, waits for
@@ -609,6 +663,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	if !already {
 		close(s.queue) // workers drain the remaining entries as rejected
+		close(s.drainStarted)
 		s.obs.Gauge("serve.draining").Set(1)
 	}
 	s.mu.Unlock()

@@ -3,10 +3,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cqm"
+	"repro/internal/plancache"
 	"repro/internal/solve"
 )
 
@@ -234,9 +237,11 @@ func TestDrainRejectsQueuedGracefully(t *testing.T) {
 		defer cancel()
 		drained <- s.Drain(ctx)
 	}()
-	// Admission closes immediately, before in-flight work lands.
-	for !s.Draining() {
-		time.Sleep(time.Millisecond)
+	// Admission closes immediately, before in-flight work lands: wait
+	// on the drain barrier's own signal rather than polling real time.
+	<-s.DrainStarted()
+	if !s.Draining() {
+		t.Fatal("DrainStarted fired before Draining() turned true")
 	}
 	if _, err := s.Submit(req("t")); !errors.Is(err, ErrDraining) {
 		t.Fatalf("submit during drain err = %v, want ErrDraining", err)
@@ -404,5 +409,79 @@ func TestRequestValidation(t *testing.T) {
 	}
 	if r.Tenant != "default" {
 		t.Fatalf("tenant default = %q", r.Tenant)
+	}
+}
+
+// countingBackend counts Solve calls on top of instant identity solves.
+type countingBackend struct {
+	instantBackend
+	calls atomic.Int64
+}
+
+func (cb *countingBackend) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	cb.calls.Add(1)
+	return cb.instantBackend.Solve(ctx, m, opts...)
+}
+
+// TestCacheHitShortCircuitsBackend: with a plan cache wired in, the
+// second submission of an identical instance is served from the cache —
+// no backend call, CacheHit marked, serve.cache_hits counted — and the
+// served plan equals the first solve's verified plan.
+func TestCacheHitShortCircuitsBackend(t *testing.T) {
+	cb := &countingBackend{}
+	s, err := New(Options{
+		Backend: cb, Clock: fakeClock(t),
+		Cache:      plancache.New(plancache.Config{}),
+		QueueDepth: 8, Workers: 1, NoRateLimit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background()) //nolint:errcheck
+
+	j1, err := s.Submit(req("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := s.Wait(context.Background(), j1.ID)
+	if err != nil || g1.Status != StatusDone {
+		t.Fatalf("first solve: %v status %v", err, g1.Status)
+	}
+	if g1.Metrics.CacheHit {
+		t.Fatal("first solve claims a cache hit")
+	}
+
+	j2, err := s.Submit(req("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Wait(context.Background(), j2.ID)
+	if err != nil || g2.Status != StatusDone {
+		t.Fatalf("second solve: %v status %v", err, g2.Status)
+	}
+	if !g2.Metrics.CacheHit {
+		t.Fatal("second identical solve was not served from the cache")
+	}
+	if got := cb.calls.Load(); got != 1 {
+		t.Fatalf("backend solved %d times, want 1", got)
+	}
+	if !reflect.DeepEqual(g2.Plan, g1.Plan) {
+		t.Fatalf("cached plan differs from solved plan:\n%v\n%v", g2.Plan, g1.Plan)
+	}
+	if v := s.Obs().Counter("serve.cache_hits").Value(); v != 1 {
+		t.Fatalf("serve.cache_hits = %d, want 1", v)
+	}
+	// A different instance must still reach the backend.
+	r := req("t")
+	r.Weights = []float64{9, 1, 2}
+	j3, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3, err := s.Wait(context.Background(), j3.ID); err != nil || g3.Metrics.CacheHit {
+		t.Fatalf("distinct instance: err %v, cache_hit %v", err, g3 != nil && g3.Metrics.CacheHit)
+	}
+	if got := cb.calls.Load(); got != 2 {
+		t.Fatalf("backend solved %d times after distinct instance, want 2", got)
 	}
 }

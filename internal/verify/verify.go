@@ -294,6 +294,13 @@ func Attest(m *cqm.Model, res *solve.Result, opt Options) bool {
 	return changed
 }
 
+// loadScratch pools the per-process load vector Plan recomputes, so
+// repeated plan verifications (every cache hit, every dlb round) stay
+// allocation-free apart from the Report itself.
+type loadScratch struct{ loads []float64 }
+
+var loadPool = sync.Pool{New: func() any { return new(loadScratch) }}
+
 // Plan independently re-checks a decoded migration plan against its
 // instance and migration budget, recomputing everything from the raw
 // matrix:
@@ -310,27 +317,40 @@ func Attest(m *cqm.Model, res *solve.Result, opt Options) bool {
 // Report.Objective is the recomputed sum of squared load deviations
 // from the average — the paper's objective in unnormalized units.
 func Plan(in *lrp.Instance, p *lrp.Plan, k int, opt Options) *Report {
-	tol := opt.tol()
 	rep := &Report{}
+	PlanInto(rep, in, p, k, opt)
+	return rep
+}
+
+// PlanInto is Plan writing into a caller-owned Report: rep is reset
+// (its Violations capacity is kept) and filled with exactly the checks
+// Plan performs — it IS Plan's engine, so a PlanInto pass is a
+// verify.Plan pass. A clean verification through a recycled Report
+// performs zero heap allocations, which is what lets the plan cache
+// re-verify every hit without paying for it on the hot path.
+func PlanInto(rep *Report, in *lrp.Instance, p *lrp.Plan, k int, opt Options) {
+	tol := opt.tol()
+	rep.Violations = rep.Violations[:0]
+	rep.Objective, rep.Feasible, rep.Checks = 0, false, 0
 	if in == nil {
 		rep.fail("instance", "nil instance", 0)
-		return rep
+		return
 	}
 	if p == nil {
 		rep.fail("plan", "nil plan", 0)
-		return rep
+		return
 	}
 	m := in.NumProcs()
 	rep.Checks++
 	if len(p.X) != m {
 		rep.fail("shape", fmt.Sprintf("plan has %d rows, instance has %d processes", len(p.X), m), math.Abs(float64(len(p.X)-m)))
-		return rep
+		return
 	}
 	for i := range p.X {
 		rep.Checks++
 		if len(p.X[i]) != m {
 			rep.fail("shape", fmt.Sprintf("row %d has %d columns, want %d", i, len(p.X[i]), m), math.Abs(float64(len(p.X[i])-m)))
-			return rep
+			return
 		}
 	}
 
@@ -367,8 +387,15 @@ func Plan(in *lrp.Instance, p *lrp.Plan, k int, opt Options) *Report {
 	}
 
 	// Recomputed loads feed the objective and the optional load cap.
+	// The vector comes from a pool so a clean re-verification through a
+	// recycled Report allocates nothing.
 	var sumLoad, sumSq float64
-	loads := make([]float64, m)
+	ls := loadPool.Get().(*loadScratch)
+	defer loadPool.Put(ls)
+	if cap(ls.loads) < m {
+		ls.loads = make([]float64, m)
+	}
+	loads := ls.loads[:m]
 	for i := 0; i < m; i++ {
 		l := 0.0
 		for j := 0; j < m; j++ {
@@ -393,5 +420,4 @@ func Plan(in *lrp.Instance, p *lrp.Plan, k int, opt Options) *Report {
 	}
 	rep.Objective = sumSq
 	rep.Feasible = feasible
-	return rep
 }
