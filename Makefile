@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 # bench-diff / perf-gate knobs: the committed baseline to diff against,
 # and the relative tolerance applied to allocs/op (work counters and
 # qubit counts always compare exactly; see cmd/benchdiff).
-BASE ?= BENCH_9.json
+BASE ?= BENCH_10.json
 TOL ?= 0.1
 
 .PHONY: check build vet fmt test race bench bench-json bench-diff perf-gate fault-demo fuzz-smoke daemon-smoke
@@ -48,7 +48,7 @@ bench:
 bench-json:
 	@rm -f $(BENCH_JSON).txt
 	$(GO) test -run=^$$ -bench=. -benchtime=1x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
-	$(GO) test -run=^$$ -bench=. -benchtime=100x -benchmem ./internal/sa ./internal/tabu ./internal/cqm ./internal/serve ./internal/batch ./internal/plancache >> $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
+	$(GO) test -run=^$$ -bench=. -benchtime=100x -benchmem ./internal/sa ./internal/tabu ./internal/cqm ./internal/serve ./internal/batch ./internal/plancache ./internal/wal >> $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < $(BENCH_JSON).txt
 	@rm -f $(BENCH_JSON).txt
 
@@ -65,7 +65,7 @@ bench-diff:
 # plus a benchdiff against the committed baseline. Everything it gates
 # on is machine-independent, so it cannot flake on runner timing noise.
 perf-gate:
-	$(GO) test -run='^TestPerfGate' -count=1 ./internal/sa ./internal/tabu ./internal/cqm ./internal/plancache
+	$(GO) test -run='^TestPerfGate' -count=1 ./internal/sa ./internal/tabu ./internal/cqm ./internal/plancache ./internal/wal
 	$(MAKE) bench-diff
 
 # fuzz-smoke gives every fuzz target a short randomized shake
@@ -82,6 +82,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzEvaluator -fuzztime=$(FUZZTIME) ./internal/cqm
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME) ./internal/plancache
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 
 # daemon-smoke exercises the serving daemon end to end from the
 # outside: build qulrbd, start it, POST a real instance over HTTP, poll

@@ -16,6 +16,13 @@
 // SIGTERM triggers a graceful drain: in-flight solves finish, queued
 // and new work is rejected, observability state is flushed, then the
 // process exits 0.
+//
+// With -state-dir the daemon is crash-safe: every job transition and
+// every verified cache entry is journaled to a CRC-framed WAL in that
+// directory, and a restart on the same directory restores finished
+// jobs (re-verified before they are served) and re-enqueues the work
+// a kill -9 interrupted. -fsync picks the durability/latency trade
+// (always, interval, none).
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"repro/internal/shutdown"
 	"repro/internal/solve"
 	"repro/internal/tabu"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -71,6 +79,8 @@ func run() error {
 		batchWait    = flag.Duration("batch-wait", batch.DefaultMaxWait, "max time a request waits for its batch to fill")
 		cacheCap     = flag.Int("cache", 0, "verified plan cache capacity in entries (0 disables caching)")
 		cacheEps     = flag.Float64("cache-eps", plancache.DefaultEpsilon, "load quantization epsilon for cache fingerprints")
+		stateDir     = flag.String("state-dir", "", "durable state directory: job journal + plan-cache snapshot survive restarts (empty disables durability)")
+		fsyncPolicy  = flag.String("fsync", "always", "WAL sync policy: always, interval, none")
 	)
 	flag.Parse()
 
@@ -84,11 +94,48 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Durable state: with -state-dir the job lifecycle is journaled to a
+	// CRC-framed WAL (unfinished jobs re-enqueue on restart, finished
+	// ones are restored and re-verified) and the plan cache snapshots
+	// its verified entries alongside it.
+	var (
+		serveLog, cacheLog   *wal.Log
+		serveRecs, cacheRecs [][]byte
+	)
+	if *stateDir != "" {
+		pol, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		if serveLog, serveRecs, err = wal.Open(wal.Options{
+			Dir: *stateDir, Name: "serve", Policy: pol, Obs: reg,
+		}); err != nil {
+			return fmt.Errorf("job journal: %w", err)
+		}
+		defer serveLog.Close() //nolint:errcheck — closed explicitly after drain
+		if *cacheCap > 0 {
+			if cacheLog, cacheRecs, err = wal.Open(wal.Options{
+				Dir: *stateDir, Name: "plancache", Policy: pol, Obs: reg,
+			}); err != nil {
+				return fmt.Errorf("plan-cache journal: %w", err)
+			}
+			defer cacheLog.Close() //nolint:errcheck
+		}
+	}
+
 	var cache *plancache.Cache
 	if *cacheCap > 0 {
-		cache = plancache.New(plancache.Config{Capacity: *cacheCap, Epsilon: *cacheEps, Obs: reg})
+		cfg := plancache.Config{Capacity: *cacheCap, Epsilon: *cacheEps, Obs: reg}
+		if cacheLog != nil {
+			cfg.Journal = cacheLog
+		}
+		cache = plancache.New(cfg)
+		if len(cacheRecs) > 0 {
+			kept, rejected := cache.Load(cacheRecs)
+			fmt.Printf("qulrbd: plan cache restored %d entries (%d rejected)\n", kept, rejected)
+		}
 	}
-	s, err := serve.New(serve.Options{
+	opts := serve.Options{
 		Cache:         cache,
 		Backend:       router,
 		Obs:           reg,
@@ -101,9 +148,18 @@ func run() error {
 		DefaultBudget: *timeout,
 		MaxBudget:     *maxBudget,
 		Limits:        serve.Limits{MaxProcs: *maxProcs},
-	})
+	}
+	if serveLog != nil {
+		opts.Journal = serveLog
+		opts.Recover = serveRecs
+	}
+	s, err := serve.New(opts)
 	if err != nil {
 		return err
+	}
+	if n := len(serveRecs); n > 0 {
+		fmt.Printf("qulrbd: recovered %d journal records (%d jobs re-queued)\n",
+			n, reg.Counter("serve.recovered").Value())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

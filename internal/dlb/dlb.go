@@ -115,10 +115,26 @@ type Config struct {
 	// back after they apply. Hits are flagged per iteration, summed in
 	// Result.CacheHits and counted on the dlb.cache_hits counter.
 	Cache *plancache.Cache
+	// Journal, when non-nil, receives one durable record per completed
+	// round (the applied plan plus the round's accounting flags), so an
+	// interrupted trace can resume without re-solving finished rounds.
+	// *wal.Log satisfies it. Append failures never abort the run; they
+	// are counted on dlb.journal_errors.
+	Journal Journal
+	// Resume holds journal records recovered from a previous run of the
+	// same workload and configuration (e.g. the replay slice wal.Open
+	// returns). Run replays the longest verifiable prefix of journaled
+	// rounds — re-verifying and re-executing each recorded plan, never
+	// trusting numbers from disk — and invokes the rebalancing method
+	// only from the first unjournaled round onward. Records that no
+	// longer match the live run stop the replay and the rest of the
+	// trace runs live.
+	Resume [][]byte
 	// Obs, when non-nil, receives one "dlb.round" span per iteration
 	// (tagged with the method, migration count and degradation flag) and
 	// the counters dlb.rounds / dlb.degraded_rounds /
-	// dlb.rejected_plans / dlb.cache_hits.
+	// dlb.rejected_plans / dlb.cache_hits / dlb.replayed_rounds /
+	// dlb.resume_rejects / dlb.journal_errors.
 	Obs *obs.Registry
 }
 
@@ -154,6 +170,10 @@ type IterationResult struct {
 	// CacheHit reports that the round's plan came from the plan cache
 	// and the rebalancing method was never invoked.
 	CacheHit bool
+	// Replayed reports that the round was reconstructed from the
+	// journal of an interrupted run: the recorded plan was re-verified
+	// and re-executed, and the rebalancing method was not invoked.
+	Replayed bool
 	// Err is the rebalance error the round survived (nil unless
 	// Degraded).
 	Err error
@@ -172,6 +192,9 @@ type Result struct {
 	// CacheHits counts iterations served from the plan cache without
 	// invoking the rebalancing method.
 	CacheHits int
+	// ReplayedRounds counts iterations reconstructed from the journal
+	// of an interrupted run instead of being solved again.
+	ReplayedRounds int
 	// Speedup is TotalBaselineMs / TotalMakespanMs.
 	Speedup float64
 }
@@ -194,6 +217,7 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 1
 	}
+	resume := decodeResume(cfg)
 	var res Result
 	var prev *lrp.Plan // last plan that applied cleanly
 	for it := 0; it < cfg.Iterations; it++ {
@@ -212,65 +236,85 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 		}
 		baseStats := base.RunIteration()
 
+		var rt *chameleon.Runtime
+		var mig chameleon.MigrationStats
 		var plan *lrp.Plan
 		var rerr error
-		cacheHit := false
-		if plan, cacheHit = cfg.Cache.Get(in, cfg.cacheParams()); cacheHit {
-			cfg.Obs.Counter("dlb.cache_hits").Inc()
-		} else {
-			plan, rerr = method.Rebalance(ctx, in)
-			if rerr != nil {
-				if cfg.Strict || ctx.Err() != nil {
-					return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
-				}
-				plan = nil // degrade below
+		cacheHit, replayed, degraded, applied := false, false, false, false
+
+		// A journaled round from an interrupted run is replayed instead
+		// of re-solved: the recorded plan is re-verified and re-applied,
+		// the makespan recomputed. A record that no longer fits the live
+		// run stops the replay; this and all later rounds run live (and
+		// re-journal, last-record-wins on the next resume).
+		if it < len(resume) {
+			if rt, mig, plan, applied = cfg.replayRound(in, resume[it]); applied {
+				replayed = true
+				cacheHit = resume[it].CacheHit
+				rerr = replayErr(resume[it])
+				degraded = rerr != nil
+				cfg.Obs.Counter("dlb.replayed_rounds").Inc()
+			} else {
+				cfg.Obs.Counter("dlb.resume_rejects").Inc()
+				resume = resume[:it]
 			}
 		}
 
-		// Apply the plan; on failure degrade progressively: method plan
-		// -> previous good plan -> identity. The identity plan applies
-		// to any instance, so a round never aborts on plan trouble.
-		//
-		// No unverified plan ever reaches the runtime: every candidate —
-		// the method's plan included — passes through the independent
-		// verifier first. A candidate failing verification is treated
-		// exactly like a failed rebalance (skip to the next degrade
-		// step); only the fresh method plan is additionally held to the
-		// migration budget.
-		var rt *chameleon.Runtime
-		var mig chameleon.MigrationStats
-		degraded := rerr != nil
-		applied := false
-		for ci, cand := range [...]*lrp.Plan{plan, prev, lrp.NewPlan(in)} {
-			if cand == nil {
-				continue
-			}
-			fresh := ci == 0 && plan != nil
-			budget := -1
-			if fresh && cfg.MigrationBudget > 0 {
-				budget = cfg.MigrationBudget
-			}
-			cerr := verify.Plan(in, cand, budget, verify.Options{}).Err()
-			if cerr != nil {
-				cerr = fmt.Errorf("%w: %w", ErrVerify, cerr)
-				cfg.Obs.Counter("dlb.rejected_plans").Inc()
+		if !applied {
+			if plan, cacheHit = cfg.Cache.Get(in, cfg.cacheParams()); cacheHit {
+				cfg.Obs.Counter("dlb.cache_hits").Inc()
 			} else {
-				if rt, err = chameleon.New(cfg.Runtime, in); err != nil {
-					return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
-				}
-				if mig, cerr = rt.ApplyPlan(cand); cerr == nil {
-					plan = cand
-					applied = true
-					break
+				plan, rerr = method.Rebalance(ctx, in)
+				if rerr != nil {
+					if cfg.Strict || ctx.Err() != nil {
+						return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
+					}
+					plan = nil // degrade below
 				}
 			}
-			if fresh {
-				if cfg.Strict {
-					return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), cerr)
+
+			// Apply the plan; on failure degrade progressively: method plan
+			// -> previous good plan -> identity. The identity plan applies
+			// to any instance, so a round never aborts on plan trouble.
+			//
+			// No unverified plan ever reaches the runtime: every candidate —
+			// the method's plan included — passes through the independent
+			// verifier first. A candidate failing verification is treated
+			// exactly like a failed rebalance (skip to the next degrade
+			// step); only the fresh method plan is additionally held to the
+			// migration budget.
+			degraded = rerr != nil
+			for ci, cand := range [...]*lrp.Plan{plan, prev, lrp.NewPlan(in)} {
+				if cand == nil {
+					continue
 				}
-				degraded = true
-				if rerr == nil {
-					rerr = cerr
+				fresh := ci == 0 && plan != nil
+				budget := -1
+				if fresh && cfg.MigrationBudget > 0 {
+					budget = cfg.MigrationBudget
+				}
+				cerr := verify.Plan(in, cand, budget, verify.Options{}).Err()
+				if cerr != nil {
+					cerr = fmt.Errorf("%w: %w", ErrVerify, cerr)
+					cfg.Obs.Counter("dlb.rejected_plans").Inc()
+				} else {
+					if rt, err = chameleon.New(cfg.Runtime, in); err != nil {
+						return res, fmt.Errorf("%w: iteration %d: %w", ErrRuntime, it, err)
+					}
+					if mig, cerr = rt.ApplyPlan(cand); cerr == nil {
+						plan = cand
+						applied = true
+						break
+					}
+				}
+				if fresh {
+					if cfg.Strict {
+						return res, fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), cerr)
+					}
+					degraded = true
+					if rerr == nil {
+						rerr = cerr
+					}
 				}
 			}
 		}
@@ -288,6 +332,7 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 			Imbalance:          lrp.Evaluate(in, plan).Imbalance,
 			Degraded:           degraded,
 			CacheHit:           cacheHit && !degraded,
+			Replayed:           replayed,
 		}
 		if degraded {
 			ir.Err = fmt.Errorf("%w: iteration %d: %s: %w", ErrRebalance, it, method.Name(), rerr)
@@ -304,9 +349,16 @@ func Run(ctx context.Context, w Workload, method balancer.Rebalancer, cfg Config
 				_ = cfg.Cache.Put(in, cfg.cacheParams(), plan)
 			}
 		}
+		if replayed {
+			res.ReplayedRounds++
+		} else {
+			// A replayed round is already on disk; only live rounds
+			// append a fresh record.
+			cfg.journalRound(it, plan, ir)
+		}
 		cfg.Obs.Counter("dlb.rounds").Inc()
 		round.Set("migrated", ir.Migrated).Set("makespan_ms", ir.MakespanMs).
-			Set("degraded", degraded).End()
+			Set("degraded", degraded).Set("replayed", replayed).End()
 		res.Iterations = append(res.Iterations, ir)
 		res.TotalBaselineMs += ir.BaselineMakespanMs
 		res.TotalMakespanMs += ir.MakespanMs

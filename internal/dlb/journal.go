@@ -1,0 +1,146 @@
+package dlb
+
+// Round journal: crash-safe resume for long driven traces.
+//
+// When Config.Journal is set, Run appends one compact JSON record per
+// completed round — the plan that was actually applied plus the flags
+// needed to reproduce the round's accounting. When Config.Resume holds
+// the records of an interrupted run (e.g. the replay slice a
+// wal.Open returns), Run replays the journaled prefix instead of
+// re-solving it: each record's plan is re-verified against the
+// workload's regenerated instance for that iteration and re-executed
+// on the runtime simulator, so the makespan numbers are recomputed,
+// never trusted from disk. The rebalancing method — the expensive
+// part of a round, possibly a cloud round trip — is only invoked from
+// the first unjournaled iteration onward.
+//
+// A record that no longer matches the live run (different workload,
+// tighter migration budget, corrupt plan) stops the replay at that
+// round: the remainder of the trace re-runs live and journals fresh
+// records. Replay resolves duplicate round indices last-record-wins,
+// so a journal that diverged once self-heals on the next resume.
+
+import (
+	"encoding/json"
+	"errors"
+
+	"repro/internal/chameleon"
+	"repro/internal/lrp"
+	"repro/internal/verify"
+)
+
+// journalVersion is bumped when roundRecord changes incompatibly;
+// records with a different version are dropped on resume, not guessed
+// at.
+const journalVersion = 1
+
+// Journal receives one durable record per completed round. *wal.Log
+// satisfies it; so does anything else with an append-only Append.
+type Journal interface {
+	Append(record []byte) error
+}
+
+// roundRecord is the wire form of one completed round.
+type roundRecord struct {
+	V        int     `json:"v"`
+	It       int     `json:"it"`
+	Plan     [][]int `json:"plan"`
+	Degraded bool    `json:"degraded,omitempty"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// decodeResume parses recovered journal records into the contiguous
+// replayable prefix of rounds starting at iteration 0. Malformed
+// records, wrong-version records and rounds beyond the first gap are
+// dropped (counted on dlb.resume_rejects); duplicate indices resolve
+// last-record-wins so a post-divergence journal replays its corrected
+// tail.
+func decodeResume(cfg Config) []roundRecord {
+	if len(cfg.Resume) == 0 {
+		return nil
+	}
+	byIt := make(map[int]roundRecord, len(cfg.Resume))
+	dropped := 0
+	for _, b := range cfg.Resume {
+		var rec roundRecord
+		if err := json.Unmarshal(b, &rec); err != nil ||
+			rec.V != journalVersion || rec.It < 0 || len(rec.Plan) == 0 {
+			dropped++
+			continue
+		}
+		byIt[rec.It] = rec
+	}
+	prefix := make([]roundRecord, 0, len(byIt))
+	for {
+		rec, ok := byIt[len(prefix)]
+		if !ok {
+			break
+		}
+		prefix = append(prefix, rec)
+	}
+	if orphans := len(byIt) - len(prefix); orphans+dropped > 0 {
+		cfg.Obs.Counter("dlb.resume_rejects").Add(int64(orphans + dropped))
+	}
+	return prefix
+}
+
+// replayRound re-executes one journaled round against the live
+// workload: the recorded plan must pass the independent verifier (a
+// degraded round's plan is exempt from the migration budget, exactly
+// as the degrade ladder was when it first applied) and must apply to
+// a fresh runtime. Any mismatch reports ok=false and the caller falls
+// back to running the round live.
+func (cfg Config) replayRound(in *lrp.Instance, rec roundRecord) (rt *chameleon.Runtime, mig chameleon.MigrationStats, plan *lrp.Plan, ok bool) {
+	cand := &lrp.Plan{X: rec.Plan}
+	budget := -1
+	if !rec.Degraded && cfg.MigrationBudget > 0 {
+		budget = cfg.MigrationBudget
+	}
+	if verify.Plan(in, cand, budget, verify.Options{}).Err() != nil {
+		return nil, chameleon.MigrationStats{}, nil, false
+	}
+	rt, err := chameleon.New(cfg.Runtime, in)
+	if err != nil {
+		return nil, chameleon.MigrationStats{}, nil, false
+	}
+	if mig, err = rt.ApplyPlan(cand); err != nil {
+		return nil, chameleon.MigrationStats{}, nil, false
+	}
+	return rt, mig, cand, true
+}
+
+// replayErr rebuilds the per-round error of a journaled degraded
+// round from its recorded text.
+func replayErr(rec roundRecord) error {
+	if !rec.Degraded {
+		return nil
+	}
+	if rec.Err == "" {
+		return errors.New("replayed degraded round")
+	}
+	return errors.New(rec.Err)
+}
+
+// journalRound persists one completed round. Journal failures never
+// fail the run — durability degrades, the trace does not — they are
+// counted on dlb.journal_errors for the operator.
+func (cfg Config) journalRound(it int, plan *lrp.Plan, ir IterationResult) {
+	if cfg.Journal == nil {
+		return
+	}
+	rec := roundRecord{
+		V: journalVersion, It: it, Plan: plan.X,
+		Degraded: ir.Degraded, CacheHit: ir.CacheHit,
+	}
+	if ir.Err != nil {
+		rec.Err = ir.Err.Error()
+	}
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = cfg.Journal.Append(b)
+	}
+	if err != nil {
+		cfg.Obs.Counter("dlb.journal_errors").Inc()
+	}
+}

@@ -1,0 +1,274 @@
+package dlb
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/lrp"
+	"repro/internal/obs"
+	"repro/internal/solve"
+	"repro/internal/wal"
+)
+
+// countingMethod counts Rebalance invocations — the expensive calls a
+// resumed run must not repeat. Run is single-goroutine, so a plain int
+// is race-free.
+type countingMethod struct {
+	inner balancer.Rebalancer
+	calls int
+}
+
+func (m *countingMethod) Name() string { return m.inner.Name() }
+
+func (m *countingMethod) Rebalance(ctx context.Context, in *lrp.Instance) (*lrp.Plan, error) {
+	m.calls++
+	return m.inner.Rebalance(ctx, in)
+}
+
+// memRoundJournal collects records in memory.
+type memRoundJournal struct{ recs [][]byte }
+
+func (j *memRoundJournal) Append(b []byte) error {
+	j.recs = append(j.recs, append([]byte(nil), b...))
+	return nil
+}
+
+type failJournal struct{}
+
+func (failJournal) Append([]byte) error { return errors.New("disk full") }
+
+// sameNumbers asserts two results agree on everything a resumed run
+// must reproduce: per-round numbers and flags (except Replayed, which
+// is the point of the resume) and the aggregate totals.
+func sameNumbers(t *testing.T, got, want Result) {
+	t.Helper()
+	if len(got.Iterations) != len(want.Iterations) {
+		t.Fatalf("iterations = %d, want %d", len(got.Iterations), len(want.Iterations))
+	}
+	for i := range want.Iterations {
+		g, w := got.Iterations[i], want.Iterations[i]
+		g.Replayed, w.Replayed = false, false
+		g.Err, w.Err = nil, nil
+		if g != w {
+			t.Fatalf("iteration %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if got.TotalMakespanMs != want.TotalMakespanMs ||
+		got.TotalBaselineMs != want.TotalBaselineMs ||
+		got.TotalMigrated != want.TotalMigrated ||
+		got.DegradedRounds != want.DegradedRounds ||
+		got.Speedup != want.Speedup {
+		t.Fatalf("totals = %+v, want %+v", got, want)
+	}
+}
+
+func driftCfg(iters int) Config {
+	return Config{Runtime: runtimeCfg(), Iterations: iters}
+}
+
+func TestResumeSkipsCompletedRounds(t *testing.T) {
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	const iters = 6
+
+	// The reference: an uninterrupted run.
+	ref := &countingMethod{inner: balancer.Greedy{}}
+	want, err := Run(context.Background(), w, ref, driftCfg(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.calls != iters {
+		t.Fatalf("reference method calls = %d, want %d", ref.calls, iters)
+	}
+
+	// The interrupted run: 4 of 6 rounds complete, then the crash.
+	j := &memRoundJournal{}
+	cfg := driftCfg(4)
+	cfg.Journal = j
+	if _, err := Run(context.Background(), w, &countingMethod{inner: balancer.Greedy{}}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.recs) != 4 {
+		t.Fatalf("journaled %d rounds, want 4", len(j.recs))
+	}
+
+	// The resumed run replays the 4 journaled rounds and solves only
+	// the last 2 live.
+	m := &countingMethod{inner: balancer.Greedy{}}
+	reg := obs.NewRegistry()
+	cfg = driftCfg(iters)
+	cfg.Journal = j
+	cfg.Resume = j.recs
+	cfg.Obs = reg
+	got, err := Run(context.Background(), w, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.calls != 2 {
+		t.Fatalf("method calls after resume = %d, want 2", m.calls)
+	}
+	if got.ReplayedRounds != 4 {
+		t.Fatalf("ReplayedRounds = %d, want 4", got.ReplayedRounds)
+	}
+	for i, ir := range got.Iterations {
+		if ir.Replayed != (i < 4) {
+			t.Fatalf("iteration %d Replayed = %v", i, ir.Replayed)
+		}
+	}
+	sameNumbers(t, got, want)
+	if v := reg.Counter("dlb.replayed_rounds").Value(); v != 4 {
+		t.Fatalf("dlb.replayed_rounds = %d, want 4", v)
+	}
+	// The live tail was journaled too: a second crash after round 5
+	// would resume all 6.
+	if len(j.recs) != iters {
+		t.Fatalf("journal holds %d rounds after resume, want %d", len(j.recs), iters)
+	}
+}
+
+func TestResumeRejectsDivergedJournal(t *testing.T) {
+	// Journal a run on one workload, then resume against a workload of
+	// a different shape: every record must fail re-verification and the
+	// whole trace must run live — journaled numbers are never trusted
+	// against an instance they don't describe.
+	j := &memRoundJournal{}
+	cfg := driftCfg(3)
+	cfg.Journal = j
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	if _, err := Run(context.Background(), w, balancer.Greedy{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	other := StaticWorkload{In: lrp.MustInstance([]int{6, 6, 6}, []float64{1, 2, 3})}
+	want, err := Run(context.Background(), other, balancer.Greedy{}, driftCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := &countingMethod{inner: balancer.Greedy{}}
+	reg := obs.NewRegistry()
+	cfg = driftCfg(3)
+	cfg.Resume = j.recs
+	cfg.Obs = reg
+	got, err := Run(context.Background(), other, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.calls != 3 || got.ReplayedRounds != 0 {
+		t.Fatalf("calls = %d, ReplayedRounds = %d; want 3, 0", m.calls, got.ReplayedRounds)
+	}
+	sameNumbers(t, got, want)
+	if reg.Counter("dlb.resume_rejects").Value() == 0 {
+		t.Fatal("dlb.resume_rejects not counted")
+	}
+}
+
+func TestResumeDropsMalformedAndGappedRecords(t *testing.T) {
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	j := &memRoundJournal{}
+	cfg := driftCfg(5)
+	cfg.Journal = j
+	want, err := Run(context.Background(), w, balancer.Greedy{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the journal: garbage bytes, a wrong-version record, and a
+	// gap (round 2 missing). Only rounds 0–1 — the contiguous verified
+	// prefix — may replay.
+	recs := [][]byte{
+		j.recs[0],
+		j.recs[1],
+		[]byte("{torn frame"),
+		[]byte(`{"v":99,"it":2,"plan":[[1]]}`),
+		j.recs[3],
+		j.recs[4],
+	}
+	m := &countingMethod{inner: balancer.Greedy{}}
+	reg := obs.NewRegistry()
+	cfg = driftCfg(5)
+	cfg.Resume = recs
+	cfg.Obs = reg
+	got, err := Run(context.Background(), w, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReplayedRounds != 2 || m.calls != 3 {
+		t.Fatalf("ReplayedRounds = %d, calls = %d; want 2, 3", got.ReplayedRounds, m.calls)
+	}
+	sameNumbers(t, got, want)
+	if reg.Counter("dlb.resume_rejects").Value() != 4 {
+		t.Fatalf("dlb.resume_rejects = %d, want 4 (2 malformed + 2 orphaned)",
+			reg.Counter("dlb.resume_rejects").Value())
+	}
+}
+
+func TestJournalFailureDoesNotAbortRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := driftCfg(3)
+	cfg.Journal = failJournal{}
+	cfg.Obs = reg
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	res, err := Run(context.Background(), w, balancer.Greedy{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 3 {
+		t.Fatalf("run truncated to %d rounds", len(res.Iterations))
+	}
+	if v := reg.Counter("dlb.journal_errors").Value(); v != 3 {
+		t.Fatalf("dlb.journal_errors = %d, want 3", v)
+	}
+}
+
+// TestResumeThroughWAL is the end-to-end shape: the round journal
+// lives in a real CRC-framed WAL, the "crash" is a reopen, and the
+// resumed run completes the trace without re-invoking the method for
+// finished rounds.
+func TestResumeThroughWAL(t *testing.T) {
+	dir := t.TempDir()
+	clk := solve.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	open := func() (*wal.Log, [][]byte) {
+		t.Helper()
+		log, recs, err := wal.Open(wal.Options{Dir: dir, Name: "dlb", Policy: wal.SyncAlways, Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return log, recs
+	}
+	w := DriftingWorkload{Base: testInstance(), Drift: 1}
+	const iters = 5
+
+	want, err := Run(context.Background(), w, balancer.Greedy{}, driftCfg(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	log1, recs := open()
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	cfg := driftCfg(3)
+	cfg.Journal = log1
+	if _, err := Run(context.Background(), w, balancer.Greedy{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	log1.Close() //nolint:errcheck — crash boundary
+
+	log2, recs := open()
+	defer log2.Close()
+	m := &countingMethod{inner: balancer.Greedy{}}
+	cfg = driftCfg(iters)
+	cfg.Journal = log2
+	cfg.Resume = recs
+	got, err := Run(context.Background(), w, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReplayedRounds != 3 || m.calls != 2 {
+		t.Fatalf("ReplayedRounds = %d, calls = %d; want 3, 2", got.ReplayedRounds, m.calls)
+	}
+	sameNumbers(t, got, want)
+}

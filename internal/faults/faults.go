@@ -25,8 +25,23 @@
 //     poisoned reply tripping a client bug). Contained by the panic
 //     isolation layer (solve.Protected), not by retries.
 //
+// Disk fault taxonomy (the write-ahead log's file layer, internal/wal):
+//
+//   - ShortWrite — a write persists only a prefix of its bytes before
+//     the error surfaces, the torn-tail case a crash mid-append leaves
+//     behind. Recovery must truncate, never trust the tail.
+//   - SyncErr — fsync fails; the durability guarantee of everything
+//     buffered since the last successful sync is void.
+//   - ReadCorrupt — a read returns bit-flipped data (latent sector
+//     error, bad cable). Detected by frame CRCs, not by an error.
+//   - CrashPoint — the simulated machine dies: every subsequent file
+//     operation fails with ErrCrashed until the injector is Reset
+//     (modelling a restart). Tests also trigger it directly with
+//     Injector.Crash to cut power at an exact point.
+//
 // The injection surface is the Hook interface, consulted once per solve
-// attempt by the simulated cloud backend (hybrid.Options.Faults).
+// attempt by the simulated cloud backend (hybrid.Options.Faults), and
+// once per file operation by the WAL's fault-wrapping FS.
 package faults
 
 import (
@@ -55,9 +70,22 @@ const (
 	// client. Only the isolation layer (solve.Protected) stands between
 	// it and the process.
 	Panic
+	// ShortWrite persists only a prefix of a file write before erroring
+	// — the torn tail a crash mid-append leaves on disk.
+	ShortWrite
+	// SyncErr fails an fsync, voiding the durability of everything
+	// buffered since the last successful sync.
+	SyncErr
+	// ReadCorrupt flips bits in a file read instead of erroring; only a
+	// checksum stands between it and the caller.
+	ReadCorrupt
+	// CrashPoint kills the simulated machine: the faulted operation and
+	// every one after it fail with ErrCrashed until Injector.Reset
+	// models the restart.
+	CrashPoint
 )
 
-const numKinds = int(Panic) + 1
+const numKinds = int(CrashPoint) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -74,6 +102,14 @@ func (k Kind) String() string {
 		return "corrupt"
 	case Panic:
 		return "panic"
+	case ShortWrite:
+		return "short-write"
+	case SyncErr:
+		return "sync-err"
+	case ReadCorrupt:
+		return "read-corrupt"
+	case CrashPoint:
+		return "crash-point"
 	}
 	return "unknown"
 }
@@ -88,11 +124,19 @@ var (
 	ErrTimeout = errors.New("faults: cloud solve timed out")
 	// ErrThrottled is a quota/rate-limit rejection.
 	ErrThrottled = errors.New("faults: request throttled (quota exceeded)")
+	// ErrShortWrite is the error a torn write surfaces after persisting
+	// only a prefix of its bytes.
+	ErrShortWrite = errors.New("faults: short write (torn tail)")
+	// ErrSync is a failed fsync.
+	ErrSync = errors.New("faults: fsync failed")
+	// ErrCrashed marks every file operation after a CrashPoint: the
+	// simulated machine is down until the injector is Reset.
+	ErrCrashed = errors.New("faults: simulated crash (machine down)")
 )
 
-// Err returns the sentinel error a fault of this kind surfaces as. None
-// and Corrupt return nil: a corrupted response is returned, not errored
-// (that is what makes it dangerous).
+// Err returns the sentinel error a fault of this kind surfaces as. None,
+// Corrupt and ReadCorrupt return nil: a corrupted response (or read) is
+// returned, not errored (that is what makes it dangerous).
 func (k Kind) Err() error {
 	switch k {
 	case Transient:
@@ -101,6 +145,12 @@ func (k Kind) Err() error {
 		return ErrTimeout
 	case Throttle:
 		return ErrThrottled
+	case ShortWrite:
+		return ErrShortWrite
+	case SyncErr:
+		return ErrSync
+	case CrashPoint:
+		return ErrCrashed
 	}
 	return nil
 }
@@ -121,6 +171,11 @@ type Config struct {
 	// Transient, Timeout, Throttle, Corrupt, Panic are per-attempt
 	// injection probabilities of each kind.
 	Transient, Timeout, Throttle, Corrupt, Panic float64
+	// ShortWrite, SyncErr, ReadCorrupt, CrashPoint are per-operation
+	// injection probabilities of the disk fault kinds (the WAL's file
+	// layer consults the hook once per read/write/sync). A drawn
+	// CrashPoint is sticky: the injector stays crashed until Reset.
+	ShortWrite, SyncErr, ReadCorrupt, CrashPoint float64
 	// TimeoutDelay is the simulated time a Timeout fault consumes
 	// before surfacing (measured on the injected solve.Clock).
 	TimeoutDelay time.Duration
@@ -143,7 +198,22 @@ func Uniform(seed int64, rate float64) Config {
 
 // Rate returns the total per-attempt fault probability.
 func (c Config) Rate() float64 {
-	return c.Transient + c.Timeout + c.Throttle + c.Corrupt + c.Panic
+	return c.Transient + c.Timeout + c.Throttle + c.Corrupt + c.Panic +
+		c.ShortWrite + c.SyncErr + c.ReadCorrupt + c.CrashPoint
+}
+
+// Disk returns a configuration injecting only the disk fault kinds, the
+// adversary the WAL's recovery path is property-tested under: torn
+// writes, failed fsyncs and silently corrupted reads in a 2:1:2 split
+// of rate. CrashPoint is left to the explicit Injector.Crash switch so
+// tests cut power at exact points instead of at random ones.
+func Disk(seed int64, rate float64) Config {
+	return Config{
+		Seed:        seed,
+		ShortWrite:  0.4 * rate,
+		SyncErr:     0.2 * rate,
+		ReadCorrupt: 0.4 * rate,
+	}
 }
 
 // Chaos returns a configuration injecting only the two faults no
@@ -178,18 +248,31 @@ func (c Config) at(seq int) Fault {
 	rng := rand.New(rand.NewSource(mix(c.Seed, int64(seq))))
 	u := rng.Float64()
 	f := Fault{Seq: seq, rngSeed: rng.Int63()}
-	switch t, o, q := c.Transient, c.Timeout, c.Throttle; {
-	case u < t:
-		f.Kind = Transient
-	case u < t+o:
-		f.Kind = Timeout
-		f.Delay = c.TimeoutDelay
-	case u < t+o+q:
-		f.Kind = Throttle
-	case u < t+o+q+c.Corrupt:
-		f.Kind = Corrupt
-	case u < t+o+q+c.Corrupt+c.Panic:
-		f.Kind = Panic
+	// The rates carve the unit interval in declaration order, so each
+	// attempt draws at most one kind.
+	cum := 0.0
+	for _, step := range [...]struct {
+		rate float64
+		kind Kind
+	}{
+		{c.Transient, Transient},
+		{c.Timeout, Timeout},
+		{c.Throttle, Throttle},
+		{c.Corrupt, Corrupt},
+		{c.Panic, Panic},
+		{c.ShortWrite, ShortWrite},
+		{c.SyncErr, SyncErr},
+		{c.ReadCorrupt, ReadCorrupt},
+		{c.CrashPoint, CrashPoint},
+	} {
+		cum += step.rate
+		if u < cum {
+			f.Kind = step.kind
+			if step.kind == Timeout {
+				f.Delay = c.TimeoutDelay
+			}
+			break
+		}
 	}
 	return f
 }
@@ -233,6 +316,32 @@ func (f Fault) CorruptSample(sample []bool) {
 	}
 }
 
+// CorruptBytes deterministically flips between 1 and 8 bits of p in
+// place, modelling a read damaged by a latent sector error. It is a
+// no-op unless Kind is ReadCorrupt.
+func (f Fault) CorruptBytes(p []byte) {
+	if f.Kind != ReadCorrupt || len(p) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(f.rngSeed))
+	n := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(len(p))
+		p[j] ^= 1 << uint(rng.Intn(8))
+	}
+}
+
+// ShortLen returns how many of n bytes a torn write persists: a
+// deterministic strict prefix (0 <= len < n, for n > 0). It returns n
+// unchanged unless Kind is ShortWrite.
+func (f Fault) ShortLen(n int) int {
+	if f.Kind != ShortWrite || n <= 0 {
+		return n
+	}
+	rng := rand.New(rand.NewSource(f.rngSeed))
+	return rng.Intn(n)
+}
+
 // Hook is the injection surface a simulated cloud component consults
 // once per solve attempt. *Injector implements it; a nil Hook means a
 // perfectly reliable cloud.
@@ -245,10 +354,11 @@ type Hook interface {
 // safe for concurrent use; under concurrent submitters the assignment
 // of schedule slots to attempts follows arrival order.
 type Injector struct {
-	mu     sync.Mutex
-	cfg    Config
-	seq    int
-	counts [numKinds]int
+	mu      sync.Mutex
+	cfg     Config
+	seq     int
+	crashed bool
+	counts  [numKinds]int
 }
 
 // NewInjector returns an injector at the start of cfg's schedule.
@@ -258,13 +368,48 @@ func NewInjector(cfg Config) *Injector { return &Injector{cfg: cfg} }
 func (i *Injector) Next() Fault {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	if i.crashed {
+		// CrashPoint is sticky: the machine is down, every operation
+		// fails until Reset models the restart.
+		f := Fault{Kind: CrashPoint, Seq: i.seq}
+		i.seq++
+		i.counts[CrashPoint]++
+		return f
+	}
 	f := i.cfg.at(i.seq)
 	i.seq++
 	if f.Kind != None && i.cfg.MaxFaults > 0 && i.injectedLocked() >= i.cfg.MaxFaults {
 		f = Fault{Seq: f.Seq} // cap reached: serve clean attempts from here on
 	}
+	if f.Kind == CrashPoint {
+		i.crashed = true
+	}
 	i.counts[f.Kind]++
 	return f
+}
+
+// Crash flips the injector into the crashed state at an exact point:
+// the next and every following operation fails with ErrCrashed until
+// Reset. Tests use it to cut power deterministically mid-sequence.
+func (i *Injector) Crash() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashed = true
+}
+
+// Reset models the machine restarting: the crashed state clears and the
+// schedule continues from the current attempt index.
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashed = false
+}
+
+// Crashed reports whether the injector is in the post-CrashPoint state.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
 }
 
 func (i *Injector) injectedLocked() int {

@@ -224,3 +224,116 @@ func TestCorruptSampleDeterministicAndBounded(t *testing.T) {
 	}
 	f.CorruptSample(nil) // must not panic
 }
+
+func TestDiskKindsScheduledAndSticky(t *testing.T) {
+	// A disk-only config draws only disk kinds, deterministically per
+	// seed, and a drawn CrashPoint makes the injector sticky-crashed.
+	cfg := Config{Seed: 7, ShortWrite: 0.2, SyncErr: 0.2, ReadCorrupt: 0.2, CrashPoint: 0.2}
+	sched := cfg.Schedule(100)
+	counts := map[Kind]int{}
+	for _, k := range sched {
+		switch k {
+		case None, ShortWrite, SyncErr, ReadCorrupt, CrashPoint:
+			counts[k]++
+		default:
+			t.Fatalf("non-disk kind %v in disk-only schedule", k)
+		}
+	}
+	for _, k := range []Kind{ShortWrite, SyncErr, ReadCorrupt, CrashPoint} {
+		if counts[k] == 0 {
+			t.Errorf("kind %v never drawn in 100 attempts at rate 0.2", k)
+		}
+	}
+	inj := NewInjector(cfg)
+	crashedAt := -1
+	for i := 0; i < 100; i++ {
+		f := inj.Next()
+		if crashedAt >= 0 && f.Kind != CrashPoint {
+			t.Fatalf("attempt %d after crash at %d drew %v, want CrashPoint", i, crashedAt, f.Kind)
+		}
+		if crashedAt < 0 && f.Kind == CrashPoint {
+			crashedAt = i
+		}
+	}
+	if crashedAt < 0 {
+		t.Fatal("no CrashPoint drawn")
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not crashed after drawing CrashPoint")
+	}
+	inj.Reset()
+	if inj.Crashed() {
+		t.Fatal("Reset did not clear the crashed state")
+	}
+}
+
+func TestCrashSwitchManual(t *testing.T) {
+	inj := NewInjector(Config{Seed: 1}) // clean schedule
+	if f := inj.Next(); f.Kind != None {
+		t.Fatalf("clean config drew %v", f.Kind)
+	}
+	inj.Crash()
+	for i := 0; i < 5; i++ {
+		f := inj.Next()
+		if f.Kind != CrashPoint {
+			t.Fatalf("post-Crash attempt drew %v, want CrashPoint", f.Kind)
+		}
+		if !errors.Is(f.Kind.Err(), ErrCrashed) {
+			t.Fatalf("CrashPoint error = %v, want ErrCrashed", f.Kind.Err())
+		}
+	}
+	inj.Reset()
+	if f := inj.Next(); f.Kind != None {
+		t.Fatalf("post-Reset attempt drew %v, want None", f.Kind)
+	}
+}
+
+func TestShortLenDeterministicStrictPrefix(t *testing.T) {
+	cfg := Config{Seed: 3, ShortWrite: 1}
+	inj := NewInjector(cfg)
+	f := inj.Next()
+	if f.Kind != ShortWrite {
+		t.Fatalf("kind = %v, want ShortWrite", f.Kind)
+	}
+	for _, n := range []int{1, 2, 17, 4096} {
+		got, again := f.ShortLen(n), f.ShortLen(n)
+		if got != again {
+			t.Fatalf("ShortLen(%d) not deterministic: %d vs %d", n, got, again)
+		}
+		if got < 0 || got >= n {
+			t.Fatalf("ShortLen(%d) = %d, want strict prefix in [0,%d)", n, got, n)
+		}
+	}
+	clean := Fault{Kind: None}
+	if clean.ShortLen(10) != 10 {
+		t.Fatal("ShortLen must be identity for non-ShortWrite faults")
+	}
+}
+
+func TestCorruptBytesDeterministicAndScoped(t *testing.T) {
+	cfg := Config{Seed: 5, ReadCorrupt: 1}
+	inj := NewInjector(cfg)
+	f := inj.Next()
+	if f.Kind != ReadCorrupt {
+		t.Fatalf("kind = %v, want ReadCorrupt", f.Kind)
+	}
+	if f.Kind.Err() != nil {
+		t.Fatal("ReadCorrupt must surface in-band, not as an error")
+	}
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	a := append([]byte(nil), orig...)
+	b := append([]byte(nil), orig...)
+	f.CorruptBytes(a)
+	f.CorruptBytes(b)
+	if string(a) == string(orig) {
+		t.Fatal("CorruptBytes changed nothing")
+	}
+	if string(a) != string(b) {
+		t.Fatal("CorruptBytes not deterministic for one fault")
+	}
+	c := append([]byte(nil), orig...)
+	Fault{Kind: None}.CorruptBytes(c)
+	if string(c) != string(orig) {
+		t.Fatal("CorruptBytes must be a no-op for non-ReadCorrupt faults")
+	}
+}

@@ -25,6 +25,8 @@
 //	plancache.hits / plancache.misses / plancache.rejects  (counters)
 //	plancache.puts / plancache.put_rejects                 (counters)
 //	plancache.evictions                                    (counter)
+//	plancache.loads / plancache.load_rejects               (counters)
+//	plancache.journal_errors / plancache.snapshots         (counters)
 //	plancache.entries / plancache.bytes                    (gauges)
 //	plancache.entry_bytes                                  (histogram)
 package plancache
@@ -74,6 +76,13 @@ type Config struct {
 	// fingerprint: entries cached under one load cap never answer
 	// requests under another.
 	Verify verify.Options
+	// Journal, when non-nil, receives one encoded record per accepted
+	// Put (see persist.go). A *wal.Log satisfies it; when the value also
+	// implements Compactor, the cache snapshots itself into a fresh
+	// generation whenever the journal says compaction is due. Journal
+	// failures are counted (plancache.journal_errors), never surfaced:
+	// the cache stays correct without durability.
+	Journal Journal
 	// Obs receives plancache.* metrics (nil is fine).
 	Obs *obs.Registry
 }
@@ -81,22 +90,31 @@ type Config struct {
 // Stats is a point-in-time snapshot of the cache counters, for tests
 // and artifacts that don't want to go through an obs.Registry.
 type Stats struct {
-	Hits       int64 // served plans (verified on the way out)
-	Misses     int64 // fingerprint not present
-	Rejects    int64 // present but failed verify-on-hit; evicted, not served
-	Puts       int64 // accepted stores
-	PutRejects int64 // stores refused by verify-on-put
-	Evictions  int64 // entries dropped (capacity + verify rejects)
-	Entries    int   // current entry count
-	Bytes      int64 // current stored plan bytes
+	Hits        int64 // served plans (verified on the way out)
+	Misses      int64 // fingerprint not present
+	Rejects     int64 // present but failed verify-on-hit; evicted, not served
+	Puts        int64 // accepted stores
+	PutRejects  int64 // stores refused by verify-on-put
+	Evictions   int64 // entries dropped (capacity + verify rejects)
+	Loads       int64 // records re-admitted from the journal
+	LoadRejects int64 // journal records dropped (corrupt, stale, unverifiable)
+	JournalErrs int64 // journal appends/compactions that failed
+	Snapshots   int64 // journal compactions performed
+	Entries     int   // current entry count
+	Bytes       int64 // current stored plan bytes
 }
 
-// entry is one cached plan, held in canonical process order.
+// entry is one cached plan, held in canonical process order. The
+// canonical instance rides along so the entry can be re-encoded for the
+// journal snapshot without keeping the requester's instance alive.
 type entry struct {
-	fp    fingerprint
-	m     int
-	plan  *lrp.Plan // cache-owned canonical copy; never aliased out
-	bytes int64
+	fp      fingerprint
+	m       int
+	p       Params
+	ctasks  []int     // canonical task counts (cache-owned)
+	cweight []float64 // canonical per-task weights (cache-owned)
+	plan    *lrp.Plan // cache-owned canonical copy; never aliased out
+	bytes   int64
 }
 
 // Cache is a bounded, verified, permutation-aware plan LRU. Safe for
@@ -113,6 +131,7 @@ type Cache struct {
 	stats Stats
 
 	cHit, cMiss, cReject, cPut, cPutReject, cEvict *obs.Counter
+	cLoad, cLoadReject, cJournalErr, cSnapshot     *obs.Counter
 	gEntries, gBytes                               *obs.Gauge
 	hEntryBytes                                    *obs.Histogram
 }
@@ -137,6 +156,10 @@ func New(cfg Config) *Cache {
 		cPut:        r.Counter("plancache.puts"),
 		cPutReject:  r.Counter("plancache.put_rejects"),
 		cEvict:      r.Counter("plancache.evictions"),
+		cLoad:       r.Counter("plancache.loads"),
+		cLoadReject: r.Counter("plancache.load_rejects"),
+		cJournalErr: r.Counter("plancache.journal_errors"),
+		cSnapshot:   r.Counter("plancache.snapshots"),
 		gEntries:    r.Gauge("plancache.entries"),
 		gBytes:      r.Gauge("plancache.bytes"),
 		hEntryBytes: r.Histogram("plancache.entry_bytes"),
@@ -278,6 +301,13 @@ func (c *Cache) Put(in *lrp.Instance, p Params, plan *lrp.Plan) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.putLocked(in, p, plan, true)
+}
+
+// putLocked verifies, canonicalizes and inserts one plan. journal=false
+// is the replay path: a record being re-admitted from disk must not be
+// re-appended to the very log it came from.
+func (c *Cache) putLocked(in *lrp.Instance, p Params, plan *lrp.Plan, journal bool) error {
 	verify.PlanInto(&c.rep, in, plan, p.K, c.cfg.Verify)
 	if !c.rep.Ok() {
 		c.stats.PutRejects++
@@ -287,14 +317,21 @@ func (c *Cache) Put(in *lrp.Instance, p Params, plan *lrp.Plan) error {
 	fp := fingerprintInto(&c.sc, in.Tasks, in.Weight, c.cfg.Epsilon, p, c.cfg.Verify.MaxLoad)
 	m := len(in.Tasks)
 	canon := lrp.ZeroPlan(m)
+	ctasks := make([]int, m)
+	cweight := make([]float64, m)
 	inv := c.sc.inv
 	for i := 0; i < m; i++ {
 		src, row := plan.X[i], canon.X[inv[i]]
 		for j := 0; j < m; j++ {
 			row[inv[j]] = src[j]
 		}
+		ctasks[inv[i]] = in.Tasks[i]
+		cweight[inv[i]] = in.Weight[i]
 	}
-	ent := &entry{fp: fp, m: m, plan: canon, bytes: int64(m) * int64(m) * 8}
+	ent := &entry{
+		fp: fp, m: m, p: p, ctasks: ctasks, cweight: cweight,
+		plan: canon, bytes: int64(m) * int64(m) * 8,
+	}
 	if el := c.idx[fp]; el != nil {
 		// Replace in place (a fresher plan for the same key).
 		old := el.Value.(*entry)
@@ -313,6 +350,9 @@ func (c *Cache) Put(in *lrp.Instance, p Params, plan *lrp.Plan) error {
 	c.hEntryBytes.Observe(float64(ent.bytes))
 	c.gEntries.Set(float64(c.ll.Len()))
 	c.gBytes.Set(float64(c.bytes))
+	if journal {
+		c.journalLocked(ent)
+	}
 	return nil
 }
 

@@ -1,0 +1,181 @@
+// Durability for the verified plan cache.
+//
+// The cache journals every accepted Put as one self-contained JSON
+// record — the *canonical* instance, the Params, and the canonical
+// plan — through a caller-supplied Journal (in production a *wal.Log).
+// On startup the daemon replays the journal and hands the surviving
+// records to Load, which pushes every one of them through the exact
+// same gate a live Put faces: decode, shape-validate, rebuild the
+// instance, and re-run verify.Plan. A record that was corrupted on
+// disk, or that was written under a config the current process no
+// longer honours (different load cap, different budget), fails that
+// gate, is counted as a load_reject and never enters the cache — the
+// trust-but-verify invariant extends to bytes read back from disk.
+//
+// Records are canonical on purpose: re-fingerprinting the canonical
+// sequence is the identity permutation, so Load needs no inverse
+// bookkeeping, and two daemons journaling permuted views of the same
+// round converge on byte-identical records.
+//
+// Journal failures never fail a Put. The cache is an accelerator;
+// losing durability degrades restart warmth, not correctness.
+package plancache
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/lrp"
+)
+
+// persistVersion guards the record schema; bump on incompatible change.
+const persistVersion = 1
+
+// Journal receives one encoded record per accepted Put. *wal.Log
+// satisfies it. Append must be safe for concurrent use and must not
+// call back into the cache.
+type Journal interface {
+	Append(rec []byte) error
+}
+
+// Compactor is the optional snapshot-compaction side of a Journal.
+// When the configured Journal implements it, the cache rewrites the
+// journal as a snapshot of its live entries whenever CompactDue
+// reports true after a journaled Put. *wal.Log satisfies it.
+type Compactor interface {
+	CompactDue() bool
+	Compact(records [][]byte) error
+}
+
+// persistRecord is the on-disk schema: one verified entry in canonical
+// process order. Verify options are deliberately absent — a loaded
+// record is re-verified under the *current* config, so entries written
+// under a laxer load cap are dropped, not trusted.
+type persistRecord struct {
+	V      int       `json:"v"`
+	Tasks  []int     `json:"tasks"`
+	Weight []float64 `json:"weight"`
+	K      int       `json:"k"`
+	Form   int       `json:"form,omitempty"`
+	Plan   [][]int   `json:"plan"`
+}
+
+// encodeEntry serializes one cache entry as a journal record.
+func encodeEntry(ent *entry) ([]byte, error) {
+	return json.Marshal(persistRecord{
+		V:      persistVersion,
+		Tasks:  ent.ctasks,
+		Weight: ent.cweight,
+		K:      ent.p.K,
+		Form:   ent.p.Form,
+		Plan:   ent.plan.X,
+	})
+}
+
+// journalLocked appends ent to the configured journal and, when the
+// journal supports compaction and says it is due, rewrites it as a
+// snapshot of the live entries. Failures are counted, never returned.
+func (c *Cache) journalLocked(ent *entry) {
+	j := c.cfg.Journal
+	if j == nil {
+		return
+	}
+	rec, err := encodeEntry(ent)
+	if err != nil {
+		c.stats.JournalErrs++
+		c.cJournalErr.Inc()
+		return
+	}
+	if err := j.Append(rec); err != nil {
+		c.stats.JournalErrs++
+		c.cJournalErr.Inc()
+		return
+	}
+	comp, ok := j.(Compactor)
+	if !ok || !comp.CompactDue() {
+		return
+	}
+	if err := comp.Compact(c.snapshotLocked()); err != nil {
+		c.stats.JournalErrs++
+		c.cJournalErr.Inc()
+		return
+	}
+	c.stats.Snapshots++
+	c.cSnapshot.Inc()
+}
+
+// Snapshot encodes every live entry, least-recently-used first, so a
+// replay of the snapshot reconstructs both the contents and the LRU
+// order of the cache. Intended for journal compaction and tests.
+func (c *Cache) Snapshot() [][]byte {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Cache) snapshotLocked() [][]byte {
+	records := make([][]byte, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		rec, err := encodeEntry(el.Value.(*entry))
+		if err != nil {
+			continue // unencodable entry: skip, the snapshot stays valid
+		}
+		records = append(records, rec)
+	}
+	return records
+}
+
+// Load re-admits previously journaled records. Every record is
+// decoded, shape-checked, rebuilt into an instance and re-verified by
+// the normal put gate; failures of any kind are dropped and counted
+// (plancache.load_rejects), never served. Records are applied in
+// order, so a journal replayed from a Snapshot restores LRU order.
+// Load does not re-journal what it admits. Returns (kept, rejected).
+func (c *Cache) Load(records [][]byte) (kept, rejected int) {
+	if c == nil {
+		return 0, len(records)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rec := range records {
+		if err := c.loadOneLocked(rec); err != nil {
+			rejected++
+			c.stats.LoadRejects++
+			c.cLoadReject.Inc()
+			continue
+		}
+		kept++
+		c.stats.Loads++
+		c.cLoad.Inc()
+	}
+	return kept, rejected
+}
+
+// loadOneLocked decodes and re-admits a single journal record.
+func (c *Cache) loadOneLocked(rec []byte) error {
+	var pr persistRecord
+	if err := json.Unmarshal(rec, &pr); err != nil {
+		return fmt.Errorf("plancache: undecodable journal record: %w", err)
+	}
+	if pr.V != persistVersion {
+		return fmt.Errorf("plancache: journal record version %d, want %d", pr.V, persistVersion)
+	}
+	m := len(pr.Tasks)
+	if m == 0 || len(pr.Weight) != m || len(pr.Plan) != m {
+		return fmt.Errorf("plancache: journal record shape mismatch (m=%d)", m)
+	}
+	for i := range pr.Plan {
+		if len(pr.Plan[i]) != m {
+			return fmt.Errorf("plancache: journal record plan row %d has %d cols, want %d", i, len(pr.Plan[i]), m)
+		}
+	}
+	in, err := lrp.NewInstance(pr.Tasks, pr.Weight)
+	if err != nil {
+		return fmt.Errorf("plancache: journal record instance invalid: %w", err)
+	}
+	plan := &lrp.Plan{X: pr.Plan}
+	return c.putLocked(in, Params{K: pr.K, Form: pr.Form}, plan, false)
+}

@@ -11,7 +11,8 @@ import (
 //	GET  /healthz   — liveness: 200 {"status":"ok",...} or 503 while draining
 //	POST /solve     — submit a Request; 202 {job} on admission,
 //	                  400 invalid, 429 overload/rate/budget, 503 draining
-//	GET  /jobs/{id} — job snapshot; 404 unknown id
+//	GET  /jobs/{id} — job snapshot; 404 unknown id, 410 evicted by
+//	                  retention (the id existed; its record is gone)
 //	GET  /metrics   — plain-text snapshot of the obs registry
 //
 // Responses are JSON except /metrics. Admission errors carry their
@@ -44,7 +45,7 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, err := s.Job(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, lookupStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, job)
@@ -54,6 +55,17 @@ func Handler(s *Server) http.Handler {
 		w.Write([]byte(s.Obs().Snapshot().Text())) //nolint:errcheck
 	})
 	return mux
+}
+
+// lookupStatus distinguishes a job the server once held (evicted by
+// retention, 410 Gone — the id is real, its record is not coming
+// back) from an id it never issued (404). The ErrEvicted check runs
+// first: ErrEvicted wraps ErrUnknownJob, so the order matters.
+func lookupStatus(err error) int {
+	if errors.Is(err, ErrEvicted) {
+		return http.StatusGone
+	}
+	return http.StatusNotFound
 }
 
 // statusFor maps typed admission errors to HTTP status codes.

@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cqm"
+	"repro/internal/obs"
+	"repro/internal/solve"
+)
+
+// memJournal is an in-memory Journal with optional compaction. Like
+// the real *wal.Log it must tolerate concurrent appends.
+type memJournal struct {
+	mu         sync.Mutex
+	records    [][]byte
+	compactDue atomic.Bool
+	compacted  atomic.Bool
+}
+
+func (j *memJournal) Append(rec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.records = append(j.records, append([]byte(nil), rec...))
+	return nil
+}
+
+func (j *memJournal) CompactDue() bool { return j.compactDue.Load() }
+
+func (j *memJournal) Compact(records [][]byte) error {
+	j.compactDue.Store(false)
+	j.compacted.Store(true)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.records = nil
+	for _, r := range records {
+		j.records = append(j.records, append([]byte(nil), r...))
+	}
+	return nil
+}
+
+func (j *memJournal) copy() [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([][]byte, len(j.records))
+	for i, r := range j.records {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out
+}
+
+// gateBackend solves the first n jobs instantly, then blocks —
+// announcing each blocked solve on blocked — until release closes.
+type gateBackend struct {
+	n       int64
+	blocked chan struct{}
+	release chan struct{}
+}
+
+func newGate(n int64) *gateBackend {
+	return &gateBackend{n: n, blocked: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gateBackend) Name() string { return "gate" }
+
+func (g *gateBackend) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if atomic.AddInt64(&g.n, -1) < 0 {
+		g.blocked <- struct{}{}
+		select {
+		case <-g.release:
+		case <-ctx.Done():
+		}
+	}
+	x := make([]bool, m.NumVars())
+	return &solve.Result{Sample: x, Objective: m.Objective(x), Feasible: m.Feasible(x, 1e-6)}, nil
+}
+
+func waitDone(t *testing.T, s *Server, id string) *Job {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	j, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", id, err)
+	}
+	return j
+}
+
+// TestRecoveryRestoresDoneAndRequeuesUnfinished is the restart
+// contract: jobs terminal at the crash come back as queryable history
+// (plans intact, Recovered set), jobs queued or running at the crash
+// re-run to completion, and new ids never collide with recovered ones.
+func TestRecoveryRestoresDoneAndRequeuesUnfinished(t *testing.T) {
+	clk := fakeClock(t)
+	mem := &memJournal{}
+	gate := newGate(3)
+	s1, err := New(Options{
+		Backend: gate, Clock: clk, NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour, Journal: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := s1.Submit(req("t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	waitDone(t, s1, ids[2]) // single worker: 0,1,2 done in order
+	<-gate.blocked          // job 3 is mid-solve; job 4 still queued
+
+	// "kill -9": snapshot the journal as the disk would hold it, then
+	// tear the old server down out-of-band.
+	records := mem.copy()
+	close(gate.release)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	s2, err := New(Options{
+		Backend: &instantBackend{}, Clock: clk, NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour,
+		Recover: records, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background()) //nolint:errcheck
+
+	for _, id := range ids[:3] {
+		j, err := s2.Job(id)
+		if err != nil {
+			t.Fatalf("restored job %s: %v", id, err)
+		}
+		if j.Status != StatusDone || !j.Recovered || j.Plan == nil {
+			t.Fatalf("restored job %s = %+v, want done+recovered with plan", id, j)
+		}
+	}
+	for _, id := range ids[3:] {
+		j := waitDone(t, s2, id)
+		if j.Status != StatusDone || !j.Recovered {
+			t.Fatalf("requeued job %s = %+v, want done+recovered", id, j)
+		}
+	}
+	if got := reg.Counter("serve.recovered").Value(); got != 2 {
+		t.Fatalf("serve.recovered = %d, want 2", got)
+	}
+	if got := reg.Counter("serve.recovery_restored").Value(); got != 3 {
+		t.Fatalf("serve.recovery_restored = %d, want 3", got)
+	}
+	// nextID resumed past the recovered ids: a fresh submit gets a new id.
+	j, err := s2.Submit(req("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if j.ID == id {
+			t.Fatalf("fresh job reused recovered id %s", id)
+		}
+	}
+	if !waitDone(t, s2, j.ID).Recovered == false {
+		t.Fatalf("fresh job marked recovered")
+	}
+}
+
+// TestRecoveryRespectsTenantBudget replays completed wall time into
+// the tenant budgets: an exhausted tenant's unfinished jobs fail with
+// ErrBudgetExhausted instead of silently re-running.
+func TestRecoveryRespectsTenantBudget(t *testing.T) {
+	clk := fakeClock(t)
+	mem := &memJournal{}
+	// Each solve burns 2s of fake wall time, exactly the tenant budget:
+	// one completed solve leaves the tenant exhausted.
+	s1, err := New(Options{
+		Backend: &instantBackend{advance: func() { clk.Advance(2 * time.Second) }},
+		Clock:   clk, NoRateLimit: true, Workers: 1, QueueDepth: 16,
+		DefaultBudget: time.Hour, TenantBudget: 2 * time.Second, Journal: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s1.Submit(req("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s1, done.ID)
+
+	// Forge an unfinished accept for the same tenant, as if the daemon
+	// died right after admitting it.
+	rec, _ := json.Marshal(journalRecord{
+		V: journalVersion, Op: opAccept, ID: "j00000099",
+		Req: req("t"), BudgetMs: 1000,
+	})
+	records := append(mem.copy(), rec)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{
+		Backend: &instantBackend{}, Clock: clk, NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour,
+		TenantBudget: 2 * time.Second, Recover: records,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background()) //nolint:errcheck
+	j, err := s2.Job("j00000099")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status != StatusFailed {
+		t.Fatalf("over-budget recovered job status = %s, want failed", j.Status)
+	}
+	if !errors.Is(ErrBudgetExhausted, ErrOverload) || j.Error == "" {
+		t.Fatalf("recovered job error = %q, want budget exhaustion", j.Error)
+	}
+	// The tenant stays exhausted for fresh submissions too.
+	if _, err := s2.Submit(req("t")); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("fresh submit err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestRecoveryReverifiesDonePlans: a done record whose plan no longer
+// passes verify.Plan (bit rot below the WAL's CRC, or a stricter
+// config) is demoted to unfinished and re-solved — corrupt state is
+// never served as history.
+func TestRecoveryReverifiesDonePlans(t *testing.T) {
+	accept, _ := json.Marshal(journalRecord{
+		V: journalVersion, Op: opAccept, ID: "j00000001",
+		Req: req("t"), BudgetMs: 1000,
+	})
+	// Non-conserving plan: cell [0][0] claims 5 of 4 tasks stay.
+	done, _ := json.Marshal(journalRecord{
+		V: journalVersion, Op: opDone, ID: "j00000001",
+		Plan: [][]int{{5, 0, 0}, {0, 4, 0}, {0, 0, 4}},
+	})
+	garbage := []byte("not json")
+	reg := obs.NewRegistry()
+	s, err := New(Options{
+		Backend: &instantBackend{}, Clock: fakeClock(t), NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour,
+		Recover: [][]byte{accept, done, garbage}, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background()) //nolint:errcheck
+	j := waitDone(t, s, "j00000001")
+	if j.Status != StatusDone || !j.Recovered {
+		t.Fatalf("re-solved job = %+v, want done+recovered", j)
+	}
+	// The re-solved plan conserves tasks; the corrupt one could not.
+	if j.Plan[0][0] == 5 {
+		t.Fatal("corrupt journaled plan was served")
+	}
+	if got := reg.Counter("serve.recovery_corrupt").Value(); got != 1 {
+		t.Fatalf("serve.recovery_corrupt = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.recovery_dropped").Value(); got != 1 {
+		t.Fatalf("serve.recovery_dropped = %d, want 1", got)
+	}
+}
+
+// TestEvictedLookupIs410 pins the eviction contract: an id dropped by
+// retention answers ErrEvicted (HTTP 410 Gone, errors.Is
+// ErrUnknownJob), a never-issued id stays ErrUnknownJob (404) — and
+// the distinction survives a restart through the journal.
+func TestEvictedLookupIs410(t *testing.T) {
+	mem := &memJournal{}
+	s, err := New(Options{
+		Backend: &instantBackend{}, Clock: fakeClock(t), NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour,
+		MaxJobs: 1, Journal: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Submit(req("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, first.ID)
+	second, err := s.Submit(req("t")) // retention cap 1: evicts first
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, second.ID)
+
+	_, err = s.Job(first.ID)
+	if !errors.Is(err, ErrEvicted) || !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("evicted lookup err = %v, want ErrEvicted wrapping ErrUnknownJob", err)
+	}
+	if lookupStatus(err) != 410 {
+		t.Fatalf("lookupStatus(evicted) = %d, want 410", lookupStatus(err))
+	}
+	_, err = s.Job("j99999999")
+	if !errors.Is(err, ErrUnknownJob) || errors.Is(err, ErrEvicted) {
+		t.Fatalf("unknown lookup err = %v, want plain ErrUnknownJob", err)
+	}
+	if lookupStatus(err) != 404 {
+		t.Fatalf("lookupStatus(unknown) = %d, want 404", lookupStatus(err))
+	}
+
+	records := mem.copy()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Options{
+		Backend: &instantBackend{}, Clock: fakeClock(t), NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour,
+		MaxJobs: 1, Recover: records,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background()) //nolint:errcheck
+	if _, err := s2.Job(first.ID); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("evicted lookup after restart = %v, want ErrEvicted", err)
+	}
+}
+
+// TestJournalCompactionSnapshot: when the journal reports compaction
+// due after a terminal transition, the server rewrites it as a state
+// snapshot — and recovering from that snapshot reproduces the same
+// jobs and eviction memory.
+func TestJournalCompactionSnapshot(t *testing.T) {
+	mem := &memJournal{}
+	s, err := New(Options{
+		Backend: &instantBackend{}, Clock: fakeClock(t), NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour,
+		MaxJobs: 1, Journal: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Submit(req("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, first.ID)
+	second, err := s.Submit(req("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.compactDue.Store(true)
+	waitDone(t, s, second.ID) // terminal transition triggers compaction
+	if !mem.compacted.Load() {
+		t.Fatal("journal never compacted")
+	}
+	records := mem.copy()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{
+		Backend: &instantBackend{}, Clock: fakeClock(t), NoRateLimit: true,
+		Workers: 1, QueueDepth: 16, DefaultBudget: time.Hour,
+		MaxJobs: 1, Recover: records,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background()) //nolint:errcheck
+	j, err := s2.Job(second.ID)
+	if err != nil || j.Status != StatusDone || !j.Recovered {
+		t.Fatalf("snapshot-recovered job = %+v (%v), want done+recovered", j, err)
+	}
+	if _, err := s2.Job(first.ID); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("eviction memory lost in compaction: %v", err)
+	}
+}

@@ -1,0 +1,258 @@
+package serve
+
+// Kill-and-recover acceptance: the full durability stack — server,
+// job-lifecycle WAL, hybrid cloud client behind the batch coalescer —
+// survives an abrupt process death. The "SIGKILL" is simulated from
+// the disk's point of view: the fault injector's crash switch makes
+// every subsequent file operation fail, so nothing the dying process
+// does after the cut reaches the journal, exactly as if the kernel had
+// reaped it mid-flight. (The real kill -9 lives in
+// scripts/daemon_smoke.sh.)
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/cqm"
+	"repro/internal/faults"
+	"repro/internal/hybrid"
+	"repro/internal/lrp"
+	"repro/internal/solve"
+	"repro/internal/verify"
+	"repro/internal/wal"
+)
+
+// crashGate wraps a solver: the first pass solves go straight through,
+// later ones block before touching the inner solver — so a "killed"
+// job has provably never reached the cloud. Closing abort makes the
+// blocked solves die without ever calling through, like goroutines
+// reaped by a SIGKILL.
+type crashGate struct {
+	inner   solve.Solver
+	pass    int64
+	blocked chan struct{}
+	abort   chan struct{}
+}
+
+func newCrashGate(inner solve.Solver, pass int64) *crashGate {
+	return &crashGate{
+		inner: inner, pass: pass,
+		blocked: make(chan struct{}, 64), abort: make(chan struct{}),
+	}
+}
+
+func (g *crashGate) Name() string { return "crash-gate(" + g.inner.Name() + ")" }
+
+func (g *crashGate) Solve(ctx context.Context, m *cqm.Model, opts ...solve.Option) (*solve.Result, error) {
+	if atomic.AddInt64(&g.pass, -1) < 0 {
+		g.blocked <- struct{}{}
+		select {
+		case <-g.abort:
+			return nil, errors.New("process killed mid-solve")
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return g.inner.Solve(ctx, m, opts...)
+}
+
+// TestKillAndRecoverNoDuplicateCloudSubmissions is the acceptance
+// test: a burst of jobs, SIGKILL mid-flight, restart on the same
+// state dir. Every accepted job reaches a terminal verified state, and
+// the cloud saw each solve exactly once — completed work is not
+// re-submitted, killed work is re-submitted exactly once.
+func TestKillAndRecoverNoDuplicateCloudSubmissions(t *testing.T) {
+	const preDone, killed = 3, 2
+	dir := t.TempDir()
+	inj := faults.NewInjector(faults.Config{}) // clean until Crash()
+	fs := wal.Faulty(wal.OS(), inj)
+	open := func() (*wal.Log, [][]byte) {
+		t.Helper()
+		log, recs, err := wal.Open(wal.Options{
+			Dir: dir, Name: "serve", Policy: wal.SyncAlways, FS: fs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return log, recs
+	}
+
+	// One shared "cloud": MaxBatch 1 means one cloud job per solve, so
+	// client.Jobs() counts solver invocations exactly.
+	client := hybrid.NewClientN(hybrid.Options{Reads: 2, Sweeps: 32, Seed: 1}, 2)
+	defer client.Close()
+	coal := batch.New(batch.Config{Client: client, MaxBatch: 1})
+	defer coal.Close()
+
+	gate := newCrashGate(coal, preDone)
+	log1, recs := open()
+	if len(recs) != 0 {
+		t.Fatalf("fresh state dir replayed %d records", len(recs))
+	}
+	s1, err := New(Options{
+		Backend: gate, Clock: fakeClock(t), NoRateLimit: true,
+		Workers: 2, QueueDepth: 16, DefaultBudget: time.Hour, Journal: log1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < preDone+killed; i++ {
+		j, err := s1.Submit(req("t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	// Exactly preDone solves pass the gate and the rest block inside
+	// it — but which ids land where depends on worker scheduling, so
+	// wait for the counts and sort the ids out by observed status.
+	for i := 0; i < killed; i++ {
+		<-gate.blocked
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s1.Obs().Counter("serve.done").Value() != preDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("pre-crash jobs stuck: %d done, want %d",
+				s1.Obs().Counter("serve.done").Value(), preDone)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := client.Jobs(); got != preDone {
+		t.Fatalf("cloud jobs before kill = %d, want %d", got, preDone)
+	}
+
+	// SIGKILL: the disk is gone first (no dying gasp reaches the
+	// journal), then every goroutine dies without completing.
+	inj.Crash()
+	close(gate.abort)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	log1.Close() //nolint:errcheck — the crashed disk may refuse the close-path sync
+
+	// Restart on the same state dir with a healthy disk.
+	inj.Reset()
+	log2, recs := open()
+	defer log2.Close()
+	s2, err := New(Options{
+		Backend: coal, Clock: fakeClock(t), NoRateLimit: true,
+		Workers: 2, QueueDepth: 16, DefaultBudget: time.Hour,
+		Journal: log2, Recover: recs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background()) //nolint:errcheck
+
+	for i, id := range ids {
+		j := waitDone(t, s2, id)
+		if j.Status != StatusDone || !j.Recovered {
+			t.Fatalf("job %d (%s) = %+v, want done+recovered", i, id, j)
+		}
+		if j.Plan == nil {
+			t.Fatalf("job %d (%s) has no plan", i, id)
+		}
+		in := lrp.MustInstance(req("t").Tasks, req("t").Weights)
+		if rep := verify.Plan(in, &lrp.Plan{X: j.Plan}, -1, verify.Options{}); !rep.Ok() {
+			t.Fatalf("job %d (%s) served unverified plan: %v", i, id, rep.Err())
+		}
+	}
+	// The dedup contract: completed jobs were restored (0 extra cloud
+	// submissions), killed jobs re-ran exactly once each.
+	if got := client.Jobs(); got != preDone+killed {
+		t.Fatalf("cloud jobs after recovery = %d, want %d (no duplicates)", got, preDone+killed)
+	}
+}
+
+// TestKillRecoverUnderDiskFaults hammers the same stack under seeded
+// disk-fault schedules: short writes tearing the journal tail,
+// read-corruption flipping replayed bytes, and a crash at an arbitrary
+// point. The invariant is not "nothing is lost" — a torn tail loses
+// its suffix by design — but "nothing wrong is ever served": the
+// daemon always restarts, and every queryable job is either terminal
+// with a plan that passes verify.Plan, or cleanly absent with a typed
+// lookup error.
+func TestKillRecoverUnderDiskFaults(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		inj := faults.NewInjector(faults.Disk(seed, 0.08))
+		fs := wal.Faulty(wal.OS(), inj)
+		dir := t.TempDir()
+
+		log1, _, err := wal.Open(wal.Options{Dir: dir, Name: "serve", Policy: wal.SyncAlways, FS: fs})
+		if err != nil {
+			// The schedule faulted the very bootstrap — an operator-visible
+			// open error, not silent corruption. Acceptable; next seed.
+			continue
+		}
+		s1, err := New(Options{
+			Backend: &instantBackend{}, Clock: fakeClock(t), NoRateLimit: true,
+			Workers: 1, QueueDepth: 32, DefaultBudget: time.Hour, Journal: log1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: New: %v", seed, err)
+		}
+		var ids []string
+		for i := 0; i < 12; i++ {
+			if j, err := s1.Submit(req("t")); err == nil {
+				ids = append(ids, j.ID)
+			}
+		}
+		// Let roughly half the burst land, then cut the power.
+		for _, id := range ids[:len(ids)/2] {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			s1.Wait(ctx, id) //nolint:errcheck — under faults some fail; both outcomes are fine
+			cancel()
+		}
+		inj.Crash()
+		if err := s1.Drain(context.Background()); err != nil {
+			t.Fatalf("seed %d: drain: %v", seed, err)
+		}
+		log1.Close() //nolint:errcheck
+
+		inj.Reset()
+		log2, recs, err := wal.Open(wal.Options{Dir: dir, Name: "serve", Policy: wal.SyncAlways, FS: fs})
+		if err != nil {
+			// The replayed fault schedule hit the recovery rewrite itself:
+			// a loud, typed open error. The operator swaps the disk and the
+			// same state dir must then open cleanly.
+			log2, recs, err = wal.Open(wal.Options{Dir: dir, Name: "serve", Policy: wal.SyncAlways})
+			if err != nil {
+				t.Fatalf("seed %d: reopen on healthy disk: %v", seed, err)
+			}
+		}
+		s2, err := New(Options{
+			Backend: &instantBackend{}, Clock: fakeClock(t), NoRateLimit: true,
+			Workers: 1, QueueDepth: 32, DefaultBudget: time.Hour,
+			Journal: log2, Recover: recs,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: New after crash: %v", seed, err)
+		}
+		in := lrp.MustInstance(req("t").Tasks, req("t").Weights)
+		for _, id := range ids {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			j, err := s2.Wait(ctx, id)
+			cancel()
+			if err != nil {
+				// Lost to the torn tail or corrupt frame: must be a typed
+				// lookup error, never a hang or a half-baked record.
+				if !errors.Is(err, ErrUnknownJob) {
+					t.Fatalf("seed %d: job %s lookup = %v, want typed ErrUnknownJob", seed, id, err)
+				}
+				continue
+			}
+			if j.Status == StatusDone {
+				if rep := verify.Plan(in, &lrp.Plan{X: j.Plan}, -1, verify.Options{}); !rep.Ok() {
+					t.Fatalf("seed %d: job %s served corrupt plan: %v", seed, id, rep.Err())
+				}
+			}
+		}
+		s2.Drain(context.Background()) //nolint:errcheck
+		log2.Close()                   //nolint:errcheck
+	}
+}

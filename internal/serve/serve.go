@@ -65,6 +65,10 @@ var (
 	// ErrUnknownJob marks a job lookup for an id the server does not
 	// hold (never existed, or evicted by retention).
 	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrEvicted marks a lookup of a job that did exist but was dropped
+	// by retention — HTTP 410 Gone, where a never-issued id stays 404.
+	// It wraps ErrUnknownJob so existing errors.Is checks keep matching.
+	ErrEvicted = fmt.Errorf("%w: evicted by retention", ErrUnknownJob)
 )
 
 // Status is a job's lifecycle state.
@@ -112,6 +116,10 @@ type Job struct {
 	Error   string   `json:"error,omitempty"`
 	// QueueWaitMs and the deadline are measured on the injected clock.
 	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	// Recovered marks a job that survived a daemon restart: it was
+	// rebuilt from the journal, either restored (terminal) or
+	// re-enqueued (it was queued or running when the process died).
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // job is the server-internal mutable record behind a Job snapshot.
@@ -123,6 +131,8 @@ type job struct {
 
 	submitted time.Time
 	deadline  time.Time
+	budget    time.Duration
+	recovered bool
 
 	done chan struct{} // closed on any terminal status
 
@@ -140,6 +150,7 @@ func (j *job) snapshot() *Job {
 	defer j.mu.Unlock()
 	out := &Job{
 		ID: j.id, Tenant: j.tenant, Status: j.status, Procs: j.in.NumProcs(),
+		Recovered: j.recovered,
 	}
 	if j.metrics != nil {
 		m := *j.metrics
@@ -200,6 +211,17 @@ type Options struct {
 	Cache *plancache.Cache
 	// Verify tunes the mandatory plan-verification gate.
 	Verify verify.Options
+	// Journal, when non-nil, receives one record per job-lifecycle
+	// transition (see journal.go). A *wal.Log satisfies it; when the
+	// value also implements Compactor the server snapshot-compacts the
+	// journal after terminal transitions. Journal failures are counted
+	// (serve.journal_errors), never surfaced.
+	Journal Journal
+	// Recover is the set of journal records replayed from a previous
+	// process (typically the second return of wal.Open). New rebuilds
+	// job history from them and re-enqueues unfinished work before the
+	// first worker starts.
+	Recover [][]byte
 	// Clock is the time source for admission, budgets, and deadlines
 	// (default solve.Real()).
 	Clock solve.Clock
@@ -276,11 +298,17 @@ type Server struct {
 	tenants      map[string]*tenant
 	jobs         map[string]*job
 	order        []string // insertion order, for retention eviction
+	evicted      map[string]struct{}
+	evictOrder   []string // eviction order, to bound the evicted set
 	nextID       int64
 	inflight     int
 }
 
-// New starts a server with opt.Workers solve workers.
+// New starts a server with opt.Workers solve workers. When
+// opt.Recover holds replayed journal records, the pre-crash state is
+// rebuilt first — terminal jobs restored, unfinished jobs re-enqueued
+// with fresh deadlines — before the first worker starts, so recovered
+// work cannot race fresh submissions for queue space.
 func New(opt Options) (*Server, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
@@ -293,12 +321,24 @@ func New(opt Options) (*Server, error) {
 		obs:        opt.Obs,
 		baseCtx:    ctx,
 		cancelBase: cancel,
-		queue:      make(chan *job, opt.QueueDepth),
 		tenants:    make(map[string]*tenant),
 		jobs:       make(map[string]*job),
+		evicted:    make(map[string]struct{}),
 
 		drainStarted: make(chan struct{}),
 	}
+	var requeue []*job
+	if len(opt.Recover) > 0 {
+		requeue = s.recover(opt.Recover)
+	}
+	// The queue is sized to hold every recovered job on top of the
+	// configured depth: recovery must never be the thing that overflows
+	// admission.
+	s.queue = make(chan *job, opt.QueueDepth+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
+	}
+	s.obs.Gauge("serve.queue_depth").Set(float64(len(s.queue)))
 	for i := 0; i < opt.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -377,23 +417,9 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 	if err := req.Validate(s.opt.Limits); err != nil {
 		return nil, err
 	}
-	weights := req.Weights
-	if len(weights) == 0 {
-		weights = make([]float64, len(req.Tasks))
-		for j := range weights {
-			weights[j] = 1
-		}
-	}
-	in, err := lrp.NewInstance(req.Tasks, weights)
+	in, budget, err := s.buildInstance(req)
 	if err != nil {
 		return nil, err
-	}
-	budget := s.opt.DefaultBudget
-	if req.BudgetMs > 0 {
-		budget = time.Duration(req.BudgetMs) * time.Millisecond
-	}
-	if budget > s.opt.MaxBudget {
-		budget = s.opt.MaxBudget
 	}
 
 	s.mu.Lock()
@@ -422,14 +448,25 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 		in:        in,
 		submitted: now,
 		deadline:  now.Add(budget),
+		budget:    budget,
 		done:      make(chan struct{}),
 		status:    StatusQueued,
 	}
+	// The accept record is journaled before the job is visible to any
+	// worker, so a crash can never leave a terminal record without its
+	// accept. The append runs under s.mu: admission order and journal
+	// order are the same order.
+	s.journal(journalRecord{
+		Op: opAccept, ID: j.id, Req: req,
+		BudgetMs: int64(budget / time.Millisecond),
+	})
 	select {
 	case s.queue <- j:
 	default:
-		s.nextID-- // not admitted; reuse the id
 		s.mu.Unlock()
+		// The accept is already durable; a terminal record keeps replay
+		// from resurrecting a job the client was told we shed.
+		s.journal(journalRecord{Op: opReject, ID: j.id, Err: ErrQueueFull.Error()})
 		s.obs.Counter("serve.rejected_overload").Inc()
 		return nil, ErrQueueFull
 	}
@@ -440,6 +477,31 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 	s.obs.Gauge("serve.queue_depth").Set(float64(len(s.queue)))
 	s.mu.Unlock()
 	return j.snapshot(), nil
+}
+
+// buildInstance turns a validated request into its LRP instance and
+// clamped solve budget — the one construction path shared by live
+// submission and journal recovery.
+func (s *Server) buildInstance(req *Request) (*lrp.Instance, time.Duration, error) {
+	weights := req.Weights
+	if len(weights) == 0 {
+		weights = make([]float64, len(req.Tasks))
+		for j := range weights {
+			weights[j] = 1
+		}
+	}
+	in, err := lrp.NewInstance(req.Tasks, weights)
+	if err != nil {
+		return nil, 0, err
+	}
+	budget := s.opt.DefaultBudget
+	if req.BudgetMs > 0 {
+		budget = time.Duration(req.BudgetMs) * time.Millisecond
+	}
+	if budget > s.opt.MaxBudget {
+		budget = s.opt.MaxBudget
+	}
+	return in, budget, nil
 }
 
 // evictLocked drops the oldest finished jobs over the retention cap.
@@ -459,6 +521,8 @@ func (s *Server) evictLocked() {
 			if terminal {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				s.rememberEvictedLocked(id)
+				s.journal(journalRecord{Op: opEvict, ID: id})
 				s.obs.Counter("serve.evicted").Inc()
 				evicted = true
 				break
@@ -470,12 +534,18 @@ func (s *Server) evictLocked() {
 	}
 }
 
-// Job returns a snapshot of the job with the given id.
+// Job returns a snapshot of the job with the given id. An id the
+// server once held but dropped by retention answers ErrEvicted; an id
+// it never issued answers ErrUnknownJob.
 func (s *Server) Job(id string) (*Job, error) {
 	s.mu.Lock()
 	j := s.jobs[id]
+	_, ev := s.evicted[id]
 	s.mu.Unlock()
 	if j == nil {
+		if ev {
+			return nil, ErrEvicted
+		}
 		return nil, ErrUnknownJob
 	}
 	return j.snapshot(), nil
@@ -486,8 +556,12 @@ func (s *Server) Job(id string) (*Job, error) {
 func (s *Server) Wait(ctx context.Context, id string) (*Job, error) {
 	s.mu.Lock()
 	j := s.jobs[id]
+	_, ev := s.evicted[id]
 	s.mu.Unlock()
 	if j == nil {
+		if ev {
+			return nil, ErrEvicted
+		}
 		return nil, ErrUnknownJob
 	}
 	select {
@@ -518,6 +592,7 @@ func (s *Server) finish(j *job, st Status, plan *lrp.Plan, m *Metrics, err error
 			s.obs.Counter("serve.expired").Inc()
 		}
 	}
+	s.journalTerminal(j, st, plan, m, err)
 }
 
 // worker is the solve loop: dequeue, honour drain and deadlines, run
@@ -562,6 +637,7 @@ func (s *Server) run(j *job) {
 	j.status = StatusRunning
 	j.started = now
 	j.mu.Unlock()
+	s.journal(journalRecord{Op: opRun, ID: j.id})
 	s.mu.Lock()
 	s.inflight++
 	s.obs.Gauge("serve.inflight").Set(float64(s.inflight))

@@ -1,0 +1,216 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/faults"
+)
+
+// FS abstracts the file operations the log performs, so the same code
+// runs over the real filesystem in production and over a seeded
+// fault-injecting wrapper in tests. Implementations must be safe for
+// the log's own serialized use; they are not required to be safe for
+// arbitrary concurrent callers.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (the compaction
+	// commit point).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names (not paths) inside dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is the subset of *os.File the log writes through.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(dir string, perm os.FileMode) error {
+	return os.MkdirAll(dir, perm)
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Faulty wraps inner so every data operation — file reads, writes and
+// syncs, plus the metadata operations a crash can interrupt — consults
+// the seeded hook first, exactly like the simulated cloud consults its
+// injector once per solve attempt:
+//
+//   - a ShortWrite fault persists only a deterministic prefix of a
+//     Write before surfacing faults.ErrShortWrite — the torn tail;
+//   - a SyncErr fault fails the Sync without flushing;
+//   - a ReadCorrupt fault flips bits in the bytes a Read returns,
+//     silently — only the frame CRCs stand between it and the caller;
+//   - a CrashPoint fault (or an injector put into the crashed state via
+//     Crash) fails this and every later operation with
+//     faults.ErrCrashed until the injector is Reset, modelling the
+//     machine going down.
+//
+// A fault kind that does not apply to the operation that drew it (e.g.
+// SyncErr on a Write) injects nothing; the schedule slot is simply
+// consumed. A nil hook is the reliable disk.
+func Faulty(inner FS, hook faults.Hook) FS {
+	if hook == nil {
+		return inner
+	}
+	return &faultFS{inner: inner, hook: hook}
+}
+
+type faultFS struct {
+	inner FS
+	hook  faults.Hook
+}
+
+// meta consults the hook for a metadata operation: only CrashPoint
+// applies.
+func (f *faultFS) meta() error {
+	if ft := f.hook.Next(); ft.Kind == faults.CrashPoint {
+		return faults.ErrCrashed
+	}
+	return nil
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.meta(); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", name, err)
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, hook: f.hook}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := f.meta(); err != nil {
+		return fmt.Errorf("wal: rename %s: %w", oldpath, err)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if err := f.meta(); err != nil {
+		return fmt.Errorf("wal: remove %s: %w", name, err)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.meta(); err != nil {
+		return nil, fmt.Errorf("wal: readdir %s: %w", dir, err)
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *faultFS) MkdirAll(dir string, perm os.FileMode) error {
+	if err := f.meta(); err != nil {
+		return fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	if ft := f.hook.Next(); ft.Kind == faults.CrashPoint {
+		return fmt.Errorf("wal: syncdir %s: %w", dir, faults.ErrCrashed)
+	} else if ft.Kind == faults.SyncErr {
+		return fmt.Errorf("wal: syncdir %s: %w", dir, faults.ErrSync)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	inner File
+	hook  faults.Hook
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	ft := f.hook.Next()
+	if ft.Kind == faults.CrashPoint {
+		return 0, faults.ErrCrashed
+	}
+	n, err := f.inner.Read(p)
+	// A latent sector error damages what was read, in place, silently.
+	ft.CorruptBytes(p[:n])
+	return n, err
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	ft := f.hook.Next()
+	switch ft.Kind {
+	case faults.CrashPoint:
+		return 0, faults.ErrCrashed
+	case faults.ShortWrite:
+		// The torn tail: a strict prefix reaches the disk, then the
+		// error surfaces (power loss mid-write).
+		n := ft.ShortLen(len(p))
+		if n > 0 {
+			if m, err := f.inner.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, faults.ErrShortWrite
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	ft := f.hook.Next()
+	switch ft.Kind {
+	case faults.CrashPoint:
+		return faults.ErrCrashed
+	case faults.SyncErr:
+		return faults.ErrSync
+	}
+	return f.inner.Sync()
+}
+
+// Close never consults the hook: releasing a descriptor works even on a
+// dying machine, and recovery paths must always be able to clean up.
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,29 @@
+package wal
+
+import "testing"
+
+// TestPerfGateAppendZeroAlloc pins the journaled hot path: once the
+// frame scratch is warm, Append allocates nothing — a job transition
+// costs one buffer build and one write, not garbage. Run by make
+// perf-gate; machine-independent, so it cannot flake on runner noise.
+func TestPerfGateAppendZeroAlloc(t *testing.T) {
+	l, _, err := Open(Options{Dir: t.TempDir(), Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := benchRecord
+	// Warm the frame scratch.
+	for i := 0; i < 4; i++ {
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Append allocs/op = %v, want 0", avg)
+	}
+}

@@ -98,4 +98,76 @@ set -e
 grep -q "drained cleanly" "$LOG" || fail "drain banner missing"
 trap - EXIT
 
+# Crash-safe durability: run with -state-dir, finish a job, SIGKILL the
+# daemon (no drain, no dying gasp), restart on the same directory. The
+# finished job must still be queryable with its plan intact and carry
+# the recovered flag — the journal, not the process, owns the record.
+STATE="$(mktemp -d)"
+echo "daemon-smoke: durability phase (state dir $STATE)"
+"$BIN" -addr "$ADDR" -workers 2 -timeout 2s -state-dir "$STATE" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "durable daemon did not come up within 5s"
+    kill -0 "$PID" 2>/dev/null || fail "durable daemon exited during startup"
+    sleep 0.1
+done
+
+RESP="$(curl -fsS -X POST "$BASE/solve" \
+    -H 'Content-Type: application/json' \
+    -d '{"tasks":[4,4,4],"weights":[8,2,2],"budget_ms":2000}')" \
+    || fail "POST /solve (durable) rejected"
+JOB="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB" ] || fail "no job id in durable response: $RESP"
+i=0
+while :; do
+    BODY="$(curl -fsS "$BASE/jobs/$JOB")" || fail "GET /jobs/$JOB (durable)"
+    case "$BODY" in
+    *'"status":"done"'*) break ;;
+    *'"status":"failed"'* | *'"status":"rejected"'*) fail "durable job failed: $BODY" ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "durable job did not finish within 10s: $BODY"
+    sleep 0.1
+done
+echo "daemon-smoke: job $JOB done; kill -9"
+
+kill -9 "$PID"
+set +e
+wait "$PID" 2>/dev/null
+set -e
+
+"$BIN" -addr "$ADDR" -workers 2 -timeout 2s -state-dir "$STATE" >"$LOG" 2>&1 &
+PID=$!
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "daemon did not restart on the state dir within 5s"
+    kill -0 "$PID" 2>/dev/null || fail "daemon crashed replaying its own journal"
+    sleep 0.1
+done
+grep -q "recovered" "$LOG" || fail "recovery banner missing after restart"
+
+BODY="$(curl -fsS "$BASE/jobs/$JOB")" || fail "job $JOB lost across kill -9"
+printf '%s' "$BODY" | grep -q '"status":"done"' || fail "recovered job not done: $BODY"
+printf '%s' "$BODY" | grep -q '"plan"' || fail "recovered job has no plan: $BODY"
+printf '%s' "$BODY" | grep -q '"recovered":true' || fail "recovered job not flagged: $BODY"
+echo "daemon-smoke: job survived kill -9"
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "durable daemon did not exit within 10s of SIGTERM"
+    sleep 0.1
+done
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+[ "$STATUS" = 0 ] || fail "durable daemon exit status $STATUS after SIGTERM"
+trap - EXIT
+
 echo "daemon-smoke: PASS"
